@@ -1,0 +1,80 @@
+//! End-to-end PQP pipelines over synthetic federations: naive
+//! (paper-faithful, "Table 3 used as a query execution plan … without
+//! further optimization") vs the Query Optimizer, across federation
+//! widths and both canned query shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polygen_pqp::pqp::{Pqp, PqpOptions};
+use polygen_workload::{generate, queries, WorkloadConfig};
+use std::hint::black_box;
+
+fn pipelines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    for sources in [3usize, 8] {
+        let config = WorkloadConfig {
+            entities: 300,
+            detail_rows: 600,
+            coverage: 0.6,
+            ..WorkloadConfig::default().with_sources(sources)
+        };
+        let scenario = generate(&config);
+        let naive = Pqp::for_scenario(&scenario);
+        let optimized = Pqp::for_scenario(&scenario).with_options(PqpOptions {
+            optimize: true,
+            ..PqpOptions::default()
+        });
+        let select_q = queries::select_query(0);
+        let join_q = queries::join_query(40);
+        g.bench_with_input(
+            BenchmarkId::new("select_naive", sources),
+            &select_q,
+            |b, q| b.iter(|| naive.query_algebra(black_box(q)).unwrap()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("select_optimized", sources),
+            &select_q,
+            |b, q| b.iter(|| optimized.query_algebra(black_box(q)).unwrap()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("join_naive", sources),
+            &join_q,
+            |b, q| b.iter(|| naive.query_algebra(black_box(q)).unwrap()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("join_optimized", sources),
+            &join_q,
+            |b, q| b.iter(|| optimized.query_algebra(black_box(q)).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+/// A self-join over the detail relation: the case where the optimizer's
+/// retrieve deduplication visibly pays.
+fn self_join_dedup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end/self_join");
+    g.sample_size(10);
+    let config = WorkloadConfig {
+        entities: 200,
+        detail_rows: 800,
+        ..WorkloadConfig::default().with_sources(3)
+    };
+    let scenario = generate(&config);
+    let naive = Pqp::for_scenario(&scenario);
+    let optimized = Pqp::for_scenario(&scenario).with_options(PqpOptions {
+        optimize: true,
+        ..PqpOptions::default()
+    });
+    let q = "((PDETAIL [SCORE >= 95]) [ENAME = ENAME] PDETAIL) [ENAME]";
+    g.bench_function("naive", |b| {
+        b.iter(|| naive.query_algebra(black_box(q)).unwrap())
+    });
+    g.bench_function("optimized", |b| {
+        b.iter(|| optimized.query_algebra(black_box(q)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, pipelines, self_join_dedup);
+criterion_main!(benches);

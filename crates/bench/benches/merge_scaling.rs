@@ -1,0 +1,90 @@
+//! Merge scaling: source count × overlap.
+//!
+//! The paper's Merge is a fold of Outer Natural Total Joins; its cost
+//! grows with both the number of sources (fold length, column growth)
+//! and the key overlap (matched rows coalesce, unmatched rows pad).
+//! "Hundreds of databases" is the paper's stated target environment —
+//! this bench shows where the fold starts to hurt.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polygen_bench::merge_operands;
+use polygen_core::algebra::coalesce::ConflictPolicy;
+use polygen_core::algebra::merge::merge;
+use polygen_lqp::scenario_registry;
+use polygen_workload::{generate, WorkloadConfig};
+use std::hint::black_box;
+
+fn source_count_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merge/sources");
+    g.sample_size(15);
+    for sources in [2usize, 4, 8, 12] {
+        let config = WorkloadConfig {
+            entities: 400,
+            detail_rows: 10,
+            coverage: 0.6,
+            ..WorkloadConfig::default().with_sources(sources)
+        };
+        let scenario = generate(&config);
+        let registry = scenario_registry(&scenario);
+        let operands = merge_operands("PENTITY", &scenario, &registry);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(sources),
+            &operands,
+            |b, ops| {
+                b.iter(|| merge(black_box(ops), "ENAME", ConflictPolicy::Strict).unwrap())
+            },
+        );
+    }
+    g.finish();
+}
+
+fn overlap_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merge/overlap");
+    g.sample_size(15);
+    for coverage in [0.25f64, 0.5, 0.75, 1.0] {
+        let config = WorkloadConfig {
+            entities: 400,
+            detail_rows: 10,
+            coverage,
+            ..WorkloadConfig::default().with_sources(4)
+        };
+        let scenario = generate(&config);
+        let registry = scenario_registry(&scenario);
+        let operands = merge_operands("PENTITY", &scenario, &registry);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{coverage}")),
+            &operands,
+            |b, ops| {
+                b.iter(|| merge(black_box(ops), "ENAME", ConflictPolicy::Strict).unwrap())
+            },
+        );
+    }
+    g.finish();
+}
+
+fn entity_pool_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merge/entities");
+    g.sample_size(10);
+    for entities in [100usize, 400, 1_600] {
+        let config = WorkloadConfig {
+            entities,
+            detail_rows: 10,
+            coverage: 0.6,
+            ..WorkloadConfig::default().with_sources(3)
+        };
+        let scenario = generate(&config);
+        let registry = scenario_registry(&scenario);
+        let operands = merge_operands("PENTITY", &scenario, &registry);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(entities),
+            &operands,
+            |b, ops| {
+                b.iter(|| merge(black_box(ops), "ENAME", ConflictPolicy::Strict).unwrap())
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, source_count_sweep, overlap_sweep, entity_pool_sweep);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! End-to-end regeneration cost of the paper's worked example: Tables
+//! 1–3 (compile), Tables 4–9 (execute), and the appendix merge chain
+//! (Tables A4–A9) as a standalone operator sequence.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polygen_bench::{merge_operands, mit_setup};
+use polygen_core::algebra::coalesce::ConflictPolicy;
+use polygen_core::algebra::{coalesce, merge::merge, outer_join};
+use polygen_pqp::pqp::{Pqp, PqpOptions};
+use polygen_sql::algebra_expr::PAPER_EXPRESSION;
+use std::hint::black_box;
+
+fn paper_query(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper/query");
+    g.sample_size(40);
+    let (s, _) = mit_setup();
+    let pqp = Pqp::for_scenario(&s);
+    let expr = pqp.translate_sql(
+        "SELECT ONAME, CEO FROM PORGANIZATION, PALUMNUS \
+         WHERE CEO = ANAME AND ONAME IN \
+         (SELECT ONAME FROM PCAREER WHERE AID# IN \
+         (SELECT AID# FROM PALUMNUS WHERE DEGREE = \"MBA\"))",
+    )
+    .unwrap();
+    g.bench_function("compile_tables_1_to_3", |b| {
+        b.iter(|| pqp.compile(black_box(expr.clone())).unwrap())
+    });
+    let compiled = pqp.compile(expr).unwrap();
+    g.bench_function("execute_tables_4_to_9", |b| {
+        b.iter(|| pqp.run(black_box(compiled.clone())).unwrap())
+    });
+    g.bench_function("full_pipeline_from_text", |b| {
+        b.iter(|| pqp.query_algebra(black_box(PAPER_EXPRESSION)).unwrap())
+    });
+    let optimizing = Pqp::for_scenario(&s).with_options(PqpOptions {
+        optimize: true,
+        ..PqpOptions::default()
+    });
+    g.bench_function("full_pipeline_optimized", |b| {
+        b.iter(|| optimizing.query_algebra(black_box(PAPER_EXPRESSION)).unwrap())
+    });
+    g.finish();
+}
+
+fn appendix_merge_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper/appendix");
+    g.sample_size(60);
+    let (s, reg) = mit_setup();
+    let operands = merge_operands("PORGANIZATION", &s, &reg);
+    g.bench_function("merge_tables_a4_to_a9", |b| {
+        b.iter(|| merge(black_box(&operands), "ONAME", ConflictPolicy::Strict).unwrap())
+    });
+    // The individual steps, paper-notation names.
+    let lqps = &reg;
+    let retrieve = |db: &str, rel: &str| {
+        lqps.execute_tagged(
+            db,
+            &polygen_lqp::engine::LocalOp::retrieve(rel),
+            &s.dictionary,
+        )
+        .unwrap()
+    };
+    let business = retrieve("AD", "BUSINESS");
+    let corporation = retrieve("PD", "CORPORATION");
+    g.bench_function("table_a4_outer_join", |b| {
+        b.iter(|| outer_join(black_box(&business), &corporation, "BNAME", "CNAME").unwrap())
+    });
+    let a4 = outer_join(&business, &corporation, "BNAME", "CNAME").unwrap();
+    g.bench_function("table_a5_key_coalesce", |b| {
+        b.iter(|| {
+            coalesce(black_box(&a4), "BNAME", "CNAME", "ONAME", ConflictPolicy::Strict).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, paper_query, appendix_merge_chain);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Tag-set representation ablation (DESIGN.md `ext-repr`).
+//!
+//! Every polygen operator's hot path is `SourceSet::union_with`; this
+//! bench compares the production two-word-inline bitset against a sorted
+//! `Vec<u16>` and a `BTreeSet<u16>` across set widths, including widths
+//! past 128 where the bitset spills to the heap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polygen_core::source::alt::{BTreeTagSet, SortedVecSet, TagSet};
+use polygen_core::source::{SourceId, SourceSet};
+use std::hint::black_box;
+
+/// Deterministic pseudo-random id stream.
+fn ids(seed: u64, n: usize, max: u16) -> Vec<SourceId> {
+    let mut s = seed;
+    (0..n)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            SourceId(((s >> 33) as u16) % max)
+        })
+        .collect()
+}
+
+fn build_set<T: TagSet>(input: &[SourceId]) -> T {
+    let mut t = T::default();
+    for &id in input {
+        t.insert_id(id);
+    }
+    t
+}
+
+fn union_chain<T: TagSet>(sets: &[T]) -> T {
+    let mut acc = T::default();
+    for s in sets {
+        acc.union_with_set(s);
+    }
+    acc
+}
+
+fn bench_repr(c: &mut Criterion) {
+    for (label, width, max_id) in [
+        ("narrow", 3usize, 8u16),
+        ("paper", 3, 3),
+        ("wide", 16, 64),
+        ("hundreds", 24, 300),
+    ] {
+        let mut g = c.benchmark_group(format!("sourceset/{label}"));
+        g.sample_size(40);
+        // 64 sets of `width` ids each, repeatedly unioned — the shape of
+        // a Restrict over a 64-tuple relation.
+        let inputs: Vec<Vec<SourceId>> =
+            (0..64).map(|i| ids(i as u64 + 1, width, max_id)).collect();
+        let bitsets: Vec<SourceSet> = inputs.iter().map(|v| build_set(v)).collect();
+        let vecs: Vec<SortedVecSet> = inputs.iter().map(|v| build_set(v)).collect();
+        let trees: Vec<BTreeTagSet> = inputs.iter().map(|v| build_set(v)).collect();
+        g.bench_function("bitset_union", |b| {
+            b.iter(|| union_chain(black_box(&bitsets)))
+        });
+        g.bench_function("sorted_vec_union", |b| {
+            b.iter(|| union_chain(black_box(&vecs)))
+        });
+        g.bench_function("btree_union", |b| {
+            b.iter(|| union_chain(black_box(&trees)))
+        });
+        g.bench_with_input(BenchmarkId::new("bitset_build", width), &inputs, |b, i| {
+            b.iter(|| i.iter().fold(0, |n, v| n + build_set::<SourceSet>(v).card()))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("sorted_vec_build", width),
+            &inputs,
+            |b, i| b.iter(|| i.iter().fold(0, |n, v| n + build_set::<SortedVecSet>(v).card())),
+        );
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_repr);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! The headline extension measurement: what does source tagging cost?
+//!
+//! Every polygen operator is benchmarked against its untagged `flat`
+//! counterpart on identical data across row counts, plus a tag-width
+//! sweep (1 vs 4 origins per cell). Expected shape: a modest constant
+//! factor — tag bookkeeping is per-cell set unions on two-word bitsets —
+//! with no asymptotic change. `EXPERIMENTS.md` records the measured
+//! factors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use polygen_core::algebra as tagged;
+use polygen_core::relation::PolygenRelation;
+use polygen_flat::algebra as flat;
+use polygen_flat::relation::Relation;
+use polygen_flat::value::{Cmp, Value};
+use polygen_workload::{random_flat_relation, random_polygen_relation};
+use std::hint::black_box;
+
+const SIZES: [usize; 3] = [100, 1_000, 10_000];
+const CARD: i64 = 50;
+
+fn fixtures(rows: usize, tag_width: usize) -> (Relation, PolygenRelation, Relation, PolygenRelation) {
+    let f1 = random_flat_relation(11, "L", rows, 3, CARD);
+    let p1 = random_polygen_relation(11, "L", rows, 3, CARD, tag_width);
+    let f2 = random_flat_relation(23, "R", rows, 3, CARD)
+        .renamed("R");
+    let f2 = flat::rename_attrs(&f2, &["B0", "B1", "B2"]).unwrap();
+    let p2 = random_polygen_relation(23, "R", rows, 3, CARD, tag_width)
+        .renamed("R")
+        .rename_attrs(&["B0", "B1", "B2"])
+        .unwrap();
+    (f1, p1, f2, p2)
+}
+
+fn select_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overhead/select");
+    g.sample_size(30);
+    for rows in SIZES {
+        let (f1, p1, _, _) = fixtures(rows, 1);
+        g.throughput(Throughput::Elements(rows as u64));
+        g.bench_with_input(BenchmarkId::new("flat", rows), &f1, |b, r| {
+            b.iter(|| flat::select(black_box(r), "A1", Cmp::Lt, Value::Int(CARD / 2)).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("tagged", rows), &p1, |b, r| {
+            b.iter(|| tagged::select(black_box(r), "A1", Cmp::Lt, Value::Int(CARD / 2)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn project_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overhead/project");
+    g.sample_size(30);
+    for rows in SIZES {
+        let (f1, p1, _, _) = fixtures(rows, 1);
+        g.throughput(Throughput::Elements(rows as u64));
+        // Projection onto a non-key column collapses duplicates — the
+        // polygen side additionally unions tags per duplicate group.
+        g.bench_with_input(BenchmarkId::new("flat", rows), &f1, |b, r| {
+            b.iter(|| flat::project(black_box(r), &["A1", "A2"]).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("tagged", rows), &p1, |b, r| {
+            b.iter(|| tagged::project(black_box(r), &["A1", "A2"]).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn join_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overhead/equijoin");
+    g.sample_size(20);
+    for rows in SIZES {
+        let (f1, p1, f2, p2) = fixtures(rows, 1);
+        g.throughput(Throughput::Elements(rows as u64));
+        g.bench_with_input(BenchmarkId::new("flat", rows), &(f1, f2), |b, (l, r)| {
+            b.iter(|| flat::theta_join(black_box(l), r, "A1", Cmp::Eq, "B1").unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("tagged", rows), &(p1, p2), |b, (l, r)| {
+            b.iter(|| tagged::theta_join(black_box(l), r, "A1", Cmp::Eq, "B1").unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn union_difference_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overhead/union_difference");
+    g.sample_size(20);
+    for rows in SIZES {
+        let f1 = random_flat_relation(31, "L", rows, 3, CARD);
+        let f2 = random_flat_relation(47, "L", rows, 3, CARD);
+        let p1 = random_polygen_relation(31, "L", rows, 3, CARD, 1);
+        let p2 = random_polygen_relation(47, "L", rows, 3, CARD, 1);
+        g.throughput(Throughput::Elements(rows as u64));
+        g.bench_with_input(BenchmarkId::new("union_flat", rows), &(f1.clone(), f2.clone()), |b, (l, r)| {
+            b.iter(|| flat::union(black_box(l), r).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("union_tagged", rows), &(p1.clone(), p2.clone()), |b, (l, r)| {
+            b.iter(|| tagged::union(black_box(l), r).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("difference_flat", rows), &(f1, f2), |b, (l, r)| {
+            b.iter(|| flat::difference(black_box(l), r).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("difference_tagged", rows), &(p1, p2), |b, (l, r)| {
+            b.iter(|| tagged::difference(black_box(l), r).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn tag_width_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overhead/tag_width");
+    g.sample_size(30);
+    let rows = 5_000;
+    for width in [1usize, 2, 4, 8] {
+        let p = random_polygen_relation(59, "W", rows, 3, CARD, width);
+        g.bench_with_input(BenchmarkId::new("restrict", width), &p, |b, r| {
+            b.iter(|| tagged::restrict(black_box(r), "A1", Cmp::Le, "A2").unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    select_overhead,
+    project_overhead,
+    join_overhead,
+    union_difference_overhead,
+    tag_width_sweep
+);
+criterion_main!(benches);

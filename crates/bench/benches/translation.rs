@@ -1,0 +1,78 @@
+//! Translator throughput: the §III pipeline stages in isolation.
+//!
+//! Regenerates Table 1 (Syntax Analyzer), Table 2 (pass one) and Table 3
+//! (pass two) for the paper's expression, plus SQL parse+lower, and
+//! sweeps generated expressions of growing depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polygen_catalog::scenario;
+use polygen_pqp::analyzer::analyze;
+use polygen_pqp::interpreter::{pass_one, pass_two};
+use polygen_pqp::pqp::Pqp;
+use polygen_sql::algebra_expr::{parse_algebra, PAPER_EXPRESSION};
+use polygen_sql::parser::parse_query;
+use polygen_workload::{queries, WorkloadConfig};
+use std::hint::black_box;
+
+const PAPER_SQL: &str = "SELECT ONAME, CEO \
+    FROM PORGANIZATION, PALUMNUS \
+    WHERE CEO = ANAME AND ONAME IN \
+    (SELECT ONAME FROM PCAREER WHERE AID# IN \
+    (SELECT AID# FROM PALUMNUS WHERE DEGREE = \"MBA\"))";
+
+fn paper_stages(c: &mut Criterion) {
+    let mut g = c.benchmark_group("translation/paper");
+    g.sample_size(50);
+    let schema = scenario::polygen_schema();
+    let expr = parse_algebra(PAPER_EXPRESSION).unwrap();
+    let pom = analyze(&expr).unwrap();
+    let half = pass_one(&pom, &schema).unwrap();
+
+    g.bench_function("parse_expression", |b| {
+        b.iter(|| parse_algebra(black_box(PAPER_EXPRESSION)).unwrap())
+    });
+    g.bench_function("table1_pom", |b| {
+        b.iter(|| analyze(black_box(&expr)).unwrap())
+    });
+    g.bench_function("table2_pass_one", |b| {
+        b.iter(|| pass_one(black_box(&pom), &schema).unwrap())
+    });
+    g.bench_function("table3_pass_two", |b| {
+        b.iter(|| pass_two(black_box(&half), &schema).unwrap())
+    });
+    g.bench_function("sql_parse", |b| {
+        b.iter(|| parse_query(black_box(PAPER_SQL)).unwrap())
+    });
+    let s = scenario::build();
+    let pqp = Pqp::for_scenario(&s);
+    g.bench_function("sql_to_algebra", |b| {
+        b.iter(|| pqp.translate_sql(black_box(PAPER_SQL)).unwrap())
+    });
+    g.finish();
+}
+
+fn depth_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("translation/depth");
+    g.sample_size(30);
+    let config = WorkloadConfig {
+        entities: 10,
+        detail_rows: 10,
+        ..WorkloadConfig::default().with_sources(4)
+    };
+    let wl_scenario = polygen_workload::generate(&config);
+    let wl_schema = wl_scenario.dictionary.schema().clone();
+    for depth in [1usize, 2, 4, 8] {
+        let expr = queries::random_expression(&config, depth as u64 * 7 + 1, depth);
+        g.bench_with_input(BenchmarkId::new("compile", depth), &expr, |b, expr| {
+            b.iter(|| {
+                let pom = analyze(black_box(expr)).unwrap();
+                let half = pass_one(&pom, &wl_schema).unwrap();
+                pass_two(&half, &wl_schema).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, paper_stages, depth_sweep);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! # polygen-bench — shared benchmark utilities
+//!
+//! The benches themselves live in `benches/`; this library holds the
+//! fixtures they share so each harness stays focused on measurement.
+
+use polygen_catalog::scenario::{self, Scenario};
+use polygen_core::relation::PolygenRelation;
+use polygen_lqp::engine::LocalOp;
+use polygen_lqp::registry::LqpRegistry;
+use polygen_lqp::scenario_registry;
+
+/// The paper's scenario plus a live LQP registry.
+pub fn mit_setup() -> (Scenario, LqpRegistry) {
+    let s = scenario::build();
+    let reg = scenario_registry(&s);
+    (s, reg)
+}
+
+/// Retrieve and relabel every local relation backing a multi-source
+/// scheme — the Merge operands, ready for `algebra::merge`.
+pub fn merge_operands(
+    scheme_name: &str,
+    scenario: &Scenario,
+    registry: &LqpRegistry,
+) -> Vec<PolygenRelation> {
+    let scheme = scenario
+        .dictionary
+        .schema()
+        .scheme(scheme_name)
+        .expect("scheme exists");
+    scheme
+        .local_relations()
+        .iter()
+        .map(|local| {
+            let tagged = registry
+                .execute_tagged(
+                    &local.database,
+                    &LocalOp::retrieve(&local.relation),
+                    &scenario.dictionary,
+                )
+                .expect("retrieve");
+            let cols: Vec<&str> = tagged
+                .schema()
+                .attrs()
+                .iter()
+                .map(|a| a.as_ref())
+                .collect();
+            let names = scheme.relabel_columns(&local.database, &local.relation, &cols);
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            tagged.rename_attrs(&refs).expect("relabel")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let (s, reg) = mit_setup();
+        let ops = merge_operands("PORGANIZATION", &s, &reg);
+        assert_eq!(ops.len(), 3);
+        assert!(ops.iter().all(|r| r.schema().contains("ONAME")));
+    }
+}

@@ -1,0 +1,181 @@
+//! The CIS Data Dictionary of Figure 1.
+//!
+//! The dictionary is the PQP's metadata hub: the source registry (local
+//! database identities), the polygen schema, the domain-mapping
+//! information, and per-source credibility scores ("knowing the data
+//! source credibility will enable the user or the query processor to
+//! further resolve potential conflicts", §I). It also implements §IV's
+//! observation (3): mapping an attribute's source tags back to concrete
+//! `(database, relation, attribute)` coordinates "shown to the user upon
+//! request with a simple mapping".
+
+use crate::domain::DomainMap;
+use crate::ids::LocalAttrRef;
+use crate::schema::PolygenSchema;
+use polygen_core::source::{SourceId, SourceRegistry, SourceSet};
+use std::collections::HashMap;
+
+/// Federation-wide metadata.
+#[derive(Debug, Clone, Default)]
+pub struct DataDictionary {
+    registry: SourceRegistry,
+    schema: PolygenSchema,
+    domains: DomainMap,
+    credibility: HashMap<SourceId, f64>,
+}
+
+impl DataDictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from parts.
+    pub fn with_parts(registry: SourceRegistry, schema: PolygenSchema, domains: DomainMap) -> Self {
+        DataDictionary {
+            registry,
+            schema,
+            domains,
+            credibility: HashMap::new(),
+        }
+    }
+
+    /// Intern (or fetch) a local database identity.
+    pub fn intern_source(&mut self, name: &str) -> SourceId {
+        self.registry.intern(name)
+    }
+
+    /// The source registry.
+    pub fn registry(&self) -> &SourceRegistry {
+        &self.registry
+    }
+
+    /// The polygen schema.
+    pub fn schema(&self) -> &PolygenSchema {
+        &self.schema
+    }
+
+    /// Mutable schema access (schema-integration phase).
+    pub fn schema_mut(&mut self) -> &mut PolygenSchema {
+        &mut self.schema
+    }
+
+    /// The domain-mapping table.
+    pub fn domains(&self) -> &DomainMap {
+        &self.domains
+    }
+
+    /// Mutable domain table access.
+    pub fn domains_mut(&mut self) -> &mut DomainMap {
+        &mut self.domains
+    }
+
+    /// Record a credibility score (higher = more trusted) for a source.
+    pub fn set_credibility(&mut self, id: SourceId, score: f64) {
+        self.credibility.insert(id, score);
+    }
+
+    /// A source's credibility; unknown sources default to 0.5 (neutral).
+    pub fn credibility(&self, id: SourceId) -> f64 {
+        self.credibility.get(&id).copied().unwrap_or(0.5)
+    }
+
+    /// The most credible source in a set, if the set is nonempty.
+    pub fn most_credible(&self, set: &SourceSet) -> Option<SourceId> {
+        set.iter().max_by(|a, b| {
+            self.credibility(*a)
+                .total_cmp(&self.credibility(*b))
+                // Tie-break on id for determinism.
+                .then_with(|| b.cmp(a))
+        })
+    }
+
+    /// §IV observation (3): given a polygen attribute and the source set
+    /// of one of its cells, return the concrete `(LD, LS, LA)` coordinates
+    /// the datum can have come from. E.g. `("ONAME", {AD, CD})` →
+    /// `[(AD, BUSINESS, BNAME), (CD, FIRM, FNAME)]`.
+    pub fn explain_attribute(&self, scheme: &str, pa: &str, sources: &SourceSet) -> Vec<LocalAttrRef> {
+        let Some(s) = self.schema.scheme(scheme) else {
+            return Vec::new();
+        };
+        let Some(m) = s.mapping(pa) else {
+            return Vec::new();
+        };
+        m.entries()
+            .iter()
+            .filter(|e| {
+                self.registry
+                    .lookup(&e.database)
+                    .is_some_and(|id| sources.contains(id))
+            })
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::AttributeMapping;
+    use crate::scheme::PolygenScheme;
+
+    fn dict() -> DataDictionary {
+        let mut d = DataDictionary::new();
+        d.intern_source("AD");
+        d.intern_source("PD");
+        d.intern_source("CD");
+        d.schema_mut().push(PolygenScheme::new(
+            "PORGANIZATION",
+            vec![(
+                "ONAME",
+                AttributeMapping::of(&[
+                    ("AD", "BUSINESS", "BNAME"),
+                    ("PD", "CORPORATION", "CNAME"),
+                    ("CD", "FIRM", "FNAME"),
+                ]),
+            )],
+        ));
+        d
+    }
+
+    #[test]
+    fn credibility_defaults_and_ordering() {
+        let mut d = dict();
+        let ad = d.registry().lookup("AD").unwrap();
+        let cd = d.registry().lookup("CD").unwrap();
+        assert_eq!(d.credibility(ad), 0.5);
+        d.set_credibility(ad, 0.9);
+        d.set_credibility(cd, 0.4);
+        let set = SourceSet::from_ids([ad, cd]);
+        assert_eq!(d.most_credible(&set), Some(ad));
+        assert_eq!(d.most_credible(&SourceSet::empty()), None);
+    }
+
+    #[test]
+    fn most_credible_tie_breaks_on_lowest_id() {
+        let d = dict();
+        let ad = d.registry().lookup("AD").unwrap();
+        let pd = d.registry().lookup("PD").unwrap();
+        let set = SourceSet::from_ids([pd, ad]);
+        assert_eq!(d.most_credible(&set), Some(ad));
+    }
+
+    #[test]
+    fn explain_attribute_maps_tags_to_triplets() {
+        let d = dict();
+        let ad = d.registry().lookup("AD").unwrap();
+        let cd = d.registry().lookup("CD").unwrap();
+        let got = d.explain_attribute("PORGANIZATION", "ONAME", &SourceSet::from_ids([ad, cd]));
+        let shown: Vec<String> = got.iter().map(|e| e.to_string()).collect();
+        assert_eq!(
+            shown,
+            vec!["(AD, BUSINESS, BNAME)", "(CD, FIRM, FNAME)"]
+        );
+        assert!(d
+            .explain_attribute("NOPE", "ONAME", &SourceSet::empty())
+            .is_empty());
+        assert!(d
+            .explain_attribute("PORGANIZATION", "NOPE", &SourceSet::empty())
+            .is_empty());
+    }
+}

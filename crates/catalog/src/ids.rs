@@ -1,0 +1,98 @@
+//! Naming coordinates of the federation.
+//!
+//! §II: "Let PA be a polygen attribute in a polygen scheme P, LS a local
+//! scheme in a local database LD, and LA a local attribute in LS." The
+//! attribute-mapping relationships take the form `(database, relation,
+//! attribute)`; [`LocalAttrRef`] is that triplet.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A fully qualified local attribute: `(LD, LS, LA)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LocalAttrRef {
+    /// Local database name (LD), e.g. `"AD"`.
+    pub database: Arc<str>,
+    /// Local scheme / relation name (LS), e.g. `"BUSINESS"`.
+    pub relation: Arc<str>,
+    /// Local attribute name (LA), e.g. `"BNAME"`.
+    pub attribute: Arc<str>,
+}
+
+impl LocalAttrRef {
+    /// Build a triplet.
+    pub fn new(database: &str, relation: &str, attribute: &str) -> Self {
+        LocalAttrRef {
+            database: Arc::from(database),
+            relation: Arc::from(relation),
+            attribute: Arc::from(attribute),
+        }
+    }
+
+    /// Does this triplet live in the given local relation?
+    pub fn in_relation(&self, database: &str, relation: &str) -> bool {
+        self.database.as_ref() == database && self.relation.as_ref() == relation
+    }
+}
+
+impl fmt::Display for LocalAttrRef {
+    /// The paper's notation: `(AD, BUSINESS, BNAME)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.database, self.relation, self.attribute)
+    }
+}
+
+/// A fully qualified local relation: `(LD, LS)` — the unit of Retrieve.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LocalRelRef {
+    /// Local database name.
+    pub database: Arc<str>,
+    /// Local relation name.
+    pub relation: Arc<str>,
+}
+
+impl LocalRelRef {
+    /// Build a pair.
+    pub fn new(database: &str, relation: &str) -> Self {
+        LocalRelRef {
+            database: Arc::from(database),
+            relation: Arc::from(relation),
+        }
+    }
+}
+
+impl fmt::Display for LocalRelRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.database, self.relation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let r = LocalAttrRef::new("AD", "BUSINESS", "BNAME");
+        assert_eq!(r.to_string(), "(AD, BUSINESS, BNAME)");
+        assert_eq!(LocalRelRef::new("AD", "BUSINESS").to_string(), "AD.BUSINESS");
+    }
+
+    #[test]
+    fn in_relation_checks_both_parts() {
+        let r = LocalAttrRef::new("AD", "BUSINESS", "BNAME");
+        assert!(r.in_relation("AD", "BUSINESS"));
+        assert!(!r.in_relation("AD", "CAREER"));
+        assert!(!r.in_relation("PD", "BUSINESS"));
+    }
+
+    #[test]
+    fn equality_and_hash() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(LocalAttrRef::new("AD", "BUSINESS", "BNAME"));
+        set.insert(LocalAttrRef::new("AD", "BUSINESS", "BNAME"));
+        set.insert(LocalAttrRef::new("CD", "FIRM", "FNAME"));
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,40 @@
+//! # polygen-catalog — schema integration metadata
+//!
+//! The paper assumes "schema integration has been performed, and the
+//! attribute mapping information is stored in the polygen schema" (§I).
+//! This crate is that stored information plus the CIS Data Dictionary of
+//! Figure 1:
+//!
+//! * [`ids`] — `(LD, LS, LA)` triplets and `(LD, LS)` relation references.
+//! * [`mapping`] — `MA` sets (one polygen attribute's local backings).
+//! * [`scheme`] / [`schema`] — polygen schemes `P = {(PAi, MAi)}` and the
+//!   schema `{P1, …, PN}`, with the reverse `PA()` lookup of Figure 4.
+//! * [`domain`] — the resolved domain-mismatch rules applied at retrieval.
+//! * [`dictionary`] — registry + schema + domains + source credibility,
+//!   and §IV's tag-to-triplet explanation.
+//! * [`scenario`] — the paper's complete MIT scenario: three local
+//!   databases (AD, PD, CD) with the exact Section IV data, the
+//!   six-scheme polygen schema, and the FIRM.HQ domain mapping.
+
+pub mod dictionary;
+pub mod domain;
+pub mod ids;
+pub mod mapping;
+pub mod schema;
+pub mod scheme;
+pub mod scenario;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::dictionary::DataDictionary;
+    pub use crate::domain::{DomainMap, DomainRule};
+    pub use crate::ids::{LocalAttrRef, LocalRelRef};
+    pub use crate::mapping::AttributeMapping;
+    pub use crate::scenario::{self, Scenario};
+    pub use crate::schema::PolygenSchema;
+    pub use crate::scheme::PolygenScheme;
+}
+
+pub use dictionary::DataDictionary;
+pub use schema::PolygenSchema;
+pub use scheme::PolygenScheme;

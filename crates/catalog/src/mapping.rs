@@ -1,0 +1,140 @@
+//! Attribute mappings: `MA = {(LD, LS, LA) | …}` (§II).
+//!
+//! "Let MA be the set of local attributes corresponding to a PA." A polygen
+//! attribute backed by one triplet is *single-source* (the interpreter can
+//! push its operation to that LQP); one backed by several is
+//! *multi-source* (the interpreter must Retrieve each local relation and
+//! Merge — the PORGANIZATION case).
+
+use crate::ids::{LocalAttrRef, LocalRelRef};
+use std::fmt;
+
+/// The `MA` set of one polygen attribute. Entry order is meaningful: it is
+/// the order Retrieves are emitted and Merge folds (the paper's Table 3
+/// retrieves BUSINESS, CORPORATION, FIRM in catalog order).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AttributeMapping {
+    entries: Vec<LocalAttrRef>,
+}
+
+impl AttributeMapping {
+    /// Build from triplets.
+    pub fn new(entries: Vec<LocalAttrRef>) -> Self {
+        AttributeMapping { entries }
+    }
+
+    /// Convenience: build from `(db, rel, attr)` string triples.
+    pub fn of(triples: &[(&str, &str, &str)]) -> Self {
+        AttributeMapping {
+            entries: triples
+                .iter()
+                .map(|(d, r, a)| LocalAttrRef::new(d, r, a))
+                .collect(),
+        }
+    }
+
+    /// The triplets in catalog order.
+    pub fn entries(&self) -> &[LocalAttrRef] {
+        &self.entries
+    }
+
+    /// `MA` has exactly one element — the interpreter's single-source case.
+    pub fn single(&self) -> Option<&LocalAttrRef> {
+        match self.entries.as_slice() {
+            [only] => Some(only),
+            _ => None,
+        }
+    }
+
+    /// Number of local attributes backing the polygen attribute.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the mapping empty (an unmapped polygen attribute)?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The local attribute this polygen attribute maps to *within* a given
+    /// local relation, if any.
+    pub fn local_attr_in(&self, database: &str, relation: &str) -> Option<&LocalAttrRef> {
+        self.entries.iter().find(|e| e.in_relation(database, relation))
+    }
+
+    /// The distinct local relations touched by this mapping, in catalog
+    /// order — the Retrieve targets of the interpreter's multi-source case.
+    pub fn local_relations(&self) -> Vec<LocalRelRef> {
+        let mut out: Vec<LocalRelRef> = Vec::with_capacity(self.entries.len());
+        for e in &self.entries {
+            let r = LocalRelRef {
+                database: e.database.clone(),
+                relation: e.relation.clone(),
+            };
+            if !out.contains(&r) {
+                out.push(r);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for AttributeMapping {
+    /// The paper's notation: `{(AD, BUSINESS, BNAME), (PD, CORPORATION, CNAME)}`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oname() -> AttributeMapping {
+        AttributeMapping::of(&[
+            ("AD", "BUSINESS", "BNAME"),
+            ("PD", "CORPORATION", "CNAME"),
+            ("CD", "FIRM", "FNAME"),
+        ])
+    }
+
+    #[test]
+    fn single_vs_multi() {
+        assert!(oname().single().is_none());
+        let ceo = AttributeMapping::of(&[("CD", "FIRM", "CEO")]);
+        assert_eq!(ceo.single().unwrap().attribute.as_ref(), "CEO");
+        assert_eq!(oname().len(), 3);
+        assert!(!oname().is_empty());
+        assert!(AttributeMapping::default().is_empty());
+    }
+
+    #[test]
+    fn local_attr_in_relation() {
+        let m = oname();
+        assert_eq!(
+            m.local_attr_in("PD", "CORPORATION").unwrap().attribute.as_ref(),
+            "CNAME"
+        );
+        assert!(m.local_attr_in("PD", "FIRM").is_none());
+    }
+
+    #[test]
+    fn local_relations_in_catalog_order() {
+        let rels = oname().local_relations();
+        let names: Vec<String> = rels.iter().map(|r| r.to_string()).collect();
+        assert_eq!(names, vec!["AD.BUSINESS", "PD.CORPORATION", "CD.FIRM"]);
+    }
+
+    #[test]
+    fn display_matches_paper() {
+        let ceo = AttributeMapping::of(&[("CD", "FIRM", "CEO")]);
+        assert_eq!(ceo.to_string(), "{(CD, FIRM, CEO)}");
+    }
+}

@@ -1,0 +1,136 @@
+//! The polygen schema: "a set {P1, …, PN} of N polygen schemes" (§II).
+
+use crate::ids::LocalRelRef;
+use crate::scheme::PolygenScheme;
+
+/// A federation's full set of polygen schemes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PolygenSchema {
+    schemes: Vec<PolygenScheme>,
+}
+
+impl PolygenSchema {
+    /// Build from schemes.
+    pub fn new(schemes: Vec<PolygenScheme>) -> Self {
+        PolygenSchema { schemes }
+    }
+
+    /// Add a scheme.
+    pub fn push(&mut self, scheme: PolygenScheme) {
+        self.schemes.push(scheme);
+    }
+
+    /// All schemes.
+    pub fn schemes(&self) -> &[PolygenScheme] {
+        &self.schemes
+    }
+
+    /// Look up a scheme by name — the interpreter's `LHR ∈ P` test.
+    pub fn scheme(&self, name: &str) -> Option<&PolygenScheme> {
+        self.schemes.iter().find(|s| s.name() == name)
+    }
+
+    /// Does a relation name denote a polygen scheme?
+    pub fn contains(&self, name: &str) -> bool {
+        self.scheme(name).is_some()
+    }
+
+    /// Candidate *local* column names a polygen attribute may appear
+    /// under, across all schemes. The executor uses this to resolve an
+    /// IOM's polygen attribute (e.g. `ONAME`) against an intermediate
+    /// relation whose columns still carry local names (e.g. `BNAME` from a
+    /// raw CAREER retrieve) — the paper freely mixes the two namespaces in
+    /// Tables 3/5/7.
+    pub fn local_candidates(&self, pa: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        for s in &self.schemes {
+            if let Some(m) = s.mapping(pa) {
+                for e in m.entries() {
+                    let name = e.attribute.to_string();
+                    if !out.contains(&name) {
+                        out.push(name);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Every local relation referenced anywhere in the schema.
+    pub fn all_local_relations(&self) -> Vec<LocalRelRef> {
+        let mut out = Vec::new();
+        for s in &self.schemes {
+            for r in s.local_relations() {
+                if !out.contains(&r) {
+                    out.push(r);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::AttributeMapping;
+
+    fn schema() -> PolygenSchema {
+        PolygenSchema::new(vec![
+            PolygenScheme::new(
+                "PCAREER",
+                vec![
+                    ("AID#", AttributeMapping::of(&[("AD", "CAREER", "AID#")])),
+                    ("ONAME", AttributeMapping::of(&[("AD", "CAREER", "BNAME")])),
+                ],
+            ),
+            PolygenScheme::new(
+                "PORGANIZATION",
+                vec![(
+                    "ONAME",
+                    AttributeMapping::of(&[
+                        ("AD", "BUSINESS", "BNAME"),
+                        ("CD", "FIRM", "FNAME"),
+                    ]),
+                )],
+            ),
+        ])
+    }
+
+    #[test]
+    fn scheme_lookup() {
+        let s = schema();
+        assert!(s.contains("PCAREER"));
+        assert!(!s.contains("CAREER"));
+        assert_eq!(s.scheme("PORGANIZATION").unwrap().degree(), 1);
+    }
+
+    #[test]
+    fn local_candidates_dedup_across_schemes() {
+        let s = schema();
+        let cands = s.local_candidates("ONAME");
+        assert_eq!(cands, vec!["BNAME", "FNAME"]);
+        assert!(s.local_candidates("NOPE").is_empty());
+    }
+
+    #[test]
+    fn all_local_relations() {
+        let rels: Vec<String> = schema()
+            .all_local_relations()
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        assert_eq!(rels, vec!["AD.CAREER", "AD.BUSINESS", "CD.FIRM"]);
+    }
+
+    #[test]
+    fn push_extends() {
+        let mut s = schema();
+        s.push(PolygenScheme::new(
+            "PX",
+            vec![("A", AttributeMapping::of(&[("AD", "X", "A")]))],
+        ));
+        assert!(s.contains("PX"));
+        assert_eq!(s.schemes().len(), 3);
+    }
+}

@@ -1,0 +1,266 @@
+//! Polygen schemes: `P = ((PA1, MA1), …, (PAn, MAn))` (§II).
+//!
+//! A polygen scheme pairs each polygen attribute with its attribute
+//! mapping. "Note that P contains the mapping information between a
+//! polygen scheme and the corresponding local relational schemes. In
+//! contrast, p [the polygen relation] contains the actual time-varying
+//! data and their originating sources."
+
+use crate::ids::{LocalAttrRef, LocalRelRef};
+use crate::mapping::AttributeMapping;
+use std::fmt;
+use std::sync::Arc;
+
+/// One polygen scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolygenScheme {
+    name: Arc<str>,
+    attrs: Vec<(Arc<str>, AttributeMapping)>,
+    /// Primary-key polygen attribute (drives the Outer Natural Primary
+    /// Join during Merge).
+    key: Arc<str>,
+}
+
+impl PolygenScheme {
+    /// Build a scheme; the first listed attribute is the default key.
+    pub fn new(name: &str, attrs: Vec<(&str, AttributeMapping)>) -> Self {
+        assert!(!attrs.is_empty(), "polygen scheme needs attributes");
+        let key = Arc::from(attrs[0].0);
+        PolygenScheme {
+            name: Arc::from(name),
+            attrs: attrs
+                .into_iter()
+                .map(|(a, m)| (Arc::from(a), m))
+                .collect(),
+            key,
+        }
+    }
+
+    /// Override the primary-key attribute.
+    pub fn with_key(mut self, key: &str) -> Self {
+        assert!(
+            self.attrs.iter().any(|(a, _)| a.as_ref() == key),
+            "key must be a scheme attribute"
+        );
+        self.key = Arc::from(key);
+        self
+    }
+
+    /// Scheme name (e.g. `PORGANIZATION`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Primary-key polygen attribute name.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// Ordered polygen attribute names.
+    pub fn attr_names(&self) -> impl Iterator<Item = &str> {
+        self.attrs.iter().map(|(a, _)| a.as_ref())
+    }
+
+    /// The `(PA, MA)` pairs.
+    pub fn attrs(&self) -> &[(Arc<str>, AttributeMapping)] {
+        &self.attrs
+    }
+
+    /// Number of polygen attributes.
+    pub fn degree(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The mapping of one polygen attribute.
+    pub fn mapping(&self, pa: &str) -> Option<&AttributeMapping> {
+        self.attrs
+            .iter()
+            .find(|(a, _)| a.as_ref() == pa)
+            .map(|(_, m)| m)
+    }
+
+    /// Does the scheme define this polygen attribute?
+    pub fn contains(&self, pa: &str) -> bool {
+        self.mapping(pa).is_some()
+    }
+
+    /// Every distinct local relation backing *any* attribute of the
+    /// scheme, in catalog order. For PORGANIZATION this is
+    /// `[AD.BUSINESS, PD.CORPORATION, CD.FIRM]` — the Retrieve + Merge
+    /// list of the interpreter's multi-source case.
+    pub fn local_relations(&self) -> Vec<LocalRelRef> {
+        let mut out = Vec::new();
+        for (_, m) in &self.attrs {
+            for r in m.local_relations() {
+                if !out.contains(&r) {
+                    out.push(r);
+                }
+            }
+        }
+        out
+    }
+
+    /// Is the scheme materialized by exactly one local relation? If so,
+    /// return it (the interpreter's single-source case at scheme level).
+    pub fn single_local_relation(&self) -> Option<LocalRelRef> {
+        let rels = self.local_relations();
+        match rels.as_slice() {
+            [only] => Some(only.clone()),
+            _ => None,
+        }
+    }
+
+    /// Map a polygen attribute to its local attribute *within* one local
+    /// relation.
+    pub fn local_attr_of(&self, pa: &str, db: &str, rel: &str) -> Option<&LocalAttrRef> {
+        self.mapping(pa)?.local_attr_in(db, rel)
+    }
+
+    /// Reverse lookup: the polygen attribute corresponding to a local
+    /// attribute — the paper's `PA(local scheme, local attr)` function of
+    /// Figure 4 (footnote 12), used "to undo the pass one work".
+    pub fn polygen_attr_of(&self, db: &str, rel: &str, local_attr: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(_, m)| {
+                m.entries()
+                    .iter()
+                    .any(|e| e.in_relation(db, rel) && e.attribute.as_ref() == local_attr)
+            })
+            .map(|(a, _)| a.as_ref())
+    }
+
+    /// For a retrieved local relation, the positional relabeling of its
+    /// columns into polygen attribute names (columns with no mapping keep
+    /// their local names). `local_columns` is the retrieved relation's
+    /// attribute list.
+    pub fn relabel_columns(&self, db: &str, rel: &str, local_columns: &[&str]) -> Vec<String> {
+        local_columns
+            .iter()
+            .map(|c| {
+                self.polygen_attr_of(db, rel, c)
+                    .map_or_else(|| (*c).to_string(), str::to_string)
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for PolygenScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, (a, _)) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if a == &self.key {
+                write!(f, "{a}*")?;
+            } else {
+                write!(f, "{a}")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn porganization() -> PolygenScheme {
+        PolygenScheme::new(
+            "PORGANIZATION",
+            vec![
+                (
+                    "ONAME",
+                    AttributeMapping::of(&[
+                        ("AD", "BUSINESS", "BNAME"),
+                        ("PD", "CORPORATION", "CNAME"),
+                        ("CD", "FIRM", "FNAME"),
+                    ]),
+                ),
+                (
+                    "INDUSTRY",
+                    AttributeMapping::of(&[
+                        ("AD", "BUSINESS", "IND"),
+                        ("PD", "CORPORATION", "TRADE"),
+                    ]),
+                ),
+                ("CEO", AttributeMapping::of(&[("CD", "FIRM", "CEO")])),
+                (
+                    "HEADQUARTERS",
+                    AttributeMapping::of(&[
+                        ("PD", "CORPORATION", "STATE"),
+                        ("CD", "FIRM", "HQ"),
+                    ]),
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn key_defaults_to_first_attribute() {
+        assert_eq!(porganization().key(), "ONAME");
+        let rekeyed = porganization().with_key("CEO");
+        assert_eq!(rekeyed.key(), "CEO");
+    }
+
+    #[test]
+    fn local_relations_in_catalog_order() {
+        let rels: Vec<String> = porganization()
+            .local_relations()
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        assert_eq!(rels, vec!["AD.BUSINESS", "PD.CORPORATION", "CD.FIRM"]);
+        assert!(porganization().single_local_relation().is_none());
+    }
+
+    #[test]
+    fn polygen_attr_reverse_lookup() {
+        let p = porganization();
+        assert_eq!(p.polygen_attr_of("AD", "BUSINESS", "BNAME"), Some("ONAME"));
+        assert_eq!(p.polygen_attr_of("PD", "CORPORATION", "TRADE"), Some("INDUSTRY"));
+        assert_eq!(p.polygen_attr_of("CD", "FIRM", "HQ"), Some("HEADQUARTERS"));
+        assert_eq!(p.polygen_attr_of("CD", "FIRM", "NOPE"), None);
+    }
+
+    #[test]
+    fn relabel_columns_for_merge() {
+        let p = porganization();
+        assert_eq!(
+            p.relabel_columns("AD", "BUSINESS", &["BNAME", "IND"]),
+            vec!["ONAME", "INDUSTRY"]
+        );
+        assert_eq!(
+            p.relabel_columns("CD", "FIRM", &["FNAME", "CEO", "HQ"]),
+            vec!["ONAME", "CEO", "HEADQUARTERS"]
+        );
+        // Unmapped columns keep their local name.
+        assert_eq!(
+            p.relabel_columns("CD", "FIRM", &["FNAME", "EXTRA"]),
+            vec!["ONAME", "EXTRA"]
+        );
+    }
+
+    #[test]
+    fn display_marks_key() {
+        let shown = porganization().to_string();
+        assert!(shown.starts_with("PORGANIZATION(ONAME*"));
+    }
+
+    #[test]
+    fn mapping_lookup() {
+        let p = porganization();
+        assert_eq!(p.mapping("CEO").unwrap().len(), 1);
+        assert!(p.contains("HEADQUARTERS"));
+        assert!(!p.contains("PROFIT"));
+        assert_eq!(p.degree(), 4);
+        assert_eq!(
+            p.local_attr_of("ONAME", "PD", "CORPORATION")
+                .unwrap()
+                .attribute
+                .as_ref(),
+            "CNAME"
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Join — derived operator: "Join and Select are defined through Restrict,
+//! \[so\] they also update t(i)" (§II).
+//!
+//! A θ-join is the restriction of a Cartesian product; it is evaluated here
+//! without materializing the product, with a hash-join fast path for
+//! equality (the perf-book's "improve the algorithm first" advice — the
+//! paper's own PQP would nest loops).
+//!
+//! [`equi_join_coalesced`] additionally coalesces the two join columns into
+//! a single column: this is exactly how the paper *prints* joins — Table 5
+//! has one `AID#` column, Table 7 one `ONAME` column whose origin sets are
+//! the unions of the two join attributes' origins.
+
+use crate::algebra::coalesce::{coalesce, ConflictPolicy};
+use crate::error::PolygenError;
+use crate::relation::PolygenRelation;
+use crate::tuple::{self, PolyTuple};
+use polygen_flat::value::{Cmp, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// `p1 [x θ y] p2` — θ-join with the Restrict tag update: every cell of a
+/// joined tuple gains `t1[x](o) ∪ t2[y](o)` in its intermediate set.
+pub fn theta_join(
+    p1: &PolygenRelation,
+    p2: &PolygenRelation,
+    x: &str,
+    cmp: Cmp,
+    y: &str,
+) -> Result<PolygenRelation, PolygenError> {
+    let xi = p1.schema().index_of(x)?.0;
+    let yi = p2.schema().index_of(y)?.0;
+    let schema = Arc::new(p1.schema().concat(
+        p2.schema(),
+        &format!("{}x{}", p1.name(), p2.name()),
+    )?);
+    let mut tuples: Vec<PolyTuple> = Vec::new();
+    let mut emit = |a: &PolyTuple, b: &PolyTuple| {
+        let mut t = Vec::with_capacity(a.len() + b.len());
+        t.extend(a.iter().cloned());
+        t.extend(b.iter().cloned());
+        let mediators = a[xi].origin.union(&b[yi].origin);
+        tuple::add_intermediate_all(&mut t, &mediators);
+        tuples.push(t);
+    };
+    if cmp == Cmp::Eq {
+        let mut index: HashMap<&Value, Vec<&PolyTuple>> = HashMap::with_capacity(p2.len());
+        for b in p2.tuples() {
+            if !b[yi].is_nil() {
+                index.entry(&b[yi].datum).or_default().push(b);
+            }
+        }
+        for a in p1.tuples() {
+            if a[xi].is_nil() {
+                continue;
+            }
+            if let Some(matches) = index.get(&a[xi].datum) {
+                for b in matches {
+                    if a[xi].datum.satisfies(Cmp::Eq, &b[yi].datum) {
+                        emit(a, b);
+                    }
+                }
+            }
+            // Mixed numeric types (Int = Float) do not share hash buckets.
+            if matches!(a[xi].datum, Value::Int(_) | Value::Float(_)) {
+                for b in p2.tuples() {
+                    if std::mem::discriminant(&a[xi].datum)
+                        != std::mem::discriminant(&b[yi].datum)
+                        && a[xi].datum.satisfies(Cmp::Eq, &b[yi].datum)
+                    {
+                        emit(a, b);
+                    }
+                }
+            }
+        }
+    } else {
+        for a in p1.tuples() {
+            for b in p2.tuples() {
+                if a[xi].datum.satisfies(cmp, &b[yi].datum) {
+                    emit(a, b);
+                }
+            }
+        }
+    }
+    PolygenRelation::from_tuples(schema, tuples)
+}
+
+/// Equi-join that coalesces the two join columns into one column named
+/// `out` (defaulting callers typically pass the right side's polygen
+/// name). The coalesce can never conflict: joined tuples agree on the join
+/// data by construction.
+pub fn equi_join_coalesced(
+    p1: &PolygenRelation,
+    p2: &PolygenRelation,
+    x: &str,
+    y: &str,
+    out: &str,
+) -> Result<PolygenRelation, PolygenError> {
+    let joined = theta_join(p1, p2, x, Cmp::Eq, y)?;
+    let yi_joined = p1.degree() + p2.schema().index_of(y)?.0;
+    let left_name = joined.schema().attr_at(p1.schema().index_of(x)?.0).to_string();
+    let right_name = joined.schema().attr_at(yi_joined).to_string();
+    coalesce(&joined, &left_name, &right_name, out, ConflictPolicy::Strict)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceId;
+    use polygen_flat::relation::Relation;
+    use polygen_flat::vals;
+
+    fn sid(i: u16) -> SourceId {
+        SourceId(i)
+    }
+
+    fn alumnus() -> PolygenRelation {
+        let f = Relation::build("ALUMNUS", &["AID#", "ANAME"])
+            .vrow(vals![123, "Bob Swanson"])
+            .vrow(vals![234, "Stu Madnick"])
+            .finish()
+            .unwrap();
+        PolygenRelation::from_flat(&f, sid(0))
+    }
+
+    fn career() -> PolygenRelation {
+        let f = Relation::build("CAREER", &["AID#", "BNAME"])
+            .vrow(vals![123, "Genentech"])
+            .vrow(vals![234, "Langley Castle"])
+            .vrow(vals![234, "MIT"])
+            .vrow(vals![999, "Nobody"])
+            .finish()
+            .unwrap();
+        PolygenRelation::from_flat(&f, sid(0))
+    }
+
+    #[test]
+    fn join_updates_every_cells_intermediates() {
+        let j = theta_join(&alumnus(), &career(), "AID#", Cmp::Eq, "AID#").unwrap();
+        assert_eq!(j.len(), 3);
+        for t in j.tuples() {
+            for c in t {
+                // Both sides originate from source 0; Table 5's "redundant"
+                // {AD} intermediates appear exactly like this.
+                assert!(c.intermediate.contains(sid(0)));
+            }
+        }
+    }
+
+    #[test]
+    fn join_mediators_come_from_both_sides() {
+        let left = alumnus();
+        let mut right = career();
+        for t in right.tuples_mut() {
+            for c in t.iter_mut() {
+                c.origin = crate::source::SourceSet::singleton(sid(1));
+            }
+        }
+        let j = theta_join(&left, &right, "AID#", Cmp::Eq, "AID#").unwrap();
+        for t in j.tuples() {
+            for c in t {
+                assert!(c.intermediate.contains(sid(0)));
+                assert!(c.intermediate.contains(sid(1)));
+            }
+        }
+    }
+
+    #[test]
+    fn coalesced_join_merges_key_columns() {
+        let j = equi_join_coalesced(&alumnus(), &career(), "AID#", "AID#", "AID#").unwrap();
+        assert_eq!(j.degree(), 3);
+        let names: Vec<&str> = j.schema().attrs().iter().map(|a| a.as_ref()).collect();
+        assert_eq!(names, vec!["AID#", "ANAME", "BNAME"]);
+        let key = j.cell("ANAME", &Value::str("Bob Swanson"), "AID#").unwrap();
+        assert_eq!(key.datum, Value::int(123));
+        assert!(key.origin.contains(sid(0)));
+    }
+
+    #[test]
+    fn theta_join_matches_restricted_product() {
+        let via_join = theta_join(&alumnus(), &career(), "AID#", Cmp::Lt, "AID#").unwrap();
+        let prod = crate::algebra::product(&alumnus(), &career()).unwrap();
+        let via_restrict =
+            crate::algebra::restrict(&prod, "AID#", Cmp::Lt, "CAREER.AID#").unwrap();
+        assert!(via_join.tagged_set_eq(&via_restrict));
+    }
+
+    #[test]
+    fn nil_keys_do_not_join() {
+        let mut left = alumnus();
+        left.tuples_mut()[0][0].datum = Value::Null;
+        let j = theta_join(&left, &career(), "AID#", Cmp::Eq, "AID#").unwrap();
+        assert_eq!(j.len(), 2); // only AID# 234 rows remain
+    }
+
+    #[test]
+    fn strip_commutes_with_join() {
+        let tagged_side = theta_join(&alumnus(), &career(), "AID#", Cmp::Eq, "AID#")
+            .unwrap()
+            .strip();
+        let flat_side = polygen_flat::algebra::theta_join(
+            &alumnus().strip(),
+            &career().strip(),
+            "AID#",
+            Cmp::Eq,
+            "AID#",
+        )
+        .unwrap();
+        assert!(tagged_side.set_eq(&flat_side));
+    }
+}

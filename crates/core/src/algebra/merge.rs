@@ -1,0 +1,215 @@
+//! Merge — the operator that materializes a multi-source polygen scheme.
+//!
+//! §II: "Merge extends Outer Natural Total Join to include more than two
+//! polygen relations. It can be shown that the order in which Outer
+//! Natural Total Joins are performed over a set of polygen relations in a
+//! Merge is immaterial."
+//!
+//! Operands must already carry polygen attribute names (the interpreter's
+//! Retrieve→relabel step does this: BUSINESS(BNAME, IND) arrives here as
+//! (ONAME, INDUSTRY)). The fold is a left fold of ONTJ on the polygen
+//! scheme's primary key; order-insensitivity (up to column order) is
+//! property-tested in the crate's proptest suite.
+
+use crate::algebra::coalesce::{CoalesceConflict, ConflictPolicy};
+use crate::algebra::natural::outer_natural_total_join;
+use crate::error::PolygenError;
+use crate::relation::PolygenRelation;
+
+/// Merge `relations` on the shared primary-key attribute `key`.
+///
+/// Returns the merged relation plus any conflicts the `policy` resolved.
+/// A single operand merges to itself; zero operands is an error.
+pub fn merge(
+    relations: &[PolygenRelation],
+    key: &str,
+    policy: ConflictPolicy,
+) -> Result<(PolygenRelation, Vec<CoalesceConflict>), PolygenError> {
+    let (first, rest) = relations.split_first().ok_or(PolygenError::EmptyMerge)?;
+    for rel in relations {
+        if !rel.schema().contains(key) {
+            return Err(PolygenError::MissingMergeKey {
+                relation: rel.name().to_string(),
+                key: key.to_string(),
+            });
+        }
+    }
+    let mut acc = first.clone();
+    let mut conflicts = Vec::new();
+    for next in rest {
+        let (merged, mut found) = outer_natural_total_join(&acc, next, key, policy)?;
+        conflicts.append(&mut found);
+        acc = merged;
+    }
+    Ok((acc, conflicts))
+}
+
+/// Merge with a caller-supplied conflict resolver (see
+/// [`outer_natural_total_join_with`](crate::algebra::natural::outer_natural_total_join_with)).
+pub fn merge_with<F>(
+    relations: &[PolygenRelation],
+    key: &str,
+    mut resolve: F,
+) -> Result<PolygenRelation, PolygenError>
+where
+    F: FnMut(&str, usize, &crate::cell::Cell, &crate::cell::Cell)
+        -> Result<crate::cell::Cell, PolygenError>,
+{
+    let (first, rest) = relations.split_first().ok_or(PolygenError::EmptyMerge)?;
+    for rel in relations {
+        if !rel.schema().contains(key) {
+            return Err(PolygenError::MissingMergeKey {
+                relation: rel.name().to_string(),
+                key: key.to_string(),
+            });
+        }
+    }
+    let mut acc = first.clone();
+    for next in rest {
+        acc = crate::algebra::natural::outer_natural_total_join_with(&acc, next, key, &mut resolve)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::project::project;
+    use crate::source::SourceId;
+    use polygen_flat::relation::Relation;
+    use polygen_flat::value::Value;
+
+    fn sid(i: u16) -> SourceId {
+        SourceId(i)
+    }
+
+    fn rel(name: &str, attrs: &[&str], rows: &[&[&str]], src: u16) -> PolygenRelation {
+        let mut b = Relation::build(name, attrs).key(&[attrs[0]]);
+        for r in rows {
+            b = b.row(r);
+        }
+        PolygenRelation::from_flat(&b.finish().unwrap(), sid(src))
+    }
+
+    fn three_sources() -> [PolygenRelation; 3] {
+        [
+            rel(
+                "BUSINESS",
+                &["ONAME", "INDUSTRY"],
+                &[&["IBM", "High Tech"], &["MIT", "Education"]],
+                0,
+            ),
+            rel(
+                "CORPORATION",
+                &["ONAME", "INDUSTRY", "HEADQUARTERS"],
+                &[&["IBM", "High Tech", "NY"], &["Apple", "High Tech", "CA"]],
+                1,
+            ),
+            rel(
+                "FIRM",
+                &["ONAME", "CEO", "HEADQUARTERS"],
+                &[&["IBM", "John Ackers", "NY"], &["Apple", "John Sculley", "CA"]],
+                2,
+            ),
+        ]
+    }
+
+    /// Compare two merges ignoring column order: project both onto the
+    /// sorted union of attribute names.
+    fn eq_up_to_column_order(a: &PolygenRelation, b: &PolygenRelation) -> bool {
+        let mut attrs: Vec<&str> = a.schema().attrs().iter().map(|s| s.as_ref()).collect();
+        attrs.sort_unstable();
+        let mut battrs: Vec<&str> = b.schema().attrs().iter().map(|s| s.as_ref()).collect();
+        battrs.sort_unstable();
+        if attrs != battrs {
+            return false;
+        }
+        let pa = project(a, &attrs).unwrap();
+        let pb = project(b, &attrs).unwrap();
+        pa.tagged_set_eq(&pb)
+    }
+
+    #[test]
+    fn merge_of_three_has_union_of_keys_and_attrs() {
+        let rels = three_sources();
+        let (m, conflicts) = merge(&rels, "ONAME", ConflictPolicy::Strict).unwrap();
+        assert!(conflicts.is_empty());
+        assert_eq!(m.len(), 3); // IBM, MIT, Apple
+        let names: Vec<&str> = m.schema().attrs().iter().map(|a| a.as_ref()).collect();
+        assert_eq!(names, vec!["ONAME", "INDUSTRY", "HEADQUARTERS", "CEO"]);
+        // IBM known to all three sources.
+        let ibm = m.cell("ONAME", &Value::str("IBM"), "ONAME").unwrap();
+        assert_eq!(ibm.origin.len(), 3);
+        // MIT's CEO is nil with i = {AD}.
+        let mit_ceo = m.cell("ONAME", &Value::str("MIT"), "CEO").unwrap();
+        assert!(mit_ceo.is_nil());
+        assert!(mit_ceo.intermediate.contains(sid(0)));
+    }
+
+    #[test]
+    fn merge_order_is_immaterial() {
+        let r = three_sources();
+        let orders: [[usize; 3]; 6] = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        let baseline = merge(
+            &[r[0].clone(), r[1].clone(), r[2].clone()],
+            "ONAME",
+            ConflictPolicy::Strict,
+        )
+        .unwrap()
+        .0;
+        for ord in &orders[1..] {
+            let m = merge(
+                &[r[ord[0]].clone(), r[ord[1]].clone(), r[ord[2]].clone()],
+                "ONAME",
+                ConflictPolicy::Strict,
+            )
+            .unwrap()
+            .0;
+            assert!(
+                eq_up_to_column_order(&baseline, &m),
+                "order {ord:?} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn single_relation_merges_to_itself() {
+        let rels = three_sources();
+        let (m, _) = merge(&rels[..1], "ONAME", ConflictPolicy::Strict).unwrap();
+        assert!(m.tagged_set_eq(&rels[0]));
+    }
+
+    #[test]
+    fn empty_merge_and_missing_key_error() {
+        assert!(matches!(merge(&[], "K", ConflictPolicy::Strict), Err(PolygenError::EmptyMerge)));
+        let rels = three_sources();
+        assert!(matches!(
+            merge(&rels, "NOKEY", ConflictPolicy::Strict),
+            Err(PolygenError::MissingMergeKey { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_collects_conflicts() {
+        let mut rels = three_sources();
+        // CORPORATION disagrees with FIRM on Apple's HQ.
+        for t in rels[1].tuples_mut() {
+            if t[0].datum == Value::str("Apple") {
+                t[2].datum = Value::str("TX");
+            }
+        }
+        assert!(merge(&rels, "ONAME", ConflictPolicy::Strict).is_err());
+        let (m, conflicts) = merge(&rels, "ONAME", ConflictPolicy::PreferLeft).unwrap();
+        assert_eq!(conflicts.len(), 1);
+        let hq = m.cell("ONAME", &Value::str("Apple"), "HEADQUARTERS").unwrap();
+        assert_eq!(hq.datum, Value::str("TX"));
+        assert!(hq.intermediate.contains(sid(2)), "CD demoted to mediator");
+    }
+}

@@ -1,0 +1,215 @@
+//! Outer Natural Primary Join and Outer Natural Total Join (§II).
+//!
+//! "We define an Outer Natural Primary Join as an Outer Natural Join on the
+//! primary key of a polygen relation. … An Outer Natural Total Join is an
+//! Outer Natural Primary Join with all the other polygen attributes in the
+//! polygen relation coalesced as well."
+//!
+//! Both operands are expected to already use *polygen* attribute names
+//! (the Merge path relabels local attributes first — BUSINESS's `BNAME`
+//! becomes `ONAME` — so "the other polygen attributes" are simply the
+//! shared column names). The appendix's Tables A4→A5→A6 and A7→A8→A9 are
+//! exactly the three steps implemented here: outer join, key coalesce,
+//! remaining coalesces.
+
+use crate::algebra::coalesce::{coalesce_with_report, CoalesceConflict, ConflictPolicy};
+use crate::algebra::outer_join::outer_join;
+use crate::error::PolygenError;
+use crate::relation::PolygenRelation;
+
+/// The name the right operand's column `attr` received after schema
+/// concatenation (qualified only on collision).
+fn right_column_name(p1: &PolygenRelation, p2: &PolygenRelation, attr: &str) -> String {
+    if p1.schema().contains(attr) {
+        format!("{}.{}", p2.name(), attr)
+    } else {
+        attr.to_string()
+    }
+}
+
+/// Outer Natural Primary Join: outer join on the shared key attribute
+/// followed by a coalesce of the two key columns (Tables A5 / A8). The key
+/// coalesce cannot conflict: matched tuples agree on the key and unmatched
+/// tuples have one side `nil`.
+pub fn outer_natural_primary_join(
+    p1: &PolygenRelation,
+    p2: &PolygenRelation,
+    key: &str,
+) -> Result<PolygenRelation, PolygenError> {
+    let joined = outer_join(p1, p2, key, key)?;
+    let right_key = right_column_name(p1, p2, key);
+    let (rel, _) = coalesce_with_report(&joined, key, &right_key, key, ConflictPolicy::Strict)?;
+    Ok(rel)
+}
+
+/// Outer Natural Total Join: ONPJ plus a coalesce of every other shared
+/// polygen attribute (Tables A6 / A9 = Table 6). Conflicts among non-key
+/// attributes are governed by `policy`; the resolved conflicts are
+/// reported alongside the result.
+pub fn outer_natural_total_join(
+    p1: &PolygenRelation,
+    p2: &PolygenRelation,
+    key: &str,
+    policy: ConflictPolicy,
+) -> Result<(PolygenRelation, Vec<CoalesceConflict>), PolygenError> {
+    let shared: Vec<String> = p1
+        .schema()
+        .attrs()
+        .iter()
+        .filter(|a| a.as_ref() != key && p2.schema().contains(a))
+        .map(|a| a.to_string())
+        .collect();
+    let mut rel = outer_natural_primary_join(p1, p2, key)?;
+    let mut conflicts = Vec::new();
+    for attr in shared {
+        let right = format!("{}.{}", p2.name(), attr);
+        let (next, mut found) = coalesce_with_report(&rel, &attr, &right, &attr, policy)?;
+        conflicts.append(&mut found);
+        rel = next;
+    }
+    Ok((rel, conflicts))
+}
+
+/// ONTJ with a caller-supplied conflict resolver — the hook
+/// credibility-based resolution (`polygen-federation`) plugs into. The
+/// resolver sees `(attribute, tuple index, left cell, right cell)` for
+/// every genuine conflict and returns the replacement cell.
+pub fn outer_natural_total_join_with<F>(
+    p1: &PolygenRelation,
+    p2: &PolygenRelation,
+    key: &str,
+    mut resolve: F,
+) -> Result<PolygenRelation, PolygenError>
+where
+    F: FnMut(&str, usize, &crate::cell::Cell, &crate::cell::Cell)
+        -> Result<crate::cell::Cell, PolygenError>,
+{
+    let shared: Vec<String> = p1
+        .schema()
+        .attrs()
+        .iter()
+        .filter(|a| a.as_ref() != key && p2.schema().contains(a))
+        .map(|a| a.to_string())
+        .collect();
+    let mut rel = outer_natural_primary_join(p1, p2, key)?;
+    for attr in shared {
+        let right = format!("{}.{}", p2.name(), attr);
+        rel = crate::algebra::coalesce::coalesce_with(&rel, &attr, &right, &attr, |i, x, y| {
+            resolve(&attr, i, x, y)
+        })?;
+    }
+    Ok(rel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{SourceId, SourceSet};
+    use polygen_flat::relation::Relation;
+    use polygen_flat::value::Value;
+
+    fn sid(i: u16) -> SourceId {
+        SourceId(i)
+    }
+
+    /// A1 relabeled to polygen names: BUSINESS(ONAME, INDUSTRY) from AD.
+    fn business_p() -> PolygenRelation {
+        let f = Relation::build("BUSINESS", &["ONAME", "INDUSTRY"])
+            .key(&["ONAME"])
+            .row(&["Langley Castle", "Hotel"])
+            .row(&["IBM", "High Tech"])
+            .row(&["Genentech", "High Tech"])
+            .finish()
+            .unwrap();
+        PolygenRelation::from_flat(&f, sid(0))
+    }
+
+    /// A2 relabeled: CORPORATION(ONAME, INDUSTRY, HEADQUARTERS) from PD.
+    fn corporation_p() -> PolygenRelation {
+        let f = Relation::build("CORPORATION", &["ONAME", "INDUSTRY", "HEADQUARTERS"])
+            .key(&["ONAME"])
+            .row(&["IBM", "High Tech", "NY"])
+            .row(&["Apple", "High Tech", "CA"])
+            .finish()
+            .unwrap();
+        PolygenRelation::from_flat(&f, sid(1))
+    }
+
+    #[test]
+    fn onpj_coalesces_key_with_tag_union() {
+        let r = outer_natural_primary_join(&business_p(), &corporation_p(), "ONAME").unwrap();
+        // IBM appears once, keyed from both sources.
+        let ibm = r.cell("ONAME", &Value::str("IBM"), "ONAME").unwrap();
+        assert!(ibm.origin.contains(sid(0)) && ibm.origin.contains(sid(1)));
+        assert!(ibm.intermediate.contains(sid(0)) && ibm.intermediate.contains(sid(1)));
+        // Langley Castle is left-only; key keeps AD origin, {AD} mediator.
+        let lc = r
+            .cell("ONAME", &Value::str("Langley Castle"), "ONAME")
+            .unwrap();
+        assert_eq!(lc.origin, SourceSet::singleton(sid(0)));
+        assert_eq!(lc.intermediate, SourceSet::singleton(sid(0)));
+    }
+
+    #[test]
+    fn ontj_coalesces_all_shared_attrs() {
+        let (r, conflicts) = outer_natural_total_join(
+            &business_p(),
+            &corporation_p(),
+            "ONAME",
+            ConflictPolicy::Strict,
+        )
+        .unwrap();
+        assert!(conflicts.is_empty());
+        let names: Vec<&str> = r.schema().attrs().iter().map(|a| a.as_ref()).collect();
+        assert_eq!(names, vec!["ONAME", "INDUSTRY", "HEADQUARTERS"]);
+        // IBM INDUSTRY agrees on both sides → origin {AD, PD} (Table A6).
+        let ind = r.cell("ONAME", &Value::str("IBM"), "INDUSTRY").unwrap();
+        assert!(ind.origin.contains(sid(0)) && ind.origin.contains(sid(1)));
+        // Langley's HEADQUARTERS is nil padding with i = {AD}.
+        let hq = r
+            .cell("ONAME", &Value::str("Langley Castle"), "HEADQUARTERS")
+            .unwrap();
+        assert!(hq.is_nil());
+        assert!(hq.origin.is_empty());
+        assert_eq!(hq.intermediate, SourceSet::singleton(sid(0)));
+        // Apple is right-only: INDUSTRY comes verbatim from PD.
+        let apple_ind = r.cell("ONAME", &Value::str("Apple"), "INDUSTRY").unwrap();
+        assert_eq!(apple_ind.origin, SourceSet::singleton(sid(1)));
+    }
+
+    #[test]
+    fn ontj_conflict_honors_policy() {
+        let left = business_p();
+        let mut right = corporation_p();
+        // Disagree on IBM's industry.
+        for t in right.tuples_mut() {
+            if t[0].datum == Value::str("IBM") {
+                t[1].datum = Value::str("Mainframes");
+            }
+        }
+        let err = outer_natural_total_join(&left, &right, "ONAME", ConflictPolicy::Strict);
+        assert!(matches!(
+            err,
+            Err(PolygenError::CoalesceConflict { .. })
+        ));
+        let (r, conflicts) =
+            outer_natural_total_join(&left, &right, "ONAME", ConflictPolicy::PreferRight)
+                .unwrap();
+        assert_eq!(conflicts.len(), 1);
+        let ind = r.cell("ONAME", &Value::str("IBM"), "INDUSTRY").unwrap();
+        assert_eq!(ind.datum, Value::str("Mainframes"));
+        assert!(ind.intermediate.contains(sid(0)), "loser demoted");
+    }
+
+    #[test]
+    fn ontj_row_count_is_outer_union_of_keys() {
+        let (r, _) = outer_natural_total_join(
+            &business_p(),
+            &corporation_p(),
+            "ONAME",
+            ConflictPolicy::Strict,
+        )
+        .unwrap();
+        assert_eq!(r.len(), 4); // Langley, IBM, Genentech, Apple
+    }
+}

@@ -1,0 +1,169 @@
+//! Outer join — the substrate of the Outer Natural Joins and Merge.
+//!
+//! The paper adopts Date's outer join and defines its natural variants
+//! through Coalesce. Because "Join and Select are defined through Restrict"
+//! and the outer join's matched portion *is* a join, the restrict-style
+//! intermediate-tag update applies here too — the worked tables confirm it:
+//!
+//! * Table A4 (outer join of tagged BUSINESS and CORPORATION): matched
+//!   tuples' cells all carry `{AD, PD}` intermediates (both join
+//!   attributes' origins); unmatched tuples carry just their own side's
+//!   join-attribute origin; padding `nil` cells have origin `{}` and the
+//!   same intermediates as the rest of the tuple.
+//! * Tables A8/A9/6 are only derivable if the same update applies to the
+//!   second outer join (the printed A7 shows the tags *before* the update —
+//!   see `DESIGN.md`, "known discrepancies").
+
+use crate::cell::Cell;
+use crate::error::PolygenError;
+use crate::relation::PolygenRelation;
+use crate::tuple::{self, PolyTuple};
+use polygen_flat::value::Cmp;
+use std::sync::Arc;
+
+/// Full outer equi-join on `p1.x = p2.y`. `nil` keys never match.
+pub fn outer_join(
+    p1: &PolygenRelation,
+    p2: &PolygenRelation,
+    x: &str,
+    y: &str,
+) -> Result<PolygenRelation, PolygenError> {
+    let xi = p1.schema().index_of(x)?.0;
+    let yi = p2.schema().index_of(y)?.0;
+    let schema = Arc::new(p1.schema().concat(
+        p2.schema(),
+        &format!("{}x{}", p1.name(), p2.name()),
+    )?);
+    let mut tuples: Vec<PolyTuple> = Vec::new();
+    let mut right_matched = vec![false; p2.len()];
+    for a in p1.tuples() {
+        let mut matched = false;
+        for (bi, b) in p2.tuples().iter().enumerate() {
+            if a[xi].datum.satisfies(Cmp::Eq, &b[yi].datum) {
+                matched = true;
+                right_matched[bi] = true;
+                let mut t = Vec::with_capacity(a.len() + b.len());
+                t.extend(a.iter().cloned());
+                t.extend(b.iter().cloned());
+                let mediators = a[xi].origin.union(&b[yi].origin);
+                tuple::add_intermediate_all(&mut t, &mediators);
+                tuples.push(t);
+            }
+        }
+        if !matched {
+            // Left tuple survives alone: only its own join attribute
+            // mediated; padding cells carry origin {} and the same
+            // intermediates (Table A4's `nil, {}, {AD}`).
+            let mut t: PolyTuple = Vec::with_capacity(a.len() + p2.degree());
+            t.extend(a.iter().cloned());
+            let mediators = a[xi].origin.clone();
+            for _ in 0..p2.degree() {
+                t.push(Cell::nil_padding(mediators.clone()));
+            }
+            tuple::add_intermediate_all(&mut t[..a.len()], &mediators);
+            tuples.push(t);
+        }
+    }
+    for (bi, b) in p2.tuples().iter().enumerate() {
+        if !right_matched[bi] {
+            let mut t: PolyTuple = Vec::with_capacity(p1.degree() + b.len());
+            let mediators = b[yi].origin.clone();
+            for _ in 0..p1.degree() {
+                t.push(Cell::nil_padding(mediators.clone()));
+            }
+            t.extend(b.iter().cloned());
+            tuple::add_intermediate_all(&mut t[p1.degree()..], &mediators);
+            tuples.push(t);
+        }
+    }
+    PolygenRelation::from_tuples(schema, tuples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{SourceId, SourceSet};
+    use polygen_flat::relation::Relation;
+    use polygen_flat::value::Value;
+
+    fn sid(i: u16) -> SourceId {
+        SourceId(i)
+    }
+
+    /// Miniature of the paper's A1/A2 pair.
+    fn business() -> PolygenRelation {
+        let f = Relation::build("BUSINESS", &["BNAME", "IND"])
+            .row(&["IBM", "High Tech"])
+            .row(&["Genentech", "High Tech"])
+            .finish()
+            .unwrap();
+        PolygenRelation::from_flat(&f, sid(0)) // AD
+    }
+
+    fn corporation() -> PolygenRelation {
+        let f = Relation::build("CORPORATION", &["CNAME", "STATE"])
+            .row(&["IBM", "NY"])
+            .row(&["Apple", "CA"])
+            .finish()
+            .unwrap();
+        PolygenRelation::from_flat(&f, sid(1)) // PD
+    }
+
+    #[test]
+    fn matched_tuples_gain_both_origins_as_intermediates() {
+        let oj = outer_join(&business(), &corporation(), "BNAME", "CNAME").unwrap();
+        let ibm = oj.cell("BNAME", &Value::str("IBM"), "IND").unwrap();
+        assert!(ibm.intermediate.contains(sid(0)) && ibm.intermediate.contains(sid(1)));
+        let state = oj.cell("BNAME", &Value::str("IBM"), "STATE").unwrap();
+        assert_eq!(state.origin, SourceSet::singleton(sid(1)));
+        assert!(state.intermediate.contains(sid(0)));
+    }
+
+    #[test]
+    fn unmatched_left_padding_matches_table_a4() {
+        let oj = outer_join(&business(), &corporation(), "BNAME", "CNAME").unwrap();
+        let t = oj
+            .tuples()
+            .iter()
+            .find(|t| t[0].datum == Value::str("Genentech"))
+            .unwrap();
+        // Genentech row: left cells carry i = {AD}; padding cells are
+        // nil, {}, {AD}.
+        assert_eq!(t[0].intermediate, SourceSet::singleton(sid(0)));
+        assert!(t[2].is_nil());
+        assert!(t[2].origin.is_empty());
+        assert_eq!(t[2].intermediate, SourceSet::singleton(sid(0)));
+    }
+
+    #[test]
+    fn unmatched_right_symmetric() {
+        let oj = outer_join(&business(), &corporation(), "BNAME", "CNAME").unwrap();
+        let t = oj
+            .tuples()
+            .iter()
+            .find(|t| t[2].datum == Value::str("Apple"))
+            .unwrap();
+        assert!(t[0].is_nil() && t[0].origin.is_empty());
+        assert_eq!(t[0].intermediate, SourceSet::singleton(sid(1)));
+        assert_eq!(t[3].intermediate, SourceSet::singleton(sid(1)));
+    }
+
+    #[test]
+    fn cardinality_matches_flat_outer_join() {
+        let oj = outer_join(&business(), &corporation(), "BNAME", "CNAME").unwrap();
+        let flat = polygen_flat::algebra::outer_join(
+            &business().strip(),
+            &corporation().strip(),
+            "BNAME",
+            "CNAME",
+        )
+        .unwrap();
+        assert_eq!(oj.len(), flat.len());
+        assert!(oj.strip().set_eq(&flat));
+    }
+
+    #[test]
+    fn unknown_attr_errors() {
+        assert!(outer_join(&business(), &corporation(), "NOPE", "CNAME").is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! Cartesian product — second orthogonal primitive.
+//!
+//! §II: `(p1 × p2) = { t1 ⧺ t2 | t1 ∈ p1 and t2 ∈ p2 }` where `⧺` denotes
+//! concatenation. Tags pass through untouched: no source *mediates* a
+//! product, so neither the originating nor the intermediate portion
+//! changes. (It is the Restrict applied on top of a product — i.e. a Join —
+//! that updates intermediate tags.)
+
+use crate::error::PolygenError;
+use crate::relation::PolygenRelation;
+use std::sync::Arc;
+
+/// `p1 × p2` — concatenate every pair of tuples. Attribute-name collisions
+/// on the right are qualified as `<right-relation>.<attr>` by the schema
+/// concat rule.
+pub fn product(
+    p1: &PolygenRelation,
+    p2: &PolygenRelation,
+) -> Result<PolygenRelation, PolygenError> {
+    let schema = Arc::new(p1.schema().concat(
+        p2.schema(),
+        &format!("{}x{}", p1.name(), p2.name()),
+    )?);
+    let mut tuples = Vec::with_capacity(p1.len() * p2.len());
+    for a in p1.tuples() {
+        for b in p2.tuples() {
+            let mut t = Vec::with_capacity(a.len() + b.len());
+            t.extend(a.iter().cloned());
+            t.extend(b.iter().cloned());
+            tuples.push(t);
+        }
+    }
+    PolygenRelation::from_tuples(schema, tuples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceId;
+    use polygen_flat::relation::Relation;
+
+    fn tagged(name: &str, attr: &str, rows: &[&str], src: u16) -> PolygenRelation {
+        let mut b = Relation::build(name, &[attr]);
+        for r in rows {
+            b = b.row(&[r]);
+        }
+        PolygenRelation::from_flat(&b.finish().unwrap(), SourceId(src))
+    }
+
+    #[test]
+    fn cardinality_and_degree() {
+        let a = tagged("A", "X", &["1", "2"], 0);
+        let b = tagged("B", "Y", &["u", "v", "w"], 1);
+        let p = product(&a, &b).unwrap();
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.degree(), 2);
+    }
+
+    #[test]
+    fn tags_pass_through_untouched() {
+        let a = tagged("A", "X", &["1"], 0);
+        let b = tagged("B", "Y", &["u"], 1);
+        let p = product(&a, &b).unwrap();
+        let t = &p.tuples()[0];
+        assert!(t[0].origin.contains(SourceId(0)) && t[0].intermediate.is_empty());
+        assert!(t[1].origin.contains(SourceId(1)) && t[1].intermediate.is_empty());
+    }
+
+    #[test]
+    fn name_collisions_qualified() {
+        let a = tagged("A", "X", &["1"], 0);
+        let b = tagged("B", "X", &["u"], 1);
+        let p = product(&a, &b).unwrap();
+        assert!(p.schema().contains("X"));
+        assert!(p.schema().contains("B.X"));
+    }
+
+    #[test]
+    fn empty_operand_gives_empty_product() {
+        let a = tagged("A", "X", &[], 0);
+        let b = tagged("B", "Y", &["u"], 1);
+        assert!(product(&a, &b).unwrap().is_empty());
+    }
+
+    #[test]
+    fn strip_commutes_with_product() {
+        let a = tagged("A", "X", &["1", "2"], 0);
+        let b = tagged("B", "Y", &["u"], 1);
+        let tagged_side = product(&a, &b).unwrap().strip();
+        let flat_side = polygen_flat::algebra::product(&a.strip(), &b.strip()).unwrap();
+        assert!(tagged_side.set_eq(&flat_side));
+    }
+}

@@ -1,0 +1,164 @@
+//! Semi-join — an *extension* operator, the positive companion of
+//! [`anti_join`](crate::algebra::anti_join::anti_join).
+//!
+//! `p1 ⋉ [x = y] p2` keeps the `p1` tuples whose `x` datum matches some
+//! `y` in `p2`, without growing columns. Tag discipline follows the
+//! Restrict logic: the selection of a surviving tuple was mediated by its
+//! own `x` origins *and* the origins of the matching `y` cells — so both
+//! are added to every kept cell's intermediate set. (A semi-join is
+//! `project(join)` back onto `p1`'s attributes; that derivation adds
+//! exactly these mediators, which the unit tests verify.)
+
+use crate::error::PolygenError;
+use crate::relation::PolygenRelation;
+use crate::source::SourceSet;
+use crate::tuple;
+use polygen_flat::value::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// `p1 ⋉ [x = y] p2` — semi-join on equality.
+pub fn semi_join(
+    p1: &PolygenRelation,
+    p2: &PolygenRelation,
+    x: &str,
+    y: &str,
+) -> Result<PolygenRelation, PolygenError> {
+    let xi = p1.schema().index_of(x)?.0;
+    let yi = p2.schema().index_of(y)?.0;
+    // For each right key datum, the union of the matching cells' origins
+    // (several p2 tuples may share the datum — all of them mediated).
+    let mut key_origins: HashMap<&Value, SourceSet> = HashMap::with_capacity(p2.len());
+    for t in p2.tuples() {
+        if !t[yi].is_nil() {
+            key_origins
+                .entry(&t[yi].datum)
+                .or_default()
+                .union_with(&t[yi].origin);
+        }
+    }
+    let mut tuples = Vec::new();
+    for t in p1.tuples() {
+        if t[xi].is_nil() {
+            continue;
+        }
+        if let Some(right_origins) = key_origins.get(&t[xi].datum) {
+            let mut kept = t.clone();
+            let mut mediators = t[xi].origin.clone();
+            mediators.union_with(right_origins);
+            tuple::add_intermediate_all(&mut kept, &mediators);
+            tuples.push(kept);
+        }
+    }
+    PolygenRelation::from_tuples(Arc::clone(p1.schema()), tuples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra;
+    use crate::source::SourceId;
+    use polygen_flat::relation::Relation;
+    use polygen_flat::value::Cmp;
+
+    fn sid(i: u16) -> SourceId {
+        SourceId(i)
+    }
+
+    fn orgs() -> PolygenRelation {
+        let f = Relation::build("ORGS", &["ONAME", "IND"])
+            .row(&["IBM", "High Tech"])
+            .row(&["MIT", "Education"])
+            .row(&["BP", "Energy"])
+            .finish()
+            .unwrap();
+        PolygenRelation::from_flat(&f, sid(0))
+    }
+
+    fn finance() -> PolygenRelation {
+        let f = Relation::build("FINANCE", &["FNAME", "PROFIT"])
+            .row(&["IBM", "5.5"])
+            .row(&["BP", "1.1"])
+            .finish()
+            .unwrap();
+        PolygenRelation::from_flat(&f, sid(2))
+    }
+
+    #[test]
+    fn keeps_matching_left_tuples_only() {
+        let s = semi_join(&orgs(), &finance(), "ONAME", "FNAME").unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.degree(), 2, "no column growth");
+        assert!(s
+            .cell("ONAME", &Value::str("IBM"), "IND")
+            .is_some());
+        assert!(s.cell("ONAME", &Value::str("MIT"), "IND").is_none());
+    }
+
+    #[test]
+    fn survivors_gain_both_sides_key_origins() {
+        let s = semi_join(&orgs(), &finance(), "ONAME", "FNAME").unwrap();
+        for t in s.tuples() {
+            for c in t {
+                assert!(c.intermediate.contains(sid(0)), "own key origin");
+                assert!(c.intermediate.contains(sid(2)), "matching key origin");
+            }
+        }
+    }
+
+    #[test]
+    fn equals_projected_coalesced_join() {
+        // The derivation: semi-join == join then project back onto the
+        // left attributes (tags included, because the coalesced key
+        // carries both origins and project keeps cells verbatim).
+        let direct = semi_join(&orgs(), &finance(), "ONAME", "FNAME").unwrap();
+        let joined =
+            algebra::theta_join(&orgs(), &finance(), "ONAME", Cmp::Eq, "FNAME").unwrap();
+        let projected = algebra::project(&joined, &["ONAME", "IND"]).unwrap();
+        // The projected key cell lacks the right side's *origin* merge
+        // (that happens in the coalesce); compare via the coalesced form.
+        let coalesced = algebra::equi_join_coalesced(
+            &orgs(),
+            &finance(),
+            "ONAME",
+            "FNAME",
+            "ONAME",
+        )
+        .unwrap();
+        let via_chain = algebra::project(&coalesced, &["ONAME", "IND"]).unwrap();
+        // Data portions always agree.
+        assert!(direct.strip().set_eq(&projected.strip()));
+        // Tag portions agree with the coalesced chain except the key
+        // cell's origin: semi-join keeps the left origin (the datum in
+        // the answer *is* the left's), the coalesced join unions both.
+        for (d, v) in direct.tuples().iter().zip(via_chain.tuples()) {
+            assert_eq!(d[1], v[1], "non-key cells identical");
+            assert_eq!(d[0].datum, v[0].datum);
+            assert_eq!(d[0].intermediate, v[0].intermediate);
+            assert!(d[0].origin.is_subset(&v[0].origin));
+        }
+    }
+
+    #[test]
+    fn nil_keys_never_match() {
+        let mut left = orgs();
+        left.tuples_mut()[0][0].datum = Value::Null;
+        let s = semi_join(&left, &finance(), "ONAME", "FNAME").unwrap();
+        assert_eq!(s.len(), 1); // only BP
+    }
+
+    #[test]
+    fn anti_and_semi_partition_the_left() {
+        let semi = semi_join(&orgs(), &finance(), "ONAME", "FNAME").unwrap();
+        let anti = algebra::anti_join(&orgs(), &finance(), "ONAME", "FNAME").unwrap();
+        assert_eq!(semi.len() + anti.len(), orgs().len());
+        let rebuilt = algebra::union(&semi, &anti).unwrap();
+        assert!(rebuilt.strip().set_eq(&orgs().strip()));
+    }
+
+    #[test]
+    fn unknown_attrs_error() {
+        assert!(semi_join(&orgs(), &finance(), "NOPE", "FNAME").is_err());
+        assert!(semi_join(&orgs(), &finance(), "ONAME", "NOPE").is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! The polygen cell: `c = (c(d), c(o), c(i))`.
+//!
+//! §II: "A cell in a polygen relation is an ordered triplet
+//! `c = (c(d), c(o), c(i))` where `c(d)` denotes the datum portion, `c(o)`
+//! the originating portion, and `c(i)` the intermediate source portion."
+
+use crate::source::{SourceId, SourceSet};
+use polygen_flat::value::Value;
+
+/// One tagged cell of a polygen relation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cell {
+    /// `c(d)` — the datum, drawn from a simple local-database domain.
+    pub datum: Value,
+    /// `c(o)` — the local databases the datum originates from.
+    pub origin: SourceSet,
+    /// `c(i)` — the intermediate local databases whose data led to the
+    /// selection of this datum.
+    pub intermediate: SourceSet,
+}
+
+impl Cell {
+    /// A cell with explicit tags.
+    pub fn new(datum: Value, origin: SourceSet, intermediate: SourceSet) -> Self {
+        Cell {
+            datum,
+            origin,
+            intermediate,
+        }
+    }
+
+    /// An untagged cell (used transiently while constructing relations).
+    pub fn bare(datum: Value) -> Self {
+        Cell {
+            datum,
+            origin: SourceSet::empty(),
+            intermediate: SourceSet::empty(),
+        }
+    }
+
+    /// The cell produced by Retrieve: origin = `{source}`, intermediate =
+    /// `{}` ("sources are tagged after data has been retrieved from each
+    /// database", §I research assumptions; Tables A1–A3).
+    pub fn retrieved(datum: Value, source: SourceId) -> Self {
+        Cell {
+            datum,
+            origin: SourceSet::singleton(source),
+            intermediate: SourceSet::empty(),
+        }
+    }
+
+    /// The padding cell of an outer join: datum `nil`, origin `{}`, and the
+    /// intermediates the unmatched tuple accumulated (Table A4's
+    /// `nil, {}, {AD}` cells).
+    pub fn nil_padding(intermediate: SourceSet) -> Self {
+        Cell {
+            datum: Value::Null,
+            origin: SourceSet::empty(),
+            intermediate,
+        }
+    }
+
+    /// Is the datum `nil`?
+    pub fn is_nil(&self) -> bool {
+        self.datum.is_nil()
+    }
+
+    /// Restrict's tag update: add sources to the intermediate portion.
+    pub fn add_intermediate(&mut self, sources: &SourceSet) {
+        self.intermediate.union_with(sources);
+    }
+
+    /// Merge another cell carrying the same datum (Project's duplicate
+    /// collapse, Union's match branch, Coalesce's equal branch): union both
+    /// tag sets.
+    pub fn absorb_tags(&mut self, other: &Cell) {
+        debug_assert_eq!(self.datum, other.datum);
+        self.origin.union_with(&other.origin);
+        self.intermediate.union_with(&other.intermediate);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(i: u16) -> SourceId {
+        SourceId(i)
+    }
+
+    #[test]
+    fn retrieved_cell_shape() {
+        let c = Cell::retrieved(Value::str("IBM"), sid(0));
+        assert_eq!(c.datum, Value::str("IBM"));
+        assert_eq!(c.origin, SourceSet::singleton(sid(0)));
+        assert!(c.intermediate.is_empty());
+    }
+
+    #[test]
+    fn nil_padding_shape() {
+        let c = Cell::nil_padding(SourceSet::singleton(sid(1)));
+        assert!(c.is_nil());
+        assert!(c.origin.is_empty());
+        assert!(c.intermediate.contains(sid(1)));
+    }
+
+    #[test]
+    fn add_intermediate_accumulates() {
+        let mut c = Cell::retrieved(Value::int(1), sid(0));
+        c.add_intermediate(&SourceSet::singleton(sid(2)));
+        c.add_intermediate(&SourceSet::singleton(sid(0)));
+        assert_eq!(c.intermediate.len(), 2);
+        assert_eq!(c.origin.len(), 1);
+    }
+
+    #[test]
+    fn absorb_tags_unions_both_portions() {
+        let mut a = Cell::new(
+            Value::str("NY"),
+            SourceSet::singleton(sid(1)),
+            SourceSet::singleton(sid(0)),
+        );
+        let b = Cell::new(
+            Value::str("NY"),
+            SourceSet::singleton(sid(2)),
+            SourceSet::singleton(sid(2)),
+        );
+        a.absorb_tags(&b);
+        assert_eq!(a.origin.len(), 2);
+        assert_eq!(a.intermediate.len(), 2);
+        assert_eq!(a.datum, Value::str("NY"));
+    }
+}

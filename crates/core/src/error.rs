@@ -1,0 +1,86 @@
+//! Error type of the polygen layer.
+
+use polygen_flat::error::FlatError;
+use std::fmt;
+
+/// Errors from polygen algebra evaluation and relation construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolygenError {
+    /// A substrate (schema / arity / attribute) error.
+    Flat(FlatError),
+    /// Coalesce found two non-nil, unequal data values and the conflict
+    /// policy was [`Strict`](crate::algebra::coalesce::ConflictPolicy) —
+    /// the "data conflict amongst data retrieved from different sources"
+    /// the paper's §V flags as the next research problem.
+    CoalesceConflict {
+        attribute: String,
+        left: String,
+        right: String,
+    },
+    /// Merge needs the polygen scheme's primary key present in every
+    /// operand.
+    MissingMergeKey { relation: String, key: String },
+    /// Merge requires at least one operand.
+    EmptyMerge,
+}
+
+impl fmt::Display for PolygenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolygenError::Flat(e) => write!(f, "{e}"),
+            PolygenError::CoalesceConflict {
+                attribute,
+                left,
+                right,
+            } => write!(
+                f,
+                "coalesce conflict on `{attribute}`: `{left}` vs `{right}` (both non-nil)"
+            ),
+            PolygenError::MissingMergeKey { relation, key } => {
+                write!(f, "merge operand `{relation}` lacks key attribute `{key}`")
+            }
+            PolygenError::EmptyMerge => write!(f, "merge requires at least one relation"),
+        }
+    }
+}
+
+impl std::error::Error for PolygenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PolygenError::Flat(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FlatError> for PolygenError {
+    fn from(e: FlatError) -> Self {
+        PolygenError::Flat(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_flat_errors() {
+        let e: PolygenError = FlatError::EmptySchema {
+            relation: "X".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("at least one attribute"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn conflict_display() {
+        let e = PolygenError::CoalesceConflict {
+            attribute: "HQ".into(),
+            left: "NY".into(),
+            right: "Boston".into(),
+        };
+        assert!(e.to_string().contains("coalesce conflict on `HQ`"));
+    }
+}

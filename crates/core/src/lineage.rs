@@ -1,0 +1,138 @@
+//! Lineage queries over tagged relations — "where is the data from" and
+//! "which intermediate data sources were used to arrive at that data" (§I).
+//!
+//! Section IV's closing observations are the use cases implemented here:
+//! (1) read a cell's data sources, (2) read its mediating sources, (3) map
+//! an attribute's source set back to concrete `(database, relation,
+//! attribute)` coordinates — the last needs the polygen schema and lives in
+//! `polygen-catalog`; this module provides the relation-level queries it
+//! builds on.
+
+use crate::relation::PolygenRelation;
+use crate::source::{SourceId, SourceSet};
+
+/// Per-attribute provenance roll-up for one relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnProvenance {
+    /// Attribute name.
+    pub attribute: String,
+    /// `p[x](o)` — every source any cell of the column originates from.
+    pub origins: SourceSet,
+    /// `p[x](i)` — every source that mediated any cell of the column.
+    pub intermediates: SourceSet,
+}
+
+/// `p[x](o)` / `p[x](i)` for every attribute of `p`.
+pub fn column_provenance(p: &PolygenRelation) -> Vec<ColumnProvenance> {
+    let mut out: Vec<ColumnProvenance> = p
+        .schema()
+        .attrs()
+        .iter()
+        .map(|a| ColumnProvenance {
+            attribute: a.to_string(),
+            origins: SourceSet::empty(),
+            intermediates: SourceSet::empty(),
+        })
+        .collect();
+    for t in p.tuples() {
+        for (i, c) in t.iter().enumerate() {
+            out[i].origins.union_with(&c.origin);
+            out[i].intermediates.union_with(&c.intermediate);
+        }
+    }
+    out
+}
+
+/// Every source that *contributed* to the relation: origins ∪ mediators.
+/// (The billing/auditing view: which databases must have been touched to
+/// produce this answer.)
+pub fn contributing_sources(p: &PolygenRelation) -> SourceSet {
+    let mut s = SourceSet::empty();
+    for t in p.tuples() {
+        for c in t {
+            s.union_with(&c.origin);
+            s.union_with(&c.intermediate);
+        }
+    }
+    s
+}
+
+/// Sources that appear only as mediators, never as data origins — the
+/// purely *intermediate* databases of the paper's title question ("which
+/// intermediate data sources were used to arrive at that data").
+pub fn purely_intermediate_sources(p: &PolygenRelation) -> Vec<SourceId> {
+    let mut origins = SourceSet::empty();
+    let mut inters = SourceSet::empty();
+    for t in p.tuples() {
+        for c in t {
+            origins.union_with(&c.origin);
+            inters.union_with(&c.intermediate);
+        }
+    }
+    inters.iter().filter(|id| !origins.contains(*id)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Cell;
+    use polygen_flat::schema::Schema;
+    use polygen_flat::value::Value;
+    use std::sync::Arc;
+
+    fn sid(i: u16) -> SourceId {
+        SourceId(i)
+    }
+
+    fn rel() -> PolygenRelation {
+        let schema = Arc::new(Schema::new("R", &["A", "B"]).unwrap());
+        let c = |d: &str, o: &[u16], i: &[u16]| {
+            Cell::new(
+                Value::str(d),
+                o.iter().map(|&x| sid(x)).collect(),
+                i.iter().map(|&x| sid(x)).collect(),
+            )
+        };
+        PolygenRelation::from_tuples(
+            schema,
+            vec![
+                vec![c("x", &[0], &[2]), c("y", &[1], &[])],
+                vec![c("z", &[0], &[]), c("w", &[1], &[3])],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn column_provenance_rolls_up() {
+        let cols = column_provenance(&rel());
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[0].attribute, "A");
+        assert!(cols[0].origins.contains(sid(0)) && !cols[0].origins.contains(sid(1)));
+        assert!(cols[0].intermediates.contains(sid(2)));
+        assert!(cols[1].intermediates.contains(sid(3)));
+    }
+
+    #[test]
+    fn contributing_includes_both_portions() {
+        let s = contributing_sources(&rel());
+        for i in [0, 1, 2, 3] {
+            assert!(s.contains(sid(i)), "missing {i}");
+        }
+    }
+
+    #[test]
+    fn purely_intermediate_excludes_origins() {
+        let only = purely_intermediate_sources(&rel());
+        assert_eq!(only, vec![sid(2), sid(3)]);
+    }
+
+    #[test]
+    fn empty_relation_has_no_provenance() {
+        let schema = Arc::new(Schema::new("E", &["A"]).unwrap());
+        let e = PolygenRelation::empty(schema);
+        assert!(contributing_sources(&e).is_empty());
+        assert!(purely_intermediate_sources(&e).is_empty());
+        assert!(column_provenance(&e)[0].origins.is_empty());
+    }
+}

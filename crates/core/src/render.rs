@@ -1,0 +1,118 @@
+//! Paper-style rendering of tagged relations.
+//!
+//! The paper prints each cell as `datum, {origins}, {intermediates}` —
+//! e.g. `Genentech, {AD, CD}, {AD, CD}` or `nil, {}, {AD}` (Tables 4–9,
+//! A1–A9). This module reproduces that presentation so the golden tests
+//! and the `paper_tables` example can be compared against the PDF by eye.
+
+use crate::cell::Cell;
+use crate::relation::PolygenRelation;
+use crate::source::SourceRegistry;
+use std::fmt::Write as _;
+
+/// `datum, {o}, {i}` — one cell in the paper's notation.
+pub fn render_cell(cell: &Cell, reg: &SourceRegistry) -> String {
+    format!(
+        "{}, {}, {}",
+        cell.datum,
+        reg.render_set(&cell.origin),
+        reg.render_set(&cell.intermediate)
+    )
+}
+
+/// An aligned ASCII table of the full tagged relation.
+pub fn render_relation(p: &PolygenRelation, reg: &SourceRegistry) -> String {
+    let headers: Vec<String> = p.schema().attrs().iter().map(|a| a.to_string()).collect();
+    let body: Vec<Vec<String>> = p
+        .tuples()
+        .iter()
+        .map(|t| t.iter().map(|c| render_cell(c, reg)).collect())
+        .collect();
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+    for row in &body {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", p.schema());
+    let emit = |out: &mut String, cells: &[String]| {
+        out.push('|');
+        for (i, c) in cells.iter().enumerate() {
+            let _ = write!(out, " {:w$} |", c, w = widths[i]);
+        }
+        out.push('\n');
+    };
+    emit(&mut out, &headers);
+    out.push('|');
+    for w in &widths {
+        let _ = write!(out, "{:-<w$}|", "", w = w + 2);
+    }
+    out.push('\n');
+    for row in &body {
+        emit(&mut out, row);
+    }
+    out
+}
+
+/// A compact one-line-per-tuple form used in explain output:
+/// `(a, {AD}, {} | b, {CD}, {AD})`.
+pub fn render_tuple(t: &[Cell], reg: &SourceRegistry) -> String {
+    let mut out = String::from("(");
+    for (i, c) in t.iter().enumerate() {
+        if i > 0 {
+            out.push_str(" | ");
+        }
+        out.push_str(&render_cell(c, reg));
+    }
+    out.push(')');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{SourceId, SourceSet};
+    use polygen_flat::relation::Relation;
+    use polygen_flat::value::Value;
+
+    fn setup() -> (PolygenRelation, SourceRegistry) {
+        let mut reg = SourceRegistry::new();
+        let ad = reg.intern("AD");
+        let flat = Relation::build("BUSINESS", &["BNAME", "IND"])
+            .row(&["IBM", "High Tech"])
+            .finish()
+            .unwrap();
+        (PolygenRelation::from_flat(&flat, ad), reg)
+    }
+
+    #[test]
+    fn cell_matches_paper_notation() {
+        let (p, reg) = setup();
+        assert_eq!(render_cell(&p.tuples()[0][0], &reg), "IBM, {AD}, {}");
+    }
+
+    #[test]
+    fn nil_cell_notation() {
+        let (_, reg) = setup();
+        let nil = Cell::nil_padding(SourceSet::singleton(SourceId(0)));
+        assert_eq!(render_cell(&nil, &reg), "nil, {}, {AD}");
+    }
+
+    #[test]
+    fn relation_table_contains_all_cells() {
+        let (p, reg) = setup();
+        let shown = render_relation(&p, &reg);
+        assert!(shown.contains("BNAME"));
+        assert!(shown.contains("IBM, {AD}, {}"));
+        assert!(shown.contains("High Tech, {AD}, {}"));
+    }
+
+    #[test]
+    fn tuple_one_liner() {
+        let (p, reg) = setup();
+        let line = render_tuple(&p.tuples()[0], &reg);
+        assert_eq!(line, "(IBM, {AD}, {} | High Tech, {AD}, {})");
+        let _ = Value::Null; // keep import used under cfg(test)
+    }
+}

@@ -1,0 +1,109 @@
+//! Polygen tuples and the `t(d)` / `t(o)` / `t(i)` projections.
+//!
+//! §II uses `t(d)` for a tuple's data portion, `t(o)` for its originating
+//! sources, and `t(i)` for its intermediate sources; `t[x]` addresses the
+//! cell of attribute `x`. A tuple here is simply a vector of [`Cell`]s —
+//! the schema lives on the relation.
+
+use crate::cell::Cell;
+use crate::source::SourceSet;
+use polygen_flat::value::Value;
+
+/// One polygen tuple.
+pub type PolyTuple = Vec<Cell>;
+
+/// `t(d)` — clone out the data portion of a tuple.
+pub fn data_of(tuple: &[Cell]) -> Vec<Value> {
+    tuple.iter().map(|c| c.datum.clone()).collect()
+}
+
+/// `t[X](d)` — the data portion of a sublist of attribute positions.
+pub fn data_at(tuple: &[Cell], indices: &[usize]) -> Vec<Value> {
+    indices.iter().map(|&i| tuple[i].datum.clone()).collect()
+}
+
+/// `t(o)` — the union of every cell's originating sources.
+pub fn origins_of(tuple: &[Cell]) -> SourceSet {
+    let mut s = SourceSet::empty();
+    for c in tuple {
+        s.union_with(&c.origin);
+    }
+    s
+}
+
+/// `t(i)` — the union of every cell's intermediate sources.
+pub fn intermediates_of(tuple: &[Cell]) -> SourceSet {
+    let mut s = SourceSet::empty();
+    for c in tuple {
+        s.union_with(&c.intermediate);
+    }
+    s
+}
+
+/// Restrict's tag update applied tuple-wide:
+/// `t'[w](i) = t[w](i) ∪ sources ∀ w ∈ attrs(p)`.
+pub fn add_intermediate_all(tuple: &mut [Cell], sources: &SourceSet) {
+    if sources.is_empty() {
+        return;
+    }
+    for c in tuple {
+        c.add_intermediate(sources);
+    }
+}
+
+/// Attribute-wise tag merge for two tuples equal on the data portion
+/// (Union's match branch and Project's duplicate collapse).
+pub fn absorb_tuple_tags(dst: &mut [Cell], src: &[Cell]) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        d.absorb_tags(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceId;
+
+    fn cell(d: &str, o: &[u16], i: &[u16]) -> Cell {
+        Cell::new(
+            Value::str(d),
+            o.iter().map(|&x| SourceId(x)).collect(),
+            i.iter().map(|&x| SourceId(x)).collect(),
+        )
+    }
+
+    #[test]
+    fn projections() {
+        let t = vec![cell("a", &[0], &[1]), cell("b", &[2], &[])];
+        assert_eq!(data_of(&t), vec![Value::str("a"), Value::str("b")]);
+        assert_eq!(data_at(&t, &[1]), vec![Value::str("b")]);
+        let o = origins_of(&t);
+        assert!(o.contains(SourceId(0)) && o.contains(SourceId(2)));
+        assert_eq!(o.len(), 2);
+        let i = intermediates_of(&t);
+        assert_eq!(i.len(), 1);
+        assert!(i.contains(SourceId(1)));
+    }
+
+    #[test]
+    fn add_intermediate_all_touches_every_cell() {
+        let mut t = vec![cell("a", &[0], &[]), cell("b", &[1], &[])];
+        add_intermediate_all(&mut t, &SourceSet::singleton(SourceId(9)));
+        assert!(t.iter().all(|c| c.intermediate.contains(SourceId(9))));
+        // Empty update is a no-op fast path.
+        add_intermediate_all(&mut t, &SourceSet::empty());
+        assert!(t.iter().all(|c| c.intermediate.len() == 1));
+    }
+
+    #[test]
+    fn absorb_tuple_tags_is_attrwise() {
+        let mut a = vec![cell("x", &[0], &[]), cell("y", &[0], &[])];
+        let b = vec![cell("x", &[1], &[2]), cell("y", &[3], &[])];
+        absorb_tuple_tags(&mut a, &b);
+        assert!(a[0].origin.contains(SourceId(1)));
+        assert!(a[0].intermediate.contains(SourceId(2)));
+        assert!(a[1].origin.contains(SourceId(3)));
+        assert!(!a[1].origin.contains(SourceId(1)));
+    }
+}

@@ -1,0 +1,142 @@
+//! Application schemas — Figure 1's outermost layer.
+//!
+//! "The Application Query Processor translates an end-user query into a
+//! polygen query for the Polygen Query Processor based on the user's
+//! application schema." An application schema is a user-facing view over
+//! the polygen schema: renamed relations and attributes scoped to what
+//! one application needs (Sullivan-Trainor's ComputerWorld survey sees
+//! `SCHOOLS_CEOS`, not `PORGANIZATION`).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// One application-level relation: a renaming of (a subset of) a polygen
+/// scheme's attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppRelation {
+    /// Application-facing relation name.
+    pub name: String,
+    /// The polygen scheme it views.
+    pub polygen_scheme: String,
+    /// `application attribute → polygen attribute`.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl AppRelation {
+    /// Build a view with positional `(app, polygen)` attribute pairs.
+    pub fn new(name: &str, polygen_scheme: &str, attrs: &[(&str, &str)]) -> Self {
+        AppRelation {
+            name: name.to_string(),
+            polygen_scheme: polygen_scheme.to_string(),
+            attrs: attrs
+                .iter()
+                .map(|(a, p)| ((*a).to_string(), (*p).to_string()))
+                .collect(),
+        }
+    }
+
+    /// The polygen attribute behind an application attribute.
+    pub fn polygen_attr(&self, app_attr: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(a, _)| a == app_attr)
+            .map(|(_, p)| p.as_str())
+    }
+}
+
+impl fmt::Display for AppRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, (a, p)) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if a == p {
+                write!(f, "{a}")?;
+            } else {
+                write!(f, "{a}→{p}")?;
+            }
+        }
+        write!(f, ") over {}", self.polygen_scheme)
+    }
+}
+
+/// A user's full application schema.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AppSchema {
+    relations: Vec<AppRelation>,
+}
+
+impl AppSchema {
+    /// An empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a view relation.
+    pub fn push(&mut self, rel: AppRelation) {
+        self.relations.push(rel);
+    }
+
+    /// Look up a view by application name.
+    pub fn relation(&self, name: &str) -> Option<&AppRelation> {
+        self.relations.iter().find(|r| r.name == name)
+    }
+
+    /// All views.
+    pub fn relations(&self) -> &[AppRelation] {
+        &self.relations
+    }
+
+    /// Attribute rename table for a view: app name → polygen name.
+    pub fn attr_map(&self, name: &str) -> Option<HashMap<&str, &str>> {
+        self.relation(name).map(|r| {
+            r.attrs
+                .iter()
+                .map(|(a, p)| (a.as_str(), p.as_str()))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> AppSchema {
+        let mut s = AppSchema::new();
+        s.push(AppRelation::new(
+            "COMPANIES",
+            "PORGANIZATION",
+            &[("COMPANY", "ONAME"), ("BOSS", "CEO")],
+        ));
+        s.push(AppRelation::new(
+            "GRADS",
+            "PALUMNUS",
+            &[("NAME", "ANAME"), ("DEGREE", "DEGREE")],
+        ));
+        s
+    }
+
+    #[test]
+    fn lookup_and_mapping() {
+        let s = schema();
+        let c = s.relation("COMPANIES").unwrap();
+        assert_eq!(c.polygen_scheme, "PORGANIZATION");
+        assert_eq!(c.polygen_attr("BOSS"), Some("CEO"));
+        assert_eq!(c.polygen_attr("NOPE"), None);
+        assert!(s.relation("NOPE").is_none());
+        let m = s.attr_map("GRADS").unwrap();
+        assert_eq!(m["NAME"], "ANAME");
+    }
+
+    #[test]
+    fn display_shows_renames() {
+        let s = schema();
+        let shown = s.relation("COMPANIES").unwrap().to_string();
+        assert!(shown.contains("COMPANY→ONAME"));
+        assert!(shown.contains("over PORGANIZATION"));
+        let grads = s.relation("GRADS").unwrap().to_string();
+        assert!(grads.contains("DEGREE")); // identical names print bare
+    }
+}

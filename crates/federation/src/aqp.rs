@@ -1,0 +1,211 @@
+//! The Application Query Processor (Figure 1).
+//!
+//! Rewrites an application-schema SQL query into a polygen query by
+//! substituting view relation and attribute names, then hands it to the
+//! PQP. The application user never sees polygen scheme names — only their
+//! own vocabulary — yet the answer still arrives fully source-tagged.
+
+use crate::app_schema::AppSchema;
+use polygen_sql::ast::{Condition, Operand, Query, SelectItem};
+use polygen_sql::parser::parse_query;
+use std::fmt;
+
+/// Rewriting failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AqpError {
+    /// The query text failed to parse.
+    Syntax(String),
+    /// A FROM relation is not in the application schema.
+    UnknownAppRelation(String),
+    /// An attribute is not defined by any FROM view.
+    UnknownAppAttribute(String),
+}
+
+impl fmt::Display for AqpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AqpError::Syntax(m) => write!(f, "application query syntax error: {m}"),
+            AqpError::UnknownAppRelation(r) => {
+                write!(f, "application schema has no relation `{r}`")
+            }
+            AqpError::UnknownAppAttribute(a) => {
+                write!(f, "application schema defines no attribute `{a}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AqpError {}
+
+/// Rewrite an application-level SQL query into polygen vocabulary.
+pub fn translate_app_query(sql: &str, schema: &AppSchema) -> Result<Query, AqpError> {
+    let query = parse_query(sql).map_err(|e| AqpError::Syntax(e.to_string()))?;
+    rewrite_query(&query, schema)
+}
+
+fn rewrite_query(query: &Query, schema: &AppSchema) -> Result<Query, AqpError> {
+    // Map FROM views to polygen schemes and collect the attribute rename
+    // scope for this query level.
+    let mut from = Vec::with_capacity(query.from.len());
+    let mut scope: Vec<(&str, &str)> = Vec::new();
+    for rel in &query.from {
+        let view = schema
+            .relation(rel)
+            .ok_or_else(|| AqpError::UnknownAppRelation(rel.clone()))?;
+        from.push(view.polygen_scheme.clone());
+        for (a, p) in &view.attrs {
+            scope.push((a.as_str(), p.as_str()));
+        }
+    }
+    let rename = |attr: &str| -> Result<String, AqpError> {
+        let hits: Vec<&str> = scope
+            .iter()
+            .filter(|(a, _)| *a == attr)
+            .map(|(_, p)| *p)
+            .collect();
+        match hits.as_slice() {
+            [] => Err(AqpError::UnknownAppAttribute(attr.to_string())),
+            _ => Ok(hits[0].to_string()),
+        }
+    };
+    let select = query
+        .select
+        .iter()
+        .map(|item| match item {
+            SelectItem::Star => Ok(SelectItem::Star),
+            SelectItem::Attr(a) => Ok(SelectItem::Attr(rename(a)?)),
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let where_clause = match &query.where_clause {
+        Some(c) => Some(rewrite_condition(c, schema, &rename)?),
+        None => None,
+    };
+    Ok(Query {
+        select,
+        from,
+        where_clause,
+    })
+}
+
+fn rewrite_condition(
+    cond: &Condition,
+    schema: &AppSchema,
+    rename: &dyn Fn(&str) -> Result<String, AqpError>,
+) -> Result<Condition, AqpError> {
+    Ok(match cond {
+        Condition::And(a, b) => Condition::And(
+            Box::new(rewrite_condition(a, schema, rename)?),
+            Box::new(rewrite_condition(b, schema, rename)?),
+        ),
+        Condition::Or(a, b) => Condition::Or(
+            Box::new(rewrite_condition(a, schema, rename)?),
+            Box::new(rewrite_condition(b, schema, rename)?),
+        ),
+        Condition::Compare { left, cmp, right } => Condition::Compare {
+            left: rewrite_operand(left, rename)?,
+            cmp: *cmp,
+            right: rewrite_operand(right, rename)?,
+        },
+        Condition::In {
+            attr,
+            negated,
+            query,
+        } => Condition::In {
+            attr: rename(attr)?,
+            negated: *negated,
+            // Subqueries range over the application schema too.
+            query: Box::new(rewrite_query(query, schema)?),
+        },
+    })
+}
+
+fn rewrite_operand(
+    op: &Operand,
+    rename: &dyn Fn(&str) -> Result<String, AqpError>,
+) -> Result<Operand, AqpError> {
+    Ok(match op {
+        Operand::Attr(a) => Operand::Attr(rename(a)?),
+        Operand::Const(v) => Operand::Const(v.clone()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app_schema::AppRelation;
+
+    fn schema() -> AppSchema {
+        let mut s = AppSchema::new();
+        s.push(AppRelation::new(
+            "COMPANIES",
+            "PORGANIZATION",
+            &[
+                ("COMPANY", "ONAME"),
+                ("SECTOR", "INDUSTRY"),
+                ("BOSS", "CEO"),
+            ],
+        ));
+        s.push(AppRelation::new(
+            "GRADS",
+            "PALUMNUS",
+            &[("NAME", "ANAME"), ("DEGREE", "DEGREE"), ("ID", "AID#")],
+        ));
+        s.push(AppRelation::new(
+            "JOBS",
+            "PCAREER",
+            &[("ID", "AID#"), ("COMPANY", "ONAME")],
+        ));
+        s
+    }
+
+    #[test]
+    fn rewrites_relations_and_attributes() {
+        let q = translate_app_query(
+            "SELECT COMPANY, BOSS FROM COMPANIES WHERE SECTOR = \"Banking\"",
+            &schema(),
+        )
+        .unwrap();
+        assert_eq!(
+            q.to_string(),
+            "SELECT ONAME, CEO FROM PORGANIZATION WHERE INDUSTRY = \"Banking\""
+        );
+    }
+
+    #[test]
+    fn rewrites_nested_in_subqueries() {
+        let q = translate_app_query(
+            "SELECT COMPANY FROM COMPANIES WHERE COMPANY IN \
+             (SELECT COMPANY FROM JOBS WHERE ID IN \
+             (SELECT ID FROM GRADS WHERE DEGREE = \"MBA\"))",
+            &schema(),
+        )
+        .unwrap();
+        let shown = q.to_string();
+        assert!(shown.contains("FROM PORGANIZATION"));
+        assert!(shown.contains("FROM PCAREER"));
+        assert!(shown.contains("FROM PALUMNUS"));
+        assert!(shown.contains("AID# IN"));
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        assert!(matches!(
+            translate_app_query("SELECT X FROM NOPE", &schema()),
+            Err(AqpError::UnknownAppRelation(_))
+        ));
+        assert!(matches!(
+            translate_app_query("SELECT NOPE FROM COMPANIES", &schema()),
+            Err(AqpError::UnknownAppAttribute(_))
+        ));
+        assert!(matches!(
+            translate_app_query("garbage", &schema()),
+            Err(AqpError::Syntax(_))
+        ));
+    }
+
+    #[test]
+    fn star_passes_through() {
+        let q = translate_app_query("SELECT * FROM COMPANIES", &schema()).unwrap();
+        assert_eq!(q.to_string(), "SELECT * FROM PORGANIZATION");
+    }
+}

@@ -1,0 +1,219 @@
+//! Cardinality-inconsistency auditing — footnote 13 made executable.
+//!
+//! "Under the relational assumption, the cardinality inconsistency
+//! problem exists in heterogeneous database systems because the
+//! referential integrity is not enforceable over multiple pre-existing
+//! databases which have been developed and administered independently."
+//!
+//! The polygen model makes the inconsistency *visible*: merge a
+//! multi-source scheme and read each key's origin set — a key known to
+//! only some of the scheme's sources is exactly a cross-database
+//! referential gap. This module turns that observation into an audit
+//! report (an extension the paper names as future work).
+
+use polygen_catalog::dictionary::DataDictionary;
+use polygen_core::algebra::coalesce::ConflictPolicy;
+use polygen_core::algebra::merge::merge;
+use polygen_core::error::PolygenError;
+use polygen_core::relation::PolygenRelation;
+use polygen_flat::value::Value;
+use polygen_lqp::engine::{LocalOp, LqpError};
+use polygen_lqp::registry::LqpRegistry;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The audit outcome for one multi-source polygen scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CardinalityReport {
+    /// The audited scheme.
+    pub scheme: String,
+    /// Distinct key values observed across all sources.
+    pub total_keys: usize,
+    /// Keys present in every backing source.
+    pub fully_replicated: usize,
+    /// Key value → the sources that know it (rendered names, sorted).
+    pub key_presence: BTreeMap<String, Vec<String>>,
+    /// Source-combination census: sorted source-name list → key count.
+    pub census: BTreeMap<Vec<String>, usize>,
+}
+
+impl CardinalityReport {
+    /// Keys known to some but not all sources — the inconsistent ones.
+    pub fn inconsistent_keys(&self) -> usize {
+        self.total_keys - self.fully_replicated
+    }
+}
+
+impl fmt::Display for CardinalityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cardinality audit of {}: {} keys, {} fully replicated, {} inconsistent",
+            self.scheme,
+            self.total_keys,
+            self.fully_replicated,
+            self.inconsistent_keys()
+        )?;
+        for (combo, n) in &self.census {
+            writeln!(f, "  known to {{{}}}: {n}", combo.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors from the audit path.
+#[derive(Debug)]
+pub enum AuditError {
+    /// The scheme does not exist or is single-source (nothing to audit).
+    NotMultiSource(String),
+    /// Retrieval failed.
+    Lqp(LqpError),
+    /// Merge failed.
+    Polygen(PolygenError),
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditError::NotMultiSource(s) => {
+                write!(f, "scheme `{s}` is not a multi-source polygen scheme")
+            }
+            AuditError::Lqp(e) => write!(f, "{e}"),
+            AuditError::Polygen(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+impl From<LqpError> for AuditError {
+    fn from(e: LqpError) -> Self {
+        AuditError::Lqp(e)
+    }
+}
+impl From<PolygenError> for AuditError {
+    fn from(e: PolygenError) -> Self {
+        AuditError::Polygen(e)
+    }
+}
+
+/// Audit one multi-source scheme: retrieve every backing relation, merge,
+/// and census the key column's origin sets.
+pub fn audit_scheme(
+    scheme_name: &str,
+    registry: &LqpRegistry,
+    dictionary: &DataDictionary,
+) -> Result<CardinalityReport, AuditError> {
+    let scheme = dictionary
+        .schema()
+        .scheme(scheme_name)
+        .ok_or_else(|| AuditError::NotMultiSource(scheme_name.to_string()))?;
+    let locals = scheme.local_relations();
+    if locals.len() < 2 {
+        return Err(AuditError::NotMultiSource(scheme_name.to_string()));
+    }
+    let mut relabeled: Vec<PolygenRelation> = Vec::with_capacity(locals.len());
+    for local in &locals {
+        let tagged = registry.execute_tagged(
+            &local.database,
+            &LocalOp::retrieve(&local.relation),
+            dictionary,
+        )?;
+        let cols: Vec<&str> = tagged
+            .schema()
+            .attrs()
+            .iter()
+            .map(|a| a.as_ref())
+            .collect();
+        let names = scheme.relabel_columns(&local.database, &local.relation, &cols);
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        relabeled.push(tagged.rename_attrs(&refs)?);
+    }
+    // Conflicting non-key attributes must not abort an audit: prefer the
+    // earlier source, we only read the key column's tags.
+    let (merged, _) = merge(&relabeled, scheme.key(), ConflictPolicy::PreferLeft)?;
+    let ki = merged
+        .schema()
+        .index_of(scheme.key())
+        .map_err(|e| AuditError::Polygen(e.into()))?
+        .0;
+    let reg = dictionary.registry();
+    let mut key_presence = BTreeMap::new();
+    let mut census: BTreeMap<Vec<String>, usize> = BTreeMap::new();
+    let mut fully = 0usize;
+    for t in merged.tuples() {
+        let key_cell = &t[ki];
+        let names: Vec<String> = key_cell
+            .origin
+            .iter()
+            .map(|id| reg.name(id).to_string())
+            .collect();
+        if names.len() == locals.len() {
+            fully += 1;
+        }
+        let key_text = match &key_cell.datum {
+            Value::Str(s) => s.to_string(),
+            other => other.to_string(),
+        };
+        key_presence.insert(key_text, names.clone());
+        *census.entry(names).or_default() += 1;
+    }
+    Ok(CardinalityReport {
+        scheme: scheme_name.to_string(),
+        total_keys: merged.len(),
+        fully_replicated: fully,
+        key_presence,
+        census,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polygen_catalog::scenario;
+    use polygen_lqp::scenario_registry;
+
+    #[test]
+    fn audits_porganization() {
+        let s = scenario::build();
+        let registry = scenario_registry(&s);
+        let report = audit_scheme("PORGANIZATION", &registry, &s.dictionary).unwrap();
+        // Table 6: 12 organizations; IBM/Citicorp/Oracle/DEC in all three.
+        assert_eq!(report.total_keys, 12);
+        assert_eq!(report.fully_replicated, 4);
+        assert_eq!(report.inconsistent_keys(), 8);
+        assert_eq!(
+            report.key_presence.get("MIT"),
+            Some(&vec!["AD".to_string()])
+        );
+        assert_eq!(
+            report.key_presence.get("Apple"),
+            Some(&vec!["PD".to_string(), "CD".to_string()])
+        );
+        // Census: {AD}=2 (MIT, BP), {AD,CD}=3, {AD,PD,CD}=4, {PD,CD}=3.
+        assert_eq!(report.census.get(&vec!["AD".to_string()]), Some(&2));
+        assert_eq!(
+            report
+                .census
+                .get(&vec!["AD".to_string(), "PD".to_string(), "CD".to_string()]),
+            Some(&4)
+        );
+        let shown = report.to_string();
+        assert!(shown.contains("12 keys"));
+        assert!(shown.contains("8 inconsistent"));
+    }
+
+    #[test]
+    fn single_source_scheme_is_rejected() {
+        let s = scenario::build();
+        let registry = scenario_registry(&s);
+        assert!(matches!(
+            audit_scheme("PALUMNUS", &registry, &s.dictionary),
+            Err(AuditError::NotMultiSource(_))
+        ));
+        assert!(matches!(
+            audit_scheme("NOPE", &registry, &s.dictionary),
+            Err(AuditError::NotMultiSource(_))
+        ));
+    }
+}

@@ -1,0 +1,172 @@
+//! The CIS workstation — Figure 1 assembled.
+//!
+//! One object owning the whole dataflow: application schema → Application
+//! Query Processor → PQP (Syntax Analyzer, Interpreter, Optimizer,
+//! Executor) → LQPs → local databases, with the CIS Data Dictionary
+//! shared throughout. This is the role the paper's "System P" prototype
+//! was being built to play.
+
+use crate::app_schema::AppSchema;
+use crate::aqp::{translate_app_query, AqpError};
+use polygen_catalog::scenario::Scenario;
+use polygen_pqp::error::PqpError;
+use polygen_pqp::pqp::{Pqp, PqpOptions, QueryOutcome};
+use std::fmt;
+
+/// Workstation-level errors.
+#[derive(Debug)]
+pub enum CisError {
+    /// Application-layer rewriting failed.
+    Aqp(AqpError),
+    /// The polygen pipeline failed.
+    Pqp(PqpError),
+}
+
+impl fmt::Display for CisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CisError::Aqp(e) => write!(f, "{e}"),
+            CisError::Pqp(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CisError {}
+
+impl From<AqpError> for CisError {
+    fn from(e: AqpError) -> Self {
+        CisError::Aqp(e)
+    }
+}
+impl From<PqpError> for CisError {
+    fn from(e: PqpError) -> Self {
+        CisError::Pqp(e)
+    }
+}
+
+/// The workstation.
+pub struct CisWorkstation {
+    app_schema: AppSchema,
+    pqp: Pqp,
+}
+
+impl CisWorkstation {
+    /// Assemble over an application schema and a ready PQP.
+    pub fn new(app_schema: AppSchema, pqp: Pqp) -> Self {
+        CisWorkstation { app_schema, pqp }
+    }
+
+    /// Stand up the paper's scenario with a given application schema.
+    pub fn for_scenario(scenario: &Scenario, app_schema: AppSchema) -> Self {
+        CisWorkstation {
+            app_schema,
+            pqp: Pqp::for_scenario(scenario),
+        }
+    }
+
+    /// Reconfigure the PQP.
+    pub fn with_pqp_options(mut self, options: PqpOptions) -> Self {
+        self.pqp = self.pqp.with_options(options);
+        self
+    }
+
+    /// The application schema.
+    pub fn app_schema(&self) -> &AppSchema {
+        &self.app_schema
+    }
+
+    /// The underlying PQP (polygen-level access).
+    pub fn pqp(&self) -> &Pqp {
+        &self.pqp
+    }
+
+    /// Run an *application-level* query: rewrite through the application
+    /// schema, then the full polygen pipeline. The answer's attribute
+    /// names are polygen-level; source tags ride along untouched.
+    pub fn query_app(&self, sql: &str) -> Result<QueryOutcome, CisError> {
+        let polygen_query = translate_app_query(sql, &self.app_schema)?;
+        Ok(self.pqp.query(&polygen_query.to_string())?)
+    }
+
+    /// Run a polygen-level SQL query directly.
+    pub fn query_polygen(&self, sql: &str) -> Result<QueryOutcome, CisError> {
+        Ok(self.pqp.query(sql)?)
+    }
+
+    /// Run a polygen algebra expression directly.
+    pub fn query_algebra(&self, text: &str) -> Result<QueryOutcome, CisError> {
+        Ok(self.pqp.query_algebra(text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app_schema::AppRelation;
+    use polygen_catalog::scenario;
+    use polygen_flat::value::Value;
+
+    fn computerworld_schema() -> AppSchema {
+        // Sullivan-Trainor's vocabulary for the ComputerWorld survey.
+        let mut s = AppSchema::new();
+        s.push(AppRelation::new(
+            "COMPANIES",
+            "PORGANIZATION",
+            &[("COMPANY", "ONAME"), ("CHIEF", "CEO")],
+        ));
+        s.push(AppRelation::new(
+            "SLOAN_GRADS",
+            "PALUMNUS",
+            &[("ID", "AID#"), ("GRAD", "ANAME"), ("DEGREE", "DEGREE")],
+        ));
+        s.push(AppRelation::new(
+            "POSITIONS",
+            "PCAREER",
+            &[("ID", "AID#"), ("COMPANY", "ONAME")],
+        ));
+        s
+    }
+
+    #[test]
+    fn end_to_end_application_query() {
+        let s = scenario::build();
+        let ws = CisWorkstation::for_scenario(&s, computerworld_schema());
+        // The ComputerWorld question in the application vocabulary.
+        let out = ws
+            .query_app(
+                "SELECT COMPANY, CHIEF FROM COMPANIES, SLOAN_GRADS \
+                 WHERE CHIEF = GRAD AND COMPANY IN \
+                 (SELECT COMPANY FROM POSITIONS WHERE ID IN \
+                 (SELECT ID FROM SLOAN_GRADS WHERE DEGREE = \"MBA\"))",
+            )
+            .unwrap();
+        assert_eq!(out.answer.len(), 3);
+        assert!(out
+            .answer
+            .cell("ONAME", &Value::str("Citicorp"), "CEO")
+            .is_some());
+    }
+
+    #[test]
+    fn app_and_polygen_paths_agree() {
+        let s = scenario::build();
+        let ws = CisWorkstation::for_scenario(&s, computerworld_schema());
+        let via_app = ws
+            .query_app("SELECT COMPANY FROM COMPANIES WHERE CHIEF = \"John Reed\"")
+            .unwrap();
+        let via_polygen = ws
+            .query_polygen("SELECT ONAME FROM PORGANIZATION WHERE CEO = \"John Reed\"")
+            .unwrap();
+        assert!(via_app.answer.tagged_set_eq(&via_polygen.answer));
+    }
+
+    #[test]
+    fn app_errors_surface() {
+        let s = scenario::build();
+        let ws = CisWorkstation::for_scenario(&s, computerworld_schema());
+        assert!(matches!(
+            ws.query_app("SELECT X FROM NOPE"),
+            Err(CisError::Aqp(_))
+        ));
+    }
+}

@@ -1,0 +1,474 @@
+//! The classical relational algebra over [`Relation`]s.
+//!
+//! These are the "five orthogonal algebraic primitive operators" the paper
+//! inherits from Codd (project, cartesian product, restrict, union,
+//! difference) plus the usual derived forms (select, θ-join, equi-join,
+//! intersection, outer join). The polygen crate defines the tagged versions
+//! of exactly these operators; property tests assert that erasing tags
+//! commutes with every one of them.
+//!
+//! Set semantics throughout: results never contain duplicate rows.
+
+use crate::error::FlatError;
+use crate::relation::{Relation, Row};
+use crate::schema::Schema;
+use crate::value::{Cmp, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Project onto a sublist of attributes, collapsing duplicates.
+pub fn project(p: &Relation, attrs: &[&str]) -> Result<Relation, FlatError> {
+    let idx = p.schema().indices_of(attrs)?;
+    let schema = Arc::new(p.schema().project(&idx, p.name())?);
+    let rows = p
+        .rows()
+        .iter()
+        .map(|row| idx.iter().map(|&i| row[i].clone()).collect::<Row>())
+        .collect();
+    Relation::from_rows(schema, rows)
+}
+
+/// Select: restrict against a constant (`p[x θ const]`).
+pub fn select(p: &Relation, attr: &str, cmp: Cmp, constant: Value) -> Result<Relation, FlatError> {
+    let x = p.schema().index_of(attr)?.0;
+    let rows = p
+        .rows()
+        .iter()
+        .filter(|row| row[x].satisfies(cmp, &constant))
+        .cloned()
+        .collect();
+    Relation::from_rows(Arc::clone(p.schema()), rows)
+}
+
+/// Restrict: keep tuples whose two named attributes satisfy θ (`p[x θ y]`).
+pub fn restrict(p: &Relation, x: &str, cmp: Cmp, y: &str) -> Result<Relation, FlatError> {
+    let xi = p.schema().index_of(x)?.0;
+    let yi = p.schema().index_of(y)?.0;
+    let rows = p
+        .rows()
+        .iter()
+        .filter(|row| row[xi].satisfies(cmp, &row[yi]))
+        .cloned()
+        .collect();
+    Relation::from_rows(Arc::clone(p.schema()), rows)
+}
+
+/// Cartesian product (tuple concatenation over all pairs).
+pub fn product(p1: &Relation, p2: &Relation) -> Result<Relation, FlatError> {
+    let schema = Arc::new(p1.schema().concat(
+        p2.schema(),
+        &format!("{}x{}", p1.name(), p2.name()),
+    )?);
+    let mut rows = Vec::with_capacity(p1.len() * p2.len());
+    for a in p1.rows() {
+        for b in p2.rows() {
+            let mut row = Vec::with_capacity(a.len() + b.len());
+            row.extend_from_slice(a);
+            row.extend_from_slice(b);
+            rows.push(row);
+        }
+    }
+    Relation::from_rows(schema, rows)
+}
+
+/// θ-join: the restriction of a Cartesian product, materialized without
+/// building the full product. `x` names an attribute of `p1`, `y` of `p2`.
+pub fn theta_join(
+    p1: &Relation,
+    p2: &Relation,
+    x: &str,
+    cmp: Cmp,
+    y: &str,
+) -> Result<Relation, FlatError> {
+    let xi = p1.schema().index_of(x)?.0;
+    let yi = p2.schema().index_of(y)?.0;
+    let schema = Arc::new(p1.schema().concat(
+        p2.schema(),
+        &format!("{}x{}", p1.name(), p2.name()),
+    )?);
+    let mut rows = Vec::new();
+    if cmp == Cmp::Eq {
+        // Hash equi-join fast path: build on the smaller side.
+        let mut index: HashMap<&Value, Vec<&Row>> = HashMap::with_capacity(p2.len());
+        for b in p2.rows() {
+            if !b[yi].is_nil() {
+                index.entry(&b[yi]).or_default().push(b);
+            }
+        }
+        for a in p1.rows() {
+            if a[xi].is_nil() {
+                continue;
+            }
+            if let Some(matches) = index.get(&a[xi]) {
+                for b in matches {
+                    // Hash equality is stricter than θ-equality for mixed
+                    // numeric types, so re-check θ.
+                    if a[xi].satisfies(Cmp::Eq, &b[yi]) {
+                        let mut row = Vec::with_capacity(a.len() + b.len());
+                        row.extend_from_slice(a);
+                        row.extend_from_slice(b);
+                        rows.push(row);
+                    }
+                }
+            }
+            // Mixed-type numeric equality (Int vs Float) will not hash
+            // together; sweep for those rarities only when needed.
+            if matches!(a[xi], Value::Int(_) | Value::Float(_)) {
+                for b in p2.rows() {
+                    if std::mem::discriminant(&a[xi]) != std::mem::discriminant(&b[yi])
+                        && a[xi].satisfies(Cmp::Eq, &b[yi])
+                    {
+                        let mut row = Vec::with_capacity(a.len() + b.len());
+                        row.extend_from_slice(a);
+                        row.extend_from_slice(b);
+                        rows.push(row);
+                    }
+                }
+            }
+        }
+    } else {
+        for a in p1.rows() {
+            for b in p2.rows() {
+                if a[xi].satisfies(cmp, &b[yi]) {
+                    let mut row = Vec::with_capacity(a.len() + b.len());
+                    row.extend_from_slice(a);
+                    row.extend_from_slice(b);
+                    rows.push(row);
+                }
+            }
+        }
+    }
+    Relation::from_rows(schema, rows)
+}
+
+/// Equi-join that merges the two join columns into a single column named
+/// `out` — the flat counterpart of the polygen executor's coalesced join
+/// (Tables 5 and 7 of the paper are printed in this form).
+pub fn equi_join_merged(
+    p1: &Relation,
+    p2: &Relation,
+    x: &str,
+    y: &str,
+    out: &str,
+) -> Result<Relation, FlatError> {
+    let joined = theta_join(p1, p2, x, Cmp::Eq, y)?;
+    // The right join column may have been qualified during concat.
+    let right_col = if p1.schema().contains(y) {
+        format!("{}.{}", p2.name(), y)
+    } else {
+        y.to_string()
+    };
+    let xi = joined.schema().index_of(x)?.0;
+    let yi = joined.schema().index_of(&right_col)?.0;
+    let mut attrs: Vec<Arc<str>> = Vec::with_capacity(joined.degree() - 1);
+    for (i, a) in joined.schema().attrs().iter().enumerate() {
+        if i == yi {
+            continue;
+        }
+        if i == xi {
+            attrs.push(Arc::from(out));
+        } else {
+            attrs.push(Arc::clone(a));
+        }
+    }
+    let schema = Arc::new(Schema::from_parts(joined.name(), attrs, Vec::new())?);
+    let rows = joined
+        .rows()
+        .iter()
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .filter(|(i, _)| *i != yi)
+                .map(|(_, v)| v.clone())
+                .collect::<Row>()
+        })
+        .collect();
+    Relation::from_rows(schema, rows)
+}
+
+/// Union of two union-compatible relations.
+pub fn union(p1: &Relation, p2: &Relation) -> Result<Relation, FlatError> {
+    p1.schema().union_compatible(p2.schema())?;
+    let mut rows: Vec<Row> = p1.rows().to_vec();
+    rows.extend(p2.rows().iter().cloned());
+    Relation::from_rows(Arc::clone(p1.schema()), rows)
+}
+
+/// Difference `p1 − p2` of two union-compatible relations.
+pub fn difference(p1: &Relation, p2: &Relation) -> Result<Relation, FlatError> {
+    p1.schema().union_compatible(p2.schema())?;
+    let exclude: std::collections::HashSet<&Row> = p2.rows().iter().collect();
+    let rows = p1
+        .rows()
+        .iter()
+        .filter(|r| !exclude.contains(*r))
+        .cloned()
+        .collect();
+    Relation::from_rows(Arc::clone(p1.schema()), rows)
+}
+
+/// Intersection, defined (as in the paper) as the projection of a join over
+/// all attributes; implemented directly as set intersection.
+pub fn intersect(p1: &Relation, p2: &Relation) -> Result<Relation, FlatError> {
+    p1.schema().union_compatible(p2.schema())?;
+    let keep: std::collections::HashSet<&Row> = p2.rows().iter().collect();
+    let rows = p1
+        .rows()
+        .iter()
+        .filter(|r| keep.contains(*r))
+        .cloned()
+        .collect();
+    Relation::from_rows(Arc::clone(p1.schema()), rows)
+}
+
+/// Full outer equi-join on `p1.x = p2.y`, padding unmatched sides with
+/// `nil` (Date's outer join, which the paper's Outer Natural Joins build
+/// on). `nil` join keys never match.
+pub fn outer_join(p1: &Relation, p2: &Relation, x: &str, y: &str) -> Result<Relation, FlatError> {
+    let xi = p1.schema().index_of(x)?.0;
+    let yi = p2.schema().index_of(y)?.0;
+    let schema = Arc::new(p1.schema().concat(
+        p2.schema(),
+        &format!("{}x{}", p1.name(), p2.name()),
+    )?);
+    let mut rows = Vec::new();
+    let mut right_matched = vec![false; p2.len()];
+    for a in p1.rows() {
+        let mut matched = false;
+        for (bi, b) in p2.rows().iter().enumerate() {
+            if a[xi].satisfies(Cmp::Eq, &b[yi]) {
+                matched = true;
+                right_matched[bi] = true;
+                let mut row = Vec::with_capacity(a.len() + b.len());
+                row.extend_from_slice(a);
+                row.extend_from_slice(b);
+                rows.push(row);
+            }
+        }
+        if !matched {
+            let mut row = Vec::with_capacity(a.len() + p2.degree());
+            row.extend_from_slice(a);
+            row.extend(std::iter::repeat_with(|| Value::Null).take(p2.degree()));
+            rows.push(row);
+        }
+    }
+    for (bi, b) in p2.rows().iter().enumerate() {
+        if !right_matched[bi] {
+            let mut row = Vec::with_capacity(p1.degree() + b.len());
+            row.extend(std::iter::repeat_with(|| Value::Null).take(p1.degree()));
+            row.extend_from_slice(b);
+            rows.push(row);
+        }
+    }
+    Relation::from_rows(schema, rows)
+}
+
+/// Rename attributes positionally (`mapping[i]` is the new name of
+/// attribute `i`).
+pub fn rename_attrs(p: &Relation, mapping: &[&str]) -> Result<Relation, FlatError> {
+    if mapping.len() != p.degree() {
+        return Err(FlatError::ArityMismatch {
+            relation: p.name().to_string(),
+            expected: p.degree(),
+            found: mapping.len(),
+        });
+    }
+    let attrs: Vec<Arc<str>> = mapping.iter().map(|m| Arc::from(*m)).collect();
+    let schema = Arc::new(Schema::from_parts(
+        p.name(),
+        attrs,
+        p.schema().key().to_vec(),
+    )?);
+    p.with_schema(schema)
+}
+
+#[cfg(test)]
+#[allow(clippy::useless_vec)] // `vals!` produces Vec by design
+mod tests {
+    use super::*;
+    use crate::vals;
+
+    fn alumnus() -> Relation {
+        Relation::build("ALUMNUS", &["AID", "ANAME", "DEG"])
+            .key(&["AID"])
+            .vrow(vals![12, "John McCauley", "MBA"])
+            .vrow(vals![123, "Bob Swanson", "MBA"])
+            .vrow(vals![345, "James Yao", "BS"])
+            .finish()
+            .unwrap()
+    }
+
+    fn career() -> Relation {
+        Relation::build("CAREER", &["AID", "BNAME"])
+            .vrow(vals![12, "Citicorp"])
+            .vrow(vals![123, "Genentech"])
+            .vrow(vals![999, "Orphan"])
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn project_collapses_duplicates() {
+        let p = project(&alumnus(), &["DEG"]).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(p.contains(&vals!["MBA"]));
+        assert!(p.contains(&vals!["BS"]));
+    }
+
+    #[test]
+    fn project_unknown_attr_errors() {
+        assert!(project(&alumnus(), &["NOPE"]).is_err());
+    }
+
+    #[test]
+    fn select_with_constant() {
+        let s = select(&alumnus(), "DEG", Cmp::Eq, Value::str("MBA")).unwrap();
+        assert_eq!(s.len(), 2);
+        let none = select(&alumnus(), "DEG", Cmp::Eq, Value::str("PhD")).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn restrict_two_attrs() {
+        let r = Relation::build("T", &["A", "B"])
+            .vrow(vals![1, 1])
+            .vrow(vals![1, 2])
+            .finish()
+            .unwrap();
+        let eq = restrict(&r, "A", Cmp::Eq, "B").unwrap();
+        assert_eq!(eq.len(), 1);
+        let lt = restrict(&r, "A", Cmp::Lt, "B").unwrap();
+        assert_eq!(lt.len(), 1);
+        assert!(lt.contains(&vals![1, 2]));
+    }
+
+    #[test]
+    fn product_counts_and_schema() {
+        let p = product(&alumnus(), &career()).unwrap();
+        assert_eq!(p.len(), 9);
+        assert_eq!(p.degree(), 5);
+        // Collision on AID is qualified.
+        assert!(p.schema().contains("CAREER.AID"));
+    }
+
+    #[test]
+    fn theta_join_equals_restricted_product() {
+        let via_join = theta_join(&alumnus(), &career(), "AID", Cmp::Eq, "AID").unwrap();
+        let via_product = {
+            let prod = product(&alumnus(), &career()).unwrap();
+            restrict(&prod, "AID", Cmp::Eq, "CAREER.AID").unwrap()
+        };
+        assert_eq!(
+            via_join.canonicalized().rows(),
+            via_product.canonicalized().rows()
+        );
+        assert_eq!(via_join.len(), 2);
+    }
+
+    #[test]
+    fn theta_join_nonequality() {
+        let l = Relation::build("L", &["A"])
+            .vrow(vals![1])
+            .vrow(vals![5])
+            .finish()
+            .unwrap();
+        let r = Relation::build("R", &["B"])
+            .vrow(vals![3])
+            .finish()
+            .unwrap();
+        let lt = theta_join(&l, &r, "A", Cmp::Lt, "B").unwrap();
+        assert_eq!(lt.len(), 1);
+        assert!(lt.contains(&vals![1, 3]));
+    }
+
+    #[test]
+    fn equi_join_handles_mixed_numeric_types() {
+        let l = Relation::build("L", &["A"]).vrow(vals![3]).finish().unwrap();
+        let r = Relation::build("R", &["B"])
+            .vrow(vals![3.0])
+            .finish()
+            .unwrap();
+        let j = theta_join(&l, &r, "A", Cmp::Eq, "B").unwrap();
+        assert_eq!(j.len(), 1);
+    }
+
+    #[test]
+    fn equi_join_merged_drops_duplicate_column() {
+        let j = equi_join_merged(&alumnus(), &career(), "AID", "AID", "AID").unwrap();
+        assert_eq!(j.degree(), 4);
+        assert!(j.contains(&vals![12, "John McCauley", "MBA", "Citicorp"]));
+    }
+
+    #[test]
+    fn nil_keys_never_join() {
+        let l = Relation::build("L", &["A"])
+            .vrow(vec![Value::Null])
+            .finish()
+            .unwrap();
+        let r = Relation::build("R", &["B"])
+            .vrow(vec![Value::Null])
+            .finish()
+            .unwrap();
+        assert!(theta_join(&l, &r, "A", Cmp::Eq, "B").unwrap().is_empty());
+    }
+
+    #[test]
+    fn union_difference_intersect_laws() {
+        let a = Relation::build("A", &["X"])
+            .vrow(vals![1])
+            .vrow(vals![2])
+            .finish()
+            .unwrap();
+        let b = Relation::build("B", &["X"])
+            .vrow(vals![2])
+            .vrow(vals![3])
+            .finish()
+            .unwrap();
+        let u = union(&a, &b).unwrap();
+        assert_eq!(u.len(), 3);
+        let d = difference(&a, &b).unwrap();
+        assert_eq!(d.len(), 1);
+        assert!(d.contains(&vals![1]));
+        let i = intersect(&a, &b).unwrap();
+        assert_eq!(i.len(), 1);
+        assert!(i.contains(&vals![2]));
+        // a = (a − b) ∪ (a ∩ b)
+        let rebuilt = union(&d, &i).unwrap();
+        assert!(rebuilt.set_eq(&a));
+    }
+
+    #[test]
+    fn union_incompatible_errors() {
+        let a = Relation::build("A", &["X"]).finish().unwrap();
+        let b = Relation::build("B", &["Y"]).finish().unwrap();
+        assert!(union(&a, &b).is_err());
+        assert!(difference(&a, &b).is_err());
+        assert!(intersect(&a, &b).is_err());
+    }
+
+    #[test]
+    fn outer_join_pads_with_nil() {
+        let oj = outer_join(&alumnus(), &career(), "AID", "AID").unwrap();
+        // 2 matches + 1 unmatched left (345) + 1 unmatched right (999).
+        assert_eq!(oj.len(), 4);
+        let unmatched_left = oj
+            .rows()
+            .iter()
+            .find(|r| r[0] == Value::int(345))
+            .unwrap();
+        assert!(unmatched_left[3].is_nil() && unmatched_left[4].is_nil());
+        let unmatched_right = oj
+            .rows()
+            .iter()
+            .find(|r| r[4] == Value::str("Orphan"))
+            .unwrap();
+        assert!(unmatched_right[0].is_nil());
+    }
+
+    #[test]
+    fn rename_attrs_positional() {
+        let r = rename_attrs(&career(), &["AID#", "ONAME"]).unwrap();
+        assert!(r.schema().contains("ONAME"));
+        assert!(rename_attrs(&career(), &["ONLY"]).is_err());
+    }
+}

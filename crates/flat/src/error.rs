@@ -1,0 +1,114 @@
+//! Error type shared by the flat relational layer.
+
+use std::fmt;
+
+/// Errors produced by schema construction and algebra evaluation.
+///
+/// The polygen paper assumes the Syntax Analyzer "has insured that a POM
+/// represents a legal polygen query" (footnote 10); at the substrate level
+/// we still surface every illegal operation as a typed error rather than a
+/// panic, so the upper layers can report malformed queries gracefully.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlatError {
+    /// An attribute name was not found in a relation's schema.
+    UnknownAttribute {
+        relation: String,
+        attribute: String,
+    },
+    /// A duplicate attribute name appeared while constructing a schema.
+    DuplicateAttribute {
+        relation: String,
+        attribute: String,
+    },
+    /// A row's arity did not match the schema's degree.
+    ArityMismatch {
+        relation: String,
+        expected: usize,
+        found: usize,
+    },
+    /// Union/difference operands were not union-compatible.
+    NotUnionCompatible {
+        left: String,
+        right: String,
+        reason: String,
+    },
+    /// A schema was constructed with no attributes.
+    EmptySchema { relation: String },
+    /// Text-format input could not be parsed into a relation.
+    ParseError { line: usize, message: String },
+}
+
+impl fmt::Display for FlatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlatError::UnknownAttribute {
+                relation,
+                attribute,
+            } => write!(f, "relation `{relation}` has no attribute `{attribute}`"),
+            FlatError::DuplicateAttribute {
+                relation,
+                attribute,
+            } => write!(
+                f,
+                "attribute `{attribute}` appears more than once in relation `{relation}`"
+            ),
+            FlatError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "row arity {found} does not match degree {expected} of relation `{relation}`"
+            ),
+            FlatError::NotUnionCompatible {
+                left,
+                right,
+                reason,
+            } => write!(
+                f,
+                "relations `{left}` and `{right}` are not union-compatible: {reason}"
+            ),
+            FlatError::EmptySchema { relation } => {
+                write!(f, "relation `{relation}` must have at least one attribute")
+            }
+            FlatError::ParseError { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_attribute() {
+        let e = FlatError::UnknownAttribute {
+            relation: "FIRM".into(),
+            attribute: "CEO".into(),
+        };
+        assert_eq!(e.to_string(), "relation `FIRM` has no attribute `CEO`");
+    }
+
+    #[test]
+    fn display_arity() {
+        let e = FlatError::ArityMismatch {
+            relation: "FIRM".into(),
+            expected: 3,
+            found: 2,
+        };
+        assert!(e.to_string().contains("arity 2"));
+        assert!(e.to_string().contains("degree 3"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&FlatError::EmptySchema {
+            relation: "X".into(),
+        });
+    }
+}

@@ -1,0 +1,61 @@
+//! # polygen-flat — the untagged relational substrate
+//!
+//! Wang & Madnick's polygen model (1990) is "a direct extension of the
+//! Relational Model to the multiple database setting with source tagging
+//! capabilities". Before anything can be tagged, there has to be a plain
+//! relational layer: the local databases of Figure 1 are ordinary
+//! single-site relational systems, and the paper's evaluation compares
+//! polygen operators against their classical counterparts.
+//!
+//! This crate is that substrate, built from scratch:
+//!
+//! * [`value::Value`] — the datum type drawn from a "simple domain in an
+//!   LQP" (§II), with `nil` (the paper's outer-join null), totally ordered
+//!   floats, and θ-comparison semantics where `nil θ x` is never true.
+//! * [`schema::Schema`] — attribute lists with primary-key designation.
+//! * [`relation::Relation`] — a set-semantics relation of [`value::Value`]
+//!   rows.
+//! * [`algebra`] — the five classical primitives (project, cartesian
+//!   product, restrict, union, difference) plus the derived operators the
+//!   paper builds on (select, θ-join, equi-join, intersection, outer join,
+//!   rename), all with set semantics.
+//!
+//! The polygen crates layer tags on top of these semantics; every polygen
+//! operator is property-tested to be a *tag-erasure homomorphism* over this
+//! crate's operators (stripping tags before or after an operation yields the
+//! same flat relation).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use polygen_flat::prelude::*;
+//!
+//! let business = Relation::build("BUSINESS", &["BNAME", "IND"])
+//!     .row(&["IBM", "High Tech"])
+//!     .row(&["MIT", "Education"])
+//!     .finish()
+//!     .unwrap();
+//! let hightech = algebra::select(&business, "IND", Cmp::Eq, Value::str("High Tech")).unwrap();
+//! assert_eq!(hightech.len(), 1);
+//! ```
+
+pub mod algebra;
+pub mod error;
+pub mod relation;
+pub mod schema;
+pub mod textio;
+pub mod value;
+
+/// Convenient glob import for downstream crates and examples.
+pub mod prelude {
+    pub use crate::algebra;
+    pub use crate::error::FlatError;
+    pub use crate::relation::{Relation, RelationBuilder, Row};
+    pub use crate::schema::{AttrRef, Schema};
+    pub use crate::value::{Cmp, Value};
+}
+
+pub use error::FlatError;
+pub use relation::Relation;
+pub use schema::Schema;
+pub use value::{Cmp, Value};

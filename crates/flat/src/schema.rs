@@ -1,0 +1,311 @@
+//! Relation schemas: attribute lists with primary-key designation.
+//!
+//! The polygen paper keys several operators off schema structure — the
+//! Outer Natural *Primary* Join joins "on the primary key of a polygen
+//! relation" (§II) — so the substrate schema carries an optional primary
+//! key along with its ordered attribute list.
+
+use crate::error::FlatError;
+use std::fmt;
+use std::sync::Arc;
+
+/// An attribute resolved to its positional index within a schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AttrRef(pub usize);
+
+/// An ordered list of named attributes plus an optional primary key.
+///
+/// Schemas are immutable once built and shared via `Arc` by relations, so
+/// the many intermediate relations produced during polygen query processing
+/// never re-allocate attribute names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    name: Arc<str>,
+    attrs: Vec<Arc<str>>,
+    /// Indices into `attrs` forming the primary key (possibly empty).
+    key: Vec<usize>,
+}
+
+impl Schema {
+    /// Build a schema, rejecting duplicate or absent attributes.
+    pub fn new(name: &str, attrs: &[&str]) -> Result<Self, FlatError> {
+        if attrs.is_empty() {
+            return Err(FlatError::EmptySchema {
+                relation: name.to_string(),
+            });
+        }
+        let mut seen: Vec<&str> = Vec::with_capacity(attrs.len());
+        for a in attrs {
+            if seen.contains(a) {
+                return Err(FlatError::DuplicateAttribute {
+                    relation: name.to_string(),
+                    attribute: (*a).to_string(),
+                });
+            }
+            seen.push(a);
+        }
+        Ok(Schema {
+            name: Arc::from(name),
+            attrs: attrs.iter().map(|a| Arc::from(*a)).collect(),
+            key: Vec::new(),
+        })
+    }
+
+    /// Build a schema from already-interned attribute names.
+    pub fn from_parts(
+        name: &str,
+        attrs: Vec<Arc<str>>,
+        key: Vec<usize>,
+    ) -> Result<Self, FlatError> {
+        if attrs.is_empty() {
+            return Err(FlatError::EmptySchema {
+                relation: name.to_string(),
+            });
+        }
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].iter().any(|b| b == a) {
+                return Err(FlatError::DuplicateAttribute {
+                    relation: name.to_string(),
+                    attribute: a.to_string(),
+                });
+            }
+        }
+        debug_assert!(key.iter().all(|&k| k < attrs.len()));
+        Ok(Schema {
+            name: Arc::from(name),
+            attrs,
+            key,
+        })
+    }
+
+    /// Designate the primary key by attribute names.
+    pub fn with_key(mut self, key_attrs: &[&str]) -> Result<Self, FlatError> {
+        let mut key = Vec::with_capacity(key_attrs.len());
+        for a in key_attrs {
+            key.push(self.index_of(a)?.0);
+        }
+        self.key = key;
+        Ok(self)
+    }
+
+    /// The relation name this schema was declared under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// A renamed copy (schemas are value types; relations share via `Arc`).
+    pub fn renamed(&self, name: &str) -> Schema {
+        Schema {
+            name: Arc::from(name),
+            attrs: self.attrs.clone(),
+            key: self.key.clone(),
+        }
+    }
+
+    /// Number of attributes (the relation's degree).
+    pub fn degree(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The ordered attribute names.
+    pub fn attrs(&self) -> &[Arc<str>] {
+        &self.attrs
+    }
+
+    /// Attribute name at a position.
+    pub fn attr_at(&self, i: usize) -> &str {
+        &self.attrs[i]
+    }
+
+    /// The interned attribute name at a position (cheap to clone).
+    pub fn attr_arc(&self, i: usize) -> Arc<str> {
+        Arc::clone(&self.attrs[i])
+    }
+
+    /// Primary-key attribute indices (empty when no key is declared).
+    pub fn key(&self) -> &[usize] {
+        &self.key
+    }
+
+    /// Resolve an attribute name to its index.
+    pub fn index_of(&self, attr: &str) -> Result<AttrRef, FlatError> {
+        self.attrs
+            .iter()
+            .position(|a| a.as_ref() == attr)
+            .map(AttrRef)
+            .ok_or_else(|| FlatError::UnknownAttribute {
+                relation: self.name.to_string(),
+                attribute: attr.to_string(),
+            })
+    }
+
+    /// Does the schema contain an attribute with this name?
+    pub fn contains(&self, attr: &str) -> bool {
+        self.attrs.iter().any(|a| a.as_ref() == attr)
+    }
+
+    /// Resolve a list of attribute names to indices, preserving order.
+    pub fn indices_of(&self, attrs: &[&str]) -> Result<Vec<usize>, FlatError> {
+        attrs.iter().map(|a| Ok(self.index_of(a)?.0)).collect()
+    }
+
+    /// Schema of a projection onto the given indices. The primary key is
+    /// kept only if every key attribute survives the projection.
+    pub fn project(&self, indices: &[usize], name: &str) -> Result<Schema, FlatError> {
+        let attrs: Vec<Arc<str>> = indices.iter().map(|&i| self.attr_arc(i)).collect();
+        let key = if !self.key.is_empty() && self.key.iter().all(|k| indices.contains(k)) {
+            self.key
+                .iter()
+                .map(|k| indices.iter().position(|i| i == k).expect("checked"))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Schema::from_parts(name, attrs, key)
+    }
+
+    /// Concatenated schema for a Cartesian product. Attribute-name
+    /// collisions on the right side are qualified as `<right-name>.<attr>`
+    /// (the worked tables never show raw collisions because the paper's
+    /// joins coalesce the join columns; qualification keeps raw products
+    /// well-formed). The product has no primary key.
+    pub fn concat(&self, right: &Schema, name: &str) -> Result<Schema, FlatError> {
+        let mut attrs: Vec<Arc<str>> = self.attrs.clone();
+        for a in &right.attrs {
+            if attrs.iter().any(|b| b == a) {
+                let qualified: Arc<str> = Arc::from(format!("{}.{}", right.name(), a).as_str());
+                attrs.push(qualified);
+            } else {
+                attrs.push(Arc::clone(a));
+            }
+        }
+        Schema::from_parts(name, attrs, Vec::new())
+    }
+
+    /// Union compatibility check: same degree and same attribute names in
+    /// order. (The paper additionally requires the same polygen domains;
+    /// domains here are dynamically typed, so name/arity agreement is the
+    /// static part of the check.)
+    pub fn union_compatible(&self, other: &Schema) -> Result<(), FlatError> {
+        if self.degree() != other.degree() {
+            return Err(FlatError::NotUnionCompatible {
+                left: self.name.to_string(),
+                right: other.name.to_string(),
+                reason: format!("degree {} vs {}", self.degree(), other.degree()),
+            });
+        }
+        for (a, b) in self.attrs.iter().zip(&other.attrs) {
+            if a != b {
+                return Err(FlatError::NotUnionCompatible {
+                    left: self.name.to_string(),
+                    right: other.name.to_string(),
+                    reason: format!("attribute `{a}` vs `{b}`"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if self.key.contains(&i) {
+                write!(f, "{a}*")?;
+            } else {
+                write!(f, "{a}")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn firm() -> Schema {
+        Schema::new("FIRM", &["FNAME", "CEO", "HQ"])
+            .unwrap()
+            .with_key(&["FNAME"])
+            .unwrap()
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let s = firm();
+        assert_eq!(s.degree(), 3);
+        assert_eq!(s.index_of("CEO").unwrap(), AttrRef(1));
+        assert_eq!(s.key(), &[0]);
+        assert!(s.contains("HQ"));
+        assert!(!s.contains("PROFIT"));
+        assert!(matches!(
+            s.index_of("PROFIT"),
+            Err(FlatError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_attr_rejected() {
+        assert!(matches!(
+            Schema::new("X", &["A", "A"]),
+            Err(FlatError::DuplicateAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        assert!(matches!(
+            Schema::new("X", &[]),
+            Err(FlatError::EmptySchema { .. })
+        ));
+    }
+
+    #[test]
+    fn projection_keeps_key_when_covered() {
+        let s = firm();
+        let p = s.project(&[0, 2], "P").unwrap();
+        assert_eq!(p.attrs().len(), 2);
+        assert_eq!(p.key(), &[0]);
+        let q = s.project(&[1, 2], "Q").unwrap();
+        assert!(q.key().is_empty());
+    }
+
+    #[test]
+    fn concat_qualifies_collisions() {
+        let a = Schema::new("A", &["X", "Y"]).unwrap();
+        let b = Schema::new("B", &["Y", "Z"]).unwrap();
+        let c = a.concat(&b, "AxB").unwrap();
+        let names: Vec<&str> = c.attrs().iter().map(|s| s.as_ref()).collect();
+        assert_eq!(names, vec!["X", "Y", "B.Y", "Z"]);
+        assert!(c.key().is_empty());
+    }
+
+    #[test]
+    fn union_compatibility() {
+        let a = Schema::new("A", &["X", "Y"]).unwrap();
+        let b = Schema::new("B", &["X", "Y"]).unwrap();
+        let c = Schema::new("C", &["X", "Z"]).unwrap();
+        let d = Schema::new("D", &["X"]).unwrap();
+        assert!(a.union_compatible(&b).is_ok());
+        assert!(a.union_compatible(&c).is_err());
+        assert!(a.union_compatible(&d).is_err());
+    }
+
+    #[test]
+    fn display_marks_key() {
+        assert_eq!(firm().to_string(), "FIRM(FNAME*, CEO, HQ)");
+    }
+
+    #[test]
+    fn renamed_preserves_structure() {
+        let s = firm().renamed("F2");
+        assert_eq!(s.name(), "F2");
+        assert_eq!(s.key(), &[0]);
+        assert_eq!(s.degree(), 3);
+    }
+}

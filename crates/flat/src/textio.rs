@@ -1,0 +1,149 @@
+//! A minimal pipe-delimited text format for loading fixture relations.
+//!
+//! The paper's local databases arrive as printed tables; this loader lets
+//! examples and tests keep fixtures as readable text blocks:
+//!
+//! ```text
+//! FIRM | FNAME* | CEO | HQ
+//! AT&T | Robert Allen | NY
+//! ```
+//!
+//! First line: relation name then attribute names (a trailing `*` marks a
+//! primary-key attribute). Remaining lines: one row each. Cells are trimmed;
+//! `nil` parses as `Value::Null`; integers and floats are auto-detected,
+//! everything else is a string.
+
+use crate::error::FlatError;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::value::Value;
+use std::sync::Arc;
+
+/// Parse one cell of text into a [`Value`].
+pub fn parse_value(cell: &str) -> Value {
+    let cell = cell.trim();
+    if cell == "nil" {
+        return Value::Null;
+    }
+    if cell == "true" {
+        return Value::Bool(true);
+    }
+    if cell == "false" {
+        return Value::Bool(false);
+    }
+    if let Ok(i) = cell.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(x) = cell.parse::<f64>() {
+        return Value::float(x);
+    }
+    Value::str(cell)
+}
+
+/// Parse a pipe-delimited block (see module docs) into a [`Relation`].
+pub fn parse_relation(text: &str) -> Result<Relation, FlatError> {
+    let mut lines = text
+        .lines()
+        .map(str::trim)
+        .enumerate()
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+    let (header_no, header) = lines.next().ok_or(FlatError::ParseError {
+        line: 0,
+        message: "empty relation text".into(),
+    })?;
+    let mut parts = header.split('|').map(str::trim);
+    let name = parts.next().filter(|s| !s.is_empty()).ok_or({
+        FlatError::ParseError {
+            line: header_no + 1,
+            message: "missing relation name".into(),
+        }
+    })?;
+    let mut attrs: Vec<Arc<str>> = Vec::new();
+    let mut key: Vec<usize> = Vec::new();
+    for p in parts {
+        if p.is_empty() {
+            return Err(FlatError::ParseError {
+                line: header_no + 1,
+                message: "empty attribute name".into(),
+            });
+        }
+        if let Some(stripped) = p.strip_suffix('*') {
+            key.push(attrs.len());
+            attrs.push(Arc::from(stripped.trim()));
+        } else {
+            attrs.push(Arc::from(p));
+        }
+    }
+    if attrs.is_empty() {
+        return Err(FlatError::ParseError {
+            line: header_no + 1,
+            message: "relation needs at least one attribute".into(),
+        });
+    }
+    let schema = Arc::new(Schema::from_parts(name, attrs, key)?);
+    let mut rows = Vec::new();
+    for (line_no, line) in lines {
+        let row: Vec<Value> = line.split('|').map(parse_value).collect();
+        if row.len() != schema.degree() {
+            return Err(FlatError::ParseError {
+                line: line_no + 1,
+                message: format!(
+                    "row has {} cells, schema `{}` has degree {}",
+                    row.len(),
+                    schema.name(),
+                    schema.degree()
+                ),
+            });
+        }
+        rows.push(row);
+    }
+    Relation::from_rows(schema, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_style_fixture() {
+        let r = parse_relation(
+            "FIRM | FNAME* | CEO | HQ\n\
+             AT&T | Robert Allen | NY\n\
+             Langley Castle | Stu Madnick | MA\n",
+        )
+        .unwrap();
+        assert_eq!(r.name(), "FIRM");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.schema().key(), &[0]);
+        assert_eq!(r.rows()[0][0], Value::str("AT&T"));
+    }
+
+    #[test]
+    fn value_autodetection() {
+        assert_eq!(parse_value("nil"), Value::Null);
+        assert_eq!(parse_value("1989"), Value::Int(1989));
+        assert_eq!(parse_value("3.5"), Value::float(3.5));
+        assert_eq!(parse_value("true"), Value::Bool(true));
+        assert_eq!(parse_value(" IBM "), Value::str("IBM"));
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let r = parse_relation(
+            "# fixture\nX | A\n\n# body\n1\n2\n",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn arity_error_carries_line() {
+        let e = parse_relation("X | A | B\n1\n").unwrap_err();
+        assert!(matches!(e, FlatError::ParseError { line: 2, .. }));
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert!(parse_relation("   \n").is_err());
+    }
+}

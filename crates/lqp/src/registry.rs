@@ -1,0 +1,132 @@
+//! The LQP registry: the PQP's routing table (Figure 1's fan-out).
+//!
+//! Maps local-database names to live LQPs and performs the *tagging
+//! boundary crossing*: a retrieved flat relation has its domain rules
+//! applied and is lifted into a polygen base relation whose cells all
+//! originate from that LQP's source ("when the execution location is an
+//! LQP … it is also used as the originating source tag for each of the
+//! cells of the polygen base relation", §III).
+
+use crate::engine::{LocalOp, Lqp, LqpError};
+use parking_lot::RwLock;
+use polygen_catalog::dictionary::DataDictionary;
+use polygen_core::relation::PolygenRelation;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A shared, thread-safe map of LD name → LQP.
+#[derive(Default)]
+pub struct LqpRegistry {
+    lqps: RwLock<HashMap<String, Arc<dyn Lqp>>>,
+}
+
+impl LqpRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) an LQP under its own name.
+    pub fn register(&self, lqp: Arc<dyn Lqp>) {
+        self.lqps.write().insert(lqp.name().to_string(), lqp);
+    }
+
+    /// Fetch an LQP by local-database name.
+    pub fn get(&self, name: &str) -> Option<Arc<dyn Lqp>> {
+        self.lqps.read().get(name).cloned()
+    }
+
+    /// Registered database names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.lqps.read().keys().cloned().collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Number of registered LQPs.
+    pub fn len(&self) -> usize {
+        self.lqps.read().len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.lqps.read().is_empty()
+    }
+
+    /// Execute a local operation at the named LQP, apply the dictionary's
+    /// domain rules, and tag the result — the full "retrieve then tag"
+    /// path producing the paper's Tables 4 and A1–A3.
+    pub fn execute_tagged(
+        &self,
+        db: &str,
+        op: &LocalOp,
+        dictionary: &DataDictionary,
+    ) -> Result<PolygenRelation, LqpError> {
+        let lqp = self.get(db).ok_or_else(|| LqpError::UnknownRelation {
+            lqp: db.to_string(),
+            relation: op.relation.clone(),
+        })?;
+        let flat = lqp.execute(op)?;
+        let mapped = dictionary.domains().apply(db, &flat)?;
+        let source = dictionary
+            .registry()
+            .lookup(db)
+            .unwrap_or_else(|| panic!("LQP `{db}` not interned in the data dictionary"));
+        Ok(PolygenRelation::from_flat(&mapped, source))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::InMemoryLqp;
+    use polygen_catalog::domain::DomainRule;
+    use polygen_flat::relation::Relation;
+    use polygen_flat::value::Value;
+
+    fn setup() -> (LqpRegistry, DataDictionary) {
+        let firm = Relation::build("FIRM", &["FNAME", "HQ"])
+            .row(&["IBM", "Armonk, NY"])
+            .finish()
+            .unwrap();
+        let registry = LqpRegistry::new();
+        registry.register(Arc::new(InMemoryLqp::new("CD", vec![firm])));
+        let mut dict = DataDictionary::new();
+        dict.intern_source("CD");
+        dict.domains_mut()
+            .set("CD", "FIRM", "HQ", DomainRule::LastCommaToken);
+        (registry, dict)
+    }
+
+    #[test]
+    fn execute_tagged_applies_domain_rules_and_tags() {
+        let (reg, dict) = setup();
+        let p = reg
+            .execute_tagged("CD", &LocalOp::retrieve("FIRM"), &dict)
+            .unwrap();
+        let cd = dict.registry().lookup("CD").unwrap();
+        let hq = p.cell("FNAME", &Value::str("IBM"), "HQ").unwrap();
+        assert_eq!(hq.datum, Value::str("NY"), "domain rule applied");
+        assert!(hq.origin.contains(cd));
+        assert!(hq.intermediate.is_empty());
+    }
+
+    #[test]
+    fn unknown_database_errors() {
+        let (reg, dict) = setup();
+        assert!(matches!(
+            reg.execute_tagged("XX", &LocalOp::retrieve("FIRM"), &dict),
+            Err(LqpError::UnknownRelation { .. })
+        ));
+    }
+
+    #[test]
+    fn registry_introspection() {
+        let (reg, _) = setup();
+        assert_eq!(reg.names(), vec!["CD"]);
+        assert_eq!(reg.len(), 1);
+        assert!(!reg.is_empty());
+        assert!(reg.get("CD").is_some());
+        assert!(reg.get("AD").is_none());
+    }
+}

@@ -1,0 +1,220 @@
+//! The Syntax Analyzer (Figure 2, first stage).
+//!
+//! "The Syntax Analyzer parses a polygen algebraic expression and
+//! generates a Polygen Operation Matrix" (§III; "details … beyond the
+//! scope of this paper" — so this is our design). The expression tree is
+//! flattened bottom-up, left operand first, which yields exactly the
+//! paper's Table 1 numbering for the example expression.
+
+use crate::error::PqpError;
+use crate::pom::{Op, Pom, PomRow, RelRef, Rha};
+use polygen_sql::algebra_expr::AlgebraExpr;
+
+/// Flatten an algebra expression into a [`Pom`].
+pub fn analyze(expr: &AlgebraExpr) -> Result<Pom, PqpError> {
+    let mut pom = Pom::default();
+    let root = emit(expr, &mut pom)?;
+    if pom.rows.is_empty() {
+        // A bare relation reference: represent as Retrieve-nothing? The
+        // paper's queries always apply at least one operation; a bare
+        // `SELECT * FROM R` maps to a Project-all upstream. Emit a
+        // Restrict-free "Select" with no predicate? Cleanest is a
+        // dedicated error: the analyzer requires at least one operator.
+        let RelRef::Named(name) = root else {
+            unreachable!("empty POM implies bare relation");
+        };
+        return Err(PqpError::BareRelation(name));
+    }
+    Ok(pom)
+}
+
+/// Emit rows for `expr`, returning how its result is referenced.
+fn emit(expr: &AlgebraExpr, pom: &mut Pom) -> Result<RelRef, PqpError> {
+    let rel = |r: RelRef| r;
+    Ok(match expr {
+        AlgebraExpr::Relation(name) => rel(RelRef::Named(name.clone())),
+        AlgebraExpr::Select {
+            input,
+            attr,
+            cmp,
+            value,
+        } => {
+            let lhr = emit(input, pom)?;
+            push(
+                pom,
+                Op::Select,
+                lhr,
+                vec![attr.clone()],
+                Some(*cmp),
+                Rha::Const(value.clone()),
+                RelRef::Nil,
+            )
+        }
+        AlgebraExpr::Restrict {
+            input,
+            left,
+            cmp,
+            right,
+        } => {
+            let lhr = emit(input, pom)?;
+            push(
+                pom,
+                Op::Restrict,
+                lhr,
+                vec![left.clone()],
+                Some(*cmp),
+                Rha::Attr(right.clone()),
+                RelRef::Nil,
+            )
+        }
+        AlgebraExpr::Join {
+            left,
+            lattr,
+            cmp,
+            rattr,
+            right,
+        } => {
+            let lhr = emit(left, pom)?;
+            let rhr = emit(right, pom)?;
+            push(
+                pom,
+                Op::Join,
+                lhr,
+                vec![lattr.clone()],
+                Some(*cmp),
+                Rha::Attr(rattr.clone()),
+                rhr,
+            )
+        }
+        AlgebraExpr::AntiJoin {
+            left,
+            lattr,
+            rattr,
+            right,
+        } => {
+            let lhr = emit(left, pom)?;
+            let rhr = emit(right, pom)?;
+            push(
+                pom,
+                Op::AntiJoin,
+                lhr,
+                vec![lattr.clone()],
+                Some(polygen_flat::value::Cmp::Eq),
+                Rha::Attr(rattr.clone()),
+                rhr,
+            )
+        }
+        AlgebraExpr::Project { input, attrs } => {
+            let lhr = emit(input, pom)?;
+            push(pom, Op::Project, lhr, attrs.clone(), None, Rha::Nil, RelRef::Nil)
+        }
+        AlgebraExpr::Union(a, b) => binary(pom, Op::Union, a, b)?,
+        AlgebraExpr::Difference(a, b) => binary(pom, Op::Difference, a, b)?,
+        AlgebraExpr::Product(a, b) => binary(pom, Op::Product, a, b)?,
+        AlgebraExpr::Intersect(a, b) => binary(pom, Op::Intersect, a, b)?,
+    })
+}
+
+fn binary(
+    pom: &mut Pom,
+    op: Op,
+    a: &AlgebraExpr,
+    b: &AlgebraExpr,
+) -> Result<RelRef, PqpError> {
+    let lhr = emit(a, pom)?;
+    let rhr = emit(b, pom)?;
+    Ok(push(pom, op, lhr, Vec::new(), None, Rha::Nil, rhr))
+}
+
+fn push(
+    pom: &mut Pom,
+    op: Op,
+    lhr: RelRef,
+    lha: Vec<String>,
+    theta: Option<polygen_flat::value::Cmp>,
+    rha: Rha,
+    rhr: RelRef,
+) -> RelRef {
+    let pr = pom.rows.len() + 1;
+    pom.rows.push(PomRow {
+        pr,
+        op,
+        lhr,
+        lha,
+        theta,
+        rha,
+        rhr,
+    });
+    RelRef::Derived(pr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polygen_flat::value::{Cmp, Value};
+    use polygen_sql::algebra_expr::{parse_algebra, PAPER_EXPRESSION};
+
+    /// The analyzer must regenerate Table 1 exactly.
+    #[test]
+    fn table1_for_the_paper_expression() {
+        let expr = parse_algebra(PAPER_EXPRESSION).unwrap();
+        let pom = analyze(&expr).unwrap();
+        assert_eq!(pom.cardinality(), 5);
+        let r = &pom.rows;
+        // R(1) Select PALUMNUS DEGREE = "MBA" nil
+        assert_eq!(r[0].op, Op::Select);
+        assert_eq!(r[0].lhr, RelRef::Named("PALUMNUS".into()));
+        assert_eq!(r[0].lha, vec!["DEGREE"]);
+        assert_eq!(r[0].theta, Some(Cmp::Eq));
+        assert_eq!(r[0].rha, Rha::Const(Value::str("MBA")));
+        assert_eq!(r[0].rhr, RelRef::Nil);
+        // R(2) Join R(1) AID# = AID# PCAREER
+        assert_eq!(r[1].op, Op::Join);
+        assert_eq!(r[1].lhr, RelRef::Derived(1));
+        assert_eq!(r[1].lha, vec!["AID#"]);
+        assert_eq!(r[1].rha, Rha::Attr("AID#".into()));
+        assert_eq!(r[1].rhr, RelRef::Named("PCAREER".into()));
+        // R(3) Join R(2) ONAME = ONAME PORGANIZATION
+        assert_eq!(r[2].op, Op::Join);
+        assert_eq!(r[2].lhr, RelRef::Derived(2));
+        assert_eq!(r[2].rhr, RelRef::Named("PORGANIZATION".into()));
+        // R(4) Restrict R(3) CEO = ANAME nil
+        assert_eq!(r[3].op, Op::Restrict);
+        assert_eq!(r[3].lhr, RelRef::Derived(3));
+        assert_eq!(r[3].lha, vec!["CEO"]);
+        assert_eq!(r[3].rha, Rha::Attr("ANAME".into()));
+        assert_eq!(r[3].rhr, RelRef::Nil);
+        // R(5) Project R(4) ONAME, CEO nil nil nil
+        assert_eq!(r[4].op, Op::Project);
+        assert_eq!(r[4].lhr, RelRef::Derived(4));
+        assert_eq!(r[4].lha, vec!["ONAME", "CEO"]);
+        assert_eq!(r[4].rha, Rha::Nil);
+        assert_eq!(r[4].rhr, RelRef::Nil);
+        assert_eq!(pom.final_result(), Some(5));
+    }
+
+    #[test]
+    fn set_ops_and_antijoin_flatten() {
+        let expr = parse_algebra("(A [X = 1]) UNION (B [X = 2]) MINUS C").unwrap();
+        let pom = analyze(&expr).unwrap();
+        assert_eq!(pom.cardinality(), 4);
+        assert_eq!(pom.rows[2].op, Op::Union);
+        assert_eq!(pom.rows[3].op, Op::Difference);
+        assert_eq!(pom.rows[3].lhr, RelRef::Derived(3));
+        assert_eq!(pom.rows[3].rhr, RelRef::Named("C".into()));
+
+        let aj = analyze(&parse_algebra("A ANTIJOIN [X = Y] B").unwrap()).unwrap();
+        assert_eq!(aj.rows[0].op, Op::AntiJoin);
+        assert_eq!(aj.rows[0].lha, vec!["X"]);
+        assert_eq!(aj.rows[0].rha, Rha::Attr("Y".into()));
+    }
+
+    #[test]
+    fn bare_relation_is_rejected() {
+        let expr = parse_algebra("PALUMNUS").unwrap();
+        assert!(matches!(
+            analyze(&expr),
+            Err(PqpError::BareRelation(n)) if n == "PALUMNUS"
+        ));
+    }
+}

@@ -1,0 +1,121 @@
+//! The PQP's error type.
+
+use polygen_core::error::PolygenError;
+use polygen_lqp::engine::LqpError;
+use polygen_sql::lower::LowerError;
+use polygen_sql::token::SyntaxError;
+use std::fmt;
+
+/// Everything that can go wrong between an SQL string and a tagged
+/// composite answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PqpError {
+    /// Query-text syntax error.
+    Syntax(SyntaxError),
+    /// SQL → algebra lowering failure.
+    Lower(LowerError),
+    /// The expression was a bare relation with no operation.
+    BareRelation(String),
+    /// A referenced relation is neither a polygen scheme nor a derived
+    /// result.
+    UnknownRelation(String),
+    /// An attribute could not be resolved against a relation, even via
+    /// the polygen schema's local-name candidates.
+    UnresolvedAttribute { relation: String, attribute: String },
+    /// An attribute resolved to several columns.
+    AmbiguousAttribute {
+        relation: String,
+        attribute: String,
+        candidates: Vec<String>,
+    },
+    /// A forward/dangling `R(n)` reference inside a matrix.
+    DanglingReference(usize),
+    /// An LQP failed.
+    Lqp(LqpError),
+    /// A polygen algebra operation failed.
+    Polygen(PolygenError),
+    /// An interpreter invariant was violated (a malformed matrix row).
+    MalformedRow { row: usize, reason: String },
+}
+
+impl fmt::Display for PqpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PqpError::Syntax(e) => write!(f, "{e}"),
+            PqpError::Lower(e) => write!(f, "{e}"),
+            PqpError::BareRelation(r) => {
+                write!(f, "expression is the bare relation `{r}` with no operation")
+            }
+            PqpError::UnknownRelation(r) => {
+                write!(f, "`{r}` is not a polygen scheme or derived relation")
+            }
+            PqpError::UnresolvedAttribute {
+                relation,
+                attribute,
+            } => write!(
+                f,
+                "attribute `{attribute}` not resolvable in relation `{relation}`"
+            ),
+            PqpError::AmbiguousAttribute {
+                relation,
+                attribute,
+                candidates,
+            } => write!(
+                f,
+                "attribute `{attribute}` is ambiguous in `{relation}`: {}",
+                candidates.join(", ")
+            ),
+            PqpError::DanglingReference(n) => write!(f, "dangling reference R({n})"),
+            PqpError::Lqp(e) => write!(f, "{e}"),
+            PqpError::Polygen(e) => write!(f, "{e}"),
+            PqpError::MalformedRow { row, reason } => {
+                write!(f, "malformed matrix row {row}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PqpError {}
+
+impl From<SyntaxError> for PqpError {
+    fn from(e: SyntaxError) -> Self {
+        PqpError::Syntax(e)
+    }
+}
+impl From<LowerError> for PqpError {
+    fn from(e: LowerError) -> Self {
+        PqpError::Lower(e)
+    }
+}
+impl From<LqpError> for PqpError {
+    fn from(e: LqpError) -> Self {
+        PqpError::Lqp(e)
+    }
+}
+impl From<PolygenError> for PqpError {
+    fn from(e: PolygenError) -> Self {
+        PqpError::Polygen(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: PqpError = SyntaxError {
+            position: 3,
+            message: "x".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("syntax error"));
+        let e: PqpError = LowerError::UnknownRelation("X".into()).into();
+        assert!(e.to_string().contains("unknown polygen relation"));
+        let e = PqpError::UnresolvedAttribute {
+            relation: "R".into(),
+            attribute: "A".into(),
+        };
+        assert!(e.to_string().contains("not resolvable"));
+    }
+}

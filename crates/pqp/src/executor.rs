@@ -1,0 +1,532 @@
+//! The plan executor: runs an IOM row by row, routing LQP rows to their
+//! local systems (tagging results at the boundary) and evaluating PQP
+//! rows with the polygen algebra — the machinery behind §IV's Tables 4–9.
+//!
+//! ## Attribute-name resolution
+//!
+//! The paper freely mixes polygen and local attribute namespaces: Table
+//! 3's row 8 joins `R(3)` — whose physical column is `BNAME` from the raw
+//! CAREER retrieve — "on ONAME". The executor resolves an IOM attribute
+//! against a relation by (1) exact column match, then (2) the polygen
+//! schema's local candidates for a polygen name, then (3) the reverse
+//! mapping for a local name against a merged relation; a resolution must
+//! be unique or the row is rejected.
+
+use crate::error::PqpError;
+use crate::iom::{ExecLoc, Iom, IomRow};
+use crate::pom::{Op, RelRef, Rha};
+use polygen_catalog::dictionary::DataDictionary;
+use polygen_core::algebra::{self, coalesce::ConflictPolicy};
+use polygen_core::relation::PolygenRelation;
+use polygen_flat::value::{Cmp, Value};
+use polygen_lqp::engine::LocalOp;
+use polygen_lqp::registry::LqpRegistry;
+use std::collections::BTreeMap;
+
+/// Execution knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecOptions {
+    /// What Merge does when two sources disagree on a non-key attribute.
+    pub conflict_policy: ConflictPolicy,
+}
+
+/// The per-row results of one execution — the golden tests read Tables
+/// 4–9 out of this.
+#[derive(Debug, Clone)]
+pub struct ExecutionTrace {
+    /// `R(n)` → materialized relation, for every row.
+    pub results: BTreeMap<usize, PolygenRelation>,
+}
+
+impl ExecutionTrace {
+    /// The relation computed by row `n`.
+    pub fn result(&self, n: usize) -> Option<&PolygenRelation> {
+        self.results.get(&n)
+    }
+}
+
+/// Resolve an IOM attribute name against a relation's actual columns.
+pub fn resolve_attr(
+    rel: &PolygenRelation,
+    attr: &str,
+    dictionary: &DataDictionary,
+) -> Result<String, PqpError> {
+    if rel.schema().contains(attr) {
+        return Ok(attr.to_string());
+    }
+    let schema = dictionary.schema();
+    let mut found: Vec<String> = schema
+        .local_candidates(attr)
+        .into_iter()
+        .filter(|c| rel.schema().contains(c))
+        .collect();
+    if found.is_empty() {
+        // Reverse: `attr` may be a local name while the relation carries
+        // polygen names (a merged relation).
+        for s in schema.schemes() {
+            for (pa, m) in s.attrs() {
+                if m.entries().iter().any(|e| e.attribute.as_ref() == attr)
+                    && rel.schema().contains(pa)
+                    && !found.iter().any(|f| f == pa.as_ref())
+                {
+                    found.push(pa.to_string());
+                }
+            }
+        }
+    }
+    found.dedup();
+    match found.as_slice() {
+        [one] => Ok(one.clone()),
+        [] => Err(PqpError::UnresolvedAttribute {
+            relation: rel.name().to_string(),
+            attribute: attr.to_string(),
+        }),
+        _ => Err(PqpError::AmbiguousAttribute {
+            relation: rel.name().to_string(),
+            attribute: attr.to_string(),
+            candidates: found,
+        }),
+    }
+}
+
+struct Executor<'a> {
+    registry: &'a LqpRegistry,
+    dictionary: &'a DataDictionary,
+    options: ExecOptions,
+    /// R(n) → relation.
+    env: BTreeMap<usize, PolygenRelation>,
+    /// R(n) → (db, local relation) for base retrieves (Merge relabeling).
+    base_meta: BTreeMap<usize, (String, String)>,
+    /// R(n) → coalesced-name aliases. An equi-join coalesces its two join
+    /// columns into one named after the *right* attribute (the paper's
+    /// Table 5/7 presentation); the left attribute's name would otherwise
+    /// become unreferenceable, so each result records `old name → current
+    /// column` for downstream rows.
+    aliases: BTreeMap<usize, std::collections::HashMap<String, String>>,
+}
+
+type AliasMap = std::collections::HashMap<String, String>;
+
+impl Executor<'_> {
+    fn rel(&self, r: &RelRef, row: usize) -> Result<&PolygenRelation, PqpError> {
+        match r {
+            RelRef::Derived(i) => self.env.get(i).ok_or(PqpError::DanglingReference(*i)),
+            _ => Err(PqpError::MalformedRow {
+                row,
+                reason: format!("expected a derived relation, found `{r}`"),
+            }),
+        }
+    }
+
+    /// The alias map of an input relation (empty for non-derived inputs).
+    fn alias_map(&self, r: &RelRef) -> AliasMap {
+        match r {
+            RelRef::Derived(i) => self.aliases.get(i).cloned().unwrap_or_default(),
+            _ => AliasMap::new(),
+        }
+    }
+
+    /// Resolve an attribute against a relation: exact column, then the
+    /// input's coalesced-name aliases, then the schema candidates.
+    fn resolve(
+        &self,
+        src: &RelRef,
+        rel: &PolygenRelation,
+        attr: &str,
+    ) -> Result<String, PqpError> {
+        if rel.schema().contains(attr) {
+            return Ok(attr.to_string());
+        }
+        if let RelRef::Derived(i) = src {
+            if let Some(m) = self.aliases.get(i) {
+                if let Some(col) = m.get(attr) {
+                    if rel.schema().contains(col) {
+                        return Ok(col.clone());
+                    }
+                }
+            }
+        }
+        resolve_attr(rel, attr, self.dictionary)
+    }
+
+    /// Keep only alias entries whose target column still exists.
+    fn retain_valid(mut aliases: AliasMap, rel: &PolygenRelation) -> AliasMap {
+        aliases.retain(|_, col| rel.schema().contains(col));
+        aliases
+    }
+
+    fn single_attr<'b>(&self, row: &'b IomRow) -> Result<&'b str, PqpError> {
+        row.lha
+            .first()
+            .map(String::as_str)
+            .ok_or(PqpError::MalformedRow {
+                row: row.pr,
+                reason: "operation requires a left-hand attribute".into(),
+            })
+    }
+
+    fn theta(&self, row: &IomRow) -> Cmp {
+        row.theta.unwrap_or(Cmp::Eq)
+    }
+
+    fn execute_lqp_row(&mut self, row: &IomRow, db: &str) -> Result<PolygenRelation, PqpError> {
+        let RelRef::Named(local_rel) = &row.lhr else {
+            return Err(PqpError::MalformedRow {
+                row: row.pr,
+                reason: "LQP row requires a named local relation".into(),
+            });
+        };
+        let op = match row.op {
+            Op::Retrieve => LocalOp::retrieve(local_rel),
+            Op::Select => {
+                let attr = self.single_attr(row)?;
+                let Rha::Const(v) = &row.rha else {
+                    return Err(PqpError::MalformedRow {
+                        row: row.pr,
+                        reason: "Select requires a constant RHA".into(),
+                    });
+                };
+                LocalOp::select(local_rel, attr, self.theta(row), v.clone())
+            }
+            Op::Restrict => {
+                let x = self.single_attr(row)?;
+                let Rha::Attr(y) = &row.rha else {
+                    return Err(PqpError::MalformedRow {
+                        row: row.pr,
+                        reason: "Restrict requires an attribute RHA".into(),
+                    });
+                };
+                LocalOp::restrict(local_rel, x, self.theta(row), y)
+            }
+            Op::Project => {
+                let attrs: Vec<&str> = row.lha.iter().map(String::as_str).collect();
+                LocalOp::retrieve(local_rel).with_projection(&attrs)
+            }
+            other => {
+                return Err(PqpError::MalformedRow {
+                    row: row.pr,
+                    reason: format!("operation `{other}` cannot execute at an LQP"),
+                })
+            }
+        };
+        let tagged = self
+            .registry
+            .execute_tagged(db, &op, self.dictionary)?;
+        self.base_meta
+            .insert(row.pr, (db.to_string(), local_rel.clone()));
+        Ok(tagged)
+    }
+
+    fn execute_merge(&mut self, row: &IomRow) -> Result<PolygenRelation, PqpError> {
+        let RelRef::DerivedList(inputs) = &row.lhr else {
+            return Err(PqpError::MalformedRow {
+                row: row.pr,
+                reason: "Merge requires a derived-list LHR".into(),
+            });
+        };
+        let scheme_name = row.scheme_ctx.as_deref().ok_or(PqpError::MalformedRow {
+            row: row.pr,
+            reason: "Merge requires a scheme context".into(),
+        })?;
+        let scheme = self
+            .dictionary
+            .schema()
+            .scheme(scheme_name)
+            .ok_or_else(|| PqpError::UnknownRelation(scheme_name.to_string()))?;
+        let mut relabeled = Vec::with_capacity(inputs.len());
+        for rid in inputs {
+            let rel = self
+                .env
+                .get(rid)
+                .ok_or(PqpError::DanglingReference(*rid))?;
+            let (db, local_rel) =
+                self.base_meta
+                    .get(rid)
+                    .cloned()
+                    .ok_or(PqpError::MalformedRow {
+                        row: row.pr,
+                        reason: format!("Merge input R({rid}) is not a base retrieve"),
+                    })?;
+            let cols: Vec<&str> = rel
+                .schema()
+                .attrs()
+                .iter()
+                .map(|a| a.as_ref())
+                .collect();
+            let new_names = scheme.relabel_columns(&db, &local_rel, &cols);
+            let refs: Vec<&str> = new_names.iter().map(String::as_str).collect();
+            relabeled.push(rel.rename_attrs(&refs)?);
+        }
+        let (merged, _conflicts) =
+            algebra::merge(&relabeled, scheme.key(), self.options.conflict_policy)?;
+        Ok(merged)
+    }
+
+    fn execute_pqp_row(&mut self, row: &IomRow) -> Result<(PolygenRelation, AliasMap), PqpError> {
+        match row.op {
+            Op::Merge => Ok((self.execute_merge(row)?, AliasMap::new())),
+            Op::Select => {
+                let rel = self.rel(&row.lhr, row.pr)?.clone();
+                let attr = self.resolve(&row.lhr, &rel, self.single_attr(row)?)?;
+                let Rha::Const(v) = &row.rha else {
+                    return Err(PqpError::MalformedRow {
+                        row: row.pr,
+                        reason: "Select requires a constant RHA".into(),
+                    });
+                };
+                let out = algebra::select(&rel, &attr, self.theta(row), v.clone())?;
+                let aliases = Self::retain_valid(self.alias_map(&row.lhr), &out);
+                Ok((out, aliases))
+            }
+            Op::Restrict => {
+                let rel = self.rel(&row.lhr, row.pr)?.clone();
+                let x = self.resolve(&row.lhr, &rel, self.single_attr(row)?)?;
+                let Rha::Attr(y) = &row.rha else {
+                    return Err(PqpError::MalformedRow {
+                        row: row.pr,
+                        reason: "Restrict requires an attribute RHA".into(),
+                    });
+                };
+                let y = self.resolve(&row.lhr, &rel, y)?;
+                let out = algebra::restrict(&rel, &x, self.theta(row), &y)?;
+                let aliases = Self::retain_valid(self.alias_map(&row.lhr), &out);
+                Ok((out, aliases))
+            }
+            Op::Project => {
+                let rel = self.rel(&row.lhr, row.pr)?.clone();
+                let attrs = row
+                    .lha
+                    .iter()
+                    .map(|a| self.resolve(&row.lhr, &rel, a))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+                let projected = algebra::project(&rel, &refs)?;
+                // Present the columns under the names the query asked for
+                // (an alias-resolved `CEO` should not surface as `ANAME`).
+                let requested: Vec<&str> = row.lha.iter().map(String::as_str).collect();
+                let out = if requested != refs {
+                    projected.rename_attrs(&requested)?
+                } else {
+                    projected
+                };
+                Ok((out, AliasMap::new()))
+            }
+            Op::Join => {
+                let left = self.rel(&row.lhr, row.pr)?.clone();
+                let right = self.rel(&row.rhr, row.pr)?.clone();
+                let x_raw = self.single_attr(row)?.to_string();
+                let x = self.resolve(&row.lhr, &left, &x_raw)?;
+                let Rha::Attr(y_raw) = &row.rha else {
+                    return Err(PqpError::MalformedRow {
+                        row: row.pr,
+                        reason: "Join requires an attribute RHA".into(),
+                    });
+                };
+                let y = self.resolve(&row.rhr, &right, y_raw)?;
+                if self.theta(row) == Cmp::Eq {
+                    // Equi-joins coalesce the two join columns into one
+                    // named after the right side — how Tables 5 and 7 are
+                    // printed. The left name lives on as an alias.
+                    let out = algebra::equi_join_coalesced(&left, &right, &x, &y, &y)?;
+                    let mut aliases = self.alias_map(&row.lhr);
+                    aliases.extend(self.alias_map(&row.rhr));
+                    // The left join column was renamed: repoint anything
+                    // that referenced it, then alias the old names.
+                    for col in aliases.values_mut() {
+                        if *col == x {
+                            *col = y.clone();
+                        }
+                    }
+                    if x != y {
+                        aliases.insert(x.clone(), y.clone());
+                    }
+                    if x_raw != y {
+                        aliases.insert(x_raw, y.clone());
+                    }
+                    if y_raw != &y {
+                        aliases.insert(y_raw.clone(), y.clone());
+                    }
+                    let aliases = Self::retain_valid(aliases, &out);
+                    Ok((out, aliases))
+                } else {
+                    let out = algebra::theta_join(&left, &right, &x, self.theta(row), &y)?;
+                    let mut aliases = self.alias_map(&row.lhr);
+                    aliases.extend(self.alias_map(&row.rhr));
+                    let aliases = Self::retain_valid(aliases, &out);
+                    Ok((out, aliases))
+                }
+            }
+            Op::AntiJoin => {
+                let left = self.rel(&row.lhr, row.pr)?.clone();
+                let right = self.rel(&row.rhr, row.pr)?.clone();
+                let x = self.resolve(&row.lhr, &left, self.single_attr(row)?)?;
+                let Rha::Attr(y_raw) = &row.rha else {
+                    return Err(PqpError::MalformedRow {
+                        row: row.pr,
+                        reason: "AntiJoin requires an attribute RHA".into(),
+                    });
+                };
+                let y = self.resolve(&row.rhr, &right, y_raw)?;
+                let out = algebra::anti_join(&left, &right, &x, &y)?;
+                let aliases = Self::retain_valid(self.alias_map(&row.lhr), &out);
+                Ok((out, aliases))
+            }
+            Op::Union => {
+                let left = self.rel(&row.lhr, row.pr)?;
+                let right = self.rel(&row.rhr, row.pr)?;
+                let out = algebra::union(left, right)?;
+                let aliases = Self::retain_valid(self.alias_map(&row.lhr), &out);
+                Ok((out, aliases))
+            }
+            Op::Difference => {
+                let left = self.rel(&row.lhr, row.pr)?;
+                let right = self.rel(&row.rhr, row.pr)?;
+                let out = algebra::difference(left, right)?;
+                let aliases = Self::retain_valid(self.alias_map(&row.lhr), &out);
+                Ok((out, aliases))
+            }
+            Op::Intersect => {
+                let left = self.rel(&row.lhr, row.pr)?;
+                let right = self.rel(&row.rhr, row.pr)?;
+                let out = algebra::intersect(left, right)?;
+                let aliases = Self::retain_valid(self.alias_map(&row.lhr), &out);
+                Ok((out, aliases))
+            }
+            Op::Product => {
+                let left = self.rel(&row.lhr, row.pr)?;
+                let right = self.rel(&row.rhr, row.pr)?;
+                let out = algebra::product(left, right)?;
+                let mut aliases = self.alias_map(&row.lhr);
+                aliases.extend(self.alias_map(&row.rhr));
+                let aliases = Self::retain_valid(aliases, &out);
+                Ok((out, aliases))
+            }
+            Op::Retrieve => Err(PqpError::MalformedRow {
+                row: row.pr,
+                reason: "Retrieve cannot execute at the PQP".into(),
+            }),
+        }
+    }
+}
+
+/// Execute an IOM; returns the final relation and the full per-row trace.
+pub fn execute(
+    iom: &Iom,
+    registry: &LqpRegistry,
+    dictionary: &DataDictionary,
+    options: ExecOptions,
+) -> Result<(PolygenRelation, ExecutionTrace), PqpError> {
+    let mut ex = Executor {
+        registry,
+        dictionary,
+        options,
+        env: BTreeMap::new(),
+        base_meta: BTreeMap::new(),
+        aliases: BTreeMap::new(),
+    };
+    for row in &iom.rows {
+        let result = match &row.el {
+            ExecLoc::Lqp(db) => {
+                let db = db.clone();
+                ex.execute_lqp_row(row, &db)?
+            }
+            ExecLoc::Pqp => {
+                let (result, aliases) = ex.execute_pqp_row(row)?;
+                if !aliases.is_empty() {
+                    ex.aliases.insert(row.pr, aliases);
+                }
+                result
+            }
+        };
+        ex.env.insert(row.pr, result);
+    }
+    let final_rid = iom.final_result().ok_or(PqpError::MalformedRow {
+        row: 0,
+        reason: "empty IOM".into(),
+    })?;
+    let final_rel = ex
+        .env
+        .get(&final_rid)
+        .cloned()
+        .ok_or(PqpError::DanglingReference(final_rid))?;
+    Ok((final_rel, ExecutionTrace { results: ex.env }))
+}
+
+/// Convenience: keep `Value` reachable for doc examples in this module.
+#[doc(hidden)]
+pub fn _doc_value(v: Value) -> Value {
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::analyze;
+    use crate::interpreter::interpret;
+    use polygen_catalog::scenario;
+    use polygen_lqp::scenario_registry;
+    use polygen_sql::algebra_expr::parse_algebra;
+
+    fn run(expr: &str) -> (PolygenRelation, ExecutionTrace) {
+        let s = scenario::build();
+        let registry = scenario_registry(&s);
+        let pom = analyze(&parse_algebra(expr).unwrap()).unwrap();
+        let (_, iom) = interpret(&pom, s.dictionary.schema()).unwrap();
+        execute(&iom, &registry, &s.dictionary, ExecOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn lqp_select_produces_table4_shape() {
+        let (rel, _) = run("PALUMNUS [DEGREE = \"MBA\"] [AID#, ANAME]");
+        assert_eq!(rel.len(), 5);
+        // Raw local names survive single-source execution.
+        assert!(rel.schema().contains("AID#"));
+        assert!(rel.schema().contains("ANAME"));
+    }
+
+    #[test]
+    fn merge_then_select_on_polygen_names() {
+        let (rel, _) = run("PORGANIZATION [INDUSTRY = \"Banking\"]");
+        assert_eq!(rel.len(), 1);
+        let row = &rel.tuples()[0];
+        assert_eq!(row[0].datum, Value::str("Citicorp"));
+    }
+
+    #[test]
+    fn final_answer_matches_table9_data() {
+        let (rel, _) = run(polygen_sql::algebra_expr::PAPER_EXPRESSION);
+        assert_eq!(rel.len(), 3);
+        let strip = rel.strip();
+        assert!(strip.contains(&[Value::str("Genentech"), Value::str("Bob Swanson")]));
+        assert!(strip.contains(&[Value::str("Langley Castle"), Value::str("Stu Madnick")]));
+        assert!(strip.contains(&[Value::str("Citicorp"), Value::str("John Reed")]));
+    }
+
+    #[test]
+    fn trace_exposes_intermediate_tables() {
+        let (_, trace) = run(polygen_sql::algebra_expr::PAPER_EXPRESSION);
+        assert_eq!(trace.results.len(), 10);
+        // R(1) = Table 4 (5 MBA alumni), R(7) = Table 6 (12 organizations).
+        assert_eq!(trace.result(1).unwrap().len(), 5);
+        assert_eq!(trace.result(7).unwrap().len(), 12);
+        assert_eq!(trace.result(10).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn union_and_difference_execute() {
+        let (rel, _) = run("(PALUMNUS [DEGREE = \"MBA\"]) UNION (PALUMNUS [DEGREE = \"MS\"])");
+        assert_eq!(rel.len(), 6);
+        let (diff, _) = run("PALUMNUS MINUS (PALUMNUS [DEGREE = \"MBA\"])");
+        assert_eq!(diff.len(), 3);
+    }
+
+    #[test]
+    fn antijoin_executes() {
+        // Organizations with no finance record: only MIT and BP.
+        let (rel, _) = run("(PORGANIZATION ANTIJOIN [ONAME = ONAME] PFINANCE) [ONAME]");
+        let names = rel.strip();
+        assert_eq!(names.len(), 2);
+        assert!(names.contains(&[Value::str("MIT")]));
+        assert!(names.contains(&[Value::str("BP")]));
+    }
+}

@@ -1,0 +1,275 @@
+//! Pass one of the Polygen Operation Interpreter (Figure 3).
+//!
+//! For each POM row, the left-hand side is expanded:
+//!
+//! * LHR is a polygen scheme materialized by **one** local relation → the
+//!   operation maps to that local relation: polygen attribute names become
+//!   local ones (`DEGREE` → `DEG`) and the execution location becomes the
+//!   owning LQP (Table 2's first row).
+//! * LHR is a polygen scheme over **several** local relations → "these
+//!   relations are retrieved and merged first before the requested
+//!   operation is performed by the PQP."
+//! * LHR is `R(#)` → the row is copied with renumbered references and the
+//!   PQP as execution location "because R(#) resides in the PQP."
+
+use crate::error::PqpError;
+use crate::iom::{ExecLoc, Iom, IomRow};
+use crate::pom::{Op, Pom, RelRef, Rha};
+use polygen_catalog::scheme::PolygenScheme;
+use polygen_catalog::schema::PolygenSchema;
+use std::collections::HashMap;
+
+/// Map a polygen attribute to its local name within `(db, rel)`.
+pub(crate) fn localize_attr(
+    scheme: &PolygenScheme,
+    pa: &str,
+    db: &str,
+    rel: &str,
+    row: usize,
+) -> Result<String, PqpError> {
+    scheme
+        .local_attr_of(pa, db, rel)
+        .map(|a| a.attribute.to_string())
+        .ok_or_else(|| PqpError::MalformedRow {
+            row,
+            reason: format!(
+                "polygen attribute `{pa}` of `{}` has no local attribute in {db}.{rel}",
+                scheme.name()
+            ),
+        })
+}
+
+/// Emit the Retrieve + Merge pipeline for a multi-source scheme; returns
+/// the Merge row's result id.
+pub(crate) fn emit_retrieve_merge(
+    out: &mut Iom,
+    scheme: &PolygenScheme,
+) -> usize {
+    let mut retrieved = Vec::new();
+    for local in scheme.local_relations() {
+        let pr = out.rows.len() + 1;
+        out.rows.push(IomRow {
+            pr,
+            op: Op::Retrieve,
+            lhr: RelRef::Named(local.relation.to_string()),
+            lha: Vec::new(),
+            theta: None,
+            rha: Rha::Nil,
+            rhr: RelRef::Nil,
+            el: ExecLoc::Lqp(local.database.to_string()),
+            scheme_ctx: None,
+        });
+        retrieved.push(pr);
+    }
+    let pr = out.rows.len() + 1;
+    out.rows.push(IomRow {
+        pr,
+        op: Op::Merge,
+        lhr: RelRef::DerivedList(retrieved),
+        lha: Vec::new(),
+        theta: None,
+        rha: Rha::Nil,
+        rhr: RelRef::Nil,
+        el: ExecLoc::Pqp,
+        scheme_ctx: Some(scheme.name().to_string()),
+    });
+    pr
+}
+
+/// Pass one: POM → half-processed matrix.
+pub fn pass_one(pom: &Pom, schema: &PolygenSchema) -> Result<Iom, PqpError> {
+    let mut out = Iom::default();
+    // POM result id → half-matrix result id (the paper's `map` function).
+    let mut map: HashMap<usize, usize> = HashMap::with_capacity(pom.rows.len());
+    for (k, row) in pom.rows.iter().enumerate() {
+        match &row.lhr {
+            RelRef::Named(name) => {
+                let scheme = schema
+                    .scheme(name)
+                    .ok_or_else(|| PqpError::UnknownRelation(name.clone()))?;
+                match scheme.single_local_relation() {
+                    Some(local) => {
+                        // Single-source: localize attribute names and run
+                        // at the owning LQP.
+                        let db = local.database.as_ref();
+                        let rel = local.relation.as_ref();
+                        let lha = row
+                            .lha
+                            .iter()
+                            .map(|pa| localize_attr(scheme, pa, db, rel, k + 1))
+                            .collect::<Result<Vec<_>, _>>()?;
+                        // A Restrict's RHA is an attribute of the same
+                        // relation; localize it too. A Join's RHA belongs
+                        // to the RHR and is pass two's business.
+                        let rha = match (&row.rha, &row.rhr) {
+                            (Rha::Attr(pa), RelRef::Nil) => {
+                                Rha::Attr(localize_attr(scheme, pa, db, rel, k + 1)?)
+                            }
+                            (other, _) => other.clone(),
+                        };
+                        let pr = out.rows.len() + 1;
+                        out.rows.push(IomRow {
+                            pr,
+                            op: row.op,
+                            lhr: RelRef::Named(rel.to_string()),
+                            lha,
+                            theta: row.theta,
+                            rha,
+                            rhr: row.rhr.clone(),
+                            el: ExecLoc::Lqp(db.to_string()),
+                            scheme_ctx: None,
+                        });
+                        map.insert(row.pr, pr);
+                    }
+                    None => {
+                        // Multi-source: retrieve + merge, then the
+                        // operation at the PQP over polygen names.
+                        let merge_pr = emit_retrieve_merge(&mut out, scheme);
+                        let pr = out.rows.len() + 1;
+                        out.rows.push(IomRow {
+                            pr,
+                            op: row.op,
+                            lhr: RelRef::Derived(merge_pr),
+                            lha: row.lha.clone(),
+                            theta: row.theta,
+                            rha: row.rha.clone(),
+                            rhr: row.rhr.clone(),
+                            el: ExecLoc::Pqp,
+                            scheme_ctx: None,
+                        });
+                        map.insert(row.pr, pr);
+                    }
+                }
+            }
+            RelRef::Derived(r) => {
+                let mapped = *map
+                    .get(r)
+                    .ok_or(PqpError::DanglingReference(*r))?;
+                let pr = out.rows.len() + 1;
+                out.rows.push(IomRow {
+                    pr,
+                    op: row.op,
+                    lhr: RelRef::Derived(mapped),
+                    lha: row.lha.clone(),
+                    theta: row.theta,
+                    rha: row.rha.clone(),
+                    rhr: map_rhr(&row.rhr, &map)?,
+                    el: ExecLoc::Pqp,
+                    scheme_ctx: None,
+                });
+                map.insert(row.pr, pr);
+            }
+            RelRef::Nil | RelRef::DerivedList(_) => {
+                return Err(PqpError::MalformedRow {
+                    row: k + 1,
+                    reason: "POM row without a left-hand relation".into(),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Renumber a derived RHR through the map; named RHRs wait for pass two.
+fn map_rhr(rhr: &RelRef, map: &HashMap<usize, usize>) -> Result<RelRef, PqpError> {
+    Ok(match rhr {
+        RelRef::Derived(r) => {
+            RelRef::Derived(*map.get(r).ok_or(PqpError::DanglingReference(*r))?)
+        }
+        other => other.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::analyze;
+    use polygen_catalog::scenario;
+    use polygen_flat::value::{Cmp, Value};
+    use polygen_sql::algebra_expr::{parse_algebra, PAPER_EXPRESSION};
+
+    /// Pass one must regenerate Table 2 exactly.
+    #[test]
+    fn table2_for_the_paper_expression() {
+        let schema = scenario::polygen_schema();
+        let pom = analyze(&parse_algebra(PAPER_EXPRESSION).unwrap()).unwrap();
+        let h = pass_one(&pom, &schema).unwrap();
+        assert_eq!(h.cardinality(), 5);
+        let r = &h.rows;
+        // R(1) Select ALUMNUS DEG = "MBA" nil AD
+        assert_eq!(r[0].op, Op::Select);
+        assert_eq!(r[0].lhr, RelRef::Named("ALUMNUS".into()));
+        assert_eq!(r[0].lha, vec!["DEG"]);
+        assert_eq!(r[0].rha, Rha::Const(Value::str("MBA")));
+        assert_eq!(r[0].el, ExecLoc::Lqp("AD".into()));
+        // R(2) Join R(1) AID# = AID# PCAREER PQP
+        assert_eq!(r[1].op, Op::Join);
+        assert_eq!(r[1].lhr, RelRef::Derived(1));
+        assert_eq!(r[1].rhr, RelRef::Named("PCAREER".into()));
+        assert_eq!(r[1].el, ExecLoc::Pqp);
+        // R(3) Join R(2) ONAME = ONAME PORGANIZATION PQP
+        assert_eq!(r[2].rhr, RelRef::Named("PORGANIZATION".into()));
+        assert_eq!(r[2].el, ExecLoc::Pqp);
+        // R(4) Restrict R(3) CEO = ANAME nil PQP
+        assert_eq!(r[3].op, Op::Restrict);
+        assert_eq!(r[3].lha, vec!["CEO"]);
+        assert_eq!(r[3].rha, Rha::Attr("ANAME".into()));
+        assert_eq!(r[3].el, ExecLoc::Pqp);
+        // R(5) Project R(4) ONAME, CEO … PQP
+        assert_eq!(r[4].op, Op::Project);
+        assert_eq!(r[4].lha, vec!["ONAME", "CEO"]);
+        assert_eq!(r[4].el, ExecLoc::Pqp);
+    }
+
+    #[test]
+    fn multi_source_lhr_expands_to_retrieve_merge() {
+        let schema = scenario::polygen_schema();
+        let pom = analyze(&parse_algebra("PORGANIZATION [INDUSTRY = \"Banking\"]").unwrap())
+            .unwrap();
+        let h = pass_one(&pom, &schema).unwrap();
+        assert_eq!(h.cardinality(), 5); // 3 retrieves + merge + select
+        assert_eq!(h.rows[0].op, Op::Retrieve);
+        assert_eq!(h.rows[0].lhr, RelRef::Named("BUSINESS".into()));
+        assert_eq!(h.rows[0].el, ExecLoc::Lqp("AD".into()));
+        assert_eq!(h.rows[1].lhr, RelRef::Named("CORPORATION".into()));
+        assert_eq!(h.rows[2].lhr, RelRef::Named("FIRM".into()));
+        assert_eq!(h.rows[3].op, Op::Merge);
+        assert_eq!(h.rows[3].lhr, RelRef::DerivedList(vec![1, 2, 3]));
+        assert_eq!(h.rows[3].scheme_ctx.as_deref(), Some("PORGANIZATION"));
+        assert_eq!(h.rows[4].op, Op::Select);
+        assert_eq!(h.rows[4].lhr, RelRef::Derived(4));
+        // The select on a merged relation keeps polygen attribute names.
+        assert_eq!(h.rows[4].lha, vec!["INDUSTRY"]);
+    }
+
+    #[test]
+    fn restrict_on_single_source_scheme_localizes_both_attrs() {
+        let schema = scenario::polygen_schema();
+        let pom = analyze(&parse_algebra("PALUMNUS [ANAME = MAJOR]").unwrap()).unwrap();
+        let h = pass_one(&pom, &schema).unwrap();
+        assert_eq!(h.rows[0].lha, vec!["ANAME"]);
+        assert_eq!(h.rows[0].rha, Rha::Attr("MAJ".into()));
+        assert_eq!(h.rows[0].theta, Some(Cmp::Eq));
+        assert_eq!(h.rows[0].el, ExecLoc::Lqp("AD".into()));
+    }
+
+    #[test]
+    fn unknown_scheme_errors() {
+        let schema = scenario::polygen_schema();
+        let pom = analyze(&parse_algebra("NOPE [X = 1]").unwrap()).unwrap();
+        assert!(matches!(
+            pass_one(&pom, &schema),
+            Err(PqpError::UnknownRelation(n)) if n == "NOPE"
+        ));
+    }
+
+    #[test]
+    fn unmapped_attr_is_malformed() {
+        let schema = scenario::polygen_schema();
+        let pom = analyze(&parse_algebra("PALUMNUS [PROFIT = 3]").unwrap()).unwrap();
+        assert!(matches!(
+            pass_one(&pom, &schema),
+            Err(PqpError::MalformedRow { .. })
+        ));
+    }
+}

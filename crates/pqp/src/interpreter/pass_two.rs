@@ -1,0 +1,296 @@
+//! Pass two of the Polygen Operation Interpreter (Figure 4).
+//!
+//! Processes the right-hand side of every half-matrix row. "Three
+//! possibilities exist for the right-hand relation: (1) a relation defined
+//! by the polygen schema, (2) a R(#) …, and (3) non-existent (nil)."
+//! Single-source schemes are retrieved raw (local attribute names, Table
+//! 5); multi-source schemes expand to Retrieve + Merge (polygen names,
+//! Table 6); rows whose left side was mapped to an LQP while the right
+//! side needs PQP data are split into retrieves plus a PQP operation.
+
+use crate::error::PqpError;
+use crate::interpreter::pass_one::{emit_retrieve_merge, localize_attr};
+use crate::iom::{ExecLoc, Iom, IomRow};
+use crate::pom::{Op, RelRef, Rha};
+use polygen_catalog::schema::PolygenSchema;
+use std::collections::HashMap;
+
+/// Emit a single Retrieve row; returns its result id.
+fn emit_retrieve(out: &mut Iom, relation: &str, db: &str) -> usize {
+    let pr = out.rows.len() + 1;
+    out.rows.push(IomRow {
+        pr,
+        op: Op::Retrieve,
+        lhr: RelRef::Named(relation.to_string()),
+        lha: Vec::new(),
+        theta: None,
+        rha: Rha::Nil,
+        rhr: RelRef::Nil,
+        el: ExecLoc::Lqp(db.to_string()),
+        scheme_ctx: None,
+    });
+    pr
+}
+
+fn map_ref(r: &RelRef, map: &HashMap<usize, usize>) -> Result<RelRef, PqpError> {
+    Ok(match r {
+        RelRef::Derived(i) => {
+            RelRef::Derived(*map.get(i).ok_or(PqpError::DanglingReference(*i))?)
+        }
+        RelRef::DerivedList(ids) => RelRef::DerivedList(
+            ids.iter()
+                .map(|i| map.get(i).copied().ok_or(PqpError::DanglingReference(*i)))
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+        other => other.clone(),
+    })
+}
+
+/// Pass two: half-processed matrix → IOM.
+pub fn pass_two(half: &Iom, schema: &PolygenSchema) -> Result<Iom, PqpError> {
+    let mut out = Iom::default();
+    let mut map: HashMap<usize, usize> = HashMap::with_capacity(half.rows.len());
+    for (k, row) in half.rows.iter().enumerate() {
+        match &row.rhr {
+            RelRef::Named(name) => {
+                let scheme = schema
+                    .scheme(name)
+                    .ok_or_else(|| PqpError::UnknownRelation(name.clone()))?;
+                match scheme.single_local_relation() {
+                    Some(local) => {
+                        let db = local.database.as_ref();
+                        let rel = local.relation.as_ref();
+                        // The raw retrieve keeps local names, so the RHA
+                        // (a polygen attribute of the scheme) localizes.
+                        let rha = match &row.rha {
+                            Rha::Attr(pa) => {
+                                Rha::Attr(localize_attr(scheme, pa, db, rel, k + 1)?)
+                            }
+                            other => other.clone(),
+                        };
+                        let retrieve_pr = emit_retrieve(&mut out, rel, db);
+                        let (lhr, lha) = left_side(&mut out, row, &map)?;
+                        let pr = out.rows.len() + 1;
+                        out.rows.push(IomRow {
+                            pr,
+                            op: row.op,
+                            lhr,
+                            lha,
+                            theta: row.theta,
+                            rha,
+                            rhr: RelRef::Derived(retrieve_pr),
+                            el: ExecLoc::Pqp,
+                            scheme_ctx: None,
+                        });
+                        map.insert(row.pr, pr);
+                    }
+                    None => {
+                        let merge_pr = emit_retrieve_merge(&mut out, scheme);
+                        let (lhr, lha) = left_side(&mut out, row, &map)?;
+                        let pr = out.rows.len() + 1;
+                        out.rows.push(IomRow {
+                            pr,
+                            op: row.op,
+                            lhr,
+                            lha,
+                            theta: row.theta,
+                            // Merged relations carry polygen names: the
+                            // RHA stays as written (Table 3 row 8).
+                            rha: row.rha.clone(),
+                            rhr: RelRef::Derived(merge_pr),
+                            el: ExecLoc::Pqp,
+                            scheme_ctx: None,
+                        });
+                        map.insert(row.pr, pr);
+                    }
+                }
+            }
+            RelRef::Derived(_) | RelRef::DerivedList(_) => {
+                // R(#) on the right. If the left side still sits at an LQP
+                // (a binary operation pass one mapped to a local relation),
+                // the operation must move to the PQP: retrieve the left
+                // side first (robustness extension; Figure 4 leaves this
+                // case implicit).
+                let (lhr, lha) = left_side(&mut out, row, &map)?;
+                let pr = out.rows.len() + 1;
+                out.rows.push(IomRow {
+                    pr,
+                    op: row.op,
+                    lhr,
+                    lha,
+                    theta: row.theta,
+                    rha: row.rha.clone(),
+                    rhr: map_ref(&row.rhr, &map)?,
+                    el: ExecLoc::Pqp,
+                    scheme_ctx: row.scheme_ctx.clone(),
+                });
+                map.insert(row.pr, pr);
+            }
+            RelRef::Nil => {
+                // Unary rows copy over; derived references renumber.
+                let pr = out.rows.len() + 1;
+                out.rows.push(IomRow {
+                    pr,
+                    op: row.op,
+                    lhr: map_ref(&row.lhr, &map)?,
+                    lha: row.lha.clone(),
+                    theta: row.theta,
+                    rha: row.rha.clone(),
+                    rhr: RelRef::Nil,
+                    el: row.el.clone(),
+                    scheme_ctx: row.scheme_ctx.clone(),
+                });
+                map.insert(row.pr, pr);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Resolve a row's left side for a PQP-executed binary operation: derived
+/// references renumber; a left side still at an LQP is retrieved first.
+fn left_side(
+    out: &mut Iom,
+    row: &IomRow,
+    map: &HashMap<usize, usize>,
+) -> Result<(RelRef, Vec<String>), PqpError> {
+    match (&row.lhr, &row.el) {
+        (RelRef::Named(local_rel), ExecLoc::Lqp(db)) => {
+            // Both sides were "defined in the polygen schema": pass one
+            // localized the left side; retrieve it raw and keep the
+            // localized attribute names (they match the raw columns).
+            let pr = emit_retrieve(out, local_rel, db);
+            Ok((RelRef::Derived(pr), row.lha.clone()))
+        }
+        (lhr, _) => Ok((map_ref(lhr, map)?, row.lha.clone())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::analyze;
+    use crate::interpreter::pass_one::pass_one;
+    use polygen_catalog::scenario;
+    use polygen_flat::value::Value;
+    use polygen_sql::algebra_expr::{parse_algebra, PAPER_EXPRESSION};
+
+    fn interpret(expr: &str) -> Iom {
+        let schema = scenario::polygen_schema();
+        let pom = analyze(&parse_algebra(expr).unwrap()).unwrap();
+        let h = pass_one(&pom, &schema).unwrap();
+        pass_two(&h, &schema).unwrap()
+    }
+
+    /// Pass two must regenerate Table 3 exactly.
+    #[test]
+    fn table3_for_the_paper_expression() {
+        let iom = interpret(PAPER_EXPRESSION);
+        assert_eq!(iom.cardinality(), 10);
+        let r = &iom.rows;
+        // R(1) Select ALUMNUS DEG = "MBA" nil AD
+        assert_eq!(r[0].op, Op::Select);
+        assert_eq!(r[0].lhr, RelRef::Named("ALUMNUS".into()));
+        assert_eq!(r[0].lha, vec!["DEG"]);
+        assert_eq!(r[0].rha, Rha::Const(Value::str("MBA")));
+        assert_eq!(r[0].el, ExecLoc::Lqp("AD".into()));
+        // R(2) Retrieve CAREER … AD
+        assert_eq!(r[1].op, Op::Retrieve);
+        assert_eq!(r[1].lhr, RelRef::Named("CAREER".into()));
+        assert_eq!(r[1].el, ExecLoc::Lqp("AD".into()));
+        // R(3) Join R(1) AID# = AID# R(2) PQP
+        assert_eq!(r[2].op, Op::Join);
+        assert_eq!(r[2].lhr, RelRef::Derived(1));
+        assert_eq!(r[2].lha, vec!["AID#"]);
+        assert_eq!(r[2].rha, Rha::Attr("AID#".into()));
+        assert_eq!(r[2].rhr, RelRef::Derived(2));
+        assert_eq!(r[2].el, ExecLoc::Pqp);
+        // R(4)-R(6) Retrieve BUSINESS/CORPORATION/FIRM at AD/PD/CD.
+        for (i, (rel, db)) in [("BUSINESS", "AD"), ("CORPORATION", "PD"), ("FIRM", "CD")]
+            .iter()
+            .enumerate()
+        {
+            assert_eq!(r[3 + i].op, Op::Retrieve);
+            assert_eq!(r[3 + i].lhr, RelRef::Named((*rel).into()));
+            assert_eq!(r[3 + i].el, ExecLoc::Lqp((*db).into()));
+        }
+        // R(7) Merge R(4), R(5), R(6) … PQP
+        assert_eq!(r[6].op, Op::Merge);
+        assert_eq!(r[6].lhr, RelRef::DerivedList(vec![4, 5, 6]));
+        assert_eq!(r[6].el, ExecLoc::Pqp);
+        assert_eq!(r[6].scheme_ctx.as_deref(), Some("PORGANIZATION"));
+        // R(8) Join R(3) ONAME = ONAME R(7) PQP
+        assert_eq!(r[7].op, Op::Join);
+        assert_eq!(r[7].lhr, RelRef::Derived(3));
+        assert_eq!(r[7].lha, vec!["ONAME"]);
+        assert_eq!(r[7].rha, Rha::Attr("ONAME".into()));
+        assert_eq!(r[7].rhr, RelRef::Derived(7));
+        // R(9) Restrict R(8) CEO = ANAME nil PQP
+        assert_eq!(r[8].op, Op::Restrict);
+        assert_eq!(r[8].lhr, RelRef::Derived(8));
+        // R(10) Project R(9) ONAME, CEO … PQP
+        assert_eq!(r[9].op, Op::Project);
+        assert_eq!(r[9].lhr, RelRef::Derived(9));
+        assert_eq!(r[9].lha, vec!["ONAME", "CEO"]);
+        assert_eq!(iom.final_result(), Some(10));
+    }
+
+    #[test]
+    fn both_sides_local_join_becomes_two_retrieves() {
+        // §I's simpler query shape: PALUMNUS and PCAREER both map to AD
+        // relations; the join itself must run at the PQP.
+        let iom = interpret("PALUMNUS [AID# = AID#] PCAREER");
+        assert_eq!(iom.cardinality(), 3);
+        assert_eq!(iom.rows[0].op, Op::Retrieve);
+        assert_eq!(iom.rows[0].lhr, RelRef::Named("CAREER".into()));
+        assert_eq!(iom.rows[1].op, Op::Retrieve);
+        assert_eq!(iom.rows[1].lhr, RelRef::Named("ALUMNUS".into()));
+        assert_eq!(iom.rows[2].op, Op::Join);
+        assert_eq!(iom.rows[2].lhr, RelRef::Derived(2));
+        assert_eq!(iom.rows[2].rhr, RelRef::Derived(1));
+        assert_eq!(iom.rows[2].el, ExecLoc::Pqp);
+    }
+
+    #[test]
+    fn join_against_multi_source_rhs_with_local_lhs() {
+        // §I's original query: join PORGANIZATION (multi) with PALUMNUS
+        // (single) — pass one maps the left to ALUMNUS@AD, pass two must
+        // retrieve it and merge the right.
+        let iom = interpret("PALUMNUS [ANAME = CEO] PORGANIZATION");
+        let ops: Vec<Op> = iom.rows.iter().map(|r| r.op).collect();
+        assert_eq!(
+            ops,
+            vec![
+                Op::Retrieve, // BUSINESS
+                Op::Retrieve, // CORPORATION
+                Op::Retrieve, // FIRM
+                Op::Merge,
+                Op::Retrieve, // ALUMNUS (left side pulled to the PQP)
+                Op::Join
+            ]
+        );
+        let join = &iom.rows[5];
+        assert_eq!(join.lhr, RelRef::Derived(5));
+        assert_eq!(join.lha, vec!["ANAME"]);
+        assert_eq!(join.rha, Rha::Attr("CEO".into()));
+        assert_eq!(join.rhr, RelRef::Derived(4));
+    }
+
+    #[test]
+    fn union_of_two_single_source_schemes() {
+        let iom = interpret("PALUMNUS UNION PALUMNUS [DEGREE = \"MBA\"]");
+        // Left PALUMNUS retrieved; right select pushed to AD.
+        let ops: Vec<Op> = iom.rows.iter().map(|r| r.op).collect();
+        assert_eq!(ops, vec![Op::Select, Op::Retrieve, Op::Union]);
+        assert_eq!(iom.rows[2].el, ExecLoc::Pqp);
+    }
+
+    #[test]
+    fn rha_localizes_for_raw_single_source_retrieves() {
+        // Join against PALUMNUS on DEGREE: the raw ALUMNUS retrieve has
+        // local names, so the RHA becomes DEG.
+        let iom = interpret("(PCAREER [POSITION = \"CEO\"]) [POSITION = DEGREE] PALUMNUS");
+        let join = iom.rows.last().unwrap();
+        assert_eq!(join.rha, Rha::Attr("DEG".into()));
+    }
+}

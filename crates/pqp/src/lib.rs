@@ -1,0 +1,52 @@
+//! # polygen-pqp — the Polygen Query Processor
+//!
+//! Figure 2's pipeline, end to end:
+//!
+//! ```text
+//! SQL ──lower──▶ algebra expression
+//!      │ (polygen-sql)
+//!      ▼
+//! Syntax Analyzer ──▶ Polygen Operation Matrix        (Table 1)
+//!      ▼
+//! Interpreter pass one ──▶ half-processed IOM          (Table 2)
+//!      ▼
+//! Interpreter pass two ──▶ Intermediate Operation Matrix (Table 3)
+//!      ▼
+//! Query Optimizer ──▶ execution plan
+//!      ▼
+//! Executor ──▶ LQP rows to local systems (tagged at the boundary),
+//!              PQP rows through the polygen algebra   (Tables 4–9)
+//! ```
+//!
+//! Entry point: [`pqp::Pqp`]. `Pqp::for_scenario` wires the paper's MIT
+//! federation; [`explain::explain`] renders the whole pipeline in the
+//! paper's table notation.
+
+pub mod analyzer;
+pub mod costing;
+pub mod error;
+pub mod executor;
+pub mod explain;
+pub mod interpreter;
+pub mod iom;
+pub mod optimizer;
+pub mod pom;
+#[allow(clippy::module_inception)]
+pub mod pqp;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::analyzer::analyze;
+    pub use crate::costing::{estimate, PlanCost};
+    pub use crate::error::PqpError;
+    pub use crate::executor::{execute, resolve_attr, ExecOptions, ExecutionTrace};
+    pub use crate::explain::explain;
+    pub use crate::interpreter::{interpret, pass_one, pass_two};
+    pub use crate::iom::{render_iom, ExecLoc, Iom, IomRow};
+    pub use crate::optimizer::{optimize, OptimizerReport};
+    pub use crate::pom::{render_pom, Op, Pom, PomRow, RelRef, Rha};
+    pub use crate::pqp::{CompiledQuery, Pqp, PqpOptions, QueryOutcome};
+}
+
+pub use error::PqpError;
+pub use pqp::{Pqp, PqpOptions, QueryOutcome};

@@ -1,0 +1,248 @@
+//! The Polygen Operation Matrix (POM) — Table 1's data structure.
+//!
+//! "The Syntax Analyzer parses a polygen algebraic expression and
+//! generates a Polygen Operation Matrix" (§III). Each row is one polygen
+//! operation: a result id `R(n)`, the operator, a Left-Hand Relation, a
+//! Left-Hand Attribute (list, for Project), the θ relation, a Right-Hand
+//! Attribute (or constant), and a Right-Hand Relation.
+
+use polygen_flat::value::{Cmp, Value};
+use std::fmt;
+
+/// The operator of one POM/IOM row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `p[x θ const]`
+    Select,
+    /// `p[x θ y]`
+    Restrict,
+    /// `p1 [x θ y] p2`
+    Join,
+    /// `p[X]`
+    Project,
+    /// `p1 ∪ p2`
+    Union,
+    /// `p1 − p2`
+    Difference,
+    /// `p1 × p2`
+    Product,
+    /// `p1 ∩ p2`
+    Intersect,
+    /// `p1 ⊲ [x = y] p2` (extension; lowering target of `NOT IN`)
+    AntiJoin,
+    /// Fetch a local relation to the PQP (appears in IOMs only).
+    Retrieve,
+    /// Merge ≥2 retrieved relations of a multi-source scheme (IOMs only).
+    Merge,
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Op::Select => "Select",
+            Op::Restrict => "Restrict",
+            Op::Join => "Join",
+            Op::Project => "Project",
+            Op::Union => "Union",
+            Op::Difference => "Difference",
+            Op::Product => "Product",
+            Op::Intersect => "Intersect",
+            Op::AntiJoin => "AntiJoin",
+            Op::Retrieve => "Retrieve",
+            Op::Merge => "Merge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A relation operand of a POM/IOM row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RelRef {
+    /// A named relation: a polygen scheme in POMs; a local scheme in IOM
+    /// rows executed at an LQP.
+    Named(String),
+    /// `R(n)` — the result of row `n`.
+    Derived(usize),
+    /// `{R(i), …, R(j)}` — Merge inputs.
+    DerivedList(Vec<usize>),
+    /// nil.
+    Nil,
+}
+
+impl fmt::Display for RelRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelRef::Named(n) => write!(f, "{n}"),
+            RelRef::Derived(i) => write!(f, "R({i})"),
+            RelRef::DerivedList(ids) => {
+                for (k, i) in ids.iter().enumerate() {
+                    if k > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "R({i})")?;
+                }
+                Ok(())
+            }
+            RelRef::Nil => write!(f, "nil"),
+        }
+    }
+}
+
+/// The RHA column: an attribute, a constant, or nil.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rha {
+    /// An attribute name.
+    Attr(String),
+    /// A constant (Select rows; Table 1 prints `"MBA"`).
+    Const(Value),
+    /// nil.
+    Nil,
+}
+
+impl fmt::Display for Rha {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rha::Attr(a) => write!(f, "{a}"),
+            Rha::Const(Value::Str(s)) => write!(f, "\"{s}\""),
+            Rha::Const(v) => write!(f, "{v}"),
+            Rha::Nil => write!(f, "nil"),
+        }
+    }
+}
+
+/// One row of the Polygen Operation Matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PomRow {
+    /// Result id: `R(pr)`.
+    pub pr: usize,
+    /// The operator.
+    pub op: Op,
+    /// Left-hand relation.
+    pub lhr: RelRef,
+    /// Left-hand attribute(s) — a list only for Project.
+    pub lha: Vec<String>,
+    /// θ (None for Project and set operators).
+    pub theta: Option<Cmp>,
+    /// Right-hand attribute or constant.
+    pub rha: Rha,
+    /// Right-hand relation.
+    pub rhr: RelRef,
+}
+
+/// The Polygen Operation Matrix.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Pom {
+    /// Rows in execution order; row `i` defines `R(i+1)`.
+    pub rows: Vec<PomRow>,
+}
+
+impl Pom {
+    /// Number of rows (the paper's `Cardinality(POM)`).
+    pub fn cardinality(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The result id of the final row — the query answer.
+    pub fn final_result(&self) -> Option<usize> {
+        self.rows.last().map(|r| r.pr)
+    }
+}
+
+/// Render rows Table-1 style: `PR | OP | LHR | LHA | θ | RHA | RHR`.
+pub fn render_pom(pom: &Pom) -> String {
+    let headers = ["PR", "OP", "LHR", "LHA", "θ", "RHA", "RHR"];
+    let body: Vec<[String; 7]> = pom
+        .rows
+        .iter()
+        .map(|r| {
+            [
+                format!("R({})", r.pr),
+                r.op.to_string(),
+                r.lhr.to_string(),
+                if r.lha.is_empty() {
+                    "nil".to_string()
+                } else {
+                    r.lha.join(", ")
+                },
+                r.theta.map_or("nil".to_string(), |c| c.to_string()),
+                r.rha.to_string(),
+                r.rhr.to_string(),
+            ]
+        })
+        .collect();
+    render_table(&headers, &body)
+}
+
+pub(crate) fn render_table<const N: usize>(headers: &[&str; N], body: &[[String; N]]) -> String {
+    use std::fmt::Write as _;
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in body {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let emit = |out: &mut String, cells: &[String]| {
+        out.push('|');
+        for (i, c) in cells.iter().enumerate() {
+            let _ = write!(out, " {:w$} |", c, w = widths[i]);
+        }
+        out.push('\n');
+    };
+    let hdr: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    emit(&mut out, &hdr);
+    out.push('|');
+    for w in &widths {
+        let _ = write!(out, "{:-<w$}|", "", w = w + 2);
+    }
+    out.push('\n');
+    for row in body {
+        emit(&mut out, row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relref_display() {
+        assert_eq!(RelRef::Named("PALUMNUS".into()).to_string(), "PALUMNUS");
+        assert_eq!(RelRef::Derived(3).to_string(), "R(3)");
+        assert_eq!(
+            RelRef::DerivedList(vec![4, 5, 6]).to_string(),
+            "R(4), R(5), R(6)"
+        );
+        assert_eq!(RelRef::Nil.to_string(), "nil");
+    }
+
+    #[test]
+    fn rha_display_quotes_strings() {
+        assert_eq!(Rha::Const(Value::str("MBA")).to_string(), "\"MBA\"");
+        assert_eq!(Rha::Const(Value::int(1989)).to_string(), "1989");
+        assert_eq!(Rha::Attr("ANAME".into()).to_string(), "ANAME");
+        assert_eq!(Rha::Nil.to_string(), "nil");
+    }
+
+    #[test]
+    fn render_contains_table1_shape() {
+        let pom = Pom {
+            rows: vec![PomRow {
+                pr: 1,
+                op: Op::Select,
+                lhr: RelRef::Named("PALUMNUS".into()),
+                lha: vec!["DEGREE".into()],
+                theta: Some(Cmp::Eq),
+                rha: Rha::Const(Value::str("MBA")),
+                rhr: RelRef::Nil,
+            }],
+        };
+        let shown = render_pom(&pom);
+        assert!(shown.contains("R(1)"));
+        assert!(shown.contains("Select"));
+        assert!(shown.contains("\"MBA\""));
+        assert_eq!(pom.cardinality(), 1);
+        assert_eq!(pom.final_result(), Some(1));
+    }
+}

@@ -1,0 +1,266 @@
+//! The Polygen Query Processor facade (Figure 2).
+//!
+//! Wires the pipeline together: SQL (or algebra text) → lowering → Syntax
+//! Analyzer → POM → two-pass Polygen Operation Interpreter → IOM → Query
+//! Optimizer → executor → tagged composite answer.
+
+use crate::analyzer::analyze;
+use crate::error::PqpError;
+use crate::executor::{execute, ExecOptions, ExecutionTrace};
+use crate::interpreter::interpret;
+use crate::iom::Iom;
+use crate::optimizer::{optimize, OptimizerReport};
+use crate::pom::Pom;
+use polygen_catalog::dictionary::DataDictionary;
+use polygen_catalog::scenario::Scenario;
+use polygen_core::algebra::coalesce::ConflictPolicy;
+use polygen_core::relation::PolygenRelation;
+use polygen_lqp::registry::LqpRegistry;
+use polygen_lqp::scenario_registry;
+use polygen_sql::algebra_expr::{parse_algebra, AlgebraExpr};
+use polygen_sql::lower::{lower, LoweringOptions};
+use polygen_sql::parser::parse_query;
+use std::sync::Arc;
+
+/// PQP-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PqpOptions {
+    /// SQL lowering mode (paper vs strict range variables).
+    pub lowering: LoweringOptions,
+    /// Merge conflict policy.
+    pub conflict_policy: ConflictPolicy,
+    /// Run the Query Optimizer (off reproduces the paper's "Table 3 used
+    /// as a query execution plan … without further optimization").
+    pub optimize: bool,
+}
+
+impl Default for PqpOptions {
+    fn default() -> Self {
+        PqpOptions {
+            lowering: LoweringOptions::default(),
+            conflict_policy: ConflictPolicy::Strict,
+            optimize: false,
+        }
+    }
+}
+
+/// Everything the translation pipeline produced for one query.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    /// The algebra expression (parsed or lowered).
+    pub expr: AlgebraExpr,
+    /// Table-1-style operation matrix.
+    pub pom: Pom,
+    /// The half-processed matrix after pass one (Table 2).
+    pub half: Iom,
+    /// The full IOM after pass two (Table 3).
+    pub iom: Iom,
+    /// The optimizer's output (equal to `iom` when optimization is off).
+    pub plan: Iom,
+    /// What the optimizer changed.
+    pub optimizer_report: OptimizerReport,
+}
+
+/// One executed query: the answer plus every intermediate relation.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The compiled pipeline stages.
+    pub compiled: CompiledQuery,
+    /// The tagged composite answer.
+    pub answer: PolygenRelation,
+    /// Per-row intermediate relations (Tables 4–9 for the paper query).
+    pub trace: ExecutionTrace,
+}
+
+/// The PQP.
+pub struct Pqp {
+    dictionary: Arc<DataDictionary>,
+    registry: Arc<LqpRegistry>,
+    options: PqpOptions,
+}
+
+impl Pqp {
+    /// Build a PQP over a dictionary and an LQP registry.
+    pub fn new(dictionary: Arc<DataDictionary>, registry: Arc<LqpRegistry>) -> Self {
+        Pqp {
+            dictionary,
+            registry,
+            options: PqpOptions::default(),
+        }
+    }
+
+    /// Stand up the paper's MIT scenario end to end.
+    pub fn for_scenario(scenario: &Scenario) -> Self {
+        let registry = Arc::new(scenario_registry(scenario));
+        Pqp::new(Arc::new(scenario.dictionary.clone()), registry)
+    }
+
+    /// Override options.
+    pub fn with_options(mut self, options: PqpOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The data dictionary.
+    pub fn dictionary(&self) -> &DataDictionary {
+        &self.dictionary
+    }
+
+    /// The LQP registry.
+    pub fn registry(&self) -> &LqpRegistry {
+        &self.registry
+    }
+
+    /// Current options.
+    pub fn options(&self) -> PqpOptions {
+        self.options
+    }
+
+    /// Translate SQL text into a polygen algebra expression using the
+    /// polygen schema as the lowering resolver.
+    pub fn translate_sql(&self, sql: &str) -> Result<AlgebraExpr, PqpError> {
+        let query = parse_query(sql)?;
+        let schema = self.dictionary.schema().clone();
+        let resolver = move |rel: &str| -> Option<Vec<String>> {
+            schema
+                .scheme(rel)
+                .map(|s| s.attr_names().map(str::to_string).collect())
+        };
+        Ok(lower(&query, &resolver, self.options.lowering)?)
+    }
+
+    /// Compile an algebra expression through POM, the two interpreter
+    /// passes and the optimizer.
+    pub fn compile(&self, expr: AlgebraExpr) -> Result<CompiledQuery, PqpError> {
+        let pom = analyze(&expr)?;
+        let (half, iom) = interpret(&pom, self.dictionary.schema())?;
+        let (plan, optimizer_report) = if self.options.optimize {
+            optimize(&iom, &self.registry, &self.dictionary)?
+        } else {
+            (iom.clone(), OptimizerReport::default())
+        };
+        Ok(CompiledQuery {
+            expr,
+            pom,
+            half,
+            iom,
+            plan,
+            optimizer_report,
+        })
+    }
+
+    /// Execute a compiled query.
+    pub fn run(&self, compiled: CompiledQuery) -> Result<QueryOutcome, PqpError> {
+        let (answer, trace) = execute(
+            &compiled.plan,
+            &self.registry,
+            &self.dictionary,
+            ExecOptions {
+                conflict_policy: self.options.conflict_policy,
+            },
+        )?;
+        Ok(QueryOutcome {
+            compiled,
+            answer,
+            trace,
+        })
+    }
+
+    /// SQL in, tagged composite answer out.
+    pub fn query(&self, sql: &str) -> Result<QueryOutcome, PqpError> {
+        let expr = self.translate_sql(sql)?;
+        self.run(self.compile(expr)?)
+    }
+
+    /// Algebra-expression text in, tagged composite answer out.
+    pub fn query_algebra(&self, text: &str) -> Result<QueryOutcome, PqpError> {
+        let expr = parse_algebra(text)?;
+        self.run(self.compile(expr)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polygen_catalog::scenario;
+    use polygen_flat::value::Value;
+    use polygen_sql::algebra_expr::PAPER_EXPRESSION;
+
+    const PAPER_SQL: &str = "SELECT ONAME, CEO \
+        FROM PORGANIZATION, PALUMNUS \
+        WHERE CEO = ANAME AND ONAME IN \
+        (SELECT ONAME FROM PCAREER WHERE AID# IN \
+        (SELECT AID# FROM PALUMNUS WHERE DEGREE = \"MBA\"))";
+
+    #[test]
+    fn sql_and_algebra_paths_agree() {
+        let s = scenario::build();
+        let pqp = Pqp::for_scenario(&s);
+        let via_sql = pqp.query(PAPER_SQL).unwrap();
+        let via_algebra = pqp.query_algebra(PAPER_EXPRESSION).unwrap();
+        assert!(via_sql.answer.tagged_set_eq(&via_algebra.answer));
+        assert_eq!(via_sql.compiled.pom, via_algebra.compiled.pom);
+    }
+
+    #[test]
+    fn optimizing_pqp_returns_same_answer() {
+        let s = scenario::build();
+        let naive = Pqp::for_scenario(&s);
+        let opt = Pqp::for_scenario(&s).with_options(PqpOptions {
+            optimize: true,
+            ..PqpOptions::default()
+        });
+        let a = naive.query(PAPER_SQL).unwrap();
+        let b = opt.query(PAPER_SQL).unwrap();
+        assert!(a.answer.tagged_set_eq(&b.answer));
+    }
+
+    #[test]
+    fn outcome_exposes_pipeline_stages() {
+        let s = scenario::build();
+        let pqp = Pqp::for_scenario(&s);
+        let out = pqp.query_algebra(PAPER_EXPRESSION).unwrap();
+        assert_eq!(out.compiled.pom.cardinality(), 5);
+        assert_eq!(out.compiled.half.cardinality(), 5);
+        assert_eq!(out.compiled.iom.cardinality(), 10);
+        assert_eq!(out.answer.len(), 3);
+        assert_eq!(out.trace.results.len(), 10);
+    }
+
+    #[test]
+    fn answer_has_paper_tags() {
+        let s = scenario::build();
+        let pqp = Pqp::for_scenario(&s);
+        let out = pqp.query_algebra(PAPER_EXPRESSION).unwrap();
+        let reg = pqp.dictionary().registry();
+        let (ad, pd, cd) = (
+            reg.lookup("AD").unwrap(),
+            reg.lookup("PD").unwrap(),
+            reg.lookup("CD").unwrap(),
+        );
+        // Genentech, {AD, CD}, {AD, CD}
+        let g = out
+            .answer
+            .cell("ONAME", &Value::str("Genentech"), "ONAME")
+            .unwrap();
+        assert!(g.origin.contains(ad) && g.origin.contains(cd) && !g.origin.contains(pd));
+        assert!(g.intermediate.contains(ad) && g.intermediate.contains(cd));
+        // Bob Swanson, {CD}, {AD, CD}
+        let bs = out
+            .answer
+            .cell("ONAME", &Value::str("Genentech"), "CEO")
+            .unwrap();
+        assert_eq!(bs.datum, Value::str("Bob Swanson"));
+        assert!(bs.origin.contains(cd) && !bs.origin.contains(ad));
+        assert!(bs.intermediate.contains(ad) && bs.intermediate.contains(cd));
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let s = scenario::build();
+        let pqp = Pqp::for_scenario(&s);
+        assert!(pqp.query("SELECT").is_err());
+        assert!(pqp.query("SELECT X FROM NOPE").is_err());
+        assert!(pqp.query_algebra("NOPE [X = 1]").is_err());
+    }
+}

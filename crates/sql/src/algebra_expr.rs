@@ -1,0 +1,542 @@
+//! The polygen algebra-expression language.
+//!
+//! §III hands the PQP "a corresponding polygen algebraic expression":
+//!
+//! ```text
+//! ((((PALUMNUS [DEGREE = "MBA"]) [AID# = AID#] PCAREER)
+//!    [ONAME = ONAME] PORGANIZATION) [CEO = ANAME]) [ONAME, CEO]
+//! ```
+//!
+//! This module defines the expression AST the Syntax Analyzer consumes,
+//! its paper-style pretty-printer, and a parser for the bracket notation:
+//! `e [x θ const]` is a Select, `e [x θ y]` a Restrict, `e [x θ y] e'` a
+//! Join, `e [x, y, …]` a Project; `UNION` / `MINUS` / `TIMES` /
+//! `INTERSECT` / `ANTIJOIN` are lowest-precedence left-associative set
+//! operators (extensions beyond the paper's example, all expressible in
+//! its algebra).
+
+use crate::token::{lex, SyntaxError, Tok};
+use polygen_flat::value::{Cmp, Value};
+use std::fmt;
+
+/// A polygen algebra expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlgebraExpr {
+    /// A polygen scheme reference (or an intermediate relation name).
+    Relation(String),
+    /// `input [attr θ constant]`
+    Select {
+        /// Input expression.
+        input: Box<AlgebraExpr>,
+        /// The compared attribute.
+        attr: String,
+        /// θ.
+        cmp: Cmp,
+        /// The constant.
+        value: Value,
+    },
+    /// `input [x θ y]` — both attributes of the same relation.
+    Restrict {
+        /// Input expression.
+        input: Box<AlgebraExpr>,
+        /// Left attribute.
+        left: String,
+        /// θ.
+        cmp: Cmp,
+        /// Right attribute.
+        right: String,
+    },
+    /// `left [x θ y] right`
+    Join {
+        /// Left operand.
+        left: Box<AlgebraExpr>,
+        /// Left join attribute.
+        lattr: String,
+        /// θ.
+        cmp: Cmp,
+        /// Right join attribute.
+        rattr: String,
+        /// Right operand.
+        right: Box<AlgebraExpr>,
+    },
+    /// `left ANTIJOIN [x = y] right` — keep left tuples with no match
+    /// (lowering target of `NOT IN`; an extension operator defined through
+    /// Difference, see `polygen_core::algebra`).
+    AntiJoin {
+        /// Left operand.
+        left: Box<AlgebraExpr>,
+        /// Left attribute.
+        lattr: String,
+        /// Right attribute.
+        rattr: String,
+        /// Right operand.
+        right: Box<AlgebraExpr>,
+    },
+    /// `input [x, y, …]`
+    Project {
+        /// Input expression.
+        input: Box<AlgebraExpr>,
+        /// Projection list.
+        attrs: Vec<String>,
+    },
+    /// `left UNION right`
+    Union(Box<AlgebraExpr>, Box<AlgebraExpr>),
+    /// `left MINUS right`
+    Difference(Box<AlgebraExpr>, Box<AlgebraExpr>),
+    /// `left TIMES right`
+    Product(Box<AlgebraExpr>, Box<AlgebraExpr>),
+    /// `left INTERSECT right`
+    Intersect(Box<AlgebraExpr>, Box<AlgebraExpr>),
+}
+
+impl AlgebraExpr {
+    /// Relation leaf constructor.
+    pub fn rel(name: &str) -> Self {
+        AlgebraExpr::Relation(name.to_string())
+    }
+
+    /// Every relation name referenced by the expression, in first-use
+    /// order.
+    pub fn relations(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.walk_relations(&mut out);
+        out
+    }
+
+    fn walk_relations<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            AlgebraExpr::Relation(n) => {
+                if !out.contains(&n.as_str()) {
+                    out.push(n);
+                }
+            }
+            AlgebraExpr::Select { input, .. }
+            | AlgebraExpr::Restrict { input, .. }
+            | AlgebraExpr::Project { input, .. } => input.walk_relations(out),
+            AlgebraExpr::Join { left, right, .. }
+            | AlgebraExpr::AntiJoin { left, right, .. } => {
+                left.walk_relations(out);
+                right.walk_relations(out);
+            }
+            AlgebraExpr::Union(a, b)
+            | AlgebraExpr::Difference(a, b)
+            | AlgebraExpr::Product(a, b)
+            | AlgebraExpr::Intersect(a, b) => {
+                a.walk_relations(out);
+                b.walk_relations(out);
+            }
+        }
+    }
+
+    /// Number of operator nodes (cost proxy used in benches).
+    pub fn size(&self) -> usize {
+        match self {
+            AlgebraExpr::Relation(_) => 0,
+            AlgebraExpr::Select { input, .. }
+            | AlgebraExpr::Restrict { input, .. }
+            | AlgebraExpr::Project { input, .. } => 1 + input.size(),
+            AlgebraExpr::Join { left, right, .. }
+            | AlgebraExpr::AntiJoin { left, right, .. } => 1 + left.size() + right.size(),
+            AlgebraExpr::Union(a, b)
+            | AlgebraExpr::Difference(a, b)
+            | AlgebraExpr::Product(a, b)
+            | AlgebraExpr::Intersect(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    fn fmt_operand(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraExpr::Relation(n) => write!(f, "{n}"),
+            _ => write!(f, "({self})"),
+        }
+    }
+}
+
+fn fmt_value(v: &Value, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match v {
+        Value::Str(s) => write!(f, "\"{s}\""),
+        other => write!(f, "{other}"),
+    }
+}
+
+impl fmt::Display for AlgebraExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraExpr::Relation(n) => write!(f, "{n}"),
+            AlgebraExpr::Select {
+                input,
+                attr,
+                cmp,
+                value,
+            } => {
+                input.fmt_operand(f)?;
+                write!(f, " [{attr} {cmp} ")?;
+                fmt_value(value, f)?;
+                write!(f, "]")
+            }
+            AlgebraExpr::Restrict {
+                input,
+                left,
+                cmp,
+                right,
+            } => {
+                input.fmt_operand(f)?;
+                write!(f, " [{left} {cmp} {right}]")
+            }
+            AlgebraExpr::Join {
+                left,
+                lattr,
+                cmp,
+                rattr,
+                right,
+            } => {
+                left.fmt_operand(f)?;
+                write!(f, " [{lattr} {cmp} {rattr}] ")?;
+                right.fmt_operand(f)
+            }
+            AlgebraExpr::AntiJoin {
+                left,
+                lattr,
+                rattr,
+                right,
+            } => {
+                left.fmt_operand(f)?;
+                write!(f, " ANTIJOIN [{lattr} = {rattr}] ")?;
+                right.fmt_operand(f)
+            }
+            AlgebraExpr::Project { input, attrs } => {
+                input.fmt_operand(f)?;
+                write!(f, " [{}]", attrs.join(", "))
+            }
+            AlgebraExpr::Union(a, b) => {
+                a.fmt_operand(f)?;
+                write!(f, " UNION ")?;
+                b.fmt_operand(f)
+            }
+            AlgebraExpr::Difference(a, b) => {
+                a.fmt_operand(f)?;
+                write!(f, " MINUS ")?;
+                b.fmt_operand(f)
+            }
+            AlgebraExpr::Product(a, b) => {
+                a.fmt_operand(f)?;
+                write!(f, " TIMES ")?;
+                b.fmt_operand(f)
+            }
+            AlgebraExpr::Intersect(a, b) => {
+                a.fmt_operand(f)?;
+                write!(f, " INTERSECT ")?;
+                b.fmt_operand(f)
+            }
+        }
+    }
+}
+
+/// Parse the bracket notation into an [`AlgebraExpr`].
+pub fn parse_algebra(input: &str) -> Result<AlgebraExpr, SyntaxError> {
+    let toks = lex(input)?;
+    let mut p = P { toks, pos: 0 };
+    let e = p.set_expr()?;
+    match p.peek() {
+        None => Ok(e),
+        Some(t) => Err(p.err(format!("unexpected trailing `{t}`"))),
+    }
+}
+
+struct P {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> SyntaxError {
+        SyntaxError {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    /// set_expr := postfix_expr ((UNION|MINUS|TIMES|INTERSECT|ANTIJOIN […]) postfix_expr)*
+    fn set_expr(&mut self) -> Result<AlgebraExpr, SyntaxError> {
+        let mut left = self.postfix_expr()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Union) => {
+                    self.next();
+                    let r = self.postfix_expr()?;
+                    left = AlgebraExpr::Union(Box::new(left), Box::new(r));
+                }
+                Some(Tok::Minus) => {
+                    self.next();
+                    let r = self.postfix_expr()?;
+                    left = AlgebraExpr::Difference(Box::new(left), Box::new(r));
+                }
+                Some(Tok::Times) => {
+                    self.next();
+                    let r = self.postfix_expr()?;
+                    left = AlgebraExpr::Product(Box::new(left), Box::new(r));
+                }
+                Some(Tok::Intersect) => {
+                    self.next();
+                    let r = self.postfix_expr()?;
+                    left = AlgebraExpr::Intersect(Box::new(left), Box::new(r));
+                }
+                Some(Tok::Ident(kw)) if kw.eq_ignore_ascii_case("ANTIJOIN") => {
+                    self.next();
+                    self.expect(&Tok::LBracket)?;
+                    let lattr = self.ident()?;
+                    self.expect(&Tok::Eq)?;
+                    let rattr = self.ident()?;
+                    self.expect(&Tok::RBracket)?;
+                    let r = self.postfix_expr()?;
+                    left = AlgebraExpr::AntiJoin {
+                        left: Box::new(left),
+                        lattr,
+                        rattr,
+                        right: Box::new(r),
+                    };
+                }
+                _ => return Ok(left),
+            }
+        }
+    }
+
+    /// postfix_expr := primary bracket_op*
+    /// bracket_op  := '[' … ']' primary?      (join if a primary follows)
+    fn postfix_expr(&mut self) -> Result<AlgebraExpr, SyntaxError> {
+        let mut expr = self.primary()?;
+        while self.peek() == Some(&Tok::LBracket) {
+            self.next();
+            expr = self.bracket(expr)?;
+        }
+        Ok(expr)
+    }
+
+    fn primary(&mut self) -> Result<AlgebraExpr, SyntaxError> {
+        match self.next() {
+            Some(Tok::Ident(n)) => Ok(AlgebraExpr::Relation(n)),
+            Some(Tok::LParen) => {
+                let e = self.set_expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Some(t) => Err(self.err(format!("expected relation or `(`, found `{t}`"))),
+            None => Err(self.err("expected relation or `(`, found end of input")),
+        }
+    }
+
+    fn bracket(&mut self, input: AlgebraExpr) -> Result<AlgebraExpr, SyntaxError> {
+        let first = self.ident()?;
+        match self.peek() {
+            // Projection list: [x, y, …] or single-attribute [x].
+            Some(Tok::Comma) | Some(Tok::RBracket) => {
+                let mut attrs = vec![first];
+                while self.peek() == Some(&Tok::Comma) {
+                    self.next();
+                    attrs.push(self.ident()?);
+                }
+                self.expect(&Tok::RBracket)?;
+                Ok(AlgebraExpr::Project {
+                    input: Box::new(input),
+                    attrs,
+                })
+            }
+            _ => {
+                let cmp = self.comparison()?;
+                match self.next() {
+                    Some(Tok::Ident(rhs)) => {
+                        self.expect(&Tok::RBracket)?;
+                        // A following primary makes this a join.
+                        if matches!(self.peek(), Some(Tok::Ident(_)) | Some(Tok::LParen)) {
+                            let right = self.primary()?;
+                            Ok(AlgebraExpr::Join {
+                                left: Box::new(input),
+                                lattr: first,
+                                cmp,
+                                rattr: rhs,
+                                right: Box::new(right),
+                            })
+                        } else {
+                            Ok(AlgebraExpr::Restrict {
+                                input: Box::new(input),
+                                left: first,
+                                cmp,
+                                right: rhs,
+                            })
+                        }
+                    }
+                    Some(Tok::StrLit(s)) => {
+                        self.expect(&Tok::RBracket)?;
+                        Ok(AlgebraExpr::Select {
+                            input: Box::new(input),
+                            attr: first,
+                            cmp,
+                            value: Value::str(s),
+                        })
+                    }
+                    Some(Tok::IntLit(i)) => {
+                        self.expect(&Tok::RBracket)?;
+                        Ok(AlgebraExpr::Select {
+                            input: Box::new(input),
+                            attr: first,
+                            cmp,
+                            value: Value::Int(i),
+                        })
+                    }
+                    Some(Tok::FloatLit(x)) => {
+                        self.expect(&Tok::RBracket)?;
+                        Ok(AlgebraExpr::Select {
+                            input: Box::new(input),
+                            attr: first,
+                            cmp,
+                            value: Value::float(x),
+                        })
+                    }
+                    Some(t) => Err(self.err(format!("expected attribute or constant, found `{t}`"))),
+                    None => Err(self.err("unterminated bracket operation")),
+                }
+            }
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SyntaxError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            Some(t) => Err(self.err(format!("expected identifier, found `{t}`"))),
+            None => Err(self.err("expected identifier, found end of input")),
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Cmp, SyntaxError> {
+        match self.next() {
+            Some(Tok::Eq) => Ok(Cmp::Eq),
+            Some(Tok::Ne) => Ok(Cmp::Ne),
+            Some(Tok::Lt) => Ok(Cmp::Lt),
+            Some(Tok::Le) => Ok(Cmp::Le),
+            Some(Tok::Gt) => Ok(Cmp::Gt),
+            Some(Tok::Ge) => Ok(Cmp::Ge),
+            Some(t) => Err(self.err(format!("expected comparison, found `{t}`"))),
+            None => Err(self.err("expected comparison, found end of input")),
+        }
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), SyntaxError> {
+        match self.next() {
+            Some(ref t) if t == want => Ok(()),
+            Some(t) => Err(self.err(format!("expected `{want}`, found `{t}`"))),
+            None => Err(self.err(format!("expected `{want}`, found end of input"))),
+        }
+    }
+}
+
+/// §III's example algebraic expression, verbatim (modulo whitespace).
+pub const PAPER_EXPRESSION: &str = "((((PALUMNUS [DEGREE = \"MBA\"]) [AID# = AID#] PCAREER) \
+     [ONAME = ONAME] PORGANIZATION) [CEO = ANAME]) [ONAME, CEO]";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_expression() {
+        let e = parse_algebra(PAPER_EXPRESSION).unwrap();
+        // Outermost: project [ONAME, CEO].
+        let AlgebraExpr::Project { input, attrs } = &e else {
+            panic!("expected project at root");
+        };
+        assert_eq!(attrs, &["ONAME", "CEO"]);
+        // Next: restrict CEO = ANAME.
+        let AlgebraExpr::Restrict { input, left, right, .. } = input.as_ref() else {
+            panic!("expected restrict");
+        };
+        assert_eq!((left.as_str(), right.as_str()), ("CEO", "ANAME"));
+        // Next: join [ONAME = ONAME] PORGANIZATION.
+        let AlgebraExpr::Join { right, rattr, .. } = input.as_ref() else {
+            panic!("expected join");
+        };
+        assert_eq!(rattr, "ONAME");
+        assert_eq!(right.as_ref(), &AlgebraExpr::rel("PORGANIZATION"));
+        assert_eq!(
+            e.relations(),
+            vec!["PALUMNUS", "PCAREER", "PORGANIZATION"]
+        );
+        assert_eq!(e.size(), 5);
+    }
+
+    #[test]
+    fn pretty_print_reparse_roundtrip() {
+        let e1 = parse_algebra(PAPER_EXPRESSION).unwrap();
+        let e2 = parse_algebra(&e1.to_string()).unwrap();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn single_attr_project_vs_restrict_disambiguation() {
+        // [X] with one ident and `]` is a projection…
+        let p = parse_algebra("R [X]").unwrap();
+        assert!(matches!(p, AlgebraExpr::Project { .. }));
+        // …while [X = Y] with nothing following is a restrict…
+        let r = parse_algebra("R [X = Y]").unwrap();
+        assert!(matches!(r, AlgebraExpr::Restrict { .. }));
+        // …and with a following relation it is a join.
+        let j = parse_algebra("R [X = Y] S").unwrap();
+        assert!(matches!(j, AlgebraExpr::Join { .. }));
+    }
+
+    #[test]
+    fn select_constant_forms() {
+        let s = parse_algebra("PALUMNUS [DEGREE = \"MBA\"]").unwrap();
+        assert!(matches!(s, AlgebraExpr::Select { .. }));
+        let i = parse_algebra("PFINANCE [YEAR = 1989]").unwrap();
+        assert!(matches!(i, AlgebraExpr::Select { .. }));
+        let f = parse_algebra("PSTUDENT [GPA >= 3.5]").unwrap();
+        let shown = f.to_string();
+        assert_eq!(shown, "PSTUDENT [GPA >= 3.5]");
+    }
+
+    #[test]
+    fn set_operators_left_associative() {
+        let e = parse_algebra("A UNION B MINUS C").unwrap();
+        assert!(matches!(e, AlgebraExpr::Difference(_, _)));
+        let AlgebraExpr::Difference(l, _) = e else { unreachable!() };
+        assert!(matches!(*l, AlgebraExpr::Union(_, _)));
+        let t = parse_algebra("A TIMES B INTERSECT C").unwrap();
+        assert!(matches!(t, AlgebraExpr::Intersect(_, _)));
+    }
+
+    #[test]
+    fn antijoin_parses_and_prints() {
+        let e = parse_algebra("A ANTIJOIN [X = Y] B").unwrap();
+        assert!(matches!(e, AlgebraExpr::AntiJoin { .. }));
+        let round = parse_algebra(&e.to_string()).unwrap();
+        assert_eq!(e, round);
+    }
+
+    #[test]
+    fn chained_postfixes_without_parens() {
+        let e = parse_algebra("PALUMNUS [DEGREE = \"MBA\"] [AID#, ANAME]").unwrap();
+        assert!(matches!(e, AlgebraExpr::Project { .. }));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_algebra("").is_err());
+        assert!(parse_algebra("R [").is_err());
+        assert!(parse_algebra("R [X =").is_err());
+        assert!(parse_algebra("R ] S").is_err());
+        assert!(parse_algebra("(R").is_err());
+        assert!(parse_algebra("R S").is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! The SQL polygen-query AST.
+//!
+//! The subset of SQL the paper's PQP consumes: `SELECT attrs FROM
+//! relations [WHERE condition]` with `AND`/`OR`, θ-comparisons between
+//! attributes or against constants, and (possibly nested, possibly
+//! negated) `IN` subqueries — the shape of both §I's and §III's example
+//! queries.
+
+use polygen_flat::value::{Cmp, Value};
+use std::fmt;
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Star,
+    /// A named attribute.
+    Attr(String),
+}
+
+/// A comparison operand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// An attribute reference.
+    Attr(String),
+    /// A literal constant.
+    Const(Value),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Attr(a) => write!(f, "{a}"),
+            Operand::Const(Value::Str(s)) => write!(f, "\"{s}\""),
+            Operand::Const(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A WHERE condition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// Conjunction.
+    And(Box<Condition>, Box<Condition>),
+    /// Disjunction.
+    Or(Box<Condition>, Box<Condition>),
+    /// `left θ right`.
+    Compare {
+        /// Left operand.
+        left: Operand,
+        /// The θ relation.
+        cmp: Cmp,
+        /// Right operand.
+        right: Operand,
+    },
+    /// `attr [NOT] IN (subquery)`.
+    In {
+        /// The constrained attribute.
+        attr: String,
+        /// `NOT IN` when true.
+        negated: bool,
+        /// The subquery.
+        query: Box<Query>,
+    },
+}
+
+impl Condition {
+    /// Flatten a conjunction tree into its conjunct list (textual order).
+    pub fn conjuncts(&self) -> Vec<&Condition> {
+        match self {
+            Condition::And(a, b) => {
+                let mut out = a.conjuncts();
+                out.extend(b.conjuncts());
+                out
+            }
+            other => vec![other],
+        }
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::And(a, b) => write!(f, "{a} AND {b}"),
+            Condition::Or(a, b) => write!(f, "({a} OR {b})"),
+            Condition::Compare { left, cmp, right } => write!(f, "{left} {cmp} {right}"),
+            Condition::In {
+                attr,
+                negated,
+                query,
+            } => {
+                if *negated {
+                    write!(f, "{attr} NOT IN ({query})")
+                } else {
+                    write!(f, "{attr} IN ({query})")
+                }
+            }
+        }
+    }
+}
+
+/// A (sub)query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// SELECT list.
+    pub select: Vec<SelectItem>,
+    /// FROM relations (polygen scheme names).
+    pub from: Vec<String>,
+    /// Optional WHERE condition.
+    pub where_clause: Option<Condition>,
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        for (i, s) in self.select.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match s {
+                SelectItem::Star => write!(f, "*")?,
+                SelectItem::Attr(a) => write!(f, "{a}")?,
+            }
+        }
+        write!(f, " FROM {}", self.from.join(", "))?;
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrips_shape() {
+        let q = Query {
+            select: vec![SelectItem::Attr("CEO".into())],
+            from: vec!["PORGANIZATION".into(), "PALUMNUS".into()],
+            where_clause: Some(Condition::And(
+                Box::new(Condition::Compare {
+                    left: Operand::Attr("CEO".into()),
+                    cmp: Cmp::Eq,
+                    right: Operand::Attr("ANAME".into()),
+                }),
+                Box::new(Condition::Compare {
+                    left: Operand::Attr("DEGREE".into()),
+                    cmp: Cmp::Eq,
+                    right: Operand::Const(Value::str("MBA")),
+                }),
+            )),
+        };
+        assert_eq!(
+            q.to_string(),
+            "SELECT CEO FROM PORGANIZATION, PALUMNUS WHERE CEO = ANAME AND DEGREE = \"MBA\""
+        );
+    }
+
+    #[test]
+    fn conjunct_flattening() {
+        let c = Condition::And(
+            Box::new(Condition::And(
+                Box::new(Condition::Compare {
+                    left: Operand::Attr("A".into()),
+                    cmp: Cmp::Eq,
+                    right: Operand::Attr("B".into()),
+                }),
+                Box::new(Condition::Compare {
+                    left: Operand::Attr("C".into()),
+                    cmp: Cmp::Lt,
+                    right: Operand::Const(Value::int(3)),
+                }),
+            )),
+            Box::new(Condition::Compare {
+                left: Operand::Attr("D".into()),
+                cmp: Cmp::Eq,
+                right: Operand::Attr("E".into()),
+            }),
+        );
+        assert_eq!(c.conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn in_condition_display() {
+        let q = Query {
+            select: vec![SelectItem::Attr("AID#".into())],
+            from: vec!["PALUMNUS".into()],
+            where_clause: None,
+        };
+        let c = Condition::In {
+            attr: "AID#".into(),
+            negated: true,
+            query: Box::new(q),
+        };
+        assert_eq!(c.to_string(), "AID# NOT IN (SELECT AID# FROM PALUMNUS)");
+    }
+}

@@ -1,0 +1,801 @@
+//! Lowering SQL polygen queries into the polygen algebra.
+//!
+//! §III presents "a corresponding polygen algebraic expression" for the
+//! example SQL query; this module computes that correspondence. The
+//! algorithm is data-driven off the polygen schema (a [`SchemaInfo`]
+//! resolver), never off hand-written view definitions — the paper's
+//! stated difference from MULTIBASE-style translation.
+//!
+//! `IN` subqueries lower to joins against the *unprojected* subquery chain
+//! (exactly the paper's shape: the inner `SELECT AID# FROM PALUMNUS WHERE
+//! DEGREE = "MBA"` becomes just `PALUMNUS [DEGREE = "MBA"]`, then
+//! `[AID# = AID#] PCAREER`). `NOT IN` lowers to the AntiJoin extension.
+//!
+//! ## Range-variable note (paper mode vs strict mode)
+//!
+//! The paper's SQL query lists `PALUMNUS` in the outer `FROM` *and* inside
+//! the nested `IN` subquery, yet its algebra expression contains a single
+//! `PALUMNUS` — the authors treat both occurrences as one range variable
+//! (the ComputerWorld question's intent: *the CEO's own* MBA degree).
+//! [`LoweringOptions::reuse_subquery_relations`] (default, "paper mode")
+//! reproduces that choice; strict mode refuses such queries instead of
+//! silently changing their SQL semantics.
+
+use crate::algebra_expr::AlgebraExpr;
+use crate::ast::{Condition, Operand, Query, SelectItem};
+use polygen_flat::value::{Cmp, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Schema knowledge the lowerer needs: which attributes each polygen
+/// relation has.
+pub trait SchemaInfo {
+    /// The attribute names of a relation, or `None` if unknown.
+    fn attrs_of(&self, relation: &str) -> Option<Vec<String>>;
+}
+
+impl<F> SchemaInfo for F
+where
+    F: Fn(&str) -> Option<Vec<String>>,
+{
+    fn attrs_of(&self, relation: &str) -> Option<Vec<String>> {
+        self(relation)
+    }
+}
+
+/// A `SchemaInfo` backed by a map (handy in tests and the workload
+/// generator).
+#[derive(Debug, Clone, Default)]
+pub struct MapSchemaInfo(pub HashMap<String, Vec<String>>);
+
+impl MapSchemaInfo {
+    /// Insert one relation's attributes.
+    pub fn insert(&mut self, relation: &str, attrs: &[&str]) {
+        self.0.insert(
+            relation.to_string(),
+            attrs.iter().map(|a| (*a).to_string()).collect(),
+        );
+    }
+}
+
+impl SchemaInfo for MapSchemaInfo {
+    fn attrs_of(&self, relation: &str) -> Option<Vec<String>> {
+        self.0.get(relation).cloned()
+    }
+}
+
+/// Lowering configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LoweringOptions {
+    /// Paper mode (default): a FROM relation that also appears inside an
+    /// `IN` subquery is treated as the same range variable. Strict mode
+    /// (`false`) rejects such queries.
+    pub reuse_subquery_relations: bool,
+}
+
+impl Default for LoweringOptions {
+    fn default() -> Self {
+        LoweringOptions {
+            reuse_subquery_relations: true,
+        }
+    }
+}
+
+/// Lowering failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LowerError {
+    /// A FROM relation is not in the polygen schema.
+    UnknownRelation(String),
+    /// An attribute belongs to none of the query's relations.
+    UnresolvedAttribute(String),
+    /// An attribute belongs to several relations in scope.
+    AmbiguousAttribute { attr: String, candidates: Vec<String> },
+    /// An `IN` subquery must SELECT exactly one attribute.
+    BadSubquerySelect(String),
+    /// Strict mode refused a range-variable reuse the paper mode permits.
+    DuplicateRangeVariable(String),
+    /// A condition shape outside the supported subset.
+    Unsupported(String),
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::UnknownRelation(r) => write!(f, "unknown polygen relation `{r}`"),
+            LowerError::UnresolvedAttribute(a) => {
+                write!(f, "attribute `{a}` belongs to no relation in scope")
+            }
+            LowerError::AmbiguousAttribute { attr, candidates } => write!(
+                f,
+                "attribute `{attr}` is ambiguous among {}",
+                candidates.join(", ")
+            ),
+            LowerError::BadSubquerySelect(m) => write!(f, "bad IN-subquery SELECT list: {m}"),
+            LowerError::DuplicateRangeVariable(r) => write!(
+                f,
+                "relation `{r}` appears in both FROM and an IN subquery (strict mode refuses; use paper mode)"
+            ),
+            LowerError::Unsupported(m) => write!(f, "unsupported condition: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Lower a top-level query to an algebra expression.
+pub fn lower(
+    query: &Query,
+    schema: &dyn SchemaInfo,
+    options: LoweringOptions,
+) -> Result<AlgebraExpr, LowerError> {
+    // Distribute over OR by unioning the lowered disjunct queries.
+    if let Some(cond) = &query.where_clause {
+        if let Some((with_a, with_b)) = split_first_or(query, cond) {
+            let a = lower(&with_a, schema, options)?;
+            let b = lower(&with_b, schema, options)?;
+            return Ok(AlgebraExpr::Union(Box::new(a), Box::new(b)));
+        }
+    }
+    let (chain, _) = lower_conjunctive(query, schema, options)?;
+    // Project the SELECT list unless it is `*`.
+    if query.select.iter().any(|s| matches!(s, SelectItem::Star)) {
+        return Ok(chain);
+    }
+    let attrs: Vec<String> = query
+        .select
+        .iter()
+        .map(|s| match s {
+            SelectItem::Attr(a) => a.clone(),
+            SelectItem::Star => unreachable!("checked above"),
+        })
+        .collect();
+    Ok(AlgebraExpr::Project {
+        input: Box::new(chain),
+        attrs,
+    })
+}
+
+/// Find the first OR in the conjunct tree and return the query with each
+/// branch substituted.
+fn split_first_or(query: &Query, cond: &Condition) -> Option<(Query, Query)> {
+    fn replace(c: &Condition) -> Option<(Condition, Condition)> {
+        match c {
+            Condition::Or(a, b) => Some((a.as_ref().clone(), b.as_ref().clone())),
+            Condition::And(a, b) => {
+                if let Some((ra, rb)) = replace(a) {
+                    Some((
+                        Condition::And(Box::new(ra), b.clone()),
+                        Condition::And(Box::new(rb), b.clone()),
+                    ))
+                } else {
+                    replace(b).map(|(ra, rb)| {
+                        (
+                            Condition::And(a.clone(), Box::new(ra)),
+                            Condition::And(a.clone(), Box::new(rb)),
+                        )
+                    })
+                }
+            }
+            _ => None,
+        }
+    }
+    replace(cond).map(|(a, b)| {
+        let mut qa = query.clone();
+        qa.where_clause = Some(a);
+        let mut qb = query.clone();
+        qb.where_clause = Some(b);
+        (qa, qb)
+    })
+}
+
+/// One pending constraint, classified.
+enum Item {
+    Filter {
+        rel: String,
+        attr: String,
+        cmp: Cmp,
+        value: Value,
+    },
+    AttrCmp {
+        left: String,
+        cmp: Cmp,
+        right: String,
+    },
+    InSub {
+        attr: String,
+        negated: bool,
+        query: Query,
+    },
+}
+
+struct Ctx<'a> {
+    schema: &'a dyn SchemaInfo,
+    options: LoweringOptions,
+    /// Relations the chain already covers.
+    available: Vec<String>,
+    /// Selection predicates waiting for their relation to enter the chain.
+    pending_filters: HashMap<String, Vec<(String, Cmp, Value)>>,
+    chain: Option<AlgebraExpr>,
+}
+
+impl Ctx<'_> {
+    fn leaf(&mut self, rel: &str) -> AlgebraExpr {
+        let mut e = AlgebraExpr::rel(rel);
+        if let Some(filters) = self.pending_filters.remove(rel) {
+            for (attr, cmp, value) in filters {
+                e = AlgebraExpr::Select {
+                    input: Box::new(e),
+                    attr,
+                    cmp,
+                    value,
+                };
+            }
+        }
+        e
+    }
+
+    fn owner_of(&self, attr: &str, from: &[String]) -> Result<String, LowerError> {
+        // Scope: chain-available relations first, then FROM relations.
+        let mut scope: Vec<&String> = self.available.iter().collect();
+        for r in from {
+            if !scope.contains(&r) {
+                scope.push(r);
+            }
+        }
+        let mut owners: Vec<String> = Vec::new();
+        for rel in scope {
+            if let Some(attrs) = self.schema.attrs_of(rel) {
+                if attrs.iter().any(|a| a == attr) && !owners.contains(rel) {
+                    owners.push(rel.clone());
+                }
+            }
+        }
+        match owners.as_slice() {
+            [] => Err(LowerError::UnresolvedAttribute(attr.to_string())),
+            [one] => Ok(one.clone()),
+            _ => Err(LowerError::AmbiguousAttribute {
+                attr: attr.to_string(),
+                candidates: owners,
+            }),
+        }
+    }
+
+    fn mark_available(&mut self, rel: &str) {
+        if !self.available.iter().any(|r| r == rel) {
+            self.available.push(rel.to_string());
+        }
+    }
+}
+
+/// Lower a conjunctive (OR-free) query body *without* the final
+/// projection. Returns the chain and the relations it covers.
+fn lower_conjunctive(
+    query: &Query,
+    schema: &dyn SchemaInfo,
+    options: LoweringOptions,
+) -> Result<(AlgebraExpr, Vec<String>), LowerError> {
+    for rel in &query.from {
+        if schema.attrs_of(rel).is_none() {
+            return Err(LowerError::UnknownRelation(rel.clone()));
+        }
+    }
+    let mut ctx = Ctx {
+        schema,
+        options,
+        available: Vec::new(),
+        pending_filters: HashMap::new(),
+        chain: None,
+    };
+    // Classify conjuncts; constant filters go into pending_filters keyed
+    // by their owning relation so they are applied at the leaf (pushdown
+    // into the chain construction, matching the paper's
+    // `PALUMNUS [DEGREE = "MBA"]` innermost position).
+    let mut items: Vec<Item> = Vec::new();
+    if let Some(cond) = &query.where_clause {
+        for c in cond.conjuncts() {
+            match c {
+                Condition::Compare { left, cmp, right } => match (left, right) {
+                    (Operand::Attr(l), Operand::Attr(r)) => items.push(Item::AttrCmp {
+                        left: l.clone(),
+                        cmp: *cmp,
+                        right: r.clone(),
+                    }),
+                    (Operand::Attr(a), Operand::Const(v)) => {
+                        let rel = ctx.owner_of(a, &query.from)?;
+                        items.push(Item::Filter {
+                            rel,
+                            attr: a.clone(),
+                            cmp: *cmp,
+                            value: v.clone(),
+                        });
+                    }
+                    (Operand::Const(v), Operand::Attr(a)) => {
+                        let rel = ctx.owner_of(a, &query.from)?;
+                        items.push(Item::Filter {
+                            rel,
+                            attr: a.clone(),
+                            cmp: cmp.flipped(),
+                            value: v.clone(),
+                        });
+                    }
+                    (Operand::Const(_), Operand::Const(_)) => {
+                        return Err(LowerError::Unsupported(
+                            "constant-to-constant comparison".into(),
+                        ))
+                    }
+                },
+                Condition::In {
+                    attr,
+                    negated,
+                    query: sub,
+                } => items.push(Item::InSub {
+                    attr: attr.clone(),
+                    negated: *negated,
+                    query: sub.as_ref().clone(),
+                }),
+                Condition::Or(..) => {
+                    return Err(LowerError::Unsupported(
+                        "OR must be eliminated before conjunctive lowering".into(),
+                    ))
+                }
+                Condition::And(..) => unreachable!("conjuncts() flattens ANDs"),
+            }
+        }
+    }
+    // Stage constant filters.
+    let mut work: Vec<Item> = Vec::new();
+    for item in items {
+        match item {
+            Item::Filter {
+                rel,
+                attr,
+                cmp,
+                value,
+            } => {
+                if ctx.available.contains(&rel) {
+                    // Already in the chain (cannot happen before the chain
+                    // exists, kept for symmetry).
+                    ctx.chain = Some(AlgebraExpr::Select {
+                        input: Box::new(ctx.chain.take().expect("available implies chain")),
+                        attr,
+                        cmp,
+                        value,
+                    });
+                } else {
+                    ctx.pending_filters
+                        .entry(rel)
+                        .or_default()
+                        .push((attr, cmp, value));
+                }
+            }
+            other => work.push(other),
+        }
+    }
+    // IN-subquery constraints build the chain (the paper's translation
+    // grows outward from the innermost subquery), so they run before
+    // plain attribute comparisons — otherwise `CEO = ANAME` would
+    // eagerly introduce fresh copies of relations the subquery is about
+    // to bring in.
+    work.sort_by_key(|item| match item {
+        Item::InSub { .. } => 0,
+        Item::AttrCmp { .. } => 1,
+        Item::Filter { .. } => 2,
+    });
+    // Fixpoint over join-ish constraints.
+    while !work.is_empty() {
+        let mut progressed = false;
+        let mut deferred: Vec<Item> = Vec::new();
+        for item in work.drain(..) {
+            if apply_item(&mut ctx, &query.from, &item)? {
+                progressed = true;
+            } else {
+                deferred.push(item);
+            }
+        }
+        if !progressed && !deferred.is_empty() {
+            // Break the deadlock: force the first deferred item's left
+            // relation into the chain via a product, then retry.
+            let rel = match &deferred[0] {
+                Item::AttrCmp { left, .. } => ctx.owner_of(left, &query.from)?,
+                Item::InSub { attr, .. } => ctx.owner_of(attr, &query.from)?,
+                Item::Filter { rel, .. } => rel.clone(),
+            };
+            let leaf = ctx.leaf(&rel);
+            ctx.chain = Some(match ctx.chain.take() {
+                None => leaf,
+                Some(c) => AlgebraExpr::Product(Box::new(c), Box::new(leaf)),
+            });
+            ctx.mark_available(&rel);
+        }
+        work = deferred;
+    }
+    // Any FROM relation not yet covered enters via product (or, in paper
+    // mode, is skipped when a subquery already brought it in).
+    for rel in &query.from {
+        if ctx.available.iter().any(|r| r == rel) {
+            continue;
+        }
+        let leaf = ctx.leaf(rel);
+        ctx.chain = Some(match ctx.chain.take() {
+            None => leaf,
+            Some(c) => AlgebraExpr::Product(Box::new(c), Box::new(leaf)),
+        });
+        ctx.mark_available(rel);
+    }
+    // Filters for relations that never joined (fully pushed) are consumed
+    // by leaf(); anything left over names a relation outside FROM.
+    if let Some(rel) = ctx.pending_filters.keys().next() {
+        return Err(LowerError::UnresolvedAttribute(format!(
+            "filter on `{rel}` which is not reachable from FROM"
+        )));
+    }
+    let chain = ctx
+        .chain
+        .take()
+        .ok_or_else(|| LowerError::Unsupported("query references no relation".into()))?;
+    Ok((chain, ctx.available))
+}
+
+/// Try to apply one join-ish constraint; `Ok(false)` means "not yet".
+fn apply_item(ctx: &mut Ctx<'_>, from: &[String], item: &Item) -> Result<bool, LowerError> {
+    match item {
+        Item::Filter { .. } => unreachable!("filters staged earlier"),
+        Item::AttrCmp { left, cmp, right } => {
+            let lo = ctx.owner_of(left, from)?;
+            let ro = ctx.owner_of(right, from)?;
+            if ctx.chain.is_none() {
+                if lo == ro {
+                    // Same-relation restrict starts the chain.
+                    let leaf = ctx.leaf(&lo);
+                    ctx.chain = Some(AlgebraExpr::Restrict {
+                        input: Box::new(leaf),
+                        left: left.clone(),
+                        cmp: *cmp,
+                        right: right.clone(),
+                    });
+                    ctx.mark_available(&lo);
+                } else {
+                    let lleaf = ctx.leaf(&lo);
+                    let rleaf = ctx.leaf(&ro);
+                    ctx.chain = Some(AlgebraExpr::Join {
+                        left: Box::new(lleaf),
+                        lattr: left.clone(),
+                        cmp: *cmp,
+                        rattr: right.clone(),
+                        right: Box::new(rleaf),
+                    });
+                    ctx.mark_available(&lo);
+                    ctx.mark_available(&ro);
+                }
+                return Ok(true);
+            }
+            let l_in = ctx.available.contains(&lo);
+            let r_in = ctx.available.contains(&ro);
+            match (l_in, r_in) {
+                (true, true) => {
+                    let c = ctx.chain.take().expect("checked above");
+                    ctx.chain = Some(AlgebraExpr::Restrict {
+                        input: Box::new(c),
+                        left: left.clone(),
+                        cmp: *cmp,
+                        right: right.clone(),
+                    });
+                    Ok(true)
+                }
+                (true, false) => {
+                    let c = ctx.chain.take().expect("checked above");
+                    let leaf = ctx.leaf(&ro);
+                    ctx.chain = Some(AlgebraExpr::Join {
+                        left: Box::new(c),
+                        lattr: left.clone(),
+                        cmp: *cmp,
+                        rattr: right.clone(),
+                        right: Box::new(leaf),
+                    });
+                    ctx.mark_available(&ro);
+                    Ok(true)
+                }
+                (false, true) => {
+                    let c = ctx.chain.take().expect("checked above");
+                    let leaf = ctx.leaf(&lo);
+                    ctx.chain = Some(AlgebraExpr::Join {
+                        left: Box::new(c),
+                        lattr: right.clone(),
+                        cmp: cmp.flipped(),
+                        rattr: left.clone(),
+                        right: Box::new(leaf),
+                    });
+                    ctx.mark_available(&lo);
+                    Ok(true)
+                }
+                (false, false) => Ok(false),
+            }
+        }
+        Item::InSub {
+            attr,
+            negated,
+            query: sub,
+        } => {
+            let owner = ctx.owner_of(attr, from)?;
+            let (sub_expr, sub_avail, sub_out) =
+                lower_subquery(sub, ctx.schema, ctx.options)?;
+            if !ctx.options.reuse_subquery_relations {
+                for rel in &sub_avail {
+                    if from.contains(rel) {
+                        return Err(LowerError::DuplicateRangeVariable(rel.clone()));
+                    }
+                }
+            }
+            let owner_in = ctx.available.contains(&owner);
+            if *negated {
+                // AntiJoin needs the owner side materialized first.
+                let left = match (ctx.chain.take(), owner_in) {
+                    (Some(c), true) => c,
+                    (Some(c), false) => {
+                        let leaf = ctx.leaf(&owner);
+                        ctx.mark_available(&owner);
+                        AlgebraExpr::Product(Box::new(c), Box::new(leaf))
+                    }
+                    (None, _) => {
+                        ctx.mark_available(&owner);
+                        ctx.leaf(&owner)
+                    }
+                };
+                ctx.chain = Some(AlgebraExpr::AntiJoin {
+                    left: Box::new(left),
+                    lattr: attr.clone(),
+                    rattr: sub_out,
+                    right: Box::new(sub_expr),
+                });
+                // Anti-join does not make subquery relations available.
+                return Ok(true);
+            }
+            match (ctx.chain.take(), owner_in) {
+                (None, _) => {
+                    // The paper's shape: subquery chain on the left, the
+                    // constrained relation joined on the right.
+                    let leaf = ctx.leaf(&owner);
+                    ctx.chain = Some(AlgebraExpr::Join {
+                        left: Box::new(sub_expr),
+                        lattr: sub_out,
+                        cmp: Cmp::Eq,
+                        rattr: attr.clone(),
+                        right: Box::new(leaf),
+                    });
+                    for rel in sub_avail {
+                        ctx.mark_available(&rel);
+                    }
+                    ctx.mark_available(&owner);
+                    Ok(true)
+                }
+                (Some(c), true) => {
+                    ctx.chain = Some(AlgebraExpr::Join {
+                        left: Box::new(c),
+                        lattr: attr.clone(),
+                        cmp: Cmp::Eq,
+                        rattr: sub_out,
+                        right: Box::new(sub_expr),
+                    });
+                    for rel in sub_avail {
+                        ctx.mark_available(&rel);
+                    }
+                    Ok(true)
+                }
+                (Some(c), false) => {
+                    // Join the subquery to its owner first, then attach the
+                    // fragment to the chain by product (no predicate links
+                    // them yet; a later constraint may restrict).
+                    let leaf = ctx.leaf(&owner);
+                    let fragment = AlgebraExpr::Join {
+                        left: Box::new(sub_expr),
+                        lattr: sub_out,
+                        cmp: Cmp::Eq,
+                        rattr: attr.clone(),
+                        right: Box::new(leaf),
+                    };
+                    ctx.chain = Some(AlgebraExpr::Product(Box::new(c), Box::new(fragment)));
+                    for rel in sub_avail {
+                        ctx.mark_available(&rel);
+                    }
+                    ctx.mark_available(&owner);
+                    Ok(true)
+                }
+            }
+        }
+    }
+}
+
+/// Lower an `IN` subquery: conjunctive body, *no* projection, single
+/// output attribute.
+fn lower_subquery(
+    sub: &Query,
+    schema: &dyn SchemaInfo,
+    options: LoweringOptions,
+) -> Result<(AlgebraExpr, Vec<String>, String), LowerError> {
+    let out = match sub.select.as_slice() {
+        [SelectItem::Attr(a)] => a.clone(),
+        [SelectItem::Star] => {
+            return Err(LowerError::BadSubquerySelect(
+                "IN subquery cannot SELECT *".into(),
+            ))
+        }
+        items => {
+            return Err(LowerError::BadSubquerySelect(format!(
+                "expected exactly one attribute, found {}",
+                items.len()
+            )))
+        }
+    };
+    if sub
+        .where_clause
+        .as_ref()
+        .is_some_and(|c| matches!(c, Condition::Or(..)))
+    {
+        return Err(LowerError::Unsupported(
+            "OR at the top of an IN subquery".into(),
+        ));
+    }
+    let (chain, avail) = lower_conjunctive(sub, schema, options)?;
+    Ok((chain, avail, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra_expr::{parse_algebra, PAPER_EXPRESSION};
+    use crate::parser::parse_query;
+
+    fn mit_schema() -> MapSchemaInfo {
+        let mut m = MapSchemaInfo::default();
+        m.insert("PALUMNUS", &["AID#", "ANAME", "DEGREE", "MAJOR"]);
+        m.insert("PCAREER", &["AID#", "ONAME", "POSITION"]);
+        m.insert(
+            "PORGANIZATION",
+            &["ONAME", "INDUSTRY", "CEO", "HEADQUARTERS"],
+        );
+        m.insert("PSTUDENT", &["SID#", "SNAME", "GPA", "MAJOR"]);
+        m.insert("PINTERVIEW", &["SID#", "ONAME", "JOB", "LOCATION"]);
+        m.insert("PFINANCE", &["ONAME", "YEAR", "PROFIT"]);
+        m
+    }
+
+    const PAPER_SQL: &str = "SELECT ONAME, CEO \
+        FROM PORGANIZATION, PALUMNUS \
+        WHERE CEO = ANAME AND ONAME IN \
+        (SELECT ONAME FROM PCAREER WHERE AID# IN \
+        (SELECT AID# FROM PALUMNUS WHERE DEGREE = \"MBA\"))";
+
+    #[test]
+    fn lowers_the_paper_query_to_the_paper_expression() {
+        let q = parse_query(PAPER_SQL).unwrap();
+        let lowered = lower(&q, &mit_schema(), LoweringOptions::default()).unwrap();
+        let expected = parse_algebra(PAPER_EXPRESSION).unwrap();
+        assert_eq!(
+            lowered, expected,
+            "lowering diverged:\n  got:      {lowered}\n  expected: {expected}"
+        );
+    }
+
+    #[test]
+    fn strict_mode_refuses_range_variable_reuse() {
+        let q = parse_query(PAPER_SQL).unwrap();
+        let err = lower(
+            &q,
+            &mit_schema(),
+            LoweringOptions {
+                reuse_subquery_relations: false,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, LowerError::DuplicateRangeVariable(r) if r == "PALUMNUS"));
+    }
+
+    #[test]
+    fn simple_select_project() {
+        let q = parse_query("SELECT ANAME FROM PALUMNUS WHERE DEGREE = \"MBA\"").unwrap();
+        let e = lower(&q, &mit_schema(), LoweringOptions::default()).unwrap();
+        assert_eq!(e.to_string(), "(PALUMNUS [DEGREE = \"MBA\"]) [ANAME]");
+    }
+
+    #[test]
+    fn star_skips_projection() {
+        let q = parse_query("SELECT * FROM PFINANCE WHERE YEAR = 1989").unwrap();
+        let e = lower(&q, &mit_schema(), LoweringOptions::default()).unwrap();
+        assert_eq!(e.to_string(), "PFINANCE [YEAR = 1989]");
+    }
+
+    #[test]
+    fn cross_relation_join_from_where() {
+        let q = parse_query(
+            "SELECT SNAME, JOB FROM PSTUDENT, PINTERVIEW WHERE GPA >= 3.5 AND SID# = SID#",
+        )
+        .unwrap();
+        // SID# is ambiguous between the two relations; both own it.
+        let err = lower(&q, &mit_schema(), LoweringOptions::default()).unwrap_err();
+        assert!(matches!(err, LowerError::AmbiguousAttribute { .. }));
+    }
+
+    #[test]
+    fn join_via_distinct_attr_names() {
+        let q = parse_query(
+            "SELECT POSITION FROM PCAREER, PALUMNUS WHERE ANAME = \"Bob Swanson\" AND MAJOR = POSITION",
+        )
+        .unwrap();
+        let e = lower(&q, &mit_schema(), LoweringOptions::default()).unwrap();
+        // MAJOR (PALUMNUS, filtered) joins POSITION (PCAREER).
+        let shown = e.to_string();
+        assert!(shown.contains("[MAJOR = POSITION]"), "{shown}");
+        assert!(shown.contains("PALUMNUS [ANAME = \"Bob Swanson\"]"), "{shown}");
+    }
+
+    #[test]
+    fn unconstrained_from_becomes_product() {
+        let q = parse_query("SELECT ANAME, ONAME FROM PALUMNUS, PORGANIZATION").unwrap();
+        let e = lower(&q, &mit_schema(), LoweringOptions::default()).unwrap();
+        assert_eq!(
+            e.to_string(),
+            "(PALUMNUS TIMES PORGANIZATION) [ANAME, ONAME]"
+        );
+    }
+
+    #[test]
+    fn or_lowers_to_union() {
+        let q = parse_query(
+            "SELECT ONAME FROM PORGANIZATION WHERE INDUSTRY = \"Banking\" OR INDUSTRY = \"Finance\"",
+        )
+        .unwrap();
+        let e = lower(&q, &mit_schema(), LoweringOptions::default()).unwrap();
+        assert!(matches!(e, AlgebraExpr::Union(_, _)), "{e}");
+    }
+
+    #[test]
+    fn not_in_lowers_to_antijoin() {
+        let q = parse_query(
+            "SELECT ONAME FROM PORGANIZATION WHERE ONAME NOT IN (SELECT ONAME FROM PFINANCE)",
+        )
+        .unwrap();
+        let e = lower(&q, &mit_schema(), LoweringOptions::default()).unwrap();
+        assert_eq!(
+            e.to_string(),
+            "(PORGANIZATION ANTIJOIN [ONAME = ONAME] PFINANCE) [ONAME]"
+        );
+    }
+
+    #[test]
+    fn error_cases() {
+        let unknown = parse_query("SELECT A FROM NOPE").unwrap();
+        assert!(matches!(
+            lower(&unknown, &mit_schema(), LoweringOptions::default()),
+            Err(LowerError::UnknownRelation(_))
+        ));
+        let unresolved = parse_query("SELECT ANAME FROM PALUMNUS WHERE PROFIT = 3").unwrap();
+        assert!(matches!(
+            lower(&unresolved, &mit_schema(), LoweringOptions::default()),
+            Err(LowerError::UnresolvedAttribute(_))
+        ));
+        let multi_in = parse_query(
+            "SELECT ONAME FROM PORGANIZATION WHERE ONAME IN (SELECT ONAME, YEAR FROM PFINANCE)",
+        )
+        .unwrap();
+        assert!(matches!(
+            lower(&multi_in, &mit_schema(), LoweringOptions::default()),
+            Err(LowerError::BadSubquerySelect(_))
+        ));
+    }
+
+    #[test]
+    fn in_subquery_with_existing_chain() {
+        let q = parse_query(
+            "SELECT ONAME FROM PORGANIZATION WHERE INDUSTRY = \"Banking\" AND ONAME IN (SELECT ONAME FROM PFINANCE WHERE YEAR = 1989)",
+        )
+        .unwrap();
+        let e = lower(&q, &mit_schema(), LoweringOptions::default()).unwrap();
+        let shown = e.to_string();
+        // The subquery joins the already-filtered PORGANIZATION chain.
+        assert!(
+            shown.contains("PFINANCE [YEAR = 1989]"),
+            "{shown}"
+        );
+        assert!(shown.contains("PORGANIZATION [INDUSTRY = \"Banking\"]"), "{shown}");
+    }
+}

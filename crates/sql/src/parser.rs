@@ -1,0 +1,282 @@
+//! Recursive-descent parser for the SQL polygen-query subset.
+
+use crate::ast::{Condition, Operand, Query, SelectItem};
+use crate::token::{lex, SyntaxError, Tok};
+use polygen_flat::value::{Cmp, Value};
+
+/// Parse one SQL query.
+pub fn parse_query(input: &str) -> Result<Query, SyntaxError> {
+    let toks = lex(input)?;
+    let mut p = Parser { toks, pos: 0 };
+    let q = p.query()?;
+    p.expect_end()?;
+    Ok(q)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> SyntaxError {
+        SyntaxError {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), SyntaxError> {
+        match self.next() {
+            Some(ref t) if t == want => Ok(()),
+            Some(t) => Err(self.err(format!("expected `{want}`, found `{t}`"))),
+            None => Err(self.err(format!("expected `{want}`, found end of input"))),
+        }
+    }
+
+    fn expect_end(&self) -> Result<(), SyntaxError> {
+        match self.peek() {
+            None => Ok(()),
+            Some(t) => Err(self.err(format!("unexpected trailing `{t}`"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SyntaxError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            Some(t) => Err(self.err(format!("expected identifier, found `{t}`"))),
+            None => Err(self.err("expected identifier, found end of input")),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, SyntaxError> {
+        self.expect(&Tok::Select)?;
+        let mut select = Vec::new();
+        if self.peek() == Some(&Tok::Star) {
+            self.next();
+            select.push(SelectItem::Star);
+        } else {
+            loop {
+                select.push(SelectItem::Attr(self.ident()?));
+                if self.peek() == Some(&Tok::Comma) {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::From)?;
+        let mut from = vec![self.ident()?];
+        while self.peek() == Some(&Tok::Comma) {
+            self.next();
+            from.push(self.ident()?);
+        }
+        let where_clause = if self.peek() == Some(&Tok::Where) {
+            self.next();
+            Some(self.condition()?)
+        } else {
+            None
+        };
+        Ok(Query {
+            select,
+            from,
+            where_clause,
+        })
+    }
+
+    /// condition := conj (OR conj)*
+    fn condition(&mut self) -> Result<Condition, SyntaxError> {
+        let mut left = self.conjunction()?;
+        while self.peek() == Some(&Tok::Or) {
+            self.next();
+            let right = self.conjunction()?;
+            left = Condition::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    /// conj := predicate (AND predicate)*
+    fn conjunction(&mut self) -> Result<Condition, SyntaxError> {
+        let mut left = self.predicate()?;
+        while self.peek() == Some(&Tok::And) {
+            self.next();
+            let right = self.predicate()?;
+            left = Condition::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn predicate(&mut self) -> Result<Condition, SyntaxError> {
+        if self.peek() == Some(&Tok::LParen) {
+            self.next();
+            let c = self.condition()?;
+            self.expect(&Tok::RParen)?;
+            return Ok(c);
+        }
+        let attr = self.ident()?;
+        match self.peek() {
+            Some(Tok::In) => {
+                self.next();
+                self.expect(&Tok::LParen)?;
+                let q = self.query()?;
+                self.expect(&Tok::RParen)?;
+                Ok(Condition::In {
+                    attr,
+                    negated: false,
+                    query: Box::new(q),
+                })
+            }
+            Some(Tok::Not) => {
+                self.next();
+                self.expect(&Tok::In)?;
+                self.expect(&Tok::LParen)?;
+                let q = self.query()?;
+                self.expect(&Tok::RParen)?;
+                Ok(Condition::In {
+                    attr,
+                    negated: true,
+                    query: Box::new(q),
+                })
+            }
+            _ => {
+                let cmp = self.comparison()?;
+                let right = self.operand()?;
+                Ok(Condition::Compare {
+                    left: Operand::Attr(attr),
+                    cmp,
+                    right,
+                })
+            }
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Cmp, SyntaxError> {
+        match self.next() {
+            Some(Tok::Eq) => Ok(Cmp::Eq),
+            Some(Tok::Ne) => Ok(Cmp::Ne),
+            Some(Tok::Lt) => Ok(Cmp::Lt),
+            Some(Tok::Le) => Ok(Cmp::Le),
+            Some(Tok::Gt) => Ok(Cmp::Gt),
+            Some(Tok::Ge) => Ok(Cmp::Ge),
+            Some(t) => Err(self.err(format!("expected comparison operator, found `{t}`"))),
+            None => Err(self.err("expected comparison operator, found end of input")),
+        }
+    }
+
+    fn operand(&mut self) -> Result<Operand, SyntaxError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(Operand::Attr(s)),
+            Some(Tok::StrLit(s)) => Ok(Operand::Const(Value::str(s))),
+            Some(Tok::IntLit(i)) => Ok(Operand::Const(Value::Int(i))),
+            Some(Tok::FloatLit(x)) => Ok(Operand::Const(Value::float(x))),
+            Some(t) => Err(self.err(format!("expected operand, found `{t}`"))),
+            None => Err(self.err("expected operand, found end of input")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// §III's example polygen query, verbatim.
+    pub const PAPER_QUERY: &str = "SELECT ONAME, CEO \
+        FROM PORGANIZATION, PALUMNUS \
+        WHERE CEO = ANAME AND ONAME IN \
+        (SELECT ONAME FROM PCAREER WHERE AID# IN \
+        (SELECT AID# FROM PALUMNUS WHERE DEGREE = \"MBA\"))";
+
+    #[test]
+    fn parses_the_paper_query() {
+        let q = parse_query(PAPER_QUERY).unwrap();
+        assert_eq!(q.select.len(), 2);
+        assert_eq!(q.from, vec!["PORGANIZATION", "PALUMNUS"]);
+        let conj = q.where_clause.as_ref().unwrap().conjuncts();
+        assert_eq!(conj.len(), 2);
+        match conj[1] {
+            Condition::In { attr, query, .. } => {
+                assert_eq!(attr, "ONAME");
+                match &query.where_clause {
+                    Some(Condition::In { attr, query, .. }) => {
+                        assert_eq!(attr, "AID#");
+                        assert_eq!(query.from, vec!["PALUMNUS"]);
+                    }
+                    other => panic!("expected nested IN, got {other:?}"),
+                }
+            }
+            other => panic!("expected IN, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_display_reparse_is_stable() {
+        let q1 = parse_query(PAPER_QUERY).unwrap();
+        let q2 = parse_query(&q1.to_string()).unwrap();
+        assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn star_and_bare_from() {
+        let q = parse_query("SELECT * FROM PFINANCE").unwrap();
+        assert_eq!(q.select, vec![SelectItem::Star]);
+        assert!(q.where_clause.is_none());
+    }
+
+    #[test]
+    fn or_and_parentheses() {
+        let q = parse_query(
+            "SELECT ONAME FROM PORGANIZATION WHERE (INDUSTRY = \"Banking\" OR INDUSTRY = \"Finance\") AND CEO <> \"x\"",
+        )
+        .unwrap();
+        let c = q.where_clause.unwrap();
+        match c {
+            Condition::And(a, _) => assert!(matches!(*a, Condition::Or(_, _))),
+            other => panic!("expected AND at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_in_parses() {
+        let q = parse_query(
+            "SELECT ONAME FROM PORGANIZATION WHERE ONAME NOT IN (SELECT ONAME FROM PFINANCE)",
+        )
+        .unwrap();
+        match q.where_clause.unwrap() {
+            Condition::In { negated, .. } => assert!(negated),
+            other => panic!("expected NOT IN, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        let q = parse_query("SELECT SNAME FROM PSTUDENT WHERE GPA >= 3.5").unwrap();
+        match q.where_clause.unwrap() {
+            Condition::Compare { cmp, right, .. } => {
+                assert_eq!(cmp, Cmp::Ge);
+                assert_eq!(right, Operand::Const(Value::float(3.5)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_query("SELECT FROM X").is_err());
+        assert!(parse_query("SELECT A FROM").is_err());
+        assert!(parse_query("SELECT A FROM X WHERE").is_err());
+        assert!(parse_query("SELECT A FROM X extra").is_err());
+        assert!(parse_query("SELECT A FROM X WHERE A IN SELECT").is_err());
+    }
+}

@@ -1,0 +1,365 @@
+//! Tokens and the lexer shared by the SQL and algebra-expression parsers.
+//!
+//! Identifiers admit `#` (the paper's `AID#`, `SID#`) and `'` is reserved
+//! for string literals, which may be single- or double-quoted (the paper
+//! writes `DEGREE = "MBA"`).
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier (relation or attribute name).
+    Ident(String),
+    /// String literal.
+    StrLit(String),
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `SELECT`
+    Select,
+    /// `FROM`
+    From,
+    /// `WHERE`
+    Where,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `IN`
+    In,
+    /// `NOT`
+    Not,
+    /// `UNION`
+    Union,
+    /// `MINUS` (set difference)
+    Minus,
+    /// `TIMES` (cartesian product)
+    Times,
+    /// `INTERSECT`
+    Intersect,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::StrLit(s) => write!(f, "\"{s}\""),
+            Tok::IntLit(i) => write!(f, "{i}"),
+            Tok::FloatLit(x) => write!(f, "{x}"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::Comma => write!(f, ","),
+            Tok::Star => write!(f, "*"),
+            Tok::Eq => write!(f, "="),
+            Tok::Ne => write!(f, "<>"),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::Select => write!(f, "SELECT"),
+            Tok::From => write!(f, "FROM"),
+            Tok::Where => write!(f, "WHERE"),
+            Tok::And => write!(f, "AND"),
+            Tok::Or => write!(f, "OR"),
+            Tok::In => write!(f, "IN"),
+            Tok::Not => write!(f, "NOT"),
+            Tok::Union => write!(f, "UNION"),
+            Tok::Minus => write!(f, "MINUS"),
+            Tok::Times => write!(f, "TIMES"),
+            Tok::Intersect => write!(f, "INTERSECT"),
+        }
+    }
+}
+
+/// A lexer/parser error with a character position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntaxError {
+    /// Byte offset in the input (best effort).
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "syntax error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for SyntaxError {}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '#'
+}
+
+fn keyword(word: &str) -> Option<Tok> {
+    Some(match word.to_ascii_uppercase().as_str() {
+        "SELECT" => Tok::Select,
+        "FROM" => Tok::From,
+        "WHERE" => Tok::Where,
+        "AND" => Tok::And,
+        "OR" => Tok::Or,
+        "IN" => Tok::In,
+        "NOT" => Tok::Not,
+        "UNION" => Tok::Union,
+        "MINUS" => Tok::Minus,
+        "TIMES" => Tok::Times,
+        "INTERSECT" => Tok::Intersect,
+        _ => return None,
+    })
+}
+
+/// Tokenize an input string.
+pub fn lex(input: &str) -> Result<Vec<Tok>, SyntaxError> {
+    let mut toks = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            '[' => {
+                toks.push(Tok::LBracket);
+                i += 1;
+            }
+            ']' => {
+                toks.push(Tok::RBracket);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            '*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            '=' => {
+                toks.push(Tok::Eq);
+                i += 1;
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                toks.push(Tok::Ne);
+                i += 2;
+            }
+            '<' => match chars.get(i + 1) {
+                Some('=') => {
+                    toks.push(Tok::Le);
+                    i += 2;
+                }
+                Some('>') => {
+                    toks.push(Tok::Ne);
+                    i += 2;
+                }
+                _ => {
+                    toks.push(Tok::Lt);
+                    i += 1;
+                }
+            },
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    toks.push(Tok::Ge);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Gt);
+                    i += 1;
+                }
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.get(i) {
+                        Some(&ch) if ch == quote => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(SyntaxError {
+                                position: start,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                    }
+                }
+                toks.push(Tok::StrLit(s));
+            }
+            '-' if chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()) => {
+                let (tok, next) = lex_number(&chars, i)?;
+                toks.push(tok);
+                i = next;
+            }
+            _ if c.is_ascii_digit() => {
+                let (tok, next) = lex_number(&chars, i)?;
+                toks.push(tok);
+                i = next;
+            }
+            _ if is_ident_start(c) => {
+                let start = i;
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                toks.push(keyword(&word).unwrap_or(Tok::Ident(word)));
+            }
+            _ => {
+                return Err(SyntaxError {
+                    position: i,
+                    message: format!("unexpected character `{c}`"),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+fn lex_number(chars: &[char], mut i: usize) -> Result<(Tok, usize), SyntaxError> {
+    let start = i;
+    if chars[i] == '-' {
+        i += 1;
+    }
+    while i < chars.len() && chars[i].is_ascii_digit() {
+        i += 1;
+    }
+    let mut is_float = false;
+    if i < chars.len() && chars[i] == '.' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+        is_float = true;
+        i += 1;
+        while i < chars.len() && chars[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    let text: String = chars[start..i].iter().collect();
+    if is_float {
+        text.parse::<f64>()
+            .map(|x| (Tok::FloatLit(x), i))
+            .map_err(|e| SyntaxError {
+                position: start,
+                message: format!("bad float literal `{text}`: {e}"),
+            })
+    } else {
+        text.parse::<i64>()
+            .map(|x| (Tok::IntLit(x), i))
+            .map_err(|e| SyntaxError {
+                position: start,
+                message: format!("bad integer literal `{text}`: {e}"),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_the_paper_query() {
+        let toks = lex("SELECT CEO FROM PORGANIZATION, PALUMNUS WHERE CEO = ANAME AND DEGREE = \"MBA\"").unwrap();
+        assert_eq!(toks[0], Tok::Select);
+        assert!(toks.contains(&Tok::Ident("PORGANIZATION".into())));
+        assert!(toks.contains(&Tok::StrLit("MBA".into())));
+        assert!(toks.contains(&Tok::And));
+    }
+
+    #[test]
+    fn lexes_hash_idents_and_brackets() {
+        let toks = lex("(PALUMNUS [DEGREE = \"MBA\"]) [AID# = AID#] PCAREER").unwrap();
+        assert!(toks.contains(&Tok::Ident("AID#".into())));
+        assert!(toks.contains(&Tok::LBracket));
+    }
+
+    #[test]
+    fn keywords_case_insensitive_but_idents_preserved() {
+        let toks = lex("select From WHERE oname").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Select,
+                Tok::From,
+                Tok::Where,
+                Tok::Ident("oname".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            lex("= <> != < <= > >=").unwrap(),
+            vec![Tok::Eq, Tok::Ne, Tok::Ne, Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge]
+        );
+    }
+
+    #[test]
+    fn numbers_and_negatives() {
+        assert_eq!(
+            lex("1989 -17 3.5 -2.25").unwrap(),
+            vec![
+                Tok::IntLit(1989),
+                Tok::IntLit(-17),
+                Tok::FloatLit(3.5),
+                Tok::FloatLit(-2.25)
+            ]
+        );
+    }
+
+    #[test]
+    fn single_quoted_strings() {
+        assert_eq!(
+            lex("'Banker''x'").unwrap(),
+            vec![Tok::StrLit("Banker".into()), Tok::StrLit("x".into())]
+        );
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let e = lex("SELECT ; FROM").unwrap_err();
+        assert_eq!(e.position, 7);
+        assert!(lex("\"unterminated").is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! Workload configuration.
+//!
+//! The paper's evaluation federates three hand-sized databases; the
+//! benchmark harness needs the same *shape* at arbitrary scale: K sources
+//! sharing an entity pool with controllable replication, plus a detail
+//! relation for join workloads. Everything is seeded — two runs with the
+//! same config produce identical federations.
+
+/// Parameters of a synthetic federation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadConfig {
+    /// RNG seed (determinism across runs and machines).
+    pub seed: u64,
+    /// Number of local databases (the paper's AD/PD/CD generalized).
+    pub sources: usize,
+    /// Size of the shared entity pool.
+    pub entities: usize,
+    /// Probability that a given source knows a given entity. 1.0 means
+    /// full replication (every merge key matches everywhere); lower
+    /// values produce the paper's partial-overlap federations.
+    pub coverage: f64,
+    /// Rows in the (single-source) detail relation, keyed to random
+    /// entities.
+    pub detail_rows: usize,
+    /// Number of distinct category values (select selectivity knob);
+    /// drawn Zipf-skewed.
+    pub categories: usize,
+    /// Probability that a source disagrees with the canonical value of a
+    /// shared attribute (exercises conflict resolution; 0.0 = the paper's
+    /// conflict-free assumption).
+    pub conflict_rate: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            seed: 0x9e3779b97f4a7c15,
+            sources: 3,
+            entities: 1_000,
+            coverage: 0.6,
+            detail_rows: 2_000,
+            categories: 16,
+            conflict_rate: 0.0,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style source-count override.
+    pub fn with_sources(mut self, sources: usize) -> Self {
+        self.sources = sources;
+        self
+    }
+
+    /// Builder-style entity-pool override.
+    pub fn with_entities(mut self, entities: usize) -> Self {
+        self.entities = entities;
+        self
+    }
+
+    /// Builder-style coverage override.
+    pub fn with_coverage(mut self, coverage: f64) -> Self {
+        self.coverage = coverage;
+        self
+    }
+
+    /// Validate ranges; panics early with a clear message (configs are
+    /// developer-authored bench inputs, not user data).
+    pub fn validated(self) -> Self {
+        assert!(self.sources >= 1, "need at least one source");
+        assert!(self.entities >= 1, "need at least one entity");
+        assert!(
+            (0.0..=1.0).contains(&self.coverage),
+            "coverage must be a probability"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.conflict_rate),
+            "conflict_rate must be a probability"
+        );
+        assert!(self.categories >= 1, "need at least one category");
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_overrides() {
+        let c = WorkloadConfig::default()
+            .with_seed(7)
+            .with_sources(5)
+            .with_entities(10)
+            .with_coverage(1.0)
+            .validated();
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.sources, 5);
+        assert_eq!(c.entities, 10);
+        assert_eq!(c.coverage, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "coverage")]
+    fn bad_coverage_panics() {
+        let _ = WorkloadConfig::default().with_coverage(1.5).validated();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one source")]
+    fn zero_sources_panics() {
+        let _ = WorkloadConfig::default().with_sources(0).validated();
+    }
+}

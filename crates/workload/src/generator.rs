@@ -1,0 +1,349 @@
+//! Synthetic-federation generation.
+//!
+//! Produces a [`Scenario`] shaped like the paper's (a multi-source
+//! "entity" scheme merged from every source + a single-source "detail"
+//! scheme for joins) at any scale. Used as the substitute for the
+//! paper's proprietary MIT/Reuters databases (see DESIGN.md,
+//! "Substitutions").
+//!
+//! Layout for `K` sources over an entity pool `E`:
+//!
+//! * source `S<i>` holds `ENTITY_<i>(NAME_<i>, CAT_<i>, VAL_<i>)` — the
+//!   entities it covers (Bernoulli `coverage` per entity, but every
+//!   entity is kept by at least one source so the pool size is exact);
+//! * source `S0` additionally holds `DETAIL(DID, DNAME, DSCORE)` with
+//!   `detail_rows` rows referencing random entities;
+//! * the polygen schema has `PENTITY(ENAME*, CATEGORY, VALUE_<i>…)`
+//!   (ENAME and CATEGORY multi-source, one VALUE per source) and
+//!   `PDETAIL(DID*, ENAME, SCORE)`;
+//! * category values are Zipf-skewed; with `conflict_rate > 0` a source
+//!   sometimes asserts a deviant category, exercising conflict policies.
+
+use crate::config::WorkloadConfig;
+use crate::zipf::Zipf;
+use polygen_catalog::dictionary::DataDictionary;
+use polygen_catalog::domain::DomainMap;
+use polygen_catalog::mapping::AttributeMapping;
+use polygen_catalog::scenario::{LocalDatabase, Scenario};
+use polygen_catalog::schema::PolygenSchema;
+use polygen_catalog::scheme::PolygenScheme;
+use polygen_core::relation::PolygenRelation;
+use polygen_core::source::SourceId;
+use polygen_flat::relation::Relation;
+use polygen_flat::value::Value;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Name of source `i`.
+pub fn source_name(i: usize) -> String {
+    format!("S{i}")
+}
+
+/// Name of source `i`'s entity relation.
+pub fn entity_relation(i: usize) -> String {
+    format!("ENTITY_{i}")
+}
+
+fn entity_name(e: usize) -> String {
+    format!("E{e:06}")
+}
+
+fn category_name(c: usize) -> String {
+    format!("C{c}")
+}
+
+/// Build the polygen schema for `sources` local databases.
+pub fn build_schema(sources: usize) -> PolygenSchema {
+    let ename: Vec<(String, String, String)> = (0..sources)
+        .map(|i| (source_name(i), entity_relation(i), format!("NAME_{i}")))
+        .collect();
+    let cat: Vec<(String, String, String)> = (0..sources)
+        .map(|i| (source_name(i), entity_relation(i), format!("CAT_{i}")))
+        .collect();
+    let mut attrs: Vec<(String, AttributeMapping)> = vec![
+        (
+            "ENAME".to_string(),
+            AttributeMapping::of(
+                &ename
+                    .iter()
+                    .map(|(d, r, a)| (d.as_str(), r.as_str(), a.as_str()))
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+        (
+            "CATEGORY".to_string(),
+            AttributeMapping::of(
+                &cat.iter()
+                    .map(|(d, r, a)| (d.as_str(), r.as_str(), a.as_str()))
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+    ];
+    for i in 0..sources {
+        attrs.push((
+            format!("VALUE_{i}"),
+            AttributeMapping::of(&[(
+                source_name(i).as_str(),
+                entity_relation(i).as_str(),
+                format!("VAL_{i}").as_str(),
+            )]),
+        ));
+    }
+    let pentity = PolygenScheme::new(
+        "PENTITY",
+        attrs
+            .iter()
+            .map(|(a, m)| (a.as_str(), m.clone()))
+            .collect(),
+    );
+    let pdetail = PolygenScheme::new(
+        "PDETAIL",
+        vec![
+            ("DID", AttributeMapping::of(&[("S0", "DETAIL", "DID")])),
+            ("ENAME", AttributeMapping::of(&[("S0", "DETAIL", "DNAME")])),
+            ("SCORE", AttributeMapping::of(&[("S0", "DETAIL", "DSCORE")])),
+        ],
+    );
+    PolygenSchema::new(vec![pentity, pdetail])
+}
+
+/// Generate the full synthetic federation.
+#[allow(clippy::needless_range_loop)] // `s` names the source *and* indexes coverage
+pub fn generate(config: &WorkloadConfig) -> Scenario {
+    let config = config.validated();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let zipf = Zipf::new(config.categories);
+    // Canonical category per entity (sources agree unless conflicted).
+    let canon_cat: Vec<usize> = (0..config.entities).map(|_| zipf.sample(&mut rng)).collect();
+    // Which sources cover which entity: Bernoulli(coverage), with a
+    // guaranteed owner so the pool size is exact.
+    let mut coverage: Vec<Vec<bool>> = Vec::with_capacity(config.entities);
+    for _ in 0..config.entities {
+        let mut row: Vec<bool> = (0..config.sources)
+            .map(|_| rng.random::<f64>() < config.coverage)
+            .collect();
+        if !row.iter().any(|&b| b) {
+            let owner = rng.random_range(0..config.sources);
+            row[owner] = true;
+        }
+        coverage.push(row);
+    }
+    let mut databases = Vec::with_capacity(config.sources);
+    for s in 0..config.sources {
+        let rel_name = entity_relation(s);
+        let mut builder = Relation::build(
+            &rel_name,
+            &[
+                &format!("NAME_{s}"),
+                &format!("CAT_{s}"),
+                &format!("VAL_{s}"),
+            ],
+        )
+        .key(&[&format!("NAME_{s}")]);
+        for e in 0..config.entities {
+            if !coverage[e][s] {
+                continue;
+            }
+            let cat = if config.conflict_rate > 0.0
+                && rng.random::<f64>() < config.conflict_rate
+            {
+                // Deviant assertion: a different category.
+                (canon_cat[e] + 1 + rng.random_range(0..config.categories.max(2) - 1))
+                    % config.categories
+            } else {
+                canon_cat[e]
+            };
+            builder = builder.vrow(vec![
+                Value::str(entity_name(e)),
+                Value::str(category_name(cat)),
+                // Per-source private value: deterministic in (entity, source).
+                Value::Int((e * 31 + s * 7) as i64),
+            ]);
+        }
+        let mut relations = vec![builder.finish().expect("entity relation")];
+        if s == 0 {
+            let mut detail =
+                Relation::build("DETAIL", &["DID", "DNAME", "DSCORE"]).key(&["DID"]);
+            for d in 0..config.detail_rows {
+                let e = rng.random_range(0..config.entities);
+                detail = detail.vrow(vec![
+                    Value::Int(d as i64),
+                    Value::str(entity_name(e)),
+                    Value::Int(rng.random_range(0..100)),
+                ]);
+            }
+            relations.push(detail.finish().expect("detail relation"));
+        }
+        databases.push(LocalDatabase {
+            name: source_name(s),
+            relations,
+        });
+    }
+    let mut dictionary =
+        DataDictionary::with_parts(Default::default(), build_schema(config.sources), DomainMap::new());
+    for s in 0..config.sources {
+        let id = dictionary.intern_source(&source_name(s));
+        // Descending credibility by index: S0 most trusted.
+        dictionary.set_credibility(id, 1.0 - s as f64 / (config.sources + 1) as f64);
+    }
+    Scenario {
+        dictionary,
+        databases,
+    }
+}
+
+/// A random flat relation for core-algebra microbenches: `rows` rows of
+/// `cols` integer columns drawn from `0..cardinality`.
+pub fn random_flat_relation(
+    seed: u64,
+    name: &str,
+    rows: usize,
+    cols: usize,
+    cardinality: i64,
+) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let names: Vec<String> = (0..cols).map(|c| format!("A{c}")).collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mut b = Relation::build(name, &refs);
+    for r in 0..rows {
+        let mut row = Vec::with_capacity(cols);
+        // First column unique-ish (key-like), rest random.
+        row.push(Value::Int(r as i64));
+        for _ in 1..cols {
+            row.push(Value::Int(rng.random_range(0..cardinality)));
+        }
+        b = b.vrow(row);
+    }
+    b.finish().expect("random relation")
+}
+
+/// The same, lifted into a tagged polygen relation whose cells carry
+/// `tag_width` origin sources (for tag-overhead microbenches).
+pub fn random_polygen_relation(
+    seed: u64,
+    name: &str,
+    rows: usize,
+    cols: usize,
+    cardinality: i64,
+    tag_width: usize,
+) -> PolygenRelation {
+    let flat = random_flat_relation(seed, name, rows, cols, cardinality);
+    let mut rel = PolygenRelation::from_flat(&flat, SourceId(0));
+    if tag_width > 1 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcdef);
+        for t in rel.tuples_mut() {
+            for c in t.iter_mut() {
+                for _ in 1..tag_width {
+                    c.origin.insert(SourceId(rng.random_range(0..256) as u16));
+                }
+            }
+        }
+    }
+    rel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let c = WorkloadConfig::default().with_entities(50);
+        let a = generate(&c);
+        let b = generate(&c);
+        for (da, db) in a.databases.iter().zip(&b.databases) {
+            assert_eq!(da.name, db.name);
+            for (ra, rb) in da.relations.iter().zip(&db.relations) {
+                assert!(ra.set_eq(rb));
+            }
+        }
+    }
+
+    #[test]
+    fn every_entity_covered_at_least_once() {
+        let c = WorkloadConfig::default()
+            .with_entities(200)
+            .with_coverage(0.1);
+        let s = generate(&c);
+        let mut seen = std::collections::HashSet::new();
+        for db in &s.databases {
+            for rel in &db.relations {
+                if rel.name().starts_with("ENTITY") {
+                    for row in rel.rows() {
+                        seen.insert(row[0].clone());
+                    }
+                }
+            }
+        }
+        assert_eq!(seen.len(), 200);
+    }
+
+    #[test]
+    fn full_coverage_replicates_everywhere() {
+        let c = WorkloadConfig::default()
+            .with_entities(40)
+            .with_coverage(1.0);
+        let s = generate(&c);
+        for db in &s.databases {
+            let ent = db
+                .relations
+                .iter()
+                .find(|r| r.name().starts_with("ENTITY"))
+                .unwrap();
+            assert_eq!(ent.len(), 40);
+        }
+    }
+
+    #[test]
+    fn schema_matches_generated_data() {
+        let c = WorkloadConfig::default().with_sources(4).with_entities(10);
+        let s = generate(&c);
+        let pent = s.dictionary.schema().scheme("PENTITY").unwrap();
+        assert_eq!(pent.local_relations().len(), 4);
+        assert_eq!(pent.key(), "ENAME");
+        assert!(s.dictionary.schema().contains("PDETAIL"));
+        assert_eq!(s.databases.len(), 4);
+        // S0 has the detail relation.
+        assert!(s.databases[0].relation("DETAIL").is_some());
+        assert!(s.databases[1].relation("DETAIL").is_none());
+    }
+
+    #[test]
+    fn conflicts_appear_at_positive_rate() {
+        let c = WorkloadConfig {
+            conflict_rate: 1.0,
+            coverage: 1.0,
+            entities: 30,
+            categories: 8,
+            ..WorkloadConfig::default()
+        };
+        let s = generate(&c);
+        // With conflict_rate 1.0 every source deviates from canon, so two
+        // sources rarely agree; check at least one disagreement exists.
+        let a = s.databases[0].relation("ENTITY_0").unwrap();
+        let b = s.databases[1].relation("ENTITY_1").unwrap();
+        let cat_a: std::collections::HashMap<_, _> = a
+            .rows()
+            .iter()
+            .map(|r| (r[0].clone(), r[1].clone()))
+            .collect();
+        let disagreements = b
+            .rows()
+            .iter()
+            .filter(|r| cat_a.get(&r[0]).is_some_and(|c| c != &r[1]))
+            .count();
+        assert!(disagreements > 0);
+    }
+
+    #[test]
+    fn random_relations_are_deterministic_and_sized() {
+        let a = random_flat_relation(9, "R", 100, 3, 10);
+        let b = random_flat_relation(9, "R", 100, 3, 10);
+        assert!(a.set_eq(&b));
+        assert_eq!(a.len(), 100);
+        assert_eq!(a.degree(), 3);
+        let p = random_polygen_relation(9, "R", 50, 2, 10, 4);
+        assert_eq!(p.len(), 50);
+        assert!(!p.tuples()[0][0].origin.is_empty());
+    }
+}

@@ -1,0 +1,23 @@
+//! # polygen-workload — synthetic federations for the benchmark harness
+//!
+//! The paper evaluated on three proprietary MIT databases and two Reuters
+//! feeds; none are available, and none are needed — the polygen machinery
+//! is value-agnostic. This crate generates *seeded, deterministic*
+//! federations with the same shape at arbitrary scale:
+//!
+//! * [`config::WorkloadConfig`] — source count, entity pool, coverage
+//!   (overlap), detail-relation size, category skew, conflict rate.
+//! * [`generator`] — builds a full [`polygen_catalog::scenario::Scenario`]
+//!   (dictionary + schema + local databases) plus raw flat/tagged
+//!   relations for algebra microbenches.
+//! * [`queries`] — canned and random query shapes over the generated
+//!   schema.
+//! * [`zipf`] — the category-skew sampler.
+
+pub mod config;
+pub mod generator;
+pub mod queries;
+pub mod zipf;
+
+pub use config::WorkloadConfig;
+pub use generator::{generate, random_flat_relation, random_polygen_relation};

@@ -1,0 +1,109 @@
+//! "System P" — an interactive shell for the polygen federation, named
+//! after the prototype the paper's §V announces ("A Prototype, called
+//! System P, is currently being developed to realize the polygen model
+//! and the polygen query processing capability presented in this paper").
+//!
+//! ```sh
+//! cargo run --example system_p            # interactive
+//! echo 'SELECT ONAME, CEO FROM PORGANIZATION WHERE INDUSTRY = "Banking"' \
+//!   | cargo run --example system_p        # piped
+//! ```
+//!
+//! Commands:
+//! * plain SQL — translated and executed, tagged answer printed;
+//! * `\a <expr>` — run a polygen algebra expression directly;
+//! * `\explain <sql>` — the full POM/IOM/plan/provenance report;
+//! * `\schema` — the polygen schema; `\tables` — the local databases;
+//! * `\audit <scheme>` — the cardinality-inconsistency report;
+//! * `\quit` — leave.
+
+use polygen::catalog::prelude::scenario;
+use polygen::core::prelude::*;
+use polygen::federation::prelude::audit_scheme;
+use polygen::lqp::prelude::*;
+use polygen::pqp::prelude::*;
+use polygen::pqp::explain::explain_with_cost;
+use std::io::{self, BufRead, Write};
+use std::sync::Arc;
+
+fn main() {
+    let s = scenario::build();
+    let registry = Arc::new(scenario_registry(&s));
+    let pqp = Pqp::new(Arc::new(s.dictionary.clone()), Arc::clone(&registry));
+    let reg = pqp.dictionary().registry().clone();
+
+    eprintln!("System P — polygen federation shell (MIT scenario: AD, PD, CD)");
+    eprintln!("type SQL, or \\a <algebra>, \\explain <sql>, \\schema, \\tables, \\audit <scheme>, \\quit");
+    let stdin = io::stdin();
+    loop {
+        eprint!("polygen> ");
+        io::stderr().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "\\quit" || line == "\\q" {
+            break;
+        }
+        if line == "\\schema" {
+            for scheme in pqp.dictionary().schema().schemes() {
+                println!("{scheme}");
+                for (pa, ma) in scheme.attrs() {
+                    println!("  {pa} ↦ {ma}");
+                }
+            }
+            continue;
+        }
+        if line == "\\tables" {
+            for db in &s.databases {
+                println!("{}:", db.name);
+                for rel in &db.relations {
+                    println!("  {} ({} rows)", rel.schema(), rel.len());
+                }
+            }
+            continue;
+        }
+        if let Some(scheme) = line.strip_prefix("\\audit ") {
+            match audit_scheme(scheme.trim(), &registry, pqp.dictionary()) {
+                Ok(report) => println!("{report}"),
+                Err(e) => println!("audit error: {e}"),
+            }
+            continue;
+        }
+        if let Some(sql) = line.strip_prefix("\\explain ") {
+            match pqp.query(sql.trim()) {
+                Ok(out) => println!("{}", explain_with_cost(&out, pqp.dictionary(), &registry)),
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        let result = if let Some(expr) = line.strip_prefix("\\a ") {
+            pqp.query_algebra(expr.trim())
+        } else {
+            pqp.query(line)
+        };
+        match result {
+            Ok(out) => {
+                println!("{}", render_relation(&out.answer, &reg));
+                let (lqp_rows, pqp_rows) = out.compiled.iom.routing_counts();
+                println!(
+                    "({} tuples; {} LQP + {} PQP operations)",
+                    out.answer.len(),
+                    lqp_rows,
+                    pqp_rows
+                );
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    eprintln!("bye");
+}

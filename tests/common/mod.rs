@@ -1,0 +1,136 @@
+//! Shared helpers for the golden-table integration tests.
+//!
+//! Expected tables are transcribed from the paper in a compact notation:
+//! one string per tuple, cells separated by `|`, each cell written
+//! `datum @<origins> ^<intermediates>` where origins/intermediates are
+//! letter strings (`A` = AD, `P` = PD, `C` = CD) and `-` is the empty
+//! set. Example: `Genentech @AC ^AC | Bob Swanson @C ^AC`.
+
+use polygen::core::{PolygenRelation, SourceRegistry, SourceSet};
+use polygen::flat::Value;
+
+/// Translate a letter string into a source set via the registry.
+fn parse_sources(letters: &str, reg: &SourceRegistry) -> SourceSet {
+    if letters == "-" {
+        return SourceSet::empty();
+    }
+    letters
+        .chars()
+        .map(|c| {
+            let name = match c {
+                'A' => "AD",
+                'P' => "PD",
+                'C' => "CD",
+                other => panic!("unknown source letter `{other}`"),
+            };
+            reg.lookup(name)
+                .unwrap_or_else(|| panic!("source `{name}` not interned"))
+        })
+        .collect()
+}
+
+/// Parse one `datum @o ^i` cell.
+fn parse_cell(text: &str, reg: &SourceRegistry) -> (Value, SourceSet, SourceSet) {
+    let at = text.find('@').unwrap_or_else(|| panic!("cell `{text}` missing @"));
+    let caret = text.find('^').unwrap_or_else(|| panic!("cell `{text}` missing ^"));
+    assert!(at < caret, "cell `{text}`: expected @ before ^");
+    let datum_text = text[..at].trim();
+    let origins = text[at + 1..caret].trim();
+    let inters = text[caret + 1..].trim();
+    let datum = if datum_text == "nil" {
+        Value::Null
+    } else {
+        Value::str(datum_text)
+    };
+    (
+        datum,
+        parse_sources(origins, reg),
+        parse_sources(inters, reg),
+    )
+}
+
+/// Render one actual cell back into the compact notation for diffs.
+fn show_cell(cell: &polygen::core::Cell, reg: &SourceRegistry) -> String {
+    let letters = |s: &SourceSet| -> String {
+        if s.is_empty() {
+            return "-".into();
+        }
+        s.iter()
+            .map(|id| match reg.name(id) {
+                "AD" => 'A',
+                "PD" => 'P',
+                "CD" => 'C',
+                other => panic!("unexpected source {other}"),
+            })
+            .collect()
+    };
+    format!(
+        "{} @{} ^{}",
+        cell.datum,
+        letters(&cell.origin),
+        letters(&cell.intermediate)
+    )
+}
+
+/// Assert a relation equals a transcribed paper table, cell-exactly
+/// (data, origin tags and intermediate tags), ignoring tuple order.
+pub fn check_table(
+    label: &str,
+    rel: &PolygenRelation,
+    reg: &SourceRegistry,
+    attrs: &[&str],
+    expected_rows: &[&str],
+) {
+    let actual_attrs: Vec<&str> = rel.schema().attrs().iter().map(|a| a.as_ref()).collect();
+    assert_eq!(actual_attrs, attrs, "{label}: attribute list mismatch");
+    assert_eq!(
+        rel.len(),
+        expected_rows.len(),
+        "{label}: row count mismatch\nactual:\n{}",
+        rel.tuples()
+            .iter()
+            .map(|t| t.iter().map(|c| show_cell(c, reg)).collect::<Vec<_>>().join(" | "))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    let mut expected: Vec<Vec<(Value, SourceSet, SourceSet)>> = expected_rows
+        .iter()
+        .map(|row| {
+            let cells: Vec<_> = row.split('|').map(|c| parse_cell(c, reg)).collect();
+            assert_eq!(
+                cells.len(),
+                attrs.len(),
+                "{label}: transcription row has wrong arity: {row}"
+            );
+            cells
+        })
+        .collect();
+    let mut actual: Vec<Vec<(Value, SourceSet, SourceSet)>> = rel
+        .tuples()
+        .iter()
+        .map(|t| {
+            t.iter()
+                .map(|c| (c.datum.clone(), c.origin.clone(), c.intermediate.clone()))
+                .collect()
+        })
+        .collect();
+    expected.sort();
+    actual.sort();
+    for (i, (e, a)) in expected.iter().zip(&actual).enumerate() {
+        if e != a {
+            let render = |row: &Vec<(Value, SourceSet, SourceSet)>| -> String {
+                row.iter()
+                    .map(|(d, o, ins)| {
+                        format!("{d} o={} i={}", reg.render_set(o), reg.render_set(ins))
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" | ")
+            };
+            panic!(
+                "{label}: tuple {i} differs\n expected: {}\n actual:   {}",
+                render(e),
+                render(a)
+            );
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! The paper's *introductory* query (§I) — simpler than §III's but it
+//! exercises the interpreter branch the main example never reaches: a
+//! Join whose left **and** right sides are both polygen schemes, so pass
+//! two must retrieve the pass-one-localized left side ("separate LQP
+//! operations need to be performed first before the requested polygen
+//! operation is performed").
+
+use polygen::catalog::prelude::scenario;
+use polygen::flat::Value;
+use polygen::pqp::prelude::*;
+
+/// §I: "SELECT CEO FROM PORGANIZATION, PALUMNUS WHERE CEO = ANAME AND
+/// DEGREE = \"MBA\"" — CEOs with MIT MBAs, without the career-path
+/// subquery.
+const INTRO_SQL: &str = "SELECT CEO FROM PORGANIZATION, PALUMNUS \
+     WHERE CEO = ANAME AND DEGREE = \"MBA\"";
+
+#[test]
+fn intro_query_answer() {
+    let s = scenario::build();
+    let pqp = Pqp::for_scenario(&s);
+    let out = pqp.query(INTRO_SQL).unwrap();
+    // MBA alumni who are CEOs *of anything in the company directory*:
+    // Bob Swanson, Stu Madnick, John Reed (same people as Table 9 — here
+    // via the direct CEO = ANAME join rather than the career path).
+    let data = out.answer.strip();
+    assert_eq!(out.answer.len(), 3);
+    for ceo in ["Bob Swanson", "Stu Madnick", "John Reed"] {
+        assert!(data.contains(&[Value::str(ceo)]), "missing {ceo}");
+    }
+    // Data source: the CEO names originate in CD (FIRM); AD mediated the
+    // selection (the MBA filter and the name equality) — "the query
+    // result contains only the names of CEO which originated from the
+    // Company Database, but the query processor also needs to access the
+    // Alumni Database (an intermediate source)".
+    let reg = pqp.dictionary().registry();
+    let (ad, cd) = (reg.lookup("AD").unwrap(), reg.lookup("CD").unwrap());
+    for t in out.answer.tuples() {
+        assert!(t[0].origin.contains(cd));
+        assert!(t[0].intermediate.contains(ad), "AD must appear as mediator");
+    }
+}
+
+#[test]
+fn intro_query_plan_shape() {
+    let s = scenario::build();
+    let pqp = Pqp::for_scenario(&s);
+    let out = pqp.query(INTRO_SQL).unwrap();
+    // Lowering: the MBA filter pushes into the PALUMNUS leaf, CEO = ANAME
+    // becomes the join between the two schemes, the projection closes.
+    // (The projected `CEO` is the join's coalesced column; the executor's
+    // alias tracking keeps it referenceable and the projection restores
+    // the requested name.)
+    assert_eq!(
+        out.compiled.expr.to_string(),
+        "(PORGANIZATION [CEO = ANAME] (PALUMNUS [DEGREE = \"MBA\"])) [CEO]"
+    );
+    // The IOM retrieves+merges the three organization relations and joins
+    // at the PQP.
+    let ops: Vec<String> = out
+        .compiled
+        .iom
+        .rows
+        .iter()
+        .map(|r| r.op.to_string())
+        .collect();
+    assert_eq!(
+        ops,
+        vec![
+            "Select",   // ALUMNUS[DEG = "MBA"] at AD
+            "Retrieve", // BUSINESS
+            "Retrieve", // CORPORATION
+            "Retrieve", // FIRM
+            "Merge",
+            "Join",
+            "Project"
+        ]
+    );
+    let (lqp_rows, pqp_rows) = out.compiled.iom.routing_counts();
+    assert_eq!((lqp_rows, pqp_rows), (4, 3));
+}
+
+/// The §I paper variant that joins both schemes *without* the select
+/// pushed down — forces the pass-two "LHR and RHR both defined in the
+/// polygen schema" branch.
+#[test]
+fn both_sides_polygen_join() {
+    let s = scenario::build();
+    let pqp = Pqp::for_scenario(&s);
+    let out = pqp
+        .query_algebra("(PALUMNUS [ANAME = CEO] PORGANIZATION) [CEO, DEGREE]")
+        .unwrap();
+    // Pass one localizes PALUMNUS to ALUMNUS@AD; pass two must retrieve
+    // it before the PQP join with the merged organizations.
+    let ops: Vec<String> = out
+        .compiled
+        .iom
+        .rows
+        .iter()
+        .map(|r| r.op.to_string())
+        .collect();
+    assert_eq!(
+        ops,
+        vec![
+            "Retrieve", // BUSINESS
+            "Retrieve", // CORPORATION
+            "Retrieve", // FIRM
+            "Merge",
+            "Retrieve", // ALUMNUS — the pulled-up left side
+            "Join",
+            "Project"
+        ]
+    );
+    // Every CEO in the answer is an alumnus; 4 alumni are CEOs of listed
+    // organizations (McCauley is MIS Director, so excluded by data).
+    assert_eq!(out.answer.len(), 4);
+    let data = out.answer.strip();
+    assert!(data.contains(&[Value::str("Ken Olsen"), Value::str("MS")]));
+    assert!(data.contains(&[Value::str("John Reed"), Value::str("MBA")]));
+}
+
+/// Queries over the schemes the main example never touches: PSTUDENT
+/// (float GPAs) and PINTERVIEW.
+#[test]
+fn student_and_interview_schemes() {
+    let s = scenario::build();
+    let pqp = Pqp::for_scenario(&s);
+    let strong = pqp
+        .query("SELECT SNAME, GPA FROM PSTUDENT WHERE GPA >= 3.5")
+        .unwrap();
+    assert_eq!(strong.answer.len(), 3); // Forea Wang, Yeuk Yuan, Mike Lavine
+    let pd = pqp.dictionary().registry().lookup("PD").unwrap();
+    for t in strong.answer.tuples() {
+        assert!(t[0].origin.contains(pd));
+        assert!(t[0].intermediate.is_empty(), "LQP select leaves no mediators");
+    }
+    // Students interviewing with organizations known to the company DB.
+    let out = pqp
+        .query_algebra(
+            "((PINTERVIEW [ONAME = ONAME] PFINANCE) [SID# = SID#] PSTUDENT) [SNAME, ONAME, PROFIT]",
+        )
+        .unwrap();
+    let data = out.answer.strip();
+    assert!(data.len() >= 3, "IBM/Oracle/Banker's Trust/Citicorp interviews");
+    assert!(data
+        .rows()
+        .iter()
+        .any(|r| r[0] == Value::str("Forea Wang") && r[1] == Value::str("IBM")));
+}

@@ -1,0 +1,85 @@
+//! Integration tests for plan costing: the estimator must track reality
+//! in *direction* — remote feeds dominate, optimization never raises
+//! estimated shipping, and the explain report surfaces all of it.
+
+use polygen::catalog::prelude::scenario;
+use polygen::lqp::prelude::*;
+use polygen::pqp::costing::estimate;
+use polygen::pqp::explain::explain_with_cost;
+use polygen::pqp::prelude::*;
+use polygen::sql::prelude::PAPER_EXPRESSION;
+use polygen::workload::{self, WorkloadConfig};
+use std::sync::Arc;
+
+#[test]
+fn estimated_shipping_matches_actual_within_reason() {
+    let s = scenario::build();
+    let pqp = Pqp::for_scenario(&s);
+    let out = pqp.query_algebra(PAPER_EXPRESSION).unwrap();
+    let cost = estimate(&out.compiled.plan, pqp.registry());
+    // Actual shipped rows for the paper query: 5 (select) + 9 (CAREER) +
+    // 9 + 7 + 10 (the three merge retrieves) = 40. The estimator assumes
+    // 10% select selectivity (0.8 rows vs actual 5), so it must land in
+    // the same decade, not on the number.
+    assert!(
+        cost.tuples_shipped > 30.0 && cost.tuples_shipped < 60.0,
+        "estimate {} out of range",
+        cost.tuples_shipped
+    );
+}
+
+#[test]
+fn optimizer_never_raises_estimated_shipping() {
+    let config = WorkloadConfig::default()
+        .with_entities(200)
+        .with_sources(4);
+    let sc = workload::generate(&config);
+    let naive = Pqp::for_scenario(&sc);
+    let optimized = Pqp::for_scenario(&sc).with_options(PqpOptions {
+        optimize: true,
+        ..PqpOptions::default()
+    });
+    for query in [
+        workload::queries::select_query(0),
+        workload::queries::join_query(40),
+        "((PDETAIL [SCORE >= 90]) [ENAME = ENAME] PDETAIL) [ENAME]".to_string(),
+    ] {
+        let a = naive.query_algebra(&query).unwrap();
+        let b = optimized.query_algebra(&query).unwrap();
+        let ca = estimate(&a.compiled.plan, naive.registry());
+        let cb = estimate(&b.compiled.plan, optimized.registry());
+        assert!(
+            cb.tuples_shipped <= ca.tuples_shipped + 1e-9,
+            "{query}: optimized plan ships more ({} > {})",
+            cb.tuples_shipped,
+            ca.tuples_shipped
+        );
+    }
+}
+
+#[test]
+fn remote_feed_shows_up_in_explain() {
+    let s = scenario::build();
+    let registry = LqpRegistry::new();
+    for db in &s.databases {
+        let inner = InMemoryLqp::new(&db.name, db.relations.clone());
+        if db.name == "CD" {
+            registry.register(Arc::new(CompensatingLqp::new(MenuDrivenLqp::new(
+                inner,
+                CostModel::slow_remote(),
+            ))));
+        } else {
+            registry.register(Arc::new(inner));
+        }
+    }
+    let registry = Arc::new(registry);
+    let pqp = Pqp::new(Arc::new(s.dictionary.clone()), Arc::clone(&registry));
+    let out = pqp.query_algebra(PAPER_EXPRESSION).unwrap();
+    let report = explain_with_cost(&out, pqp.dictionary(), &registry);
+    assert!(report.contains("Plan cost estimate"));
+    // With CD behind a transatlantic feed the estimate is dominated by
+    // its fixed cost (250 ms per operation).
+    let remote_cost = estimate(&out.compiled.plan, &registry);
+    let local_cost = estimate(&out.compiled.plan, &polygen::lqp::scenario_registry(&s));
+    assert!(remote_cost.total_us > local_cost.total_us * 10.0);
+}
