@@ -36,11 +36,9 @@ fn pipelines(c: &mut Criterion) {
             &select_q,
             |b, q| b.iter(|| optimized.query_algebra(black_box(q)).unwrap()),
         );
-        g.bench_with_input(
-            BenchmarkId::new("join_naive", sources),
-            &join_q,
-            |b, q| b.iter(|| naive.query_algebra(black_box(q)).unwrap()),
-        );
+        g.bench_with_input(BenchmarkId::new("join_naive", sources), &join_q, |b, q| {
+            b.iter(|| naive.query_algebra(black_box(q)).unwrap())
+        });
         g.bench_with_input(
             BenchmarkId::new("join_optimized", sources),
             &join_q,

@@ -27,13 +27,9 @@ fn source_count_sweep(c: &mut Criterion) {
         let scenario = generate(&config);
         let registry = scenario_registry(&scenario);
         let operands = merge_operands("PENTITY", &scenario, &registry);
-        g.bench_with_input(
-            BenchmarkId::from_parameter(sources),
-            &operands,
-            |b, ops| {
-                b.iter(|| merge(black_box(ops), "ENAME", ConflictPolicy::Strict).unwrap())
-            },
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(sources), &operands, |b, ops| {
+            b.iter(|| merge(black_box(ops), "ENAME", ConflictPolicy::Strict).unwrap())
+        });
     }
     g.finish();
 }
@@ -52,11 +48,9 @@ fn overlap_sweep(c: &mut Criterion) {
         let registry = scenario_registry(&scenario);
         let operands = merge_operands("PENTITY", &scenario, &registry);
         g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{coverage}")),
+            BenchmarkId::from_parameter(coverage),
             &operands,
-            |b, ops| {
-                b.iter(|| merge(black_box(ops), "ENAME", ConflictPolicy::Strict).unwrap())
-            },
+            |b, ops| b.iter(|| merge(black_box(ops), "ENAME", ConflictPolicy::Strict).unwrap()),
         );
     }
     g.finish();
@@ -78,13 +72,16 @@ fn entity_pool_sweep(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::from_parameter(entities),
             &operands,
-            |b, ops| {
-                b.iter(|| merge(black_box(ops), "ENAME", ConflictPolicy::Strict).unwrap())
-            },
+            |b, ops| b.iter(|| merge(black_box(ops), "ENAME", ConflictPolicy::Strict).unwrap()),
         );
     }
     g.finish();
 }
 
-criterion_group!(benches, source_count_sweep, overlap_sweep, entity_pool_sweep);
+criterion_group!(
+    benches,
+    source_count_sweep,
+    overlap_sweep,
+    entity_pool_sweep
+);
 criterion_main!(benches);

@@ -15,13 +15,14 @@ fn paper_query(c: &mut Criterion) {
     g.sample_size(40);
     let (s, _) = mit_setup();
     let pqp = Pqp::for_scenario(&s);
-    let expr = pqp.translate_sql(
-        "SELECT ONAME, CEO FROM PORGANIZATION, PALUMNUS \
+    let expr = pqp
+        .translate_sql(
+            "SELECT ONAME, CEO FROM PORGANIZATION, PALUMNUS \
          WHERE CEO = ANAME AND ONAME IN \
          (SELECT ONAME FROM PCAREER WHERE AID# IN \
          (SELECT AID# FROM PALUMNUS WHERE DEGREE = \"MBA\"))",
-    )
-    .unwrap();
+        )
+        .unwrap();
     g.bench_function("compile_tables_1_to_3", |b| {
         b.iter(|| pqp.compile(black_box(expr.clone())).unwrap())
     });
@@ -37,7 +38,11 @@ fn paper_query(c: &mut Criterion) {
         ..PqpOptions::default()
     });
     g.bench_function("full_pipeline_optimized", |b| {
-        b.iter(|| optimizing.query_algebra(black_box(PAPER_EXPRESSION)).unwrap())
+        b.iter(|| {
+            optimizing
+                .query_algebra(black_box(PAPER_EXPRESSION))
+                .unwrap()
+        })
     });
     g.finish();
 }
@@ -68,7 +73,14 @@ fn appendix_merge_chain(c: &mut Criterion) {
     let a4 = outer_join(&business, &corporation, "BNAME", "CNAME").unwrap();
     g.bench_function("table_a5_key_coalesce", |b| {
         b.iter(|| {
-            coalesce(black_box(&a4), "BNAME", "CNAME", "ONAME", ConflictPolicy::Strict).unwrap()
+            coalesce(
+                black_box(&a4),
+                "BNAME",
+                "CNAME",
+                "ONAME",
+                ConflictPolicy::Strict,
+            )
+            .unwrap()
         })
     });
     g.finish();

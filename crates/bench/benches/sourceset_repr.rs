@@ -15,7 +15,9 @@ fn ids(seed: u64, n: usize, max: u16) -> Vec<SourceId> {
     let mut s = seed;
     (0..n)
         .map(|_| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             SourceId(((s >> 33) as u16) % max)
         })
         .collect()
@@ -59,16 +61,22 @@ fn bench_repr(c: &mut Criterion) {
         g.bench_function("sorted_vec_union", |b| {
             b.iter(|| union_chain(black_box(&vecs)))
         });
-        g.bench_function("btree_union", |b| {
-            b.iter(|| union_chain(black_box(&trees)))
-        });
+        g.bench_function("btree_union", |b| b.iter(|| union_chain(black_box(&trees))));
         g.bench_with_input(BenchmarkId::new("bitset_build", width), &inputs, |b, i| {
-            b.iter(|| i.iter().fold(0, |n, v| n + build_set::<SourceSet>(v).card()))
+            b.iter(|| {
+                i.iter()
+                    .fold(0, |n, v| n + build_set::<SourceSet>(v).card())
+            })
         });
         g.bench_with_input(
             BenchmarkId::new("sorted_vec_build", width),
             &inputs,
-            |b, i| b.iter(|| i.iter().fold(0, |n, v| n + build_set::<SortedVecSet>(v).card())),
+            |b, i| {
+                b.iter(|| {
+                    i.iter()
+                        .fold(0, |n, v| n + build_set::<SortedVecSet>(v).card())
+                })
+            },
         );
         g.finish();
     }

@@ -19,11 +19,13 @@ use std::hint::black_box;
 const SIZES: [usize; 3] = [100, 1_000, 10_000];
 const CARD: i64 = 50;
 
-fn fixtures(rows: usize, tag_width: usize) -> (Relation, PolygenRelation, Relation, PolygenRelation) {
+fn fixtures(
+    rows: usize,
+    tag_width: usize,
+) -> (Relation, PolygenRelation, Relation, PolygenRelation) {
     let f1 = random_flat_relation(11, "L", rows, 3, CARD);
     let p1 = random_polygen_relation(11, "L", rows, 3, CARD, tag_width);
-    let f2 = random_flat_relation(23, "R", rows, 3, CARD)
-        .renamed("R");
+    let f2 = random_flat_relation(23, "R", rows, 3, CARD).renamed("R");
     let f2 = flat::rename_attrs(&f2, &["B0", "B1", "B2"]).unwrap();
     let p2 = random_polygen_relation(23, "R", rows, 3, CARD, tag_width)
         .renamed("R")
@@ -91,18 +93,26 @@ fn union_difference_overhead(c: &mut Criterion) {
         let p1 = random_polygen_relation(31, "L", rows, 3, CARD, 1);
         let p2 = random_polygen_relation(47, "L", rows, 3, CARD, 1);
         g.throughput(Throughput::Elements(rows as u64));
-        g.bench_with_input(BenchmarkId::new("union_flat", rows), &(f1.clone(), f2.clone()), |b, (l, r)| {
-            b.iter(|| flat::union(black_box(l), r).unwrap())
-        });
-        g.bench_with_input(BenchmarkId::new("union_tagged", rows), &(p1.clone(), p2.clone()), |b, (l, r)| {
-            b.iter(|| tagged::union(black_box(l), r).unwrap())
-        });
-        g.bench_with_input(BenchmarkId::new("difference_flat", rows), &(f1, f2), |b, (l, r)| {
-            b.iter(|| flat::difference(black_box(l), r).unwrap())
-        });
-        g.bench_with_input(BenchmarkId::new("difference_tagged", rows), &(p1, p2), |b, (l, r)| {
-            b.iter(|| tagged::difference(black_box(l), r).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("union_flat", rows),
+            &(f1.clone(), f2.clone()),
+            |b, (l, r)| b.iter(|| flat::union(black_box(l), r).unwrap()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("union_tagged", rows),
+            &(p1.clone(), p2.clone()),
+            |b, (l, r)| b.iter(|| tagged::union(black_box(l), r).unwrap()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("difference_flat", rows),
+            &(f1, f2),
+            |b, (l, r)| b.iter(|| flat::difference(black_box(l), r).unwrap()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("difference_tagged", rows),
+            &(p1, p2),
+            |b, (l, r)| b.iter(|| tagged::difference(black_box(l), r).unwrap()),
+        );
     }
     g.finish();
 }

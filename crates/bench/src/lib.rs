@@ -39,12 +39,7 @@ pub fn merge_operands(
                     &scenario.dictionary,
                 )
                 .expect("retrieve");
-            let cols: Vec<&str> = tagged
-                .schema()
-                .attrs()
-                .iter()
-                .map(|a| a.as_ref())
-                .collect();
+            let cols: Vec<&str> = tagged.schema().attrs().iter().map(|a| a.as_ref()).collect();
             let names = scheme.relabel_columns(&local.database, &local.relation, &cols);
             let refs: Vec<&str> = names.iter().map(String::as_str).collect();
             tagged.rename_attrs(&refs).expect("relabel")

@@ -94,7 +94,12 @@ impl DataDictionary {
     /// of one of its cells, return the concrete `(LD, LS, LA)` coordinates
     /// the datum can have come from. E.g. `("ONAME", {AD, CD})` →
     /// `[(AD, BUSINESS, BNAME), (CD, FIRM, FNAME)]`.
-    pub fn explain_attribute(&self, scheme: &str, pa: &str, sources: &SourceSet) -> Vec<LocalAttrRef> {
+    pub fn explain_attribute(
+        &self,
+        scheme: &str,
+        pa: &str,
+        sources: &SourceSet,
+    ) -> Vec<LocalAttrRef> {
         let Some(s) = self.schema.scheme(scheme) else {
             return Vec::new();
         };
@@ -167,10 +172,7 @@ mod tests {
         let cd = d.registry().lookup("CD").unwrap();
         let got = d.explain_attribute("PORGANIZATION", "ONAME", &SourceSet::from_ids([ad, cd]));
         let shown: Vec<String> = got.iter().map(|e| e.to_string()).collect();
-        assert_eq!(
-            shown,
-            vec!["(AD, BUSINESS, BNAME)", "(CD, FIRM, FNAME)"]
-        );
+        assert_eq!(shown, vec!["(AD, BUSINESS, BNAME)", "(CD, FIRM, FNAME)"]);
         assert!(d
             .explain_attribute("NOPE", "ONAME", &SourceSet::empty())
             .is_empty());

@@ -177,6 +177,9 @@ mod tests {
             .unwrap();
         let out = dm.apply("CD", &firm).unwrap();
         assert!(out.set_eq(&firm));
-        assert_eq!(DomainRule::Identity.apply(&Value::str("x")), Value::str("x"));
+        assert_eq!(
+            DomainRule::Identity.apply(&Value::str("x")),
+            Value::str("x")
+        );
     }
 }

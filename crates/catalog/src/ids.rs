@@ -38,7 +38,11 @@ impl LocalAttrRef {
 impl fmt::Display for LocalAttrRef {
     /// The paper's notation: `(AD, BUSINESS, BNAME)`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "({}, {}, {})", self.database, self.relation, self.attribute)
+        write!(
+            f,
+            "({}, {}, {})",
+            self.database, self.relation, self.attribute
+        )
     }
 }
 
@@ -75,7 +79,10 @@ mod tests {
     fn display_matches_paper_notation() {
         let r = LocalAttrRef::new("AD", "BUSINESS", "BNAME");
         assert_eq!(r.to_string(), "(AD, BUSINESS, BNAME)");
-        assert_eq!(LocalRelRef::new("AD", "BUSINESS").to_string(), "AD.BUSINESS");
+        assert_eq!(
+            LocalRelRef::new("AD", "BUSINESS").to_string(),
+            "AD.BUSINESS"
+        );
     }
 
     #[test]

@@ -20,9 +20,9 @@ pub mod dictionary;
 pub mod domain;
 pub mod ids;
 pub mod mapping;
+pub mod scenario;
 pub mod schema;
 pub mod scheme;
-pub mod scenario;
 
 /// Convenient glob import.
 pub mod prelude {

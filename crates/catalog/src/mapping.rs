@@ -59,7 +59,9 @@ impl AttributeMapping {
     /// The local attribute this polygen attribute maps to *within* a given
     /// local relation, if any.
     pub fn local_attr_in(&self, database: &str, relation: &str) -> Option<&LocalAttrRef> {
-        self.entries.iter().find(|e| e.in_relation(database, relation))
+        self.entries
+            .iter()
+            .find(|e| e.in_relation(database, relation))
     }
 
     /// The distinct local relations touched by this mapping, in catalog
@@ -119,7 +121,10 @@ mod tests {
     fn local_attr_in_relation() {
         let m = oname();
         assert_eq!(
-            m.local_attr_in("PD", "CORPORATION").unwrap().attribute.as_ref(),
+            m.local_attr_in("PD", "CORPORATION")
+                .unwrap()
+                .attribute
+                .as_ref(),
             "CNAME"
         );
         assert!(m.local_attr_in("PD", "FIRM").is_none());

@@ -223,10 +223,7 @@ pub fn polygen_schema() -> PolygenSchema {
                 ("CEO", AttributeMapping::of(&[("CD", "FIRM", "CEO")])),
                 (
                     "HEADQUARTERS",
-                    AttributeMapping::of(&[
-                        ("PD", "CORPORATION", "STATE"),
-                        ("CD", "FIRM", "HQ"),
-                    ]),
+                    AttributeMapping::of(&[("PD", "CORPORATION", "STATE"), ("CD", "FIRM", "HQ")]),
                 ),
             ],
         ),
@@ -243,9 +240,15 @@ pub fn polygen_schema() -> PolygenSchema {
             "PINTERVIEW",
             vec![
                 ("SID#", AttributeMapping::of(&[("PD", "INTERVIEW", "SID#")])),
-                ("ONAME", AttributeMapping::of(&[("PD", "INTERVIEW", "CNAME")])),
+                (
+                    "ONAME",
+                    AttributeMapping::of(&[("PD", "INTERVIEW", "CNAME")]),
+                ),
                 ("JOB", AttributeMapping::of(&[("PD", "INTERVIEW", "JOB")])),
-                ("LOCATION", AttributeMapping::of(&[("PD", "INTERVIEW", "LOC")])),
+                (
+                    "LOCATION",
+                    AttributeMapping::of(&[("PD", "INTERVIEW", "LOC")]),
+                ),
             ],
         ),
         PolygenScheme::new(
@@ -253,7 +256,10 @@ pub fn polygen_schema() -> PolygenSchema {
             vec![
                 ("ONAME", AttributeMapping::of(&[("CD", "FINANCE", "FNAME")])),
                 ("YEAR", AttributeMapping::of(&[("CD", "FINANCE", "YR")])),
-                ("PROFIT", AttributeMapping::of(&[("CD", "FINANCE", "PROFIT")])),
+                (
+                    "PROFIT",
+                    AttributeMapping::of(&[("CD", "FINANCE", "PROFIT")]),
+                ),
             ],
         ),
     ])
@@ -323,7 +329,11 @@ mod tests {
         }
         assert_eq!(schema.scheme("PORGANIZATION").unwrap().key(), "ONAME");
         assert_eq!(
-            schema.scheme("PORGANIZATION").unwrap().local_relations().len(),
+            schema
+                .scheme("PORGANIZATION")
+                .unwrap()
+                .local_relations()
+                .len(),
             3
         );
     }

@@ -88,10 +88,7 @@ mod tests {
                 "PORGANIZATION",
                 vec![(
                     "ONAME",
-                    AttributeMapping::of(&[
-                        ("AD", "BUSINESS", "BNAME"),
-                        ("CD", "FIRM", "FNAME"),
-                    ]),
+                    AttributeMapping::of(&[("AD", "BUSINESS", "BNAME"), ("CD", "FIRM", "FNAME")]),
                 )],
             ),
         ])

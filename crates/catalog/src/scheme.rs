@@ -28,10 +28,7 @@ impl PolygenScheme {
         let key = Arc::from(attrs[0].0);
         PolygenScheme {
             name: Arc::from(name),
-            attrs: attrs
-                .into_iter()
-                .map(|(a, m)| (Arc::from(a), m))
-                .collect(),
+            attrs: attrs.into_iter().map(|(a, m)| (Arc::from(a), m)).collect(),
             key,
         }
     }
@@ -188,10 +185,7 @@ mod tests {
                 ("CEO", AttributeMapping::of(&[("CD", "FIRM", "CEO")])),
                 (
                     "HEADQUARTERS",
-                    AttributeMapping::of(&[
-                        ("PD", "CORPORATION", "STATE"),
-                        ("CD", "FIRM", "HQ"),
-                    ]),
+                    AttributeMapping::of(&[("PD", "CORPORATION", "STATE"), ("CD", "FIRM", "HQ")]),
                 ),
             ],
         )
@@ -219,7 +213,10 @@ mod tests {
     fn polygen_attr_reverse_lookup() {
         let p = porganization();
         assert_eq!(p.polygen_attr_of("AD", "BUSINESS", "BNAME"), Some("ONAME"));
-        assert_eq!(p.polygen_attr_of("PD", "CORPORATION", "TRADE"), Some("INDUSTRY"));
+        assert_eq!(
+            p.polygen_attr_of("PD", "CORPORATION", "TRADE"),
+            Some("INDUSTRY")
+        );
         assert_eq!(p.polygen_attr_of("CD", "FIRM", "HQ"), Some("HEADQUARTERS"));
         assert_eq!(p.polygen_attr_of("CD", "FIRM", "NOPE"), None);
     }

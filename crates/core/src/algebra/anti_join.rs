@@ -78,8 +78,12 @@ mod tests {
     fn keeps_unmatched_left_tuples() {
         let a = anti_join(&orgs(), &finance(), "ONAME", "FNAME").unwrap();
         assert_eq!(a.len(), 2);
-        assert!(a.cell("ONAME", &polygen_flat::value::Value::str("MIT"), "ONAME").is_some());
-        assert!(a.cell("ONAME", &polygen_flat::value::Value::str("IBM"), "ONAME").is_none());
+        assert!(a
+            .cell("ONAME", &polygen_flat::value::Value::str("MIT"), "ONAME")
+            .is_some());
+        assert!(a
+            .cell("ONAME", &polygen_flat::value::Value::str("IBM"), "ONAME")
+            .is_none());
     }
 
     #[test]

@@ -30,10 +30,10 @@ pub fn theta_join(
 ) -> Result<PolygenRelation, PolygenError> {
     let xi = p1.schema().index_of(x)?.0;
     let yi = p2.schema().index_of(y)?.0;
-    let schema = Arc::new(p1.schema().concat(
-        p2.schema(),
-        &format!("{}x{}", p1.name(), p2.name()),
-    )?);
+    let schema = Arc::new(
+        p1.schema()
+            .concat(p2.schema(), &format!("{}x{}", p1.name(), p2.name()))?,
+    );
     let mut tuples: Vec<PolyTuple> = Vec::new();
     let mut emit = |a: &PolyTuple, b: &PolyTuple| {
         let mut t = Vec::with_capacity(a.len() + b.len());
@@ -64,8 +64,7 @@ pub fn theta_join(
             // Mixed numeric types (Int = Float) do not share hash buckets.
             if matches!(a[xi].datum, Value::Int(_) | Value::Float(_)) {
                 for b in p2.tuples() {
-                    if std::mem::discriminant(&a[xi].datum)
-                        != std::mem::discriminant(&b[yi].datum)
+                    if std::mem::discriminant(&a[xi].datum) != std::mem::discriminant(&b[yi].datum)
                         && a[xi].datum.satisfies(Cmp::Eq, &b[yi].datum)
                     {
                         emit(a, b);
@@ -98,9 +97,18 @@ pub fn equi_join_coalesced(
 ) -> Result<PolygenRelation, PolygenError> {
     let joined = theta_join(p1, p2, x, Cmp::Eq, y)?;
     let yi_joined = p1.degree() + p2.schema().index_of(y)?.0;
-    let left_name = joined.schema().attr_at(p1.schema().index_of(x)?.0).to_string();
+    let left_name = joined
+        .schema()
+        .attr_at(p1.schema().index_of(x)?.0)
+        .to_string();
     let right_name = joined.schema().attr_at(yi_joined).to_string();
-    coalesce(&joined, &left_name, &right_name, out, ConflictPolicy::Strict)
+    coalesce(
+        &joined,
+        &left_name,
+        &right_name,
+        out,
+        ConflictPolicy::Strict,
+    )
 }
 
 #[cfg(test)]
@@ -180,8 +188,7 @@ mod tests {
     fn theta_join_matches_restricted_product() {
         let via_join = theta_join(&alumnus(), &career(), "AID#", Cmp::Lt, "AID#").unwrap();
         let prod = crate::algebra::product(&alumnus(), &career()).unwrap();
-        let via_restrict =
-            crate::algebra::restrict(&prod, "AID#", Cmp::Lt, "CAREER.AID#").unwrap();
+        let via_restrict = crate::algebra::restrict(&prod, "AID#", Cmp::Lt, "CAREER.AID#").unwrap();
         assert!(via_join.tagged_set_eq(&via_restrict));
     }
 

@@ -52,8 +52,12 @@ pub fn merge_with<F>(
     mut resolve: F,
 ) -> Result<PolygenRelation, PolygenError>
 where
-    F: FnMut(&str, usize, &crate::cell::Cell, &crate::cell::Cell)
-        -> Result<crate::cell::Cell, PolygenError>,
+    F: FnMut(
+        &str,
+        usize,
+        &crate::cell::Cell,
+        &crate::cell::Cell,
+    ) -> Result<crate::cell::Cell, PolygenError>,
 {
     let (first, rest) = relations.split_first().ok_or(PolygenError::EmptyMerge)?;
     for rel in relations {
@@ -66,7 +70,8 @@ where
     }
     let mut acc = first.clone();
     for next in rest {
-        acc = crate::algebra::natural::outer_natural_total_join_with(&acc, next, key, &mut resolve)?;
+        acc =
+            crate::algebra::natural::outer_natural_total_join_with(&acc, next, key, &mut resolve)?;
     }
     Ok(acc)
 }
@@ -108,7 +113,10 @@ mod tests {
             rel(
                 "FIRM",
                 &["ONAME", "CEO", "HEADQUARTERS"],
-                &[&["IBM", "John Ackers", "NY"], &["Apple", "John Sculley", "CA"]],
+                &[
+                    &["IBM", "John Ackers", "NY"],
+                    &["Apple", "John Sculley", "CA"],
+                ],
                 2,
             ),
         ]
@@ -188,7 +196,10 @@ mod tests {
 
     #[test]
     fn empty_merge_and_missing_key_error() {
-        assert!(matches!(merge(&[], "K", ConflictPolicy::Strict), Err(PolygenError::EmptyMerge)));
+        assert!(matches!(
+            merge(&[], "K", ConflictPolicy::Strict),
+            Err(PolygenError::EmptyMerge)
+        ));
         let rels = three_sources();
         assert!(matches!(
             merge(&rels, "NOKEY", ConflictPolicy::Strict),
@@ -208,7 +219,9 @@ mod tests {
         assert!(merge(&rels, "ONAME", ConflictPolicy::Strict).is_err());
         let (m, conflicts) = merge(&rels, "ONAME", ConflictPolicy::PreferLeft).unwrap();
         assert_eq!(conflicts.len(), 1);
-        let hq = m.cell("ONAME", &Value::str("Apple"), "HEADQUARTERS").unwrap();
+        let hq = m
+            .cell("ONAME", &Value::str("Apple"), "HEADQUARTERS")
+            .unwrap();
         assert_eq!(hq.datum, Value::str("TX"));
         assert!(hq.intermediate.contains(sid(2)), "CD demoted to mediator");
     }

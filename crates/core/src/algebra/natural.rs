@@ -81,8 +81,12 @@ pub fn outer_natural_total_join_with<F>(
     mut resolve: F,
 ) -> Result<PolygenRelation, PolygenError>
 where
-    F: FnMut(&str, usize, &crate::cell::Cell, &crate::cell::Cell)
-        -> Result<crate::cell::Cell, PolygenError>,
+    F: FnMut(
+        &str,
+        usize,
+        &crate::cell::Cell,
+        &crate::cell::Cell,
+    ) -> Result<crate::cell::Cell, PolygenError>,
 {
     let shared: Vec<String> = p1
         .schema()
@@ -188,13 +192,9 @@ mod tests {
             }
         }
         let err = outer_natural_total_join(&left, &right, "ONAME", ConflictPolicy::Strict);
-        assert!(matches!(
-            err,
-            Err(PolygenError::CoalesceConflict { .. })
-        ));
+        assert!(matches!(err, Err(PolygenError::CoalesceConflict { .. })));
         let (r, conflicts) =
-            outer_natural_total_join(&left, &right, "ONAME", ConflictPolicy::PreferRight)
-                .unwrap();
+            outer_natural_total_join(&left, &right, "ONAME", ConflictPolicy::PreferRight).unwrap();
         assert_eq!(conflicts.len(), 1);
         let ind = r.cell("ONAME", &Value::str("IBM"), "INDUSTRY").unwrap();
         assert_eq!(ind.datum, Value::str("Mainframes"));

@@ -30,10 +30,10 @@ pub fn outer_join(
 ) -> Result<PolygenRelation, PolygenError> {
     let xi = p1.schema().index_of(x)?.0;
     let yi = p2.schema().index_of(y)?.0;
-    let schema = Arc::new(p1.schema().concat(
-        p2.schema(),
-        &format!("{}x{}", p1.name(), p2.name()),
-    )?);
+    let schema = Arc::new(
+        p1.schema()
+            .concat(p2.schema(), &format!("{}x{}", p1.name(), p2.name()))?,
+    );
     let mut tuples: Vec<PolyTuple> = Vec::new();
     let mut right_matched = vec![false; p2.len()];
     for a in p1.tuples() {

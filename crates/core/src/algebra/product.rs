@@ -17,10 +17,10 @@ pub fn product(
     p1: &PolygenRelation,
     p2: &PolygenRelation,
 ) -> Result<PolygenRelation, PolygenError> {
-    let schema = Arc::new(p1.schema().concat(
-        p2.schema(),
-        &format!("{}x{}", p1.name(), p2.name()),
-    )?);
+    let schema = Arc::new(
+        p1.schema()
+            .concat(p2.schema(), &format!("{}x{}", p1.name(), p2.name()))?,
+    );
     let mut tuples = Vec::with_capacity(p1.len() * p2.len());
     for a in p1.tuples() {
         for b in p2.tuples() {

@@ -51,19 +51,25 @@ mod tests {
     }
 
     fn sample() -> PolygenRelation {
-        let schema = Arc::new(
-            Schema::new("CAREER", &["NAME", "ORG", "POS"]).unwrap(),
-        );
+        let schema = Arc::new(Schema::new("CAREER", &["NAME", "ORG", "POS"]).unwrap());
         PolygenRelation::from_tuples(
             schema,
             vec![
-                vec![cell("Stu", &[0], &[]), cell("MIT", &[0], &[]), cell("Prof", &[0], &[])],
+                vec![
+                    cell("Stu", &[0], &[]),
+                    cell("MIT", &[0], &[]),
+                    cell("Prof", &[0], &[]),
+                ],
                 vec![
                     cell("Stu", &[1], &[2]),
                     cell("Langley", &[1], &[]),
                     cell("CEO", &[1], &[]),
                 ],
-                vec![cell("Bob", &[0], &[]), cell("Genentech", &[0], &[]), cell("CEO", &[0], &[])],
+                vec![
+                    cell("Bob", &[0], &[]),
+                    cell("Genentech", &[0], &[]),
+                    cell("CEO", &[0], &[]),
+                ],
             ],
         )
         .unwrap()

@@ -171,13 +171,8 @@ mod tests {
         let c = select(&p, "CEO", Cmp::Ne, Value::str("John Reed"))
             .unwrap()
             .strip();
-        let d = polygen_flat::algebra::select(
-            &p.strip(),
-            "CEO",
-            Cmp::Ne,
-            Value::str("John Reed"),
-        )
-        .unwrap();
+        let d = polygen_flat::algebra::select(&p.strip(), "CEO", Cmp::Ne, Value::str("John Reed"))
+            .unwrap();
         assert!(c.set_eq(&d));
     }
 }

@@ -89,9 +89,7 @@ mod tests {
         let s = semi_join(&orgs(), &finance(), "ONAME", "FNAME").unwrap();
         assert_eq!(s.len(), 2);
         assert_eq!(s.degree(), 2, "no column growth");
-        assert!(s
-            .cell("ONAME", &Value::str("IBM"), "IND")
-            .is_some());
+        assert!(s.cell("ONAME", &Value::str("IBM"), "IND").is_some());
         assert!(s.cell("ONAME", &Value::str("MIT"), "IND").is_none());
     }
 
@@ -112,19 +110,12 @@ mod tests {
         // left attributes (tags included, because the coalesced key
         // carries both origins and project keeps cells verbatim).
         let direct = semi_join(&orgs(), &finance(), "ONAME", "FNAME").unwrap();
-        let joined =
-            algebra::theta_join(&orgs(), &finance(), "ONAME", Cmp::Eq, "FNAME").unwrap();
+        let joined = algebra::theta_join(&orgs(), &finance(), "ONAME", Cmp::Eq, "FNAME").unwrap();
         let projected = algebra::project(&joined, &["ONAME", "IND"]).unwrap();
         // The projected key cell lacks the right side's *origin* merge
         // (that happens in the coalesce); compare via the coalesced form.
-        let coalesced = algebra::equi_join_coalesced(
-            &orgs(),
-            &finance(),
-            "ONAME",
-            "FNAME",
-            "ONAME",
-        )
-        .unwrap();
+        let coalesced =
+            algebra::equi_join_coalesced(&orgs(), &finance(), "ONAME", "FNAME", "ONAME").unwrap();
         let via_chain = algebra::project(&coalesced, &["ONAME", "IND"]).unwrap();
         // Data portions always agree.
         assert!(direct.strip().set_eq(&projected.strip()));

@@ -18,10 +18,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// `p1 ∪ p2` over union-compatible relations.
-pub fn union(
-    p1: &PolygenRelation,
-    p2: &PolygenRelation,
-) -> Result<PolygenRelation, PolygenError> {
+pub fn union(p1: &PolygenRelation, p2: &PolygenRelation) -> Result<PolygenRelation, PolygenError> {
     p1.schema().union_compatible(p2.schema())?;
     let mut index: HashMap<Vec<Value>, usize> = HashMap::with_capacity(p1.len() + p2.len());
     let mut tuples: Vec<PolyTuple> = Vec::with_capacity(p1.len() + p2.len());

@@ -35,10 +35,7 @@ impl PolygenRelation {
     /// Construct from tuples, enforcing arity. Callers are responsible for
     /// set semantics on the data portion; the algebra operators that the
     /// paper defines to merge duplicates (Project, Union) do so explicitly.
-    pub fn from_tuples(
-        schema: Arc<Schema>,
-        tuples: Vec<PolyTuple>,
-    ) -> Result<Self, PolygenError> {
+    pub fn from_tuples(schema: Arc<Schema>, tuples: Vec<PolyTuple>) -> Result<Self, PolygenError> {
         for t in &tuples {
             if t.len() != schema.degree() {
                 return Err(polygen_flat::error::FlatError::ArityMismatch {

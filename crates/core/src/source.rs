@@ -449,10 +449,7 @@ mod tests {
         let cd = reg.intern("CD");
         assert_eq!(reg.render_set(&SourceSet::empty()), "{}");
         assert_eq!(reg.render_set(&SourceSet::singleton(ad)), "{AD}");
-        assert_eq!(
-            reg.render_set(&SourceSet::from_ids([cd, ad])),
-            "{AD, CD}"
-        );
+        assert_eq!(reg.render_set(&SourceSet::from_ids([cd, ad])), "{AD, CD}");
     }
 
     #[test]
@@ -547,7 +544,11 @@ mod tests {
             b.insert_id(SourceId(2));
             b.insert_id(SourceId(1));
             a.union_with_set(&b);
-            (a.card(), a.contains_id(SourceId(2)), a.contains_id(SourceId(9)))
+            (
+                a.card(),
+                a.contains_id(SourceId(2)),
+                a.contains_id(SourceId(9)),
+            )
         }
         assert_eq!(exercise::<SourceSet>(), (3, true, false));
         assert_eq!(exercise::<SortedVecSet>(), (3, true, false));

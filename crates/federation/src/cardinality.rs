@@ -119,12 +119,7 @@ pub fn audit_scheme(
             &LocalOp::retrieve(&local.relation),
             dictionary,
         )?;
-        let cols: Vec<&str> = tagged
-            .schema()
-            .attrs()
-            .iter()
-            .map(|a| a.as_ref())
-            .collect();
+        let cols: Vec<&str> = tagged.schema().attrs().iter().map(|a| a.as_ref()).collect();
         let names = scheme.relabel_columns(&local.database, &local.relation, &cols);
         let refs: Vec<&str> = names.iter().map(String::as_str).collect();
         relabeled.push(tagged.rename_attrs(&refs)?);

@@ -130,10 +130,7 @@ mod tests {
         for r in rows {
             b = b.row(r);
         }
-        PolygenRelation::from_flat(
-            &b.finish().unwrap(),
-            d.registry().lookup(src).unwrap(),
-        )
+        PolygenRelation::from_flat(&b.finish().unwrap(), d.registry().lookup(src).unwrap())
     }
 
     #[test]
@@ -141,17 +138,13 @@ mod tests {
         let d = dict();
         let left = rel("A", "AD", &[&["IBM", "Armonk"]], &d);
         let right = rel("B", "CD", &[&["IBM", "NYC"]], &d);
-        let (merged, conflicts) =
-            merge_by_credibility(&[left, right], "ONAME", &d).unwrap();
+        let (merged, conflicts) = merge_by_credibility(&[left, right], "ONAME", &d).unwrap();
         assert_eq!(conflicts.len(), 1);
         let hq = merged.cell("ONAME", &Value::str("IBM"), "HQ").unwrap();
         assert_eq!(hq.datum, Value::str("Armonk"), "AD (0.9) beats CD (0.4)");
         let cd = d.registry().lookup("CD").unwrap();
         assert!(hq.intermediate.contains(cd), "loser demoted to mediator");
-        assert_eq!(
-            conflicts[0].decided_by,
-            d.registry().lookup("AD")
-        );
+        assert_eq!(conflicts[0].decided_by, d.registry().lookup("AD"));
     }
 
     #[test]
@@ -171,8 +164,7 @@ mod tests {
         let d = dict();
         let left = rel("A", "AD", &[&["IBM", "NY"]], &d);
         let right = rel("B", "CD", &[&["IBM", "NY"]], &d);
-        let (merged, conflicts) =
-            merge_by_credibility(&[left, right], "ONAME", &d).unwrap();
+        let (merged, conflicts) = merge_by_credibility(&[left, right], "ONAME", &d).unwrap();
         assert!(conflicts.is_empty());
         let hq = merged.cell("ONAME", &Value::str("IBM"), "HQ").unwrap();
         assert_eq!(hq.origin.len(), 2, "agreeing sources both credited");

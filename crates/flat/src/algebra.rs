@@ -55,10 +55,10 @@ pub fn restrict(p: &Relation, x: &str, cmp: Cmp, y: &str) -> Result<Relation, Fl
 
 /// Cartesian product (tuple concatenation over all pairs).
 pub fn product(p1: &Relation, p2: &Relation) -> Result<Relation, FlatError> {
-    let schema = Arc::new(p1.schema().concat(
-        p2.schema(),
-        &format!("{}x{}", p1.name(), p2.name()),
-    )?);
+    let schema = Arc::new(
+        p1.schema()
+            .concat(p2.schema(), &format!("{}x{}", p1.name(), p2.name()))?,
+    );
     let mut rows = Vec::with_capacity(p1.len() * p2.len());
     for a in p1.rows() {
         for b in p2.rows() {
@@ -82,10 +82,10 @@ pub fn theta_join(
 ) -> Result<Relation, FlatError> {
     let xi = p1.schema().index_of(x)?.0;
     let yi = p2.schema().index_of(y)?.0;
-    let schema = Arc::new(p1.schema().concat(
-        p2.schema(),
-        &format!("{}x{}", p1.name(), p2.name()),
-    )?);
+    let schema = Arc::new(
+        p1.schema()
+            .concat(p2.schema(), &format!("{}x{}", p1.name(), p2.name()))?,
+    );
     let mut rows = Vec::new();
     if cmp == Cmp::Eq {
         // Hash equi-join fast path: build on the smaller side.
@@ -227,10 +227,10 @@ pub fn intersect(p1: &Relation, p2: &Relation) -> Result<Relation, FlatError> {
 pub fn outer_join(p1: &Relation, p2: &Relation, x: &str, y: &str) -> Result<Relation, FlatError> {
     let xi = p1.schema().index_of(x)?.0;
     let yi = p2.schema().index_of(y)?.0;
-    let schema = Arc::new(p1.schema().concat(
-        p2.schema(),
-        &format!("{}x{}", p1.name(), p2.name()),
-    )?);
+    let schema = Arc::new(
+        p1.schema()
+            .concat(p2.schema(), &format!("{}x{}", p1.name(), p2.name()))?,
+    );
     let mut rows = Vec::new();
     let mut right_matched = vec![false; p2.len()];
     for a in p1.rows() {
@@ -383,7 +383,10 @@ mod tests {
 
     #[test]
     fn equi_join_handles_mixed_numeric_types() {
-        let l = Relation::build("L", &["A"]).vrow(vals![3]).finish().unwrap();
+        let l = Relation::build("L", &["A"])
+            .vrow(vals![3])
+            .finish()
+            .unwrap();
         let r = Relation::build("R", &["B"])
             .vrow(vals![3.0])
             .finish()
@@ -451,11 +454,7 @@ mod tests {
         let oj = outer_join(&alumnus(), &career(), "AID", "AID").unwrap();
         // 2 matches + 1 unmatched left (345) + 1 unmatched right (999).
         assert_eq!(oj.len(), 4);
-        let unmatched_left = oj
-            .rows()
-            .iter()
-            .find(|r| r[0] == Value::int(345))
-            .unwrap();
+        let unmatched_left = oj.rows().iter().find(|r| r[0] == Value::int(345)).unwrap();
         assert!(unmatched_left[3].is_nil() && unmatched_left[4].is_nil());
         let unmatched_right = oj
             .rows()

@@ -11,15 +11,9 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FlatError {
     /// An attribute name was not found in a relation's schema.
-    UnknownAttribute {
-        relation: String,
-        attribute: String,
-    },
+    UnknownAttribute { relation: String, attribute: String },
     /// A duplicate attribute name appeared while constructing a schema.
-    DuplicateAttribute {
-        relation: String,
-        attribute: String,
-    },
+    DuplicateAttribute { relation: String, attribute: String },
     /// A row's arity did not match the schema's degree.
     ArityMismatch {
         relation: String,

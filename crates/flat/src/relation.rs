@@ -175,12 +175,7 @@ impl fmt::Display for Relation {
     /// Render as an aligned ASCII table (the presentation style of the
     /// paper's Tables A1–A3).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let headers: Vec<String> = self
-            .schema
-            .attrs()
-            .iter()
-            .map(|a| a.to_string())
-            .collect();
+        let headers: Vec<String> = self.schema.attrs().iter().map(|a| a.to_string()).collect();
         let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
         let rendered: Vec<Vec<String>> = self
             .rows
@@ -269,7 +264,9 @@ mod tests {
 
     #[test]
     fn arity_enforced() {
-        let r = Relation::build("X", &["A", "B"]).row(&["only-one"]).finish();
+        let r = Relation::build("X", &["A", "B"])
+            .row(&["only-one"])
+            .finish();
         assert!(matches!(r, Err(FlatError::ArityMismatch { .. })));
     }
 

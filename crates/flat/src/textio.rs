@@ -129,10 +129,7 @@ mod tests {
 
     #[test]
     fn comments_and_blanks_skipped() {
-        let r = parse_relation(
-            "# fixture\nX | A\n\n# body\n1\n2\n",
-        )
-        .unwrap();
+        let r = parse_relation("# fixture\nX | A\n\n# body\n1\n2\n").unwrap();
         assert_eq!(r.len(), 2);
     }
 

@@ -172,7 +172,12 @@ mod tests {
         assert!(m.execute(&LocalOp::retrieve("FIRM")).is_ok());
         assert!(m.simulated_us() > 0);
         assert!(matches!(
-            m.execute(&LocalOp::select("FIRM", "FNAME", Cmp::Eq, Value::str("IBM"))),
+            m.execute(&LocalOp::select(
+                "FIRM",
+                "FNAME",
+                Cmp::Eq,
+                Value::str("IBM")
+            )),
             Err(LqpError::Unsupported { .. })
         ));
         assert_eq!(m.capabilities(), Capabilities::retrieve_only());
@@ -183,7 +188,12 @@ mod tests {
         let menu = MenuDrivenLqp::new(base(), CostModel::slow_remote());
         let comp = CompensatingLqp::new(menu);
         let out = comp
-            .execute(&LocalOp::select("FIRM", "FNAME", Cmp::Eq, Value::str("IBM")))
+            .execute(&LocalOp::select(
+                "FIRM",
+                "FNAME",
+                Cmp::Eq,
+                Value::str("IBM"),
+            ))
             .unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out.rows()[0][1], Value::str("John Ackers"));
@@ -199,7 +209,12 @@ mod tests {
     fn compensating_adapter_passes_native_ops_through() {
         let comp = CompensatingLqp::new(base());
         let out = comp
-            .execute(&LocalOp::select("FIRM", "FNAME", Cmp::Eq, Value::str("DEC")))
+            .execute(&LocalOp::select(
+                "FIRM",
+                "FNAME",
+                Cmp::Eq,
+                Value::str("DEC"),
+            ))
             .unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(comp.inner().counters().ops(), 1);

@@ -122,8 +122,7 @@ impl Capabilities {
 
     /// Does this capability set admit the operation?
     pub fn admits(&self, op: &LocalOp) -> bool {
-        let predicates_ok =
-            self.pushdown_select || (op.filter.is_none() && op.restrict.is_none());
+        let predicates_ok = self.pushdown_select || (op.filter.is_none() && op.restrict.is_none());
         predicates_ok && (op.projection.is_none() || self.pushdown_project)
     }
 }

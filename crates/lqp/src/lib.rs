@@ -69,9 +69,7 @@ mod tests {
             .execute_tagged("CD", &LocalOp::retrieve("FIRM"), &scenario.dictionary)
             .unwrap();
         use polygen_flat::value::Value;
-        let hq = firm
-            .cell("FNAME", &Value::str("Genentech"), "HQ")
-            .unwrap();
+        let hq = firm.cell("FNAME", &Value::str("Genentech"), "HQ").unwrap();
         assert_eq!(hq.datum, Value::str("CA"));
     }
 }

@@ -73,10 +73,12 @@ impl InMemoryLqp {
     }
 
     fn relation(&self, name: &str) -> Result<&Relation, LqpError> {
-        self.relations.get(name).ok_or_else(|| LqpError::UnknownRelation {
-            lqp: self.name.clone(),
-            relation: name.to_string(),
-        })
+        self.relations
+            .get(name)
+            .ok_or_else(|| LqpError::UnknownRelation {
+                lqp: self.name.clone(),
+                relation: name.to_string(),
+            })
     }
 }
 
@@ -157,7 +159,12 @@ mod tests {
     fn select_filters_locally() {
         let l = lqp();
         let r = l
-            .execute(&LocalOp::select("ALUMNUS", "DEG", Cmp::Eq, Value::str("MBA")))
+            .execute(&LocalOp::select(
+                "ALUMNUS",
+                "DEG",
+                Cmp::Eq,
+                Value::str("MBA"),
+            ))
             .unwrap();
         assert_eq!(r.len(), 1);
         assert_eq!(l.counters().tuples_shipped(), 1);
@@ -191,7 +198,12 @@ mod tests {
         let l = lqp().with_capabilities(Capabilities::retrieve_only());
         assert!(l.execute(&LocalOp::retrieve("ALUMNUS")).is_ok());
         assert!(matches!(
-            l.execute(&LocalOp::select("ALUMNUS", "DEG", Cmp::Eq, Value::str("MBA"))),
+            l.execute(&LocalOp::select(
+                "ALUMNUS",
+                "DEG",
+                Cmp::Eq,
+                Value::str("MBA")
+            )),
             Err(LqpError::Unsupported { .. })
         ));
     }

@@ -8,11 +8,10 @@
 //! cells of the polygen base relation", §III).
 
 use crate::engine::{LocalOp, Lqp, LqpError};
-use parking_lot::RwLock;
 use polygen_catalog::dictionary::DataDictionary;
 use polygen_core::relation::PolygenRelation;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// A shared, thread-safe map of LD name → LQP.
 #[derive(Default)]
@@ -28,29 +27,42 @@ impl LqpRegistry {
 
     /// Register (or replace) an LQP under its own name.
     pub fn register(&self, lqp: Arc<dyn Lqp>) {
-        self.lqps.write().insert(lqp.name().to_string(), lqp);
+        self.lqps
+            .write()
+            .expect("lqp registry poisoned")
+            .insert(lqp.name().to_string(), lqp);
     }
 
     /// Fetch an LQP by local-database name.
     pub fn get(&self, name: &str) -> Option<Arc<dyn Lqp>> {
-        self.lqps.read().get(name).cloned()
+        self.lqps
+            .read()
+            .expect("lqp registry poisoned")
+            .get(name)
+            .cloned()
     }
 
     /// Registered database names, sorted.
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.lqps.read().keys().cloned().collect();
+        let mut names: Vec<String> = self
+            .lqps
+            .read()
+            .expect("lqp registry poisoned")
+            .keys()
+            .cloned()
+            .collect();
         names.sort_unstable();
         names
     }
 
     /// Number of registered LQPs.
     pub fn len(&self) -> usize {
-        self.lqps.read().len()
+        self.lqps.read().expect("lqp registry poisoned").len()
     }
 
     /// Is the registry empty?
     pub fn is_empty(&self) -> bool {
-        self.lqps.read().is_empty()
+        self.lqps.read().expect("lqp registry poisoned").is_empty()
     }
 
     /// Execute a local operation at the named LQP, apply the dictionary's

@@ -106,7 +106,15 @@ fn emit(expr: &AlgebraExpr, pom: &mut Pom) -> Result<RelRef, PqpError> {
         }
         AlgebraExpr::Project { input, attrs } => {
             let lhr = emit(input, pom)?;
-            push(pom, Op::Project, lhr, attrs.clone(), None, Rha::Nil, RelRef::Nil)
+            push(
+                pom,
+                Op::Project,
+                lhr,
+                attrs.clone(),
+                None,
+                Rha::Nil,
+                RelRef::Nil,
+            )
         }
         AlgebraExpr::Union(a, b) => binary(pom, Op::Union, a, b)?,
         AlgebraExpr::Difference(a, b) => binary(pom, Op::Difference, a, b)?,
@@ -115,12 +123,7 @@ fn emit(expr: &AlgebraExpr, pom: &mut Pom) -> Result<RelRef, PqpError> {
     })
 }
 
-fn binary(
-    pom: &mut Pom,
-    op: Op,
-    a: &AlgebraExpr,
-    b: &AlgebraExpr,
-) -> Result<RelRef, PqpError> {
+fn binary(pom: &mut Pom, op: Op, a: &AlgebraExpr, b: &AlgebraExpr) -> Result<RelRef, PqpError> {
     let lhr = emit(a, pom)?;
     let rhr = emit(b, pom)?;
     Ok(push(pom, op, lhr, Vec::new(), None, Rha::Nil, rhr))

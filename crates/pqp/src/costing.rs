@@ -52,10 +52,7 @@ impl fmt::Display for PlanCost {
 fn input_rows(r: &RelRef, est: &BTreeMap<usize, f64>) -> f64 {
     match r {
         RelRef::Derived(i) => est.get(i).copied().unwrap_or(0.0),
-        RelRef::DerivedList(ids) => ids
-            .iter()
-            .map(|i| est.get(i).copied().unwrap_or(0.0))
-            .sum(),
+        RelRef::DerivedList(ids) => ids.iter().map(|i| est.get(i).copied().unwrap_or(0.0)).sum(),
         _ => 0.0,
     }
 }
@@ -82,11 +79,7 @@ pub fn estimate(iom: &Iom, registry: &LqpRegistry) -> PlanCost {
     }
 }
 
-fn estimate_row(
-    row: &IomRow,
-    registry: &LqpRegistry,
-    est: &BTreeMap<usize, f64>,
-) -> (f64, f64) {
+fn estimate_row(row: &IomRow, registry: &LqpRegistry, est: &BTreeMap<usize, f64>) -> (f64, f64) {
     match &row.el {
         ExecLoc::Lqp(db) => {
             let (base_rows, model) = match registry.get(db) {
@@ -177,7 +170,10 @@ mod tests {
         for db in &s.databases {
             let inner = InMemoryLqp::new(&db.name, db.relations.clone());
             if db.name == "CD" {
-                remote.register(Arc::new(MenuDrivenLqp::new(inner, CostModel::slow_remote())));
+                remote.register(Arc::new(MenuDrivenLqp::new(
+                    inner,
+                    CostModel::slow_remote(),
+                )));
             } else {
                 remote.register(Arc::new(inner));
             }

@@ -128,12 +128,7 @@ impl Executor<'_> {
 
     /// Resolve an attribute against a relation: exact column, then the
     /// input's coalesced-name aliases, then the schema candidates.
-    fn resolve(
-        &self,
-        src: &RelRef,
-        rel: &PolygenRelation,
-        attr: &str,
-    ) -> Result<String, PqpError> {
+    fn resolve(&self, src: &RelRef, rel: &PolygenRelation, attr: &str) -> Result<String, PqpError> {
         if rel.schema().contains(attr) {
             return Ok(attr.to_string());
         }
@@ -209,9 +204,7 @@ impl Executor<'_> {
                 })
             }
         };
-        let tagged = self
-            .registry
-            .execute_tagged(db, &op, self.dictionary)?;
+        let tagged = self.registry.execute_tagged(db, &op, self.dictionary)?;
         self.base_meta
             .insert(row.pr, (db.to_string(), local_rel.clone()));
         Ok(tagged)
@@ -235,10 +228,7 @@ impl Executor<'_> {
             .ok_or_else(|| PqpError::UnknownRelation(scheme_name.to_string()))?;
         let mut relabeled = Vec::with_capacity(inputs.len());
         for rid in inputs {
-            let rel = self
-                .env
-                .get(rid)
-                .ok_or(PqpError::DanglingReference(*rid))?;
+            let rel = self.env.get(rid).ok_or(PqpError::DanglingReference(*rid))?;
             let (db, local_rel) =
                 self.base_meta
                     .get(rid)
@@ -247,12 +237,7 @@ impl Executor<'_> {
                         row: row.pr,
                         reason: format!("Merge input R({rid}) is not a base retrieve"),
                     })?;
-            let cols: Vec<&str> = rel
-                .schema()
-                .attrs()
-                .iter()
-                .map(|a| a.as_ref())
-                .collect();
+            let cols: Vec<&str> = rel.schema().attrs().iter().map(|a| a.as_ref()).collect();
             let new_names = scheme.relabel_columns(&db, &local_rel, &cols);
             let refs: Vec<&str> = new_names.iter().map(String::as_str).collect();
             relabeled.push(rel.rename_attrs(&refs)?);

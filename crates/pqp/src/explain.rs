@@ -20,7 +20,10 @@ pub fn explain(outcome: &QueryOutcome, dictionary: &DataDictionary) -> String {
     let _ = writeln!(out, "{}", outcome.compiled.expr);
     let _ = writeln!(out, "\n== Polygen Operation Matrix (Table 1 form) ==");
     out.push_str(&render_pom(&outcome.compiled.pom));
-    let _ = writeln!(out, "\n== Half-processed IOM after pass one (Table 2 form) ==");
+    let _ = writeln!(
+        out,
+        "\n== Half-processed IOM after pass one (Table 2 form) =="
+    );
     out.push_str(&render_iom(&outcome.compiled.half));
     let _ = writeln!(out, "\n== Intermediate Operation Matrix (Table 3 form) ==");
     out.push_str(&render_iom(&outcome.compiled.iom));

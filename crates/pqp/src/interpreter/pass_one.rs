@@ -15,8 +15,8 @@
 use crate::error::PqpError;
 use crate::iom::{ExecLoc, Iom, IomRow};
 use crate::pom::{Op, Pom, RelRef, Rha};
-use polygen_catalog::scheme::PolygenScheme;
 use polygen_catalog::schema::PolygenSchema;
+use polygen_catalog::scheme::PolygenScheme;
 use std::collections::HashMap;
 
 /// Map a polygen attribute to its local name within `(db, rel)`.
@@ -41,10 +41,7 @@ pub(crate) fn localize_attr(
 
 /// Emit the Retrieve + Merge pipeline for a multi-source scheme; returns
 /// the Merge row's result id.
-pub(crate) fn emit_retrieve_merge(
-    out: &mut Iom,
-    scheme: &PolygenScheme,
-) -> usize {
+pub(crate) fn emit_retrieve_merge(out: &mut Iom, scheme: &PolygenScheme) -> usize {
     let mut retrieved = Vec::new();
     for local in scheme.local_relations() {
         let pr = out.rows.len() + 1;
@@ -142,9 +139,7 @@ pub fn pass_one(pom: &Pom, schema: &PolygenSchema) -> Result<Iom, PqpError> {
                 }
             }
             RelRef::Derived(r) => {
-                let mapped = *map
-                    .get(r)
-                    .ok_or(PqpError::DanglingReference(*r))?;
+                let mapped = *map.get(r).ok_or(PqpError::DanglingReference(*r))?;
                 let pr = out.rows.len() + 1;
                 out.rows.push(IomRow {
                     pr,
@@ -173,9 +168,7 @@ pub fn pass_one(pom: &Pom, schema: &PolygenSchema) -> Result<Iom, PqpError> {
 /// Renumber a derived RHR through the map; named RHRs wait for pass two.
 fn map_rhr(rhr: &RelRef, map: &HashMap<usize, usize>) -> Result<RelRef, PqpError> {
     Ok(match rhr {
-        RelRef::Derived(r) => {
-            RelRef::Derived(*map.get(r).ok_or(PqpError::DanglingReference(*r))?)
-        }
+        RelRef::Derived(r) => RelRef::Derived(*map.get(r).ok_or(PqpError::DanglingReference(*r))?),
         other => other.clone(),
     })
 }
@@ -224,8 +217,8 @@ mod tests {
     #[test]
     fn multi_source_lhr_expands_to_retrieve_merge() {
         let schema = scenario::polygen_schema();
-        let pom = analyze(&parse_algebra("PORGANIZATION [INDUSTRY = \"Banking\"]").unwrap())
-            .unwrap();
+        let pom =
+            analyze(&parse_algebra("PORGANIZATION [INDUSTRY = \"Banking\"]").unwrap()).unwrap();
         let h = pass_one(&pom, &schema).unwrap();
         assert_eq!(h.cardinality(), 5); // 3 retrieves + merge + select
         assert_eq!(h.rows[0].op, Op::Retrieve);

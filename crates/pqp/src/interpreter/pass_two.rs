@@ -34,9 +34,7 @@ fn emit_retrieve(out: &mut Iom, relation: &str, db: &str) -> usize {
 
 fn map_ref(r: &RelRef, map: &HashMap<usize, usize>) -> Result<RelRef, PqpError> {
     Ok(match r {
-        RelRef::Derived(i) => {
-            RelRef::Derived(*map.get(i).ok_or(PqpError::DanglingReference(*i))?)
-        }
+        RelRef::Derived(i) => RelRef::Derived(*map.get(i).ok_or(PqpError::DanglingReference(*i))?),
         RelRef::DerivedList(ids) => RelRef::DerivedList(
             ids.iter()
                 .map(|i| map.get(i).copied().ok_or(PqpError::DanglingReference(*i)))
@@ -63,9 +61,7 @@ pub fn pass_two(half: &Iom, schema: &PolygenSchema) -> Result<Iom, PqpError> {
                         // The raw retrieve keeps local names, so the RHA
                         // (a polygen attribute of the scheme) localizes.
                         let rha = match &row.rha {
-                            Rha::Attr(pa) => {
-                                Rha::Attr(localize_attr(scheme, pa, db, rel, k + 1)?)
-                            }
+                            Rha::Attr(pa) => Rha::Attr(localize_attr(scheme, pa, db, rel, k + 1)?),
                             other => other.clone(),
                         };
                         let retrieve_pr = emit_retrieve(&mut out, rel, db);

@@ -145,7 +145,9 @@ fn push_selects(
         if row.op != Op::Select || row.el != ExecLoc::Pqp {
             continue;
         }
-        let RelRef::Derived(src) = &row.lhr else { continue };
+        let RelRef::Derived(src) = &row.lhr else {
+            continue;
+        };
         let Some(base) = by_pr.get(src) else { continue };
         if base.op != Op::Retrieve || uses.get(src).copied().unwrap_or(0) != 1 {
             continue;
@@ -153,14 +155,20 @@ fn push_selects(
         let (RelRef::Named(rel), ExecLoc::Lqp(db)) = (&base.lhr, &base.el) else {
             continue;
         };
-        let Some(lqp) = registry.get(db) else { continue };
+        let Some(lqp) = registry.get(db) else {
+            continue;
+        };
         if !lqp.capabilities().pushdown_select {
             continue;
         }
         // The select attribute must name a raw column of the local
         // relation — resolve polygen names through the schema.
-        let Some(local_schema) = lqp.schema_of(rel) else { continue };
-        let Some(attr) = row.lha.first() else { continue };
+        let Some(local_schema) = lqp.schema_of(rel) else {
+            continue;
+        };
+        let Some(attr) = row.lha.first() else {
+            continue;
+        };
         let local_attr = if local_schema.contains(attr) {
             attr.clone()
         } else {
@@ -266,11 +274,7 @@ mod tests {
         let registry = scenario_registry(&s);
         // PCAREER joined with itself retrieves CAREER twice.
         let iom = compile("PCAREER [AID# = AID#] PCAREER", &s);
-        let retrieves_before = iom
-            .rows
-            .iter()
-            .filter(|r| r.op == Op::Retrieve)
-            .count();
+        let retrieves_before = iom.rows.iter().filter(|r| r.op == Op::Retrieve).count();
         assert_eq!(retrieves_before, 2);
         let (opt, report) = optimize(&iom, &registry, &s.dictionary).unwrap();
         assert_eq!(report.retrieves_deduped, 1);

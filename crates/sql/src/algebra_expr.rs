@@ -113,8 +113,7 @@ impl AlgebraExpr {
             AlgebraExpr::Select { input, .. }
             | AlgebraExpr::Restrict { input, .. }
             | AlgebraExpr::Project { input, .. } => input.walk_relations(out),
-            AlgebraExpr::Join { left, right, .. }
-            | AlgebraExpr::AntiJoin { left, right, .. } => {
+            AlgebraExpr::Join { left, right, .. } | AlgebraExpr::AntiJoin { left, right, .. } => {
                 left.walk_relations(out);
                 right.walk_relations(out);
             }
@@ -135,8 +134,9 @@ impl AlgebraExpr {
             AlgebraExpr::Select { input, .. }
             | AlgebraExpr::Restrict { input, .. }
             | AlgebraExpr::Project { input, .. } => 1 + input.size(),
-            AlgebraExpr::Join { left, right, .. }
-            | AlgebraExpr::AntiJoin { left, right, .. } => 1 + left.size() + right.size(),
+            AlgebraExpr::Join { left, right, .. } | AlgebraExpr::AntiJoin { left, right, .. } => {
+                1 + left.size() + right.size()
+            }
             AlgebraExpr::Union(a, b)
             | AlgebraExpr::Difference(a, b)
             | AlgebraExpr::Product(a, b)
@@ -404,7 +404,9 @@ impl P {
                             value: Value::float(x),
                         })
                     }
-                    Some(t) => Err(self.err(format!("expected attribute or constant, found `{t}`"))),
+                    Some(t) => {
+                        Err(self.err(format!("expected attribute or constant, found `{t}`")))
+                    }
                     None => Err(self.err("unterminated bracket operation")),
                 }
             }
@@ -458,7 +460,10 @@ mod tests {
         };
         assert_eq!(attrs, &["ONAME", "CEO"]);
         // Next: restrict CEO = ANAME.
-        let AlgebraExpr::Restrict { input, left, right, .. } = input.as_ref() else {
+        let AlgebraExpr::Restrict {
+            input, left, right, ..
+        } = input.as_ref()
+        else {
             panic!("expected restrict");
         };
         assert_eq!((left.as_str(), right.as_str()), ("CEO", "ANAME"));
@@ -468,10 +473,7 @@ mod tests {
         };
         assert_eq!(rattr, "ONAME");
         assert_eq!(right.as_ref(), &AlgebraExpr::rel("PORGANIZATION"));
-        assert_eq!(
-            e.relations(),
-            vec!["PALUMNUS", "PCAREER", "PORGANIZATION"]
-        );
+        assert_eq!(e.relations(), vec!["PALUMNUS", "PCAREER", "PORGANIZATION"]);
         assert_eq!(e.size(), 5);
     }
 
@@ -510,7 +512,9 @@ mod tests {
     fn set_operators_left_associative() {
         let e = parse_algebra("A UNION B MINUS C").unwrap();
         assert!(matches!(e, AlgebraExpr::Difference(_, _)));
-        let AlgebraExpr::Difference(l, _) = e else { unreachable!() };
+        let AlgebraExpr::Difference(l, _) = e else {
+            unreachable!()
+        };
         assert!(matches!(*l, AlgebraExpr::Union(_, _)));
         let t = parse_algebra("A TIMES B INTERSECT C").unwrap();
         assert!(matches!(t, AlgebraExpr::Intersect(_, _)));

@@ -89,7 +89,10 @@ pub enum LowerError {
     /// An attribute belongs to none of the query's relations.
     UnresolvedAttribute(String),
     /// An attribute belongs to several relations in scope.
-    AmbiguousAttribute { attr: String, candidates: Vec<String> },
+    AmbiguousAttribute {
+        attr: String,
+        candidates: Vec<String>,
+    },
     /// An `IN` subquery must SELECT exactly one attribute.
     BadSubquerySelect(String),
     /// Strict mode refused a range-variable reuse the paper mode permits.
@@ -517,8 +520,7 @@ fn apply_item(ctx: &mut Ctx<'_>, from: &[String], item: &Item) -> Result<bool, L
             query: sub,
         } => {
             let owner = ctx.owner_of(attr, from)?;
-            let (sub_expr, sub_avail, sub_out) =
-                lower_subquery(sub, ctx.schema, ctx.options)?;
+            let (sub_expr, sub_avail, sub_out) = lower_subquery(sub, ctx.schema, ctx.options)?;
             if !ctx.options.reuse_subquery_relations {
                 for rel in &sub_avail {
                     if from.contains(rel) {
@@ -725,7 +727,10 @@ mod tests {
         // MAJOR (PALUMNUS, filtered) joins POSITION (PCAREER).
         let shown = e.to_string();
         assert!(shown.contains("[MAJOR = POSITION]"), "{shown}");
-        assert!(shown.contains("PALUMNUS [ANAME = \"Bob Swanson\"]"), "{shown}");
+        assert!(
+            shown.contains("PALUMNUS [ANAME = \"Bob Swanson\"]"),
+            "{shown}"
+        );
     }
 
     #[test]
@@ -792,10 +797,10 @@ mod tests {
         let e = lower(&q, &mit_schema(), LoweringOptions::default()).unwrap();
         let shown = e.to_string();
         // The subquery joins the already-filtered PORGANIZATION chain.
+        assert!(shown.contains("PFINANCE [YEAR = 1989]"), "{shown}");
         assert!(
-            shown.contains("PFINANCE [YEAR = 1989]"),
+            shown.contains("PORGANIZATION [INDUSTRY = \"Banking\"]"),
             "{shown}"
         );
-        assert!(shown.contains("PORGANIZATION [INDUSTRY = \"Banking\"]"), "{shown}");
     }
 }

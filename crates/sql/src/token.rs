@@ -299,7 +299,9 @@ mod tests {
 
     #[test]
     fn lexes_the_paper_query() {
-        let toks = lex("SELECT CEO FROM PORGANIZATION, PALUMNUS WHERE CEO = ANAME AND DEGREE = \"MBA\"").unwrap();
+        let toks =
+            lex("SELECT CEO FROM PORGANIZATION, PALUMNUS WHERE CEO = ANAME AND DEGREE = \"MBA\"")
+                .unwrap();
         assert_eq!(toks[0], Tok::Select);
         assert!(toks.contains(&Tok::Ident("PORGANIZATION".into())));
         assert!(toks.contains(&Tok::StrLit("MBA".into())));
@@ -331,7 +333,15 @@ mod tests {
     fn comparison_operators() {
         assert_eq!(
             lex("= <> != < <= > >=").unwrap(),
-            vec![Tok::Eq, Tok::Ne, Tok::Ne, Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge]
+            vec![
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Ne,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge
+            ]
         );
     }
 

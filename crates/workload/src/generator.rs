@@ -91,10 +91,7 @@ pub fn build_schema(sources: usize) -> PolygenSchema {
     }
     let pentity = PolygenScheme::new(
         "PENTITY",
-        attrs
-            .iter()
-            .map(|(a, m)| (a.as_str(), m.clone()))
-            .collect(),
+        attrs.iter().map(|(a, m)| (a.as_str(), m.clone())).collect(),
     );
     let pdetail = PolygenScheme::new(
         "PDETAIL",
@@ -114,7 +111,9 @@ pub fn generate(config: &WorkloadConfig) -> Scenario {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let zipf = Zipf::new(config.categories);
     // Canonical category per entity (sources agree unless conflicted).
-    let canon_cat: Vec<usize> = (0..config.entities).map(|_| zipf.sample(&mut rng)).collect();
+    let canon_cat: Vec<usize> = (0..config.entities)
+        .map(|_| zipf.sample(&mut rng))
+        .collect();
     // Which sources cover which entity: Bernoulli(coverage), with a
     // guaranteed owner so the pool size is exact.
     let mut coverage: Vec<Vec<bool>> = Vec::with_capacity(config.entities);
@@ -144,9 +143,7 @@ pub fn generate(config: &WorkloadConfig) -> Scenario {
             if !coverage[e][s] {
                 continue;
             }
-            let cat = if config.conflict_rate > 0.0
-                && rng.random::<f64>() < config.conflict_rate
-            {
+            let cat = if config.conflict_rate > 0.0 && rng.random::<f64>() < config.conflict_rate {
                 // Deviant assertion: a different category.
                 (canon_cat[e] + 1 + rng.random_range(0..config.categories.max(2) - 1))
                     % config.categories
@@ -162,8 +159,7 @@ pub fn generate(config: &WorkloadConfig) -> Scenario {
         }
         let mut relations = vec![builder.finish().expect("entity relation")];
         if s == 0 {
-            let mut detail =
-                Relation::build("DETAIL", &["DID", "DNAME", "DSCORE"]).key(&["DID"]);
+            let mut detail = Relation::build("DETAIL", &["DID", "DNAME", "DSCORE"]).key(&["DID"]);
             for d in 0..config.detail_rows {
                 let e = rng.random_range(0..config.entities);
                 detail = detail.vrow(vec![
@@ -179,8 +175,11 @@ pub fn generate(config: &WorkloadConfig) -> Scenario {
             relations,
         });
     }
-    let mut dictionary =
-        DataDictionary::with_parts(Default::default(), build_schema(config.sources), DomainMap::new());
+    let mut dictionary = DataDictionary::with_parts(
+        Default::default(),
+        build_schema(config.sources),
+        DomainMap::new(),
+    );
     for s in 0..config.sources {
         let id = dictionary.intern_source(&source_name(s));
         // Descending credibility by index: S0 most trusted.

@@ -18,9 +18,7 @@ pub fn select_query(category: usize) -> String {
 /// The detail→entity join with a score filter, projected:
 /// `((PDETAIL [SCORE >= s]) [ENAME = ENAME] PENTITY) [ENAME, CATEGORY]`.
 pub fn join_query(min_score: i64) -> String {
-    format!(
-        "((PDETAIL [SCORE >= {min_score}]) [ENAME = ENAME] PENTITY) [ENAME, CATEGORY]"
-    )
+    format!("((PDETAIL [SCORE >= {min_score}]) [ENAME = ENAME] PENTITY) [ENAME, CATEGORY]")
 }
 
 /// The paper-query shape in SQL over the synthetic schema (an IN-subquery
@@ -49,7 +47,10 @@ pub fn random_expression(config: &WorkloadConfig, seed: u64, depth: usize) -> Al
                 joined_detail = true;
             }
             1 => {
-                text = format!("({text}) [CATEGORY <> \"C{}\"]", rng.random_range(0..config.categories));
+                text = format!(
+                    "({text}) [CATEGORY <> \"C{}\"]",
+                    rng.random_range(0..config.categories)
+                );
             }
             _ => {
                 text = format!("({text}) [ENAME, CATEGORY]");
@@ -76,9 +77,7 @@ mod tests {
 
     #[test]
     fn generated_queries_run_end_to_end() {
-        let config = WorkloadConfig::default()
-            .with_entities(100)
-            .with_sources(3);
+        let config = WorkloadConfig::default().with_entities(100).with_sources(3);
         let scenario = generate(&config);
         let pqp = Pqp::for_scenario(&scenario);
         let out = pqp.query_algebra(&select_query(0)).unwrap();

@@ -82,7 +82,10 @@ fn main() {
     ];
     let (merged, conflicts) =
         merge_by_credibility(&inputs, "ONAME", &s.dictionary).expect("credibility merge");
-    println!("credibility policy settled {} conflict(s):", conflicts.len());
+    println!(
+        "credibility policy settled {} conflict(s):",
+        conflicts.len()
+    );
     for c in &conflicts {
         println!(
             "  {}: kept `{}`, rejected `{}` (decided by {})",

@@ -10,8 +10,8 @@
 //! ```
 
 use polygen::catalog::prelude::scenario;
-use polygen::core::prelude::*;
 use polygen::core::algebra::{coalesce, outer_join};
+use polygen::core::prelude::*;
 use polygen::lqp::prelude::*;
 use polygen::pqp::prelude::*;
 use polygen::sql::prelude::PAPER_EXPRESSION;
@@ -42,7 +42,11 @@ fn main() {
     };
     table(4, "result of row 1 (Select at AD)", 1);
     table(5, "result of rows 2-3 (Join with CAREER)", 3);
-    table(6, "result of rows 4-7 (Merge of BUSINESS, CORPORATION, FIRM)", 7);
+    table(
+        6,
+        "result of rows 4-7 (Merge of BUSINESS, CORPORATION, FIRM)",
+        7,
+    );
     table(7, "result of row 8 (Join with the merged organizations)", 8);
     table(8, "result of row 9 (Restrict CEO = ANAME)", 9);
     table(9, "result of row 10 (the composite answer)", 10);
@@ -81,7 +85,14 @@ fn main() {
     let a8 = coalesce(&a7, "ONAME", "FNAME", "ONAME", ConflictPolicy::Strict).unwrap();
     println!("== Table A8: Outer Natural Primary Join of A6 and A3 ==\n");
     println!("{}", render_relation(&a8, reg));
-    let a9 = coalesce(&a8, "HEADQUARTERS", "HQ", "HEADQUARTERS", ConflictPolicy::Strict).unwrap();
+    let a9 = coalesce(
+        &a8,
+        "HEADQUARTERS",
+        "HQ",
+        "HEADQUARTERS",
+        ConflictPolicy::Strict,
+    )
+    .unwrap();
     println!("== Table A9 (= Table 6): Outer Natural Total Join of A6 and A3 ==\n");
     println!("{}", render_relation(&a9, reg));
 

@@ -39,13 +39,16 @@ fn main() {
         vec![
             (
                 "TICKER",
-                AttributeMapping::of(&[
-                    ("FUND", "WATCH", "TICKER"),
-                    ("NEWS", "COMPANIES", "SYM"),
-                ]),
+                AttributeMapping::of(&[("FUND", "WATCH", "TICKER"), ("NEWS", "COMPANIES", "SYM")]),
             ),
-            ("RATING", AttributeMapping::of(&[("FUND", "WATCH", "RATING")])),
-            ("SECTOR", AttributeMapping::of(&[("NEWS", "COMPANIES", "SECTOR")])),
+            (
+                "RATING",
+                AttributeMapping::of(&[("FUND", "WATCH", "RATING")]),
+            ),
+            (
+                "SECTOR",
+                AttributeMapping::of(&[("NEWS", "COMPANIES", "SECTOR")]),
+            ),
         ],
     ));
 

@@ -21,8 +21,8 @@ use polygen::catalog::prelude::scenario;
 use polygen::core::prelude::*;
 use polygen::federation::prelude::audit_scheme;
 use polygen::lqp::prelude::*;
-use polygen::pqp::prelude::*;
 use polygen::pqp::explain::explain_with_cost;
+use polygen::pqp::prelude::*;
 use std::io::{self, BufRead, Write};
 use std::sync::Arc;
 
@@ -33,7 +33,9 @@ fn main() {
     let reg = pqp.dictionary().registry().clone();
 
     eprintln!("System P — polygen federation shell (MIT scenario: AD, PD, CD)");
-    eprintln!("type SQL, or \\a <algebra>, \\explain <sql>, \\schema, \\tables, \\audit <scheme>, \\quit");
+    eprintln!(
+        "type SQL, or \\a <algebra>, \\explain <sql>, \\schema, \\tables, \\audit <scheme>, \\quit"
+    );
     let stdin = io::stdin();
     loop {
         eprint!("polygen> ");

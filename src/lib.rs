@@ -45,7 +45,9 @@ pub mod prelude {
         PolygenError, PolygenRelation, SourceId, SourceRegistry, SourceSet,
     };
     pub use polygen_federation::prelude::*;
-    pub use polygen_flat::prelude::{Cmp, FlatError, Relation, RelationBuilder, Row, Schema, Value};
+    pub use polygen_flat::prelude::{
+        Cmp, FlatError, Relation, RelationBuilder, Row, Schema, Value,
+    };
     pub use polygen_lqp::prelude::*;
     pub use polygen_pqp::prelude::*;
     pub use polygen_sql::prelude::*;

@@ -31,8 +31,12 @@ fn parse_sources(letters: &str, reg: &SourceRegistry) -> SourceSet {
 
 /// Parse one `datum @o ^i` cell.
 fn parse_cell(text: &str, reg: &SourceRegistry) -> (Value, SourceSet, SourceSet) {
-    let at = text.find('@').unwrap_or_else(|| panic!("cell `{text}` missing @"));
-    let caret = text.find('^').unwrap_or_else(|| panic!("cell `{text}` missing ^"));
+    let at = text
+        .find('@')
+        .unwrap_or_else(|| panic!("cell `{text}` missing @"));
+    let caret = text
+        .find('^')
+        .unwrap_or_else(|| panic!("cell `{text}` missing ^"));
     assert!(at < caret, "cell `{text}`: expected @ before ^");
     let datum_text = text[..at].trim();
     let origins = text[at + 1..caret].trim();
@@ -89,7 +93,11 @@ pub fn check_table(
         "{label}: row count mismatch\nactual:\n{}",
         rel.tuples()
             .iter()
-            .map(|t| t.iter().map(|c| show_cell(c, reg)).collect::<Vec<_>>().join(" | "))
+            .map(|t| t
+                .iter()
+                .map(|c| show_cell(c, reg))
+                .collect::<Vec<_>>()
+                .join(" | "))
             .collect::<Vec<_>>()
             .join("\n")
     );

@@ -102,7 +102,10 @@ fn menu_driven_feed_without_adapter_rejects_pushdown() {
     for db in &s.databases {
         let inner = InMemoryLqp::new(&db.name, db.relations.clone());
         if db.name == "AD" {
-            registry.register(Arc::new(MenuDrivenLqp::new(inner, CostModel::slow_remote())));
+            registry.register(Arc::new(MenuDrivenLqp::new(
+                inner,
+                CostModel::slow_remote(),
+            )));
         } else {
             registry.register(Arc::new(inner));
         }
@@ -196,9 +199,7 @@ fn audits_and_credibility_over_live_federation() {
     assert_eq!(report.inconsistent_keys(), 8);
 
     let pqp = Pqp::for_scenario(&s);
-    let out = pqp
-        .query_algebra("PORGANIZATION [ONAME, CEO]")
-        .unwrap();
+    let out = pqp.query_algebra("PORGANIZATION [ONAME, CEO]").unwrap();
     let ranks = rank_tuples(&out.answer, &s.dictionary);
     assert_eq!(ranks.len(), 12);
     // AD-backed tuples (credibility 0.9 floor) rank above CD-only data.

@@ -233,7 +233,14 @@ fn tables_a7_a8_a9_second_join() {
             "Banker's Trust @PC ^PC | Finance @P ^PC | NY @P ^PC | Charles Sanford @C ^PC | NY @C ^PC",
         ],
     );
-    let a9 = coalesce(&a8, "HEADQUARTERS", "HQ", "HEADQUARTERS", ConflictPolicy::Strict).unwrap();
+    let a9 = coalesce(
+        &a8,
+        "HEADQUARTERS",
+        "HQ",
+        "HEADQUARTERS",
+        ConflictPolicy::Strict,
+    )
+    .unwrap();
     check_table(
         "Table A9 (= Table 6)",
         &a9,
@@ -269,13 +276,17 @@ fn a9_equals_merge_output() {
         .unwrap();
     let a7 = outer_join(&a6, &f.firm, "ONAME", "FNAME").unwrap();
     let a8 = coalesce(&a7, "ONAME", "FNAME", "ONAME", ConflictPolicy::Strict).unwrap();
-    let a9 = coalesce(&a8, "HEADQUARTERS", "HQ", "HEADQUARTERS", ConflictPolicy::Strict).unwrap();
+    let a9 = coalesce(
+        &a8,
+        "HEADQUARTERS",
+        "HQ",
+        "HEADQUARTERS",
+        ConflictPolicy::Strict,
+    )
+    .unwrap();
 
     // Merge path: relabel to polygen names, fold ONTJ.
-    let business = f
-        .business
-        .rename_attrs(&["ONAME", "INDUSTRY"])
-        .unwrap();
+    let business = f.business.rename_attrs(&["ONAME", "INDUSTRY"]).unwrap();
     let corporation = f
         .corporation
         .rename_attrs(&["ONAME", "INDUSTRY", "HEADQUARTERS"])
@@ -293,10 +304,8 @@ fn a9_equals_merge_output() {
     assert!(conflicts.is_empty());
     // Column order differs (CEO vs HEADQUARTERS placement); compare
     // projected onto A9's order.
-    let merged_reordered = polygen::core::algebra::project(
-        &merged,
-        &["ONAME", "INDUSTRY", "HEADQUARTERS", "CEO"],
-    )
-    .unwrap();
+    let merged_reordered =
+        polygen::core::algebra::project(&merged, &["ONAME", "INDUSTRY", "HEADQUARTERS", "CEO"])
+            .unwrap();
     assert!(a9.tagged_set_eq(&merged_reordered));
 }

@@ -22,7 +22,9 @@ const PAPER_SQL: &str = "SELECT ONAME, CEO \
 fn outcome() -> (QueryOutcome, polygen::core::SourceRegistry) {
     let s = scenario::build();
     let pqp = Pqp::for_scenario(&s);
-    let out = pqp.query_algebra(PAPER_EXPRESSION).expect("paper query runs");
+    let out = pqp
+        .query_algebra(PAPER_EXPRESSION)
+        .expect("paper query runs");
     let reg = pqp.dictionary().registry().clone();
     (out, reg)
 }
@@ -69,7 +71,14 @@ fn table2_half_processed_iom() {
     for (row, (op, lhr, lha, rha, rhr, el)) in out.compiled.half.rows.iter().zip(expected) {
         assert_eq!(row.op.to_string(), op);
         assert_eq!(row.lhr.to_string(), lhr);
-        assert_eq!(row.lha.join(", "), if lha == "nil" { String::new() } else { lha.into() });
+        assert_eq!(
+            row.lha.join(", "),
+            if lha == "nil" {
+                String::new()
+            } else {
+                lha.into()
+            }
+        );
         assert_eq!(row.rha.to_string(), rha);
         assert_eq!(row.rhr.to_string(), rhr);
         assert_eq!(row.el.to_string(), el);
@@ -266,9 +275,6 @@ fn observation3_tag_to_triplet_explanation() {
         .dictionary
         .explain_attribute("PORGANIZATION", "ONAME", &genentech.origin);
     let shown: Vec<String> = triplets.iter().map(|t| t.to_string()).collect();
-    assert_eq!(
-        shown,
-        vec!["(AD, BUSINESS, BNAME)", "(CD, FIRM, FNAME)"]
-    );
+    assert_eq!(shown, vec!["(AD, BUSINESS, BNAME)", "(CD, FIRM, FNAME)"]);
     let _ = reg;
 }

@@ -71,9 +71,7 @@ fn intro_query_plan_shape() {
             "Retrieve", // BUSINESS
             "Retrieve", // CORPORATION
             "Retrieve", // FIRM
-            "Merge",
-            "Join",
-            "Project"
+            "Merge", "Join", "Project"
         ]
     );
     let (lqp_rows, pqp_rows) = out.compiled.iom.routing_counts();
@@ -105,10 +103,8 @@ fn both_sides_polygen_join() {
             "Retrieve", // BUSINESS
             "Retrieve", // CORPORATION
             "Retrieve", // FIRM
-            "Merge",
-            "Retrieve", // ALUMNUS — the pulled-up left side
-            "Join",
-            "Project"
+            "Merge", "Retrieve", // ALUMNUS — the pulled-up left side
+            "Join", "Project"
         ]
     );
     // Every CEO in the answer is an alumnus; 4 alumni are CEOs of listed
@@ -132,7 +128,10 @@ fn student_and_interview_schemes() {
     let pd = pqp.dictionary().registry().lookup("PD").unwrap();
     for t in strong.answer.tuples() {
         assert!(t[0].origin.contains(pd));
-        assert!(t[0].intermediate.is_empty(), "LQP select leaves no mediators");
+        assert!(
+            t[0].intermediate.is_empty(),
+            "LQP select leaves no mediators"
+        );
     }
     // Students interviewing with organizations known to the company DB.
     let out = pqp
@@ -141,7 +140,10 @@ fn student_and_interview_schemes() {
         )
         .unwrap();
     let data = out.answer.strip();
-    assert!(data.len() >= 3, "IBM/Oracle/Banker's Trust/Citicorp interviews");
+    assert!(
+        data.len() >= 3,
+        "IBM/Oracle/Banker's Trust/Citicorp interviews"
+    );
     assert!(data
         .rows()
         .iter()

@@ -30,9 +30,7 @@ fn estimated_shipping_matches_actual_within_reason() {
 
 #[test]
 fn optimizer_never_raises_estimated_shipping() {
-    let config = WorkloadConfig::default()
-        .with_entities(200)
-        .with_sources(4);
+    let config = WorkloadConfig::default().with_entities(200).with_sources(4);
     let sc = workload::generate(&config);
     let naive = Pqp::for_scenario(&sc);
     let optimized = Pqp::for_scenario(&sc).with_options(PqpOptions {

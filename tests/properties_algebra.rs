@@ -21,7 +21,11 @@ use std::sync::Arc;
 /// random origin/intermediate sets (ids up to 300 to cross the source
 /// set's inline/heap boundary).
 fn tagged_relation(max_rows: usize) -> impl Strategy<Value = PolygenRelation> {
-    let cell = (0i64..6, proptest::collection::vec(0u16..300, 0..3), proptest::collection::vec(0u16..300, 0..2))
+    let cell = (
+        0i64..6,
+        proptest::collection::vec(0u16..300, 0..3),
+        proptest::collection::vec(0u16..300, 0..2),
+    )
         .prop_map(|(v, o, i)| {
             Cell::new(
                 Value::Int(v),
@@ -187,7 +191,10 @@ mod merge_order {
     /// attribute values (no conflicts possible), each covering a random
     /// subset of entities.
     fn merge_inputs() -> impl Strategy<Value = Vec<PolygenRelation>> {
-        (2usize..5, proptest::collection::vec(proptest::collection::vec(any::<bool>(), 8), 2..5))
+        (
+            2usize..5,
+            proptest::collection::vec(proptest::collection::vec(any::<bool>(), 8), 2..5),
+        )
             .prop_map(|(_, coverage)| {
                 coverage
                     .into_iter()
@@ -205,8 +212,14 @@ mod merge_order {
                             .filter(|(_, c)| **c)
                             .map(|(e, _)| {
                                 vec![
-                                    Cell::retrieved(Value::str(format!("E{e}")), SourceId(src as u16)),
-                                    Cell::retrieved(Value::Int((e % 3) as i64), SourceId(src as u16)),
+                                    Cell::retrieved(
+                                        Value::str(format!("E{e}")),
+                                        SourceId(src as u16),
+                                    ),
+                                    Cell::retrieved(
+                                        Value::Int((e % 3) as i64),
+                                        SourceId(src as u16),
+                                    ),
                                 ]
                             })
                             .collect();

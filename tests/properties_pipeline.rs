@@ -17,12 +17,10 @@ fn sql_query() -> impl Strategy<Value = String> {
     ];
     let deg = prop_oneof![Just("MBA".to_string()), Just("MS".to_string())];
     prop_oneof![
-        cat.clone().prop_map(|c| format!(
-            "SELECT ONAME, CEO FROM PORGANIZATION WHERE INDUSTRY = \"{c}\""
-        )),
-        deg.clone().prop_map(|d| format!(
-            "SELECT ANAME FROM PALUMNUS WHERE DEGREE = \"{d}\""
-        )),
+        cat.clone()
+            .prop_map(|c| format!("SELECT ONAME, CEO FROM PORGANIZATION WHERE INDUSTRY = \"{c}\"")),
+        deg.clone()
+            .prop_map(|d| format!("SELECT ANAME FROM PALUMNUS WHERE DEGREE = \"{d}\"")),
         (cat.clone(), deg.clone()).prop_map(|(c, d)| format!(
             "SELECT ONAME FROM PORGANIZATION WHERE INDUSTRY = \"{c}\" AND ONAME IN \
              (SELECT ONAME FROM PCAREER WHERE AID# IN \

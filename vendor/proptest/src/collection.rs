@@ -1,0 +1,74 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Acceptable length specifications for [`vec`]: an exact `usize` or a
+/// half-open `Range<usize>`.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            min: exact,
+            max_exclusive: exact + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty vec size range");
+        SizeRange {
+            min: range.start,
+            max_exclusive: range.end,
+        }
+    }
+}
+
+/// Strategy yielding vectors whose elements come from `element`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.size.max_exclusive - self.size.min) as u64;
+        let len = self.size.min + rng.below(span) as usize;
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// Generate vectors of values from `element` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_and_ranged_lengths() {
+        let mut rng = TestRng::for_test("vec");
+        let exact = vec(0u8..10, 3);
+        assert_eq!(exact.new_value(&mut rng).len(), 3);
+        let ranged = vec(0u8..10, 1..5);
+        for _ in 0..100 {
+            let v = ranged.new_value(&mut rng);
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+}

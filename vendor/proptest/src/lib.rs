@@ -1,0 +1,87 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of proptest's API the workspace tests use: the
+//! [`Strategy`] trait with `prop_map`, range / tuple / [`Just`] strategies,
+//! [`collection::vec`], [`any`], `prop_oneof!`, `ProptestConfig::with_cases`,
+//! and the `proptest!` / `prop_assert*` macros.
+//!
+//! It is a real randomized property tester — each `#[test]` runs its body
+//! over `cases` freshly generated inputs from a per-test deterministic seed —
+//! but it does **not** shrink failures or persist regression files. Failures
+//! therefore report the full failing input via the standard panic message.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop import mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests: an optional `#![proptest_config(..)]` header, then
+/// `fn name(pattern in strategy, ...) { body }` items (attributes allowed).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($config:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $config;
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                // Build the strategies once; tuples of strategies are
+                // themselves a strategy, generating componentwise.
+                let __strategy = ($(($strat),)+);
+                for __case in 0..__config.cases {
+                    let __case: u32 = __case;
+                    let ($($pat,)+) =
+                        $crate::strategy::Strategy::new_value(&__strategy, &mut __rng);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Choose uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![$($crate::strategy::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Assert within a property (stub: plain `assert!`, aborting the run).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)+) => { assert!($($args)+) };
+}
+
+/// Equality assert within a property (stub: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)+) => { assert_eq!($($args)+) };
+}
+
+/// Inequality assert within a property (stub: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)+) => { assert_ne!($($args)+) };
+}
