@@ -1,15 +1,18 @@
-//! Merge scaling: source count × overlap.
+//! Merge scaling: source count × overlap × strategy.
 //!
 //! The paper's Merge is a fold of Outer Natural Total Joins; its cost
 //! grows with both the number of sources (fold length, column growth)
 //! and the key overlap (matched rows coalesce, unmatched rows pad).
 //! "Hundreds of databases" is the paper's stated target environment —
-//! this bench shows where the fold starts to hurt.
+//! this bench shows where the fold starts to hurt, and measures the
+//! physical engine's k-way single-pass `hash_merge` against it
+//! (`merge/strategy`): at production scale (≥4 sources × 10k tuples) the
+//! hash merge must beat the fold by well over 2×.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use polygen_bench::merge_operands;
 use polygen_core::algebra::coalesce::ConflictPolicy;
-use polygen_core::algebra::merge::merge;
+use polygen_core::algebra::merge::{hash_merge, merge};
 use polygen_lqp::scenario_registry;
 use polygen_workload::{generate, WorkloadConfig};
 use std::hint::black_box;
@@ -78,10 +81,43 @@ fn entity_pool_sweep(c: &mut Criterion) {
     g.finish();
 }
 
+/// ONTJ fold vs k-way single-pass hash merge at production scale.
+fn strategy_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merge/strategy");
+    // The fold baseline takes seconds per iteration at 10k tuples; keep
+    // the sample count minimal (the CI sampling mode clamps it further).
+    g.sample_size(3);
+    for (sources, entities) in [(4usize, 10_000usize), (8, 2_000)] {
+        let config = WorkloadConfig {
+            entities,
+            detail_rows: 1,
+            coverage: 1.0,
+            ..WorkloadConfig::default().with_sources(sources)
+        };
+        let scenario = generate(&config);
+        let registry = scenario_registry(&scenario);
+        let operands = merge_operands("PENTITY", &scenario, &registry);
+        g.bench_with_input(
+            BenchmarkId::new("fold", format!("{sources}x{entities}")),
+            &operands,
+            |b, ops| b.iter(|| merge(black_box(ops), "ENAME", ConflictPolicy::Strict).unwrap()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("hash", format!("{sources}x{entities}")),
+            &operands,
+            |b, ops| {
+                b.iter(|| hash_merge(black_box(ops), "ENAME", ConflictPolicy::Strict).unwrap())
+            },
+        );
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     source_count_sweep,
     overlap_sweep,
-    entity_pool_sweep
+    entity_pool_sweep,
+    strategy_sweep
 );
 criterion_main!(benches);

@@ -6,8 +6,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use polygen_bench::{merge_operands, mit_setup};
 use polygen_core::algebra::coalesce::ConflictPolicy;
 use polygen_core::algebra::{coalesce, merge::merge, outer_join};
+use polygen_pqp::analyzer::analyze;
+use polygen_pqp::executor::{execute, execute_eager, ExecOptions};
+use polygen_pqp::interpreter::interpret;
 use polygen_pqp::pqp::{Pqp, PqpOptions};
-use polygen_sql::algebra_expr::PAPER_EXPRESSION;
+use polygen_sql::algebra_expr::{parse_algebra, PAPER_EXPRESSION};
 use std::hint::black_box;
 
 fn paper_query(c: &mut Criterion) {
@@ -42,6 +45,39 @@ fn paper_query(c: &mut Criterion) {
             optimizing
                 .query_algebra(black_box(PAPER_EXPRESSION))
                 .unwrap()
+        })
+    });
+    g.finish();
+}
+
+/// Eager row-by-row reference interpreter vs the physical-plan engine on
+/// the same IOM — the executor-rewrite payoff in isolation.
+fn engine_comparison(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper/engine");
+    g.sample_size(40);
+    let (s, registry) = mit_setup();
+    let pom = analyze(&parse_algebra(PAPER_EXPRESSION).unwrap()).unwrap();
+    let (_, iom) = interpret(&pom, s.dictionary.schema()).unwrap();
+    g.bench_function("execute_eager", |b| {
+        b.iter(|| {
+            execute_eager(
+                black_box(&iom),
+                &registry,
+                &s.dictionary,
+                ExecOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("execute_physical", |b| {
+        b.iter(|| {
+            execute(
+                black_box(&iom),
+                &registry,
+                &s.dictionary,
+                ExecOptions::default(),
+            )
+            .unwrap()
         })
     });
     g.finish();
@@ -86,5 +122,10 @@ fn appendix_merge_chain(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, paper_query, appendix_merge_chain);
+criterion_group!(
+    benches,
+    paper_query,
+    engine_comparison,
+    appendix_merge_chain
+);
 criterion_main!(benches);

@@ -46,7 +46,11 @@ pub enum ConflictPolicy {
 /// A record of one resolved (or observed) coalesce conflict.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CoalesceConflict {
-    /// Index of the conflicting tuple in the *input* relation.
+    /// Index of the conflicting tuple — in the *input* relation for the
+    /// `coalesce*` family, in the *output* relation for
+    /// [`hash_merge`](crate::algebra::merge::hash_merge) (and into the
+    /// fold's intermediate join products on its fallback path). Treat as
+    /// diagnostic context, not a stable row key.
     pub tuple_index: usize,
     /// The output attribute name.
     pub attribute: String,
@@ -58,7 +62,9 @@ pub struct CoalesceConflict {
 
 /// Merge the matching-data or one-sided-nil cases per the paper.
 /// Returns `None` on a genuine conflict (both non-nil, unequal).
-fn coalesce_cells(x: &Cell, y: &Cell) -> Option<Cell> {
+/// Shared with the single-pass kernels (`hash_merge`, the fused
+/// equi-join) so both engines coalesce identically.
+pub(crate) fn coalesce_cells(x: &Cell, y: &Cell) -> Option<Cell> {
     if x.datum == y.datum {
         let mut merged = x.clone();
         merged.absorb_tags(y);
@@ -81,7 +87,7 @@ impl ConflictPolicy {
     }
 }
 
-fn conflict_winner(policy: ConflictPolicy, x: &Cell, y: &Cell) -> Option<Cell> {
+pub(crate) fn conflict_winner(policy: ConflictPolicy, x: &Cell, y: &Cell) -> Option<Cell> {
     let (winner, loser) = match policy {
         ConflictPolicy::Strict => return None,
         ConflictPolicy::PreferLeft => (x, y),

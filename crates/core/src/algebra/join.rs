@@ -11,10 +11,11 @@
 //! has one `AID#` column, Table 7 one `ONAME` column whose origin sets are
 //! the unions of the two join attributes' origins.
 
-use crate::algebra::coalesce::{coalesce, ConflictPolicy};
+use crate::algebra::coalesce::{coalesce, coalesce_cells, ConflictPolicy};
 use crate::error::PolygenError;
 use crate::relation::PolygenRelation;
 use crate::tuple::{self, PolyTuple};
+use polygen_flat::schema::Schema;
 use polygen_flat::value::{Cmp, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -44,34 +45,10 @@ pub fn theta_join(
         tuples.push(t);
     };
     if cmp == Cmp::Eq {
-        let mut index: HashMap<&Value, Vec<&PolyTuple>> = HashMap::with_capacity(p2.len());
-        for b in p2.tuples() {
-            if !b[yi].is_nil() {
-                index.entry(&b[yi].datum).or_default().push(b);
-            }
-        }
-        for a in p1.tuples() {
-            if a[xi].is_nil() {
-                continue;
-            }
-            if let Some(matches) = index.get(&a[xi].datum) {
-                for b in matches {
-                    if a[xi].datum.satisfies(Cmp::Eq, &b[yi].datum) {
-                        emit(a, b);
-                    }
-                }
-            }
-            // Mixed numeric types (Int = Float) do not share hash buckets.
-            if matches!(a[xi].datum, Value::Int(_) | Value::Float(_)) {
-                for b in p2.tuples() {
-                    if std::mem::discriminant(&a[xi].datum) != std::mem::discriminant(&b[yi].datum)
-                        && a[xi].datum.satisfies(Cmp::Eq, &b[yi].datum)
-                    {
-                        emit(a, b);
-                    }
-                }
-            }
-        }
+        probe_equi(p1, xi, p2, yi, &mut |a, b| {
+            emit(a, b);
+            Ok(())
+        })?;
     } else {
         for a in p1.tuples() {
             for b in p2.tuples() {
@@ -82,6 +59,54 @@ pub fn theta_join(
         }
     }
     PolygenRelation::from_tuples(schema, tuples)
+}
+
+/// Hash build + probe over `p1[xi] = p2[yi]`, calling `emit` for every
+/// matching pair. `nil` keys never match; Int/Float cross-bucket
+/// equalities (`1 = 1.0`) are found by a rescan of the build side that
+/// only runs when both discriminants actually occur in the key columns.
+/// The single probe loop shared by [`theta_join`]'s equality fast path
+/// and the fused [`hash_equi_join_coalesced`] kernel — so the two can
+/// never diverge on match semantics.
+fn probe_equi<E>(
+    p1: &PolygenRelation,
+    xi: usize,
+    p2: &PolygenRelation,
+    yi: usize,
+    emit: &mut E,
+) -> Result<(), PolygenError>
+where
+    E: FnMut(&PolyTuple, &PolyTuple) -> Result<(), PolygenError>,
+{
+    let mut index: HashMap<&Value, Vec<&PolyTuple>> = HashMap::with_capacity(p2.len());
+    for b in p2.tuples() {
+        if !b[yi].is_nil() {
+            index.entry(&b[yi].datum).or_default().push(b);
+        }
+    }
+    let mixed = mixed_numeric_keys(p1, xi, p2, yi);
+    for a in p1.tuples() {
+        if a[xi].is_nil() {
+            continue;
+        }
+        if let Some(matches) = index.get(&a[xi].datum) {
+            for b in matches {
+                if a[xi].datum.satisfies(Cmp::Eq, &b[yi].datum) {
+                    emit(a, b)?;
+                }
+            }
+        }
+        if mixed && matches!(a[xi].datum, Value::Int(_) | Value::Float(_)) {
+            for b in p2.tuples() {
+                if std::mem::discriminant(&a[xi].datum) != std::mem::discriminant(&b[yi].datum)
+                    && a[xi].datum.satisfies(Cmp::Eq, &b[yi].datum)
+                {
+                    emit(a, b)?;
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Equi-join that coalesces the two join columns into one column named
@@ -109,6 +134,107 @@ pub fn equi_join_coalesced(
         out,
         ConflictPolicy::Strict,
     )
+}
+
+/// Single-pass fused form of [`equi_join_coalesced`] — the physical-plan
+/// engine's join kernel. Produces the same relation cell-for-cell, but
+/// builds each output tuple once (join, tag update and join-column
+/// coalesce in one emit) instead of materializing the full θ-join and
+/// re-cloning every cell in a separate coalesce pass.
+pub fn hash_equi_join_coalesced(
+    p1: &PolygenRelation,
+    p2: &PolygenRelation,
+    x: &str,
+    y: &str,
+    out: &str,
+) -> Result<PolygenRelation, PolygenError> {
+    let xi = p1.schema().index_of(x)?.0;
+    let yi = p2.schema().index_of(y)?.0;
+    let schema = equi_join_coalesced_schema(p1.schema(), p2.schema(), x, y, out)?;
+    let mut tuples: Vec<PolyTuple> = Vec::new();
+    let mut emit = |a: &PolyTuple, b: &PolyTuple| -> Result<(), PolygenError> {
+        let merged = coalesce_cells(&a[xi], &b[yi]).ok_or_else(|| {
+            // Data equal through θ but not through `==` (Int vs Float):
+            // the reference path's strict coalesce rejects this too.
+            PolygenError::CoalesceConflict {
+                attribute: out.to_string(),
+                left: a[xi].datum.to_string(),
+                right: b[yi].datum.to_string(),
+            }
+        })?;
+        let mut t = Vec::with_capacity(a.len() + b.len() - 1);
+        for (i, c) in a.iter().enumerate() {
+            t.push(if i == xi { merged.clone() } else { c.clone() });
+        }
+        for (i, c) in b.iter().enumerate() {
+            if i != yi {
+                t.push(c.clone());
+            }
+        }
+        let mediators = a[xi].origin.union(&b[yi].origin);
+        tuple::add_intermediate_all(&mut t, &mediators);
+        tuples.push(t);
+        Ok(())
+    };
+    probe_equi(p1, xi, p2, yi, &mut emit)?;
+    PolygenRelation::from_tuples(schema, tuples)
+}
+
+/// Do the two join columns mix `Int` and `Float` data? Only then can an
+/// equality hold across hash buckets (`1 = 1.0`), forcing the per-probe
+/// rescan of the build side; for homogeneous keys — the common case —
+/// the hash path alone is complete and the join stays single-pass.
+fn mixed_numeric_keys(p1: &PolygenRelation, xi: usize, p2: &PolygenRelation, yi: usize) -> bool {
+    let (mut saw_int, mut saw_float) = (false, false);
+    for c in p1
+        .tuples()
+        .iter()
+        .map(|t| &t[xi])
+        .chain(p2.tuples().iter().map(|t| &t[yi]))
+    {
+        match c.datum {
+            Value::Int(_) => saw_int = true,
+            Value::Float(_) => saw_float = true,
+            _ => {}
+        }
+        if saw_int && saw_float {
+            return true;
+        }
+    }
+    false
+}
+
+/// The schema [`equi_join_coalesced`] ends with: the concatenated join
+/// schema with `x`'s position renamed to `out` and `y`'s column dropped.
+/// Public so the physical-plan lowerer predicts join output schemas
+/// without executing.
+pub fn equi_join_coalesced_schema(
+    s1: &Schema,
+    s2: &Schema,
+    x: &str,
+    y: &str,
+    out: &str,
+) -> Result<Arc<Schema>, PolygenError> {
+    let xi = s1.index_of(x)?.0;
+    let yi = s2.index_of(y)?.0;
+    let joined = s1.concat(s2, &format!("{}x{}", s1.name(), s2.name()))?;
+    let drop = s1.degree() + yi;
+    let mut attrs: Vec<Arc<str>> = Vec::with_capacity(joined.degree() - 1);
+    for (i, a) in joined.attrs().iter().enumerate() {
+        if i == drop {
+            continue;
+        }
+        attrs.push(if i == xi {
+            Arc::from(out)
+        } else {
+            Arc::clone(a)
+        });
+    }
+    Ok(Arc::new(Schema::from_parts(
+        joined.name(),
+        attrs,
+        Vec::new(),
+    )?))
 }
 
 #[cfg(test)]
@@ -182,6 +308,55 @@ mod tests {
         let key = j.cell("ANAME", &Value::str("Bob Swanson"), "AID#").unwrap();
         assert_eq!(key.datum, Value::int(123));
         assert!(key.origin.contains(sid(0)));
+    }
+
+    #[test]
+    fn mixed_numeric_keys_still_match_across_buckets() {
+        // A Float key must still meet its Int twin (1 = 1.0 holds through
+        // θ but not through the hash bucket) — in both the reference path
+        // and the single-pass kernel, now that the rescan is gated on the
+        // mix actually occurring.
+        let mut left = alumnus();
+        left.tuples_mut()[0][0].datum = Value::float(123.0);
+        let j = theta_join(&left, &career(), "AID#", Cmp::Eq, "AID#").unwrap();
+        assert_eq!(j.len(), 3, "123.0 matches Int 123; 234 matches twice");
+        // The coalesced kernel rejects the Int/Float pair strictly, like
+        // the reference coalesce does.
+        assert!(hash_equi_join_coalesced(&left, &career(), "AID#", "AID#", "AID#").is_err());
+        assert!(equi_join_coalesced(&left, &career(), "AID#", "AID#", "AID#").is_err());
+    }
+
+    #[test]
+    fn hash_equi_join_matches_reference() {
+        let reference = equi_join_coalesced(&alumnus(), &career(), "AID#", "AID#", "AID#").unwrap();
+        let fused =
+            hash_equi_join_coalesced(&alumnus(), &career(), "AID#", "AID#", "AID#").unwrap();
+        let ra: Vec<&str> = reference
+            .schema()
+            .attrs()
+            .iter()
+            .map(|a| a.as_ref())
+            .collect();
+        let fa: Vec<&str> = fused.schema().attrs().iter().map(|a| a.as_ref()).collect();
+        assert_eq!(ra, fa, "schemas diverge");
+        assert_eq!(reference.tuples(), fused.tuples(), "tuples diverge");
+    }
+
+    #[test]
+    fn hash_equi_join_matches_reference_with_distinct_names() {
+        // Join columns with different names on each side, coalesced under
+        // the right-hand name, including a nil key that must not join.
+        let mut left = alumnus();
+        left.tuples_mut()[0][0].datum = Value::Null;
+        let left = left.rename_attrs(&["ID", "ANAME"]).unwrap();
+        let reference = equi_join_coalesced(&left, &career(), "ID", "AID#", "AID#").unwrap();
+        let fused = hash_equi_join_coalesced(&left, &career(), "ID", "AID#", "AID#").unwrap();
+        assert_eq!(reference.tuples(), fused.tuples());
+        assert_eq!(
+            reference.schema().attrs(),
+            fused.schema().attrs(),
+            "schemas diverge"
+        );
     }
 
     #[test]

@@ -11,10 +11,17 @@
 //! scheme's primary key; order-insensitivity (up to column order) is
 //! property-tested in the crate's proptest suite.
 
-use crate::algebra::coalesce::{CoalesceConflict, ConflictPolicy};
+use crate::algebra::coalesce::{coalesce_cells, conflict_winner, CoalesceConflict, ConflictPolicy};
 use crate::algebra::natural::outer_natural_total_join;
+use crate::cell::Cell;
 use crate::error::PolygenError;
 use crate::relation::PolygenRelation;
+use crate::source::SourceSet;
+use crate::tuple::PolyTuple;
+use polygen_flat::schema::Schema;
+use polygen_flat::value::Value;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Merge `relations` on the shared primary-key attribute `key`.
 ///
@@ -42,6 +49,191 @@ pub fn merge(
         acc = merged;
     }
     Ok((acc, conflicts))
+}
+
+/// Single-pass, hash-based Merge — the physical-plan engine's kernel.
+///
+/// Computes the same relation as [`merge`] (cell-exact, tags included)
+/// without the quadratic ONTJ fold: one hash table keyed on the primary
+/// key's datum, one pass over every operand tuple. The ONTJ fold's tag
+/// discipline collapses to a closed form (derivable from §II's
+/// definitions): for the output tuple of key `v`, let `K(v)` be the union
+/// of the key cells' origins across the operands containing `v`; then
+/// every cell coalesces its operands' raw contributions in operand order
+/// (equal data → tag union, one-sided nil → the non-nil cell verbatim,
+/// genuine conflict → `policy`), absent attributes pad with nil, and
+/// finally every cell's intermediate set gains `K(v)` — exactly the
+/// mediator tags the fold accretes step by step.
+///
+/// Two inputs the closed form does not cover fall back to the reference
+/// fold: an operand with duplicate non-nil key data (the fold cross-joins
+/// those tuples) and key columns mixing `Int`/`Float` (the fold matches
+/// them through numeric comparison, a hash table cannot).
+///
+/// The *relation* is identical across both paths; the conflict records
+/// are not — the closed form reports `tuple_index` against the final
+/// output rows, while the fold reports indices into its intermediate
+/// join products. Treat the index as diagnostic, not as a stable key.
+pub fn hash_merge(
+    relations: &[PolygenRelation],
+    key: &str,
+    policy: ConflictPolicy,
+) -> Result<(PolygenRelation, Vec<CoalesceConflict>), PolygenError> {
+    let (first, _) = relations.split_first().ok_or(PolygenError::EmptyMerge)?;
+    for rel in relations {
+        if !rel.schema().contains(key) {
+            return Err(PolygenError::MissingMergeKey {
+                relation: rel.name().to_string(),
+                key: key.to_string(),
+            });
+        }
+    }
+    if relations.len() == 1 {
+        return Ok((first.clone(), Vec::new()));
+    }
+    if !hash_mergeable(relations, key) {
+        return merge(relations, key, policy);
+    }
+    let schemas: Vec<&Schema> = relations.iter().map(|r| r.schema().as_ref()).collect();
+    let schema = merged_schema(&schemas)?;
+    let width = schema.degree();
+    // Column mapping per operand: operand column i → output column.
+    let col_maps: Vec<Vec<usize>> = relations
+        .iter()
+        .map(|rel| {
+            rel.schema()
+                .attrs()
+                .iter()
+                .map(|a| schema.index_of(a).expect("attr in union schema").0)
+                .collect()
+        })
+        .collect();
+    let key_out = schema.index_of(key)?.0;
+    let mut by_key: HashMap<Value, usize> = HashMap::new();
+    // Per output row: partially filled cells plus the accumulating K(v).
+    let mut rows: Vec<(Vec<Option<Cell>>, SourceSet)> = Vec::new();
+    let mut conflicts = Vec::new();
+    for (rel, col_map) in relations.iter().zip(&col_maps) {
+        let key_in = rel.schema().index_of(key)?.0;
+        for t in rel.tuples() {
+            let kc = &t[key_in];
+            let row_idx = if kc.is_nil() {
+                // nil keys never match (§II: nil satisfies no θ): each
+                // stays its own row, mediated only by its own origins.
+                None
+            } else {
+                by_key.get(&kc.datum).copied()
+            };
+            match row_idx {
+                Some(i) => {
+                    let (cells, mediators) = &mut rows[i];
+                    mediators.union_with(&kc.origin);
+                    for (ci, c) in t.iter().enumerate() {
+                        let out = &mut cells[col_map[ci]];
+                        match out {
+                            None => *out = Some(c.clone()),
+                            Some(existing) => {
+                                let merged = match coalesce_cells(existing, c) {
+                                    Some(m) => m,
+                                    None => {
+                                        conflicts.push(CoalesceConflict {
+                                            tuple_index: i,
+                                            attribute: schema.attr_at(col_map[ci]).to_string(),
+                                            left: existing.clone(),
+                                            right: c.clone(),
+                                        });
+                                        conflict_winner(policy, existing, c).ok_or_else(|| {
+                                            PolygenError::CoalesceConflict {
+                                                attribute: schema.attr_at(col_map[ci]).to_string(),
+                                                left: existing.datum.to_string(),
+                                                right: c.datum.to_string(),
+                                            }
+                                        })?
+                                    }
+                                };
+                                *out = Some(merged);
+                            }
+                        }
+                    }
+                }
+                None => {
+                    let mut cells: Vec<Option<Cell>> = vec![None; width];
+                    for (ci, c) in t.iter().enumerate() {
+                        cells[col_map[ci]] = Some(c.clone());
+                    }
+                    if !kc.is_nil() {
+                        by_key.insert(kc.datum.clone(), rows.len());
+                    }
+                    rows.push((cells, kc.origin.clone()));
+                }
+            }
+        }
+    }
+    let tuples: Vec<PolyTuple> = rows
+        .into_iter()
+        .map(|(cells, mediators)| {
+            cells
+                .into_iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    debug_assert!(i != key_out || c.is_some(), "key column always filled");
+                    let mut cell = c.unwrap_or_else(|| Cell::nil_padding(SourceSet::empty()));
+                    cell.add_intermediate(&mediators);
+                    cell
+                })
+                .collect()
+        })
+        .collect();
+    Ok((PolygenRelation::from_tuples(schema, tuples)?, conflicts))
+}
+
+/// Can the closed form apply? Requires per-operand unique non-nil key
+/// data and no Int/Float mixing in any key column.
+fn hash_mergeable(relations: &[PolygenRelation], key: &str) -> bool {
+    let (mut saw_int, mut saw_float) = (false, false);
+    for rel in relations {
+        let Ok(ki) = rel.schema().index_of(key).map(|r| r.0) else {
+            return false;
+        };
+        let mut seen: HashSet<&Value> = HashSet::with_capacity(rel.len());
+        for t in rel.tuples() {
+            let d = &t[ki].datum;
+            match d {
+                Value::Null => continue,
+                Value::Int(_) => saw_int = true,
+                Value::Float(_) => saw_float = true,
+                _ => {}
+            }
+            if !seen.insert(d) {
+                return false;
+            }
+        }
+    }
+    !(saw_int && saw_float)
+}
+
+/// The schema a Merge of operands with these schemas produces — exactly
+/// what the ONTJ fold ends with: attributes in first-appearance order
+/// across operands, names chained with `x`, no key metadata (the fold's
+/// coalesces rebuild schemas without keys). A single operand merges to
+/// itself, key metadata included. Public so the physical-plan lowerer
+/// predicts Merge output schemas without executing.
+pub fn merged_schema(schemas: &[&Schema]) -> Result<Arc<Schema>, PolygenError> {
+    let (first, rest) = schemas.split_first().ok_or(PolygenError::EmptyMerge)?;
+    if rest.is_empty() {
+        return Ok(Arc::new((*first).clone()));
+    }
+    let mut name = first.name().to_string();
+    let mut attrs: Vec<Arc<str>> = first.attrs().to_vec();
+    for s in rest {
+        name = format!("{name}x{}", s.name());
+        for a in s.attrs() {
+            if !attrs.iter().any(|b| b == a) {
+                attrs.push(Arc::clone(a));
+            }
+        }
+    }
+    Ok(Arc::new(Schema::from_parts(&name, attrs, Vec::new())?))
 }
 
 /// Merge with a caller-supplied conflict resolver (see
@@ -205,6 +397,76 @@ mod tests {
             merge(&rels, "NOKEY", ConflictPolicy::Strict),
             Err(PolygenError::MissingMergeKey { .. })
         ));
+    }
+
+    /// hash_merge is differential-tested against the ONTJ fold: same
+    /// schema, same tuples, same tags, same order.
+    fn assert_hash_matches_fold(rels: &[PolygenRelation], key: &str, policy: ConflictPolicy) {
+        let fold = merge(rels, key, policy).unwrap().0;
+        let hashed = hash_merge(rels, key, policy).unwrap().0;
+        let fold_attrs: Vec<&str> = fold.schema().attrs().iter().map(|a| a.as_ref()).collect();
+        let hash_attrs: Vec<&str> = hashed.schema().attrs().iter().map(|a| a.as_ref()).collect();
+        assert_eq!(fold_attrs, hash_attrs, "schemas diverge");
+        assert_eq!(fold.name(), hashed.name(), "schema names diverge");
+        assert_eq!(
+            fold.tuples(),
+            hashed.tuples(),
+            "tuples diverge (order included)"
+        );
+    }
+
+    #[test]
+    fn hash_merge_matches_fold_on_three_sources() {
+        assert_hash_matches_fold(&three_sources(), "ONAME", ConflictPolicy::Strict);
+    }
+
+    #[test]
+    fn hash_merge_matches_fold_with_conflicts() {
+        let mut rels = three_sources();
+        for t in rels[1].tuples_mut() {
+            if t[0].datum == Value::str("Apple") {
+                t[2].datum = Value::str("TX");
+            }
+        }
+        assert!(hash_merge(&rels, "ONAME", ConflictPolicy::Strict).is_err());
+        assert_hash_matches_fold(&rels, "ONAME", ConflictPolicy::PreferLeft);
+        assert_hash_matches_fold(&rels, "ONAME", ConflictPolicy::PreferRight);
+        let (_, conflicts) = hash_merge(&rels, "ONAME", ConflictPolicy::PreferLeft).unwrap();
+        assert_eq!(conflicts.len(), 1);
+    }
+
+    #[test]
+    fn hash_merge_matches_fold_with_nil_keys_and_nil_data() {
+        let mut rels = three_sources();
+        // A nil key in CORPORATION and a nil non-key datum in FIRM.
+        rels[1].tuples_mut()[1][0].datum = Value::Null;
+        rels[2].tuples_mut()[0][2].datum = Value::Null;
+        assert_hash_matches_fold(&rels, "ONAME", ConflictPolicy::Strict);
+    }
+
+    #[test]
+    fn hash_merge_single_operand_and_errors_match() {
+        let rels = three_sources();
+        let (m, _) = hash_merge(&rels[..1], "ONAME", ConflictPolicy::Strict).unwrap();
+        assert!(m.tagged_set_eq(&rels[0]));
+        assert!(matches!(
+            hash_merge(&[], "K", ConflictPolicy::Strict),
+            Err(PolygenError::EmptyMerge)
+        ));
+        assert!(matches!(
+            hash_merge(&rels, "NOKEY", ConflictPolicy::Strict),
+            Err(PolygenError::MissingMergeKey { .. })
+        ));
+    }
+
+    #[test]
+    fn hash_merge_falls_back_on_duplicate_keys() {
+        let mut rels = three_sources();
+        // Duplicate IBM key inside BUSINESS → the closed form would miss
+        // the fold's cross-matching; the fallback keeps results identical.
+        let dup = rels[0].tuples()[0].clone();
+        rels[0].tuples_mut().push(dup);
+        assert_hash_matches_fold(&rels, "ONAME", ConflictPolicy::Strict);
     }
 
     #[test]

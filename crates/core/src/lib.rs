@@ -15,6 +15,9 @@
 //!   operators (Select, θ-Join, Intersect, Outer Join, Outer Natural
 //!   Primary/Total Join, Merge), each implementing the paper's exact tag
 //!   semantics.
+//! * [`stream`] — `Arc`-shared tuple streams and the copy-on-write
+//!   stage kernels the physical-plan executor pipelines through, plus
+//!   single-pass hash kernels for equi-join and Merge in [`algebra`].
 //! * [`lineage`] — provenance roll-ups over tagged relations.
 //! * [`render`] — the paper's `datum, {o}, {i}` presentation.
 //!
@@ -49,6 +52,7 @@ pub mod lineage;
 pub mod relation;
 pub mod render;
 pub mod source;
+pub mod stream;
 pub mod tuple;
 
 /// Convenient glob import.
@@ -61,6 +65,7 @@ pub mod prelude {
     pub use crate::relation::PolygenRelation;
     pub use crate::render::{render_cell, render_relation, render_tuple};
     pub use crate::source::{SourceId, SourceRegistry, SourceSet};
+    pub use crate::stream::{SharedTuple, TupleStream};
     pub use crate::tuple::PolyTuple;
 }
 

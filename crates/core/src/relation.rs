@@ -204,21 +204,11 @@ impl PolygenRelation {
 
     /// Relabel attributes positionally, keeping tags.
     pub fn rename_attrs(&self, mapping: &[&str]) -> Result<PolygenRelation, PolygenError> {
-        if mapping.len() != self.degree() {
-            return Err(polygen_flat::error::FlatError::ArityMismatch {
-                relation: self.name().to_string(),
-                expected: self.degree(),
-                found: mapping.len(),
-            }
-            .into());
-        }
-        let attrs: Vec<Arc<str>> = mapping.iter().map(|m| Arc::from(*m)).collect();
-        let schema = Arc::new(Schema::from_parts(
-            self.name(),
-            attrs,
-            self.schema.key().to_vec(),
-        )?);
-        self.with_schema(schema)
+        let schema = Arc::new(self.schema.relabeled_attrs(mapping)?);
+        Ok(PolygenRelation {
+            schema,
+            tuples: self.tuples.clone(),
+        })
     }
 }
 

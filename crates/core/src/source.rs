@@ -20,6 +20,7 @@
 //! by the `sourceset_repr` benchmark to quantify the representation choice
 //! (an ablation called out in `DESIGN.md`).
 
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -40,6 +41,9 @@ impl SourceId {
 #[derive(Debug, Default, Clone)]
 pub struct SourceRegistry {
     names: Vec<Arc<str>>,
+    /// name → id index; without it every `intern` linear-scans `names`
+    /// and registry build-up for an n-source federation is O(n²).
+    by_name: HashMap<Arc<str>, SourceId>,
 }
 
 impl SourceRegistry {
@@ -54,16 +58,15 @@ impl SourceRegistry {
             return id;
         }
         let id = SourceId(u16::try_from(self.names.len()).expect("more than 65535 sources"));
-        self.names.push(Arc::from(name));
+        let name: Arc<str> = Arc::from(name);
+        self.names.push(Arc::clone(&name));
+        self.by_name.insert(name, id);
         id
     }
 
     /// Find an already-interned name.
     pub fn lookup(&self, name: &str) -> Option<SourceId> {
-        self.names
-            .iter()
-            .position(|n| n.as_ref() == name)
-            .map(|i| SourceId(i as u16))
+        self.by_name.get(name).copied()
     }
 
     /// The name of an id (panics on a foreign id — ids only come from

@@ -1,0 +1,258 @@
+//! Streaming operator kernels over `Arc`-shared tuples.
+//!
+//! The eager algebra in [`crate::algebra`] materializes a fresh
+//! [`PolygenRelation`] per operator, deep-cloning every cell (datum plus
+//! two source sets) at every stage. The physical-plan executor in
+//! `polygen-pqp` pipes tuples through fused Select/Restrict/Project
+//! stages instead; this module supplies the carrier type it streams:
+//! a [`TupleStream`] of `Arc<PolyTuple>`s.
+//!
+//! The sharing discipline is copy-on-write:
+//!
+//! * a stream freshly lifted from a relation owns its tuples uniquely, so
+//!   tag updates mutate in place through [`Arc::make_mut`] — zero clones
+//!   for an entire fused stage chain;
+//! * a stream whose tuples are shared (a deduplicated scan feeding two
+//!   consumers) clones only the tuples a stage actually mutates;
+//! * a stage whose mediator tags are already present (chained restricts
+//!   over the same sources) leaves the `Arc` untouched entirely.
+//!
+//! Every kernel is differential-tested against its eager counterpart —
+//! the eager algebra stays the reference semantics.
+
+use crate::error::PolygenError;
+use crate::relation::PolygenRelation;
+use crate::source::SourceSet;
+use crate::tuple::{self, PolyTuple};
+use polygen_flat::schema::Schema;
+use polygen_flat::value::{Cmp, Value};
+use std::sync::Arc;
+
+/// A tuple shared between pipeline stages without deep-cloning cells.
+pub type SharedTuple = Arc<PolyTuple>;
+
+/// A schema plus shared tuples — the unit of dataflow between physical
+/// operators. Converting to/from [`PolygenRelation`] is free for uniquely
+/// owned tuples and copy-on-write for shared ones.
+#[derive(Debug, Clone)]
+pub struct TupleStream {
+    schema: Arc<Schema>,
+    tuples: Vec<SharedTuple>,
+}
+
+impl TupleStream {
+    /// Lift a relation into a stream (no cell clones — tuples move).
+    pub fn from_relation(rel: PolygenRelation) -> Self {
+        let schema = Arc::clone(rel.schema());
+        let tuples = rel.into_tuples().into_iter().map(Arc::new).collect();
+        TupleStream { schema, tuples }
+    }
+
+    /// The stream's schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Is the stream empty?
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Materialize a relation, leaving the stream intact (cells clone).
+    pub fn to_relation(&self) -> PolygenRelation {
+        let tuples = self.tuples.iter().map(|t| (**t).clone()).collect();
+        PolygenRelation::from_tuples(Arc::clone(&self.schema), tuples)
+            .expect("stream tuples match stream schema")
+    }
+
+    /// Materialize a relation, consuming the stream. Uniquely owned
+    /// tuples move without cloning; shared ones copy.
+    pub fn into_relation(self) -> PolygenRelation {
+        let tuples = self
+            .tuples
+            .into_iter()
+            .map(|t| Arc::try_unwrap(t).unwrap_or_else(|shared| (*shared).clone()))
+            .collect();
+        PolygenRelation::from_tuples(self.schema, tuples)
+            .expect("stream tuples match stream schema")
+    }
+
+    /// Select stage: `p[x θ const]` with the paper's tag update, applied
+    /// in place (same semantics as [`crate::algebra::select`]).
+    pub fn select(&mut self, x: &str, cmp: Cmp, constant: &Value) -> Result<(), PolygenError> {
+        let xi = self.schema.index_of(x)?.0;
+        self.tuples.retain_mut(|t| {
+            if !t[xi].datum.satisfies(cmp, constant) {
+                return false;
+            }
+            let mediators = t[xi].origin.clone();
+            tag_all(t, &mediators);
+            true
+        });
+        Ok(())
+    }
+
+    /// Restrict stage: `p[x θ y]`, in place (same semantics as
+    /// [`crate::algebra::restrict`]).
+    pub fn restrict(&mut self, x: &str, cmp: Cmp, y: &str) -> Result<(), PolygenError> {
+        let xi = self.schema.index_of(x)?.0;
+        let yi = self.schema.index_of(y)?.0;
+        self.tuples.retain_mut(|t| {
+            if !t[xi].datum.satisfies(cmp, &t[yi].datum) {
+                return false;
+            }
+            let mediators = t[xi].origin.union(&t[yi].origin);
+            tag_all(t, &mediators);
+            true
+        });
+        Ok(())
+    }
+
+    /// Project stage: `p[X]` with the duplicate collapse (same semantics
+    /// as [`crate::algebra::project`]). Projection builds new tuples, so
+    /// this is the one stage that always copies the kept cells.
+    pub fn project(&mut self, attrs: &[&str]) -> Result<(), PolygenError> {
+        let idx = self.schema.indices_of(attrs)?;
+        let schema = Arc::new(self.schema.project(&idx, self.schema.name())?);
+        let tuples: Vec<PolyTuple> = self
+            .tuples
+            .iter()
+            .map(|t| idx.iter().map(|&i| t[i].clone()).collect())
+            .collect();
+        let mut rel = PolygenRelation::from_tuples(schema, tuples)?;
+        rel.merge_duplicates();
+        *self = TupleStream::from_relation(rel);
+        Ok(())
+    }
+
+    /// Relabel attributes positionally, keeping tuples shared (same
+    /// semantics as [`PolygenRelation::rename_attrs`] — both delegate to
+    /// [`Schema::relabeled_attrs`]).
+    pub fn rename(&mut self, names: &[&str]) -> Result<(), PolygenError> {
+        self.schema = Arc::new(self.schema.relabeled_attrs(names)?);
+        Ok(())
+    }
+}
+
+/// Add `mediators` to every cell's intermediate set, copy-on-write: a
+/// no-op when the tags are already present (chained stages over the same
+/// sources), an in-place mutation when the tuple is uniquely owned, and a
+/// clone-then-mutate only when the tuple is genuinely shared.
+fn tag_all(t: &mut SharedTuple, mediators: &SourceSet) {
+    if mediators.is_empty() {
+        return;
+    }
+    if t.iter().all(|c| mediators.is_subset(&c.intermediate)) {
+        return;
+    }
+    let cells: &mut PolyTuple = Arc::make_mut(t);
+    tuple::add_intermediate_all(cells, mediators);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra;
+    use crate::source::SourceId;
+    use polygen_flat::relation::Relation;
+
+    fn base() -> PolygenRelation {
+        let f = Relation::build("ALUMNUS", &["ANAME", "DEG", "ORG"])
+            .row(&["Bob Swanson", "MBA", "Genentech"])
+            .row(&["Stu Madnick", "MBA", "MIT"])
+            .row(&["Ken Olsen", "MS", "DEC"])
+            .row(&["John Reed", "MBA", "Citicorp"])
+            .finish()
+            .unwrap();
+        PolygenRelation::from_flat(&f, SourceId(0))
+    }
+
+    #[test]
+    fn select_matches_eager() {
+        let rel = base();
+        let eager = algebra::select(&rel, "DEG", Cmp::Eq, Value::str("MBA")).unwrap();
+        let mut s = TupleStream::from_relation(rel);
+        s.select("DEG", Cmp::Eq, &Value::str("MBA")).unwrap();
+        assert!(s.into_relation().tagged_set_eq(&eager));
+    }
+
+    #[test]
+    fn restrict_matches_eager() {
+        let rel = base();
+        let eager = algebra::restrict(&rel, "ANAME", Cmp::Ne, "ORG").unwrap();
+        let mut s = TupleStream::from_relation(rel);
+        s.restrict("ANAME", Cmp::Ne, "ORG").unwrap();
+        assert!(s.into_relation().tagged_set_eq(&eager));
+    }
+
+    #[test]
+    fn project_matches_eager_including_dedup() {
+        let rel = base();
+        let eager = algebra::project(&rel, &["DEG"]).unwrap();
+        let mut s = TupleStream::from_relation(rel);
+        s.project(&["DEG"]).unwrap();
+        let got = s.into_relation();
+        assert_eq!(got.len(), 2, "duplicates collapsed");
+        assert!(got.tagged_set_eq(&eager));
+    }
+
+    #[test]
+    fn fused_chain_matches_eager_chain() {
+        let rel = base();
+        let eager = {
+            let a = algebra::select(&rel, "DEG", Cmp::Eq, Value::str("MBA")).unwrap();
+            let b = algebra::restrict(&a, "ANAME", Cmp::Ne, "ORG").unwrap();
+            algebra::project(&b, &["ANAME", "ORG"]).unwrap()
+        };
+        let mut s = TupleStream::from_relation(rel);
+        s.select("DEG", Cmp::Eq, &Value::str("MBA")).unwrap();
+        s.restrict("ANAME", Cmp::Ne, "ORG").unwrap();
+        s.project(&["ANAME", "ORG"]).unwrap();
+        assert!(s.into_relation().tagged_set_eq(&eager));
+    }
+
+    #[test]
+    fn shared_tuples_copy_on_write() {
+        let rel = base();
+        let pristine = rel.clone();
+        let s = TupleStream::from_relation(rel);
+        // Two consumers of the same stream: mutating one must not leak
+        // tag updates into the other.
+        let mut a = s.clone();
+        let b = s.clone();
+        a.select("DEG", Cmp::Eq, &Value::str("MBA")).unwrap();
+        assert!(b.to_relation().tagged_set_eq(&pristine));
+        // The selected copy did gain the mediator tags.
+        let sel = a.into_relation();
+        assert!(sel.tuples()[0][2].intermediate.contains(SourceId(0)));
+    }
+
+    #[test]
+    fn repeated_stage_skips_redundant_tagging_without_drift() {
+        let rel = base();
+        let eager = {
+            let once = algebra::restrict(&rel, "ANAME", Cmp::Ne, "ORG").unwrap();
+            algebra::restrict(&once, "ANAME", Cmp::Ne, "ORG").unwrap()
+        };
+        let mut s = TupleStream::from_relation(rel);
+        s.restrict("ANAME", Cmp::Ne, "ORG").unwrap();
+        s.restrict("ANAME", Cmp::Ne, "ORG").unwrap();
+        assert!(s.into_relation().tagged_set_eq(&eager));
+    }
+
+    #[test]
+    fn rename_matches_rename_attrs() {
+        let rel = base();
+        let eager = rel.rename_attrs(&["N", "D", "O"]).unwrap();
+        let mut s = TupleStream::from_relation(rel);
+        s.rename(&["N", "D", "O"]).unwrap();
+        assert!(s.rename(&["ONLY"]).is_err(), "arity checked");
+        let got = s.into_relation();
+        assert!(got.tagged_set_eq(&eager));
+    }
+}

@@ -10,6 +10,7 @@ use crate::app_schema::AppSchema;
 use crate::aqp::{translate_app_query, AqpError};
 use polygen_catalog::scenario::Scenario;
 use polygen_pqp::error::PqpError;
+use polygen_pqp::explain::explain_with_cost;
 use polygen_pqp::pqp::{Pqp, PqpOptions, QueryOutcome};
 use std::fmt;
 
@@ -97,6 +98,21 @@ impl CisWorkstation {
     pub fn query_algebra(&self, text: &str) -> Result<QueryOutcome, CisError> {
         Ok(self.pqp.query_algebra(text)?)
     }
+
+    /// EXPLAIN an *application-level* query: rewrite through the
+    /// application schema, run the pipeline, and render the full report —
+    /// Tables 1–3, the lowered physical plan with fusion/join-strategy
+    /// annotations, the tagged answer, provenance, and the plan-cost
+    /// estimate over the physical tree.
+    pub fn explain_app(&self, sql: &str) -> Result<String, CisError> {
+        let polygen_query = translate_app_query(sql, &self.app_schema)?;
+        let outcome = self.pqp.query(&polygen_query.to_string())?;
+        Ok(explain_with_cost(
+            &outcome,
+            self.pqp.dictionary(),
+            self.pqp.registry(),
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -158,6 +174,19 @@ mod tests {
             .query_polygen("SELECT ONAME FROM PORGANIZATION WHERE CEO = \"John Reed\"")
             .unwrap();
         assert!(via_app.answer.tagged_set_eq(&via_polygen.answer));
+    }
+
+    #[test]
+    fn explain_app_renders_physical_plan() {
+        let s = scenario::build();
+        let ws = CisWorkstation::for_scenario(&s, computerworld_schema());
+        let report = ws
+            .explain_app("SELECT COMPANY FROM COMPANIES WHERE CHIEF = \"John Reed\"")
+            .unwrap();
+        assert!(report.contains("== Physical plan =="));
+        assert!(report.contains("HashMerge"), "merge strategy shown");
+        assert!(report.contains("Plan cost estimate"));
+        assert!(report.contains("Citicorp"), "answer rendered");
     }
 
     #[test]

@@ -102,6 +102,21 @@ impl Schema {
         }
     }
 
+    /// A copy with the attributes relabeled positionally, keeping the
+    /// relation name and the (positional) primary key. Arity-checked —
+    /// the single relabeling primitive the polygen layers build on.
+    pub fn relabeled_attrs(&self, names: &[&str]) -> Result<Schema, FlatError> {
+        if names.len() != self.degree() {
+            return Err(FlatError::ArityMismatch {
+                relation: self.name().to_string(),
+                expected: self.degree(),
+                found: names.len(),
+            });
+        }
+        let attrs: Vec<Arc<str>> = names.iter().map(|m| Arc::from(*m)).collect();
+        Schema::from_parts(self.name(), attrs, self.key.clone())
+    }
+
     /// Number of attributes (the relation's degree).
     pub fn degree(&self) -> usize {
         self.attrs.len()

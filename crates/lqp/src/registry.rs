@@ -10,6 +10,7 @@
 use crate::engine::{LocalOp, Lqp, LqpError};
 use polygen_catalog::dictionary::DataDictionary;
 use polygen_core::relation::PolygenRelation;
+use polygen_flat::schema::Schema;
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 
@@ -63,6 +64,28 @@ impl LqpRegistry {
     /// Is the registry empty?
     pub fn is_empty(&self) -> bool {
         self.lqps.read().expect("lqp registry poisoned").is_empty()
+    }
+
+    /// The schema [`execute_tagged`](Self::execute_tagged) will produce
+    /// for `op`, computed without running it — the physical-plan lowerer
+    /// resolves attribute names against this. Selection and restriction
+    /// keep the base schema, projection narrows it, and the dictionary's
+    /// domain rules rewrite values only, never attributes.
+    pub fn planned_schema(&self, db: &str, op: &LocalOp) -> Result<Arc<Schema>, LqpError> {
+        let unknown = || LqpError::UnknownRelation {
+            lqp: db.to_string(),
+            relation: op.relation.clone(),
+        };
+        let lqp = self.get(db).ok_or_else(unknown)?;
+        let base = lqp.schema_of(&op.relation).ok_or_else(unknown)?;
+        match &op.projection {
+            None => Ok(base),
+            Some(attrs) => {
+                let refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+                let idx = base.indices_of(&refs)?;
+                Ok(Arc::new(base.project(&idx, base.name())?))
+            }
+        }
     }
 
     /// Execute a local operation at the named LQP, apply the dictionary's
@@ -130,6 +153,21 @@ mod tests {
             reg.execute_tagged("XX", &LocalOp::retrieve("FIRM"), &dict),
             Err(LqpError::UnknownRelation { .. })
         ));
+    }
+
+    #[test]
+    fn planned_schema_matches_execute_tagged() {
+        let (reg, dict) = setup();
+        let op = LocalOp::retrieve("FIRM").with_projection(&["HQ"]);
+        let planned = reg.planned_schema("CD", &op).unwrap();
+        let actual = reg.execute_tagged("CD", &op, &dict).unwrap();
+        assert_eq!(planned.as_ref(), actual.schema().as_ref());
+        assert!(reg
+            .planned_schema("XX", &LocalOp::retrieve("FIRM"))
+            .is_err());
+        assert!(reg
+            .planned_schema("CD", &LocalOp::retrieve("NOPE"))
+            .is_err());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! and to surface "this plan ships the whole Finsbury feed twice".
 
 use crate::iom::{ExecLoc, Iom, IomRow};
+use crate::plan::{PhysOp, PhysicalPlan, StageKind};
 use crate::pom::{Op, RelRef};
 use polygen_lqp::registry::LqpRegistry;
 use std::collections::BTreeMap;
@@ -79,25 +80,129 @@ pub fn estimate(iom: &Iom, registry: &LqpRegistry) -> PlanCost {
     }
 }
 
+/// Estimate the cost of a lowered physical plan. Unlike the IOM-level
+/// [`estimate`], this sees the physical strategies: a fused pipeline
+/// inspects its input once regardless of stage count, a hash join
+/// inspects `|L| + |R|`, and the nested-loop θ-join inspects `|L| × |R|`.
+pub fn estimate_physical(plan: &PhysicalPlan, registry: &LqpRegistry) -> PlanCost {
+    let mut est: Vec<f64> = Vec::with_capacity(plan.nodes.len());
+    let mut rows = Vec::with_capacity(plan.nodes.len());
+    let mut total = 0.0;
+    let mut shipped = 0.0;
+    for node in &plan.nodes {
+        let (cost, out_rows) = match &node.op {
+            PhysOp::Scan { db, op } => {
+                let (cost, out) = scan_estimate(
+                    registry,
+                    db,
+                    Some(&op.relation),
+                    op.filter.is_some(),
+                    op.restrict.is_some(),
+                );
+                shipped += out;
+                (cost, out)
+            }
+            PhysOp::Pipeline { input, stages } => {
+                let inspected = est[*input];
+                let mut out = inspected;
+                for stage in stages {
+                    out = match stage.kind {
+                        StageKind::Select { .. } => out * SELECT_SELECTIVITY,
+                        StageKind::Restrict { .. } => out * RESTRICT_SELECTIVITY,
+                        StageKind::Project { .. } => out,
+                    };
+                }
+                // One pass over the input, however many stages fused.
+                (inspected * PQP_TUPLE_US, out)
+            }
+            PhysOp::HashJoin { left, right, .. } => {
+                let (l, r) = (est[*left], est[*right]);
+                ((l + r) * PQP_TUPLE_US, l.max(r) * JOIN_FANOUT)
+            }
+            PhysOp::ThetaJoin { left, right, .. } => {
+                let (l, r) = (est[*left], est[*right]);
+                (l * r * PQP_TUPLE_US, l.max(r) * JOIN_FANOUT)
+            }
+            PhysOp::HashMerge { inputs, .. } => {
+                let sum: f64 = inputs.iter().map(|i| est[*i]).sum();
+                (sum * PQP_TUPLE_US, sum)
+            }
+            PhysOp::AntiJoin { left, right, .. } => {
+                let (l, r) = (est[*left], est[*right]);
+                ((l + r) * PQP_TUPLE_US, l * 0.5)
+            }
+            PhysOp::Union { left, right } => {
+                let (l, r) = (est[*left], est[*right]);
+                ((l + r) * PQP_TUPLE_US, l + r)
+            }
+            PhysOp::Difference { left, right } => {
+                let (l, r) = (est[*left], est[*right]);
+                ((l + r) * PQP_TUPLE_US, l * 0.5)
+            }
+            PhysOp::Intersect { left, right } => {
+                let (l, r) = (est[*left], est[*right]);
+                ((l + r) * PQP_TUPLE_US, l.min(r))
+            }
+            PhysOp::Product { left, right } => {
+                let (l, r) = (est[*left], est[*right]);
+                (l * r * PQP_TUPLE_US, l * r)
+            }
+        };
+        est.push(out_rows);
+        rows.push((node.row, cost, out_rows));
+        total += cost;
+    }
+    PlanCost {
+        total_us: total,
+        tuples_shipped: shipped,
+        rows,
+    }
+}
+
+/// Estimated (µs, output rows) of one operation shipped to an LQP —
+/// shared by the IOM and physical estimators so the two can never drift
+/// on base-scan cardinality or latency.
+fn scan_estimate(
+    registry: &LqpRegistry,
+    db: &str,
+    relation: Option<&str>,
+    has_filter: bool,
+    has_restrict: bool,
+) -> (f64, f64) {
+    let (base_rows, model) = match registry.get(db) {
+        Some(lqp) => (
+            relation
+                .and_then(|rel| lqp.stats(rel))
+                .map(|s| s.rows as f64)
+                .unwrap_or(100.0),
+            lqp.cost_model(),
+        ),
+        None => (100.0, polygen_lqp::cost::CostModel::local()),
+    };
+    let out_rows = if has_filter {
+        base_rows * SELECT_SELECTIVITY
+    } else if has_restrict {
+        base_rows * RESTRICT_SELECTIVITY
+    } else {
+        base_rows
+    };
+    (model.op_cost_us(out_rows.ceil() as usize) as f64, out_rows)
+}
+
 fn estimate_row(row: &IomRow, registry: &LqpRegistry, est: &BTreeMap<usize, f64>) -> (f64, f64) {
     match &row.el {
         ExecLoc::Lqp(db) => {
-            let (base_rows, model) = match registry.get(db) {
-                Some(lqp) => {
-                    let stats = match &row.lhr {
-                        RelRef::Named(rel) => lqp.stats(rel).map(|s| s.rows as f64),
-                        _ => None,
-                    };
-                    (stats.unwrap_or(100.0), lqp.cost_model())
-                }
-                None => (100.0, polygen_lqp::cost::CostModel::local()),
+            let relation = match &row.lhr {
+                RelRef::Named(rel) => Some(rel.as_str()),
+                _ => None,
             };
-            let out_rows = match row.op {
-                Op::Select => base_rows * SELECT_SELECTIVITY,
-                Op::Restrict => base_rows * RESTRICT_SELECTIVITY,
-                _ => base_rows,
-            };
-            (model.op_cost_us(out_rows.ceil() as usize) as f64, out_rows)
+            scan_estimate(
+                registry,
+                db,
+                relation,
+                row.op == Op::Select,
+                row.op == Op::Restrict,
+            )
         }
         ExecLoc::Pqp => {
             let left = input_rows(&row.lhr, est);
@@ -160,6 +265,37 @@ mod tests {
         assert!(cost.tuples_shipped > 30.0, "{}", cost.tuples_shipped);
         let shown = cost.to_string();
         assert!(shown.contains("tuples shipped"));
+    }
+
+    #[test]
+    fn physical_estimate_sees_fusion() {
+        let s = scenario::build();
+        let registry = scenario_registry(&s);
+        let iom = paper_iom();
+        let fused = crate::plan::lower(
+            &iom,
+            &registry,
+            &s.dictionary,
+            crate::plan::LowerOptions { fuse: true },
+        )
+        .unwrap();
+        let unfused = crate::plan::lower(
+            &iom,
+            &registry,
+            &s.dictionary,
+            crate::plan::LowerOptions { fuse: false },
+        )
+        .unwrap();
+        let cf = estimate_physical(&fused, &registry);
+        let cu = estimate_physical(&unfused, &registry);
+        assert!(cf.rows.len() < cu.rows.len(), "fusion shrinks the plan");
+        assert!(
+            cf.total_us < cu.total_us,
+            "a fused pipeline inspects its input once: {} vs {}",
+            cf.total_us,
+            cu.total_us
+        );
+        assert_eq!(cf.tuples_shipped, cu.tuples_shipped, "shipping unchanged");
     }
 
     #[test]

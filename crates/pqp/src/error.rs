@@ -97,6 +97,11 @@ impl From<PolygenError> for PqpError {
         PqpError::Polygen(e)
     }
 }
+impl From<polygen_flat::error::FlatError> for PqpError {
+    fn from(e: polygen_flat::error::FlatError) -> Self {
+        PqpError::Polygen(e.into())
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -1,23 +1,37 @@
-//! The plan executor: runs an IOM row by row, routing LQP rows to their
-//! local systems (tagging results at the boundary) and evaluating PQP
-//! rows with the polygen algebra — the machinery behind §IV's Tables 4–9.
+//! The plan executor.
+//!
+//! [`execute`] lowers the IOM through the physical-plan layer
+//! ([`crate::plan`]) and walks the resulting operator DAG: scans run at
+//! the LQPs (tagged at the boundary), fused Select/Restrict/Project
+//! stages stream `Arc`-shared tuples in place, equi-joins run as
+//! single-pass hash joins with the join-column coalesce fused into the
+//! emit, and Merge runs as the k-way single-pass hash merge. Only
+//! pipeline breakers (joins, merges, set operations) materialize
+//! relations; nothing else is retained unless
+//! [`ExecOptions::retain_intermediates`] asks for the full `R(n)` trace
+//! (the golden-table reproduction of §IV's Tables 4–9 does).
+//!
+//! The paper-faithful row-by-row interpreter survives as
+//! [`execute_eager`]: it materializes every `R(n)` eagerly with the
+//! reference algebra, and the physical engine is differential-tested
+//! against it (`tests/properties_executor.rs`).
 //!
 //! ## Attribute-name resolution
 //!
 //! The paper freely mixes polygen and local attribute namespaces: Table
 //! 3's row 8 joins `R(3)` — whose physical column is `BNAME` from the raw
-//! CAREER retrieve — "on ONAME". The executor resolves an IOM attribute
-//! against a relation by (1) exact column match, then (2) the polygen
-//! schema's local candidates for a polygen name, then (3) the reverse
-//! mapping for a local name against a merged relation; a resolution must
-//! be unique or the row is rejected.
+//! CAREER retrieve — "on ONAME". Resolution happens once, at lowering
+//! time, against planned schemas (see [`crate::plan::resolve_in_schema`]);
+//! the eager interpreter resolves identically at run time.
 
 use crate::error::PqpError;
 use crate::iom::{ExecLoc, Iom, IomRow};
+use crate::plan::{self, LowerOptions, PhysOp, PhysicalPlan, StageKind};
 use crate::pom::{Op, RelRef, Rha};
 use polygen_catalog::dictionary::DataDictionary;
 use polygen_core::algebra::{self, coalesce::ConflictPolicy};
 use polygen_core::relation::PolygenRelation;
+use polygen_core::stream::TupleStream;
 use polygen_flat::value::{Cmp, Value};
 use polygen_lqp::engine::LocalOp;
 use polygen_lqp::registry::LqpRegistry;
@@ -28,13 +42,22 @@ use std::collections::BTreeMap;
 pub struct ExecOptions {
     /// What Merge does when two sources disagree on a non-key attribute.
     pub conflict_policy: ConflictPolicy,
+    /// Retain every `R(n)` in the [`ExecutionTrace`]. Off (the default),
+    /// production pipelines keep only the final relation and the lowerer
+    /// fuses stages freely; on, every IOM row materializes into the trace
+    /// (fused pipeline stages are captured stage by stage, and the
+    /// [`execute`] entry point additionally lowers without fusion so the
+    /// plan maps 1:1 onto IOM rows) — the golden-table tests read Tables
+    /// 4–9 this way.
+    pub retain_intermediates: bool,
 }
 
 /// The per-row results of one execution — the golden tests read Tables
-/// 4–9 out of this.
+/// 4–9 out of this (with [`ExecOptions::retain_intermediates`] set).
 #[derive(Debug, Clone)]
 pub struct ExecutionTrace {
-    /// `R(n)` → materialized relation, for every row.
+    /// `R(n)` → materialized relation: every row when retention is on,
+    /// only the final row otherwise.
     pub results: BTreeMap<usize, PolygenRelation>,
 }
 
@@ -46,48 +69,194 @@ impl ExecutionTrace {
 }
 
 /// Resolve an IOM attribute name against a relation's actual columns.
+/// Delegates to the planner's schema-level resolver so the eager and
+/// physical engines can never disagree on resolution.
 pub fn resolve_attr(
     rel: &PolygenRelation,
     attr: &str,
     dictionary: &DataDictionary,
 ) -> Result<String, PqpError> {
-    if rel.schema().contains(attr) {
-        return Ok(attr.to_string());
-    }
-    let schema = dictionary.schema();
-    let mut found: Vec<String> = schema
-        .local_candidates(attr)
-        .into_iter()
-        .filter(|c| rel.schema().contains(c))
-        .collect();
-    if found.is_empty() {
-        // Reverse: `attr` may be a local name while the relation carries
-        // polygen names (a merged relation).
-        for s in schema.schemes() {
-            for (pa, m) in s.attrs() {
-                if m.entries().iter().any(|e| e.attribute.as_ref() == attr)
-                    && rel.schema().contains(pa)
-                    && !found.iter().any(|f| f == pa.as_ref())
-                {
-                    found.push(pa.to_string());
-                }
-            }
+    plan::resolve_in_schema(rel.schema(), attr, dictionary)
+}
+
+/// Execute an IOM on the physical-plan engine; returns the final
+/// relation and the trace (see [`ExecOptions::retain_intermediates`]).
+pub fn execute(
+    iom: &Iom,
+    registry: &LqpRegistry,
+    dictionary: &DataDictionary,
+    options: ExecOptions,
+) -> Result<(PolygenRelation, ExecutionTrace), PqpError> {
+    let plan = plan::lower(
+        iom,
+        registry,
+        dictionary,
+        LowerOptions {
+            fuse: !options.retain_intermediates,
+        },
+    )?;
+    execute_plan(&plan, registry, dictionary, options)
+}
+
+/// Walk a lowered physical plan.
+pub fn execute_plan(
+    plan: &PhysicalPlan,
+    registry: &LqpRegistry,
+    dictionary: &DataDictionary,
+    options: ExecOptions,
+) -> Result<(PolygenRelation, ExecutionTrace), PqpError> {
+    let n = plan.nodes.len();
+    // Remaining consumers per node; the last consumer takes the stream,
+    // earlier ones clone it (Arc bumps — the tuples stay shared and the
+    // stage kernels copy-on-write).
+    let mut remaining = vec![0usize; n];
+    for node in &plan.nodes {
+        for i in node.op.inputs() {
+            remaining[i] += 1;
         }
     }
-    found.dedup();
-    match found.as_slice() {
-        [one] => Ok(one.clone()),
-        [] => Err(PqpError::UnresolvedAttribute {
-            relation: rel.name().to_string(),
-            attribute: attr.to_string(),
-        }),
-        _ => Err(PqpError::AmbiguousAttribute {
-            relation: rel.name().to_string(),
-            attribute: attr.to_string(),
-            candidates: found,
-        }),
+    remaining[plan.root] += 1;
+    let mut slots: Vec<Option<TupleStream>> = (0..n).map(|_| None).collect();
+    let mut results: BTreeMap<usize, PolygenRelation> = BTreeMap::new();
+    let take = |slots: &mut Vec<Option<TupleStream>>, remaining: &mut Vec<usize>, i: usize| {
+        remaining[i] -= 1;
+        if remaining[i] == 0 {
+            slots[i].take().expect("plan is topologically ordered")
+        } else {
+            slots[i].clone().expect("plan is topologically ordered")
+        }
+    };
+    for (i, node) in plan.nodes.iter().enumerate() {
+        let stream = match &node.op {
+            PhysOp::Scan { db, op } => {
+                TupleStream::from_relation(registry.execute_tagged(db, op, dictionary)?)
+            }
+            PhysOp::Pipeline { input, stages } => {
+                let mut s = take(&mut slots, &mut remaining, *input);
+                for stage in stages {
+                    match &stage.kind {
+                        StageKind::Select { attr, cmp, value } => s.select(attr, *cmp, value)?,
+                        StageKind::Restrict { x, cmp, y } => s.restrict(x, *cmp, y)?,
+                        StageKind::Project { cols, output } => {
+                            let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+                            s.project(&refs)?;
+                            if output != cols {
+                                let names: Vec<&str> = output.iter().map(String::as_str).collect();
+                                s.rename(&names)?;
+                            }
+                        }
+                    }
+                    // Per-stage retention keeps the trace complete even
+                    // when the caller hands us a *fused* plan.
+                    if options.retain_intermediates {
+                        results.insert(stage.row, s.to_relation());
+                    }
+                }
+                s
+            }
+            PhysOp::HashJoin {
+                left,
+                right,
+                x,
+                y,
+                out,
+            } => {
+                let l = take(&mut slots, &mut remaining, *left).into_relation();
+                let r = take(&mut slots, &mut remaining, *right).into_relation();
+                TupleStream::from_relation(algebra::hash_equi_join_coalesced(&l, &r, x, y, out)?)
+            }
+            PhysOp::ThetaJoin {
+                left,
+                right,
+                x,
+                cmp,
+                y,
+            } => {
+                let l = take(&mut slots, &mut remaining, *left).into_relation();
+                let r = take(&mut slots, &mut remaining, *right).into_relation();
+                TupleStream::from_relation(algebra::theta_join(&l, &r, x, *cmp, y)?)
+            }
+            PhysOp::HashMerge {
+                inputs,
+                key,
+                relabels,
+                ..
+            } => {
+                let mut rels = Vec::with_capacity(inputs.len());
+                for (idx, names) in inputs.iter().zip(relabels) {
+                    let mut s = take(&mut slots, &mut remaining, *idx);
+                    // Relabel on the stream — a schema swap, not the cell
+                    // deep-copy `rename_attrs` on a relation would be.
+                    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                    s.rename(&refs)?;
+                    rels.push(s.into_relation());
+                }
+                let (merged, _conflicts) =
+                    algebra::hash_merge(&rels, key, options.conflict_policy)?;
+                TupleStream::from_relation(merged)
+            }
+            PhysOp::AntiJoin { left, right, x, y } => {
+                let l = take(&mut slots, &mut remaining, *left).into_relation();
+                let r = take(&mut slots, &mut remaining, *right).into_relation();
+                TupleStream::from_relation(algebra::anti_join(&l, &r, x, y)?)
+            }
+            PhysOp::Union { left, right } => {
+                let l = take(&mut slots, &mut remaining, *left).into_relation();
+                let r = take(&mut slots, &mut remaining, *right).into_relation();
+                TupleStream::from_relation(algebra::union(&l, &r)?)
+            }
+            PhysOp::Difference { left, right } => {
+                let l = take(&mut slots, &mut remaining, *left).into_relation();
+                let r = take(&mut slots, &mut remaining, *right).into_relation();
+                TupleStream::from_relation(algebra::difference(&l, &r)?)
+            }
+            PhysOp::Intersect { left, right } => {
+                let l = take(&mut slots, &mut remaining, *left).into_relation();
+                let r = take(&mut slots, &mut remaining, *right).into_relation();
+                TupleStream::from_relation(algebra::intersect(&l, &r)?)
+            }
+            PhysOp::Product { left, right } => {
+                let l = take(&mut slots, &mut remaining, *left).into_relation();
+                let r = take(&mut slots, &mut remaining, *right).into_relation();
+                TupleStream::from_relation(algebra::product(&l, &r)?)
+            }
+        };
+        // Planned and runtime schemas are identical by construction, but
+        // the LQP registry has interior mutability: re-registering an LQP
+        // between compile and run would make the baked plan stale. Fail
+        // loudly instead of applying resolved columns to the wrong shape.
+        if stream.schema().as_ref() != node.schema.as_ref() {
+            return Err(PqpError::MalformedRow {
+                row: node.row,
+                reason: format!(
+                    "stale physical plan at node #{i}: planned schema {:?} diverges from \
+                     runtime schema {:?}; recompile after registry changes",
+                    node.schema.attrs(),
+                    stream.schema().attrs()
+                ),
+            });
+        }
+        // Pipelines already recorded themselves stage by stage (the last
+        // stage's row IS node.row) — don't materialize a second copy.
+        if options.retain_intermediates && !matches!(node.op, PhysOp::Pipeline { .. }) {
+            results.insert(node.row, stream.to_relation());
+        }
+        slots[i] = Some(stream);
     }
+    let root = &plan.nodes[plan.root];
+    let answer = slots[plan.root]
+        .take()
+        .expect("root evaluated")
+        .into_relation();
+    results.entry(root.row).or_insert_with(|| answer.clone());
+    Ok((answer, ExecutionTrace { results }))
 }
+
+// ---------------------------------------------------------------------
+// The eager reference interpreter — the paper's row-by-row execution,
+// kept as the semantics the physical engine is differential-tested
+// against.
+// ---------------------------------------------------------------------
 
 struct Executor<'a> {
     registry: &'a LqpRegistry,
@@ -315,22 +484,7 @@ impl Executor<'_> {
                     let out = algebra::equi_join_coalesced(&left, &right, &x, &y, &y)?;
                     let mut aliases = self.alias_map(&row.lhr);
                     aliases.extend(self.alias_map(&row.rhr));
-                    // The left join column was renamed: repoint anything
-                    // that referenced it, then alias the old names.
-                    for col in aliases.values_mut() {
-                        if *col == x {
-                            *col = y.clone();
-                        }
-                    }
-                    if x != y {
-                        aliases.insert(x.clone(), y.clone());
-                    }
-                    if x_raw != y {
-                        aliases.insert(x_raw, y.clone());
-                    }
-                    if y_raw != &y {
-                        aliases.insert(y_raw.clone(), y.clone());
-                    }
+                    let aliases = plan::equi_join_aliases(aliases, &x, x_raw, &y, y_raw);
                     let aliases = Self::retain_valid(aliases, &out);
                     Ok((out, aliases))
                 } else {
@@ -394,8 +548,9 @@ impl Executor<'_> {
     }
 }
 
-/// Execute an IOM; returns the final relation and the full per-row trace.
-pub fn execute(
+/// Execute an IOM row by row with the eager reference algebra; returns
+/// the final relation and the full per-row trace (always retained).
+pub fn execute_eager(
     iom: &Iom,
     registry: &LqpRegistry,
     dictionary: &DataDictionary,
@@ -452,12 +607,19 @@ mod tests {
     use polygen_lqp::scenario_registry;
     use polygen_sql::algebra_expr::parse_algebra;
 
+    fn retained() -> ExecOptions {
+        ExecOptions {
+            retain_intermediates: true,
+            ..ExecOptions::default()
+        }
+    }
+
     fn run(expr: &str) -> (PolygenRelation, ExecutionTrace) {
         let s = scenario::build();
         let registry = scenario_registry(&s);
         let pom = analyze(&parse_algebra(expr).unwrap()).unwrap();
         let (_, iom) = interpret(&pom, s.dictionary.schema()).unwrap();
-        execute(&iom, &registry, &s.dictionary, ExecOptions::default()).unwrap()
+        execute(&iom, &registry, &s.dictionary, retained()).unwrap()
     }
 
     #[test]
@@ -488,13 +650,83 @@ mod tests {
     }
 
     #[test]
-    fn trace_exposes_intermediate_tables() {
+    fn trace_exposes_intermediate_tables_when_retained() {
         let (_, trace) = run(polygen_sql::algebra_expr::PAPER_EXPRESSION);
         assert_eq!(trace.results.len(), 10);
         // R(1) = Table 4 (5 MBA alumni), R(7) = Table 6 (12 organizations).
         assert_eq!(trace.result(1).unwrap().len(), 5);
         assert_eq!(trace.result(7).unwrap().len(), 12);
         assert_eq!(trace.result(10).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn fused_plan_retention_still_traces_every_row() {
+        // A caller can hand execute_plan a *fused* plan and still ask for
+        // retention: fused stages are captured stage by stage.
+        let s = scenario::build();
+        let registry = scenario_registry(&s);
+        let pom =
+            analyze(&parse_algebra(polygen_sql::algebra_expr::PAPER_EXPRESSION).unwrap()).unwrap();
+        let (_, iom) = interpret(&pom, s.dictionary.schema()).unwrap();
+        let fused = crate::plan::lower(
+            &iom,
+            &registry,
+            &s.dictionary,
+            crate::plan::LowerOptions { fuse: true },
+        )
+        .unwrap();
+        assert!(fused.fused_rows() > 0);
+        let (_, trace) = execute_plan(&fused, &registry, &s.dictionary, retained()).unwrap();
+        assert_eq!(
+            trace.results.len(),
+            10,
+            "R(9) captured from inside the pipeline"
+        );
+        assert_eq!(trace.result(9).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn production_trace_keeps_only_the_final_relation() {
+        let s = scenario::build();
+        let registry = scenario_registry(&s);
+        let pom =
+            analyze(&parse_algebra(polygen_sql::algebra_expr::PAPER_EXPRESSION).unwrap()).unwrap();
+        let (_, iom) = interpret(&pom, s.dictionary.schema()).unwrap();
+        let (rel, trace) = execute(&iom, &registry, &s.dictionary, ExecOptions::default()).unwrap();
+        assert_eq!(trace.results.len(), 1);
+        assert!(trace.result(10).unwrap().tagged_set_eq(&rel));
+    }
+
+    #[test]
+    fn physical_engine_matches_eager_reference() {
+        let s = scenario::build();
+        let registry = scenario_registry(&s);
+        for expr in [
+            polygen_sql::algebra_expr::PAPER_EXPRESSION,
+            "PORGANIZATION [INDUSTRY = \"Banking\"]",
+            "(PALUMNUS [DEGREE = \"MBA\"]) UNION (PALUMNUS [DEGREE = \"MS\"])",
+            "PALUMNUS MINUS (PALUMNUS [DEGREE = \"MBA\"])",
+            "(PORGANIZATION ANTIJOIN [ONAME = ONAME] PFINANCE) [ONAME]",
+            "PCAREER [AID# < AID#] PCAREER",
+        ] {
+            let pom = analyze(&parse_algebra(expr).unwrap()).unwrap();
+            let (_, iom) = interpret(&pom, s.dictionary.schema()).unwrap();
+            let (eager, eager_trace) =
+                execute_eager(&iom, &registry, &s.dictionary, ExecOptions::default()).unwrap();
+            let (fast, fast_trace) = execute(&iom, &registry, &s.dictionary, retained()).unwrap();
+            assert!(eager.tagged_set_eq(&fast), "answers diverge for {expr}");
+            assert_eq!(
+                eager_trace.results.len(),
+                fast_trace.results.len(),
+                "trace shape diverges for {expr}"
+            );
+            for (pr, rel) in &eager_trace.results {
+                assert!(
+                    rel.tagged_set_eq(fast_trace.result(*pr).unwrap()),
+                    "R({pr}) diverges for {expr}"
+                );
+            }
+        }
     }
 
     #[test]

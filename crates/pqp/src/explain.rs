@@ -4,6 +4,7 @@
 
 use crate::costing;
 use crate::iom::render_iom;
+use crate::plan::render_plan;
 use crate::pom::render_pom;
 use crate::pqp::QueryOutcome;
 use polygen_catalog::dictionary::DataDictionary;
@@ -37,6 +38,12 @@ pub fn explain(outcome: &QueryOutcome, dictionary: &DataDictionary) -> String {
             r.retrieves_deduped, r.merges_deduped, r.selects_pushed, r.rows_eliminated
         );
     }
+    let _ = writeln!(out, "\n== Physical plan ==");
+    out.push_str(&render_plan(&outcome.compiled.physical));
+    let fused = outcome.compiled.physical.fused_rows();
+    if fused > 0 {
+        let _ = writeln!(out, "({fused} row(s) fused into pipeline stages)");
+    }
     let _ = writeln!(out, "\n== Answer ==");
     out.push_str(&render_relation(&outcome.answer, reg));
     let _ = writeln!(out, "\n== Provenance by attribute ==");
@@ -62,15 +69,16 @@ pub fn explain(outcome: &QueryOutcome, dictionary: &DataDictionary) -> String {
 }
 
 /// [`explain`] plus the plan-cost estimate against a concrete LQP
-/// registry (which LQPs dominate, how many tuples ship).
+/// registry (which LQPs dominate, how many tuples ship), estimated over
+/// the physical operator tree.
 pub fn explain_with_cost(
     outcome: &QueryOutcome,
     dictionary: &DataDictionary,
     registry: &LqpRegistry,
 ) -> String {
     let mut out = explain(outcome, dictionary);
-    let _ = writeln!(out, "\n== Plan cost estimate ==");
-    out.push_str(&costing::estimate(&outcome.compiled.plan, registry).to_string());
+    let _ = writeln!(out, "\n== Plan cost estimate (physical) ==");
+    out.push_str(&costing::estimate_physical(&outcome.compiled.physical, registry).to_string());
     out
 }
 
@@ -100,6 +108,10 @@ mod tests {
         assert!(report.contains("pass one"));
         assert!(report.contains("Intermediate Operation Matrix"));
         assert!(report.contains("Merge"));
+        assert!(report.contains("== Physical plan =="));
+        assert!(report.contains("HashJoin"), "join strategy annotated");
+        assert!(report.contains("HashMerge"), "merge strategy annotated");
+        assert!(report.contains("fused"), "fusion annotated");
         assert!(report.contains("== Answer =="));
         assert!(report.contains("Genentech"));
         assert!(report.contains("Provenance by attribute"));

@@ -12,10 +12,15 @@
 //!      ▼
 //! Interpreter pass two ──▶ Intermediate Operation Matrix (Table 3)
 //!      ▼
-//! Query Optimizer ──▶ execution plan
+//! Query Optimizer ──▶ optimized IOM
 //!      ▼
-//! Executor ──▶ LQP rows to local systems (tagged at the boundary),
-//!              PQP rows through the polygen algebra   (Tables 4–9)
+//! Physical-plan lowering ──▶ operator DAG: Scan leaves, fused
+//!              Select/Restrict/Project pipelines, single-pass hash
+//!              equi-joins, k-way hash Merge            ([`plan`])
+//!      ▼
+//! Executor ──▶ walks the physical plan, materializing only pipeline
+//!              breakers; the eager row-by-row reference interpreter
+//!              survives as `execute_eager`             (Tables 4–9)
 //! ```
 //!
 //! Entry point: [`pqp::Pqp`]. `Pqp::for_scenario` wires the paper's MIT
@@ -30,6 +35,7 @@ pub mod explain;
 pub mod interpreter;
 pub mod iom;
 pub mod optimizer;
+pub mod plan;
 pub mod pom;
 #[allow(clippy::module_inception)]
 pub mod pqp;
@@ -37,13 +43,19 @@ pub mod pqp;
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::analyzer::analyze;
-    pub use crate::costing::{estimate, PlanCost};
+    pub use crate::costing::{estimate, estimate_physical, PlanCost};
     pub use crate::error::PqpError;
-    pub use crate::executor::{execute, resolve_attr, ExecOptions, ExecutionTrace};
+    pub use crate::executor::{
+        execute, execute_eager, execute_plan, resolve_attr, ExecOptions, ExecutionTrace,
+    };
     pub use crate::explain::explain;
     pub use crate::interpreter::{interpret, pass_one, pass_two};
     pub use crate::iom::{render_iom, ExecLoc, Iom, IomRow};
     pub use crate::optimizer::{optimize, OptimizerReport};
+    pub use crate::plan::{
+        lower as lower_plan, render_plan, LowerOptions, PhysNode, PhysOp, PhysicalPlan, Stage,
+        StageKind,
+    };
     pub use crate::pom::{render_pom, Op, Pom, PomRow, RelRef, Rha};
     pub use crate::pqp::{CompiledQuery, Pqp, PqpOptions, QueryOutcome};
 }

@@ -6,10 +6,11 @@
 
 use crate::analyzer::analyze;
 use crate::error::PqpError;
-use crate::executor::{execute, ExecOptions, ExecutionTrace};
+use crate::executor::{execute_plan, ExecOptions, ExecutionTrace};
 use crate::interpreter::interpret;
 use crate::iom::Iom;
 use crate::optimizer::{optimize, OptimizerReport};
+use crate::plan::{lower as lower_plan, LowerOptions, PhysicalPlan};
 use crate::pom::Pom;
 use polygen_catalog::dictionary::DataDictionary;
 use polygen_catalog::scenario::Scenario;
@@ -32,6 +33,11 @@ pub struct PqpOptions {
     /// Run the Query Optimizer (off reproduces the paper's "Table 3 used
     /// as a query execution plan … without further optimization").
     pub optimize: bool,
+    /// Retain every `R(n)` in the [`QueryOutcome`]'s trace. Off by
+    /// default: production pipelines fuse stages and keep only the final
+    /// relation; the golden-table reproduction switches this on to read
+    /// Tables 4–9 out of the trace.
+    pub retain_intermediates: bool,
 }
 
 impl Default for PqpOptions {
@@ -40,6 +46,7 @@ impl Default for PqpOptions {
             lowering: LoweringOptions::default(),
             conflict_policy: ConflictPolicy::Strict,
             optimize: false,
+            retain_intermediates: false,
         }
     }
 }
@@ -59,6 +66,9 @@ pub struct CompiledQuery {
     pub plan: Iom,
     /// What the optimizer changed.
     pub optimizer_report: OptimizerReport,
+    /// The physical operator DAG lowered from `plan` — what actually
+    /// executes (hash joins, k-way hash merge, fused pipelines).
+    pub physical: PhysicalPlan,
 }
 
 /// One executed query: the answer plus every intermediate relation.
@@ -139,6 +149,14 @@ impl Pqp {
         } else {
             (iom.clone(), OptimizerReport::default())
         };
+        let physical = lower_plan(
+            &plan,
+            &self.registry,
+            &self.dictionary,
+            LowerOptions {
+                fuse: !self.options.retain_intermediates,
+            },
+        )?;
         Ok(CompiledQuery {
             expr,
             pom,
@@ -146,17 +164,19 @@ impl Pqp {
             iom,
             plan,
             optimizer_report,
+            physical,
         })
     }
 
-    /// Execute a compiled query.
+    /// Execute a compiled query on the physical-plan engine.
     pub fn run(&self, compiled: CompiledQuery) -> Result<QueryOutcome, PqpError> {
-        let (answer, trace) = execute(
-            &compiled.plan,
+        let (answer, trace) = execute_plan(
+            &compiled.physical,
             &self.registry,
             &self.dictionary,
             ExecOptions {
                 conflict_policy: self.options.conflict_policy,
+                retain_intermediates: self.options.retain_intermediates,
             },
         )?;
         Ok(QueryOutcome {
@@ -224,7 +244,26 @@ mod tests {
         assert_eq!(out.compiled.half.cardinality(), 5);
         assert_eq!(out.compiled.iom.cardinality(), 10);
         assert_eq!(out.answer.len(), 3);
+        // Production default: fused physical plan, final-only trace.
+        assert!(out.compiled.physical.fused_rows() > 0);
+        assert_eq!(out.trace.results.len(), 1);
+    }
+
+    #[test]
+    fn retained_outcome_exposes_full_trace() {
+        let s = scenario::build();
+        let pqp = Pqp::for_scenario(&s).with_options(PqpOptions {
+            retain_intermediates: true,
+            ..PqpOptions::default()
+        });
+        let out = pqp.query_algebra(PAPER_EXPRESSION).unwrap();
         assert_eq!(out.trace.results.len(), 10);
+        assert_eq!(
+            out.compiled.physical.fused_rows(),
+            0,
+            "retention disables fusion"
+        );
+        assert!(out.trace.result(10).unwrap().tagged_set_eq(&out.answer));
     }
 
     #[test]

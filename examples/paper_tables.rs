@@ -18,7 +18,12 @@ use polygen::sql::prelude::PAPER_EXPRESSION;
 
 fn main() {
     let s = scenario::build();
-    let pqp = Pqp::for_scenario(&s);
+    // Tables 4–9 are read out of the execution trace: opt into full
+    // retention (the production default keeps only the final relation).
+    let pqp = Pqp::for_scenario(&s).with_options(PqpOptions {
+        retain_intermediates: true,
+        ..PqpOptions::default()
+    });
     let reg = pqp.dictionary().registry();
 
     println!("== The polygen algebraic expression (Section III) ==\n");

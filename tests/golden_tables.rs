@@ -21,7 +21,12 @@ const PAPER_SQL: &str = "SELECT ONAME, CEO \
 
 fn outcome() -> (QueryOutcome, polygen::core::SourceRegistry) {
     let s = scenario::build();
-    let pqp = Pqp::for_scenario(&s);
+    // Tables 4–9 are read out of the execution trace, so retention is
+    // switched on (production pipelines default to final-only).
+    let pqp = Pqp::for_scenario(&s).with_options(PqpOptions {
+        retain_intermediates: true,
+        ..PqpOptions::default()
+    });
     let out = pqp
         .query_algebra(PAPER_EXPRESSION)
         .expect("paper query runs");

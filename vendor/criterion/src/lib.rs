@@ -11,8 +11,18 @@
 //! `sample_size` samples, and the per-iteration median is printed. There is
 //! no statistical analysis, plotting, or HTML report — swap the real
 //! criterion back in (same manifests, registry access required) for those.
+//!
+//! Two environment variables support the CI quick-bench step:
+//!
+//! * `POLYGEN_BENCH_SAMPLES=<n>` — sampling mode: override every group's
+//!   sample count (e.g. `2` for a fast trend-tracking run).
+//! * `POLYGEN_BENCH_JSON=<path>` — append one JSON object per benchmark
+//!   (`{"group","bench","median_ns"}`, JSON-lines) to `path`; CI collects
+//!   these into the `BENCH_pipeline.json` artifact.
 
 use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Identifier for one benchmark within a group: a function name, a
@@ -131,6 +141,21 @@ impl BenchmarkGroup<'_> {
     }
 
     fn report(&self, label: &str, per_iter: Duration) {
+        if let Ok(path) = std::env::var("POLYGEN_BENCH_JSON") {
+            if !path.is_empty() {
+                let line = format!(
+                    "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{}}}\n",
+                    json_escape(&self.name),
+                    json_escape(label),
+                    per_iter.as_nanos()
+                );
+                let _ = OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                    .and_then(|mut f| f.write_all(line.as_bytes()));
+            }
+        }
         let throughput = match self.throughput {
             Some(Throughput::Elements(n)) if per_iter.as_nanos() > 0 => {
                 let rate = n as f64 / per_iter.as_secs_f64();
@@ -173,9 +198,26 @@ impl Criterion {
     }
 }
 
+/// Minimal JSON string escaping for bench labels.
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
 /// Calibrate an iteration count, then time `sample_size` samples and return
-/// the median per-iteration duration.
+/// the median per-iteration duration. `POLYGEN_BENCH_SAMPLES` overrides
+/// the sample count (the CI quick-bench sampling mode).
 fn run_samples<F: FnMut(&mut Bencher)>(sample_size: usize, routine: &mut F) -> Duration {
+    let sample_size = std::env::var("POLYGEN_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(sample_size, |n| n.max(2));
     // Calibration: find an iteration count that takes roughly 2ms.
     let mut iters = 1u64;
     loop {
@@ -248,6 +290,13 @@ mod tests {
     fn id_formats() {
         assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
         assert_eq!(BenchmarkId::from_parameter(7).label, "7");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("merge/strategy"), "merge/strategy");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
     }
 
     #[test]
