@@ -14,6 +14,7 @@
 use crate::algebra::coalesce::{coalesce, coalesce_cells, ConflictPolicy};
 use crate::error::PolygenError;
 use crate::relation::PolygenRelation;
+use crate::stream::{scoped_map, ParallelOptions, Partitioner};
 use crate::tuple::{self, PolyTuple};
 use polygen_flat::schema::Schema;
 use polygen_flat::value::{Cmp, Value};
@@ -152,32 +153,117 @@ pub fn hash_equi_join_coalesced(
     let yi = p2.schema().index_of(y)?.0;
     let schema = equi_join_coalesced_schema(p1.schema(), p2.schema(), x, y, out)?;
     let mut tuples: Vec<PolyTuple> = Vec::new();
-    let mut emit = |a: &PolyTuple, b: &PolyTuple| -> Result<(), PolygenError> {
-        let merged = coalesce_cells(&a[xi], &b[yi]).ok_or_else(|| {
-            // Data equal through θ but not through `==` (Int vs Float):
-            // the reference path's strict coalesce rejects this too.
-            PolygenError::CoalesceConflict {
-                attribute: out.to_string(),
-                left: a[xi].datum.to_string(),
-                right: b[yi].datum.to_string(),
-            }
-        })?;
-        let mut t = Vec::with_capacity(a.len() + b.len() - 1);
-        for (i, c) in a.iter().enumerate() {
-            t.push(if i == xi { merged.clone() } else { c.clone() });
-        }
-        for (i, c) in b.iter().enumerate() {
-            if i != yi {
-                t.push(c.clone());
-            }
-        }
-        let mediators = a[xi].origin.union(&b[yi].origin);
-        tuple::add_intermediate_all(&mut t, &mediators);
-        tuples.push(t);
+    probe_equi(p1, xi, p2, yi, &mut |a, b| {
+        tuples.push(coalesced_join_tuple(a, b, xi, yi, out)?);
         Ok(())
-    };
-    probe_equi(p1, xi, p2, yi, &mut emit)?;
+    })?;
     PolygenRelation::from_tuples(schema, tuples)
+}
+
+/// Build one output tuple of the coalesced equi-join: the matched pair
+/// concatenated with the join columns merged into `a[xi]`'s position and
+/// the Restrict-style mediator update applied. Shared by the sequential
+/// and the partition-parallel kernels so the two can never diverge on
+/// emit semantics.
+fn coalesced_join_tuple(
+    a: &PolyTuple,
+    b: &PolyTuple,
+    xi: usize,
+    yi: usize,
+    out: &str,
+) -> Result<PolyTuple, PolygenError> {
+    let merged = coalesce_cells(&a[xi], &b[yi]).ok_or_else(|| {
+        // Data equal through θ but not through `==` (Int vs Float):
+        // the reference path's strict coalesce rejects this too.
+        PolygenError::CoalesceConflict {
+            attribute: out.to_string(),
+            left: a[xi].datum.to_string(),
+            right: b[yi].datum.to_string(),
+        }
+    })?;
+    let mut t = Vec::with_capacity(a.len() + b.len() - 1);
+    for (i, c) in a.iter().enumerate() {
+        t.push(if i == xi { merged.clone() } else { c.clone() });
+    }
+    for (i, c) in b.iter().enumerate() {
+        if i != yi {
+            t.push(c.clone());
+        }
+    }
+    let mediators = a[xi].origin.union(&b[yi].origin);
+    tuple::add_intermediate_all(&mut t, &mediators);
+    Ok(t)
+}
+
+/// Partition-parallel [`hash_equi_join_coalesced`]: hash-split both sides
+/// on the join key so matching tuples co-locate, build + probe each
+/// partition on a scoped worker, and reassemble the emits in probe order
+/// — the output is byte-identical (tuples, tags *and* order) to the
+/// sequential kernel on every thread count.
+///
+/// Falls back to the sequential kernel when `par` is serial, an input is
+/// empty, or the key columns mix `Int`/`Float` data (a `1 = 1.0` match
+/// crosses hash partitions exactly like it crosses hash buckets — the
+/// sequential kernel's rescan handles it, partitioning cannot).
+pub fn hash_equi_join_coalesced_partitioned(
+    p1: &PolygenRelation,
+    p2: &PolygenRelation,
+    x: &str,
+    y: &str,
+    out: &str,
+    par: ParallelOptions,
+) -> Result<PolygenRelation, PolygenError> {
+    let xi = p1.schema().index_of(x)?.0;
+    let yi = p2.schema().index_of(y)?.0;
+    if !par.is_parallel() || p1.is_empty() || p2.is_empty() || mixed_numeric_keys(p1, xi, p2, yi) {
+        return hash_equi_join_coalesced(p1, p2, x, y, out);
+    }
+    let schema = equi_join_coalesced_schema(p1.schema(), p2.schema(), x, y, out)?;
+    let parter = Partitioner::new(par.partitions);
+    // Reference-only split: partitioning pushes pointers, never clones a
+    // cell. nil keys never join, so they are dropped here outright.
+    let mut probe: Vec<Vec<(usize, &PolyTuple)>> = (0..parter.partitions())
+        .map(|_| Vec::with_capacity(p1.len() / parter.partitions() + 1))
+        .collect();
+    for (i, t) in p1.tuples().iter().enumerate() {
+        if !t[xi].is_nil() {
+            probe[parter.index_of(&t[xi].datum)].push((i, t));
+        }
+    }
+    let mut build: Vec<Vec<&PolyTuple>> = (0..parter.partitions())
+        .map(|_| Vec::with_capacity(p2.len() / parter.partitions() + 1))
+        .collect();
+    for t in p2.tuples() {
+        if !t[yi].is_nil() {
+            build[parter.index_of(&t[yi].datum)].push(t);
+        }
+    }
+    let parts: Vec<_> = probe.into_iter().zip(build).collect();
+    let results = scoped_map(parts, par.threads, |_, (probe, build)| {
+        let mut index: HashMap<&Value, Vec<&PolyTuple>> = HashMap::with_capacity(build.len());
+        for b in build {
+            index.entry(&b[yi].datum).or_default().push(b);
+        }
+        let mut emitted: Vec<(usize, PolyTuple)> = Vec::new();
+        for (orig, a) in probe {
+            if let Some(matches) = index.get(&a[xi].datum) {
+                for b in matches {
+                    if a[xi].datum.satisfies(Cmp::Eq, &b[yi].datum) {
+                        emitted.push((orig, coalesced_join_tuple(a, b, xi, yi, out)?));
+                    }
+                }
+            }
+        }
+        Ok::<_, PolygenError>(emitted)
+    });
+    let mut all: Vec<(usize, PolyTuple)> = Vec::new();
+    for r in results {
+        all.extend(r?);
+    }
+    // Each partition's emits are already in probe order; a stable sort on
+    // the probe index interleaves them back into the sequential order.
+    all.sort_by_key(|(orig, _)| *orig);
+    PolygenRelation::from_tuples(schema, all.into_iter().map(|(_, t)| t).collect())
 }
 
 /// Do the two join columns mix `Int` and `Float` data? Only then can an
@@ -357,6 +443,84 @@ mod tests {
             fused.schema().attrs(),
             "schemas diverge"
         );
+    }
+
+    #[test]
+    fn partitioned_join_is_byte_identical_to_sequential() {
+        let sequential =
+            hash_equi_join_coalesced(&alumnus(), &career(), "AID#", "AID#", "AID#").unwrap();
+        for (threads, partitions) in [(1, 1), (2, 2), (4, 4), (8, 8), (2, 8), (1, 4)] {
+            let par = ParallelOptions {
+                threads,
+                partitions,
+            };
+            let parallel = hash_equi_join_coalesced_partitioned(
+                &alumnus(),
+                &career(),
+                "AID#",
+                "AID#",
+                "AID#",
+                par,
+            )
+            .unwrap();
+            assert_eq!(
+                sequential.tuples(),
+                parallel.tuples(),
+                "{threads}t/{partitions}p diverged (order included)"
+            );
+            assert_eq!(sequential.schema().attrs(), parallel.schema().attrs());
+        }
+    }
+
+    #[test]
+    fn partitioned_join_falls_back_on_mixed_numeric_keys() {
+        // 123.0 vs Int 123: the coalesce must reject it exactly like the
+        // sequential kernel does, via the fallback path.
+        let mut left = alumnus();
+        left.tuples_mut()[0][0].datum = Value::float(123.0);
+        let par = ParallelOptions::with_threads(4);
+        assert!(hash_equi_join_coalesced_partitioned(
+            &left,
+            &career(),
+            "AID#",
+            "AID#",
+            "AID#",
+            par
+        )
+        .is_err());
+        // Homogeneous Float keys take the parallel path and still match.
+        for t in left.tuples_mut() {
+            if let Value::Int(i) = t[0].datum {
+                t[0].datum = Value::float(i as f64);
+            }
+        }
+        let mut right = career();
+        for t in right.tuples_mut() {
+            if let Value::Int(i) = t[0].datum {
+                t[0].datum = Value::float(i as f64);
+            }
+        }
+        let seq = hash_equi_join_coalesced(&left, &right, "AID#", "AID#", "AID#").unwrap();
+        let parl = hash_equi_join_coalesced_partitioned(&left, &right, "AID#", "AID#", "AID#", par)
+            .unwrap();
+        assert_eq!(seq.tuples(), parl.tuples());
+    }
+
+    #[test]
+    fn partitioned_join_handles_nil_and_empty_inputs() {
+        let mut left = alumnus();
+        left.tuples_mut()[0][0].datum = Value::Null;
+        let par = ParallelOptions::with_threads(3);
+        let seq = hash_equi_join_coalesced(&left, &career(), "AID#", "AID#", "AID#").unwrap();
+        let parl =
+            hash_equi_join_coalesced_partitioned(&left, &career(), "AID#", "AID#", "AID#", par)
+                .unwrap();
+        assert_eq!(seq.tuples(), parl.tuples());
+        let empty = PolygenRelation::empty(Arc::clone(alumnus().schema()));
+        let j =
+            hash_equi_join_coalesced_partitioned(&empty, &career(), "AID#", "AID#", "AID#", par)
+                .unwrap();
+        assert!(j.is_empty());
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::cell::Cell;
 use crate::error::PolygenError;
 use crate::relation::PolygenRelation;
 use crate::source::SourceSet;
+use crate::stream::{scoped_map, ParallelOptions, Partitioner};
 use crate::tuple::PolyTuple;
 use polygen_flat::schema::Schema;
 use polygen_flat::value::Value;
@@ -109,80 +110,251 @@ pub fn hash_merge(
         })
         .collect();
     let key_out = schema.index_of(key)?.0;
-    let mut by_key: HashMap<Value, usize> = HashMap::new();
-    // Per output row: partially filled cells plus the accumulating K(v).
-    let mut rows: Vec<(Vec<Option<Cell>>, SourceSet)> = Vec::new();
-    let mut conflicts = Vec::new();
+    let mut acc = MergeAcc::default();
     for (rel, col_map) in relations.iter().zip(&col_maps) {
         let key_in = rel.schema().index_of(key)?.0;
-        for t in rel.tuples() {
-            let kc = &t[key_in];
-            let row_idx = if kc.is_nil() {
-                // nil keys never match (§II: nil satisfies no θ): each
-                // stays its own row, mediated only by its own origins.
-                None
-            } else {
-                by_key.get(&kc.datum).copied()
-            };
-            match row_idx {
-                Some(i) => {
-                    let (cells, mediators) = &mut rows[i];
-                    mediators.union_with(&kc.origin);
-                    for (ci, c) in t.iter().enumerate() {
-                        let out = &mut cells[col_map[ci]];
-                        match out {
-                            None => *out = Some(c.clone()),
-                            Some(existing) => {
-                                let merged = match coalesce_cells(existing, c) {
-                                    Some(m) => m,
-                                    None => {
-                                        conflicts.push(CoalesceConflict {
-                                            tuple_index: i,
+        // Scan indices are only consumed by the partitioned splice; the
+        // sequential path's creation order is already correct.
+        merge_into(
+            &mut acc,
+            &schema,
+            width,
+            col_map,
+            rel.tuples().iter().enumerate(),
+            key_in,
+            policy,
+        )?;
+    }
+    let tuples: Vec<PolyTuple> = acc
+        .rows
+        .into_iter()
+        .map(|(cells, mediators)| finalize_row(cells, &mediators, key_out))
+        .collect();
+    Ok((PolygenRelation::from_tuples(schema, tuples)?, acc.conflicts))
+}
+
+/// A partially-filled Merge output row plus its accumulating `K(v)`.
+type PendingRow = (Vec<Option<Cell>>, SourceSet);
+
+/// The closed-form Merge accumulator: one partially-filled output row per
+/// key (plus one per nil-key tuple), with the accumulating `K(v)`.
+#[derive(Default)]
+struct MergeAcc<'a> {
+    /// Per output row: partially filled cells plus the accumulating K(v).
+    rows: Vec<PendingRow>,
+    /// Per output row: the global scan index of the tuple that created it
+    /// — its position in the sequential first-appearance order, which is
+    /// how [`hash_merge_partitioned`] splices partitions back together.
+    ranks: Vec<usize>,
+    by_key: HashMap<&'a Value, usize>,
+    conflicts: Vec<CoalesceConflict>,
+}
+
+/// Fold one operand's tuples (each tagged with its global scan index)
+/// into the accumulator — the inner loop of the closed-form
+/// [`hash_merge`], shared with [`hash_merge_partitioned`] (which runs it
+/// per hash partition) so the two can never diverge.
+fn merge_into<'a>(
+    acc: &mut MergeAcc<'a>,
+    schema: &Schema,
+    width: usize,
+    col_map: &[usize],
+    tuples: impl IntoIterator<Item = (usize, &'a PolyTuple)>,
+    key_in: usize,
+    policy: ConflictPolicy,
+) -> Result<(), PolygenError> {
+    for (scan_idx, t) in tuples {
+        let kc = &t[key_in];
+        let row_idx = if kc.is_nil() {
+            // nil keys never match (§II: nil satisfies no θ): each
+            // stays its own row, mediated only by its own origins.
+            None
+        } else {
+            acc.by_key.get(&kc.datum).copied()
+        };
+        match row_idx {
+            Some(i) => {
+                let (cells, mediators) = &mut acc.rows[i];
+                mediators.union_with(&kc.origin);
+                for (ci, c) in t.iter().enumerate() {
+                    let out = &mut cells[col_map[ci]];
+                    match out {
+                        None => *out = Some(c.clone()),
+                        Some(existing) => {
+                            let merged = match coalesce_cells(existing, c) {
+                                Some(m) => m,
+                                None => {
+                                    acc.conflicts.push(CoalesceConflict {
+                                        tuple_index: i,
+                                        attribute: schema.attr_at(col_map[ci]).to_string(),
+                                        left: existing.clone(),
+                                        right: c.clone(),
+                                    });
+                                    conflict_winner(policy, existing, c).ok_or_else(|| {
+                                        PolygenError::CoalesceConflict {
                                             attribute: schema.attr_at(col_map[ci]).to_string(),
-                                            left: existing.clone(),
-                                            right: c.clone(),
-                                        });
-                                        conflict_winner(policy, existing, c).ok_or_else(|| {
-                                            PolygenError::CoalesceConflict {
-                                                attribute: schema.attr_at(col_map[ci]).to_string(),
-                                                left: existing.datum.to_string(),
-                                                right: c.datum.to_string(),
-                                            }
-                                        })?
-                                    }
-                                };
-                                *out = Some(merged);
-                            }
+                                            left: existing.datum.to_string(),
+                                            right: c.datum.to_string(),
+                                        }
+                                    })?
+                                }
+                            };
+                            *out = Some(merged);
                         }
                     }
                 }
-                None => {
-                    let mut cells: Vec<Option<Cell>> = vec![None; width];
-                    for (ci, c) in t.iter().enumerate() {
-                        cells[col_map[ci]] = Some(c.clone());
-                    }
-                    if !kc.is_nil() {
-                        by_key.insert(kc.datum.clone(), rows.len());
-                    }
-                    rows.push((cells, kc.origin.clone()));
+            }
+            None => {
+                let mut cells: Vec<Option<Cell>> = vec![None; width];
+                for (ci, c) in t.iter().enumerate() {
+                    cells[col_map[ci]] = Some(c.clone());
                 }
+                if !kc.is_nil() {
+                    acc.by_key.insert(&kc.datum, acc.rows.len());
+                }
+                acc.rows.push((cells, kc.origin.clone()));
+                acc.ranks.push(scan_idx);
             }
         }
     }
-    let tuples: Vec<PolyTuple> = rows
+    Ok(())
+}
+
+/// Seal one accumulator row: pad absent attributes with nil and apply the
+/// row's `K(v)` to every cell's intermediate set.
+fn finalize_row(cells: Vec<Option<Cell>>, mediators: &SourceSet, key_out: usize) -> PolyTuple {
+    cells
         .into_iter()
-        .map(|(cells, mediators)| {
-            cells
-                .into_iter()
-                .enumerate()
-                .map(|(i, c)| {
-                    debug_assert!(i != key_out || c.is_some(), "key column always filled");
-                    let mut cell = c.unwrap_or_else(|| Cell::nil_padding(SourceSet::empty()));
-                    cell.add_intermediate(&mediators);
-                    cell
-                })
+        .enumerate()
+        .map(|(i, c)| {
+            debug_assert!(i != key_out || c.is_some(), "key column always filled");
+            let mut cell = c.unwrap_or_else(|| Cell::nil_padding(SourceSet::empty()));
+            cell.add_intermediate(mediators);
+            cell
+        })
+        .collect()
+}
+
+/// Partition-parallel [`hash_merge`]: hash-split every operand on the
+/// merge key so all contributions to one output row co-locate, run the
+/// closed-form accumulator per partition on a scoped worker, and splice
+/// the partitions' rows back into the sequential first-appearance order —
+/// the relation is byte-identical (cells, tags *and* row order) to
+/// [`hash_merge`] on every thread count.
+///
+/// Inputs the closed form cannot cover (duplicate non-nil keys inside one
+/// operand, `Int`/`Float` mixing in key columns) take the same fallback
+/// [`hash_merge`] takes: the sequential reference fold. Conflict records
+/// report final-output `tuple_index`es, but their *order* (and the order
+/// in which a `Strict` policy trips) follows partition order rather than
+/// global scan order — as documented on [`hash_merge`], treat them as
+/// diagnostic.
+pub fn hash_merge_partitioned(
+    relations: &[PolygenRelation],
+    key: &str,
+    policy: ConflictPolicy,
+    par: ParallelOptions,
+) -> Result<(PolygenRelation, Vec<CoalesceConflict>), PolygenError> {
+    let (first, _) = relations.split_first().ok_or(PolygenError::EmptyMerge)?;
+    for rel in relations {
+        if !rel.schema().contains(key) {
+            return Err(PolygenError::MissingMergeKey {
+                relation: rel.name().to_string(),
+                key: key.to_string(),
+            });
+        }
+    }
+    if relations.len() == 1 {
+        return Ok((first.clone(), Vec::new()));
+    }
+    if !par.is_parallel() || !hash_mergeable(relations, key) {
+        return hash_merge(relations, key, policy);
+    }
+    let schemas: Vec<&Schema> = relations.iter().map(|r| r.schema().as_ref()).collect();
+    let schema = merged_schema(&schemas)?;
+    let width = schema.degree();
+    let col_maps: Vec<Vec<usize>> = relations
+        .iter()
+        .map(|rel| {
+            rel.schema()
+                .attrs()
+                .iter()
+                .map(|a| schema.index_of(a).expect("attr in union schema").0)
                 .collect()
         })
+        .collect();
+    let key_out = schema.index_of(key)?.0;
+    let key_ins: Vec<usize> = relations
+        .iter()
+        .map(|rel| rel.schema().index_of(key).map(|r| r.0))
+        .collect::<Result<_, _>>()?;
+    // Reference-only split (partition → operand → (scan index, tuple)):
+    // pointer pushes, no cell clones. The scan index is the tuple's
+    // position in the sequential engine's global scan; the accumulator
+    // stamps each output row with its creator's index, which IS the row's
+    // position in the sequential first-appearance order.
+    let parter = Partitioner::new(par.partitions);
+    let mut parts: Vec<Vec<Vec<(usize, &PolyTuple)>>> = (0..parter.partitions())
+        .map(|_| vec![Vec::new(); relations.len()])
+        .collect();
+    let mut scan_pos = 0usize;
+    for (ri, rel) in relations.iter().enumerate() {
+        let ki = key_ins[ri];
+        for t in rel.tuples() {
+            parts[parter.index_of(&t[ki].datum)][ri].push((scan_pos, t));
+            scan_pos += 1;
+        }
+    }
+    let results = scoped_map(parts, par.threads, |_, operands| {
+        let mut acc = MergeAcc::default();
+        for (ri, tuples) in operands.into_iter().enumerate() {
+            merge_into(
+                &mut acc,
+                &schema,
+                width,
+                &col_maps[ri],
+                tuples,
+                key_ins[ri],
+                policy,
+            )?;
+        }
+        Ok::<_, PolygenError>((acc.rows, acc.ranks, acc.conflicts))
+    });
+    // Splice the partitions back into the sequential creation order.
+    // Within a partition rows are already rank-sorted (creation follows
+    // the scan), so the stable sort merges pre-sorted runs.
+    let mut ranked: Vec<(usize, PendingRow)> = Vec::new();
+    let mut ranked_conflicts: Vec<(usize, CoalesceConflict)> = Vec::new();
+    for result in results {
+        let (rows, ranks, conflicts) = result?;
+        let base = ranked.len();
+        ranked.extend(ranks.into_iter().zip(rows));
+        for c in conflicts {
+            let rank = ranked[base + c.tuple_index].0;
+            ranked_conflicts.push((rank, c));
+        }
+    }
+    ranked.sort_by_key(|(rank, _)| *rank);
+    let conflicts = if ranked_conflicts.is_empty() {
+        Vec::new()
+    } else {
+        let final_index: HashMap<usize, usize> = ranked
+            .iter()
+            .enumerate()
+            .map(|(i, (rank, _))| (*rank, i))
+            .collect();
+        ranked_conflicts.sort_by_key(|(rank, _)| *rank);
+        ranked_conflicts
+            .into_iter()
+            .map(|(rank, mut c)| {
+                c.tuple_index = final_index[&rank];
+                c
+            })
+            .collect()
+    };
+    let tuples: Vec<PolyTuple> = ranked
+        .into_iter()
+        .map(|(_, (cells, mediators))| finalize_row(cells, &mediators, key_out))
         .collect();
     Ok((PolygenRelation::from_tuples(schema, tuples)?, conflicts))
 }
@@ -455,6 +627,140 @@ mod tests {
         ));
         assert!(matches!(
             hash_merge(&rels, "NOKEY", ConflictPolicy::Strict),
+            Err(PolygenError::MissingMergeKey { .. })
+        ));
+    }
+
+    /// hash_merge_partitioned must match the sequential hash_merge (and
+    /// therefore the fold) tuple-for-tuple, order included, on every
+    /// thread/partition combination.
+    fn assert_partitioned_matches_sequential(
+        rels: &[PolygenRelation],
+        key: &str,
+        policy: ConflictPolicy,
+    ) {
+        let (seq, _) = hash_merge(rels, key, policy).unwrap();
+        for (threads, partitions) in [(1, 1), (2, 2), (4, 4), (8, 8), (2, 8), (1, 4)] {
+            let par = ParallelOptions {
+                threads,
+                partitions,
+            };
+            let (parl, _) = hash_merge_partitioned(rels, key, policy, par).unwrap();
+            assert_eq!(
+                seq.schema().attrs(),
+                parl.schema().attrs(),
+                "{threads}t/{partitions}p schemas diverge"
+            );
+            assert_eq!(
+                seq.tuples(),
+                parl.tuples(),
+                "{threads}t/{partitions}p tuples diverge (order included)"
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_merge_matches_sequential_on_three_sources() {
+        assert_partitioned_matches_sequential(&three_sources(), "ONAME", ConflictPolicy::Strict);
+    }
+
+    #[test]
+    fn partitioned_merge_matches_with_nils_and_conflicts() {
+        let mut rels = three_sources();
+        rels[1].tuples_mut()[1][0].datum = Value::Null;
+        rels[2].tuples_mut()[0][2].datum = Value::Null;
+        assert_partitioned_matches_sequential(&rels, "ONAME", ConflictPolicy::Strict);
+        let mut conflicted = three_sources();
+        for t in conflicted[1].tuples_mut() {
+            if t[0].datum == Value::str("Apple") {
+                t[2].datum = Value::str("TX");
+            }
+        }
+        assert_partitioned_matches_sequential(&conflicted, "ONAME", ConflictPolicy::PreferLeft);
+        assert_partitioned_matches_sequential(&conflicted, "ONAME", ConflictPolicy::PreferRight);
+        assert!(hash_merge_partitioned(
+            &conflicted,
+            "ONAME",
+            ConflictPolicy::Strict,
+            ParallelOptions::with_threads(4)
+        )
+        .is_err());
+        let (_, conflicts) = hash_merge_partitioned(
+            &conflicted,
+            "ONAME",
+            ConflictPolicy::PreferLeft,
+            ParallelOptions::with_threads(4),
+        )
+        .unwrap();
+        assert_eq!(conflicts.len(), 1);
+        // The remapped tuple_index points at the final output row.
+        let (m, _) = hash_merge_partitioned(
+            &conflicted,
+            "ONAME",
+            ConflictPolicy::PreferLeft,
+            ParallelOptions::with_threads(4),
+        )
+        .unwrap();
+        assert_eq!(
+            m.tuples()[conflicts[0].tuple_index][0].datum,
+            Value::str("Apple")
+        );
+    }
+
+    #[test]
+    fn partitioned_merge_falls_back_on_duplicate_and_mixed_keys() {
+        // Duplicate non-nil key inside one operand → reference fold.
+        let mut dup = three_sources();
+        let extra = dup[0].tuples()[0].clone();
+        dup[0].tuples_mut().push(extra);
+        let fold = merge(&dup, "ONAME", ConflictPolicy::Strict).unwrap().0;
+        let (parl, _) = hash_merge_partitioned(
+            &dup,
+            "ONAME",
+            ConflictPolicy::Strict,
+            ParallelOptions::with_threads(4),
+        )
+        .unwrap();
+        assert_eq!(fold.tuples(), parl.tuples());
+        // Int/Float mixing in the key columns → reference fold.
+        let mut mixed = three_sources();
+        mixed[0].tuples_mut()[0][0].datum = Value::int(1);
+        mixed[1].tuples_mut()[0][0].datum = Value::float(2.5);
+        let fold = merge(&mixed, "ONAME", ConflictPolicy::Strict).unwrap().0;
+        let (parl, _) = hash_merge_partitioned(
+            &mixed,
+            "ONAME",
+            ConflictPolicy::Strict,
+            ParallelOptions::with_threads(4),
+        )
+        .unwrap();
+        assert_eq!(fold.tuples(), parl.tuples());
+        // A θ-matching Int/Float key pair (1 = 1.0) conflicts on the key
+        // coalesce in the fold; the fallback must reject it identically.
+        mixed[1].tuples_mut()[0][0].datum = Value::float(1.0);
+        assert!(merge(&mixed, "ONAME", ConflictPolicy::Strict).is_err());
+        assert!(hash_merge_partitioned(
+            &mixed,
+            "ONAME",
+            ConflictPolicy::Strict,
+            ParallelOptions::with_threads(4)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn partitioned_merge_single_operand_and_errors_match() {
+        let rels = three_sources();
+        let par = ParallelOptions::with_threads(4);
+        let (m, _) =
+            hash_merge_partitioned(&rels[..1], "ONAME", ConflictPolicy::Strict, par).unwrap();
+        assert!(m.tagged_set_eq(&rels[0]));
+        assert!(matches!(
+            hash_merge_partitioned(&[], "K", ConflictPolicy::Strict, par),
+            Err(PolygenError::EmptyMerge)
+        ));
+        assert!(matches!(
+            hash_merge_partitioned(&rels, "NOKEY", ConflictPolicy::Strict, par),
             Err(PolygenError::MissingMergeKey { .. })
         ));
     }

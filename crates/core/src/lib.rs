@@ -65,7 +65,7 @@ pub mod prelude {
     pub use crate::relation::PolygenRelation;
     pub use crate::render::{render_cell, render_relation, render_tuple};
     pub use crate::source::{SourceId, SourceRegistry, SourceSet};
-    pub use crate::stream::{SharedTuple, TupleStream};
+    pub use crate::stream::{ParallelOptions, Partitioner, SharedTuple, TupleStream};
     pub use crate::tuple::PolyTuple;
 }
 

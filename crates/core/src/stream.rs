@@ -26,6 +26,7 @@ use crate::source::SourceSet;
 use crate::tuple::{self, PolyTuple};
 use polygen_flat::schema::Schema;
 use polygen_flat::value::{Cmp, Value};
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// A tuple shared between pipeline stages without deep-cloning cells.
@@ -139,6 +140,282 @@ impl TupleStream {
     }
 }
 
+// ---------------------------------------------------------------------
+// Partition-parallel execution support.
+//
+// The physical engine shards its operators across `std::thread::scope`
+// workers: fused stage chains split into contiguous *chunks* (no key
+// needed, concatenation restores the original order), hash join and hash
+// Merge split into *hash partitions* on the join/merge key so matching
+// tuples co-locate. Everything here is deterministic: the partition hash
+// is a fixed-key SipHash (no per-process randomness), chunking is
+// contiguous, and the consumers reassemble outputs in the original
+// order, so a parallel run is byte-identical to the sequential one.
+// ---------------------------------------------------------------------
+
+/// The parallelism knobs a partitioned kernel runs under: how many
+/// worker threads to spawn and how many partitions to split into.
+/// `partitions == 1` means "exactly the sequential code path".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelOptions {
+    /// Worker threads (clamped to ≥ 1).
+    pub threads: usize,
+    /// Partition count (clamped to ≥ 1). May exceed `threads`: extra
+    /// partitions deal round-robin onto the workers, which is the knob
+    /// for rebalancing a key-skewed load.
+    pub partitions: usize,
+}
+
+impl ParallelOptions {
+    /// Sequential execution (one worker, one partition).
+    pub fn serial() -> Self {
+        ParallelOptions {
+            threads: 1,
+            partitions: 1,
+        }
+    }
+
+    /// `threads` workers over `threads` partitions.
+    pub fn with_threads(threads: usize) -> Self {
+        let threads = threads.max(1);
+        ParallelOptions {
+            threads,
+            partitions: threads,
+        }
+    }
+
+    /// Resolve 0-valued ("auto") knobs: `threads == 0` falls back to
+    /// [`default_thread_count`], `partitions == 0` to the thread count.
+    pub fn resolved(threads: usize, partitions: usize) -> Self {
+        let threads = if threads == 0 {
+            default_thread_count()
+        } else {
+            threads
+        };
+        let partitions = if partitions == 0 { threads } else { partitions };
+        ParallelOptions {
+            threads,
+            partitions,
+        }
+    }
+
+    /// Does this configuration actually split work?
+    pub fn is_parallel(&self) -> bool {
+        self.partitions > 1
+    }
+}
+
+/// The thread count "auto" resolves to: the `POLYGEN_THREADS` environment
+/// variable when set to a positive integer (how CI pins both legs of the
+/// test matrix), otherwise [`std::thread::available_parallelism`].
+pub fn default_thread_count() -> usize {
+    match std::env::var("POLYGEN_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Deterministic multiply-rotate hasher (FxHash-style). Partitioning
+/// hashes every input tuple's key on the sequential side of a kernel, so
+/// it needs speed and run-to-run stability — not the DoS resistance the
+/// in-kernel `HashMap`s get from SipHash. The assignment is stable
+/// run-to-run (no per-process salt), which is all correctness needs —
+/// output order is reconstructed independently of where tuples landed.
+struct PartitionHasher {
+    hash: u64,
+}
+
+impl PartitionHasher {
+    fn new() -> Self {
+        PartitionHasher { hash: 0 }
+    }
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+impl Hasher for PartitionHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Deterministic hash partitioner. The same datum maps to the same
+/// partition in every run and on every thread count (a fixed
+/// multiply-rotate hash — *not* `RandomState`), which is what lets a
+/// partitioned kernel reassemble an output identical to the sequential
+/// engine's.
+#[derive(Debug, Clone, Copy)]
+pub struct Partitioner {
+    partitions: usize,
+}
+
+impl Partitioner {
+    /// A partitioner over `partitions` buckets (clamped to ≥ 1).
+    pub fn new(partitions: usize) -> Self {
+        Partitioner {
+            partitions: partitions.max(1),
+        }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// The partition a key datum belongs to. All `nil`s co-locate (they
+    /// hash identically), which keeps the Merge kernel's nil-row ordering
+    /// reconstructible.
+    pub fn index_of(&self, key: &Value) -> usize {
+        let mut h = PartitionHasher::new();
+        key.hash(&mut h);
+        (h.finish() % self.partitions as u64) as usize
+    }
+
+    /// Split a stream into `partitions` contiguous, order-preserving
+    /// chunks (trailing chunks may be empty). `Arc`s move — no tuple is
+    /// cloned. [`concat_streams`] of the chunks restores the input.
+    pub fn chunk_stream(&self, stream: TupleStream) -> Vec<TupleStream> {
+        let TupleStream { schema, tuples } = stream;
+        let per = tuples.len().div_ceil(self.partitions).max(1);
+        let mut chunks = Vec::with_capacity(self.partitions);
+        let mut iter = tuples.into_iter();
+        for _ in 0..self.partitions {
+            let chunk: Vec<SharedTuple> = iter.by_ref().take(per).collect();
+            chunks.push(TupleStream {
+                schema: Arc::clone(&schema),
+                tuples: chunk,
+            });
+        }
+        debug_assert!(iter.next().is_none(), "chunking covered every tuple");
+        chunks
+    }
+
+    /// Split a stream into hash partitions on `key`'s datum. Tuples with
+    /// equal keys co-locate; relative order within a partition is the
+    /// input order. `Arc`s move — no tuple is cloned.
+    pub fn split_by_key(
+        &self,
+        stream: TupleStream,
+        key: &str,
+    ) -> Result<Vec<TupleStream>, PolygenError> {
+        let TupleStream { schema, tuples } = stream;
+        let ki = schema.index_of(key)?.0;
+        let mut parts: Vec<Vec<SharedTuple>> = (0..self.partitions).map(|_| Vec::new()).collect();
+        for t in tuples {
+            parts[self.index_of(&t[ki].datum)].push(t);
+        }
+        Ok(parts
+            .into_iter()
+            .map(|tuples| TupleStream {
+                schema: Arc::clone(&schema),
+                tuples,
+            })
+            .collect())
+    }
+}
+
+/// Reassemble streams produced by [`Partitioner::chunk_stream`] (or any
+/// schema-identical splits) back into one stream, in the given order.
+pub fn concat_streams(parts: Vec<TupleStream>) -> Option<TupleStream> {
+    let mut parts = parts.into_iter();
+    let mut first = parts.next()?;
+    for p in parts {
+        debug_assert_eq!(
+            first.schema.as_ref(),
+            p.schema.as_ref(),
+            "concatenated parts share a schema"
+        );
+        first.tuples.extend(p.tuples);
+    }
+    Some(first)
+}
+
+/// Map `f` over `items` on up to `workers` scoped threads, preserving
+/// input order in the result. Items deal round-robin onto the workers
+/// (item `i` → worker `i % workers`), so with more items than workers a
+/// skewed load still spreads. With one worker (or ≤ 1 item) no thread is
+/// spawned and `f` runs inline — the sequential path costs nothing extra.
+pub fn scoped_map<I, T, F>(items: Vec<I>, workers: usize, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    let n = items.len();
+    let workers = workers.clamp(1, n.max(1));
+    if workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let mut buckets: Vec<Vec<(usize, I)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        buckets[i % workers].push((i, item));
+    }
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                s.spawn(move || {
+                    bucket
+                        .into_iter()
+                        .map(|(i, item)| (i, f(i, item)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, t) in h.join().expect("partition worker panicked") {
+                out[i] = Some(t);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|t| t.expect("every item mapped"))
+        .collect()
+}
+
 /// Add `mediators` to every cell's intermediate set, copy-on-write: a
 /// no-op when the tags are already present (chained stages over the same
 /// sources), an in-place mutation when the tuple is uniquely owned, and a
@@ -243,6 +520,70 @@ mod tests {
         s.restrict("ANAME", Cmp::Ne, "ORG").unwrap();
         s.restrict("ANAME", Cmp::Ne, "ORG").unwrap();
         assert!(s.into_relation().tagged_set_eq(&eager));
+    }
+
+    #[test]
+    fn chunking_roundtrips_in_order() {
+        let rel = base();
+        let s = TupleStream::from_relation(rel.clone());
+        for p in [1usize, 2, 3, 8] {
+            let chunks = Partitioner::new(p).chunk_stream(s.clone());
+            assert_eq!(chunks.len(), p);
+            let back = concat_streams(chunks).unwrap();
+            assert_eq!(back.to_relation().tuples(), rel.tuples(), "order preserved");
+        }
+    }
+
+    #[test]
+    fn key_split_colocates_equal_keys_deterministically() {
+        let rel = base();
+        let s = TupleStream::from_relation(rel);
+        let parter = Partitioner::new(4);
+        let parts = parter.split_by_key(s.clone(), "DEG").unwrap();
+        assert_eq!(parts.len(), 4);
+        // Every MBA row landed in the same partition.
+        let mba = parter.index_of(&Value::str("MBA"));
+        for (i, p) in parts.iter().enumerate() {
+            let rel = p.to_relation();
+            for t in rel.tuples() {
+                if t[1].datum == Value::str("MBA") {
+                    assert_eq!(i, mba);
+                }
+            }
+        }
+        // Same assignment on a fresh partitioner (no per-process salt).
+        assert_eq!(Partitioner::new(4).index_of(&Value::str("MBA")), mba);
+        assert!(parter.split_by_key(s, "NOPE").is_err());
+    }
+
+    #[test]
+    fn scoped_map_preserves_order_across_worker_counts() {
+        let items: Vec<usize> = (0..23).collect();
+        let expect: Vec<usize> = items.iter().map(|i| i * 2).collect();
+        for workers in [1usize, 2, 4, 16, 64] {
+            let got = scoped_map(items.clone(), workers, |i, item| {
+                assert_eq!(i, item);
+                item * 2
+            });
+            assert_eq!(got, expect, "workers = {workers}");
+        }
+        let empty: Vec<usize> = scoped_map(Vec::new(), 4, |_, item: usize| item);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn parallel_options_resolution() {
+        assert_eq!(ParallelOptions::serial().partitions, 1);
+        assert!(!ParallelOptions::serial().is_parallel());
+        let p = ParallelOptions::with_threads(4);
+        assert_eq!((p.threads, p.partitions), (4, 4));
+        assert!(p.is_parallel());
+        let r = ParallelOptions::resolved(2, 0);
+        assert_eq!((r.threads, r.partitions), (2, 2));
+        let r = ParallelOptions::resolved(2, 8);
+        assert_eq!((r.threads, r.partitions), (2, 8));
+        let auto = ParallelOptions::resolved(0, 0);
+        assert!(auto.threads >= 1 && auto.partitions == auto.threads);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! and to surface "this plan ships the whole Finsbury feed twice".
 
 use crate::iom::{ExecLoc, Iom, IomRow};
-use crate::plan::{PhysOp, PhysicalPlan, StageKind};
+use crate::plan::{Partitioning, PhysOp, PhysicalPlan, StageKind};
 use crate::pom::{Op, RelRef};
 use polygen_lqp::registry::LqpRegistry;
 use std::collections::BTreeMap;
@@ -24,6 +24,24 @@ const RESTRICT_SELECTIVITY: f64 = 0.3;
 const JOIN_FANOUT: f64 = 1.0;
 /// PQP-side per-input-tuple CPU cost, µs.
 const PQP_TUPLE_US: f64 = 1.0;
+/// Per-tuple overhead of partition-parallel execution, µs: the
+/// repartition pass over the input plus the order-restoring merge over
+/// the output (both pointer traffic, far cheaper than the kernel work).
+const PARTITION_US: f64 = 0.1;
+
+/// CPU cost of a PQP-side operator under its partitioning annotation: a
+/// serial operator inspects every tuple on one worker; a partitioned one
+/// splits the inspection across its partitions but pays the repartition
+/// and order-restoring merge overhead on top.
+fn partitioned_cpu_cost(inspected: f64, out_rows: f64, partitioning: &Partitioning) -> f64 {
+    match partitioning {
+        Partitioning::Serial => inspected * PQP_TUPLE_US,
+        Partitioning::Chunked { partitions } | Partitioning::Hash { partitions, .. } => {
+            inspected * PQP_TUPLE_US / (*partitions).max(1) as f64
+                + (inspected + out_rows) * PARTITION_US
+        }
+    }
+}
 
 /// Cost estimate for one plan.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,8 +108,11 @@ pub fn estimate_physical(plan: &PhysicalPlan, registry: &LqpRegistry) -> PlanCos
     let mut total = 0.0;
     let mut shipped = 0.0;
     for node in &plan.nodes {
-        let (cost, out_rows) = match &node.op {
+        let (inspected, out_rows) = match &node.op {
             PhysOp::Scan { db, op } => {
+                // LQP-shipped work is priced by the LQP's cost model,
+                // not the PQP's per-tuple CPU rate — account for it
+                // here and move on to the next node.
                 let (cost, out) = scan_estimate(
                     registry,
                     db,
@@ -100,7 +121,10 @@ pub fn estimate_physical(plan: &PhysicalPlan, registry: &LqpRegistry) -> PlanCos
                     op.restrict.is_some(),
                 );
                 shipped += out;
-                (cost, out)
+                est.push(out);
+                rows.push((node.row, cost, out));
+                total += cost;
+                continue;
             }
             PhysOp::Pipeline { input, stages } => {
                 let inspected = est[*input];
@@ -113,41 +137,42 @@ pub fn estimate_physical(plan: &PhysicalPlan, registry: &LqpRegistry) -> PlanCos
                     };
                 }
                 // One pass over the input, however many stages fused.
-                (inspected * PQP_TUPLE_US, out)
+                (inspected, out)
             }
             PhysOp::HashJoin { left, right, .. } => {
                 let (l, r) = (est[*left], est[*right]);
-                ((l + r) * PQP_TUPLE_US, l.max(r) * JOIN_FANOUT)
+                (l + r, l.max(r) * JOIN_FANOUT)
             }
             PhysOp::ThetaJoin { left, right, .. } => {
                 let (l, r) = (est[*left], est[*right]);
-                (l * r * PQP_TUPLE_US, l.max(r) * JOIN_FANOUT)
+                (l * r, l.max(r) * JOIN_FANOUT)
             }
             PhysOp::HashMerge { inputs, .. } => {
                 let sum: f64 = inputs.iter().map(|i| est[*i]).sum();
-                (sum * PQP_TUPLE_US, sum)
+                (sum, sum)
             }
             PhysOp::AntiJoin { left, right, .. } => {
                 let (l, r) = (est[*left], est[*right]);
-                ((l + r) * PQP_TUPLE_US, l * 0.5)
+                (l + r, l * 0.5)
             }
             PhysOp::Union { left, right } => {
                 let (l, r) = (est[*left], est[*right]);
-                ((l + r) * PQP_TUPLE_US, l + r)
+                (l + r, l + r)
             }
             PhysOp::Difference { left, right } => {
                 let (l, r) = (est[*left], est[*right]);
-                ((l + r) * PQP_TUPLE_US, l * 0.5)
+                (l + r, l * 0.5)
             }
             PhysOp::Intersect { left, right } => {
                 let (l, r) = (est[*left], est[*right]);
-                ((l + r) * PQP_TUPLE_US, l.min(r))
+                (l + r, l.min(r))
             }
             PhysOp::Product { left, right } => {
                 let (l, r) = (est[*left], est[*right]);
-                (l * r * PQP_TUPLE_US, l * r)
+                (l * r, l * r)
             }
         };
+        let cost = partitioned_cpu_cost(inspected, out_rows, &node.partitioning);
         est.push(out_rows);
         rows.push((node.row, cost, out_rows));
         total += cost;
@@ -276,14 +301,17 @@ mod tests {
             &iom,
             &registry,
             &s.dictionary,
-            crate::plan::LowerOptions { fuse: true },
+            crate::plan::LowerOptions::default(),
         )
         .unwrap();
         let unfused = crate::plan::lower(
             &iom,
             &registry,
             &s.dictionary,
-            crate::plan::LowerOptions { fuse: false },
+            crate::plan::LowerOptions {
+                fuse: false,
+                ..crate::plan::LowerOptions::default()
+            },
         )
         .unwrap();
         let cf = estimate_physical(&fused, &registry);
@@ -296,6 +324,56 @@ mod tests {
             cu.total_us
         );
         assert_eq!(cf.tuples_shipped, cu.tuples_shipped, "shipping unchanged");
+    }
+
+    #[test]
+    fn partitioned_plan_estimates_cheaper_cpu_but_charges_overhead() {
+        let s = scenario::build();
+        let registry = scenario_registry(&s);
+        let iom = paper_iom();
+        let serial = crate::plan::lower(
+            &iom,
+            &registry,
+            &s.dictionary,
+            crate::plan::LowerOptions::default(),
+        )
+        .unwrap();
+        let partitioned = crate::plan::lower(
+            &iom,
+            &registry,
+            &s.dictionary,
+            crate::plan::LowerOptions {
+                fuse: true,
+                partitions: 4,
+            },
+        )
+        .unwrap();
+        let cs = estimate_physical(&serial, &registry);
+        let cp = estimate_physical(&partitioned, &registry);
+        assert!(
+            cp.total_us < cs.total_us,
+            "4-way split must win at PQP_TUPLE_US/partitions + overhead: {} vs {}",
+            cp.total_us,
+            cs.total_us
+        );
+        assert_eq!(cs.tuples_shipped, cp.tuples_shipped, "shipping unchanged");
+        // The overhead term is real: a partitioned node never costs a
+        // full 1/partitions of its serial estimate.
+        let serial_pqp: f64 = cs
+            .rows
+            .iter()
+            .zip(&cp.rows)
+            .filter(|((_, a, _), (_, b, _))| a != b)
+            .map(|((_, a, _), _)| a)
+            .sum();
+        let parallel_pqp: f64 = cs
+            .rows
+            .iter()
+            .zip(&cp.rows)
+            .filter(|((_, a, _), (_, b, _))| a != b)
+            .map(|(_, (_, b, _))| b)
+            .sum();
+        assert!(parallel_pqp > serial_pqp / 4.0);
     }
 
     #[test]

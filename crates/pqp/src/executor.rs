@@ -31,11 +31,18 @@ use crate::pom::{Op, RelRef, Rha};
 use polygen_catalog::dictionary::DataDictionary;
 use polygen_core::algebra::{self, coalesce::ConflictPolicy};
 use polygen_core::relation::PolygenRelation;
-use polygen_core::stream::TupleStream;
+use polygen_core::stream::{concat_streams, scoped_map, ParallelOptions, Partitioner, TupleStream};
 use polygen_flat::value::{Cmp, Value};
 use polygen_lqp::engine::LocalOp;
 use polygen_lqp::registry::LqpRegistry;
 use std::collections::BTreeMap;
+
+/// Inputs smaller than this stay on the sequential path even when the
+/// options ask for parallelism: below a few dozen tuples the scoped
+/// thread spawns cost more than the work they split. Correctness never
+/// depends on the threshold — the parallel kernels are byte-identical to
+/// the sequential ones.
+const PARALLEL_MIN_TUPLES: usize = 32;
 
 /// Execution knobs.
 #[derive(Debug, Clone, Copy, Default)]
@@ -50,6 +57,31 @@ pub struct ExecOptions {
     /// plan maps 1:1 onto IOM rows) — the golden-table tests read Tables
     /// 4–9 this way.
     pub retain_intermediates: bool,
+    /// Worker threads for partition-parallel operators (fused stage
+    /// chains, hash joins, hash merges). `0` = auto: the
+    /// `POLYGEN_THREADS` environment variable when set, otherwise
+    /// [`std::thread::available_parallelism`]. `1` = exactly the
+    /// sequential code path. Results are identical on every setting.
+    pub threads: usize,
+    /// Hash/chunk partition count for parallel operators. `0` = same as
+    /// the thread count; larger values over-partition, which rebalances
+    /// key-skewed loads across the workers.
+    pub partitions: usize,
+}
+
+impl ExecOptions {
+    /// Options running `threads` workers, everything else default.
+    pub fn with_threads(threads: usize) -> Self {
+        ExecOptions {
+            threads,
+            ..ExecOptions::default()
+        }
+    }
+
+    /// The resolved parallelism (0-valued knobs filled in).
+    pub fn parallelism(&self) -> ParallelOptions {
+        ParallelOptions::resolved(self.threads, self.partitions)
+    }
 }
 
 /// The per-row results of one execution — the golden tests read Tables
@@ -93,9 +125,27 @@ pub fn execute(
         dictionary,
         LowerOptions {
             fuse: !options.retain_intermediates,
+            partitions: options.parallelism().partitions,
         },
     )?;
     execute_plan(&plan, registry, dictionary, options)
+}
+
+/// Run one fused pipeline stage in place.
+fn apply_stage(s: &mut TupleStream, kind: &StageKind) -> Result<(), PqpError> {
+    match kind {
+        StageKind::Select { attr, cmp, value } => s.select(attr, *cmp, value)?,
+        StageKind::Restrict { x, cmp, y } => s.restrict(x, *cmp, y)?,
+        StageKind::Project { cols, output } => {
+            let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+            s.project(&refs)?;
+            if output != cols {
+                let names: Vec<&str> = output.iter().map(String::as_str).collect();
+                s.rename(&names)?;
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Walk a lowered physical plan.
@@ -106,6 +156,7 @@ pub fn execute_plan(
     options: ExecOptions,
 ) -> Result<(PolygenRelation, ExecutionTrace), PqpError> {
     let n = plan.nodes.len();
+    let par = options.parallelism();
     // Remaining consumers per node; the last consumer takes the stream,
     // earlier ones clone it (Arc bumps — the tuples stay shared and the
     // stage kernels copy-on-write).
@@ -133,23 +184,47 @@ pub fn execute_plan(
             }
             PhysOp::Pipeline { input, stages } => {
                 let mut s = take(&mut slots, &mut remaining, *input);
-                for stage in stages {
-                    match &stage.kind {
-                        StageKind::Select { attr, cmp, value } => s.select(attr, *cmp, value)?,
-                        StageKind::Restrict { x, cmp, y } => s.restrict(x, *cmp, y)?,
-                        StageKind::Project { cols, output } => {
-                            let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
-                            s.project(&refs)?;
-                            if output != cols {
-                                let names: Vec<&str> = output.iter().map(String::as_str).collect();
-                                s.rename(&names)?;
+                if par.is_parallel()
+                    && !options.retain_intermediates
+                    && s.len() >= PARALLEL_MIN_TUPLES
+                {
+                    // Chunk-parallel prefix: Select/Restrict stages are
+                    // tuple-local, so contiguous chunks run on scoped
+                    // workers and concatenate back in input order —
+                    // byte-identical to the sequential walk. The chain is
+                    // cut at the first Project (its duplicate collapse is
+                    // a whole-stream operation) and the rest runs
+                    // sequentially on the much smaller stream.
+                    let cut = stages
+                        .iter()
+                        .position(|st| matches!(st.kind, StageKind::Project { .. }))
+                        .unwrap_or(stages.len());
+                    let (prefix, rest) = stages.split_at(cut);
+                    if !prefix.is_empty() {
+                        let chunks = Partitioner::new(par.partitions).chunk_stream(s);
+                        let processed = scoped_map(chunks, par.threads, |_, mut chunk| {
+                            for stage in prefix {
+                                apply_stage(&mut chunk, &stage.kind)?;
                             }
+                            Ok::<_, PqpError>(chunk)
+                        });
+                        let mut parts = Vec::with_capacity(processed.len());
+                        for p in processed {
+                            parts.push(p?);
                         }
+                        s = concat_streams(parts).expect("at least one chunk");
                     }
-                    // Per-stage retention keeps the trace complete even
-                    // when the caller hands us a *fused* plan.
-                    if options.retain_intermediates {
-                        results.insert(stage.row, s.to_relation());
+                    for stage in rest {
+                        apply_stage(&mut s, &stage.kind)?;
+                    }
+                } else {
+                    for stage in stages {
+                        apply_stage(&mut s, &stage.kind)?;
+                        // Per-stage retention keeps the trace complete
+                        // even when the caller hands us a *fused* plan.
+                        if options.retain_intermediates {
+                            results.insert(stage.row, s.to_relation());
+                        }
                     }
                 }
                 s
@@ -163,7 +238,12 @@ pub fn execute_plan(
             } => {
                 let l = take(&mut slots, &mut remaining, *left).into_relation();
                 let r = take(&mut slots, &mut remaining, *right).into_relation();
-                TupleStream::from_relation(algebra::hash_equi_join_coalesced(&l, &r, x, y, out)?)
+                let joined = if par.is_parallel() && l.len() + r.len() >= PARALLEL_MIN_TUPLES {
+                    algebra::hash_equi_join_coalesced_partitioned(&l, &r, x, y, out, par)?
+                } else {
+                    algebra::hash_equi_join_coalesced(&l, &r, x, y, out)?
+                };
+                TupleStream::from_relation(joined)
             }
             PhysOp::ThetaJoin {
                 left,
@@ -191,8 +271,12 @@ pub fn execute_plan(
                     s.rename(&refs)?;
                     rels.push(s.into_relation());
                 }
-                let (merged, _conflicts) =
-                    algebra::hash_merge(&rels, key, options.conflict_policy)?;
+                let total: usize = rels.iter().map(PolygenRelation::len).sum();
+                let (merged, _conflicts) = if par.is_parallel() && total >= PARALLEL_MIN_TUPLES {
+                    algebra::hash_merge_partitioned(&rels, key, options.conflict_policy, par)?
+                } else {
+                    algebra::hash_merge(&rels, key, options.conflict_policy)?
+                };
                 TupleStream::from_relation(merged)
             }
             PhysOp::AntiJoin { left, right, x, y } => {
@@ -672,7 +756,7 @@ mod tests {
             &iom,
             &registry,
             &s.dictionary,
-            crate::plan::LowerOptions { fuse: true },
+            crate::plan::LowerOptions::default(),
         )
         .unwrap();
         assert!(fused.fused_rows() > 0);
@@ -727,6 +811,32 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn threaded_options_produce_identical_results() {
+        let s = scenario::build();
+        let registry = scenario_registry(&s);
+        let pom =
+            analyze(&parse_algebra(polygen_sql::algebra_expr::PAPER_EXPRESSION).unwrap()).unwrap();
+        let (_, iom) = interpret(&pom, s.dictionary.schema()).unwrap();
+        let (seq, _) =
+            execute(&iom, &registry, &s.dictionary, ExecOptions::with_threads(1)).unwrap();
+        for threads in [2usize, 4, 8] {
+            let (parl, _) = execute(
+                &iom,
+                &registry,
+                &s.dictionary,
+                ExecOptions::with_threads(threads),
+            )
+            .unwrap();
+            assert!(seq.tagged_set_eq(&parl), "threads = {threads}");
+        }
+        // Knob resolution: explicit values pass through, 0 resolves.
+        let o = ExecOptions::with_threads(4);
+        assert_eq!(o.parallelism().partitions, 4);
+        let auto = ExecOptions::default().parallelism();
+        assert!(auto.threads >= 1);
     }
 
     #[test]

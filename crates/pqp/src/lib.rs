@@ -53,8 +53,8 @@ pub mod prelude {
     pub use crate::iom::{render_iom, ExecLoc, Iom, IomRow};
     pub use crate::optimizer::{optimize, OptimizerReport};
     pub use crate::plan::{
-        lower as lower_plan, render_plan, LowerOptions, PhysNode, PhysOp, PhysicalPlan, Stage,
-        StageKind,
+        lower as lower_plan, render_plan, LowerOptions, Partitioning, PhysNode, PhysOp,
+        PhysicalPlan, Stage, StageKind,
     };
     pub use crate::pom::{render_pom, Op, Pom, PomRow, RelRef, Rha};
     pub use crate::pqp::{CompiledQuery, Pqp, PqpOptions, QueryOutcome};

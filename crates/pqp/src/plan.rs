@@ -202,6 +202,33 @@ impl PhysOp {
     }
 }
 
+/// How a physical operator splits across worker threads — annotated at
+/// lowering time so `EXPLAIN` shows the parallel shape before anything
+/// runs and [`crate::costing::estimate_physical`] can charge
+/// per-partition cost plus merge overhead. Execution reassembles every
+/// partitioned operator's output in the sequential order, so the
+/// annotation changes *where* work happens, never the answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Partitioning {
+    /// Single-threaded (pipeline breakers with no partitionable key, or a
+    /// plan lowered with one partition).
+    Serial,
+    /// Order-preserving contiguous chunks — fused stage chains, which
+    /// need no key co-location.
+    Chunked {
+        /// Number of chunks.
+        partitions: usize,
+    },
+    /// Hash-partitioned on a key column so matching tuples co-locate —
+    /// hash joins (join key) and hash merges (scheme primary key).
+    Hash {
+        /// The partitioning column.
+        key: String,
+        /// Number of partitions.
+        partitions: usize,
+    },
+}
+
 /// One node of the physical plan.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhysNode {
@@ -213,6 +240,8 @@ pub struct PhysNode {
     /// The planned output schema — provably identical to what execution
     /// produces (both sides build schemas with the same constructors).
     pub schema: Arc<Schema>,
+    /// How the operator shards across workers.
+    pub partitioning: Partitioning,
 }
 
 /// A lowered physical plan: nodes in topological (execution) order.
@@ -245,11 +274,18 @@ pub struct LowerOptions {
     /// one pipeline. Disabled when the caller needs every `R(n)` in the
     /// execution trace (golden-table reproduction).
     pub fuse: bool,
+    /// Partition count to annotate parallelizable operators with
+    /// (pipelines, hash joins, hash merges). `1` leaves every node
+    /// [`Partitioning::Serial`] — exactly the pre-parallel plans.
+    pub partitions: usize,
 }
 
 impl Default for LowerOptions {
     fn default() -> Self {
-        LowerOptions { fuse: true }
+        LowerOptions {
+            fuse: true,
+            partitions: 1,
+        }
     }
 }
 
@@ -344,6 +380,7 @@ struct Lowerer<'a> {
     registry: &'a LqpRegistry,
     dictionary: &'a DataDictionary,
     fuse: bool,
+    partitions: usize,
     /// pr → number of later references.
     uses: HashMap<usize, usize>,
     nodes: Vec<PhysNode>,
@@ -400,6 +437,28 @@ impl Lowerer<'_> {
         row.theta.unwrap_or(Cmp::Eq)
     }
 
+    /// The partitioning annotation for an operator under this lowering's
+    /// partition count.
+    fn partitioning_of(&self, op: &PhysOp) -> Partitioning {
+        if self.partitions <= 1 {
+            return Partitioning::Serial;
+        }
+        match op {
+            PhysOp::Pipeline { .. } => Partitioning::Chunked {
+                partitions: self.partitions,
+            },
+            PhysOp::HashJoin { out, .. } => Partitioning::Hash {
+                key: out.clone(),
+                partitions: self.partitions,
+            },
+            PhysOp::HashMerge { key, .. } => Partitioning::Hash {
+                key: key.clone(),
+                partitions: self.partitions,
+            },
+            _ => Partitioning::Serial,
+        }
+    }
+
     fn push_node(
         &mut self,
         pr: usize,
@@ -409,10 +468,12 @@ impl Lowerer<'_> {
         base: Option<(String, String)>,
     ) {
         let node = self.nodes.len();
+        let partitioning = self.partitioning_of(&op);
         self.nodes.push(PhysNode {
             row: pr,
             op,
             schema: Arc::clone(&schema),
+            partitioning,
         });
         self.env.insert(
             pr,
@@ -824,6 +885,7 @@ pub fn lower(
         registry,
         dictionary,
         fuse: options.fuse,
+        partitions: options.partitions.max(1),
         uses,
         nodes: Vec::with_capacity(iom.rows.len()),
         env: HashMap::new(),
@@ -935,8 +997,13 @@ pub fn render_plan(plan: &PhysicalPlan) -> String {
                 format!("Product[{}, {}]", rref(*left), rref(*right))
             }
         };
+        let par = match &node.partitioning {
+            Partitioning::Serial => String::new(),
+            Partitioning::Chunked { partitions } => format!(" [chunked x{partitions}]"),
+            Partitioning::Hash { key, partitions } => format!(" [hash({key}) x{partitions}]"),
+        };
         let marker = if i == plan.root { " ◀ answer" } else { "" };
-        let _ = writeln!(out, "#{i:<2} {desc}  → R({}){marker}", node.row);
+        let _ = writeln!(out, "#{i:<2} {desc}{par}  → R({}){marker}", node.row);
     }
     out
 }
@@ -955,7 +1022,16 @@ mod tests {
         let registry = scenario_registry(&s);
         let pom = analyze(&parse_algebra(PAPER_EXPRESSION).unwrap()).unwrap();
         let (_, iom) = interpret(&pom, s.dictionary.schema()).unwrap();
-        lower(&iom, &registry, &s.dictionary, LowerOptions { fuse }).unwrap()
+        lower(
+            &iom,
+            &registry,
+            &s.dictionary,
+            LowerOptions {
+                fuse,
+                ..LowerOptions::default()
+            },
+        )
+        .unwrap()
     }
 
     #[test]
@@ -1006,6 +1082,53 @@ mod tests {
         assert!(shown.contains("HashMerge[PORGANIZATION on ONAME, 3-way single pass]"));
         assert!(shown.contains("(fused ×2)"));
         assert!(shown.contains("◀ answer"));
+    }
+
+    #[test]
+    fn partition_annotations_cover_parallel_operators() {
+        let s = scenario::build();
+        let registry = scenario_registry(&s);
+        let pom = analyze(&parse_algebra(PAPER_EXPRESSION).unwrap()).unwrap();
+        let (_, iom) = interpret(&pom, s.dictionary.schema()).unwrap();
+        let plan = lower(
+            &iom,
+            &registry,
+            &s.dictionary,
+            LowerOptions {
+                fuse: true,
+                partitions: 4,
+            },
+        )
+        .unwrap();
+        for node in &plan.nodes {
+            match &node.op {
+                PhysOp::Pipeline { .. } => {
+                    assert_eq!(node.partitioning, Partitioning::Chunked { partitions: 4 })
+                }
+                PhysOp::HashJoin { out, .. } => assert_eq!(
+                    node.partitioning,
+                    Partitioning::Hash {
+                        key: out.clone(),
+                        partitions: 4
+                    }
+                ),
+                PhysOp::HashMerge { key, .. } => assert_eq!(
+                    node.partitioning,
+                    Partitioning::Hash {
+                        key: key.clone(),
+                        partitions: 4
+                    }
+                ),
+                _ => assert_eq!(node.partitioning, Partitioning::Serial),
+            }
+        }
+        let shown = render_plan(&plan);
+        assert!(shown.contains("[hash(ONAME) x4]"), "{shown}");
+        assert!(shown.contains("[chunked x4]"), "{shown}");
+        // Serial lowering keeps the pre-parallel rendering exactly.
+        let serial = render_plan(&paper_plan(true));
+        assert!(!serial.contains("[hash("), "{serial}");
+        assert!(!serial.contains("[chunked"), "{serial}");
     }
 
     #[test]

@@ -38,6 +38,16 @@ pub struct PqpOptions {
     /// relation; the golden-table reproduction switches this on to read
     /// Tables 4–9 out of the trace.
     pub retain_intermediates: bool,
+    /// Worker threads for partition-parallel operators. `0` (the
+    /// default) = auto: the `POLYGEN_THREADS` environment variable when
+    /// set, otherwise [`std::thread::available_parallelism`]. `1` =
+    /// exactly the sequential engine. Answers are identical on every
+    /// setting — the plan annotations, EXPLAIN output and cost estimates
+    /// reflect the chosen parallelism.
+    pub threads: usize,
+    /// Partition count for parallel operators (`0` = thread count; larger
+    /// values over-partition to rebalance key-skewed loads).
+    pub partitions: usize,
 }
 
 impl Default for PqpOptions {
@@ -47,7 +57,17 @@ impl Default for PqpOptions {
             conflict_policy: ConflictPolicy::Strict,
             optimize: false,
             retain_intermediates: false,
+            threads: 0,
+            partitions: 0,
         }
+    }
+}
+
+impl PqpOptions {
+    /// Builder-style thread-count override.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -155,6 +175,11 @@ impl Pqp {
             &self.dictionary,
             LowerOptions {
                 fuse: !self.options.retain_intermediates,
+                partitions: polygen_core::stream::ParallelOptions::resolved(
+                    self.options.threads,
+                    self.options.partitions,
+                )
+                .partitions,
             },
         )?;
         Ok(CompiledQuery {
@@ -177,6 +202,8 @@ impl Pqp {
             ExecOptions {
                 conflict_policy: self.options.conflict_policy,
                 retain_intermediates: self.options.retain_intermediates,
+                threads: self.options.threads,
+                partitions: self.options.partitions,
             },
         )?;
         Ok(QueryOutcome {
@@ -264,6 +291,29 @@ mod tests {
             "retention disables fusion"
         );
         assert!(out.trace.result(10).unwrap().tagged_set_eq(&out.answer));
+    }
+
+    #[test]
+    fn thread_knob_keeps_answers_identical_and_annotates_plans() {
+        let s = scenario::build();
+        let sequential = Pqp::for_scenario(&s).with_options(PqpOptions::default().with_threads(1));
+        let a = sequential.query_algebra(PAPER_EXPRESSION).unwrap();
+        for threads in [2usize, 4, 8] {
+            let parallel =
+                Pqp::for_scenario(&s).with_options(PqpOptions::default().with_threads(threads));
+            let b = parallel.query_algebra(PAPER_EXPRESSION).unwrap();
+            assert!(
+                a.answer.tagged_set_eq(&b.answer),
+                "threads = {threads} changed the answer"
+            );
+            let shown = crate::plan::render_plan(&b.compiled.physical);
+            assert!(
+                shown.contains(&format!("[hash(ONAME) x{threads}]")),
+                "{shown}"
+            );
+        }
+        let shown = crate::plan::render_plan(&a.compiled.physical);
+        assert!(!shown.contains("[hash("), "1 thread stays serial: {shown}");
     }
 
     #[test]

@@ -4,7 +4,39 @@
 //! benchmark harness needs the same *shape* at arbitrary scale: K sources
 //! sharing an entity pool with controllable replication, plus a detail
 //! relation for join workloads. Everything is seeded — two runs with the
-//! same config produce identical federations.
+//! same config produce identical federations — and every aspect of
+//! generation (category skew, coverage, detail rows, conflicts) draws
+//! from its own [`WorkloadConfig::rng`] stream, so e.g. growing
+//! `detail_rows` cannot perturb the Zipf category draws of an otherwise
+//! identical config.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic sub-seed streams for the generator's independent
+/// concerns (see [`WorkloadConfig::rng`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RngStream {
+    /// Zipf draws of canonical per-entity categories.
+    Categories,
+    /// Which sources cover which entity.
+    Coverage,
+    /// Detail-relation rows (entity references and scores).
+    Detail,
+    /// Deviant category assertions (`conflict_rate`).
+    Conflicts,
+}
+
+impl RngStream {
+    fn index(self) -> u64 {
+        match self {
+            RngStream::Categories => 1,
+            RngStream::Coverage => 2,
+            RngStream::Detail => 3,
+            RngStream::Conflicts => 4,
+        }
+    }
+}
 
 /// Parameters of a synthetic federation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,6 +61,12 @@ pub struct WorkloadConfig {
     /// shared attribute (exercises conflict resolution; 0.0 = the paper's
     /// conflict-free assumption).
     pub conflict_rate: f64,
+    /// Zipf exponent for the detail relation's entity references (its
+    /// join key against the merged scheme): `0.0` draws entities
+    /// uniformly, larger values skew the key distribution — the hard
+    /// case for hash-partitioned parallel joins, where the hottest key
+    /// cannot split across partitions.
+    pub key_skew: f64,
 }
 
 impl Default for WorkloadConfig {
@@ -41,6 +79,7 @@ impl Default for WorkloadConfig {
             detail_rows: 2_000,
             categories: 16,
             conflict_rate: 0.0,
+            key_skew: 0.0,
         }
     }
 }
@@ -70,6 +109,22 @@ impl WorkloadConfig {
         self
     }
 
+    /// Builder-style key-skew override.
+    pub fn with_key_skew(mut self, key_skew: f64) -> Self {
+        self.key_skew = key_skew;
+        self
+    }
+
+    /// A deterministic RNG for one generation concern, derived from the
+    /// config seed: the same `(seed, stream)` pair always produces the
+    /// same sequence, and distinct streams are independent — so the new
+    /// benches and the proptest corpus reproduce run-to-run, and changing
+    /// one knob (say `detail_rows`) cannot shift the draws of another
+    /// concern (say the category Zipf).
+    pub fn rng(&self, stream: RngStream) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ stream.index().wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
     /// Validate ranges; panics early with a clear message (configs are
     /// developer-authored bench inputs, not user data).
     pub fn validated(self) -> Self {
@@ -84,6 +139,10 @@ impl WorkloadConfig {
             "conflict_rate must be a probability"
         );
         assert!(self.categories >= 1, "need at least one category");
+        assert!(
+            self.key_skew >= 0.0 && self.key_skew.is_finite(),
+            "key_skew must be a finite exponent ≥ 0"
+        );
         self
     }
 }
@@ -104,6 +163,36 @@ mod tests {
         assert_eq!(c.sources, 5);
         assert_eq!(c.entities, 10);
         assert_eq!(c.coverage, 1.0);
+    }
+
+    #[test]
+    fn rng_streams_are_deterministic_and_independent() {
+        use rand::RngExt;
+        let c = WorkloadConfig::default().with_seed(99);
+        let draw = |stream: RngStream| -> Vec<u64> {
+            let mut rng = c.rng(stream);
+            (0..16).map(|_| rng.random::<u64>()).collect()
+        };
+        assert_eq!(draw(RngStream::Categories), draw(RngStream::Categories));
+        assert_eq!(draw(RngStream::Detail), draw(RngStream::Detail));
+        assert_ne!(draw(RngStream::Categories), draw(RngStream::Detail));
+        assert_ne!(draw(RngStream::Coverage), draw(RngStream::Conflicts));
+        // A different seed shifts every stream.
+        let other = WorkloadConfig::default().with_seed(100);
+        assert_ne!(
+            draw(RngStream::Categories),
+            (0..16)
+                .scan(other.rng(RngStream::Categories), |rng, _| Some(
+                    rng.random::<u64>()
+                ))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "key_skew")]
+    fn bad_key_skew_panics() {
+        let _ = WorkloadConfig::default().with_key_skew(-1.0).validated();
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! * category values are Zipf-skewed; with `conflict_rate > 0` a source
 //!   sometimes asserts a deviant category, exercising conflict policies.
 
-use crate::config::WorkloadConfig;
+use crate::config::{RngStream, WorkloadConfig};
 use crate::zipf::Zipf;
 use polygen_catalog::dictionary::DataDictionary;
 use polygen_catalog::domain::DomainMap;
@@ -108,25 +108,36 @@ pub fn build_schema(sources: usize) -> PolygenSchema {
 #[allow(clippy::needless_range_loop)] // `s` names the source *and* indexes coverage
 pub fn generate(config: &WorkloadConfig) -> Scenario {
     let config = config.validated();
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    // Every concern draws from its own deterministic stream: growing the
+    // detail relation or raising the conflict rate leaves the category
+    // draws (and therefore the entity relations) of an otherwise equal
+    // config bit-identical — benches and proptest corpora reproduce.
+    let mut cat_rng = config.rng(RngStream::Categories);
+    let mut cov_rng = config.rng(RngStream::Coverage);
+    let mut conflict_rng = config.rng(RngStream::Conflicts);
+    let mut detail_rng = config.rng(RngStream::Detail);
     let zipf = Zipf::new(config.categories);
     // Canonical category per entity (sources agree unless conflicted).
     let canon_cat: Vec<usize> = (0..config.entities)
-        .map(|_| zipf.sample(&mut rng))
+        .map(|_| zipf.sample(&mut cat_rng))
         .collect();
     // Which sources cover which entity: Bernoulli(coverage), with a
     // guaranteed owner so the pool size is exact.
     let mut coverage: Vec<Vec<bool>> = Vec::with_capacity(config.entities);
     for _ in 0..config.entities {
         let mut row: Vec<bool> = (0..config.sources)
-            .map(|_| rng.random::<f64>() < config.coverage)
+            .map(|_| cov_rng.random::<f64>() < config.coverage)
             .collect();
         if !row.iter().any(|&b| b) {
-            let owner = rng.random_range(0..config.sources);
+            let owner = cov_rng.random_range(0..config.sources);
             row[owner] = true;
         }
         coverage.push(row);
     }
+    // Detail→entity references: uniform by default, Zipf-skewed when the
+    // config asks for hot join keys.
+    let key_zipf =
+        (config.key_skew > 0.0).then(|| Zipf::with_exponent(config.entities, config.key_skew));
     let mut databases = Vec::with_capacity(config.sources);
     for s in 0..config.sources {
         let rel_name = entity_relation(s);
@@ -143,9 +154,11 @@ pub fn generate(config: &WorkloadConfig) -> Scenario {
             if !coverage[e][s] {
                 continue;
             }
-            let cat = if config.conflict_rate > 0.0 && rng.random::<f64>() < config.conflict_rate {
+            let cat = if config.conflict_rate > 0.0
+                && conflict_rng.random::<f64>() < config.conflict_rate
+            {
                 // Deviant assertion: a different category.
-                (canon_cat[e] + 1 + rng.random_range(0..config.categories.max(2) - 1))
+                (canon_cat[e] + 1 + conflict_rng.random_range(0..config.categories.max(2) - 1))
                     % config.categories
             } else {
                 canon_cat[e]
@@ -161,11 +174,14 @@ pub fn generate(config: &WorkloadConfig) -> Scenario {
         if s == 0 {
             let mut detail = Relation::build("DETAIL", &["DID", "DNAME", "DSCORE"]).key(&["DID"]);
             for d in 0..config.detail_rows {
-                let e = rng.random_range(0..config.entities);
+                let e = match &key_zipf {
+                    Some(z) => z.sample(&mut detail_rng),
+                    None => detail_rng.random_range(0..config.entities),
+                };
                 detail = detail.vrow(vec![
                     Value::Int(d as i64),
                     Value::str(entity_name(e)),
-                    Value::Int(rng.random_range(0..100)),
+                    Value::Int(detail_rng.random_range(0..100)),
                 ]);
             }
             relations.push(detail.finish().expect("detail relation"));
@@ -256,6 +272,72 @@ mod tests {
                 assert!(ra.set_eq(rb));
             }
         }
+    }
+
+    #[test]
+    fn detail_rows_do_not_perturb_entity_generation() {
+        // Streams are independent: a config differing only in detail_rows
+        // (or conflict draws) produces bit-identical entity relations —
+        // the reproducibility fix the bench corpus relies on.
+        let small = WorkloadConfig {
+            detail_rows: 10,
+            ..WorkloadConfig::default().with_entities(80)
+        };
+        let big = WorkloadConfig {
+            detail_rows: 5_000,
+            ..small
+        };
+        let a = generate(&small);
+        let b = generate(&big);
+        for (da, db) in a.databases.iter().zip(&b.databases) {
+            let ea = da
+                .relations
+                .iter()
+                .find(|r| r.name().starts_with("ENTITY"))
+                .unwrap();
+            let eb = db
+                .relations
+                .iter()
+                .find(|r| r.name().starts_with("ENTITY"))
+                .unwrap();
+            assert!(ea.set_eq(eb), "{} drifted with detail_rows", da.name);
+        }
+    }
+
+    #[test]
+    fn key_skew_concentrates_detail_references() {
+        let refs_to_top_entity = |key_skew: f64| -> usize {
+            let c = WorkloadConfig {
+                detail_rows: 2_000,
+                key_skew,
+                ..WorkloadConfig::default().with_entities(500)
+            };
+            let s = generate(&c);
+            let detail = s.databases[0].relation("DETAIL").unwrap();
+            let mut counts = std::collections::HashMap::new();
+            for row in detail.rows() {
+                *counts.entry(row[1].clone()).or_insert(0usize) += 1;
+            }
+            counts.values().copied().max().unwrap()
+        };
+        let uniform = refs_to_top_entity(0.0);
+        let skewed = refs_to_top_entity(1.0);
+        assert!(
+            skewed > uniform * 5,
+            "Zipf keys must concentrate: uniform max {uniform}, skewed max {skewed}"
+        );
+        // Skewed generation is deterministic too.
+        let c = WorkloadConfig {
+            detail_rows: 200,
+            key_skew: 1.0,
+            ..WorkloadConfig::default().with_entities(100)
+        };
+        let a = generate(&c);
+        let b = generate(&c);
+        assert!(a.databases[0]
+            .relation("DETAIL")
+            .unwrap()
+            .set_eq(b.databases[0].relation("DETAIL").unwrap()));
     }
 
     #[test]

@@ -19,5 +19,5 @@ pub mod generator;
 pub mod queries;
 pub mod zipf;
 
-pub use config::WorkloadConfig;
+pub use config::{RngStream, WorkloadConfig};
 pub use generator::{generate, random_flat_relation, random_polygen_relation};

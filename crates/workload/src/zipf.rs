@@ -1,26 +1,40 @@
-//! A small Zipf sampler for skewed category values.
+//! A small Zipf sampler for skewed category and key values.
 //!
 //! Real federated data is skewed (most organizations are "High Tech" in
 //! the paper's toy data too); selects over a skewed category exercise the
-//! interesting selectivity range. Inverse-CDF sampling over precomputed
-//! cumulative weights, exponent fixed at the classic 1.0.
+//! interesting selectivity range, and Zipf-skewed *join keys* are the
+//! hard case for hash-partitioned parallel execution (the hottest key
+//! cannot split across partitions). Inverse-CDF sampling over precomputed
+//! cumulative weights `1/k^s`; [`Zipf::new`] fixes the exponent at the
+//! classic 1.0, [`Zipf::with_exponent`] opens it up (0.0 = uniform).
 
 use rand::{Rng, RngExt};
 
-/// Zipf(θ=1) distribution over `1..=n` ranks.
+/// Zipf(θ=s) distribution over `1..=n` ranks.
 #[derive(Debug, Clone)]
 pub struct Zipf {
     cumulative: Vec<f64>,
 }
 
 impl Zipf {
-    /// Build for `n` ranks.
+    /// Build for `n` ranks with the classic exponent 1.0.
     pub fn new(n: usize) -> Self {
+        Zipf::with_exponent(n, 1.0)
+    }
+
+    /// Build for `n` ranks with exponent `s ≥ 0`: weight of rank `k` is
+    /// `1/k^s`, so `s = 0` is uniform and larger `s` concentrates mass on
+    /// the first ranks.
+    pub fn with_exponent(n: usize, s: f64) -> Self {
         assert!(n >= 1, "Zipf needs at least one rank");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "Zipf exponent must be finite and ≥ 0"
+        );
         let mut cumulative = Vec::with_capacity(n);
         let mut total = 0.0;
         for k in 1..=n {
-            total += 1.0 / k as f64;
+            total += 1.0 / (k as f64).powf(s);
             cumulative.push(total);
         }
         // Normalize to [0, 1].
@@ -74,6 +88,31 @@ mod tests {
             assert_eq!(z.sample(&mut rng), 0);
         }
         assert_eq!(z.ranks(), 1);
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform_and_larger_skews_harder() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let uniform = Zipf::with_exponent(8, 0.0);
+        let mut counts = [0usize; 8];
+        for _ in 0..16_000 {
+            counts[uniform.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((1_600..2_400).contains(&c), "uniform-ish: {counts:?}");
+        }
+        let gentle = Zipf::with_exponent(8, 1.0);
+        let harsh = Zipf::with_exponent(8, 2.0);
+        let mut top = [0usize; 2];
+        for _ in 0..16_000 {
+            if gentle.sample(&mut rng) == 0 {
+                top[0] += 1;
+            }
+            if harsh.sample(&mut rng) == 0 {
+                top[1] += 1;
+            }
+        }
+        assert!(top[1] > top[0], "higher exponent concentrates rank 0");
     }
 
     #[test]

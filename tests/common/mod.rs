@@ -1,10 +1,18 @@
-//! Shared helpers for the golden-table integration tests.
+//! Shared helpers for the integration-test binaries: the golden-table
+//! transcription checker (below) and the federation/engine fixtures the
+//! property suites share ([`fixtures`]).
 //!
 //! Expected tables are transcribed from the paper in a compact notation:
 //! one string per tuple, cells separated by `|`, each cell written
 //! `datum @<origins> ^<intermediates>` where origins/intermediates are
 //! letter strings (`A` = AD, `P` = PD, `C` = CD) and `-` is the empty
 //! set. Example: `Genentech @AC ^AC | Bob Swanson @C ^AC`.
+
+// Each test binary compiles this module separately and uses only the
+// helpers it needs; what one binary leaves unused is not dead code.
+#![allow(dead_code)]
+
+pub mod fixtures;
 
 use polygen::core::{PolygenRelation, SourceRegistry, SourceSet};
 use polygen::flat::Value;

@@ -1,0 +1,167 @@
+//! Golden EXPLAIN snapshots: `render_plan` output for every physical
+//! operator kind (Scan, fused pipeline stages, HashJoin, ThetaJoin,
+//! HashMerge, AntiJoin, Union, Difference, Intersect, Product), with and
+//! without partition annotations.
+//!
+//! These are exact-string comparisons on purpose: the plan printer is the
+//! engine's public diagnostic surface, and a silent format drift should
+//! be caught in review (by editing the expected text here) rather than by
+//! users' tooling. If you change `render_plan`, update the snapshots and
+//! say so in the PR.
+
+mod common;
+
+use polygen::catalog::prelude::scenario;
+use polygen::lqp::scenario_registry;
+use polygen::pqp::prelude::*;
+use polygen::sql::prelude::{parse_algebra, PAPER_EXPRESSION};
+
+/// Lower `expr` over the MIT scenario and render the physical plan.
+fn plan_text(expr: &str, fuse: bool, partitions: usize) -> String {
+    let s = scenario::build();
+    let registry = scenario_registry(&s);
+    let pom = analyze(&parse_algebra(expr).unwrap()).unwrap();
+    let (_, iom) = interpret(&pom, s.dictionary.schema()).unwrap();
+    let plan = lower_plan(
+        &iom,
+        &registry,
+        &s.dictionary,
+        LowerOptions { fuse, partitions },
+    )
+    .unwrap();
+    render_plan(&plan)
+}
+
+#[track_caller]
+fn assert_snapshot(actual: &str, expected: &str) {
+    assert_eq!(
+        actual.trim_end(),
+        expected.trim_end(),
+        "\n== plan printer drifted ==\nactual:\n{actual}\nexpected:\n{expected}"
+    );
+}
+
+/// Scan (with and without pushed-down selects), HashJoin, HashMerge and a
+/// fused pipeline — the paper's own plan, serial.
+#[test]
+fn paper_plan_fused_serial() {
+    assert_snapshot(
+        &plan_text(PAPER_EXPRESSION, true, 1),
+        "\
+#0  Scan[AD] ALUMNUS[DEG = MBA]  → R(1)
+#1  Scan[AD] CAREER  → R(2)
+#2  HashJoin[R(1).AID# = R(2).AID#, coalesce → AID#] (build R(2), probe R(1))  → R(3)
+#3  Scan[AD] BUSINESS  → R(4)
+#4  Scan[PD] CORPORATION  → R(5)
+#5  Scan[CD] FIRM  → R(6)
+#6  HashMerge[PORGANIZATION on ONAME, 3-way single pass] over R(4), R(5), R(6)  → R(7)
+#7  HashJoin[R(3).BNAME = R(7).ONAME, coalesce → ONAME] (build R(7), probe R(3))  → R(8)
+#8  Pipeline over R(8) → Restrict[CEO = ANAME]@R(9) → Project[ONAME, CEO]@R(10) (fused ×2)  → R(10) ◀ answer",
+    );
+}
+
+/// The same plan lowered for 4 partitions: hash operators annotate their
+/// key, pipelines annotate chunking, scans stay serial.
+#[test]
+fn paper_plan_fused_partitioned_x4() {
+    assert_snapshot(
+        &plan_text(PAPER_EXPRESSION, true, 4),
+        "\
+#0  Scan[AD] ALUMNUS[DEG = MBA]  → R(1)
+#1  Scan[AD] CAREER  → R(2)
+#2  HashJoin[R(1).AID# = R(2).AID#, coalesce → AID#] (build R(2), probe R(1)) [hash(AID#) x4]  → R(3)
+#3  Scan[AD] BUSINESS  → R(4)
+#4  Scan[PD] CORPORATION  → R(5)
+#5  Scan[CD] FIRM  → R(6)
+#6  HashMerge[PORGANIZATION on ONAME, 3-way single pass] over R(4), R(5), R(6) [hash(ONAME) x4]  → R(7)
+#7  HashJoin[R(3).BNAME = R(7).ONAME, coalesce → ONAME] (build R(7), probe R(3)) [hash(ONAME) x4]  → R(8)
+#8  Pipeline over R(8) → Restrict[CEO = ANAME]@R(9) → Project[ONAME, CEO]@R(10) (fused ×2) [chunked x4]  → R(10) ◀ answer",
+    );
+}
+
+/// Retention-mode lowering (no fusion): every Select/Restrict/Project row
+/// keeps its own single-stage pipeline node.
+#[test]
+fn paper_plan_unfused_serial() {
+    assert_snapshot(
+        &plan_text(PAPER_EXPRESSION, false, 1),
+        "\
+#0  Scan[AD] ALUMNUS[DEG = MBA]  → R(1)
+#1  Scan[AD] CAREER  → R(2)
+#2  HashJoin[R(1).AID# = R(2).AID#, coalesce → AID#] (build R(2), probe R(1))  → R(3)
+#3  Scan[AD] BUSINESS  → R(4)
+#4  Scan[PD] CORPORATION  → R(5)
+#5  Scan[CD] FIRM  → R(6)
+#6  HashMerge[PORGANIZATION on ONAME, 3-way single pass] over R(4), R(5), R(6)  → R(7)
+#7  HashJoin[R(3).BNAME = R(7).ONAME, coalesce → ONAME] (build R(7), probe R(3))  → R(8)
+#8  Pipeline over R(8) → Restrict[CEO = ANAME]@R(9)  → R(9)
+#9  Pipeline over R(9) → Project[ONAME, CEO]@R(10)  → R(10) ◀ answer",
+    );
+}
+
+/// A non-equality θ lowers to the nested-loop join — which has no
+/// partitionable key, so even a 4-partition lowering leaves it serial
+/// (no annotation).
+#[test]
+fn theta_join_stays_serial_under_partitioning() {
+    assert_snapshot(
+        &plan_text("PCAREER [AID# < AID#] PCAREER", true, 4),
+        "\
+#0  Scan[AD] CAREER  → R(1)
+#1  Scan[AD] CAREER  → R(2)
+#2  NestedLoopJoin[R(2).AID# < R(1).AID#]  → R(3) ◀ answer",
+    );
+}
+
+/// AntiJoin feeding a lone-Project pipeline, over a merge.
+#[test]
+fn antijoin_plan_serial() {
+    assert_snapshot(
+        &plan_text(
+            "(PORGANIZATION ANTIJOIN [ONAME = ONAME] PFINANCE) [ONAME]",
+            true,
+            1,
+        ),
+        "\
+#0  Scan[AD] BUSINESS  → R(1)
+#1  Scan[PD] CORPORATION  → R(2)
+#2  Scan[CD] FIRM  → R(3)
+#3  HashMerge[PORGANIZATION on ONAME, 3-way single pass] over R(1), R(2), R(3)  → R(4)
+#4  Scan[CD] FINANCE  → R(5)
+#5  AntiJoin[R(4).ONAME = R(5).FNAME]  → R(6)
+#6  Pipeline over R(6) → Project[ONAME]@R(7)  → R(7) ◀ answer",
+    );
+}
+
+/// Union and Difference.
+#[test]
+fn set_ops_plan_serial() {
+    assert_snapshot(
+        &plan_text(
+            "((PALUMNUS [DEGREE = \"MBA\"]) UNION (PALUMNUS [DEGREE = \"MS\"])) \
+             MINUS (PALUMNUS [DEGREE = \"MBA\"])",
+            true,
+            1,
+        ),
+        "\
+#0  Scan[AD] ALUMNUS[DEG = MBA]  → R(1)
+#1  Scan[AD] ALUMNUS[DEG = MS]  → R(2)
+#2  Union[R(1), R(2)]  → R(3)
+#3  Scan[AD] ALUMNUS[DEG = MBA]  → R(4)
+#4  Difference[R(3), R(4)]  → R(5) ◀ answer",
+    );
+}
+
+/// Intersect and Product.
+#[test]
+fn intersect_and_product_plan_serial() {
+    assert_snapshot(
+        &plan_text("(PALUMNUS INTERSECT PALUMNUS) TIMES PFINANCE", true, 1),
+        "\
+#0  Scan[AD] ALUMNUS  → R(1)
+#1  Scan[AD] ALUMNUS  → R(2)
+#2  Intersect[R(2), R(1)]  → R(3)
+#3  Scan[CD] FINANCE  → R(4)
+#4  Product[R(3), R(4)]  → R(5) ◀ answer",
+    );
+}

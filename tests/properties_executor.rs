@@ -6,87 +6,18 @@
 //! data, origin tags and intermediate tags — across workload-generated
 //! federations and random query shapes. `execute_eager` is the reference
 //! semantics; any divergence here is a bug in a physical kernel or in
-//! plan lowering.
+//! plan lowering. (The partition-parallel engine gets the same treatment
+//! across thread counts in `properties_parallel`.)
 
+mod common;
+
+use common::fixtures::{assert_engines_agree, compile, conflicted_config, small_config};
 use polygen::catalog::prelude::scenario;
 use polygen::core::algebra::coalesce::ConflictPolicy;
 use polygen::pqp::prelude::*;
-use polygen::sql::prelude::{parse_algebra, PAPER_EXPRESSION};
-use polygen::workload::{self, WorkloadConfig};
+use polygen::sql::prelude::PAPER_EXPRESSION;
+use polygen::workload;
 use proptest::prelude::*;
-
-/// Compile an algebra expression to its (unoptimized) IOM.
-fn compile(expr: &str, schema: &polygen::catalog::schema::PolygenSchema) -> Iom {
-    let pom = analyze(&parse_algebra(expr).unwrap()).unwrap();
-    interpret(&pom, schema).unwrap().1
-}
-
-/// Run one expression through both engines and assert the answers and
-/// (when retained) every traced `R(n)` agree, tags included.
-fn assert_engines_agree(
-    scenario: &polygen::catalog::scenario::Scenario,
-    expr: &str,
-    policy: ConflictPolicy,
-) {
-    let registry = polygen::lqp::scenario_registry(scenario);
-    let iom = compile(expr, scenario.dictionary.schema());
-    let options = ExecOptions {
-        conflict_policy: policy,
-        retain_intermediates: false,
-    };
-    let eager = execute_eager(&iom, &registry, &scenario.dictionary, options);
-    let physical = execute(&iom, &registry, &scenario.dictionary, options);
-    match (eager, physical) {
-        (Ok((eref, _)), Ok((pref, _))) => {
-            assert!(
-                eref.tagged_set_eq(&pref),
-                "engines diverge on `{expr}`:\n eager: {} rows\n physical: {} rows",
-                eref.len(),
-                pref.len()
-            );
-            // Retained physical run: every R(n) must match the eager trace.
-            let retained = ExecOptions {
-                conflict_policy: policy,
-                retain_intermediates: true,
-            };
-            let (_, eager_trace) =
-                execute_eager(&iom, &registry, &scenario.dictionary, retained).unwrap();
-            let (_, phys_trace) = execute(&iom, &registry, &scenario.dictionary, retained).unwrap();
-            assert_eq!(eager_trace.results.len(), phys_trace.results.len());
-            for (pr, rel) in &eager_trace.results {
-                assert!(
-                    rel.tagged_set_eq(phys_trace.result(*pr).expect("traced row")),
-                    "R({pr}) diverges on `{expr}`"
-                );
-            }
-        }
-        (Err(ee), Err(pe)) => {
-            // Both reject (e.g. a strict conflict) — but they must reject
-            // for the same *kind* of reason, or a physical-engine defect
-            // could hide behind an unrelated eager error.
-            assert!(
-                same_error_kind(&ee, &pe),
-                "engines reject `{expr}` for different reasons:\n eager: {ee}\n physical: {pe}"
-            );
-        }
-        (Ok(_), Err(e)) => panic!("physical engine rejected `{expr}`: {e}"),
-        (Err(e), Ok(_)) => panic!("eager engine rejected `{expr}`: {e}"),
-    }
-}
-
-/// Same error variant (and, for algebra errors, same inner variant) —
-/// payloads may differ legitimately (the fold and the hash merge detect
-/// the first conflict in different orders).
-fn same_error_kind(a: &PqpError, b: &PqpError) -> bool {
-    use std::mem::discriminant;
-    if discriminant(a) != discriminant(b) {
-        return false;
-    }
-    match (a, b) {
-        (PqpError::Polygen(x), PqpError::Polygen(y)) => discriminant(x) == discriminant(y),
-        _ => true,
-    }
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -99,10 +30,7 @@ proptest! {
         depth in 1usize..4,
         sources in 2usize..5,
     ) {
-        let config = WorkloadConfig::default()
-            .with_seed(fed_seed)
-            .with_sources(sources)
-            .with_entities(50);
+        let config = small_config(fed_seed, sources, 50);
         let sc = workload::generate(&config);
         let expr = workload::queries::random_expression(&config, query_seed, depth);
         assert_engines_agree(&sc, &expr.to_string(), ConflictPolicy::Strict);
@@ -117,14 +45,7 @@ proptest! {
         sources in 2usize..5,
         prefer_left in any::<bool>(),
     ) {
-        let config = WorkloadConfig {
-            conflict_rate: 0.3,
-            ..WorkloadConfig::default()
-                .with_seed(fed_seed)
-                .with_sources(sources)
-                .with_entities(40)
-        };
-        let sc = workload::generate(&config);
+        let sc = workload::generate(&conflicted_config(fed_seed, sources, 40));
         let policy = if prefer_left {
             ConflictPolicy::PreferLeft
         } else {
@@ -140,7 +61,7 @@ proptest! {
         query_seed in any::<u64>(),
         depth in 1usize..4,
     ) {
-        let config = WorkloadConfig::default().with_sources(3).with_entities(40);
+        let config = small_config(0x5eed, 3, 40);
         let sc = workload::generate(&config);
         let registry = polygen::lqp::scenario_registry(&sc);
         let expr = workload::queries::random_expression(&config, query_seed, depth);

@@ -1,0 +1,235 @@
+//! Differential property tests for partition-parallel execution.
+//!
+//! For random federations, policies and thread counts P ∈ {1, 2, 4, 8},
+//! the parallel physical engine must produce output — tuples *and* ONTJ
+//! tags — identical to `execute_eager` and to the sequential physical
+//! engine (byte-identical there, order included). The kernel-level
+//! properties additionally drive `hash_merge_partitioned` and
+//! `hash_equi_join_coalesced_partitioned` through their fallback paths:
+//! duplicate non-nil keys inside an operand and Int/Float-mixed key
+//! columns, both of which must take the reference route and still match.
+
+mod common;
+
+use common::fixtures::{assert_parallel_matches, conflicted_config, small_config};
+use polygen::catalog::prelude::scenario;
+use polygen::core::algebra::coalesce::ConflictPolicy;
+use polygen::core::algebra::merge::{hash_merge_partitioned, merge};
+use polygen::core::algebra::{equi_join_coalesced, hash_equi_join_coalesced_partitioned};
+use polygen::core::stream::ParallelOptions;
+use polygen::core::{Cell, PolygenRelation, SourceId};
+use polygen::flat::{Schema, Value};
+use polygen::sql::prelude::PAPER_EXPRESSION;
+use polygen::workload;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// A tagged relation named `name` with attributes `K, <name>_V`, one
+/// tuple per `(key, value)` pair (`None` = nil key), all cells
+/// originating from `source`. Keys are deliberately drawn from a tiny
+/// space so duplicates (the fold-fallback trigger) are common.
+fn keyed_relation(name: &str, source: u16, rows: &[(Option<i64>, i64, bool)]) -> PolygenRelation {
+    let schema = Arc::new(
+        Schema::from_parts(
+            name,
+            vec![Arc::from("K"), Arc::from(format!("{name}_V").as_str())],
+            Vec::new(),
+        )
+        .unwrap(),
+    );
+    let tuples = rows
+        .iter()
+        .map(|(key, value, float_key)| {
+            let k = match key {
+                None => Value::Null,
+                Some(k) if *float_key => Value::float(*k as f64),
+                Some(k) => Value::int(*k),
+            };
+            vec![
+                Cell::retrieved(k, SourceId(source)),
+                Cell::retrieved(Value::int(*value), SourceId(source)),
+            ]
+        })
+        .collect();
+    PolygenRelation::from_tuples(schema, tuples).unwrap()
+}
+
+type KeyedRows = Vec<(Option<i64>, i64, bool)>;
+
+/// Rows with keys in 0..6 (duplicates likely), occasional nils, and an
+/// occasional Float key to force the Int/Float fallback.
+fn keyed_rows() -> impl Strategy<Value = KeyedRows> {
+    proptest::collection::vec(
+        (
+            prop_oneof![
+                (0i64..6).prop_map(Some),
+                (0i64..6).prop_map(Some),
+                (0i64..6).prop_map(Some),
+                Just(None),
+            ],
+            0i64..100,
+            prop_oneof![
+                Just(false),
+                Just(false),
+                Just(false),
+                Just(false),
+                Just(true)
+            ],
+        ),
+        0..12,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Random expressions over random federations, across thread counts:
+    /// parallel = sequential = eager, answer and trace, tags included.
+    #[test]
+    fn parallel_matches_eager_and_sequential(
+        fed_seed in any::<u64>(),
+        query_seed in any::<u64>(),
+        depth in 1usize..4,
+        sources in 2usize..5,
+        tidx in 0usize..THREAD_COUNTS.len(),
+    ) {
+        // ≥ 64 entities so the parallel paths cross the executor's
+        // small-input threshold and genuinely run partitioned.
+        let config = small_config(fed_seed, sources, 64);
+        let sc = workload::generate(&config);
+        let expr = workload::queries::random_expression(&config, query_seed, depth);
+        assert_parallel_matches(&sc, &expr.to_string(), ConflictPolicy::Strict, THREAD_COUNTS[tidx]);
+    }
+
+    /// Conflicting federations under every policy: the partitioned merge
+    /// must demote losers exactly like the fold, and `Strict` must reject
+    /// with the same error kind in all three engines.
+    #[test]
+    fn parallel_agrees_under_conflict_policies(
+        fed_seed in any::<u64>(),
+        sources in 2usize..5,
+        policy_idx in 0usize..3,
+        tidx in 0usize..THREAD_COUNTS.len(),
+    ) {
+        let sc = workload::generate(&conflicted_config(fed_seed, sources, 64));
+        let policy = [
+            ConflictPolicy::Strict,
+            ConflictPolicy::PreferLeft,
+            ConflictPolicy::PreferRight,
+        ][policy_idx];
+        let threads = THREAD_COUNTS[tidx];
+        assert_parallel_matches(&sc, "PENTITY [ENAME, CATEGORY]", policy, threads);
+        assert_parallel_matches(&sc, "PENTITY [CATEGORY = \"C0\"]", policy, threads);
+    }
+
+    /// Kernel-level: the partitioned merge equals the ONTJ fold
+    /// tuple-for-tuple (order included) on arbitrary small operands —
+    /// including the duplicate-key and Int/Float-mixed-key inputs that
+    /// take the fallback path inside `hash_merge_partitioned`.
+    #[test]
+    fn partitioned_merge_matches_fold_on_arbitrary_operands(
+        a in keyed_rows(),
+        b in keyed_rows(),
+        c in keyed_rows(),
+        tidx in 0usize..THREAD_COUNTS.len(),
+    ) {
+        let rels = [
+            keyed_relation("A", 0, &a),
+            keyed_relation("B", 1, &b),
+            keyed_relation("C", 2, &c),
+        ];
+        // Per-operand value columns are disjoint, so non-key coalesces
+        // never conflict; key coalesces only conflict on θ-equal
+        // Int/Float pairs, which both paths must reject identically.
+        let par = ParallelOptions::with_threads(THREAD_COUNTS[tidx]);
+        match (
+            merge(&rels, "K", ConflictPolicy::Strict),
+            hash_merge_partitioned(&rels, "K", ConflictPolicy::Strict, par),
+        ) {
+            (Ok((fold, _)), Ok((parl, _))) => {
+                prop_assert_eq!(fold.schema().attrs(), parl.schema().attrs());
+                prop_assert_eq!(fold.tuples(), parl.tuples(), "order included");
+            }
+            (Err(_), Err(_)) => {}
+            (f, p) => panic!(
+                "fold {:?} vs partitioned {:?}",
+                f.map(|_| ()),
+                p.map(|_| ())
+            ),
+        }
+    }
+
+    /// Kernel-level: the partitioned join equals the reference coalesced
+    /// equi-join tuple-for-tuple, duplicates, nils and the Int/Float
+    /// fallback included.
+    #[test]
+    fn partitioned_join_matches_reference_on_arbitrary_inputs(
+        l in keyed_rows(),
+        r in keyed_rows(),
+        tidx in 0usize..THREAD_COUNTS.len(),
+    ) {
+        let left = keyed_relation("L", 0, &l);
+        let right = keyed_relation("R", 1, &r);
+        let par = ParallelOptions::with_threads(THREAD_COUNTS[tidx]);
+        match (
+            equi_join_coalesced(&left, &right, "K", "K", "K"),
+            hash_equi_join_coalesced_partitioned(&left, &right, "K", "K", "K", par),
+        ) {
+            (Ok(reference), Ok(parl)) => {
+                prop_assert_eq!(reference.schema().attrs(), parl.schema().attrs());
+                prop_assert_eq!(reference.tuples(), parl.tuples(), "order included");
+            }
+            (Err(_), Err(_)) => {}
+            (f, p) => panic!(
+                "reference {:?} vs partitioned {:?}",
+                f.map(|_| ()),
+                p.map(|_| ())
+            ),
+        }
+    }
+}
+
+/// The paper's own pipeline across every thread count — scan, hash join,
+/// hash merge, fused restrict+project and the alias machinery at once.
+#[test]
+fn paper_query_is_identical_across_thread_counts() {
+    let s = scenario::build();
+    for threads in THREAD_COUNTS {
+        assert_parallel_matches(&s, PAPER_EXPRESSION, ConflictPolicy::Strict, threads);
+    }
+}
+
+/// Set operations, anti-join and the θ fallback stay correct when the
+/// engine around them runs parallel.
+#[test]
+fn set_ops_and_theta_joins_agree_in_parallel() {
+    let s = scenario::build();
+    for expr in [
+        "(PALUMNUS [DEGREE = \"MBA\"]) UNION (PALUMNUS [DEGREE = \"MS\"])",
+        "PALUMNUS MINUS (PALUMNUS [DEGREE = \"MBA\"])",
+        "(PORGANIZATION ANTIJOIN [ONAME = ONAME] PFINANCE) [ONAME]",
+        "PCAREER [AID# < AID#] PCAREER",
+        "PALUMNUS TIMES PFINANCE",
+    ] {
+        assert_parallel_matches(&s, expr, ConflictPolicy::Strict, 4);
+    }
+}
+
+/// A federation large enough that every parallel operator is actually
+/// exercised above the small-input threshold, swept across thread counts
+/// and a detail join (the probe side carries duplicate keys).
+#[test]
+fn large_federation_join_and_merge_across_thread_counts() {
+    let config = small_config(0xfeed, 4, 200);
+    let sc = workload::generate(&config);
+    for threads in THREAD_COUNTS {
+        assert_parallel_matches(
+            &sc,
+            "((PDETAIL [SCORE >= 40]) [ENAME = ENAME] PENTITY) [ENAME, CATEGORY]",
+            ConflictPolicy::Strict,
+            threads,
+        );
+    }
+}

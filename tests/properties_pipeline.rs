@@ -2,6 +2,9 @@
 //! SQL-vs-algebra agreement, and optimizer plan equivalence on random
 //! synthetic federations.
 
+mod common;
+
+use common::fixtures::{generate_pqp, small_config};
 use polygen::pqp::prelude::*;
 use polygen::sql::prelude::*;
 use polygen::workload::{self, WorkloadConfig};
@@ -77,13 +80,9 @@ proptest! {
         depth in 1usize..4,
         sources in 2usize..5,
     ) {
-        let config = WorkloadConfig::default()
-            .with_seed(fed_seed)
-            .with_sources(sources)
-            .with_entities(60);
-        let scenario = workload::generate(&config);
+        let config = small_config(fed_seed, sources, 60);
+        let (scenario, naive) = generate_pqp(&config);
         let expr = workload::queries::random_expression(&config, query_seed, depth);
-        let naive = Pqp::for_scenario(&scenario);
         let optimizing = Pqp::for_scenario(&scenario).with_options(PqpOptions {
             optimize: true,
             ..PqpOptions::default()
@@ -100,13 +99,8 @@ proptest! {
     /// coverage, every entity's key cell is tagged with every source.
     #[test]
     fn full_coverage_tags_every_source(fed_seed in any::<u64>(), sources in 2usize..5) {
-        let config = WorkloadConfig::default()
-            .with_seed(fed_seed)
-            .with_sources(sources)
-            .with_entities(20)
-            .with_coverage(1.0);
-        let scenario = workload::generate(&config);
-        let pqp = Pqp::for_scenario(&scenario);
+        let config = small_config(fed_seed, sources, 20).with_coverage(1.0);
+        let (_, pqp) = generate_pqp(&config);
         let out = pqp.query_algebra("PENTITY [ENAME, CATEGORY]").unwrap();
         prop_assert_eq!(out.answer.len(), 20);
         for t in out.answer.tuples() {
