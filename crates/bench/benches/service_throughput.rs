@@ -1,0 +1,166 @@
+//! Serving-layer throughput: what the plan and tagged-result caches buy.
+//!
+//! Three sweeps over a seeded synthetic federation:
+//!
+//! * `service/plan` — plan *acquisition* alone: `cold_compile` (SQL →
+//!   algebra → POM → IOM → physical plan, what every query pays without
+//!   a plan cache) vs `cache_hit` (one LRU probe returning the shared
+//!   compiled handle). The acceptance ratio lives here: the hit must be
+//!   strictly — in practice orders of magnitude — faster.
+//! * `service/path` — end-to-end latency of the three serving paths
+//!   for the paper-shaped SQL query: `cold` (no caches: normalize,
+//!   compile and execute every time), `plan_hit` (plan cache only:
+//!   normalize and execute), and `result_hit` (both caches warm:
+//!   normalize plus two cache probes, no execution — orders of
+//!   magnitude below the other two; `plan_hit` vs `cold` differs by
+//!   exactly the compile cost, so on execution-dominated queries the
+//!   two are close).
+//! * `service/clients` — closed-loop population throughput
+//!   ([`polygen_workload::clients::drive`]): clients × cache on/off,
+//!   whole-mix wall-clock. Cache-on throughput rises with repeated
+//!   shapes; cache-off pays full execution per query.
+//!
+//! CI runs this harness in sampling mode and publishes the figures as
+//! `BENCH_service.json` (see `.github/workflows/ci.yml`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polygen_serve::prelude::*;
+use polygen_workload::queries::paper_shaped_sql;
+use polygen_workload::{
+    self as workload, drive, ClientMix, ClientQuery, QueryLang, WorkloadConfig,
+};
+use std::hint::black_box;
+
+/// A serving-sized federation: big enough that execution dominates
+/// cache probes, small enough for CI sampling mode.
+fn bench_config() -> WorkloadConfig {
+    WorkloadConfig::default().with_sources(3).with_entities(512)
+}
+
+fn service_with(config: &WorkloadConfig, options: ServeOptions) -> QueryService {
+    QueryService::for_scenario(&workload::generate(config), options)
+}
+
+/// Plan acquisition: compiling from scratch vs probing the plan cache.
+fn plan_sweep(c: &mut Criterion) {
+    use polygen_pqp::pqp::Pqp;
+    use polygen_sql::normalize::canonicalize_algebra;
+
+    let mut g = c.benchmark_group("service/plan");
+    g.sample_size(30);
+    let config = bench_config();
+    let scenario = workload::generate(&config);
+    let sql = paper_shaped_sql(0);
+
+    let pqp = Pqp::for_scenario(&scenario);
+    g.bench_function("cold_compile", |b| {
+        b.iter(|| {
+            let expr = pqp.translate_sql(black_box(&sql)).unwrap();
+            pqp.compile(expr).unwrap().physical.fused_rows()
+        })
+    });
+
+    // One warm entry, probed the way the service probes it.
+    let expr = pqp.translate_sql(&sql).unwrap();
+    let canonical = canonicalize_algebra(&expr.to_string()).unwrap();
+    let compiled = pqp.compile(expr).unwrap();
+    let reads = compiled.physical.source_dbs();
+    let cache = PlanCache::new(64);
+    cache.insert(std::sync::Arc::new(PlanEntry {
+        canonical: std::sync::Arc::from(canonical.as_str()),
+        fingerprint: compiled.physical.fingerprint(),
+        compiled_versions: reads.iter().map(|s| (s.clone(), 0)).collect(),
+        reads,
+        compiled,
+    }));
+    g.bench_function("cache_hit", |b| {
+        b.iter(|| {
+            let entry = cache.get(black_box(&canonical)).expect("warm entry");
+            entry.fingerprint
+        })
+    });
+    g.finish();
+}
+
+/// Cold vs plan-hit vs result-hit latency on the paper-shaped query.
+fn path_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("service/path");
+    g.sample_size(20);
+    let config = bench_config();
+    let sql = paper_shaped_sql(0);
+
+    // No caches: every iteration normalizes, compiles and executes.
+    let cold = service_with(&config, ServeOptions::default().without_caches());
+    g.bench_function("cold", |b| {
+        b.iter(|| {
+            let out = cold.query(black_box(&sql)).unwrap();
+            assert!(!out.plan_hit && !out.result_hit);
+            out.answer.len()
+        })
+    });
+
+    // Plan cache only: compilation amortized, execution still paid.
+    let plan_only = service_with(&config, ServeOptions::default().with_caches(64, 0));
+    plan_only.query(&sql).unwrap(); // warm the plan
+    g.bench_function("plan_hit", |b| {
+        b.iter(|| {
+            let out = plan_only.query(black_box(&sql)).unwrap();
+            assert!(out.plan_hit && !out.result_hit);
+            out.answer.len()
+        })
+    });
+
+    // Both caches: the pure hit path (normalize + two probes).
+    let full = service_with(&config, ServeOptions::default());
+    full.query(&sql).unwrap(); // warm plan + result
+    g.bench_function("result_hit", |b| {
+        b.iter(|| {
+            let out = full.query(black_box(&sql)).unwrap();
+            assert!(out.result_hit);
+            out.answer.len()
+        })
+    });
+    g.finish();
+}
+
+/// Closed-loop population throughput, clients × cache on/off.
+fn client_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("service/clients");
+    g.sample_size(10);
+    let config = bench_config();
+    for clients in [1usize, 4] {
+        for (cached, label) in [(true, "cached"), (false, "uncached")] {
+            let options = if cached {
+                ServeOptions::default()
+            } else {
+                ServeOptions::default().without_caches()
+            };
+            let service = service_with(&config, options);
+            let mix = ClientMix::default()
+                .with_clients(clients)
+                .with_queries_per_client(8);
+            g.bench_with_input(
+                BenchmarkId::new(label, format!("c{clients}")),
+                &mix,
+                |b, mix| {
+                    b.iter(|| {
+                        let report = drive(mix, |_, q: &ClientQuery| {
+                            match q.lang {
+                                QueryLang::Sql => service.query(&q.text),
+                                QueryLang::Algebra => service.query_algebra(&q.text),
+                            }
+                            .unwrap()
+                            .answer
+                            .len()
+                        });
+                        black_box(report.queries)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, plan_sweep, path_sweep, client_sweep);
+criterion_main!(benches);

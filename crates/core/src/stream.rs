@@ -208,16 +208,24 @@ impl ParallelOptions {
 /// The thread count "auto" resolves to: the `POLYGEN_THREADS` environment
 /// variable when set to a positive integer (how CI pins both legs of the
 /// test matrix), otherwise [`std::thread::available_parallelism`].
+///
+/// Resolved once per process and cached — "auto" sits on the per-query
+/// hot path (every `ExecOptions::parallelism()` call lands here), and
+/// both inputs are process-constant, so there is no reason to re-read
+/// the environment on every query.
 pub fn default_thread_count() -> usize {
-    match std::env::var("POLYGEN_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        Some(n) if n >= 1 => n,
-        _ => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
-    }
+    static RESOLVED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *RESOLVED.get_or_init(|| {
+        match std::env::var("POLYGEN_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            Some(n) if n >= 1 => n,
+            _ => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    })
 }
 
 /// Deterministic multiply-rotate hasher (FxHash-style). Partitioning

@@ -65,6 +65,23 @@ impl CisWorkstation {
         }
     }
 
+    /// Assemble over *shared* federation state — O(1) session setup.
+    /// The dictionary and LQP registry are `Arc`-cloned, never
+    /// deep-copied, so callers standing up many workstations (one per
+    /// client session, one per test thread) pay two pointer copies
+    /// instead of a catalog clone each. `polygen-serve` shares the same
+    /// snapshot state but drives [`Pqp`] directly for its cache plumbing.
+    pub fn shared(
+        app_schema: AppSchema,
+        dictionary: std::sync::Arc<polygen_catalog::dictionary::DataDictionary>,
+        registry: std::sync::Arc<polygen_lqp::registry::LqpRegistry>,
+    ) -> Self {
+        CisWorkstation {
+            app_schema,
+            pqp: Pqp::new(dictionary, registry),
+        }
+    }
+
     /// Reconfigure the PQP.
     pub fn with_pqp_options(mut self, options: PqpOptions) -> Self {
         self.pqp = self.pqp.with_options(options);
@@ -216,6 +233,31 @@ mod tests {
         assert!(report.contains("[hash(ONAME) x4]"), "{report}");
         let serial_report = sequential.explain_app(query).unwrap();
         assert!(!serial_report.contains("[hash("));
+    }
+
+    #[test]
+    fn shared_workstations_reuse_federation_state() {
+        use polygen_lqp::scenario_registry;
+        use std::sync::Arc;
+        let s = scenario::build();
+        let dictionary = Arc::new(s.dictionary.clone());
+        let registry = Arc::new(scenario_registry(&s));
+        // Many sessions over the same shared state: no catalog clones.
+        let ws1 = CisWorkstation::shared(
+            computerworld_schema(),
+            Arc::clone(&dictionary),
+            Arc::clone(&registry),
+        );
+        let ws2 = CisWorkstation::shared(computerworld_schema(), dictionary, registry);
+        let a = ws1
+            .query_app("SELECT COMPANY FROM COMPANIES WHERE CHIEF = \"John Reed\"")
+            .unwrap();
+        let b = ws2
+            .query_app("SELECT COMPANY FROM COMPANIES WHERE CHIEF = \"John Reed\"")
+            .unwrap();
+        assert!(a.answer.tagged_set_eq(&b.answer));
+        assert!(std::ptr::eq(ws1.pqp().dictionary(), ws2.pqp().dictionary()));
+        assert!(std::ptr::eq(ws1.pqp().registry(), ws2.pqp().registry()));
     }
 
     #[test]

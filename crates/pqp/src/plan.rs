@@ -37,7 +37,7 @@ use polygen_flat::schema::Schema;
 use polygen_flat::value::{Cmp, Value};
 use polygen_lqp::engine::LocalOp;
 use polygen_lqp::registry::LqpRegistry;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -264,6 +264,50 @@ impl PhysicalPlan {
                 _ => None,
             })
             .sum()
+    }
+
+    /// The local databases this plan reads — every [`PhysOp::Scan`]'s
+    /// target, deduplicated. A result cache keys cached answers on this
+    /// set's version vector: an answer stays valid exactly as long as
+    /// none of the sources it was computed from has been updated.
+    pub fn source_dbs(&self) -> BTreeSet<String> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match &n.op {
+                PhysOp::Scan { db, .. } => Some(db.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// A deterministic structural fingerprint: FNV-1a over the rendered
+    /// operator tree plus every node's planned output schema. Two plans
+    /// with the same fingerprint execute the same scans, stages,
+    /// strategies and predicates against the same planned schemas — the
+    /// identity a plan/result cache needs. Stable across processes (no
+    /// per-process hash seeds) so fingerprints can be logged and
+    /// compared between runs.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+            hash ^= 0xff;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        };
+        eat(render_plan(self).as_bytes());
+        for node in &self.nodes {
+            eat(node.schema.name().as_bytes());
+            for attr in node.schema.attrs() {
+                eat(attr.as_bytes());
+            }
+        }
+        eat(&self.root.to_le_bytes());
+        hash
     }
 }
 

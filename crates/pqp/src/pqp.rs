@@ -147,11 +147,13 @@ impl Pqp {
     }
 
     /// Translate SQL text into a polygen algebra expression using the
-    /// polygen schema as the lowering resolver.
+    /// polygen schema as the lowering resolver. The resolver borrows the
+    /// dictionary's schema — no per-query clone of the whole
+    /// `PolygenSchema` (this runs once per served query).
     pub fn translate_sql(&self, sql: &str) -> Result<AlgebraExpr, PqpError> {
         let query = parse_query(sql)?;
-        let schema = self.dictionary.schema().clone();
-        let resolver = move |rel: &str| -> Option<Vec<String>> {
+        let schema = self.dictionary.schema();
+        let resolver = |rel: &str| -> Option<Vec<String>> {
             schema
                 .scheme(rel)
                 .map(|s| s.attr_names().map(str::to_string).collect())
@@ -193,9 +195,18 @@ impl Pqp {
         })
     }
 
-    /// Execute a compiled query on the physical-plan engine.
-    pub fn run(&self, compiled: CompiledQuery) -> Result<QueryOutcome, PqpError> {
-        let (answer, trace) = execute_plan(
+    /// Execute a *borrowed* compiled query — the reusable-plan-handle
+    /// entry point. A plan cache compiles once and replays the same
+    /// `CompiledQuery` across sessions; the runtime thread/partition
+    /// knobs come from the executing PQP's options, not from the plan
+    /// (the lowered plan's partition annotations are presentation/costing
+    /// metadata — the executor re-resolves parallelism per run), so one
+    /// cached plan serves every concurrency level.
+    pub fn run_compiled(
+        &self,
+        compiled: &CompiledQuery,
+    ) -> Result<(PolygenRelation, ExecutionTrace), PqpError> {
+        execute_plan(
             &compiled.physical,
             &self.registry,
             &self.dictionary,
@@ -205,7 +216,12 @@ impl Pqp {
                 threads: self.options.threads,
                 partitions: self.options.partitions,
             },
-        )?;
+        )
+    }
+
+    /// Execute a compiled query on the physical-plan engine.
+    pub fn run(&self, compiled: CompiledQuery) -> Result<QueryOutcome, PqpError> {
+        let (answer, trace) = self.run_compiled(&compiled)?;
         Ok(QueryOutcome {
             compiled,
             answer,

@@ -1,0 +1,290 @@
+//! The service's two caches: compiled plans and tagged results.
+//!
+//! **Plan cache** — keyed on the *canonical query text* (see
+//! `polygen_sql::normalize`): whitespace, parenthesization and SQL
+//! surface variation collapse onto one key, and the canonical printer's
+//! round-trip property (`parse(print(e)) == e`) makes the key injective
+//! on expression identity, so two different plans can never collide.
+//! Values are `Arc`-shared [`CompiledQuery`] handles — compile once,
+//! replay across every session (the runtime thread allotment is an
+//! executor option, not part of the plan).
+//!
+//! **Tagged-result cache** — keyed on `(plan fingerprint × the version
+//! vector of exactly the sources the plan reads)`. The paper's tagged
+//! answers are ideal cache values: origin and intermediate tags are
+//! *data*, deterministic per (plan, source contents), locked down
+//! cell-exactly by the golden tables and differential suites — so a
+//! cache hit returns the byte-identical relation a cold run would
+//! produce. Invalidation is precise: bumping one source's version makes
+//! every key that mentions that source unreachable, and
+//! [`ResultCache::invalidate_source`] / [`PlanCache::invalidate_source`]
+//! eagerly purge those entries so the LRU doesn't carry dead weight.
+//! (Plans cache schema resolution done against the snapshot's planned
+//! schemas, so a source swap conservatively evicts plans reading it
+//! too — an updated source may change relation schemas — and every
+//! plan-cache hit is additionally validated against the serving
+//! snapshot's versions via [`PlanEntry::compiled_versions`], so a plan
+//! compiled against a pre-update snapshot and re-inserted after the
+//! purge can never be served post-update.)
+//!
+//! Eviction is least-recently-used. The LRU here is a flat
+//! map + recency tick with an O(capacity) eviction scan — eviction is
+//! rare (only at capacity, on a miss) and capacities are service-sized
+//! (hundreds), so the constant-time paths that matter (hit, insert
+//! below capacity) stay a single hash probe under one mutex.
+
+use crate::snapshot::VersionVector;
+use polygen_core::relation::PolygenRelation;
+use polygen_pqp::pqp::CompiledQuery;
+use std::borrow::Borrow;
+use std::collections::{BTreeSet, HashMap};
+use std::hash::Hash;
+use std::sync::{Arc, Mutex};
+
+/// A bounded least-recently-used map.
+struct Lru<K, V> {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<K, (V, u64)>,
+}
+
+impl<K: Eq + Hash + Clone, V> Lru<K, V> {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU capacity must be positive");
+        Lru {
+            capacity,
+            tick: 0,
+            map: HashMap::with_capacity(capacity.min(1024)),
+        }
+    }
+
+    fn get<Q>(&mut self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(v, used)| {
+            *used = tick;
+            &*v
+        })
+    }
+
+    fn insert(&mut self, key: K, value: V) {
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (value, self.tick));
+    }
+
+    /// Drop every entry matching `stale`; returns how many went.
+    fn purge(&mut self, stale: impl Fn(&K, &V) -> bool) -> usize {
+        let before = self.map.len();
+        self.map.retain(|k, (v, _)| !stale(k, v));
+        before - self.map.len()
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// A compiled, reusable plan plus the metadata its cache entries need.
+pub struct PlanEntry {
+    /// The canonical query text this plan was compiled from (shared —
+    /// cache keys and result keys alias it rather than copying).
+    pub canonical: Arc<str>,
+    /// The compiled pipeline (POM → IOM → physical plan).
+    pub compiled: CompiledQuery,
+    /// Structural fingerprint of the physical plan.
+    pub fingerprint: u64,
+    /// The local databases the plan scans.
+    pub reads: BTreeSet<String>,
+    /// The versions of `reads` at compile time. A cache hit is only
+    /// valid while the serving snapshot still agrees — this is what
+    /// closes the insert-after-invalidate race: a plan compiled against
+    /// a pre-update snapshot can be re-inserted after `update_source`
+    /// purged the cache, but it can never be *served* against the
+    /// post-update versions.
+    pub compiled_versions: VersionVector,
+}
+
+/// Canonical-text → shared compiled plan.
+pub struct PlanCache {
+    inner: Mutex<Lru<Arc<str>, Arc<PlanEntry>>>,
+}
+
+impl PlanCache {
+    /// An empty cache holding at most `capacity` plans.
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            inner: Mutex::new(Lru::new(capacity)),
+        }
+    }
+
+    /// Look a canonical text up, refreshing its recency. Callers must
+    /// check the entry's [`PlanEntry::compiled_versions`] against their
+    /// snapshot before executing it.
+    pub fn get(&self, canonical: &str) -> Option<Arc<PlanEntry>> {
+        self.inner
+            .lock()
+            .expect("plan cache poisoned")
+            .get(canonical)
+            .cloned()
+    }
+
+    /// Insert a freshly compiled plan (replacing any entry under the
+    /// same canonical text — last writer wins; staleness is caught at
+    /// hit time via [`PlanEntry::compiled_versions`]).
+    pub fn insert(&self, entry: Arc<PlanEntry>) {
+        self.inner
+            .lock()
+            .expect("plan cache poisoned")
+            .insert(Arc::clone(&entry.canonical), entry);
+    }
+
+    /// Evict every plan that reads `source` (its schemas may have
+    /// changed under an update). Returns the number evicted.
+    pub fn invalidate_source(&self, source: &str) -> usize {
+        self.inner
+            .lock()
+            .expect("plan cache poisoned")
+            .purge(|_, entry| entry.reads.contains(source))
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("plan cache poisoned").len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// What identifies one cached tagged answer: which plan, compiled from
+/// which canonical text (belt and braces against the u64 fingerprint
+/// ever colliding), executed against which source versions.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct ResultKey {
+    /// [`polygen_pqp::plan::PhysicalPlan::fingerprint`] of the plan.
+    pub fingerprint: u64,
+    /// The plan's canonical query text (shared with its [`PlanEntry`]).
+    pub canonical: Arc<str>,
+    /// Versions of exactly the sources the plan reads, sorted.
+    pub versions: VersionVector,
+}
+
+/// `(plan × source versions)` → shared tagged answer.
+pub struct ResultCache {
+    inner: Mutex<Lru<ResultKey, Arc<PolygenRelation>>>,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `capacity` answers.
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            inner: Mutex::new(Lru::new(capacity)),
+        }
+    }
+
+    /// Look up a cached tagged answer.
+    pub fn get(&self, key: &ResultKey) -> Option<Arc<PolygenRelation>> {
+        self.inner
+            .lock()
+            .expect("result cache poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    /// Cache an answer under its plan/version identity.
+    pub fn insert(&self, key: ResultKey, answer: Arc<PolygenRelation>) {
+        self.inner
+            .lock()
+            .expect("result cache poisoned")
+            .insert(key, answer);
+    }
+
+    /// Evict every answer whose dependency vector mentions `source` —
+    /// called on a version bump, when all such entries are stale by
+    /// construction. Returns the number evicted.
+    pub fn invalidate_source(&self, source: &str) -> usize {
+        self.inner
+            .lock()
+            .expect("result cache poisoned")
+            .purge(|key, _| key.versions.iter().any(|(s, _)| s == source))
+    }
+
+    /// Number of cached answers.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("result cache poisoned").len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polygen_flat::schema::Schema;
+
+    fn answer(name: &str) -> Arc<PolygenRelation> {
+        Arc::new(PolygenRelation::empty(Arc::new(
+            Schema::new(name, &["A"]).unwrap(),
+        )))
+    }
+
+    fn key(fp: u64, versions: &[(&str, u64)]) -> ResultKey {
+        ResultKey {
+            fingerprint: fp,
+            canonical: Arc::from(format!("Q{fp}").as_str()),
+            versions: versions.iter().map(|(s, v)| (s.to_string(), *v)).collect(),
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = ResultCache::new(2);
+        let (a, b, c) = (key(1, &[]), key(2, &[]), key(3, &[]));
+        cache.insert(a.clone(), answer("A"));
+        cache.insert(b.clone(), answer("B"));
+        // Touch A so B is the eviction victim.
+        assert!(cache.get(&a).is_some());
+        cache.insert(c.clone(), answer("C"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&a).is_some());
+        assert!(cache.get(&b).is_none());
+        assert!(cache.get(&c).is_some());
+    }
+
+    #[test]
+    fn version_mismatch_is_a_miss() {
+        let cache = ResultCache::new(8);
+        cache.insert(key(1, &[("CD", 0)]), answer("A"));
+        assert!(cache.get(&key(1, &[("CD", 0)])).is_some());
+        assert!(cache.get(&key(1, &[("CD", 1)])).is_none());
+    }
+
+    #[test]
+    fn invalidate_source_purges_exactly_the_dependents() {
+        let cache = ResultCache::new(8);
+        cache.insert(key(1, &[("AD", 0), ("CD", 0)]), answer("A"));
+        cache.insert(key(2, &[("AD", 0)]), answer("B"));
+        assert_eq!(cache.invalidate_source("CD"), 1);
+        assert!(cache.get(&key(1, &[("AD", 0), ("CD", 0)])).is_none());
+        assert!(cache.get(&key(2, &[("AD", 0)])).is_some());
+    }
+}

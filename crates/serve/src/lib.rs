@@ -1,0 +1,47 @@
+//! # polygen-serve — the mediator as a service
+//!
+//! The paper's CIS workstation answers one query for one user. This
+//! crate turns it into what the architecture was drawn for: a mediator
+//! *service* that many sessions query concurrently, amortizing work
+//! across users. Three ideas carry the design:
+//!
+//! * [`snapshot`] — an immutable [`snapshot::FederationSnapshot`]
+//!   (`Arc`-shared dictionary + LQP registry) with a per-source version
+//!   vector; updating a source swaps in a successor snapshot and bumps
+//!   one version. Sessions never deep-clone federation state.
+//! * [`cache`] — a plan cache keyed on canonical query text (compile
+//!   once, replay everywhere) and a tagged-result cache keyed on
+//!   `(plan fingerprint × the versions of exactly the sources the plan
+//!   reads)`. Because the polygen model makes provenance *data* —
+//!   origin and intermediate tags ride in every cell, deterministically
+//!   — a cached answer is byte-identical to a cold re-execution, and a
+//!   version bump invalidates precisely the answers that read the
+//!   updated source.
+//! * [`service`] — sessions, admission control (bounded concurrency +
+//!   bounded queue + load shedding), and a shared thread budget: each
+//!   admitted query gets `max(1, budget / active)` workers for its
+//!   partition-parallel operators, so inter- and intra-query
+//!   parallelism spend one pool. [`metrics`] counts hits, latencies and
+//!   peaks.
+//!
+//! The differential guarantee the property suite
+//! (`tests/properties_service.rs`) locks down: with caches on and N
+//! concurrent sessions, every answer — data, origin tags, intermediate
+//! tags — is byte-identical to single-client, cache-off execution,
+//! including across a mid-run source update.
+
+pub mod cache;
+pub mod metrics;
+pub mod service;
+pub mod snapshot;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::cache::{PlanCache, PlanEntry, ResultCache, ResultKey};
+    pub use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+    pub use crate::service::{QueryService, ServeError, ServeOptions, ServeOutcome, Session};
+    pub use crate::snapshot::{Federation, FederationSnapshot, VersionVector};
+}
+
+pub use service::{QueryService, ServeOptions};
+pub use snapshot::{Federation, FederationSnapshot};

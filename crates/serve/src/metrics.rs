@@ -1,0 +1,264 @@
+//! Service-wide counters, cheap enough for the per-query hot path.
+//!
+//! Everything is a relaxed atomic: the numbers are operator telemetry
+//! (hit rates, latency sums, queue/concurrency peaks), not
+//! synchronization. [`ServiceMetrics::snapshot`] freezes a consistent
+//! *enough* view for dashboards and the bench harness; exact cross-field
+//! consistency is deliberately not promised.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Live counters owned by the service.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    queries: AtomicU64,
+    errors: AtomicU64,
+    rejected: AtomicU64,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+    result_hits: AtomicU64,
+    result_misses: AtomicU64,
+    /// Queries that actually ran a plan (everything a result-cache hit
+    /// did not short-circuit — including all queries on a cache-less
+    /// service, which never probes and so never counts a result miss).
+    executed: AtomicU64,
+    invalidated_plans: AtomicU64,
+    invalidated_results: AtomicU64,
+    /// Latency split by path: a result-cache hit skips execution
+    /// entirely, so the two sums make the hit-path speedup visible
+    /// without a profiler.
+    hit_latency_micros: AtomicU64,
+    miss_latency_micros: AtomicU64,
+    peak_queue_depth: AtomicU64,
+    peak_concurrency: AtomicU64,
+}
+
+impl ServiceMetrics {
+    pub(crate) fn record_query(&self, latency: Duration, result_hit: bool) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        let sum = if result_hit {
+            &self.hit_latency_micros
+        } else {
+            self.executed.fetch_add(1, Ordering::Relaxed);
+            &self.miss_latency_micros
+        };
+        sum.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_plan_lookup(&self, hit: bool) {
+        let c = if hit {
+            &self.plan_hits
+        } else {
+            &self.plan_misses
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_result_lookup(&self, hit: bool) {
+        let c = if hit {
+            &self.result_hits
+        } else {
+            &self.result_misses
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_invalidation(&self, plans: usize, results: usize) {
+        self.invalidated_plans
+            .fetch_add(plans as u64, Ordering::Relaxed);
+        self.invalidated_results
+            .fetch_add(results as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn observe_queue_depth(&self, depth: usize) {
+        self.peak_queue_depth
+            .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn observe_concurrency(&self, active: usize) {
+        self.peak_concurrency
+            .fetch_max(active as u64, Ordering::Relaxed);
+    }
+
+    /// Freeze the counters into a plain value.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            plan_hits: self.plan_hits.load(Ordering::Relaxed),
+            plan_misses: self.plan_misses.load(Ordering::Relaxed),
+            result_hits: self.result_hits.load(Ordering::Relaxed),
+            result_misses: self.result_misses.load(Ordering::Relaxed),
+            executed: self.executed.load(Ordering::Relaxed),
+            invalidated_plans: self.invalidated_plans.load(Ordering::Relaxed),
+            invalidated_results: self.invalidated_results.load(Ordering::Relaxed),
+            hit_latency_micros: self.hit_latency_micros.load(Ordering::Relaxed),
+            miss_latency_micros: self.miss_latency_micros.load(Ordering::Relaxed),
+            peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
+            peak_concurrency: self.peak_concurrency.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A frozen view of [`ServiceMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Queries answered (hits and misses; excludes rejections/errors).
+    pub queries: u64,
+    /// Queries that failed (parse, lowering, execution).
+    pub errors: u64,
+    /// Queries refused by admission control.
+    pub rejected: u64,
+    /// Plan-cache hits.
+    pub plan_hits: u64,
+    /// Plan-cache misses (compilations).
+    pub plan_misses: u64,
+    /// Result-cache hits (no execution).
+    pub result_hits: u64,
+    /// Result-cache misses (plan executed).
+    pub result_misses: u64,
+    /// Queries that executed a plan — every query a result-cache hit
+    /// did not short-circuit, including all queries on a service whose
+    /// result cache is disabled (those never probe, so they count here
+    /// but not under `result_misses`).
+    pub executed: u64,
+    /// Plans evicted by source-update invalidation.
+    pub invalidated_plans: u64,
+    /// Cached answers evicted by source-update invalidation.
+    pub invalidated_results: u64,
+    /// Summed latency of result-cache-hit queries, in microseconds.
+    pub hit_latency_micros: u64,
+    /// Summed latency of executed (miss-path) queries, in microseconds.
+    pub miss_latency_micros: u64,
+    /// Deepest admission queue observed.
+    pub peak_queue_depth: u64,
+    /// Most queries observed executing at once.
+    pub peak_concurrency: u64,
+}
+
+impl MetricsSnapshot {
+    fn rate(hits: u64, misses: u64) -> f64 {
+        let total = hits + misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of plan lookups that were hits.
+    pub fn plan_hit_rate(&self) -> f64 {
+        Self::rate(self.plan_hits, self.plan_misses)
+    }
+
+    /// Fraction of result lookups that were hits.
+    pub fn result_hit_rate(&self) -> f64 {
+        Self::rate(self.result_hits, self.result_misses)
+    }
+
+    /// Mean latency of the result-cache-hit path, µs.
+    pub fn mean_hit_latency_micros(&self) -> f64 {
+        if self.result_hits == 0 {
+            0.0
+        } else {
+            self.hit_latency_micros as f64 / self.result_hits as f64
+        }
+    }
+
+    /// Mean latency of the executed path, µs.
+    pub fn mean_miss_latency_micros(&self) -> f64 {
+        if self.executed == 0 {
+            0.0
+        } else {
+            self.miss_latency_micros as f64 / self.executed as f64
+        }
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "queries {} (errors {}, rejected {})",
+            self.queries, self.errors, self.rejected
+        )?;
+        writeln!(
+            f,
+            "plan cache: {} hits / {} misses ({:.0}% hit), {} invalidated",
+            self.plan_hits,
+            self.plan_misses,
+            self.plan_hit_rate() * 100.0,
+            self.invalidated_plans
+        )?;
+        writeln!(
+            f,
+            "result cache: {} hits / {} misses ({:.0}% hit), {} invalidated",
+            self.result_hits,
+            self.result_misses,
+            self.result_hit_rate() * 100.0,
+            self.invalidated_results
+        )?;
+        writeln!(
+            f,
+            "latency: hit path {:.0} µs mean, executed path {:.0} µs mean",
+            self.mean_hit_latency_micros(),
+            self.mean_miss_latency_micros()
+        )?;
+        write!(
+            f,
+            "peaks: {} concurrent, queue depth {}",
+            self.peak_concurrency, self.peak_queue_depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_and_means() {
+        let m = ServiceMetrics::default();
+        m.record_plan_lookup(true);
+        m.record_plan_lookup(false);
+        m.record_result_lookup(true);
+        m.record_result_lookup(true);
+        m.record_result_lookup(false);
+        m.record_query(Duration::from_micros(10), true);
+        m.record_query(Duration::from_micros(30), true);
+        m.record_query(Duration::from_micros(400), false);
+        m.observe_concurrency(3);
+        m.observe_concurrency(2);
+        m.observe_queue_depth(5);
+        let s = m.snapshot();
+        assert_eq!(s.queries, 3);
+        assert_eq!(s.executed, 1);
+        assert!((s.plan_hit_rate() - 0.5).abs() < 1e-9);
+        assert!((s.result_hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((s.mean_hit_latency_micros() - 20.0).abs() < 1e-9);
+        assert!((s.mean_miss_latency_micros() - 400.0).abs() < 1e-9);
+        assert_eq!(s.peak_concurrency, 3);
+        assert_eq!(s.peak_queue_depth, 5);
+        assert!(s.to_string().contains("plan cache"));
+    }
+
+    #[test]
+    fn empty_metrics_report_zero_rates() {
+        let s = ServiceMetrics::default().snapshot();
+        assert_eq!(s.plan_hit_rate(), 0.0);
+        assert_eq!(s.result_hit_rate(), 0.0);
+        assert_eq!(s.mean_hit_latency_micros(), 0.0);
+    }
+}

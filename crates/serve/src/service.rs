@@ -1,0 +1,839 @@
+//! The concurrent query service: sessions, admission, shared thread
+//! budget, and the cache-through query path.
+//!
+//! One [`QueryService`] serves many sessions against a shared
+//! [`Federation`]. A served query walks:
+//!
+//! 1. **Admission** — at most `max_concurrent` queries execute at once;
+//!    up to `max_queue` more wait; beyond that the service sheds load
+//!    with [`ServeError::Overloaded`] instead of melting down.
+//! 2. **Snapshot pinning** — the query `Arc`-clones the federation head
+//!    (O(1), no catalog copies) and executes against it even if a source
+//!    update lands mid-flight.
+//! 3. **Normalization** — SQL (or algebra text) collapses to canonical
+//!    algebra text, the collision-free plan-cache key.
+//! 4. **Plan cache** — hit: reuse the compiled [`PhysicalPlan`] handle;
+//!    miss: compile once, share via `Arc`.
+//! 5. **Result cache** — keyed `(plan fingerprint × version vector of
+//!    the sources the plan reads)`; a hit returns the cached tagged
+//!    answer (byte-identical to a cold run — tags are deterministic
+//!    data) without executing anything.
+//! 6. **Execution** — the plan runs with a *thread allotment* reserved
+//!    from the shared budget at admission: the fair share at the
+//!    current concurrency, capped by what earlier admissions still
+//!    hold, floored at one. Inter-query concurrency and PR 3's
+//!    intra-query partition parallelism spend the same pool — the
+//!    combined reservation never exceeds the budget beyond the
+//!    one-thread-per-query minimum.
+//!
+//! [`PhysicalPlan`]: polygen_pqp::plan::PhysicalPlan
+
+use crate::cache::{PlanCache, PlanEntry, ResultCache, ResultKey};
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::snapshot::{Federation, FederationSnapshot};
+use polygen_catalog::scenario::Scenario;
+use polygen_core::relation::PolygenRelation;
+use polygen_core::stream::default_thread_count;
+use polygen_federation::app_schema::AppSchema;
+use polygen_federation::aqp::{translate_app_query, AqpError};
+use polygen_flat::relation::Relation;
+use polygen_lqp::engine::Lqp;
+use polygen_pqp::error::PqpError;
+use polygen_pqp::pqp::{Pqp, PqpOptions};
+use polygen_sql::normalize::{canonicalize_algebra, canonicalize_sql, NormalizeError};
+use polygen_sql::parse_algebra;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Service-level errors.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The query text failed to normalize (parse or lowering).
+    Normalize(NormalizeError),
+    /// Application-schema rewriting failed.
+    App(AqpError),
+    /// Compilation or execution failed.
+    Pqp(PqpError),
+    /// Admission control shed this query: the service is at
+    /// `max_concurrent` executing queries with a full wait queue.
+    Overloaded {
+        /// Queries executing when the request was refused.
+        active: usize,
+        /// Queries already waiting.
+        queued: usize,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Normalize(e) => write!(f, "{e}"),
+            ServeError::App(e) => write!(f, "{e}"),
+            ServeError::Pqp(e) => write!(f, "{e}"),
+            ServeError::Overloaded { active, queued } => write!(
+                f,
+                "service overloaded: {active} queries executing, {queued} queued"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<NormalizeError> for ServeError {
+    fn from(e: NormalizeError) -> Self {
+        ServeError::Normalize(e)
+    }
+}
+impl From<AqpError> for ServeError {
+    fn from(e: AqpError) -> Self {
+        ServeError::App(e)
+    }
+}
+impl From<PqpError> for ServeError {
+    fn from(e: PqpError) -> Self {
+        ServeError::Pqp(e)
+    }
+}
+
+/// Service configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// The engine options every query runs under (conflict policy,
+    /// optimizer, SQL lowering mode). The service owns the thread knob —
+    /// `pqp.threads` is ignored in favor of the shared budget — and
+    /// forces `retain_intermediates` off (serving keeps answers, not
+    /// paper-table traces).
+    pub pqp: PqpOptions,
+    /// Plan-cache capacity in entries; `0` disables plan caching.
+    pub plan_cache: usize,
+    /// Result-cache capacity in entries; `0` disables result caching.
+    pub result_cache: usize,
+    /// Most queries executing concurrently.
+    pub max_concurrent: usize,
+    /// Most queries waiting for admission before load-shedding.
+    pub max_queue: usize,
+    /// Total worker threads shared between concurrent queries and each
+    /// query's partition-parallel operators; `0` = auto
+    /// (`POLYGEN_THREADS` / available parallelism). Each admitted query
+    /// reserves `min(budget / active, budget - reserved)` threads
+    /// (floored at one — the only way the pool can oversubscribe) and
+    /// returns them on completion; reservations are not re-divided
+    /// mid-flight, so a long-running early query keeps its allotment.
+    pub thread_budget: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            pqp: PqpOptions::default(),
+            plan_cache: 256,
+            result_cache: 1024,
+            max_concurrent: 16,
+            max_queue: 64,
+            thread_budget: 0,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// Disable both caches (the differential baseline).
+    pub fn without_caches(mut self) -> Self {
+        self.plan_cache = 0;
+        self.result_cache = 0;
+        self
+    }
+
+    /// Override both cache capacities.
+    pub fn with_caches(mut self, plan: usize, result: usize) -> Self {
+        self.plan_cache = plan;
+        self.result_cache = result;
+        self
+    }
+
+    /// Override admission limits.
+    pub fn with_admission(mut self, max_concurrent: usize, max_queue: usize) -> Self {
+        self.max_concurrent = max_concurrent.max(1);
+        self.max_queue = max_queue;
+        self
+    }
+
+    /// Override the shared thread budget.
+    pub fn with_thread_budget(mut self, budget: usize) -> Self {
+        self.thread_budget = budget;
+        self
+    }
+
+    /// Override the engine options.
+    pub fn with_pqp(mut self, pqp: PqpOptions) -> Self {
+        self.pqp = pqp;
+        self
+    }
+}
+
+/// One served answer plus where it came from.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// The tagged composite answer (shared — cache hits alias the cached
+    /// relation rather than cloning cells).
+    pub answer: Arc<PolygenRelation>,
+    /// The canonical query text the caches keyed on.
+    pub canonical: String,
+    /// The physical plan's structural fingerprint.
+    pub fingerprint: u64,
+    /// Was the compiled plan reused from the plan cache?
+    pub plan_hit: bool,
+    /// Was the answer served from the result cache (no execution)?
+    pub result_hit: bool,
+    /// Worker threads this query was allotted from the shared budget.
+    pub threads: usize,
+    /// Wall-clock service time, admission wait included.
+    pub latency: Duration,
+}
+
+/// Admission state: executing and waiting query counts, plus how many
+/// budget threads the executing queries currently hold.
+struct AdmissionState {
+    active: usize,
+    queued: usize,
+    budget_used: usize,
+}
+
+/// The gate in front of execution. `admit` blocks while `max_concurrent`
+/// queries run and fewer than `max_queue` wait; the returned permit
+/// releases a slot (and wakes one waiter) on drop.
+struct Admission {
+    max_concurrent: usize,
+    max_queue: usize,
+    thread_budget: usize,
+    state: Mutex<AdmissionState>,
+    freed: Condvar,
+}
+
+/// An admitted query's slot + thread allotment.
+struct Permit<'a> {
+    admission: &'a Admission,
+    threads: usize,
+}
+
+impl Admission {
+    fn new(max_concurrent: usize, max_queue: usize, thread_budget: usize) -> Self {
+        Admission {
+            max_concurrent: max_concurrent.max(1),
+            max_queue,
+            thread_budget: if thread_budget == 0 {
+                default_thread_count()
+            } else {
+                thread_budget
+            },
+            state: Mutex::new(AdmissionState {
+                active: 0,
+                queued: 0,
+                budget_used: 0,
+            }),
+            freed: Condvar::new(),
+        }
+    }
+
+    fn admit(&self, metrics: &ServiceMetrics) -> Result<Permit<'_>, ServeError> {
+        let mut st = self.state.lock().expect("admission state poisoned");
+        // Queue whenever the slots are full *or* earlier arrivals are
+        // already waiting — a newcomer must not barge past the queue
+        // into a slot a waiter was just woken for.
+        if st.active >= self.max_concurrent || st.queued > 0 {
+            if st.queued >= self.max_queue {
+                return Err(ServeError::Overloaded {
+                    active: st.active,
+                    queued: st.queued,
+                });
+            }
+            st.queued += 1;
+            metrics.observe_queue_depth(st.queued);
+            while st.active >= self.max_concurrent {
+                st = self.freed.wait(st).expect("admission state poisoned");
+            }
+            st.queued -= 1;
+        }
+        st.active += 1;
+        metrics.observe_concurrency(st.active);
+        // The shared budget splits across whoever is running: the fair
+        // share at this concurrency, capped by what earlier admissions
+        // have not already reserved (reservations return on completion,
+        // they are not re-divided mid-flight). Every admitted query is
+        // guaranteed at least one thread, which is the only way the
+        // combined reservation can exceed the budget.
+        let fair = self.thread_budget / st.active;
+        let unreserved = self.thread_budget.saturating_sub(st.budget_used);
+        let threads = fair.min(unreserved).max(1);
+        st.budget_used += threads;
+        Ok(Permit {
+            admission: self,
+            threads,
+        })
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut st = self
+            .admission
+            .state
+            .lock()
+            .expect("admission state poisoned");
+        st.active -= 1;
+        st.budget_used -= self.threads;
+        drop(st);
+        self.admission.freed.notify_one();
+    }
+}
+
+/// The concurrent query service.
+pub struct QueryService {
+    federation: Federation,
+    options: ServeOptions,
+    app_schema: Option<AppSchema>,
+    plan_cache: Option<PlanCache>,
+    result_cache: Option<ResultCache>,
+    admission: Admission,
+    metrics: ServiceMetrics,
+    next_session: AtomicU64,
+}
+
+impl QueryService {
+    /// Serve a federation.
+    pub fn new(federation: Federation, options: ServeOptions) -> Self {
+        QueryService {
+            plan_cache: (options.plan_cache > 0).then(|| PlanCache::new(options.plan_cache)),
+            result_cache: (options.result_cache > 0)
+                .then(|| ResultCache::new(options.result_cache)),
+            admission: Admission::new(
+                options.max_concurrent,
+                options.max_queue,
+                options.thread_budget,
+            ),
+            metrics: ServiceMetrics::default(),
+            next_session: AtomicU64::new(1),
+            app_schema: None,
+            federation,
+            options,
+        }
+    }
+
+    /// Serve a scenario (the paper's MIT federation or a generated one).
+    pub fn for_scenario(scenario: &Scenario, options: ServeOptions) -> Self {
+        Self::new(Federation::from_scenario(scenario), options)
+    }
+
+    /// Attach an application schema, enabling [`Session::query_app`] /
+    /// [`QueryService::query_app`].
+    pub fn with_app_schema(mut self, app_schema: AppSchema) -> Self {
+        self.app_schema = Some(app_schema);
+        self
+    }
+
+    /// The federation behind the service.
+    pub fn federation(&self) -> &Federation {
+        &self.federation
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> ServeOptions {
+        self.options
+    }
+
+    /// Frozen metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// `(plans, results)` currently cached.
+    pub fn cache_sizes(&self) -> (usize, usize) {
+        (
+            self.plan_cache.as_ref().map_or(0, PlanCache::len),
+            self.result_cache.as_ref().map_or(0, ResultCache::len),
+        )
+    }
+
+    /// Open a session. Sessions are lightweight (an id plus counters);
+    /// every session shares the service's caches and snapshots.
+    pub fn open_session(&self) -> Session<'_> {
+        Session {
+            service: self,
+            id: self.next_session.fetch_add(1, Ordering::Relaxed),
+            queries: 0,
+        }
+    }
+
+    /// Replace a source's LQP: bump its version, then eagerly evict
+    /// every cached plan and answer that reads it. Queries already
+    /// executing finish on their pinned snapshot; a late re-insert of a
+    /// pre-update answer is harmless because its key carries the old
+    /// version, which no post-update lookup can produce.
+    pub fn update_source(&self, lqp: Arc<dyn Lqp>) -> u64 {
+        let name = lqp.name().to_string();
+        let version = self.federation.update_source(lqp);
+        let plans = self
+            .plan_cache
+            .as_ref()
+            .map_or(0, |c| c.invalidate_source(&name));
+        let results = self
+            .result_cache
+            .as_ref()
+            .map_or(0, |c| c.invalidate_source(&name));
+        self.metrics.record_invalidation(plans, results);
+        version
+    }
+
+    /// Replace a source's relations wholesale (an upstream refresh).
+    pub fn update_source_relations(&self, name: &str, relations: Vec<Relation>) -> u64 {
+        self.update_source(Arc::new(polygen_lqp::memory::InMemoryLqp::new(
+            name, relations,
+        )))
+    }
+
+    /// Serve a polygen-level SQL query.
+    pub fn query(&self, sql: &str) -> Result<ServeOutcome, ServeError> {
+        self.serve(sql, Lang::Sql)
+    }
+
+    /// Serve an algebra-notation query.
+    pub fn query_algebra(&self, text: &str) -> Result<ServeOutcome, ServeError> {
+        self.serve(text, Lang::Algebra)
+    }
+
+    /// Serve an *application-level* SQL query through the attached
+    /// application schema (see [`QueryService::with_app_schema`]).
+    pub fn query_app(&self, sql: &str) -> Result<ServeOutcome, ServeError> {
+        self.serve(sql, Lang::App)
+    }
+
+    fn serve(&self, text: &str, lang: Lang) -> Result<ServeOutcome, ServeError> {
+        let start = Instant::now();
+        let permit = match self.admission.admit(&self.metrics) {
+            Ok(p) => p,
+            Err(e) => {
+                self.metrics.record_rejected();
+                return Err(e);
+            }
+        };
+        let snapshot = self.federation.snapshot();
+        let served = self.serve_pinned(&snapshot, text, lang, permit.threads, start);
+        if served.is_err() {
+            self.metrics.record_error();
+        }
+        served
+    }
+
+    /// The cache-through path, pinned to one snapshot.
+    fn serve_pinned(
+        &self,
+        snapshot: &FederationSnapshot,
+        text: &str,
+        lang: Lang,
+        threads: usize,
+        start: Instant,
+    ) -> Result<ServeOutcome, ServeError> {
+        let canonical = self.canonicalize(snapshot, text, lang)?;
+        let (entry, plan_hit) = self.plan_for(snapshot, canonical)?;
+        // `plan_for` guarantees the entry's compile-time versions match
+        // this snapshot, so they *are* the result key's version vector.
+        let key = ResultKey {
+            fingerprint: entry.fingerprint,
+            canonical: Arc::clone(&entry.canonical),
+            versions: entry.compiled_versions.clone(),
+        };
+        if let Some(cache) = &self.result_cache {
+            if let Some(answer) = cache.get(&key) {
+                self.metrics.record_result_lookup(true);
+                let latency = start.elapsed();
+                self.metrics.record_query(latency, true);
+                return Ok(ServeOutcome {
+                    answer,
+                    canonical: entry.canonical.to_string(),
+                    fingerprint: entry.fingerprint,
+                    plan_hit,
+                    result_hit: true,
+                    threads,
+                    latency,
+                });
+            }
+            self.metrics.record_result_lookup(false);
+        }
+        let engine = Pqp::new(
+            Arc::clone(snapshot.dictionary()),
+            Arc::clone(snapshot.registry()),
+        )
+        .with_options(PqpOptions {
+            threads,
+            retain_intermediates: false,
+            ..self.options.pqp
+        });
+        let (answer, _trace) = engine.run_compiled(&entry.compiled)?;
+        let answer = Arc::new(answer);
+        if let Some(cache) = &self.result_cache {
+            cache.insert(key, Arc::clone(&answer));
+        }
+        let latency = start.elapsed();
+        self.metrics.record_query(latency, false);
+        Ok(ServeOutcome {
+            answer,
+            canonical: entry.canonical.to_string(),
+            fingerprint: entry.fingerprint,
+            plan_hit,
+            result_hit: false,
+            threads,
+            latency,
+        })
+    }
+
+    fn canonicalize(
+        &self,
+        snapshot: &FederationSnapshot,
+        text: &str,
+        lang: Lang,
+    ) -> Result<String, ServeError> {
+        let schema = snapshot.dictionary().schema();
+        let resolver = |rel: &str| -> Option<Vec<String>> {
+            schema
+                .scheme(rel)
+                .map(|s| s.attr_names().map(str::to_string).collect())
+        };
+        match lang {
+            Lang::Algebra => Ok(canonicalize_algebra(text)?),
+            Lang::Sql => Ok(canonicalize_sql(
+                text,
+                &resolver,
+                self.options.pqp.lowering,
+            )?),
+            Lang::App => {
+                let app_schema = self.app_schema.as_ref().ok_or_else(|| {
+                    ServeError::App(AqpError::UnknownAppRelation(
+                        "no application schema attached to this service".to_string(),
+                    ))
+                })?;
+                let polygen_query = translate_app_query(text, app_schema)?;
+                Ok(canonicalize_sql(
+                    &polygen_query.to_string(),
+                    &resolver,
+                    self.options.pqp.lowering,
+                )?)
+            }
+        }
+    }
+
+    /// Fetch or compile the shared plan for a canonical text. Two racing
+    /// misses may both compile; one insert wins and both queries run a
+    /// correct plan — cheaper than holding a lock across compilation.
+    /// A hit only counts if the entry's compile-time source versions
+    /// match this snapshot: `update_source` eagerly purges stale plans,
+    /// but a racing pre-update compile can re-insert one afterwards, and
+    /// this check is what keeps such an entry from ever being served.
+    fn plan_for(
+        &self,
+        snapshot: &FederationSnapshot,
+        canonical: String,
+    ) -> Result<(Arc<PlanEntry>, bool), ServeError> {
+        if let Some(cache) = &self.plan_cache {
+            if let Some(entry) = cache.get(&canonical) {
+                if snapshot.version_vector(&entry.reads) == entry.compiled_versions {
+                    self.metrics.record_plan_lookup(true);
+                    return Ok((entry, true));
+                }
+            }
+            self.metrics.record_plan_lookup(false);
+            let entry = Arc::new(self.compile(snapshot, canonical)?);
+            cache.insert(Arc::clone(&entry));
+            Ok((entry, false))
+        } else {
+            Ok((Arc::new(self.compile(snapshot, canonical)?), false))
+        }
+    }
+
+    /// Compile canonical text into a cacheable plan entry. Compilation
+    /// always lowers with `threads = 1` so the plan's partition
+    /// annotations (presentation/costing metadata) are stable — the
+    /// executor takes its real parallelism from per-run options.
+    fn compile(
+        &self,
+        snapshot: &FederationSnapshot,
+        canonical: String,
+    ) -> Result<PlanEntry, ServeError> {
+        let expr = parse_algebra(&canonical).map_err(NormalizeError::from)?;
+        let compiler = Pqp::new(
+            Arc::clone(snapshot.dictionary()),
+            Arc::clone(snapshot.registry()),
+        )
+        .with_options(PqpOptions {
+            threads: 1,
+            partitions: 1,
+            retain_intermediates: false,
+            ..self.options.pqp
+        });
+        let compiled = compiler.compile(expr)?;
+        let reads = compiled.physical.source_dbs();
+        Ok(PlanEntry {
+            fingerprint: compiled.physical.fingerprint(),
+            compiled_versions: snapshot.version_vector(&reads),
+            canonical: Arc::from(canonical.as_str()),
+            reads,
+            compiled,
+        })
+    }
+}
+
+/// Which front-end language a request arrived in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lang {
+    Sql,
+    Algebra,
+    App,
+}
+
+/// A client session: an identity plus per-session counters over the
+/// shared service. Cheap to open (no catalog copies — the federation is
+/// snapshot-shared), cheap to drop.
+pub struct Session<'s> {
+    service: &'s QueryService,
+    id: u64,
+    queries: u64,
+}
+
+impl Session<'_> {
+    /// The session id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Queries served on this session.
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Serve a polygen-level SQL query.
+    pub fn query(&mut self, sql: &str) -> Result<ServeOutcome, ServeError> {
+        self.queries += 1;
+        self.service.query(sql)
+    }
+
+    /// Serve an algebra-notation query.
+    pub fn query_algebra(&mut self, text: &str) -> Result<ServeOutcome, ServeError> {
+        self.queries += 1;
+        self.service.query_algebra(text)
+    }
+
+    /// Serve an application-level query.
+    pub fn query_app(&mut self, sql: &str) -> Result<ServeOutcome, ServeError> {
+        self.queries += 1;
+        self.service.query_app(sql)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polygen_catalog::scenario;
+    use polygen_flat::value::Value;
+
+    const PAPER_SQL: &str = "SELECT ONAME, CEO \
+        FROM PORGANIZATION, PALUMNUS \
+        WHERE CEO = ANAME AND ONAME IN \
+        (SELECT ONAME FROM PCAREER WHERE AID# IN \
+        (SELECT AID# FROM PALUMNUS WHERE DEGREE = \"MBA\"))";
+
+    fn service() -> QueryService {
+        QueryService::for_scenario(&scenario::build(), ServeOptions::default())
+    }
+
+    #[test]
+    fn cold_then_hot_path() {
+        let svc = service();
+        let cold = svc.query(PAPER_SQL).unwrap();
+        assert!(!cold.plan_hit && !cold.result_hit);
+        assert_eq!(cold.answer.len(), 3);
+        let warm = svc.query(PAPER_SQL).unwrap();
+        assert!(warm.plan_hit && warm.result_hit);
+        // The hit aliases the cached relation — no cell clones.
+        assert!(Arc::ptr_eq(&cold.answer, &warm.answer) || *cold.answer == *warm.answer);
+        assert_eq!(svc.metrics().result_hits, 1);
+        assert_eq!(svc.cache_sizes(), (1, 1));
+    }
+
+    #[test]
+    fn whitespace_variants_share_one_plan() {
+        let svc = service();
+        svc.query("SELECT ONAME FROM PORGANIZATION WHERE CEO = \"John Reed\"")
+            .unwrap();
+        let out = svc
+            .query("SELECT   ONAME\nFROM PORGANIZATION\nWHERE CEO   = \"John Reed\"")
+            .unwrap();
+        assert!(out.plan_hit && out.result_hit);
+        assert_eq!(svc.cache_sizes(), (1, 1));
+    }
+
+    #[test]
+    fn sql_and_algebra_agree_under_caching() {
+        let svc = service();
+        let a = svc.query(PAPER_SQL).unwrap();
+        let b = svc
+            .query_algebra(polygen_sql::algebra_expr::PAPER_EXPRESSION)
+            .unwrap();
+        assert!(a.answer.tagged_set_eq(&b.answer));
+    }
+
+    #[test]
+    fn source_update_invalidates_and_refreshes() {
+        let svc = service();
+        let sql = "SELECT ONAME, CEO FROM PORGANIZATION WHERE CEO = \"John Reed\"";
+        let before = svc.query(sql).unwrap();
+        assert_eq!(before.answer.len(), 1);
+        assert!(svc.query(sql).unwrap().result_hit);
+        // CD's FIRM relation changes its Citicorp CEO.
+        let mut cd = scenario::company_database();
+        for rel in &mut cd.relations {
+            if rel.name() == "FIRM" {
+                *rel = Relation::build("FIRM", &["FNAME", "CEO", "HQ"])
+                    .key(&["FNAME"])
+                    .row(&["Citicorp", "Jane Doe", "NY, NY"])
+                    .finish()
+                    .unwrap();
+            }
+        }
+        let v = svc.update_source_relations("CD", cd.relations);
+        assert_eq!(v, 1);
+        let m = svc.metrics();
+        assert!(m.invalidated_results >= 1, "{m}");
+        let after = svc.query(sql).unwrap();
+        assert!(!after.result_hit, "update must force re-execution");
+        assert!(
+            after.answer.is_empty(),
+            "John Reed is no longer a CEO anywhere"
+        );
+        let doe = svc
+            .query("SELECT ONAME, CEO FROM PORGANIZATION WHERE CEO = \"Jane Doe\"")
+            .unwrap();
+        assert_eq!(doe.answer.len(), 1);
+        assert!(doe
+            .answer
+            .cell("ONAME", &Value::str("Citicorp"), "CEO")
+            .is_some());
+    }
+
+    #[test]
+    fn cache_off_matches_cache_on() {
+        let s = scenario::build();
+        let on = QueryService::for_scenario(&s, ServeOptions::default());
+        let off = QueryService::for_scenario(&s, ServeOptions::default().without_caches());
+        for _ in 0..2 {
+            let a = on.query(PAPER_SQL).unwrap();
+            let b = off.query(PAPER_SQL).unwrap();
+            assert_eq!(*a.answer, *b.answer, "byte-identical, tags included");
+            assert!(!b.plan_hit && !b.result_hit);
+        }
+        assert_eq!(off.cache_sizes(), (0, 0));
+    }
+
+    #[test]
+    fn sessions_count_and_share_caches() {
+        let svc = service();
+        let mut s1 = svc.open_session();
+        let mut s2 = svc.open_session();
+        assert_ne!(s1.id(), s2.id());
+        s1.query(PAPER_SQL).unwrap();
+        let out = s2.query(PAPER_SQL).unwrap();
+        assert!(out.result_hit, "sessions share the service caches");
+        assert_eq!(s1.queries(), 1);
+        assert_eq!(s2.queries(), 1);
+    }
+
+    #[test]
+    fn overload_sheds_rather_than_queues_unboundedly() {
+        let svc = QueryService::for_scenario(
+            &scenario::build(),
+            ServeOptions::default().with_admission(1, 0),
+        );
+        // Hold the single slot from another thread, then watch a second
+        // query get shed.
+        let gate = Admission::new(1, 0, 1);
+        let _held = gate.admit(&ServiceMetrics::default()).unwrap();
+        assert!(matches!(
+            gate.admit(&ServiceMetrics::default()),
+            Err(ServeError::Overloaded { .. })
+        ));
+        // The service itself still serves sequentially.
+        assert!(svc.query(PAPER_SQL).is_ok());
+    }
+
+    #[test]
+    fn thread_allotment_reserves_and_returns_the_budget() {
+        let adm = Admission::new(8, 8, 8);
+        let m = ServiceMetrics::default();
+        let p1 = adm.admit(&m).unwrap();
+        assert_eq!(p1.threads, 8, "alone: the whole budget");
+        let p2 = adm.admit(&m).unwrap();
+        assert_eq!(
+            p2.threads, 1,
+            "the first query holds the budget; later arrivals get the floor"
+        );
+        drop(p1);
+        let p3 = adm.admit(&m).unwrap();
+        assert_eq!(
+            p3.threads, 4,
+            "released reservations are available again (fair share of 2 active)"
+        );
+        drop(p2);
+        drop(p3);
+        let again = adm.admit(&m).unwrap();
+        assert_eq!(again.threads, 8, "everything returns on drop");
+        assert_eq!(m.snapshot().peak_concurrency, 2);
+    }
+
+    #[test]
+    fn staggered_admissions_never_overdraw_the_budget() {
+        let adm = Admission::new(4, 4, 6);
+        let m = ServiceMetrics::default();
+        let p1 = adm.admit(&m).unwrap(); // 6 of 6
+        let p2 = adm.admit(&m).unwrap(); // floor
+        let p3 = adm.admit(&m).unwrap(); // floor
+        assert_eq!(p1.threads + p2.threads + p3.threads, 8, "6 + floor + floor");
+        assert!(p2.threads == 1 && p3.threads == 1);
+        drop(p1);
+        // 2 active holding 2; fair share 6/3 = 2, unreserved 4 → 2.
+        let p4 = adm.admit(&m).unwrap();
+        assert_eq!(p4.threads, 2);
+        drop(p2);
+        drop(p3);
+        drop(p4);
+    }
+
+    #[test]
+    fn app_queries_flow_through_the_caches() {
+        use polygen_federation::app_schema::AppRelation;
+        let mut app = AppSchema::new();
+        app.push(AppRelation::new(
+            "COMPANIES",
+            "PORGANIZATION",
+            &[("COMPANY", "ONAME"), ("CHIEF", "CEO")],
+        ));
+        let svc = service().with_app_schema(app);
+        let sql = "SELECT COMPANY FROM COMPANIES WHERE CHIEF = \"John Reed\"";
+        let cold = svc.query_app(sql).unwrap();
+        assert_eq!(cold.answer.len(), 1);
+        let warm = svc.query_app(sql).unwrap();
+        assert!(warm.result_hit);
+        // The same polygen-level query shares the entry.
+        let direct = svc
+            .query("SELECT ONAME FROM PORGANIZATION WHERE CEO = \"John Reed\"")
+            .unwrap();
+        assert!(direct.result_hit, "app and polygen paths share one key");
+    }
+
+    #[test]
+    fn errors_surface_and_count() {
+        let svc = service();
+        assert!(matches!(svc.query("SELECT"), Err(ServeError::Normalize(_))));
+        assert!(svc.query_app("SELECT X FROM Y").is_err());
+        assert!(svc.metrics().errors >= 2);
+    }
+}

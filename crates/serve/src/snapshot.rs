@@ -1,0 +1,216 @@
+//! Immutable federation snapshots with per-source versioning.
+//!
+//! Every query in the service executes against a [`FederationSnapshot`]:
+//! an `Arc`-shared data dictionary plus an `Arc`-shared LQP registry,
+//! stamped with a *version vector* — one monotone counter per local
+//! database. Sessions never deep-clone catalog or source state; opening
+//! a snapshot is two `Arc` clones, and a query holds its snapshot alive
+//! for exactly as long as it runs, so a concurrent source update can
+//! never mutate state out from under an executing plan.
+//!
+//! The mutable head lives in [`Federation`]: updating a source builds a
+//! *new* snapshot (re-pointing every unchanged LQP by `Arc`, swapping
+//! the updated one in) and bumps that source's version. Old snapshots
+//! stay valid for in-flight queries; the version bump is what makes the
+//! result cache's `(plan fingerprint × version vector)` keys precise —
+//! a cached tagged answer is served only while every source it was
+//! computed from is still at the version it was read at.
+
+use polygen_catalog::dictionary::DataDictionary;
+use polygen_catalog::scenario::Scenario;
+use polygen_flat::relation::Relation;
+use polygen_lqp::engine::Lqp;
+use polygen_lqp::memory::InMemoryLqp;
+use polygen_lqp::registry::LqpRegistry;
+use polygen_lqp::scenario_registry;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, RwLock};
+
+/// A sorted `(source, version)` list — the slice of federation state a
+/// cached result depends on. Sorted so equal dependency sets compare and
+/// hash equal regardless of plan shape.
+pub type VersionVector = Vec<(String, u64)>;
+
+/// One immutable view of the federation.
+#[derive(Clone)]
+pub struct FederationSnapshot {
+    dictionary: Arc<DataDictionary>,
+    registry: Arc<LqpRegistry>,
+    versions: BTreeMap<String, u64>,
+    epoch: u64,
+}
+
+impl FederationSnapshot {
+    /// Wrap shared federation state; every source starts at version 0.
+    pub fn from_parts(dictionary: Arc<DataDictionary>, registry: Arc<LqpRegistry>) -> Self {
+        let versions = registry.names().into_iter().map(|n| (n, 0)).collect();
+        FederationSnapshot {
+            dictionary,
+            registry,
+            versions,
+            epoch: 0,
+        }
+    }
+
+    /// Stand up a scenario (the paper's MIT databases or a synthetic
+    /// federation) as the initial snapshot. The dictionary is cloned
+    /// once, here — never again per session or per query.
+    pub fn from_scenario(scenario: &Scenario) -> Self {
+        let registry = Arc::new(scenario_registry(scenario));
+        Self::from_parts(Arc::new(scenario.dictionary.clone()), registry)
+    }
+
+    /// The shared data dictionary.
+    pub fn dictionary(&self) -> &Arc<DataDictionary> {
+        &self.dictionary
+    }
+
+    /// The shared LQP registry.
+    pub fn registry(&self) -> &Arc<LqpRegistry> {
+        &self.registry
+    }
+
+    /// The snapshot's global epoch (bumped once per update).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// A source's current version (0 for sources never updated; also 0
+    /// for unknown names, which therefore never spuriously invalidate).
+    pub fn version_of(&self, source: &str) -> u64 {
+        self.versions.get(source).copied().unwrap_or(0)
+    }
+
+    /// The version vector restricted to `sources` — the dependency stamp
+    /// for a plan that reads exactly those local databases.
+    pub fn version_vector(&self, sources: &BTreeSet<String>) -> VersionVector {
+        sources
+            .iter()
+            .map(|s| (s.clone(), self.version_of(s)))
+            .collect()
+    }
+
+    /// Derive the successor snapshot with `lqp` replacing (or joining)
+    /// the registry under its own name, and its version bumped.
+    fn with_updated_source(&self, lqp: Arc<dyn Lqp>) -> FederationSnapshot {
+        let name = lqp.name().to_string();
+        let registry = LqpRegistry::new();
+        for existing in self.registry.names() {
+            if existing != name {
+                if let Some(l) = self.registry.get(&existing) {
+                    registry.register(l);
+                }
+            }
+        }
+        registry.register(lqp);
+        let mut versions = self.versions.clone();
+        *versions.entry(name).or_insert(0) += 1;
+        FederationSnapshot {
+            dictionary: Arc::clone(&self.dictionary),
+            registry: Arc::new(registry),
+            versions,
+            epoch: self.epoch + 1,
+        }
+    }
+}
+
+/// The mutable head: an atomically swappable [`FederationSnapshot`].
+pub struct Federation {
+    head: RwLock<Arc<FederationSnapshot>>,
+}
+
+impl Federation {
+    /// Start from an initial snapshot.
+    pub fn new(snapshot: FederationSnapshot) -> Self {
+        Federation {
+            head: RwLock::new(Arc::new(snapshot)),
+        }
+    }
+
+    /// Start from a scenario.
+    pub fn from_scenario(scenario: &Scenario) -> Self {
+        Self::new(FederationSnapshot::from_scenario(scenario))
+    }
+
+    /// The current snapshot — O(1), two pointer copies under a read
+    /// lock. Queries pin the snapshot they start on.
+    pub fn snapshot(&self) -> Arc<FederationSnapshot> {
+        Arc::clone(&self.head.read().expect("federation head poisoned"))
+    }
+
+    /// Replace (or add) a source's LQP, bumping its version. Returns the
+    /// source's new version. In-flight queries keep executing against
+    /// the snapshot they pinned; queries admitted after the swap see the
+    /// new data.
+    pub fn update_source(&self, lqp: Arc<dyn Lqp>) -> u64 {
+        let mut head = self.head.write().expect("federation head poisoned");
+        let name = lqp.name().to_string();
+        let next = head.with_updated_source(lqp);
+        let version = next.version_of(&name);
+        *head = Arc::new(next);
+        version
+    }
+
+    /// Convenience: swap a source's relations wholesale through a fresh
+    /// in-memory LQP (how the demo and tests model an upstream refresh).
+    pub fn update_source_relations(&self, name: &str, relations: Vec<Relation>) -> u64 {
+        self.update_source(Arc::new(InMemoryLqp::new(name, relations)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polygen_catalog::scenario;
+
+    #[test]
+    fn snapshot_shares_state_and_versions_start_at_zero() {
+        let s = scenario::build();
+        let fed = Federation::from_scenario(&s);
+        let snap = fed.snapshot();
+        assert_eq!(snap.epoch(), 0);
+        for db in ["AD", "PD", "CD"] {
+            assert_eq!(snap.version_of(db), 0);
+        }
+        // Snapshot acquisition is Arc sharing, not copying.
+        let again = fed.snapshot();
+        assert!(Arc::ptr_eq(snap.registry(), again.registry()));
+        assert!(Arc::ptr_eq(snap.dictionary(), again.dictionary()));
+    }
+
+    #[test]
+    fn update_bumps_only_the_touched_source() {
+        let s = scenario::build();
+        let fed = Federation::from_scenario(&s);
+        let before = fed.snapshot();
+        let cd = s.database("CD").unwrap();
+        let v = fed.update_source_relations("CD", cd.relations.clone());
+        assert_eq!(v, 1);
+        let after = fed.snapshot();
+        assert_eq!(after.version_of("CD"), 1);
+        assert_eq!(after.version_of("AD"), 0);
+        assert_eq!(after.epoch(), 1);
+        // The pinned snapshot is untouched.
+        assert_eq!(before.version_of("CD"), 0);
+        // Unchanged LQPs are the same objects, re-pointed.
+        let ad_before = before.registry().get("AD").unwrap();
+        let ad_after = after.registry().get("AD").unwrap();
+        assert!(Arc::ptr_eq(&ad_before, &ad_after));
+        let cd_before = before.registry().get("CD").unwrap();
+        let cd_after = after.registry().get("CD").unwrap();
+        assert!(!Arc::ptr_eq(&cd_before, &cd_after));
+    }
+
+    #[test]
+    fn version_vector_is_sorted_and_restricted() {
+        let s = scenario::build();
+        let fed = Federation::from_scenario(&s);
+        fed.update_source_relations("PD", s.database("PD").unwrap().relations.clone());
+        let snap = fed.snapshot();
+        let deps: BTreeSet<String> = ["PD", "AD"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(
+            snap.version_vector(&deps),
+            vec![("AD".to_string(), 0), ("PD".to_string(), 1)]
+        );
+    }
+}

@@ -12,11 +12,14 @@
 //!   paper's example query it produces the paper's printed expression
 //!   *exactly* (golden-tested), including the single-range-variable
 //!   treatment of the duplicated `PALUMNUS`.
+//! * [`normalize`] — canonical query text (parse → lower → canonical
+//!   printing), the collision-free cache key the serving layer uses.
 //! * [`token`] — the shared lexer.
 
 pub mod algebra_expr;
 pub mod ast;
 pub mod lower;
+pub mod normalize;
 pub mod parser;
 pub mod token;
 
@@ -25,6 +28,9 @@ pub mod prelude {
     pub use crate::algebra_expr::{parse_algebra, AlgebraExpr, PAPER_EXPRESSION};
     pub use crate::ast::{Condition, Operand, Query, SelectItem};
     pub use crate::lower::{lower, LowerError, LoweringOptions, MapSchemaInfo, SchemaInfo};
+    pub use crate::normalize::{
+        canonical_text, canonicalize_algebra, canonicalize_sql, NormalizeError,
+    };
     pub use crate::parser::parse_query;
     pub use crate::token::SyntaxError;
 }

@@ -1,0 +1,166 @@
+//! Query normalization — the canonical text a cache keys on.
+//!
+//! Two query strings that mean the same thing must hit the same cache
+//! entry, and two that differ semantically must never share one. Both
+//! front ends already funnel into [`AlgebraExpr`], whose pretty-printer
+//! is a *canonicalizer*: parsing is whitespace- and
+//! parenthesization-insensitive, lowering resolves every SQL surface
+//! choice (range variables, `IN` nesting, condition order within a
+//! conjunct chain) into one algebra shape, and the printer emits a single
+//! spelling per expression. `parse_algebra(expr.to_string()) == expr`
+//! holds for every expression (`tests/properties_service.rs` locks the
+//! round trip down property-wise), so the canonical text is injective on
+//! expression identity — distinct plans cannot collide on a key, which
+//! is the guarantee an LRU plan cache needs before it may share compiled
+//! plans across sessions.
+
+use crate::algebra_expr::{parse_algebra, AlgebraExpr};
+use crate::lower::{lower, LowerError, LoweringOptions, SchemaInfo};
+use crate::parser::parse_query;
+use crate::token::SyntaxError;
+use std::fmt;
+
+/// Why a query could not be normalized.
+#[derive(Debug)]
+pub enum NormalizeError {
+    /// The text failed to parse (SQL or algebra notation).
+    Syntax(SyntaxError),
+    /// The SQL parsed but did not lower against the schema.
+    Lower(LowerError),
+}
+
+impl fmt::Display for NormalizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NormalizeError::Syntax(e) => write!(f, "{e}"),
+            NormalizeError::Lower(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for NormalizeError {}
+
+impl From<SyntaxError> for NormalizeError {
+    fn from(e: SyntaxError) -> Self {
+        NormalizeError::Syntax(e)
+    }
+}
+impl From<LowerError> for NormalizeError {
+    fn from(e: LowerError) -> Self {
+        NormalizeError::Lower(e)
+    }
+}
+
+/// The canonical spelling of an algebra expression — what cache keys
+/// store. One line, single spaces, fully parenthesized by the printer's
+/// fixed precedence rules.
+pub fn canonical_text(expr: &AlgebraExpr) -> String {
+    expr.to_string()
+}
+
+/// Normalize a *SQL* polygen query: parse, lower against the schema, and
+/// print canonically. Formatting differences (whitespace, newlines) and
+/// SQL surface differences that lower to the same algebra all map to the
+/// same key.
+pub fn canonicalize_sql(
+    sql: &str,
+    schema: &dyn SchemaInfo,
+    options: LoweringOptions,
+) -> Result<String, NormalizeError> {
+    let query = parse_query(sql)?;
+    let expr = lower(&query, schema, options)?;
+    Ok(canonical_text(&expr))
+}
+
+/// Normalize an *algebra-notation* query: parse and print canonically.
+/// Insensitive to whitespace and redundant parentheses.
+pub fn canonicalize_algebra(text: &str) -> Result<String, NormalizeError> {
+    let expr = parse_algebra(text)?;
+    Ok(canonical_text(&expr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::MapSchemaInfo;
+
+    fn schema() -> MapSchemaInfo {
+        let mut s = MapSchemaInfo::default();
+        s.insert("PALUMNUS", &["AID#", "ANAME", "DEGREE", "MAJOR"]);
+        s.insert("PCAREER", &["AID#", "ONAME", "POSITION"]);
+        s
+    }
+
+    #[test]
+    fn whitespace_and_newlines_collapse() {
+        let a = canonicalize_sql(
+            "SELECT ANAME FROM PALUMNUS WHERE DEGREE = \"MBA\"",
+            &schema(),
+            LoweringOptions::default(),
+        )
+        .unwrap();
+        let b = canonicalize_sql(
+            "SELECT   ANAME \n FROM  PALUMNUS \n  WHERE DEGREE   = \"MBA\"",
+            &schema(),
+            LoweringOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn algebra_parenthesization_collapses() {
+        let a = canonicalize_algebra("(PALUMNUS [DEGREE = \"MBA\"]) [ANAME]").unwrap();
+        let b = canonicalize_algebra("((PALUMNUS) [DEGREE = \"MBA\"]) [ANAME]").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_queries_stay_distinct() {
+        let s = schema();
+        let a = canonicalize_sql(
+            "SELECT ANAME FROM PALUMNUS WHERE DEGREE = \"MBA\"",
+            &s,
+            LoweringOptions::default(),
+        )
+        .unwrap();
+        let b = canonicalize_sql(
+            "SELECT ANAME FROM PALUMNUS WHERE DEGREE = \"MS\"",
+            &s,
+            LoweringOptions::default(),
+        )
+        .unwrap();
+        assert_ne!(a, b);
+        let c = canonicalize_sql(
+            "SELECT MAJOR FROM PALUMNUS WHERE DEGREE = \"MBA\"",
+            &s,
+            LoweringOptions::default(),
+        )
+        .unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn canonical_text_round_trips() {
+        let texts = [
+            "PALUMNUS [DEGREE = \"MBA\"]",
+            "(PCAREER [AID# = AID#] (PALUMNUS [DEGREE = \"MBA\"])) [ONAME]",
+        ];
+        for t in texts {
+            let canonical = canonicalize_algebra(t).unwrap();
+            assert_eq!(canonicalize_algebra(&canonical).unwrap(), canonical);
+        }
+    }
+
+    #[test]
+    fn errors_surface() {
+        assert!(matches!(
+            canonicalize_algebra("NOPE ["),
+            Err(NormalizeError::Syntax(_))
+        ));
+        assert!(matches!(
+            canonicalize_sql("SELECT X FROM NOPE", &schema(), LoweringOptions::default()),
+            Err(NormalizeError::Lower(_))
+        ));
+    }
+}

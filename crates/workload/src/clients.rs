@@ -1,0 +1,325 @@
+//! Closed-loop multi-client driver.
+//!
+//! Models the traffic a serving layer actually sees: `N` clients, each
+//! issuing queries back-to-back (closed loop — a client waits for its
+//! answer, thinks for [`ClientMix::think`], then asks again), drawing
+//! query shapes from a weighted mix. Determinism is the whole point:
+//!
+//! * every client owns its own RNG stream
+//!   ([`RngStream::Client`]), so the *script* — the exact query
+//!   sequence client `i` issues — depends only on `(seed, i, mix)`,
+//!   never on thread scheduling, client count, or who else is running;
+//! * [`drive`] (concurrent, one OS thread per client) and [`replay`]
+//!   (the same scripts, sequentially, client by client) therefore issue
+//!   *identical* query streams — which is what lets the service test
+//!   assert that concurrent, cached execution returns byte-identical
+//!   tagged answers to a sequential, cache-off baseline.
+
+use crate::config::{derive_rng, RngStream};
+use crate::queries::{join_query, paper_shaped_sql, select_query};
+use rand::RngExt;
+use std::time::{Duration, Instant};
+
+/// Which front end a generated query targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryLang {
+    /// Polygen-level SQL.
+    Sql,
+    /// Algebra bracket notation.
+    Algebra,
+}
+
+/// One query of a client's script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientQuery {
+    /// The query text.
+    pub text: String,
+    /// Which parser it is for.
+    pub lang: QueryLang,
+}
+
+/// Relative weights of the three query shapes in the mix. Weights are
+/// relative, not percentages — `(3, 1, 1)` means 3 selects per join and
+/// per paper-shaped query on average.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MixWeights {
+    /// Category selects over the merged scheme (algebra, cheap, highly
+    /// cacheable — few distinct categories).
+    pub select: u32,
+    /// Detail→entity joins with a score filter (algebra, heavier).
+    pub join: u32,
+    /// The paper-shaped SQL (IN-subquery feeding join feeding project).
+    pub paper: u32,
+}
+
+impl Default for MixWeights {
+    fn default() -> Self {
+        MixWeights {
+            select: 6,
+            join: 3,
+            paper: 1,
+        }
+    }
+}
+
+impl MixWeights {
+    fn total(&self) -> u32 {
+        self.select + self.join + self.paper
+    }
+}
+
+/// A closed-loop client population over the synthetic federation's
+/// schema (`PENTITY`/`PDETAIL`, see [`crate::generator`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientMix {
+    /// Number of concurrent clients.
+    pub clients: usize,
+    /// Queries each client issues before finishing.
+    pub queries_per_client: usize,
+    /// Shape weights.
+    pub weights: MixWeights,
+    /// Think time between a client's answer and its next query.
+    pub think: Duration,
+    /// Base seed; client `i` draws from stream `Client(i)`.
+    pub seed: u64,
+    /// Category draw space — keep equal to the generated federation's
+    /// [`crate::config::WorkloadConfig::categories`] so selects hit
+    /// existing values.
+    pub categories: usize,
+}
+
+impl Default for ClientMix {
+    fn default() -> Self {
+        ClientMix {
+            clients: 4,
+            queries_per_client: 25,
+            weights: MixWeights::default(),
+            think: Duration::ZERO,
+            seed: 0x0ddc0ffee,
+            categories: 16,
+        }
+    }
+}
+
+impl ClientMix {
+    /// Builder-style client-count override.
+    pub fn with_clients(mut self, clients: usize) -> Self {
+        self.clients = clients;
+        self
+    }
+
+    /// Builder-style per-client query-count override.
+    pub fn with_queries_per_client(mut self, queries: usize) -> Self {
+        self.queries_per_client = queries;
+        self
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style think-time override.
+    pub fn with_think(mut self, think: Duration) -> Self {
+        self.think = think;
+        self
+    }
+
+    /// Total queries the whole population issues.
+    pub fn total_queries(&self) -> usize {
+        self.clients * self.queries_per_client
+    }
+
+    /// Client `i`'s deterministic script. Depends only on
+    /// `(seed, i, weights, queries_per_client, categories)`.
+    pub fn script(&self, client: usize) -> Vec<ClientQuery> {
+        assert!(self.weights.total() > 0, "mix weights must not all be 0");
+        assert!(self.categories >= 1, "need at least one category");
+        let mut rng = derive_rng(self.seed, RngStream::Client(client as u64));
+        (0..self.queries_per_client)
+            .map(|_| {
+                let draw = rng.random_range(0..self.weights.total());
+                if draw < self.weights.select {
+                    ClientQuery {
+                        text: select_query(rng.random_range(0..self.categories)),
+                        lang: QueryLang::Algebra,
+                    }
+                } else if draw < self.weights.select + self.weights.join {
+                    ClientQuery {
+                        text: join_query(rng.random_range(0..100)),
+                        lang: QueryLang::Algebra,
+                    }
+                } else {
+                    ClientQuery {
+                        text: paper_shaped_sql(rng.random_range(0..self.categories)),
+                        lang: QueryLang::Sql,
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// What one driver run produced: every client's per-query results in
+/// script order, plus wall-clock figures.
+#[derive(Debug)]
+pub struct DriveReport<R> {
+    /// `per_client[i][q]` = what `serve` returned for client `i`'s
+    /// `q`-th query, in script order regardless of scheduling.
+    pub per_client: Vec<Vec<R>>,
+    /// Queries issued in total.
+    pub queries: usize,
+    /// Wall-clock time for the whole population to finish.
+    pub elapsed: Duration,
+}
+
+impl<R> DriveReport<R> {
+    /// Throughput in queries per second.
+    pub fn qps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.queries as f64 / secs
+        }
+    }
+}
+
+/// Run the population *concurrently*: one OS thread per client, each
+/// executing its script closed-loop against `serve` (any `Sync` query
+/// sink — a `polygen-serve` service, a bare PQP, a mock). Results come
+/// back in deterministic script order even though execution interleaves.
+pub fn drive<R, F>(mix: &ClientMix, serve: F) -> DriveReport<R>
+where
+    F: Fn(usize, &ClientQuery) -> R + Sync,
+    R: Send,
+{
+    let start = Instant::now();
+    let serve = &serve;
+    let per_client = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..mix.clients)
+            .map(|client| {
+                let script = mix.script(client);
+                let think = mix.think;
+                scope.spawn(move || {
+                    let last = script.len().saturating_sub(1);
+                    script
+                        .iter()
+                        .enumerate()
+                        .map(|(i, q)| {
+                            let r = serve(client, q);
+                            // Think *between* queries only — no trailing
+                            // sleep after the final answer, which would
+                            // pad the population's wall clock.
+                            if !think.is_zero() && i < last {
+                                std::thread::sleep(think);
+                            }
+                            r
+                        })
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect::<Vec<_>>()
+    });
+    DriveReport {
+        queries: per_client.iter().map(Vec::len).sum(),
+        per_client,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Run the *same* scripts sequentially, client by client, query by
+/// query — the single-client baseline a concurrent run is differenced
+/// against. No threads, no think time.
+pub fn replay<R, F>(mix: &ClientMix, mut serve: F) -> DriveReport<R>
+where
+    F: FnMut(usize, &ClientQuery) -> R,
+{
+    let start = Instant::now();
+    let per_client: Vec<Vec<R>> = (0..mix.clients)
+        .map(|client| {
+            mix.script(client)
+                .iter()
+                .map(|q| serve(client, q))
+                .collect()
+        })
+        .collect();
+    DriveReport {
+        queries: per_client.iter().map(Vec::len).sum(),
+        per_client,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polygen_sql::parse_algebra;
+
+    #[test]
+    fn scripts_are_deterministic_and_per_client_independent() {
+        let mix = ClientMix::default().with_clients(3);
+        for c in 0..3 {
+            assert_eq!(mix.script(c), mix.script(c));
+        }
+        assert_ne!(mix.script(0), mix.script(1));
+        // Adding clients never changes existing scripts.
+        let more = mix.with_clients(8);
+        assert_eq!(mix.script(2), more.script(2));
+        // A different seed shifts every script.
+        assert_ne!(mix.script(0), mix.with_seed(7).script(0));
+    }
+
+    #[test]
+    fn scripts_respect_the_language_split_and_parse() {
+        let mix = ClientMix::default().with_queries_per_client(64);
+        let script = mix.script(0);
+        assert_eq!(script.len(), 64);
+        let mut saw = (false, false);
+        for q in &script {
+            match q.lang {
+                QueryLang::Algebra => {
+                    saw.0 = true;
+                    assert!(parse_algebra(&q.text).is_ok(), "{}", q.text);
+                }
+                QueryLang::Sql => {
+                    saw.1 = true;
+                    assert!(q.text.starts_with("SELECT"), "{}", q.text);
+                }
+            }
+        }
+        assert!(saw.0 && saw.1, "default weights exercise both languages");
+    }
+
+    #[test]
+    fn drive_and_replay_issue_identical_streams() {
+        let mix = ClientMix::default()
+            .with_clients(4)
+            .with_queries_per_client(10);
+        // A pure sink: echo the query text back.
+        let concurrent = drive(&mix, |c, q| (c, q.text.clone()));
+        let sequential = replay(&mix, |c, q| (c, q.text.clone()));
+        assert_eq!(concurrent.per_client, sequential.per_client);
+        assert_eq!(concurrent.queries, mix.total_queries());
+        assert!(concurrent.qps() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights")]
+    fn zero_weights_panic() {
+        let mix = ClientMix {
+            weights: MixWeights {
+                select: 0,
+                join: 0,
+                paper: 0,
+            },
+            ..ClientMix::default()
+        };
+        let _ = mix.script(0);
+    }
+}

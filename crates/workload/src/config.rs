@@ -25,6 +25,11 @@ pub enum RngStream {
     Detail,
     /// Deviant category assertions (`conflict_rate`).
     Conflicts,
+    /// Client `i`'s query draws in the closed-loop driver (see
+    /// [`crate::clients::ClientMix`]) — every client owns an independent
+    /// stream, so client counts and interleavings cannot perturb what
+    /// any one client asks.
+    Client(u64),
 }
 
 impl RngStream {
@@ -34,8 +39,17 @@ impl RngStream {
             RngStream::Coverage => 2,
             RngStream::Detail => 3,
             RngStream::Conflicts => 4,
+            // Clients start past the fixed streams; the golden-ratio
+            // multiply in `derive_rng` spreads consecutive ids apart.
+            RngStream::Client(i) => 16 + i,
         }
     }
+}
+
+/// Derive the deterministic RNG for `(seed, stream)` — the one mixing
+/// formula every generation concern and driver client uses.
+pub fn derive_rng(seed: u64, stream: RngStream) -> StdRng {
+    StdRng::seed_from_u64(seed ^ stream.index().wrapping_mul(0x9e37_79b9_7f4a_7c15))
 }
 
 /// Parameters of a synthetic federation.
@@ -122,7 +136,7 @@ impl WorkloadConfig {
     /// one knob (say `detail_rows`) cannot shift the draws of another
     /// concern (say the category Zipf).
     pub fn rng(&self, stream: RngStream) -> StdRng {
-        StdRng::seed_from_u64(self.seed ^ stream.index().wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        derive_rng(self.seed, stream)
     }
 
     /// Validate ranges; panics early with a clear message (configs are

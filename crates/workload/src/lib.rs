@@ -12,12 +12,18 @@
 //!   relations for algebra microbenches.
 //! * [`queries`] — canned and random query shapes over the generated
 //!   schema.
+//! * [`clients`] — the closed-loop multi-client driver: N deterministic
+//!   clients issuing a weighted query mix with think time, concurrently
+//!   ([`clients::drive`]) or as a sequential baseline
+//!   ([`clients::replay`]).
 //! * [`zipf`] — the category-skew sampler.
 
+pub mod clients;
 pub mod config;
 pub mod generator;
 pub mod queries;
 pub mod zipf;
 
-pub use config::{RngStream, WorkloadConfig};
+pub use clients::{drive, replay, ClientMix, ClientQuery, DriveReport, MixWeights, QueryLang};
+pub use config::{derive_rng, RngStream, WorkloadConfig};
 pub use generator::{generate, random_flat_relation, random_polygen_relation};

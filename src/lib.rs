@@ -22,7 +22,11 @@
 //!   executor.
 //! * [`federation`] — the CIS workstation: application schemas, the
 //!   Application Query Processor, credibility-based conflict resolution.
-//! * [`workload`] — seeded synthetic-federation generator for benchmarks.
+//! * [`serve`] — the concurrent query service: federation snapshots
+//!   with per-source versioning, plan & tagged-result caching, sessions,
+//!   admission control and a shared thread budget.
+//! * [`workload`] — seeded synthetic-federation generator and
+//!   closed-loop multi-client driver for benchmarks.
 
 pub use polygen_catalog as catalog;
 pub use polygen_core as core;
@@ -30,6 +34,7 @@ pub use polygen_federation as federation;
 pub use polygen_flat as flat;
 pub use polygen_lqp as lqp;
 pub use polygen_pqp as pqp;
+pub use polygen_serve as serve;
 pub use polygen_sql as sql;
 pub use polygen_workload as workload;
 
