@@ -70,6 +70,7 @@ fn plan_sweep(c: &mut Criterion) {
         canonical: std::sync::Arc::from(canonical.as_str()),
         fingerprint: compiled.physical.fingerprint(),
         compiled_versions: reads.iter().map(|s| (s.clone(), 0)).collect(),
+        index_epoch: 0,
         reads,
         compiled,
     }));

@@ -49,6 +49,18 @@ impl TupleStream {
         TupleStream { schema, tuples }
     }
 
+    /// Assemble a stream from already-shared tuples — how the executor's
+    /// lazy scan handoff re-enters the streaming world after filtering
+    /// owned tuples (see [`select_tuples`]/[`restrict_tuples`]): only
+    /// the *survivors* are ever `Arc`-wrapped.
+    pub fn from_parts(schema: Arc<Schema>, tuples: Vec<SharedTuple>) -> Self {
+        debug_assert!(
+            tuples.iter().all(|t| t.len() == schema.degree()),
+            "stream tuples match stream schema"
+        );
+        TupleStream { schema, tuples }
+    }
+
     /// The stream's schema.
     pub fn schema(&self) -> &Arc<Schema> {
         &self.schema
@@ -316,23 +328,32 @@ impl Partitioner {
         (h.finish() % self.partitions as u64) as usize
     }
 
-    /// Split a stream into `partitions` contiguous, order-preserving
-    /// chunks (trailing chunks may be empty). `Arc`s move — no tuple is
-    /// cloned. [`concat_streams`] of the chunks restores the input.
+    /// Split any item vector into `partitions` contiguous,
+    /// order-preserving chunks (trailing chunks may be empty). Items
+    /// move — nothing is cloned; concatenating the chunks restores the
+    /// input.
+    pub fn chunk_vec<T>(&self, items: Vec<T>) -> Vec<Vec<T>> {
+        let per = items.len().div_ceil(self.partitions).max(1);
+        let mut chunks = Vec::with_capacity(self.partitions);
+        let mut iter = items.into_iter();
+        for _ in 0..self.partitions {
+            chunks.push(iter.by_ref().take(per).collect::<Vec<T>>());
+        }
+        debug_assert!(iter.next().is_none(), "chunking covered every item");
+        chunks
+    }
+
+    /// [`Partitioner::chunk_vec`] over a stream's shared tuples.
+    /// [`concat_streams`] of the chunks restores the input.
     pub fn chunk_stream(&self, stream: TupleStream) -> Vec<TupleStream> {
         let TupleStream { schema, tuples } = stream;
-        let per = tuples.len().div_ceil(self.partitions).max(1);
-        let mut chunks = Vec::with_capacity(self.partitions);
-        let mut iter = tuples.into_iter();
-        for _ in 0..self.partitions {
-            let chunk: Vec<SharedTuple> = iter.by_ref().take(per).collect();
-            chunks.push(TupleStream {
+        self.chunk_vec(tuples)
+            .into_iter()
+            .map(|chunk| TupleStream {
                 schema: Arc::clone(&schema),
                 tuples: chunk,
-            });
-        }
-        debug_assert!(iter.next().is_none(), "chunking covered every tuple");
-        chunks
+            })
+            .collect()
     }
 
     /// Split a stream into hash partitions on `key`'s datum. Tuples with
@@ -422,6 +443,51 @@ where
     out.into_iter()
         .map(|t| t.expect("every item mapped"))
         .collect()
+}
+
+/// The Select stage over *owned* tuples — the lazy scan→pipeline
+/// handoff. Same semantics as [`TupleStream::select`], but tuples are
+/// mutated in place and dropped tuples are never `Arc`-wrapped: a scan
+/// leaf hands its relation's tuple vector straight to its consuming
+/// pipeline, which filters before lifting survivors into shared tuples.
+pub fn select_tuples(
+    schema: &Schema,
+    tuples: &mut Vec<crate::tuple::PolyTuple>,
+    x: &str,
+    cmp: Cmp,
+    constant: &Value,
+) -> Result<(), PolygenError> {
+    let xi = schema.index_of(x)?.0;
+    tuples.retain_mut(|t| {
+        if !t[xi].datum.satisfies(cmp, constant) {
+            return false;
+        }
+        let mediators = t[xi].origin.clone();
+        tuple::add_intermediate_all(t, &mediators);
+        true
+    });
+    Ok(())
+}
+
+/// The Restrict stage over owned tuples (see [`select_tuples`]).
+pub fn restrict_tuples(
+    schema: &Schema,
+    tuples: &mut Vec<crate::tuple::PolyTuple>,
+    x: &str,
+    cmp: Cmp,
+    y: &str,
+) -> Result<(), PolygenError> {
+    let xi = schema.index_of(x)?.0;
+    let yi = schema.index_of(y)?.0;
+    tuples.retain_mut(|t| {
+        if !t[xi].datum.satisfies(cmp, &t[yi].datum) {
+            return false;
+        }
+        let mediators = t[xi].origin.union(&t[yi].origin);
+        tuple::add_intermediate_all(t, &mediators);
+        true
+    });
+    Ok(())
 }
 
 /// Add `mediators` to every cell's intermediate set, copy-on-write: a
@@ -528,6 +594,39 @@ mod tests {
         s.restrict("ANAME", Cmp::Ne, "ORG").unwrap();
         s.restrict("ANAME", Cmp::Ne, "ORG").unwrap();
         assert!(s.into_relation().tagged_set_eq(&eager));
+    }
+
+    #[test]
+    fn owned_kernels_match_stream_kernels() {
+        // The lazy-handoff kernels must be byte-identical to the
+        // streaming ones: same predicate, same tag update, same order.
+        let rel = base();
+        let mut owned = rel.clone().into_tuples();
+        select_tuples(rel.schema(), &mut owned, "DEG", Cmp::Eq, &Value::str("MBA")).unwrap();
+        restrict_tuples(rel.schema(), &mut owned, "ANAME", Cmp::Ne, "ORG").unwrap();
+        let mut s = TupleStream::from_relation(rel.clone());
+        s.select("DEG", Cmp::Eq, &Value::str("MBA")).unwrap();
+        s.restrict("ANAME", Cmp::Ne, "ORG").unwrap();
+        assert_eq!(s.into_relation().tuples(), owned.as_slice());
+        // Rebuilding a stream from the survivors round-trips.
+        let lifted = TupleStream::from_parts(
+            Arc::clone(rel.schema()),
+            owned.iter().cloned().map(Arc::new).collect(),
+        );
+        assert_eq!(lifted.to_relation().tuples(), owned.as_slice());
+        assert!(select_tuples(rel.schema(), &mut owned, "NOPE", Cmp::Eq, &Value::int(1)).is_err());
+        assert!(restrict_tuples(rel.schema(), &mut owned, "DEG", Cmp::Eq, "NOPE").is_err());
+    }
+
+    #[test]
+    fn chunk_vec_covers_and_preserves_order() {
+        let items: Vec<usize> = (0..23).collect();
+        for p in [1usize, 2, 5, 23, 64] {
+            let chunks = Partitioner::new(p).chunk_vec(items.clone());
+            assert_eq!(chunks.len(), p);
+            let back: Vec<usize> = chunks.into_iter().flatten().collect();
+            assert_eq!(back, items, "partitions = {p}");
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@
 use crate::iom::{ExecLoc, Iom, IomRow};
 use crate::plan::{Partitioning, PhysOp, PhysicalPlan, StageKind};
 use crate::pom::{Op, RelRef};
+use polygen_index::Probe;
 use polygen_lqp::registry::LqpRegistry;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -28,6 +29,13 @@ const PQP_TUPLE_US: f64 = 1.0;
 /// repartition pass over the input plus the order-restoring merge over
 /// the output (both pointer traffic, far cheaper than the kernel work).
 const PARTITION_US: f64 = 0.1;
+/// Flat cost of one index probe, µs (a hash lookup or binary search
+/// into snapshot-materialized postings — no LQP round trip).
+const INDEX_PROBE_US: f64 = 2.0;
+/// Assumed fraction of base rows matching an equality (point) probe —
+/// tighter than a generic selection: point probes target key-like
+/// columns.
+const INDEX_POINT_SELECTIVITY: f64 = 0.01;
 
 /// CPU cost of a PQP-side operator under its partitioning annotation: a
 /// serial operator inspects every tuple on one worker; a partitioned one
@@ -121,6 +129,31 @@ pub fn estimate_physical(plan: &PhysicalPlan, registry: &LqpRegistry) -> PlanCos
                     op.restrict.is_some(),
                 );
                 shipped += out;
+                est.push(out);
+                rows.push((node.row, cost, out));
+                total += cost;
+                continue;
+            }
+            PhysOp::IndexScan {
+                db,
+                relation,
+                probe,
+                ..
+            } => {
+                // A probe reads snapshot-materialized postings: no LQP
+                // latency, no tuples shipped — the charge is the probe
+                // itself plus emitting the matches. This is what lets
+                // EXPLAIN justify the route against the full scan.
+                let base_rows = registry
+                    .get(db)
+                    .and_then(|lqp| lqp.stats(relation))
+                    .map(|s| s.rows as f64)
+                    .unwrap_or(100.0);
+                let out = match probe {
+                    Probe::Point(_) => base_rows * INDEX_POINT_SELECTIVITY,
+                    Probe::Range { .. } => base_rows * SELECT_SELECTIVITY,
+                };
+                let cost = INDEX_PROBE_US + out * PQP_TUPLE_US;
                 est.push(out);
                 rows.push((node.row, cost, out));
                 total += cost;

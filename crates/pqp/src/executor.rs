@@ -31,11 +31,18 @@ use crate::pom::{Op, RelRef, Rha};
 use polygen_catalog::dictionary::DataDictionary;
 use polygen_core::algebra::{self, coalesce::ConflictPolicy};
 use polygen_core::relation::PolygenRelation;
-use polygen_core::stream::{concat_streams, scoped_map, ParallelOptions, Partitioner, TupleStream};
+use polygen_core::stream::{
+    concat_streams, restrict_tuples, scoped_map, select_tuples, ParallelOptions, Partitioner,
+    TupleStream,
+};
+use polygen_core::tuple::PolyTuple;
+use polygen_flat::schema::Schema;
 use polygen_flat::value::{Cmp, Value};
+use polygen_index::IndexCatalog;
 use polygen_lqp::engine::LocalOp;
 use polygen_lqp::registry::LqpRegistry;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Inputs smaller than this stay on the sequential path even when the
 /// options ask for parallelism: below a few dozen tuples the scoped
@@ -148,18 +155,129 @@ fn apply_stage(s: &mut TupleStream, kind: &StageKind) -> Result<(), PqpError> {
     Ok(())
 }
 
-/// Walk a lowered physical plan.
+/// A tuple-local (Select/Restrict) stage over *owned* tuples — the lazy
+/// scan→first-stage handoff: survivors are the only tuples that will
+/// ever be `Arc`-wrapped. Callers cut the stage chain at the first
+/// Project, so only tuple-local stages reach here.
+fn apply_stage_owned(
+    schema: &Schema,
+    tuples: &mut Vec<PolyTuple>,
+    kind: &StageKind,
+) -> Result<(), PqpError> {
+    match kind {
+        StageKind::Select { attr, cmp, value } => select_tuples(schema, tuples, attr, *cmp, value)?,
+        StageKind::Restrict { x, cmp, y } => restrict_tuples(schema, tuples, x, *cmp, y)?,
+        StageKind::Project { .. } => unreachable!("stage prefixes are cut at the first Project"),
+    }
+    Ok(())
+}
+
+/// What a node hands its consumers. Leaves (Scan/IndexScan) with a
+/// single consumer stay un-lifted [`Slot::Rel`]ations: a consuming
+/// pipeline filters the owned tuples *before* `Arc`-wrapping survivors
+/// (dropped tuples are never wrapped), and joins/merges take the
+/// relation without a stream round trip. Everything shared between
+/// consumers — and every interior node — flows as a [`Slot::Stream`] of
+/// `Arc`-shared tuples, exactly as before.
+enum Slot {
+    Stream(TupleStream),
+    Rel(PolygenRelation),
+}
+
+impl Slot {
+    fn schema(&self) -> &Arc<Schema> {
+        match self {
+            Slot::Stream(s) => s.schema(),
+            Slot::Rel(r) => r.schema(),
+        }
+    }
+
+    fn into_relation(self) -> PolygenRelation {
+        match self {
+            Slot::Stream(s) => s.into_relation(),
+            Slot::Rel(r) => r,
+        }
+    }
+
+    fn to_relation(&self) -> PolygenRelation {
+        match self {
+            Slot::Stream(s) => s.to_relation(),
+            Slot::Rel(r) => r.clone(),
+        }
+    }
+}
+
+/// Lift a leaf relation into a stream, applying the tuple-local stage
+/// `prefix` over owned tuples first (chunk-parallel above the small
+///-input threshold). Byte-identical to lifting then streaming the same
+/// stages: the kernels share predicate and tag-update code.
+fn lift_filtered(
+    rel: PolygenRelation,
+    prefix: &[plan::Stage],
+    par: &ParallelOptions,
+) -> Result<TupleStream, PqpError> {
+    let schema = Arc::clone(rel.schema());
+    let mut tuples = rel.into_tuples();
+    if prefix.is_empty() {
+        return Ok(TupleStream::from_parts(
+            schema,
+            tuples.into_iter().map(Arc::new).collect(),
+        ));
+    }
+    if par.is_parallel() && tuples.len() >= PARALLEL_MIN_TUPLES {
+        let chunks = Partitioner::new(par.partitions).chunk_vec(tuples);
+        let processed = scoped_map(chunks, par.threads, |_, mut chunk| {
+            for stage in prefix {
+                apply_stage_owned(&schema, &mut chunk, &stage.kind)?;
+            }
+            Ok::<_, PqpError>(chunk)
+        });
+        let mut survivors: Vec<PolyTuple> = Vec::new();
+        for p in processed {
+            survivors.extend(p?);
+        }
+        return Ok(TupleStream::from_parts(
+            schema,
+            survivors.into_iter().map(Arc::new).collect(),
+        ));
+    }
+    for stage in prefix {
+        apply_stage_owned(&schema, &mut tuples, &stage.kind)?;
+    }
+    Ok(TupleStream::from_parts(
+        schema,
+        tuples.into_iter().map(Arc::new).collect(),
+    ))
+}
+
+/// Walk a lowered physical plan with no index catalog (plans containing
+/// `IndexScan` nodes need [`execute_plan_indexed`]).
 pub fn execute_plan(
     plan: &PhysicalPlan,
     registry: &LqpRegistry,
     dictionary: &DataDictionary,
     options: ExecOptions,
 ) -> Result<(PolygenRelation, ExecutionTrace), PqpError> {
+    execute_plan_indexed(plan, registry, dictionary, None, options)
+}
+
+/// Walk a lowered physical plan, probing `indexes` for the plan's
+/// [`PhysOp::IndexScan`] leaves. The catalog must be the one the plan
+/// was routed against (in the serving layer, the owning snapshot's):
+/// executing a routed plan without it fails loudly rather than
+/// silently re-scanning.
+pub fn execute_plan_indexed(
+    plan: &PhysicalPlan,
+    registry: &LqpRegistry,
+    dictionary: &DataDictionary,
+    indexes: Option<&IndexCatalog>,
+    options: ExecOptions,
+) -> Result<(PolygenRelation, ExecutionTrace), PqpError> {
     let n = plan.nodes.len();
     let par = options.parallelism();
-    // Remaining consumers per node; the last consumer takes the stream,
-    // earlier ones clone it (Arc bumps — the tuples stay shared and the
-    // stage kernels copy-on-write).
+    // Remaining consumers per node; the last consumer takes the slot,
+    // earlier ones clone the stream (Arc bumps — the tuples stay shared
+    // and the stage kernels copy-on-write).
     let mut remaining = vec![0usize; n];
     for node in &plan.nodes {
         for i in node.op.inputs() {
@@ -167,67 +285,116 @@ pub fn execute_plan(
         }
     }
     remaining[plan.root] += 1;
-    let mut slots: Vec<Option<TupleStream>> = (0..n).map(|_| None).collect();
+    // Leaves stay un-lifted relations only for a lone consumer (shared
+    // leaves must clone as streams) and outside retention mode (the
+    // golden-table path records leaves stream-wise).
+    let lazy_leaf = |rel: PolygenRelation, consumers: usize| {
+        if consumers == 1 && !options.retain_intermediates {
+            Slot::Rel(rel)
+        } else {
+            Slot::Stream(TupleStream::from_relation(rel))
+        }
+    };
+    let mut slots: Vec<Option<Slot>> = (0..n).map(|_| None).collect();
     let mut results: BTreeMap<usize, PolygenRelation> = BTreeMap::new();
-    let take = |slots: &mut Vec<Option<TupleStream>>, remaining: &mut Vec<usize>, i: usize| {
+    let take = |slots: &mut Vec<Option<Slot>>, remaining: &mut Vec<usize>, i: usize| {
         remaining[i] -= 1;
         if remaining[i] == 0 {
             slots[i].take().expect("plan is topologically ordered")
         } else {
-            slots[i].clone().expect("plan is topologically ordered")
+            match slots[i].as_ref().expect("plan is topologically ordered") {
+                Slot::Stream(s) => Slot::Stream(s.clone()),
+                Slot::Rel(_) => unreachable!("un-lifted leaves have exactly one consumer"),
+            }
         }
     };
     for (i, node) in plan.nodes.iter().enumerate() {
-        let stream = match &node.op {
+        let slot = match &node.op {
             PhysOp::Scan { db, op } => {
-                TupleStream::from_relation(registry.execute_tagged(db, op, dictionary)?)
+                lazy_leaf(registry.execute_tagged(db, op, dictionary)?, remaining[i])
+            }
+            PhysOp::IndexScan {
+                db,
+                relation,
+                column,
+                probe,
+                ..
+            } => {
+                let catalog = indexes.ok_or_else(|| PqpError::MalformedRow {
+                    row: node.row,
+                    reason: format!(
+                        "plan probes an index on {db}.{relation}.{column} but no index \
+                         catalog was supplied; execute with the catalog the plan was \
+                         routed against, or recompile without indexes"
+                    ),
+                })?;
+                let index =
+                    catalog
+                        .lookup(db, relation, column)
+                        .ok_or_else(|| PqpError::MalformedRow {
+                            row: node.row,
+                            reason: format!(
+                                "stale routed plan: the catalog no longer indexes \
+                             {db}.{relation}.{column}; recompile against the current catalog"
+                            ),
+                        })?;
+                lazy_leaf(index.probe_relation(probe), remaining[i])
             }
             PhysOp::Pipeline { input, stages } => {
-                let mut s = take(&mut slots, &mut remaining, *input);
-                if par.is_parallel()
-                    && !options.retain_intermediates
-                    && s.len() >= PARALLEL_MIN_TUPLES
-                {
-                    // Chunk-parallel prefix: Select/Restrict stages are
-                    // tuple-local, so contiguous chunks run on scoped
-                    // workers and concatenate back in input order —
-                    // byte-identical to the sequential walk. The chain is
-                    // cut at the first Project (its duplicate collapse is
-                    // a whole-stream operation) and the rest runs
-                    // sequentially on the much smaller stream.
-                    let cut = stages
+                // Tuple-local prefix (cut at the first Project, whose
+                // duplicate collapse is a whole-stream operation), then
+                // the rest on the much smaller stream. Retention mode
+                // records every stage, so it keeps the all-stream walk.
+                let cut = if options.retain_intermediates {
+                    0
+                } else {
+                    stages
                         .iter()
                         .position(|st| matches!(st.kind, StageKind::Project { .. }))
-                        .unwrap_or(stages.len());
-                    let (prefix, rest) = stages.split_at(cut);
-                    if !prefix.is_empty() {
-                        let chunks = Partitioner::new(par.partitions).chunk_stream(s);
-                        let processed = scoped_map(chunks, par.threads, |_, mut chunk| {
-                            for stage in prefix {
-                                apply_stage(&mut chunk, &stage.kind)?;
+                        .unwrap_or(stages.len())
+                };
+                let (prefix, rest) = stages.split_at(cut);
+                let mut s = match take(&mut slots, &mut remaining, *input) {
+                    // Lazy handoff: the leaf's owned tuples filter
+                    // before any Arc-wrapping (IndexScan and Scan share
+                    // this entry path).
+                    Slot::Rel(rel) => lift_filtered(rel, prefix, &par)?,
+                    Slot::Stream(mut s) => {
+                        if par.is_parallel() && !prefix.is_empty() && s.len() >= PARALLEL_MIN_TUPLES
+                        {
+                            // Chunk-parallel prefix over shared tuples:
+                            // contiguous chunks run on scoped workers and
+                            // concatenate back in input order —
+                            // byte-identical to the sequential walk.
+                            let chunks = Partitioner::new(par.partitions).chunk_stream(s);
+                            let processed = scoped_map(chunks, par.threads, |_, mut chunk| {
+                                for stage in prefix {
+                                    apply_stage(&mut chunk, &stage.kind)?;
+                                }
+                                Ok::<_, PqpError>(chunk)
+                            });
+                            let mut parts = Vec::with_capacity(processed.len());
+                            for p in processed {
+                                parts.push(p?);
                             }
-                            Ok::<_, PqpError>(chunk)
-                        });
-                        let mut parts = Vec::with_capacity(processed.len());
-                        for p in processed {
-                            parts.push(p?);
+                            s = concat_streams(parts).expect("at least one chunk");
+                        } else {
+                            for stage in prefix {
+                                apply_stage(&mut s, &stage.kind)?;
+                            }
                         }
-                        s = concat_streams(parts).expect("at least one chunk");
+                        s
                     }
-                    for stage in rest {
-                        apply_stage(&mut s, &stage.kind)?;
-                    }
-                } else {
-                    for stage in stages {
-                        apply_stage(&mut s, &stage.kind)?;
-                        // Per-stage retention keeps the trace complete
-                        // even when the caller hands us a *fused* plan.
-                        if options.retain_intermediates {
-                            results.insert(stage.row, s.to_relation());
-                        }
+                };
+                for stage in rest {
+                    apply_stage(&mut s, &stage.kind)?;
+                    // Per-stage retention keeps the trace complete even
+                    // when the caller hands us a *fused* plan.
+                    if options.retain_intermediates {
+                        results.insert(stage.row, s.to_relation());
                     }
                 }
-                s
+                Slot::Stream(s)
             }
             PhysOp::HashJoin {
                 left,
@@ -243,7 +410,7 @@ pub fn execute_plan(
                 } else {
                     algebra::hash_equi_join_coalesced(&l, &r, x, y, out)?
                 };
-                TupleStream::from_relation(joined)
+                Slot::Stream(TupleStream::from_relation(joined))
             }
             PhysOp::ThetaJoin {
                 left,
@@ -254,7 +421,9 @@ pub fn execute_plan(
             } => {
                 let l = take(&mut slots, &mut remaining, *left).into_relation();
                 let r = take(&mut slots, &mut remaining, *right).into_relation();
-                TupleStream::from_relation(algebra::theta_join(&l, &r, x, *cmp, y)?)
+                Slot::Stream(TupleStream::from_relation(algebra::theta_join(
+                    &l, &r, x, *cmp, y,
+                )?))
             }
             PhysOp::HashMerge {
                 inputs,
@@ -264,12 +433,17 @@ pub fn execute_plan(
             } => {
                 let mut rels = Vec::with_capacity(inputs.len());
                 for (idx, names) in inputs.iter().zip(relabels) {
-                    let mut s = take(&mut slots, &mut remaining, *idx);
-                    // Relabel on the stream — a schema swap, not the cell
-                    // deep-copy `rename_attrs` on a relation would be.
                     let refs: Vec<&str> = names.iter().map(String::as_str).collect();
-                    s.rename(&refs)?;
-                    rels.push(s.into_relation());
+                    // Relabeling is a schema swap on either carrier — no
+                    // cell copies.
+                    let relabeled = match take(&mut slots, &mut remaining, *idx) {
+                        Slot::Rel(rel) => rel.into_renamed_attrs(&refs)?,
+                        Slot::Stream(mut s) => {
+                            s.rename(&refs)?;
+                            s.into_relation()
+                        }
+                    };
+                    rels.push(relabeled);
                 }
                 let total: usize = rels.iter().map(PolygenRelation::len).sum();
                 let (merged, _conflicts) = if par.is_parallel() && total >= PARALLEL_MIN_TUPLES {
@@ -277,55 +451,57 @@ pub fn execute_plan(
                 } else {
                     algebra::hash_merge(&rels, key, options.conflict_policy)?
                 };
-                TupleStream::from_relation(merged)
+                Slot::Stream(TupleStream::from_relation(merged))
             }
             PhysOp::AntiJoin { left, right, x, y } => {
                 let l = take(&mut slots, &mut remaining, *left).into_relation();
                 let r = take(&mut slots, &mut remaining, *right).into_relation();
-                TupleStream::from_relation(algebra::anti_join(&l, &r, x, y)?)
+                Slot::Stream(TupleStream::from_relation(algebra::anti_join(
+                    &l, &r, x, y,
+                )?))
             }
             PhysOp::Union { left, right } => {
                 let l = take(&mut slots, &mut remaining, *left).into_relation();
                 let r = take(&mut slots, &mut remaining, *right).into_relation();
-                TupleStream::from_relation(algebra::union(&l, &r)?)
+                Slot::Stream(TupleStream::from_relation(algebra::union(&l, &r)?))
             }
             PhysOp::Difference { left, right } => {
                 let l = take(&mut slots, &mut remaining, *left).into_relation();
                 let r = take(&mut slots, &mut remaining, *right).into_relation();
-                TupleStream::from_relation(algebra::difference(&l, &r)?)
+                Slot::Stream(TupleStream::from_relation(algebra::difference(&l, &r)?))
             }
             PhysOp::Intersect { left, right } => {
                 let l = take(&mut slots, &mut remaining, *left).into_relation();
                 let r = take(&mut slots, &mut remaining, *right).into_relation();
-                TupleStream::from_relation(algebra::intersect(&l, &r)?)
+                Slot::Stream(TupleStream::from_relation(algebra::intersect(&l, &r)?))
             }
             PhysOp::Product { left, right } => {
                 let l = take(&mut slots, &mut remaining, *left).into_relation();
                 let r = take(&mut slots, &mut remaining, *right).into_relation();
-                TupleStream::from_relation(algebra::product(&l, &r)?)
+                Slot::Stream(TupleStream::from_relation(algebra::product(&l, &r)?))
             }
         };
         // Planned and runtime schemas are identical by construction, but
         // the LQP registry has interior mutability: re-registering an LQP
         // between compile and run would make the baked plan stale. Fail
         // loudly instead of applying resolved columns to the wrong shape.
-        if stream.schema().as_ref() != node.schema.as_ref() {
+        if slot.schema().as_ref() != node.schema.as_ref() {
             return Err(PqpError::MalformedRow {
                 row: node.row,
                 reason: format!(
                     "stale physical plan at node #{i}: planned schema {:?} diverges from \
                      runtime schema {:?}; recompile after registry changes",
                     node.schema.attrs(),
-                    stream.schema().attrs()
+                    slot.schema().attrs()
                 ),
             });
         }
         // Pipelines already recorded themselves stage by stage (the last
         // stage's row IS node.row) — don't materialize a second copy.
         if options.retain_intermediates && !matches!(node.op, PhysOp::Pipeline { .. }) {
-            results.insert(node.row, stream.to_relation());
+            results.insert(node.row, slot.to_relation());
         }
-        slots[i] = Some(stream);
+        slots[i] = Some(slot);
     }
     let root = &plan.nodes[plan.root];
     let answer = slots[plan.root]

@@ -35,6 +35,7 @@ use polygen_core::algebra::join::equi_join_coalesced_schema;
 use polygen_core::algebra::merge::merged_schema;
 use polygen_flat::schema::Schema;
 use polygen_flat::value::{Cmp, Value};
+use polygen_index::{IndexCatalog, IndexKind, Interval, Probe};
 use polygen_lqp::engine::LocalOp;
 use polygen_lqp::registry::LqpRegistry;
 use std::collections::{BTreeSet, HashMap};
@@ -98,6 +99,23 @@ pub enum PhysOp {
         db: String,
         /// The operation the local system executes.
         op: LocalOp,
+    },
+    /// Probe a secondary index instead of sweeping the source: emit the
+    /// base tuples whose keys match `probe`, in scan order —
+    /// byte-identical to the [`PhysOp::Scan`] it replaced. Routed by
+    /// [`route_index_scans`]; residual predicates (folded conjuncts)
+    /// stay in the consuming pipeline and re-check themselves.
+    IndexScan {
+        /// Local database name.
+        db: String,
+        /// Local relation the index covers.
+        relation: String,
+        /// Indexed local column.
+        column: String,
+        /// Posting organization (for EXPLAIN and costing).
+        kind: IndexKind,
+        /// The validated key probe.
+        probe: Probe,
     },
     /// Stream the input through fused Select/Restrict/Project stages.
     Pipeline {
@@ -188,7 +206,7 @@ impl PhysOp {
     /// The node indices this operator consumes (in consumption order).
     pub fn inputs(&self) -> Vec<usize> {
         match self {
-            PhysOp::Scan { .. } => Vec::new(),
+            PhysOp::Scan { .. } | PhysOp::IndexScan { .. } => Vec::new(),
             PhysOp::Pipeline { input, .. } => vec![*input],
             PhysOp::HashJoin { left, right, .. }
             | PhysOp::ThetaJoin { left, right, .. }
@@ -266,18 +284,29 @@ impl PhysicalPlan {
             .sum()
     }
 
-    /// The local databases this plan reads — every [`PhysOp::Scan`]'s
-    /// target, deduplicated. A result cache keys cached answers on this
-    /// set's version vector: an answer stays valid exactly as long as
-    /// none of the sources it was computed from has been updated.
+    /// The local databases this plan reads — every [`PhysOp::Scan`] and
+    /// [`PhysOp::IndexScan`] target, deduplicated. A result cache keys
+    /// cached answers on this set's version vector: an answer stays
+    /// valid exactly as long as none of the sources it was computed from
+    /// has been updated. Index scans read snapshot-materialized base
+    /// relations, but those rebuild on the same version bumps, so the
+    /// dependency is identical.
     pub fn source_dbs(&self) -> BTreeSet<String> {
         self.nodes
             .iter()
             .filter_map(|n| match &n.op {
-                PhysOp::Scan { db, .. } => Some(db.clone()),
+                PhysOp::Scan { db, .. } | PhysOp::IndexScan { db, .. } => Some(db.clone()),
                 _ => None,
             })
             .collect()
+    }
+
+    /// How many Scan leaves were routed onto secondary indexes.
+    pub fn index_scans(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.op, PhysOp::IndexScan { .. }))
+            .count()
     }
 
     /// A deterministic structural fingerprint: FNV-1a over the rendered
@@ -958,6 +987,159 @@ pub fn lower(
     })
 }
 
+// ---------------------------------------------------------------------
+// Index pushdown — the routing pass between lowering and execution.
+//
+// Modeled on icydb's `FastPathPlan`: one validated routing decision per
+// Scan leaf, derived once per plan, execution-agnostic. A leaf routes
+// onto an index only when every eligibility gate passes; anything else
+// keeps the full scan, so correctness never depends on an index.
+// ---------------------------------------------------------------------
+
+/// Why a Scan leaf did (or did not) route onto an index — the
+/// `FastPathPlan`-style decision record, one per Scan leaf.
+#[derive(Debug, Clone, PartialEq)]
+enum Route {
+    /// Swap the scan for an index probe.
+    Index {
+        column: String,
+        kind: IndexKind,
+        probe: Probe,
+    },
+    /// Keep the full scan.
+    Scan,
+}
+
+/// Decide the route for one Scan leaf. `stages` is the lone consuming
+/// pipeline's stage list, when the leaf has exactly one consumer and it
+/// is a pipeline — the source of foldable residual conjuncts.
+fn route_scan(catalog: &IndexCatalog, db: &str, op: &LocalOp, stages: Option<&[Stage]>) -> Route {
+    // Only plain retrieves and single-predicate selects are candidates:
+    // restricts compare two columns (not sargable) and projections
+    // change the leaf schema out from under the index's base.
+    if op.restrict.is_some() || op.projection.is_some() {
+        return Route::Scan;
+    }
+    // Seed the interval: the scan's own filter (evaluated LQP-side on
+    // raw values — requires a raw-faithful index), or, for a bare
+    // retrieve, the first Select stage of the lone consuming pipeline
+    // (evaluated PQP-side on mapped values — the index's native keys).
+    let (column, index, seed, fold_from) = match &op.filter {
+        Some((attr, cmp, value)) => {
+            let Some(index) = catalog.lookup(db, &op.relation, attr) else {
+                return Route::Scan;
+            };
+            if !index.raw_faithful() || !index.supports(*cmp) || !index.admits_literal(value) {
+                return Route::Scan;
+            }
+            let Some(seed) = Interval::from_predicate(*cmp, value) else {
+                return Route::Scan;
+            };
+            (attr.clone(), index, seed, 0)
+        }
+        None => {
+            let Some(StageKind::Select { attr, cmp, value }) =
+                stages.and_then(|s| s.first()).map(|s| &s.kind)
+            else {
+                return Route::Scan;
+            };
+            let Some(index) = catalog.lookup(db, &op.relation, attr) else {
+                return Route::Scan;
+            };
+            if !index.supports(*cmp) || !index.admits_literal(value) {
+                return Route::Scan;
+            }
+            let Some(seed) = Interval::from_predicate(*cmp, value) else {
+                return Route::Scan;
+            };
+            (attr.clone(), index, seed, 1)
+        }
+    };
+    // Fold further leading Select conjuncts over the same column into
+    // the probe (they stay in the pipeline as residual predicates, so
+    // the probe only has to be a *subset* of each folded conjunct —
+    // intersection guarantees that). Hash postings can only serve a
+    // point, which the seed alone already pins, so folding is
+    // sorted-only.
+    let mut interval = seed;
+    if index.kind() == IndexKind::Sorted {
+        if let Some(stages) = stages {
+            for stage in stages.iter().skip(fold_from) {
+                let StageKind::Select { attr, cmp, value } = &stage.kind else {
+                    break;
+                };
+                if *attr != column || !index.admits_literal(value) {
+                    break;
+                }
+                let Some(pred) = Interval::from_predicate(*cmp, value) else {
+                    break;
+                };
+                interval = interval.intersect(pred);
+            }
+        }
+    }
+    match interval.into_probe() {
+        Some(probe) if index.kind() == IndexKind::Hash && !matches!(probe, Probe::Point(_)) => {
+            Route::Scan
+        }
+        Some(probe) => Route::Index {
+            column,
+            kind: index.kind(),
+            probe,
+        },
+        None => Route::Scan,
+    }
+}
+
+/// The pushdown pass: route eligible Scan leaves onto available
+/// secondary indexes, leaving everything else — pipelines, residual
+/// predicates, join strategies, partitioning — untouched. The routed
+/// plan is byte-identical in results to the input plan: a probe emits
+/// exactly the tuples the scan's predicate would have retained, in scan
+/// order, and folded conjuncts re-check themselves as pipeline stages.
+pub fn route_index_scans(plan: &PhysicalPlan, catalog: &IndexCatalog) -> PhysicalPlan {
+    if catalog.is_empty() {
+        return plan.clone();
+    }
+    // Consumers per node: stage folding needs the lone consuming
+    // pipeline; a shared leaf (a deduplicated self-join scan) may still
+    // route its own filter but must not fold any one consumer's stages.
+    let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); plan.nodes.len()];
+    for (i, node) in plan.nodes.iter().enumerate() {
+        for input in node.op.inputs() {
+            consumers[input].push(i);
+        }
+    }
+    let mut routed = plan.clone();
+    for (i, node) in plan.nodes.iter().enumerate() {
+        let PhysOp::Scan { db, op } = &node.op else {
+            continue;
+        };
+        let lone_pipeline_stages = match consumers[i].as_slice() {
+            [j] => match &plan.nodes[*j].op {
+                PhysOp::Pipeline { input, stages } if *input == i => Some(stages.as_slice()),
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Route::Index {
+            column,
+            kind,
+            probe,
+        } = route_scan(catalog, db, op, lone_pipeline_stages)
+        {
+            routed.nodes[i].op = PhysOp::IndexScan {
+                db: db.clone(),
+                relation: op.relation.clone(),
+                column,
+                kind,
+                probe,
+            };
+        }
+    }
+    routed
+}
+
 /// Render the physical plan with fusion and join-strategy annotations —
 /// the `EXPLAIN` section production engines print.
 pub fn render_plan(plan: &PhysicalPlan) -> String {
@@ -966,6 +1148,16 @@ pub fn render_plan(plan: &PhysicalPlan) -> String {
     for (i, node) in plan.nodes.iter().enumerate() {
         let desc = match &node.op {
             PhysOp::Scan { db, op } => format!("Scan[{db}] {op}"),
+            PhysOp::IndexScan {
+                db,
+                relation,
+                column,
+                kind,
+                probe,
+            } => format!(
+                "IndexScan[{db}] {relation} [ixscan {}] ({kind})",
+                probe.render(&format!("{db}.{column}"))
+            ),
             PhysOp::Pipeline { input, stages } => {
                 let shown: Vec<String> = stages
                     .iter()
@@ -1173,6 +1365,107 @@ mod tests {
         let serial = render_plan(&paper_plan(true));
         assert!(!serial.contains("[hash("), "{serial}");
         assert!(!serial.contains("[chunked"), "{serial}");
+    }
+
+    #[test]
+    fn pushdown_routes_eligible_select_scans() {
+        use polygen_index::IndexSpec;
+        let s = scenario::build();
+        let registry = scenario_registry(&s);
+        let catalog = IndexCatalog::build(
+            &[IndexSpec::hash("AD", "ALUMNUS", "DEG")],
+            &registry,
+            &s.dictionary,
+        )
+        .unwrap();
+        let plan = paper_plan(true);
+        let routed = route_index_scans(&plan, &catalog);
+        assert_eq!(routed.index_scans(), 1, "the MBA select routes");
+        assert!(matches!(
+            &routed.nodes[0].op,
+            PhysOp::IndexScan { db, column, kind: IndexKind::Hash, probe: Probe::Point(v), .. }
+                if db == "AD" && column == "DEG" && *v == Value::str("MBA")
+        ));
+        // Everything else — and the scans' source set — is untouched.
+        assert_eq!(plan.source_dbs(), routed.source_dbs());
+        assert_eq!(plan.nodes.len(), routed.nodes.len());
+        let shown = render_plan(&routed);
+        assert!(
+            shown.contains("IndexScan[AD] ALUMNUS [ixscan AD.DEG = MBA] (hash)"),
+            "{shown}"
+        );
+        // An empty catalog routes nothing.
+        assert_eq!(route_index_scans(&plan, &IndexCatalog::empty()), plan);
+    }
+
+    #[test]
+    fn pushdown_rejects_non_sargable_and_unfaithful_scans() {
+        use polygen_index::IndexSpec;
+        let s = scenario::build();
+        let registry = scenario_registry(&s);
+        let catalog = IndexCatalog::build(
+            &[
+                IndexSpec::hash("AD", "ALUMNUS", "DEG"),
+                IndexSpec::hash("CD", "FIRM", "HQ"), // domain-rule column
+            ],
+            &registry,
+            &s.dictionary,
+        )
+        .unwrap();
+        let lower_expr = |expr: &str| {
+            let pom = analyze(&parse_algebra(expr).unwrap()).unwrap();
+            let (_, iom) = interpret(&pom, s.dictionary.schema()).unwrap();
+            lower(&iom, &registry, &s.dictionary, LowerOptions::default()).unwrap()
+        };
+        // `<>` is not sargable.
+        let ne = lower_expr("PALUMNUS [DEGREE <> \"MBA\"]");
+        assert_eq!(route_index_scans(&ne, &catalog).index_scans(), 0);
+        // A range θ cannot ride hash postings.
+        let range = lower_expr("PALUMNUS [DEGREE > \"MBA\"]");
+        assert_eq!(route_index_scans(&range, &catalog).index_scans(), 0);
+        // Selects over a merged scheme execute post-merge: the FIRM
+        // retrieve is bare and feeds the merge, so nothing routes —
+        // even though CD.FIRM.HQ is indexed (and, being rewritten by
+        // the LastCommaToken domain rule, would be rejected as
+        // raw-unfaithful if a filtered scan ever targeted it).
+        assert!(!catalog.lookup("CD", "FIRM", "HQ").unwrap().raw_faithful());
+        let firm = lower_expr("PORGANIZATION [HEADQUARTERS = \"NY\"]");
+        assert_eq!(route_index_scans(&firm, &catalog).index_scans(), 0);
+    }
+
+    #[test]
+    fn pushdown_folds_between_conjuncts_into_a_range_probe() {
+        use polygen_index::IndexSpec;
+        let s = scenario::build();
+        let registry = scenario_registry(&s);
+        let catalog = IndexCatalog::build(
+            &[IndexSpec::sorted("AD", "ALUMNUS", "AID#")],
+            &registry,
+            &s.dictionary,
+        )
+        .unwrap();
+        // First select ships to the LQP; the second becomes a pipeline
+        // stage — the foldable residual conjunct.
+        let pom = analyze(&parse_algebra("PALUMNUS [AID# >= \"200\"] [AID# <= \"600\"]").unwrap())
+            .unwrap();
+        let (_, iom) = interpret(&pom, s.dictionary.schema()).unwrap();
+        let plan = lower(&iom, &registry, &s.dictionary, LowerOptions::default()).unwrap();
+        let routed = route_index_scans(&plan, &catalog);
+        assert_eq!(routed.index_scans(), 1);
+        let PhysOp::IndexScan { probe, .. } = &routed.nodes[0].op else {
+            panic!("scan not routed: {}", render_plan(&routed));
+        };
+        assert_eq!(
+            probe.render("AID#"),
+            "200 <= AID# <= 600",
+            "both conjuncts folded into one range probe"
+        );
+        // The residual stage survives in the pipeline, re-checking its
+        // conjunct over the (already-narrowed) probe output.
+        assert!(matches!(
+            &routed.nodes[1].op,
+            PhysOp::Pipeline { stages, .. } if stages.len() == 1
+        ));
     }
 
     #[test]

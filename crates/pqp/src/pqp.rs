@@ -6,7 +6,7 @@
 
 use crate::analyzer::analyze;
 use crate::error::PqpError;
-use crate::executor::{execute_plan, ExecOptions, ExecutionTrace};
+use crate::executor::{execute_plan_indexed, ExecOptions, ExecutionTrace};
 use crate::interpreter::interpret;
 use crate::iom::Iom;
 use crate::optimizer::{optimize, OptimizerReport};
@@ -16,6 +16,7 @@ use polygen_catalog::dictionary::DataDictionary;
 use polygen_catalog::scenario::Scenario;
 use polygen_core::algebra::coalesce::ConflictPolicy;
 use polygen_core::relation::PolygenRelation;
+use polygen_index::IndexCatalog;
 use polygen_lqp::registry::LqpRegistry;
 use polygen_lqp::scenario_registry;
 use polygen_sql::algebra_expr::{parse_algebra, AlgebraExpr};
@@ -107,6 +108,7 @@ pub struct Pqp {
     dictionary: Arc<DataDictionary>,
     registry: Arc<LqpRegistry>,
     options: PqpOptions,
+    indexes: Option<Arc<IndexCatalog>>,
 }
 
 impl Pqp {
@@ -116,6 +118,7 @@ impl Pqp {
             dictionary,
             registry,
             options: PqpOptions::default(),
+            indexes: None,
         }
     }
 
@@ -129,6 +132,21 @@ impl Pqp {
     pub fn with_options(mut self, options: PqpOptions) -> Self {
         self.options = options;
         self
+    }
+
+    /// Attach a secondary-index catalog: [`Pqp::compile`] routes
+    /// eligible Scan leaves onto it and [`Pqp::run_compiled`] probes it.
+    /// The catalog must stay in sync with the registry's data — the
+    /// serving layer guarantees this by owning both in one immutable
+    /// snapshot; direct users rebuild the catalog when they swap LQPs.
+    pub fn with_indexes(mut self, indexes: Arc<IndexCatalog>) -> Self {
+        self.indexes = Some(indexes);
+        self
+    }
+
+    /// The attached index catalog, if any.
+    pub fn indexes(&self) -> Option<&Arc<IndexCatalog>> {
+        self.indexes.as_ref()
     }
 
     /// The data dictionary.
@@ -171,7 +189,7 @@ impl Pqp {
         } else {
             (iom.clone(), OptimizerReport::default())
         };
-        let physical = lower_plan(
+        let mut physical = lower_plan(
             &plan,
             &self.registry,
             &self.dictionary,
@@ -184,6 +202,14 @@ impl Pqp {
                 .partitions,
             },
         )?;
+        // Index pushdown: swap eligible Scan leaves for probes. Skipped
+        // in retention mode — the golden-table trace expects every
+        // `R(n)` to materialize from full scans.
+        if let Some(catalog) = &self.indexes {
+            if !self.options.retain_intermediates {
+                physical = crate::plan::route_index_scans(&physical, catalog);
+            }
+        }
         Ok(CompiledQuery {
             expr,
             pom,
@@ -206,10 +232,11 @@ impl Pqp {
         &self,
         compiled: &CompiledQuery,
     ) -> Result<(PolygenRelation, ExecutionTrace), PqpError> {
-        execute_plan(
+        execute_plan_indexed(
             &compiled.physical,
             &self.registry,
             &self.dictionary,
+            self.indexes.as_deref(),
             ExecOptions {
                 conflict_policy: self.options.conflict_policy,
                 retain_intermediates: self.options.retain_intermediates,
@@ -330,6 +357,83 @@ mod tests {
         }
         let shown = crate::plan::render_plan(&a.compiled.physical);
         assert!(!shown.contains("[hash("), "1 thread stays serial: {shown}");
+    }
+
+    #[test]
+    fn indexed_pqp_routes_and_matches_unindexed_byte_for_byte() {
+        use polygen_index::{IndexCatalog, IndexSpec};
+        use std::sync::Arc;
+        let s = scenario::build();
+        let plain = Pqp::for_scenario(&s);
+        let catalog = Arc::new(
+            IndexCatalog::build(
+                &[
+                    IndexSpec::hash("AD", "ALUMNUS", "DEG"),
+                    IndexSpec::sorted("AD", "ALUMNUS", "AID#"),
+                ],
+                plain.registry(),
+                plain.dictionary(),
+            )
+            .unwrap(),
+        );
+        for threads in [1usize, 4] {
+            let indexed = Pqp::for_scenario(&s)
+                .with_options(PqpOptions::default().with_threads(threads))
+                .with_indexes(Arc::clone(&catalog));
+            for expr in [
+                PAPER_EXPRESSION,
+                "PALUMNUS [DEGREE = \"MBA\"] [AID#, ANAME]",
+                "PALUMNUS [AID# >= \"200\"] [AID# <= \"600\"]",
+                "PALUMNUS [DEGREE <> \"MBA\"]",
+            ] {
+                let a = plain.query_algebra(expr).unwrap();
+                let b = indexed.query_algebra(expr).unwrap();
+                assert_eq!(
+                    a.answer.tuples(),
+                    b.answer.tuples(),
+                    "indexed execution diverged on `{expr}` (threads = {threads})"
+                );
+            }
+            // The selective queries actually routed.
+            let routed = indexed
+                .compile(parse_algebra("PALUMNUS [DEGREE = \"MBA\"]").unwrap())
+                .unwrap();
+            assert_eq!(routed.physical.index_scans(), 1);
+        }
+        // Retention mode (golden tables) never routes.
+        let retained = Pqp::for_scenario(&s)
+            .with_options(PqpOptions {
+                retain_intermediates: true,
+                ..PqpOptions::default()
+            })
+            .with_indexes(Arc::clone(&catalog));
+        let out = retained.query_algebra(PAPER_EXPRESSION).unwrap();
+        assert_eq!(out.compiled.physical.index_scans(), 0);
+        assert_eq!(out.trace.results.len(), 10);
+    }
+
+    #[test]
+    fn routed_plan_without_catalog_fails_loudly() {
+        use polygen_index::{IndexCatalog, IndexSpec};
+        use std::sync::Arc;
+        let s = scenario::build();
+        let indexed = Pqp::for_scenario(&s).with_indexes(Arc::new(
+            IndexCatalog::build(
+                &[IndexSpec::hash("AD", "ALUMNUS", "DEG")],
+                Pqp::for_scenario(&s).registry(),
+                &s.dictionary,
+            )
+            .unwrap(),
+        ));
+        let compiled = indexed
+            .compile(parse_algebra("PALUMNUS [DEGREE = \"MBA\"]").unwrap())
+            .unwrap();
+        assert_eq!(compiled.physical.index_scans(), 1);
+        // Executing the routed plan on a catalog-less PQP must not
+        // silently fall back to scanning.
+        let bare = Pqp::for_scenario(&s);
+        let err = bare.run_compiled(&compiled).unwrap_err();
+        assert!(err.to_string().contains("index"), "{err}");
     }
 
     #[test]

@@ -116,6 +116,13 @@ pub struct PlanEntry {
     /// purged the cache, but it can never be *served* against the
     /// post-update versions.
     pub compiled_versions: VersionVector,
+    /// The snapshot's index-declaration epoch at compile time. Source
+    /// updates bump versions, but *re-declaring* the index set does not
+    /// — so this is the guard that keeps a plan routed against a
+    /// previous catalog (possibly through a since-dropped index) from
+    /// being served after `declare_indexes`, even if a racing compile
+    /// re-inserts it behind the declare-time purge.
+    pub index_epoch: u64,
 }
 
 /// Canonical-text → shared compiled plan.
@@ -159,6 +166,29 @@ impl PlanCache {
             .lock()
             .expect("plan cache poisoned")
             .purge(|_, entry| entry.reads.contains(source))
+    }
+
+    /// Evict everything — called when the index catalog is re-declared,
+    /// so cached plans routed through dropped indexes (or compiled
+    /// before new ones existed) recompile against the current catalog.
+    /// Returns the number evicted.
+    pub fn clear(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("plan cache poisoned")
+            .purge(|_, _| true)
+    }
+
+    /// Snapshot the cached entries (recency untouched) — the traffic
+    /// record the auto-index heuristic mines for hot sargable columns.
+    pub fn entries(&self) -> Vec<Arc<PlanEntry>> {
+        self.inner
+            .lock()
+            .expect("plan cache poisoned")
+            .map
+            .values()
+            .map(|(v, _)| Arc::clone(v))
+            .collect()
     }
 
     /// Number of cached plans.

@@ -41,6 +41,7 @@ pub mod prelude {
     pub use crate::metrics::{MetricsSnapshot, ServiceMetrics};
     pub use crate::service::{QueryService, ServeError, ServeOptions, ServeOutcome, Session};
     pub use crate::snapshot::{Federation, FederationSnapshot, VersionVector};
+    pub use polygen_index::{IndexCatalog, IndexKind, IndexSpec};
 }
 
 pub use service::{QueryService, ServeOptions};

@@ -37,8 +37,11 @@ use polygen_core::stream::default_thread_count;
 use polygen_federation::app_schema::AppSchema;
 use polygen_federation::aqp::{translate_app_query, AqpError};
 use polygen_flat::relation::Relation;
+use polygen_flat::value::Cmp;
+use polygen_index::{IndexError, IndexKind, IndexSpec};
 use polygen_lqp::engine::Lqp;
 use polygen_pqp::error::PqpError;
+use polygen_pqp::plan::PhysOp;
 use polygen_pqp::pqp::{Pqp, PqpOptions};
 use polygen_sql::normalize::{canonicalize_algebra, canonicalize_sql, NormalizeError};
 use polygen_sql::parse_algebra;
@@ -56,6 +59,8 @@ pub enum ServeError {
     App(AqpError),
     /// Compilation or execution failed.
     Pqp(PqpError),
+    /// Declared secondary indexes failed to build.
+    Index(IndexError),
     /// Admission control shed this query: the service is at
     /// `max_concurrent` executing queries with a full wait queue.
     Overloaded {
@@ -72,6 +77,7 @@ impl fmt::Display for ServeError {
             ServeError::Normalize(e) => write!(f, "{e}"),
             ServeError::App(e) => write!(f, "{e}"),
             ServeError::Pqp(e) => write!(f, "{e}"),
+            ServeError::Index(e) => write!(f, "{e}"),
             ServeError::Overloaded { active, queued } => write!(
                 f,
                 "service overloaded: {active} queries executing, {queued} queued"
@@ -95,6 +101,11 @@ impl From<AqpError> for ServeError {
 impl From<PqpError> for ServeError {
     fn from(e: PqpError) -> Self {
         ServeError::Pqp(e)
+    }
+}
+impl From<IndexError> for ServeError {
+    fn from(e: IndexError) -> Self {
+        ServeError::Index(e)
     }
 }
 
@@ -187,6 +198,9 @@ pub struct ServeOutcome {
     pub plan_hit: bool,
     /// Was the answer served from the result cache (no execution)?
     pub result_hit: bool,
+    /// Did the plan route at least one Scan leaf onto a secondary
+    /// index?
+    pub index_routed: bool,
     /// Worker threads this query was allotted from the shared budget.
     pub threads: usize,
     /// Wall-clock service time, admission wait included.
@@ -333,6 +347,98 @@ impl QueryService {
         self
     }
 
+    /// Declare secondary indexes at construction: built against current
+    /// data, owned by the head snapshot, and maintained automatically —
+    /// every [`QueryService::update_source`] rebuilds exactly the
+    /// updated source's indexes in the successor snapshot.
+    pub fn with_index_specs(self, specs: &[IndexSpec]) -> Result<Self, ServeError> {
+        self.federation.declare_indexes(specs)?;
+        Ok(self)
+    }
+
+    /// Re-declare the index set mid-flight. The plan cache is cleared —
+    /// cached plans may be routed through dropped indexes, or may
+    /// predate new ones — while cached *results* stay valid (indexes
+    /// never change answers, only routes). Queries already executing
+    /// keep their pinned snapshot and its catalog.
+    pub fn declare_indexes(&self, specs: &[IndexSpec]) -> Result<(), ServeError> {
+        self.federation.declare_indexes(specs)?;
+        if let Some(cache) = &self.plan_cache {
+            cache.clear();
+        }
+        Ok(())
+    }
+
+    /// The auto-index heuristic: mine the plan cache for sargable
+    /// predicates over source columns, and index every column at least
+    /// `min_plans` distinct cached plans probe — hash postings when only
+    /// equality shapes appear, sorted when any range does. Newly
+    /// derived specs are declared *in addition to* the already-declared
+    /// set; returns the new specs (empty when traffic justifies
+    /// nothing). Cached results stay valid; affected plans recompile on
+    /// their next miss and route.
+    pub fn auto_index(&self, min_plans: usize) -> Result<Vec<IndexSpec>, ServeError> {
+        let Some(cache) = &self.plan_cache else {
+            return Ok(Vec::new());
+        };
+        let snapshot = self.federation.snapshot();
+        let existing = snapshot.indexes().specs();
+        // (source, relation, column) → (plans referencing it, saw a range θ).
+        let mut hot: std::collections::BTreeMap<(String, String, String), (usize, bool)> =
+            std::collections::BTreeMap::new();
+        for entry in cache.entries() {
+            let mut seen_in_plan = std::collections::BTreeSet::new();
+            for node in &entry.compiled.physical.nodes {
+                let PhysOp::Scan { db, op } = &node.op else {
+                    continue;
+                };
+                let Some((attr, cmp, _)) = &op.filter else {
+                    continue;
+                };
+                let sargable = matches!(cmp, Cmp::Eq | Cmp::Lt | Cmp::Le | Cmp::Gt | Cmp::Ge);
+                if !sargable || op.restrict.is_some() || op.projection.is_some() {
+                    continue;
+                }
+                let key = (db.clone(), op.relation.clone(), attr.clone());
+                if seen_in_plan.insert(key.clone()) {
+                    let slot = hot.entry(key).or_insert((0, false));
+                    slot.0 += 1;
+                    slot.1 |= *cmp != Cmp::Eq;
+                }
+            }
+        }
+        // One index per column: a column that already carries an index
+        // — of either kind — is never re-derived, so traffic that only
+        // shows equality shapes can't downgrade an existing Sorted
+        // index to Hash (the catalog keys postings per column,
+        // later-spec-wins).
+        let covered: std::collections::BTreeSet<(String, String, String)> = existing
+            .iter()
+            .map(|s| (s.source.clone(), s.relation.clone(), s.column.clone()))
+            .collect();
+        let new_specs: Vec<IndexSpec> = hot
+            .into_iter()
+            .filter(|(key, (plans, _))| *plans >= min_plans.max(1) && !covered.contains(key))
+            .map(|((source, relation, column), (_, ranged))| IndexSpec {
+                source,
+                relation,
+                column,
+                kind: if ranged {
+                    IndexKind::Sorted
+                } else {
+                    IndexKind::Hash
+                },
+            })
+            .collect();
+        if new_specs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut all = existing;
+        all.extend(new_specs.iter().cloned());
+        self.declare_indexes(&all)?;
+        Ok(new_specs)
+    }
+
     /// The federation behind the service.
     pub fn federation(&self) -> &Federation {
         &self.federation
@@ -455,6 +561,7 @@ impl QueryService {
                     fingerprint: entry.fingerprint,
                     plan_hit,
                     result_hit: true,
+                    index_routed: entry.compiled.physical.index_scans() > 0,
                     threads,
                     latency,
                 });
@@ -469,7 +576,11 @@ impl QueryService {
             threads,
             retain_intermediates: false,
             ..self.options.pqp
-        });
+        })
+        // The snapshot's catalog: guaranteed in sync with the plan,
+        // because a plan-cache hit is only served when the entry's
+        // compile-time source versions match this snapshot's.
+        .with_indexes(Arc::clone(snapshot.indexes()));
         let (answer, _trace) = engine.run_compiled(&entry.compiled)?;
         let answer = Arc::new(answer);
         if let Some(cache) = &self.result_cache {
@@ -483,6 +594,7 @@ impl QueryService {
             fingerprint: entry.fingerprint,
             plan_hit,
             result_hit: false,
+            index_routed: entry.compiled.physical.index_scans() > 0,
             threads,
             latency,
         })
@@ -537,7 +649,9 @@ impl QueryService {
     ) -> Result<(Arc<PlanEntry>, bool), ServeError> {
         if let Some(cache) = &self.plan_cache {
             if let Some(entry) = cache.get(&canonical) {
-                if snapshot.version_vector(&entry.reads) == entry.compiled_versions {
+                if snapshot.version_vector(&entry.reads) == entry.compiled_versions
+                    && snapshot.index_epoch() == entry.index_epoch
+                {
                     self.metrics.record_plan_lookup(true);
                     return Ok((entry, true));
                 }
@@ -570,12 +684,14 @@ impl QueryService {
             partitions: 1,
             retain_intermediates: false,
             ..self.options.pqp
-        });
+        })
+        .with_indexes(Arc::clone(snapshot.indexes()));
         let compiled = compiler.compile(expr)?;
         let reads = compiled.physical.source_dbs();
         Ok(PlanEntry {
             fingerprint: compiled.physical.fingerprint(),
             compiled_versions: snapshot.version_vector(&reads),
+            index_epoch: snapshot.index_epoch(),
             canonical: Arc::from(canonical.as_str()),
             reads,
             compiled,
@@ -827,6 +943,84 @@ mod tests {
             .query("SELECT ONAME FROM PORGANIZATION WHERE CEO = \"John Reed\"")
             .unwrap();
         assert!(direct.result_hit, "app and polygen paths share one key");
+    }
+
+    #[test]
+    fn indexed_service_routes_and_stays_byte_identical() {
+        let s = scenario::build();
+        let indexed = QueryService::for_scenario(&s, ServeOptions::default())
+            .with_index_specs(&[IndexSpec::hash("AD", "ALUMNUS", "DEG")])
+            .unwrap();
+        let plain = QueryService::for_scenario(&s, ServeOptions::default().without_caches());
+        let sql = "SELECT AID#, ANAME FROM PALUMNUS WHERE DEGREE = \"MBA\"";
+        let cold = indexed.query(sql).unwrap();
+        assert!(cold.index_routed, "the selective scan must route");
+        assert_eq!(*cold.answer, *plain.query(sql).unwrap().answer);
+        let warm = indexed.query(sql).unwrap();
+        assert!(warm.result_hit && warm.index_routed);
+        // The paper query routes its MBA select too — same answers.
+        let paper = indexed.query(PAPER_SQL).unwrap();
+        assert!(paper.index_routed);
+        assert_eq!(*paper.answer, *plain.query(PAPER_SQL).unwrap().answer);
+    }
+
+    #[test]
+    fn source_update_rebuilds_indexes_and_serves_fresh_data() {
+        let s = scenario::build();
+        let indexed = QueryService::for_scenario(&s, ServeOptions::default())
+            .with_index_specs(&[IndexSpec::hash("AD", "ALUMNUS", "DEG")])
+            .unwrap();
+        let sql = "SELECT ANAME FROM PALUMNUS WHERE DEGREE = \"MBA\"";
+        let before = indexed.query(sql).unwrap();
+        assert!(before.index_routed);
+        assert_eq!(before.answer.len(), 5);
+        // AD refresh: one alumna switches to an MBA.
+        let mut ad = scenario::alumni_database();
+        for rel in &mut ad.relations {
+            if rel.name() == "ALUMNUS" {
+                let attrs: Vec<&str> = rel.schema().attrs().iter().map(|a| a.as_ref()).collect();
+                let mut b = Relation::build("ALUMNUS", &attrs).key(&["AID#"]);
+                for row in rel.rows() {
+                    let mut row = row.clone();
+                    if row[1] == Value::str("Ken Olsen") {
+                        row[2] = Value::str("MBA");
+                    }
+                    b = b.vrow(row);
+                }
+                *rel = b.finish().unwrap();
+            }
+        }
+        indexed.update_source_relations("AD", ad.relations);
+        let after = indexed.query(sql).unwrap();
+        assert!(!after.result_hit, "version bump invalidates");
+        assert!(after.index_routed, "rebuilt index keeps routing");
+        assert_eq!(after.answer.len(), 6, "the refreshed base is probed");
+    }
+
+    #[test]
+    fn auto_index_mines_cached_plans_for_hot_columns() {
+        let svc = service();
+        for deg in ["MBA", "MS", "PhD"] {
+            let out = svc
+                .query(&format!(
+                    "SELECT ANAME FROM PALUMNUS WHERE DEGREE = \"{deg}\"",
+                ))
+                .unwrap();
+            assert!(!out.index_routed, "nothing declared yet");
+        }
+        // Below threshold: nothing indexed.
+        assert!(svc.auto_index(5).unwrap().is_empty());
+        let specs = svc.auto_index(2).unwrap();
+        assert_eq!(specs, vec![IndexSpec::hash("AD", "ALUMNUS", "DEG")]);
+        // The plan cache was cleared, so the next query recompiles and
+        // routes; answers are unchanged.
+        let routed = svc
+            .query("SELECT ANAME FROM PALUMNUS WHERE DEGREE = \"MBA\"")
+            .unwrap();
+        assert!(routed.index_routed);
+        assert_eq!(routed.answer.len(), 5);
+        // Idempotent: the derived spec is already declared.
+        assert!(svc.auto_index(2).unwrap().is_empty());
     }
 
     #[test]

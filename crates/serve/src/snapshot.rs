@@ -19,6 +19,7 @@
 use polygen_catalog::dictionary::DataDictionary;
 use polygen_catalog::scenario::Scenario;
 use polygen_flat::relation::Relation;
+use polygen_index::{IndexCatalog, IndexError, IndexSpec};
 use polygen_lqp::engine::Lqp;
 use polygen_lqp::memory::InMemoryLqp;
 use polygen_lqp::registry::LqpRegistry;
@@ -36,6 +37,18 @@ pub type VersionVector = Vec<(String, u64)>;
 pub struct FederationSnapshot {
     dictionary: Arc<DataDictionary>,
     registry: Arc<LqpRegistry>,
+    /// Secondary indexes over this snapshot's source data. Immutable
+    /// like everything else here: queries pin the catalog with the
+    /// snapshot, and a source update derives a successor catalog
+    /// rebuilding only the bumped source's indexes.
+    indexes: Arc<IndexCatalog>,
+    /// Bumped on every *re-declaration* of the index set (never on
+    /// source updates — those bump versions). A cached plan records the
+    /// epoch it was routed under; a hit is only served when it matches,
+    /// which closes the race where a compile against the pre-declare
+    /// catalog re-inserts (after the declare-time cache purge) a plan
+    /// routed through an index the new catalog dropped.
+    index_epoch: u64,
     versions: BTreeMap<String, u64>,
     epoch: u64,
 }
@@ -47,6 +60,8 @@ impl FederationSnapshot {
         FederationSnapshot {
             dictionary,
             registry,
+            indexes: Arc::new(IndexCatalog::empty()),
+            index_epoch: 0,
             versions,
             epoch: 0,
         }
@@ -70,6 +85,33 @@ impl FederationSnapshot {
         &self.registry
     }
 
+    /// The snapshot's secondary-index catalog (empty unless declared).
+    pub fn indexes(&self) -> &Arc<IndexCatalog> {
+        &self.indexes
+    }
+
+    /// The index-declaration epoch (see the field docs): stamped into
+    /// cached plans and re-validated at plan-cache hit time.
+    pub fn index_epoch(&self) -> u64 {
+        self.index_epoch
+    }
+
+    /// Declare (replacing any previous declarations) the snapshot's
+    /// secondary indexes, building them against this snapshot's data.
+    /// Versions and epoch are untouched — indexes are derived state, so
+    /// declaring them invalidates no cached *answers* — but the index
+    /// epoch bumps so cached *plans* routed against the previous
+    /// catalog can never be served against this one.
+    pub fn with_indexes(mut self, specs: &[IndexSpec]) -> Result<Self, IndexError> {
+        self.indexes = Arc::new(IndexCatalog::build(
+            specs,
+            &self.registry,
+            &self.dictionary,
+        )?);
+        self.index_epoch += 1;
+        Ok(self)
+    }
+
     /// The snapshot's global epoch (bumped once per update).
     pub fn epoch(&self) -> u64 {
         self.epoch
@@ -91,7 +133,10 @@ impl FederationSnapshot {
     }
 
     /// Derive the successor snapshot with `lqp` replacing (or joining)
-    /// the registry under its own name, and its version bumped.
+    /// the registry under its own name, and its version bumped. Only
+    /// the updated source's secondary indexes are rebuilt (against the
+    /// successor registry); every other source's are re-pointed by
+    /// `Arc`, exactly like the unchanged LQPs.
     fn with_updated_source(&self, lqp: Arc<dyn Lqp>) -> FederationSnapshot {
         let name = lqp.name().to_string();
         let registry = LqpRegistry::new();
@@ -103,11 +148,24 @@ impl FederationSnapshot {
             }
         }
         registry.register(lqp);
+        let registry = Arc::new(registry);
+        let indexes = if self.indexes.is_empty() {
+            Arc::clone(&self.indexes)
+        } else {
+            Arc::new(
+                self.indexes
+                    .rebuilt_for_source(&name, &registry, &self.dictionary),
+            )
+        };
         let mut versions = self.versions.clone();
         *versions.entry(name).or_insert(0) += 1;
         FederationSnapshot {
             dictionary: Arc::clone(&self.dictionary),
-            registry: Arc::new(registry),
+            registry,
+            indexes,
+            // Same declaration set, maintained — not a re-declaration.
+            // The version bump is what guards cached plans here.
+            index_epoch: self.index_epoch,
             versions,
             epoch: self.epoch + 1,
         }
@@ -142,19 +200,53 @@ impl Federation {
     /// source's new version. In-flight queries keep executing against
     /// the snapshot they pinned; queries admitted after the swap see the
     /// new data.
+    ///
+    /// The successor — including any secondary-index rebuild, which
+    /// sweeps the updated source — is built *outside* the head lock, so
+    /// concurrent query admission never stalls behind a rebuild; the
+    /// write lock covers only the pointer swap. A racing writer is
+    /// detected by pointer identity and the build retried against the
+    /// newer head, so no update is ever lost.
     pub fn update_source(&self, lqp: Arc<dyn Lqp>) -> u64 {
-        let mut head = self.head.write().expect("federation head poisoned");
         let name = lqp.name().to_string();
-        let next = head.with_updated_source(lqp);
-        let version = next.version_of(&name);
-        *head = Arc::new(next);
-        version
+        loop {
+            let base = self.snapshot();
+            let next = base.with_updated_source(Arc::clone(&lqp));
+            let version = next.version_of(&name);
+            let mut head = self.head.write().expect("federation head poisoned");
+            if Arc::ptr_eq(&*head, &base) {
+                *head = Arc::new(next);
+                return version;
+            }
+            // Another writer swapped the head mid-build; rebuild on top
+            // of their snapshot so neither update is lost.
+        }
     }
 
     /// Convenience: swap a source's relations wholesale through a fresh
     /// in-memory LQP (how the demo and tests model an upstream refresh).
     pub fn update_source_relations(&self, name: &str, relations: Vec<Relation>) -> u64 {
         self.update_source(Arc::new(InMemoryLqp::new(name, relations)))
+    }
+
+    /// Declare the federation's secondary indexes: the head snapshot is
+    /// replaced by one carrying a catalog built against current data
+    /// (versions and epoch unchanged — answers never depend on routing —
+    /// but the *index epoch* bumps, which is what lets a plan cache
+    /// refuse entries routed against a previous catalog). Subsequent
+    /// source updates maintain the declared indexes automatically,
+    /// source by source. Like [`Federation::update_source`], the builds
+    /// run outside the head lock with a pointer-identity retry.
+    pub fn declare_indexes(&self, specs: &[IndexSpec]) -> Result<(), IndexError> {
+        loop {
+            let base = self.snapshot();
+            let next = base.as_ref().clone().with_indexes(specs)?;
+            let mut head = self.head.write().expect("federation head poisoned");
+            if Arc::ptr_eq(&*head, &base) {
+                *head = Arc::new(next);
+                return Ok(());
+            }
+        }
     }
 }
 
@@ -199,6 +291,60 @@ mod tests {
         let cd_before = before.registry().get("CD").unwrap();
         let cd_after = after.registry().get("CD").unwrap();
         assert!(!Arc::ptr_eq(&cd_before, &cd_after));
+    }
+
+    #[test]
+    fn update_rebuilds_only_the_touched_sources_indexes() {
+        let s = scenario::build();
+        let fed = Federation::from_scenario(&s);
+        fed.declare_indexes(&[
+            IndexSpec::hash("AD", "ALUMNUS", "DEG"),
+            IndexSpec::sorted("CD", "FIRM", "FNAME"),
+        ])
+        .unwrap();
+        let before = fed.snapshot();
+        assert_eq!(before.indexes().len(), 2);
+        assert_eq!(before.epoch(), 0, "declaring indexes bumps nothing");
+        let cd = s.database("CD").unwrap();
+        fed.update_source_relations("CD", cd.relations.clone());
+        let after = fed.snapshot();
+        assert_eq!(after.indexes().len(), 2);
+        let ad_before = before.indexes().lookup("AD", "ALUMNUS", "DEG").unwrap();
+        let ad_after = after.indexes().lookup("AD", "ALUMNUS", "DEG").unwrap();
+        assert!(Arc::ptr_eq(ad_before, ad_after), "AD index re-pointed");
+        let cd_before = before.indexes().lookup("CD", "FIRM", "FNAME").unwrap();
+        let cd_after = after.indexes().lookup("CD", "FIRM", "FNAME").unwrap();
+        assert!(!Arc::ptr_eq(cd_before, cd_after), "CD index rebuilt");
+        // The pinned snapshot still serves its own catalog.
+        assert_eq!(before.indexes().len(), 2);
+        // Unknown specs fail loudly at declaration.
+        assert!(fed
+            .declare_indexes(&[IndexSpec::hash("XX", "T", "C")])
+            .is_err());
+    }
+
+    #[test]
+    fn index_epoch_bumps_on_redeclaration_only() {
+        let s = scenario::build();
+        let fed = Federation::from_scenario(&s);
+        assert_eq!(fed.snapshot().index_epoch(), 0);
+        fed.declare_indexes(&[IndexSpec::hash("AD", "ALUMNUS", "DEG")])
+            .unwrap();
+        assert_eq!(fed.snapshot().index_epoch(), 1);
+        // A source update maintains indexes but is NOT a re-declaration:
+        // the version bump already guards cached plans, and bumping the
+        // index epoch here would needlessly refuse plans for untouched
+        // sources.
+        let ad = s.database("AD").unwrap();
+        fed.update_source_relations("AD", ad.relations.clone());
+        assert_eq!(fed.snapshot().index_epoch(), 1);
+        assert_eq!(fed.snapshot().version_of("AD"), 1);
+        // Re-declaring (even the same set) bumps, so a plan compiled
+        // against the old catalog and re-inserted behind the declare-
+        // time purge can never validate against the new snapshot.
+        fed.declare_indexes(&[IndexSpec::hash("AD", "ALUMNUS", "DEG")])
+            .unwrap();
+        assert_eq!(fed.snapshot().index_epoch(), 2);
     }
 
     #[test]

@@ -16,7 +16,8 @@
 //!   tagged answers to a sequential, cache-off baseline.
 
 use crate::config::{derive_rng, RngStream};
-use crate::queries::{join_query, paper_shaped_sql, select_query};
+use crate::queries::{join_query, paper_shaped_sql, point_lookup, range_scan, select_query};
+use crate::zipf::Zipf;
 use rand::RngExt;
 use std::time::{Duration, Instant};
 
@@ -38,7 +39,7 @@ pub struct ClientQuery {
     pub lang: QueryLang,
 }
 
-/// Relative weights of the three query shapes in the mix. Weights are
+/// Relative weights of the query shapes in the mix. Weights are
 /// relative, not percentages — `(3, 1, 1)` means 3 selects per join and
 /// per paper-shaped query on average.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +51,13 @@ pub struct MixWeights {
     pub join: u32,
     /// The paper-shaped SQL (IN-subquery feeding join feeding project).
     pub paper: u32,
+    /// Detail point lookups (`PDETAIL [ENAME = …]`) with Zipf-skewed
+    /// key choice — the class a hash index serves. Default 0: existing
+    /// mixes (and their deterministic scripts) are unchanged.
+    pub point: u32,
+    /// Detail score range scans (`PDETAIL [SCORE >= a] [SCORE <= b]`) —
+    /// the class a sorted index serves. Default 0.
+    pub range: u32,
 }
 
 impl Default for MixWeights {
@@ -58,19 +66,31 @@ impl Default for MixWeights {
             select: 6,
             join: 3,
             paper: 1,
+            point: 0,
+            range: 0,
         }
     }
 }
 
 impl MixWeights {
+    /// The default mix plus index-friendly traffic: point lookups and
+    /// range scans at the given weights.
+    pub fn with_index_lookups(point: u32, range: u32) -> Self {
+        MixWeights {
+            point,
+            range,
+            ..MixWeights::default()
+        }
+    }
+
     fn total(&self) -> u32 {
-        self.select + self.join + self.paper
+        self.select + self.join + self.paper + self.point + self.range
     }
 }
 
 /// A closed-loop client population over the synthetic federation's
 /// schema (`PENTITY`/`PDETAIL`, see [`crate::generator`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClientMix {
     /// Number of concurrent clients.
     pub clients: usize,
@@ -86,6 +106,15 @@ pub struct ClientMix {
     /// [`crate::config::WorkloadConfig::categories`] so selects hit
     /// existing values.
     pub categories: usize,
+    /// Entity draw space for point lookups — keep equal to the
+    /// federation's [`crate::config::WorkloadConfig::entities`] so
+    /// lookups target existing keys.
+    pub entities: usize,
+    /// Zipf exponent for point-lookup key choice: `0.0` draws entities
+    /// uniformly, larger values concentrate traffic on hot keys (the
+    /// realistic shape — and the one that makes result caching and
+    /// index probes interact).
+    pub key_skew: f64,
 }
 
 impl Default for ClientMix {
@@ -97,6 +126,8 @@ impl Default for ClientMix {
             think: Duration::ZERO,
             seed: 0x0ddc0ffee,
             categories: 16,
+            entities: 1_000,
+            key_skew: 1.0,
         }
     }
 }
@@ -126,34 +157,77 @@ impl ClientMix {
         self
     }
 
+    /// Builder-style weight override.
+    pub fn with_weights(mut self, weights: MixWeights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Builder-style entity-space override (match the federation's
+    /// entity pool).
+    pub fn with_entities(mut self, entities: usize) -> Self {
+        self.entities = entities;
+        self
+    }
+
+    /// Builder-style key-skew override.
+    pub fn with_key_skew(mut self, key_skew: f64) -> Self {
+        self.key_skew = key_skew;
+        self
+    }
+
     /// Total queries the whole population issues.
     pub fn total_queries(&self) -> usize {
         self.clients * self.queries_per_client
     }
 
     /// Client `i`'s deterministic script. Depends only on
-    /// `(seed, i, weights, queries_per_client, categories)`.
+    /// `(seed, i, weights, queries_per_client, categories, entities,
+    /// key_skew)` — and the draw sequence for the original three shapes
+    /// is unchanged when the point/range weights are 0, so existing
+    /// mixes replay bit-identical scripts.
     pub fn script(&self, client: usize) -> Vec<ClientQuery> {
         assert!(self.weights.total() > 0, "mix weights must not all be 0");
         assert!(self.categories >= 1, "need at least one category");
+        assert!(self.entities >= 1, "need at least one entity");
+        let w = &self.weights;
+        let key_zipf =
+            (w.point > 0).then(|| Zipf::with_exponent(self.entities, self.key_skew.max(0.0)));
         let mut rng = derive_rng(self.seed, RngStream::Client(client as u64));
         (0..self.queries_per_client)
             .map(|_| {
-                let draw = rng.random_range(0..self.weights.total());
-                if draw < self.weights.select {
+                let draw = rng.random_range(0..w.total());
+                if draw < w.select {
                     ClientQuery {
                         text: select_query(rng.random_range(0..self.categories)),
                         lang: QueryLang::Algebra,
                     }
-                } else if draw < self.weights.select + self.weights.join {
+                } else if draw < w.select + w.join {
                     ClientQuery {
                         text: join_query(rng.random_range(0..100)),
                         lang: QueryLang::Algebra,
                     }
-                } else {
+                } else if draw < w.select + w.join + w.paper {
                     ClientQuery {
                         text: paper_shaped_sql(rng.random_range(0..self.categories)),
                         lang: QueryLang::Sql,
+                    }
+                } else if draw < w.select + w.join + w.paper + w.point {
+                    // Zipf-skewed key choice: hot entities dominate, the
+                    // realistic shape for point traffic.
+                    let entity = key_zipf
+                        .as_ref()
+                        .expect("point weight > 0 builds the sampler")
+                        .sample(&mut rng);
+                    ClientQuery {
+                        text: point_lookup(entity),
+                        lang: QueryLang::Algebra,
+                    }
+                } else {
+                    let lo = rng.random_range(0..90);
+                    ClientQuery {
+                        text: range_scan(lo, lo + 9),
+                        lang: QueryLang::Algebra,
                     }
                 }
             })
@@ -310,6 +384,48 @@ mod tests {
     }
 
     #[test]
+    fn index_classes_appear_with_weights_and_skew_keys() {
+        let mix = ClientMix::default()
+            .with_queries_per_client(200)
+            .with_entities(500)
+            .with_weights(MixWeights::with_index_lookups(4, 2));
+        let script = mix.script(0);
+        let points: Vec<&ClientQuery> = script
+            .iter()
+            .filter(|q| q.text.starts_with("PDETAIL [ENAME"))
+            .collect();
+        let ranges: Vec<&ClientQuery> = script
+            .iter()
+            .filter(|q| q.text.starts_with("PDETAIL [SCORE"))
+            .collect();
+        assert!(!points.is_empty() && !ranges.is_empty());
+        assert!(points.len() > ranges.len(), "weights skew toward points");
+        for q in script.iter() {
+            if q.lang == QueryLang::Algebra {
+                assert!(parse_algebra(&q.text).is_ok(), "{}", q.text);
+            }
+        }
+        // Zipf key choice concentrates on hot entities: the most
+        // frequent key dominates a uniform draw's expectation.
+        let mut counts = std::collections::HashMap::new();
+        for q in &points {
+            *counts.entry(q.text.clone()).or_insert(0usize) += 1;
+        }
+        let hottest = counts.values().copied().max().unwrap();
+        assert!(
+            hottest * 20 > points.len(),
+            "Zipf(1.0) should concentrate: hottest {hottest} of {}",
+            points.len()
+        );
+        // Scripts stay deterministic, and zero index weights leave the
+        // legacy mix's draws untouched.
+        assert_eq!(mix.script(1), mix.script(1));
+        let legacy = ClientMix::default();
+        let relabeled = ClientMix::default().with_entities(9999).with_key_skew(0.0);
+        assert_eq!(legacy.script(0), relabeled.script(0));
+    }
+
+    #[test]
     #[should_panic(expected = "weights")]
     fn zero_weights_panic() {
         let mix = ClientMix {
@@ -317,6 +433,8 @@ mod tests {
                 select: 0,
                 join: 0,
                 paper: 0,
+                point: 0,
+                range: 0,
             },
             ..ClientMix::default()
         };

@@ -44,7 +44,9 @@ pub fn entity_relation(i: usize) -> String {
     format!("ENTITY_{i}")
 }
 
-fn entity_name(e: usize) -> String {
+/// Canonical name of entity `e` — the value space `PDETAIL.ENAME`
+/// point lookups draw keys from.
+pub fn entity_name(e: usize) -> String {
     format!("E{e:06}")
 }
 

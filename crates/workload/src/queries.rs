@@ -21,6 +21,25 @@ pub fn join_query(min_score: i64) -> String {
     format!("((PDETAIL [SCORE >= {min_score}]) [ENAME = ENAME] PENTITY) [ENAME, CATEGORY]")
 }
 
+/// A point lookup on the single-source detail relation:
+/// `PDETAIL [ENAME = "E<k>"]`. Lowers to an LQP select over
+/// `S0.DETAIL.DNAME` — the shape a hash index serves in O(1) instead of
+/// a full source sweep.
+pub fn point_lookup(entity: usize) -> String {
+    format!(
+        "PDETAIL [ENAME = \"{}\"]",
+        crate::generator::entity_name(entity)
+    )
+}
+
+/// A bounded range scan on the detail score:
+/// `PDETAIL [SCORE >= lo] [SCORE <= hi]`. The first conjunct ships to
+/// the LQP, the second becomes a pipeline stage — the between shape a
+/// sorted index folds into one range probe with a residual re-check.
+pub fn range_scan(lo: i64, hi: i64) -> String {
+    format!("PDETAIL [SCORE >= {lo}] [SCORE <= {hi}]")
+}
+
 /// The paper-query shape in SQL over the synthetic schema (an IN-subquery
 /// feeding a join feeding a restrict feeding a project).
 pub fn paper_shaped_sql(category: usize) -> String {
@@ -73,6 +92,20 @@ mod tests {
     fn canned_queries_parse() {
         assert!(parse_algebra(&select_query(3)).is_ok());
         assert!(parse_algebra(&join_query(50)).is_ok());
+        assert!(parse_algebra(&point_lookup(42)).is_ok());
+        assert!(parse_algebra(&range_scan(10, 19)).is_ok());
+    }
+
+    #[test]
+    fn index_classes_run_end_to_end() {
+        let config = WorkloadConfig::default().with_entities(100).with_sources(3);
+        let scenario = generate(&config);
+        let pqp = Pqp::for_scenario(&scenario);
+        let point = pqp.query_algebra(&point_lookup(0)).unwrap();
+        assert_eq!(point.answer.schema().attrs().len(), 3);
+        let range = pqp.query_algebra(&range_scan(0, 99)).unwrap();
+        assert_eq!(range.answer.len(), config.detail_rows, "full score range");
+        assert!(pqp.query_algebra(&range_scan(40, 49)).unwrap().answer.len() < config.detail_rows);
     }
 
     #[test]

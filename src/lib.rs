@@ -16,6 +16,9 @@
 //! * [`catalog`] — polygen schemes/schemas, attribute mappings, the CIS
 //!   data dictionary, and the paper's complete MIT scenario.
 //! * [`lqp`] — Local Query Processors (Figure 1).
+//! * [`index`] — secondary indexes over source relations: hash and
+//!   sorted ordinal indexes the planner pushes selective predicates
+//!   onto, rebuilt per source on snapshot version bumps.
 //! * [`sql`] — SQL polygen-query and algebra-expression front ends.
 //! * [`pqp`] — the Polygen Query Processor (Figure 2): Syntax Analyzer,
 //!   two-pass Polygen Operation Interpreter (Figures 3–4), optimizer,
@@ -32,6 +35,7 @@ pub use polygen_catalog as catalog;
 pub use polygen_core as core;
 pub use polygen_federation as federation;
 pub use polygen_flat as flat;
+pub use polygen_index as index;
 pub use polygen_lqp as lqp;
 pub use polygen_pqp as pqp;
 pub use polygen_serve as serve;

@@ -12,6 +12,7 @@
 mod common;
 
 use polygen::catalog::prelude::scenario;
+use polygen::index::{IndexCatalog, IndexSpec};
 use polygen::lqp::scenario_registry;
 use polygen::pqp::prelude::*;
 use polygen::sql::prelude::{parse_algebra, PAPER_EXPRESSION};
@@ -30,6 +31,21 @@ fn plan_text(expr: &str, fuse: bool, partitions: usize) -> String {
     )
     .unwrap();
     render_plan(&plan)
+}
+
+/// The same with secondary indexes declared: lower, run the pushdown
+/// pass, render — and also render the physical cost estimate, the
+/// lines EXPLAIN justifies the route with.
+fn indexed_plan_and_cost(expr: &str, specs: &[IndexSpec]) -> (String, String) {
+    let s = scenario::build();
+    let registry = scenario_registry(&s);
+    let catalog = IndexCatalog::build(specs, &registry, &s.dictionary).unwrap();
+    let pom = analyze(&parse_algebra(expr).unwrap()).unwrap();
+    let (_, iom) = interpret(&pom, s.dictionary.schema()).unwrap();
+    let plan = lower_plan(&iom, &registry, &s.dictionary, LowerOptions::default()).unwrap();
+    let routed = route_index_scans(&plan, &catalog);
+    let cost = estimate_physical(&routed, &registry).to_string();
+    (render_plan(&routed), cost)
 }
 
 #[track_caller]
@@ -149,6 +165,99 @@ fn set_ops_plan_serial() {
 #2  Union[R(1), R(2)]  → R(3)
 #3  Scan[AD] ALUMNUS[DEG = MBA]  → R(4)
 #4  Difference[R(3), R(4)]  → R(5) ◀ answer",
+    );
+}
+
+/// Index routing, chosen: the paper plan's MBA select rides the hash
+/// index; everything else (scans, joins, merge, fused pipeline) is
+/// untouched.
+#[test]
+fn paper_plan_with_deg_index_routes_the_select() {
+    let (plan, _) =
+        indexed_plan_and_cost(PAPER_EXPRESSION, &[IndexSpec::hash("AD", "ALUMNUS", "DEG")]);
+    assert_snapshot(
+        &plan,
+        "\
+#0  IndexScan[AD] ALUMNUS [ixscan AD.DEG = MBA] (hash)  → R(1)
+#1  Scan[AD] CAREER  → R(2)
+#2  HashJoin[R(1).AID# = R(2).AID#, coalesce → AID#] (build R(2), probe R(1))  → R(3)
+#3  Scan[AD] BUSINESS  → R(4)
+#4  Scan[PD] CORPORATION  → R(5)
+#5  Scan[CD] FIRM  → R(6)
+#6  HashMerge[PORGANIZATION on ONAME, 3-way single pass] over R(4), R(5), R(6)  → R(7)
+#7  HashJoin[R(3).BNAME = R(7).ONAME, coalesce → ONAME] (build R(7), probe R(3))  → R(8)
+#8  Pipeline over R(8) → Restrict[CEO = ANAME]@R(9) → Project[ONAME, CEO]@R(10) (fused ×2)  → R(10) ◀ answer",
+    );
+}
+
+/// Index routing, rejected: `<>` is not sargable and a range θ cannot
+/// ride hash postings — both keep the full scan.
+#[test]
+fn ineligible_predicates_keep_scanning() {
+    let (ne, _) = indexed_plan_and_cost(
+        "PALUMNUS [DEGREE <> \"MBA\"]",
+        &[IndexSpec::hash("AD", "ALUMNUS", "DEG")],
+    );
+    assert_snapshot(
+        &ne,
+        "\
+#0  Scan[AD] ALUMNUS[DEG <> MBA]  → R(1) ◀ answer",
+    );
+    let (range, _) = indexed_plan_and_cost(
+        "PALUMNUS [DEGREE > \"MBA\"]",
+        &[IndexSpec::hash("AD", "ALUMNUS", "DEG")],
+    );
+    assert_snapshot(
+        &range,
+        "\
+#0  Scan[AD] ALUMNUS[DEG > MBA]  → R(1) ◀ answer",
+    );
+}
+
+/// Index routing with a residual predicate: the between's two conjuncts
+/// fold into one sorted-range probe, and the second conjunct stays in
+/// the pipeline re-checking itself over the narrowed input.
+#[test]
+fn between_folds_into_a_range_probe_with_residual() {
+    let (plan, _) = indexed_plan_and_cost(
+        "PALUMNUS [AID# >= \"200\"] [AID# <= \"600\"]",
+        &[IndexSpec::sorted("AD", "ALUMNUS", "AID#")],
+    );
+    assert_snapshot(
+        &plan,
+        "\
+#0  IndexScan[AD] ALUMNUS [ixscan 200 <= AD.AID# <= 600] (sorted)  → R(1)
+#1  Pipeline over R(1) → Select[AID# <= 600]@R(2)  → R(2) ◀ answer",
+    );
+}
+
+/// The cost lines EXPLAIN justifies a route with: the probe is charged
+/// probe + residual emission (no LQP shipping), strictly below the
+/// full-scan estimate of the same query unindexed.
+#[test]
+fn index_cost_lines_justify_the_route() {
+    let spec = [IndexSpec::hash("AD", "ALUMNUS", "DEG")];
+    let (_, routed_cost) = indexed_plan_and_cost("PALUMNUS [DEGREE = \"MBA\"]", &spec);
+    assert_snapshot(
+        &routed_cost,
+        "\
+estimated cost: 2 µs, 0 tuples shipped from LQPs
+  R(1): 2 µs, ~0 rows",
+    );
+    let (_, scan_cost) = indexed_plan_and_cost("PALUMNUS [DEGREE = \"MBA\"]", &[]);
+    let total = |s: &str| -> f64 {
+        s.split("estimated cost: ")
+            .nth(1)
+            .unwrap()
+            .split(" µs")
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    assert!(
+        total(&routed_cost) < total(&scan_cost),
+        "the probe must cost below the scan: {routed_cost} vs {scan_cost}"
     );
 }
 
