@@ -1,0 +1,105 @@
+//! Wire-layer throughput: what the TCP front door costs over in-process
+//! serving, in the Wisconsin measured-client tradition.
+//!
+//! One sweep, `net/clients` — sustained closed-loop QPS of a TCP client
+//! population (clients × result/plan caches on/off), each iteration
+//! driving every client's full deterministic script over real sockets
+//! against a loopback [`polygen_net::NetServer`]. The group declares
+//! `Throughput::Elements(total queries)`, so the printed `elem/s` *is*
+//! the sustained QPS.
+//!
+//! Medians alone hide serving tails, so alongside criterion's timing
+//! JSON the harness appends latency percentiles (`net/latency`,
+//! `<config>/p50|p95|p99`, value in `median_ns`) from a full
+//! post-measurement run — same JSON-lines schema, same
+//! `POLYGEN_BENCH_JSON` file, collected by CI into `BENCH_net.json`.
+//!
+//! CI runs this harness in sampling mode (see `.github/workflows/ci.yml`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use polygen_net::{NetClientMix, NetServer};
+use polygen_serve::prelude::*;
+use polygen_workload::{self as workload, ClientMix, LatencySummary, WorkloadConfig};
+use std::hint::black_box;
+use std::io::Write;
+use std::sync::Arc;
+
+/// A serving-sized federation: big enough that execution dominates
+/// framing, small enough for CI sampling mode.
+fn bench_config() -> WorkloadConfig {
+    WorkloadConfig::default().with_sources(3).with_entities(512)
+}
+
+/// Append percentile figures to the same JSON-lines file the criterion
+/// stand-in writes, so `jq -s` assembles one artifact.
+fn emit_percentiles(bench: &str, latency: &LatencySummary) {
+    let Ok(path) = std::env::var("POLYGEN_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let mut lines = String::new();
+    for (tail, micros) in [
+        ("p50", latency.p50_micros()),
+        ("p95", latency.p95_micros()),
+        ("p99", latency.p99_micros()),
+    ] {
+        lines.push_str(&format!(
+            "{{\"group\":\"net/latency\",\"bench\":\"{bench}/{tail}\",\"median_ns\":{}}}\n",
+            micros.saturating_mul(1_000)
+        ));
+    }
+    let _ = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(lines.as_bytes()));
+}
+
+/// Closed-loop TCP population throughput, clients × cache on/off.
+fn net_client_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net/clients");
+    g.sample_size(10);
+    let config = bench_config();
+    let scenario = workload::generate(&config);
+    for clients in [1usize, 4] {
+        for (cached, label) in [(true, "cached"), (false, "uncached")] {
+            let options = if cached {
+                ServeOptions::default()
+            } else {
+                ServeOptions::default().without_caches()
+            };
+            let service = Arc::new(QueryService::for_scenario(&scenario, options));
+            let server = NetServer::spawn(service, "127.0.0.1:0").expect("bind");
+            let addr = server.addr();
+            let mix = ClientMix::default()
+                .with_clients(clients)
+                .with_queries_per_client(8);
+            let net = NetClientMix::new(mix);
+            let bench = format!("{label}/c{clients}");
+            g.throughput(Throughput::Elements(mix.total_queries() as u64));
+            g.bench_with_input(
+                BenchmarkId::new(label, format!("c{clients}")),
+                &net,
+                |b, net| {
+                    b.iter(|| {
+                        let run = net.drive(addr).expect("TCP run");
+                        assert_eq!(run.queries, net.mix.total_queries());
+                        black_box(run.queries)
+                    })
+                },
+            );
+            // Tail latencies from one full run after the timed samples
+            // (the timed loop must stay pure; this run reuses warm
+            // server caches, matching the steady state being measured).
+            let run = net.drive(addr).expect("TCP run");
+            emit_percentiles(&bench, &run.latency);
+            server.shutdown();
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, net_client_sweep);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! # polygen-net — the wire-protocol front door
+//!
+//! `polygen-serve` made the mediator a service; this crate puts a
+//! socket on it. The design rests on the serve layer's transport-
+//! agnostic envelope ([`polygen_serve::request::Request`] in,
+//! [`polygen_serve::request::Response`] out): the wire adds framing and
+//! bytes, never semantics, so an answer over TCP is *byte-identical* to
+//! the same answer in process.
+//!
+//! * [`codec`] — deterministic little-endian encoding (length-prefixed
+//!   frames, canonical ascending source-set bytes) and a
+//!   [`codec::FrameReader`] that survives partial reads.
+//! * [`protocol`] — the frame vocabulary: `Hello`, `Query`, then a
+//!   streamed response (`Schema`, `Rows` batches, `Explain`, `Empty`,
+//!   `Error`, `Summary`) with one terminal frame per response.
+//!   Everything deterministic precedes the timing-dependent `Summary`.
+//! * [`server`] — [`server::NetServer`]: a `TcpListener` accept loop
+//!   with one lightweight connection task per session; all execution is
+//!   multiplexed onto the service's admission-controlled thread budget.
+//!   Overload is answered with a structured `Error { code: 503 }` frame
+//!   on a live connection — graceful shedding, never a dropped socket.
+//! * [`client`] — [`client::NetClient`]: blocking connect/execute, the
+//!   network spelling of `QueryService::execute`.
+//! * [`load`] — [`load::NetClientMix`]: the closed-loop TCP load
+//!   generator, replaying the exact deterministic per-client scripts of
+//!   [`polygen_workload::clients::ClientMix`] over real sockets.
+//!
+//! The differential guarantee (`tests/properties_net.rs`): for the same
+//! scripts, TCP responses — data, tags, order, error codes — are
+//! byte-identical to in-process `execute`, with only the `Summary`
+//! frame (latency, thread allotment, cache temperature) allowed to
+//! differ.
+
+pub mod client;
+pub mod codec;
+pub mod load;
+pub mod protocol;
+pub mod server;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::client::{NetClient, NetError};
+    pub use crate::codec::{CodecError, FramePoll, FrameReader};
+    pub use crate::load::{request_for, NetClientMix, NetRun};
+    pub use crate::protocol::{
+        deterministic_bytes, response_frames, response_from_frames, Frame, PROTOCOL_VERSION,
+    };
+    pub use crate::server::NetServer;
+}
+
+pub use client::{NetClient, NetError};
+pub use load::{request_for, NetClientMix, NetRun};
+pub use protocol::{Frame, PROTOCOL_VERSION};
+pub use server::NetServer;

@@ -1,0 +1,555 @@
+//! The frame vocabulary and its mapping onto the serve envelope.
+//!
+//! A session is: server sends [`Frame::Hello`]; the client then loops
+//! `Query → response frames`. A response is a *stream* of frames:
+//!
+//! * `Rows`    → `Schema`, zero or more `Rows` batches of at most
+//!   [`ROW_BATCH`] tuples, then `Summary` (terminal).
+//! * `Explain` → `Explain`, then `Summary` (terminal).
+//! * `Empty`   → `Empty` (terminal).
+//! * `Error`   → `Error` (terminal) — including admission-control
+//!   shedding, which arrives as code 503 on a connection that stays
+//!   open. Overload is an answer, not a hangup.
+//!
+//! The client reads until a terminal frame. Everything deterministic
+//! (schema, rows, tags, plan text, error codes) precedes the `Summary`
+//! frame, which carries the timing-dependent [`ResponseInfo`]; the
+//! differential suite compares encoded frames *excluding summaries*.
+//!
+//! Error codes 0–99 are reserved for the transport itself (malformed
+//! frames, version mismatch); the serve taxonomy starts at 100. A
+//! transport-coded `Error` frame is followed by the server closing the
+//! connection — the stream can no longer be trusted to be in sync.
+
+use crate::codec::{prefix_frame, ByteReader, ByteWriter, CodecError};
+use polygen_core::relation::PolygenRelation;
+use polygen_core::tuple::PolyTuple;
+use polygen_flat::schema::Schema;
+use polygen_serve::request::{ErrorCode, Lang, Request, Response, ResponseInfo};
+use std::sync::Arc;
+
+/// Protocol revision; [`Frame::Hello`] announces it and clients refuse a
+/// mismatch.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Tuples per `Rows` batch frame — bounds per-frame allocation while
+/// keeping framing overhead negligible.
+pub const ROW_BATCH: usize = 256;
+
+/// Transport-reserved error code: a frame failed to decode or violated
+/// the protocol state machine. The server closes the connection after
+/// sending it.
+pub const WIRE_MALFORMED: u16 = 1;
+
+/// Transport-reserved error code: the client spoke a different
+/// [`PROTOCOL_VERSION`].
+pub const WIRE_VERSION_MISMATCH: u16 = 2;
+
+/// Transport-reserved error code: the server received a frame other
+/// than `Query` where a query was expected.
+pub const WIRE_UNEXPECTED_FRAME: u16 = 3;
+
+/// One protocol frame. Tags are part of the wire format and never
+/// change meaning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Tag 0 — server greeting, first frame on every connection.
+    Hello {
+        /// The server's [`PROTOCOL_VERSION`].
+        version: u8,
+    },
+    /// Tag 1 — a client request.
+    Query {
+        /// Which parser the text is for.
+        lang: Lang,
+        /// Compile-and-render instead of execute.
+        explain: bool,
+        /// The query text.
+        text: String,
+    },
+    /// Tag 2 — the answer relation's schema, sent before any rows.
+    Schema {
+        /// Relation name.
+        name: String,
+        /// Attribute names, in order.
+        attrs: Vec<String>,
+        /// Primary-key attribute positions.
+        key: Vec<u16>,
+    },
+    /// Tag 3 — a batch of tagged tuples (datum + origin + intermediate
+    /// per cell), at most [`ROW_BATCH`] per frame, in answer order.
+    Rows {
+        /// The batch.
+        tuples: Vec<PolyTuple>,
+    },
+    /// Tag 4 — a rendered physical plan.
+    Explain {
+        /// `render_plan` text.
+        plan: String,
+    },
+    /// Tag 5 — the request text was blank. Terminal.
+    Empty,
+    /// Tag 6 — the query failed (or the transport did). Terminal.
+    Error {
+        /// A [`ErrorCode`] number (≥ 100) or a transport code (< 100).
+        code: u16,
+        /// Human-readable detail; not stable.
+        message: String,
+    },
+    /// Tag 7 — cache/route/metrics info; terminates `Rows`/`Explain`
+    /// responses. Timing-dependent, hence excluded from byte-identity
+    /// comparisons.
+    Summary {
+        /// The info block the service reported.
+        info: ResponseInfo,
+    },
+}
+
+impl Frame {
+    /// The frame's wire tag.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => 0,
+            Frame::Query { .. } => 1,
+            Frame::Schema { .. } => 2,
+            Frame::Rows { .. } => 3,
+            Frame::Explain { .. } => 4,
+            Frame::Empty => 5,
+            Frame::Error { .. } => 6,
+            Frame::Summary { .. } => 7,
+        }
+    }
+
+    /// Does this frame end a response stream?
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            Frame::Empty | Frame::Error { .. } | Frame::Summary { .. }
+        )
+    }
+
+    /// Encode to full wire form: length prefix + tag + body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u8(self.tag());
+        match self {
+            Frame::Hello { version } => w.put_u8(*version),
+            Frame::Query {
+                lang,
+                explain,
+                text,
+            } => {
+                w.put_u8(lang.wire_tag());
+                w.put_bool(*explain);
+                w.put_str(text);
+            }
+            Frame::Schema { name, attrs, key } => {
+                w.put_str(name);
+                w.put_u16(u16::try_from(attrs.len()).expect("schema degree exceeds u16"));
+                for a in attrs {
+                    w.put_str(a);
+                }
+                w.put_u16(u16::try_from(key.len()).expect("key width exceeds u16"));
+                for k in key {
+                    w.put_u16(*k);
+                }
+            }
+            Frame::Rows { tuples } => {
+                w.put_u32(u32::try_from(tuples.len()).expect("batch exceeds u32"));
+                for t in tuples {
+                    w.put_tuple(t);
+                }
+            }
+            Frame::Explain { plan } => w.put_str(plan),
+            Frame::Empty => {}
+            Frame::Error { code, message } => {
+                w.put_u16(*code);
+                w.put_str(message);
+            }
+            Frame::Summary { info } => {
+                w.put_str(&info.canonical);
+                w.put_u64(info.fingerprint);
+                w.put_bool(info.plan_hit);
+                w.put_bool(info.result_hit);
+                w.put_bool(info.index_routed);
+                w.put_u64(info.threads as u64);
+                w.put_u64(info.latency_micros);
+            }
+        }
+        prefix_frame(&w.into_bytes())
+    }
+
+    /// Decode a frame payload (tag + body, length prefix already
+    /// stripped by the [`crate::codec::FrameReader`]).
+    pub fn decode(payload: &[u8]) -> Result<Frame, CodecError> {
+        let mut r = ByteReader::new(payload);
+        let frame = match r.get_u8()? {
+            0 => Frame::Hello {
+                version: r.get_u8()?,
+            },
+            1 => {
+                let lang_tag = r.get_u8()?;
+                let lang = Lang::from_wire_tag(lang_tag)
+                    .ok_or_else(|| CodecError::Corrupt(format!("lang tag {lang_tag}")))?;
+                Frame::Query {
+                    lang,
+                    explain: r.get_bool()?,
+                    text: r.get_str()?,
+                }
+            }
+            2 => {
+                let name = r.get_str()?;
+                let n_attrs = r.get_u16()?;
+                let attrs = (0..n_attrs)
+                    .map(|_| r.get_str())
+                    .collect::<Result<Vec<_>, _>>()?;
+                let n_key = r.get_u16()?;
+                let key = (0..n_key)
+                    .map(|_| r.get_u16())
+                    .collect::<Result<Vec<_>, _>>()?;
+                Frame::Schema { name, attrs, key }
+            }
+            3 => {
+                let count = r.get_u32()? as usize;
+                if count > r.remaining() {
+                    return Err(CodecError::Truncated);
+                }
+                let tuples = (0..count)
+                    .map(|_| r.get_tuple())
+                    .collect::<Result<Vec<_>, _>>()?;
+                Frame::Rows { tuples }
+            }
+            4 => Frame::Explain { plan: r.get_str()? },
+            5 => Frame::Empty,
+            6 => Frame::Error {
+                code: r.get_u16()?,
+                message: r.get_str()?,
+            },
+            7 => Frame::Summary {
+                info: ResponseInfo {
+                    canonical: r.get_str()?,
+                    fingerprint: r.get_u64()?,
+                    plan_hit: r.get_bool()?,
+                    result_hit: r.get_bool()?,
+                    index_routed: r.get_bool()?,
+                    threads: r.get_u64()? as usize,
+                    latency_micros: r.get_u64()?,
+                },
+            },
+            tag => return Err(CodecError::Corrupt(format!("frame tag {tag}"))),
+        };
+        r.expect_end()?;
+        Ok(frame)
+    }
+}
+
+/// The `Query` frame for a [`Request`].
+pub fn request_frame(request: &Request) -> Frame {
+    Frame::Query {
+        lang: request.lang,
+        explain: request.options.explain,
+        text: request.text.clone(),
+    }
+}
+
+/// Rebuild the [`Request`] a `Query` frame carries.
+pub fn request_from_frame(frame: &Frame) -> Option<Request> {
+    match frame {
+        Frame::Query {
+            lang,
+            explain,
+            text,
+        } => Some(Request {
+            text: text.clone(),
+            lang: *lang,
+            options: polygen_serve::request::RequestOptions { explain: *explain },
+        }),
+        _ => None,
+    }
+}
+
+/// Flatten a [`Response`] into its frame stream (the server's send
+/// order). Shared by the server and the differential tests, so "what
+/// the wire says" has exactly one definition.
+pub fn response_frames(response: &Response) -> Vec<Frame> {
+    match response {
+        Response::Rows { answer, info } => {
+            let schema = answer.schema();
+            let mut frames = vec![Frame::Schema {
+                name: schema.name().to_string(),
+                attrs: schema.attrs().iter().map(|a| a.to_string()).collect(),
+                key: schema
+                    .key()
+                    .iter()
+                    .map(|&k| u16::try_from(k).expect("key index exceeds u16"))
+                    .collect(),
+            }];
+            for batch in answer.tuples().chunks(ROW_BATCH) {
+                frames.push(Frame::Rows {
+                    tuples: batch.to_vec(),
+                });
+            }
+            frames.push(Frame::Summary { info: info.clone() });
+            frames
+        }
+        Response::Explain { plan, info } => vec![
+            Frame::Explain { plan: plan.clone() },
+            Frame::Summary { info: info.clone() },
+        ],
+        Response::Empty => vec![Frame::Empty],
+        Response::Error { code, message } => vec![Frame::Error {
+            code: code.code(),
+            message: message.clone(),
+        }],
+    }
+}
+
+/// Reassemble a [`Response`] from a full frame stream — the inverse of
+/// [`response_frames`]. Rejects out-of-order or transport-coded streams.
+pub fn response_from_frames(frames: &[Frame]) -> Result<Response, CodecError> {
+    match frames {
+        [Frame::Empty] => Ok(Response::Empty),
+        [Frame::Error { code, message }] => {
+            let code = ErrorCode::from_code(*code).ok_or_else(|| {
+                CodecError::Corrupt(format!("transport or unknown error code {code}"))
+            })?;
+            Ok(Response::Error {
+                code,
+                message: message.clone(),
+            })
+        }
+        [Frame::Explain { plan }, Frame::Summary { info }] => Ok(Response::Explain {
+            plan: plan.clone(),
+            info: info.clone(),
+        }),
+        [Frame::Schema { name, attrs, key }, middle @ .., Frame::Summary { info }] => {
+            let schema = Schema::from_parts(
+                name,
+                attrs.iter().map(|a| Arc::from(a.as_str())).collect(),
+                key.iter().map(|&k| k as usize).collect(),
+            )
+            .map_err(|e| CodecError::Corrupt(format!("schema frame: {e}")))?;
+            let mut tuples = Vec::new();
+            for frame in middle {
+                match frame {
+                    Frame::Rows { tuples: batch } => tuples.extend(batch.iter().cloned()),
+                    other => {
+                        return Err(CodecError::Corrupt(format!(
+                            "frame tag {} inside a rows stream",
+                            other.tag()
+                        )))
+                    }
+                }
+            }
+            let answer = PolygenRelation::from_tuples(Arc::new(schema), tuples)
+                .map_err(|e| CodecError::Corrupt(format!("rows frame: {e}")))?;
+            Ok(Response::Rows {
+                answer: Arc::new(answer),
+                info: info.clone(),
+            })
+        }
+        _ => Err(CodecError::Corrupt(
+            "unrecognized response frame sequence".into(),
+        )),
+    }
+}
+
+/// Encode a frame stream with `Summary` frames dropped — the
+/// byte-identity view differential tests compare across transports.
+pub fn deterministic_bytes(frames: &[Frame]) -> Vec<u8> {
+    frames
+        .iter()
+        .filter(|f| !matches!(f, Frame::Summary { .. }))
+        .flat_map(Frame::encode)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polygen_core::cell::Cell;
+    use polygen_core::source::{SourceId, SourceSet};
+    use polygen_flat::value::Value;
+
+    fn info() -> ResponseInfo {
+        ResponseInfo {
+            canonical: "PENTITY [CAT = c]".into(),
+            fingerprint: 0xfeed,
+            plan_hit: true,
+            result_hit: false,
+            index_routed: true,
+            threads: 4,
+            latency_micros: 1234,
+        }
+    }
+
+    fn tagged_relation() -> PolygenRelation {
+        let schema = Arc::new(
+            Schema::new("R", &["A", "B"])
+                .unwrap()
+                .with_key(&["A"])
+                .unwrap(),
+        );
+        let tuple = |a: i64, src: u16| {
+            vec![
+                Cell::new(
+                    Value::int(a),
+                    SourceSet::singleton(SourceId(src)),
+                    SourceSet::empty(),
+                ),
+                Cell::new(
+                    Value::str(format!("b{a}")),
+                    SourceSet::from_ids([SourceId(src), SourceId(7)]),
+                    SourceSet::singleton(SourceId(3)),
+                ),
+            ]
+        };
+        PolygenRelation::from_tuples(schema, vec![tuple(1, 0), tuple(2, 1)]).unwrap()
+    }
+
+    #[test]
+    fn every_frame_kind_round_trips() {
+        let frames = vec![
+            Frame::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            Frame::Query {
+                lang: Lang::App,
+                explain: true,
+                text: "SELECT * FROM V".into(),
+            },
+            Frame::Schema {
+                name: "R".into(),
+                attrs: vec!["A".into(), "B".into()],
+                key: vec![0],
+            },
+            Frame::Rows {
+                tuples: tagged_relation().tuples().to_vec(),
+            },
+            Frame::Explain {
+                plan: "Scan PENTITY\n".into(),
+            },
+            Frame::Empty,
+            Frame::Error {
+                code: 503,
+                message: "overloaded".into(),
+            },
+            Frame::Summary { info: info() },
+        ];
+        for frame in frames {
+            let wire = frame.encode();
+            // Strip the length prefix the FrameReader strips.
+            let back = Frame::decode(&wire[4..]).unwrap();
+            assert_eq!(back, frame);
+            assert_eq!(back.encode(), wire, "decode∘encode must be identity");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_frames() {
+        let rows = Response::Rows {
+            answer: Arc::new(tagged_relation()),
+            info: info(),
+        };
+        let explain = Response::Explain {
+            plan: "Project\n  Scan R\n".into(),
+            info: info(),
+        };
+        let error = Response::Error {
+            code: ErrorCode::UnknownRelation,
+            message: "unknown relation Z".into(),
+        };
+        for response in [rows, explain, Response::Empty, error] {
+            let frames = response_frames(&response);
+            assert!(frames.last().unwrap().is_terminal());
+            assert_eq!(
+                frames.iter().filter(|f| f.is_terminal()).count(),
+                1,
+                "exactly one terminal frame"
+            );
+            let back = response_from_frames(&frames).unwrap();
+            assert_eq!(back, response, "full round trip including info");
+        }
+    }
+
+    #[test]
+    fn row_streams_batch_and_reassemble() {
+        let schema = Arc::new(Schema::new("Big", &["N"]).unwrap());
+        let tuples: Vec<PolyTuple> = (0..ROW_BATCH as i64 * 2 + 5)
+            .map(|n| vec![Cell::retrieved(Value::int(n), SourceId(0))])
+            .collect();
+        let answer = Arc::new(PolygenRelation::from_tuples(schema, tuples).unwrap());
+        let response = Response::Rows {
+            answer: Arc::clone(&answer),
+            info: info(),
+        };
+        let frames = response_frames(&response);
+        // Schema + 3 batches (256, 256, 5) + summary.
+        assert_eq!(frames.len(), 5);
+        assert!(matches!(&frames[1], Frame::Rows { tuples } if tuples.len() == ROW_BATCH));
+        assert!(matches!(&frames[3], Frame::Rows { tuples } if tuples.len() == 5));
+        let back = response_from_frames(&frames).unwrap();
+        assert!(back.payload_eq(&response));
+    }
+
+    #[test]
+    fn summary_is_excluded_from_deterministic_bytes() {
+        let answer = Arc::new(tagged_relation());
+        let mut other_info = info();
+        other_info.latency_micros = 999_999;
+        other_info.plan_hit = false;
+        other_info.threads = 1;
+        let a = response_frames(&Response::Rows {
+            answer: Arc::clone(&answer),
+            info: info(),
+        });
+        let b = response_frames(&Response::Rows {
+            answer,
+            info: other_info,
+        });
+        assert_ne!(a, b, "summaries differ");
+        assert_eq!(
+            deterministic_bytes(&a),
+            deterministic_bytes(&b),
+            "deterministic view ignores the summary"
+        );
+    }
+
+    #[test]
+    fn malformed_streams_are_rejected() {
+        assert!(response_from_frames(&[]).is_err());
+        assert!(response_from_frames(&[Frame::Explain { plan: "p".into() }]).is_err());
+        assert!(response_from_frames(&[
+            Frame::Schema {
+                name: "R".into(),
+                attrs: vec!["A".into()],
+                key: vec![],
+            },
+            Frame::Empty,
+            Frame::Summary { info: info() },
+        ])
+        .is_err());
+        // Transport codes have no serve-level Response.
+        assert!(response_from_frames(&[Frame::Error {
+            code: WIRE_MALFORMED,
+            message: "bad".into(),
+        }])
+        .is_err());
+        // Unknown tag.
+        assert!(matches!(Frame::decode(&[99]), Err(CodecError::Corrupt(_))));
+        // Trailing garbage.
+        assert!(matches!(
+            Frame::decode(&[5, 0]),
+            Err(CodecError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn query_frames_carry_requests_both_ways() {
+        let req = Request::app("SELECT * FROM V").with_explain(true);
+        let frame = request_frame(&req);
+        let back = request_from_frame(&frame).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(request_from_frame(&Frame::Empty), None);
+    }
+}

@@ -1,0 +1,178 @@
+//! The TCP front door: accept loop, per-connection tasks, graceful
+//! shutdown.
+//!
+//! Threading model: one lightweight connection task per session. The
+//! connection thread only parses frames and writes responses — all
+//! query work happens inside [`QueryService::execute`], which is where
+//! admission control bounds concurrency and the shared thread budget
+//! splits workers across active queries. A thousand idle connections
+//! therefore cost a thousand parked readers, not a thousand executing
+//! queries; and overload surfaces as a structured `Error { code: 503 }`
+//! frame on a healthy connection, never a dropped socket.
+//!
+//! Both the accept loop and connection reads run under short timeouts
+//! so [`NetServer::shutdown`] can set one flag and join every thread.
+
+use crate::codec::{CodecError, FramePoll, FrameReader};
+use crate::protocol::{
+    request_from_frame, response_frames, Frame, PROTOCOL_VERSION, WIRE_MALFORMED,
+    WIRE_UNEXPECTED_FRAME,
+};
+use polygen_serve::service::QueryService;
+use std::io::{ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a connection read blocks before re-checking the shutdown
+/// flag. A read returns the moment data arrives, so this bounds only
+/// shutdown latency — not query latency.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// How long the accept loop sleeps when no connection is pending. This
+/// one *is* connect latency (a fresh client waits out the remainder of
+/// the current sleep), so it stays much tighter than [`POLL_INTERVAL`].
+const ACCEPT_INTERVAL: Duration = Duration::from_millis(1);
+
+/// A running TCP server; dropping it (or calling
+/// [`NetServer::shutdown`]) stops the accept loop and joins every
+/// connection thread.
+#[derive(Debug)]
+pub struct NetServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// serve `service` until shutdown.
+    pub fn spawn(service: Arc<QueryService>, addr: &str) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || accept_loop(listener, service, stop))
+        };
+        Ok(NetServer {
+            addr,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address — connect clients here.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, finish in-flight responses, join every thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, service: Arc<QueryService>, stop: Arc<AtomicBool>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let service = Arc::clone(&service);
+                let stop = Arc::clone(&stop);
+                connections.push(std::thread::spawn(move || {
+                    // A connection that dies mid-handshake is the
+                    // peer's problem; the server must keep accepting.
+                    let _ = serve_connection(stream, &service, &stop);
+                }));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                // Reap finished connection threads so a long-lived
+                // server does not accumulate handles.
+                connections.retain(|h| !h.is_finished());
+                std::thread::sleep(ACCEPT_INTERVAL);
+            }
+            Err(_) => break,
+        }
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+/// Drive one session: greet, then answer queries until the peer hangs
+/// up, the protocol is violated, or the server shuts down.
+fn serve_connection(
+    mut stream: TcpStream,
+    service: &QueryService,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    stream.set_nodelay(true)?;
+    write_frame(
+        &mut stream,
+        &Frame::Hello {
+            version: PROTOCOL_VERSION,
+        },
+    )?;
+    let mut reader = FrameReader::new();
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let payload = match reader.poll(&mut stream) {
+            Ok(FramePoll::Payload(payload)) => payload,
+            Ok(FramePoll::Idle) => continue,
+            Ok(FramePoll::Closed) => return Ok(()),
+            Err(CodecError::Truncated) => return Ok(()),
+            Err(e) => return refuse(&mut stream, WIRE_MALFORMED, &e.to_string()),
+        };
+        let frame = match Frame::decode(&payload) {
+            Ok(frame) => frame,
+            Err(e) => return refuse(&mut stream, WIRE_MALFORMED, &e.to_string()),
+        };
+        let Some(request) = request_from_frame(&frame) else {
+            let why = format!("expected a Query frame, got tag {}", frame.tag());
+            return refuse(&mut stream, WIRE_UNEXPECTED_FRAME, &why);
+        };
+        // All admission control, shedding, caching and execution happen
+        // in here; a shed query comes back as a structured Error
+        // response and the connection lives on.
+        let response = service.execute(request);
+        for frame in response_frames(&response) {
+            write_frame(&mut stream, &frame)?;
+        }
+    }
+}
+
+/// Send a transport-coded error, then close (by returning): once
+/// framing is in doubt the stream cannot be resynchronized.
+fn refuse(stream: &mut TcpStream, code: u16, message: &str) -> std::io::Result<()> {
+    write_frame(
+        stream,
+        &Frame::Error {
+            code,
+            message: message.to_string(),
+        },
+    )
+}
+
+fn write_frame(stream: &mut TcpStream, frame: &Frame) -> std::io::Result<()> {
+    stream.write_all(&frame.encode())
+}

@@ -17,6 +17,12 @@
 //!   — a cached answer is byte-identical to a cold re-execution, and a
 //!   version bump invalidates precisely the answers that read the
 //!   updated source.
+//! * [`request`] — the transport-agnostic envelope:
+//!   [`request::Request`] (text + language + options) in,
+//!   [`request::Response`] (`Rows` / `Explain` / `Empty` / `Error` with
+//!   a stable numeric [`request::ErrorCode`]) out — the same shape
+//!   served in-process, over the `polygen-net` wire, and by the
+//!   examples.
 //! * [`service`] — sessions, admission control (bounded concurrency +
 //!   bounded queue + load shedding), and a shared thread budget: each
 //!   admitted query gets `max(1, budget / active)` workers for its
@@ -32,6 +38,7 @@
 
 pub mod cache;
 pub mod metrics;
+pub mod request;
 pub mod service;
 pub mod snapshot;
 
@@ -39,10 +46,12 @@ pub mod snapshot;
 pub mod prelude {
     pub use crate::cache::{PlanCache, PlanEntry, ResultCache, ResultKey};
     pub use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+    pub use crate::request::{ErrorCode, Lang, Request, RequestOptions, Response, ResponseInfo};
     pub use crate::service::{QueryService, ServeError, ServeOptions, ServeOutcome, Session};
     pub use crate::snapshot::{Federation, FederationSnapshot, VersionVector};
     pub use polygen_index::{IndexCatalog, IndexKind, IndexSpec};
 }
 
+pub use request::{ErrorCode, Lang, Request, Response};
 pub use service::{QueryService, ServeOptions};
 pub use snapshot::{Federation, FederationSnapshot};

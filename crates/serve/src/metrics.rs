@@ -6,13 +6,21 @@
 //! *enough* view for dashboards and the bench harness; exact cross-field
 //! consistency is deliberately not promised.
 
+use crate::request::ErrorCode;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// Live counters owned by the service.
 #[derive(Debug, Default)]
 pub struct ServiceMetrics {
+    /// Failures bucketed by the stable [`ErrorCode`] taxonomy — the
+    /// structured replacement for string-matching `Display` output.
+    /// Mutex-guarded (not atomic) because errors are off the hot path;
+    /// shed queries land here under [`ErrorCode::Overloaded`].
+    errors_by_code: Mutex<BTreeMap<ErrorCode, u64>>,
     queries: AtomicU64,
     errors: AtomicU64,
     rejected: AtomicU64,
@@ -50,6 +58,11 @@ impl ServiceMetrics {
 
     pub(crate) fn record_error(&self) {
         self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_error_code(&self, code: ErrorCode) {
+        let mut by_code = self.errors_by_code.lock().expect("metrics map poisoned");
+        *by_code.entry(code).or_insert(0) += 1;
     }
 
     pub(crate) fn record_rejected(&self) {
@@ -94,6 +107,13 @@ impl ServiceMetrics {
     /// Freeze the counters into a plain value.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
+            errors_by_code: self
+                .errors_by_code
+                .lock()
+                .expect("metrics map poisoned")
+                .iter()
+                .map(|(&code, &count)| (code, count))
+                .collect(),
             queries: self.queries.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
@@ -113,8 +133,12 @@ impl ServiceMetrics {
 }
 
 /// A frozen view of [`ServiceMetrics`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MetricsSnapshot {
+    /// Failures bucketed by stable [`ErrorCode`], ascending by code.
+    /// Shed queries appear under [`ErrorCode::Overloaded`]; everything
+    /// else mirrors the `errors` counter split by cause.
+    pub errors_by_code: Vec<(ErrorCode, u64)>,
     /// Queries answered (hits and misses; excludes rejections/errors).
     pub queries: u64,
     /// Queries that failed (parse, lowering, execution).
@@ -149,6 +173,20 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// Failures recorded under one code.
+    pub fn errors_with_code(&self, code: ErrorCode) -> u64 {
+        self.errors_by_code
+            .iter()
+            .find(|(c, _)| *c == code)
+            .map_or(0, |(_, n)| *n)
+    }
+
+    /// Queries shed by admission control
+    /// ([`ErrorCode::Overloaded`] bucket — equals `rejected`).
+    pub fn shed(&self) -> u64 {
+        self.errors_with_code(ErrorCode::Overloaded)
+    }
+
     fn rate(hits: u64, misses: u64) -> f64 {
         let total = hits + misses;
         if total == 0 {
@@ -216,6 +254,14 @@ impl fmt::Display for MetricsSnapshot {
             self.mean_hit_latency_micros(),
             self.mean_miss_latency_micros()
         )?;
+        if !self.errors_by_code.is_empty() {
+            let buckets: Vec<String> = self
+                .errors_by_code
+                .iter()
+                .map(|(code, count)| format!("{code} ×{count}"))
+                .collect();
+            writeln!(f, "errors by code: {}", buckets.join(", "))?;
+        }
         write!(
             f,
             "peaks: {} concurrent, queue depth {}",

@@ -30,6 +30,7 @@
 
 use crate::cache::{PlanCache, PlanEntry, ResultCache, ResultKey};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::request::{Lang, Request, Response, ResponseInfo};
 use crate::snapshot::{Federation, FederationSnapshot};
 use polygen_catalog::scenario::Scenario;
 use polygen_core::relation::PolygenRelation;
@@ -499,35 +500,103 @@ impl QueryService {
         )))
     }
 
+    /// Serve one [`Request`] — the transport-agnostic entry point. The
+    /// returned [`Response`] is the same envelope whether the caller is
+    /// in-process, a `polygen-net` wire session, or an example: errors
+    /// come back as [`Response::Error`] with a stable numeric
+    /// [`ErrorCode`](crate::request::ErrorCode) (overload included —
+    /// shedding is a structured response, never a refusal to answer),
+    /// blank text comes back as [`Response::Empty`], and
+    /// `options.explain` returns the rendered physical plan without
+    /// executing it.
+    pub fn execute(&self, request: Request) -> Response {
+        if request.text.trim().is_empty() {
+            return Response::Empty;
+        }
+        if request.options.explain {
+            return match self.explain_request(&request) {
+                Ok(response) => response,
+                Err(e) => {
+                    self.metrics.record_error_code(e.code());
+                    e.into()
+                }
+            };
+        }
+        match self.serve(&request.text, request.lang) {
+            Ok(outcome) => outcome.into(),
+            Err(e) => e.into(),
+        }
+    }
+
+    /// The EXPLAIN path: canonicalize and compile (or fetch the cached
+    /// plan) against the head snapshot, render the physical plan, run
+    /// nothing. Cheap enough to skip admission — there is no execution
+    /// to bound.
+    fn explain_request(&self, request: &Request) -> Result<Response, ServeError> {
+        let start = Instant::now();
+        let snapshot = self.federation.snapshot();
+        let canonical = self.canonicalize(&snapshot, &request.text, request.lang)?;
+        let (entry, plan_hit) = self.plan_for(&snapshot, canonical)?;
+        Ok(Response::Explain {
+            plan: polygen_pqp::plan::render_plan(&entry.compiled.physical),
+            info: ResponseInfo {
+                canonical: entry.canonical.to_string(),
+                fingerprint: entry.fingerprint,
+                plan_hit,
+                result_hit: false,
+                index_routed: entry.compiled.physical.index_scans() > 0,
+                threads: 0,
+                latency_micros: u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX),
+            },
+        })
+    }
+
     /// Serve a polygen-level SQL query.
+    ///
+    /// Deprecated shim kept for in-process convenience: prefer
+    /// [`QueryService::execute`] with [`Request::sql`], which returns
+    /// the wire-stable [`Response`] envelope instead of Rust-only types.
     pub fn query(&self, sql: &str) -> Result<ServeOutcome, ServeError> {
         self.serve(sql, Lang::Sql)
     }
 
     /// Serve an algebra-notation query.
+    ///
+    /// Deprecated shim: prefer [`QueryService::execute`] with
+    /// [`Request::algebra`].
     pub fn query_algebra(&self, text: &str) -> Result<ServeOutcome, ServeError> {
         self.serve(text, Lang::Algebra)
     }
 
     /// Serve an *application-level* SQL query through the attached
     /// application schema (see [`QueryService::with_app_schema`]).
+    ///
+    /// Deprecated shim: prefer [`QueryService::execute`] with
+    /// [`Request::app`].
     pub fn query_app(&self, sql: &str) -> Result<ServeOutcome, ServeError> {
         self.serve(sql, Lang::App)
     }
 
+    /// The one serving path all entry points share — [`execute`] wraps
+    /// its result into the [`Response`] envelope, the legacy shims
+    /// return it raw.
+    ///
+    /// [`execute`]: QueryService::execute
     fn serve(&self, text: &str, lang: Lang) -> Result<ServeOutcome, ServeError> {
         let start = Instant::now();
         let permit = match self.admission.admit(&self.metrics) {
             Ok(p) => p,
             Err(e) => {
                 self.metrics.record_rejected();
+                self.metrics.record_error_code(e.code());
                 return Err(e);
             }
         };
         let snapshot = self.federation.snapshot();
         let served = self.serve_pinned(&snapshot, text, lang, permit.threads, start);
-        if served.is_err() {
+        if let Err(e) = &served {
             self.metrics.record_error();
+            self.metrics.record_error_code(e.code());
         }
         served
     }
@@ -699,14 +768,6 @@ impl QueryService {
     }
 }
 
-/// Which front-end language a request arrived in.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Lang {
-    Sql,
-    Algebra,
-    App,
-}
-
 /// A client session: an identity plus per-session counters over the
 /// shared service. Cheap to open (no catalog copies — the federation is
 /// snapshot-shared), cheap to drop.
@@ -727,7 +788,15 @@ impl Session<'_> {
         self.queries
     }
 
-    /// Serve a polygen-level SQL query.
+    /// Serve one [`Request`] through the shared service — the envelope
+    /// a wire session speaks, counted against this session.
+    pub fn execute(&mut self, request: Request) -> Response {
+        self.queries += 1;
+        self.service.execute(request)
+    }
+
+    /// Serve a polygen-level SQL query (deprecated shim: prefer
+    /// [`Session::execute`]).
     pub fn query(&mut self, sql: &str) -> Result<ServeOutcome, ServeError> {
         self.queries += 1;
         self.service.query(sql)
@@ -1029,5 +1098,85 @@ mod tests {
         assert!(matches!(svc.query("SELECT"), Err(ServeError::Normalize(_))));
         assert!(svc.query_app("SELECT X FROM Y").is_err());
         assert!(svc.metrics().errors >= 2);
+    }
+
+    #[test]
+    fn execute_envelope_covers_every_variant() {
+        use crate::request::{ErrorCode, Request, Response};
+        let svc = service();
+        let rows = svc.execute(Request::sql(PAPER_SQL));
+        let Response::Rows { answer, info } = &rows else {
+            panic!("expected rows, got {rows:?}");
+        };
+        assert_eq!(answer.len(), 3);
+        assert!(!info.result_hit && !info.plan_hit);
+        // The shim and the envelope share one serving path — identical
+        // payloads, outcome convertible.
+        let shim = svc.query(PAPER_SQL).unwrap();
+        assert!(rows.payload_eq(&Response::from(shim)));
+
+        assert!(matches!(svc.execute(Request::sql("   ")), Response::Empty));
+
+        let err = svc.execute(Request::sql("SELECT"));
+        assert_eq!(err.error_code(), Some(ErrorCode::SqlSyntax));
+        let app_err = svc.execute(Request::app("SELECT X FROM Y"));
+        assert_eq!(app_err.error_code(), Some(ErrorCode::AppUnknownRelation));
+
+        let explained = svc.execute(Request::sql(PAPER_SQL).with_explain(true));
+        let Response::Explain { plan, info } = &explained else {
+            panic!("expected explain, got {explained:?}");
+        };
+        assert!(plan.contains("Scan"), "{plan}");
+        assert!(info.plan_hit, "plan was cached by the rows query");
+        assert_eq!(info.threads, 0, "explain executes nothing");
+
+        // The metrics taxonomy saw both failures under their codes.
+        let m = svc.metrics();
+        assert_eq!(m.errors_with_code(ErrorCode::SqlSyntax), 1);
+        assert_eq!(m.errors_with_code(ErrorCode::AppUnknownRelation), 1);
+        assert_eq!(m.shed(), 0);
+    }
+
+    #[test]
+    fn session_speaks_the_envelope() {
+        use crate::request::{Request, Response};
+        let svc = service();
+        let mut session = svc.open_session();
+        let first = session.execute(Request::sql(PAPER_SQL));
+        assert!(matches!(first, Response::Rows { .. }));
+        let again = session.execute(Request::sql(PAPER_SQL));
+        let Response::Rows { info, .. } = &again else {
+            panic!("expected rows");
+        };
+        assert!(info.result_hit, "sessions share the service caches");
+        assert!(first.payload_eq(&again), "hit is byte-identical to cold");
+        assert_eq!(session.queries(), 2);
+    }
+
+    #[test]
+    fn overload_is_a_structured_response() {
+        use crate::request::{ErrorCode, Request, Response};
+        let svc = QueryService::for_scenario(
+            &scenario::build(),
+            ServeOptions::default().with_admission(1, 0),
+        );
+        // Hold the only slot, then execute: the envelope must carry a
+        // structured Overloaded error, and the metrics must bucket it.
+        let permit = svc.admission.admit(&svc.metrics).unwrap();
+        let shed = svc.execute(Request::sql(PAPER_SQL));
+        assert!(shed.is_overloaded());
+        assert!(matches!(
+            shed,
+            Response::Error { code: ErrorCode::Overloaded, ref message }
+                if message.contains("overloaded")
+        ));
+        drop(permit);
+        assert_eq!(svc.metrics().shed(), 1);
+        assert_eq!(svc.metrics().rejected, 1);
+        // The slot freed: the same request now serves.
+        assert!(matches!(
+            svc.execute(Request::sql(PAPER_SQL)),
+            Response::Rows { .. }
+        ));
     }
 }

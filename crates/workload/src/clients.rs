@@ -235,6 +235,78 @@ impl ClientMix {
     }
 }
 
+/// Order statistics over a population's per-query latencies — the
+/// closed-loop driver's measured-client view (p50/p95/p99 rather than
+/// just a mean, which tail-heavy serving workloads make misleading).
+/// Shared by the in-process driver and the TCP load generator in
+/// `polygen-net`, so both report percentiles the same way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Sorted ascending, microseconds.
+    samples: Vec<u64>,
+}
+
+impl LatencySummary {
+    /// Summarize raw microsecond samples (any order).
+    pub fn from_micros(mut samples: Vec<u64>) -> Self {
+        samples.sort_unstable();
+        LatencySummary { samples }
+    }
+
+    /// Summarize [`Duration`] samples.
+    pub fn from_durations(samples: impl IntoIterator<Item = Duration>) -> Self {
+        Self::from_micros(
+            samples
+                .into_iter()
+                .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+                .collect(),
+        )
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Nearest-rank percentile in microseconds; `0` with no samples.
+    /// `p` is a fraction (`0.99` = p99), clamped to `[0, 1]`.
+    pub fn percentile_micros(&self, p: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let rank = (p.clamp(0.0, 1.0) * self.samples.len() as f64).ceil() as usize;
+        self.samples[rank.saturating_sub(1).min(self.samples.len() - 1)]
+    }
+
+    /// Median latency, microseconds.
+    pub fn p50_micros(&self) -> u64 {
+        self.percentile_micros(0.50)
+    }
+
+    /// 95th-percentile latency, microseconds.
+    pub fn p95_micros(&self) -> u64 {
+        self.percentile_micros(0.95)
+    }
+
+    /// 99th-percentile latency, microseconds.
+    pub fn p99_micros(&self) -> u64 {
+        self.percentile_micros(0.99)
+    }
+
+    /// Slowest sample, microseconds.
+    pub fn max_micros(&self) -> u64 {
+        self.samples.last().copied().unwrap_or(0)
+    }
+
+    /// Mean latency, microseconds.
+    pub fn mean_micros(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+    }
+}
+
 /// What one driver run produced: every client's per-query results in
 /// script order, plus wall-clock figures.
 #[derive(Debug)]
@@ -246,6 +318,9 @@ pub struct DriveReport<R> {
     pub queries: usize,
     /// Wall-clock time for the whole population to finish.
     pub elapsed: Duration,
+    /// Per-query service latencies (think time excluded) across the
+    /// whole population.
+    pub latency: LatencySummary,
 }
 
 impl<R> DriveReport<R> {
@@ -271,7 +346,7 @@ where
 {
     let start = Instant::now();
     let serve = &serve;
-    let per_client = std::thread::scope(|scope| {
+    let outcomes = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..mix.clients)
             .map(|client| {
                 let script = mix.script(client);
@@ -282,16 +357,18 @@ where
                         .iter()
                         .enumerate()
                         .map(|(i, q)| {
+                            let issued = Instant::now();
                             let r = serve(client, q);
+                            let latency = issued.elapsed();
                             // Think *between* queries only — no trailing
                             // sleep after the final answer, which would
                             // pad the population's wall clock.
                             if !think.is_zero() && i < last {
                                 std::thread::sleep(think);
                             }
-                            r
+                            (r, latency)
                         })
-                        .collect::<Vec<R>>()
+                        .collect::<Vec<(R, Duration)>>()
                 })
             })
             .collect();
@@ -300,10 +377,25 @@ where
             .map(|h| h.join().expect("client thread panicked"))
             .collect::<Vec<_>>()
     });
+    report_from(outcomes, start.elapsed())
+}
+
+/// Split `(result, latency)` pairs into a [`DriveReport`].
+fn report_from<R>(outcomes: Vec<Vec<(R, Duration)>>, elapsed: Duration) -> DriveReport<R> {
+    let latency = LatencySummary::from_durations(
+        outcomes
+            .iter()
+            .flat_map(|client| client.iter().map(|(_, d)| *d)),
+    );
+    let per_client: Vec<Vec<R>> = outcomes
+        .into_iter()
+        .map(|client| client.into_iter().map(|(r, _)| r).collect())
+        .collect();
     DriveReport {
         queries: per_client.iter().map(Vec::len).sum(),
         per_client,
-        elapsed: start.elapsed(),
+        elapsed,
+        latency,
     }
 }
 
@@ -315,19 +407,19 @@ where
     F: FnMut(usize, &ClientQuery) -> R,
 {
     let start = Instant::now();
-    let per_client: Vec<Vec<R>> = (0..mix.clients)
+    let outcomes: Vec<Vec<(R, Duration)>> = (0..mix.clients)
         .map(|client| {
             mix.script(client)
                 .iter()
-                .map(|q| serve(client, q))
+                .map(|q| {
+                    let issued = Instant::now();
+                    let r = serve(client, q);
+                    (r, issued.elapsed())
+                })
                 .collect()
         })
         .collect();
-    DriveReport {
-        queries: per_client.iter().map(Vec::len).sum(),
-        per_client,
-        elapsed: start.elapsed(),
-    }
+    report_from(outcomes, start.elapsed())
 }
 
 #[cfg(test)]
@@ -381,6 +473,29 @@ mod tests {
         assert_eq!(concurrent.per_client, sequential.per_client);
         assert_eq!(concurrent.queries, mix.total_queries());
         assert!(concurrent.qps() > 0.0);
+        assert_eq!(concurrent.latency.count(), mix.total_queries());
+        assert!(concurrent.latency.p50_micros() <= concurrent.latency.p99_micros());
+    }
+
+    #[test]
+    fn latency_summary_order_statistics() {
+        // 1..=100 µs: nearest-rank percentiles are exact.
+        let s = LatencySummary::from_micros((1..=100).rev().collect());
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.p50_micros(), 50);
+        assert_eq!(s.p95_micros(), 95);
+        assert_eq!(s.p99_micros(), 99);
+        assert_eq!(s.percentile_micros(1.0), 100);
+        assert_eq!(s.percentile_micros(0.0), 1);
+        assert_eq!(s.max_micros(), 100);
+        assert!((s.mean_micros() - 50.5).abs() < 1e-9);
+        let empty = LatencySummary::from_micros(Vec::new());
+        assert_eq!(empty.p99_micros(), 0);
+        assert_eq!(empty.mean_micros(), 0.0);
+        let d =
+            LatencySummary::from_durations([Duration::from_micros(3), Duration::from_micros(1)]);
+        assert_eq!(d.p50_micros(), 1);
+        assert_eq!(d.max_micros(), 3);
     }
 
     #[test]

@@ -7,8 +7,10 @@
 //! cargo run --release --example service_demo
 //! ```
 
+use polygen::net::request_for;
 use polygen::serve::prelude::*;
-use polygen::workload::{self, drive, ClientMix, ClientQuery, QueryLang, WorkloadConfig};
+use polygen::serve::request::{ErrorCode, Request, Response};
+use polygen::workload::{self, drive, ClientMix, ClientQuery, WorkloadConfig};
 use std::time::Duration;
 
 fn main() {
@@ -30,12 +32,12 @@ fn main() {
         .with_think(Duration::from_millis(1));
     let run = |label: &str| {
         let report = drive(&mix, |_client, q: &ClientQuery| {
-            let served = match q.lang {
-                QueryLang::Sql => service.query(&q.text),
-                QueryLang::Algebra => service.query_algebra(&q.text),
+            // One entry point for every language: build a Request, get a
+            // Response back — no per-language method dispatch.
+            match service.execute(request_for(q)) {
+                Response::Rows { answer, info } => (info.result_hit, answer.len()),
+                other => panic!("generated queries serve, got {other:?}"),
             }
-            .expect("generated queries serve");
-            (served.result_hit, served.answer.len())
         });
         let hits = report
             .per_client
@@ -102,16 +104,18 @@ fn main() {
     run("phase 2");
 
     // 5. One answer with its provenance, straight off the hit path.
-    let served = service
-        .query_algebra(&workload::queries::select_query(0))
-        .expect("select serves");
+    let Response::Rows { answer, info } =
+        service.execute(Request::algebra(workload::queries::select_query(0)))
+    else {
+        panic!("select serves")
+    };
     println!(
         "\nsample answer: {} tuples for C0 (result_hit = {}, plan fingerprint {:016x})",
-        served.answer.len(),
-        served.result_hit,
-        served.fingerprint
+        answer.len(),
+        info.result_hit,
+        info.fingerprint
     );
-    if let Some(tuple) = served.answer.tuples().first() {
+    if let Some(tuple) = answer.tuples().first() {
         let reg = service
             .federation()
             .snapshot()
@@ -123,6 +127,31 @@ fn main() {
             polygen::core::render::render_tuple(tuple, &reg)
         );
     }
+
+    // 6. Failures come back as structured `Response::Error` values with
+    //    stable numeric codes — the same codes clients see on the wire —
+    //    and the metrics bucket them by code, not by message text.
+    println!("\n== Error taxonomy ==");
+    for request in [
+        Request::sql("SELEC CATEGORY FROM PENTITY"),
+        Request::app("SELECT CATEGORY FROM PENTITY"),
+        Request::algebra("NOPE [CATEGORY = \"C0\"]"),
+    ] {
+        match service.execute(request) {
+            Response::Error { code, message } => {
+                println!("  {:>3} {:<22} {message}", code.code(), code.mnemonic())
+            }
+            other => panic!("bad query must error, got {other:?}"),
+        }
+    }
+    let snapshot = service.metrics();
+    println!(
+        "metrics bucket them: {} SqlSyntax, {} AppUnknownRelation, {} UnknownRelation, {} shed",
+        snapshot.errors_with_code(ErrorCode::SqlSyntax),
+        snapshot.errors_with_code(ErrorCode::AppUnknownRelation),
+        snapshot.errors_with_code(ErrorCode::UnknownRelation),
+        snapshot.shed()
+    );
 
     println!("\n== Service metrics ==");
     println!("{}", service.metrics());

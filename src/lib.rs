@@ -28,6 +28,9 @@
 //! * [`serve`] — the concurrent query service: federation snapshots
 //!   with per-source versioning, plan & tagged-result caching, sessions,
 //!   admission control and a shared thread budget.
+//! * [`net`] — the TCP front door: a length-prefixed binary protocol
+//!   over the serve layer's request/response envelope, with a blocking
+//!   client and a closed-loop TCP load generator.
 //! * [`workload`] — seeded synthetic-federation generator and
 //!   closed-loop multi-client driver for benchmarks.
 
@@ -37,6 +40,7 @@ pub use polygen_federation as federation;
 pub use polygen_flat as flat;
 pub use polygen_index as index;
 pub use polygen_lqp as lqp;
+pub use polygen_net as net;
 pub use polygen_pqp as pqp;
 pub use polygen_serve as serve;
 pub use polygen_sql as sql;

@@ -1,0 +1,470 @@
+//! Differential property tests for the wire layer (`polygen-net`).
+//!
+//! The guarantee under test: **the transport is invisible**. A TCP
+//! session executing a workload script receives responses that are
+//! byte-identical — schema, data, origin tags, intermediate tags, tuple
+//! order, error codes — to the same script run in-process through
+//! `QueryService::execute`, with only the timing-dependent `Summary`
+//! frame allowed to differ. That holds across a mid-run source update,
+//! and overload produces a structured `Overloaded` frame on a live
+//! connection, never a dropped socket.
+//!
+//! Plus codec soundness: every frame kind round-trips bit-exactly, and
+//! truncating or corrupting bytes yields errors, not panics.
+//!
+//! CI runs this suite under both `POLYGEN_THREADS=1` and `=4`, so wire
+//! answers are checked against sequential and partition-parallel
+//! execution alike.
+
+mod common;
+
+use common::fixtures::small_config;
+use polygen::core::cell::Cell;
+use polygen::core::source::{SourceId, SourceSet};
+use polygen::flat::relation::Relation;
+use polygen::flat::value::Value;
+use polygen::net::codec::CodecError;
+use polygen::net::prelude::*;
+use polygen::serve::prelude::*;
+use polygen::workload::{self, ClientMix, MixWeights};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A deterministic, seed-driven frame of any kind — the generator
+/// behind the codec round-trip property. A tiny splitmix keeps the
+/// content varied without pulling in an RNG crate.
+fn arbitrary_frame(seed: u64) -> Frame {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let value = |v: u64| match v % 5 {
+        0 => Value::Null,
+        1 => Value::Bool(v % 2 == 0),
+        2 => Value::Int(v as i64),
+        3 => Value::float(v as f64 / 7.0),
+        _ => Value::str(format!("s{v}")),
+    };
+    let source_set =
+        |v: u64| SourceSet::from_ids((0..v % 4).map(|i| SourceId((v % 50) as u16 + i as u16)));
+    let tuple = |v: u64| -> Vec<Cell> {
+        (0..1 + v % 3)
+            .map(|i| Cell::new(value(v ^ i), source_set(v >> 8), source_set(v >> 16)))
+            .collect()
+    };
+    match next() % 8 {
+        0 => Frame::Hello {
+            version: (next() % 256) as u8,
+        },
+        1 => Frame::Query {
+            lang: [Lang::Sql, Lang::Algebra, Lang::App][(next() % 3) as usize],
+            explain: next() % 2 == 0,
+            text: format!("PENTITY [CAT = {}]", next() % 100),
+        },
+        2 => Frame::Schema {
+            name: format!("R{}", next() % 10),
+            attrs: (0..1 + next() % 4).map(|i| format!("A{i}")).collect(),
+            key: vec![0],
+        },
+        3 => Frame::Rows {
+            tuples: (0..next() % 5).map(|_| tuple(next())).collect(),
+        },
+        4 => Frame::Explain {
+            plan: format!("Project\n  Scan S{}\n", next() % 5),
+        },
+        5 => Frame::Empty,
+        6 => Frame::Error {
+            code: (next() % 600) as u16,
+            message: format!("err {}", next()),
+        },
+        _ => Frame::Summary {
+            info: ResponseInfo {
+                canonical: format!("canon {}", next()),
+                fingerprint: next(),
+                plan_hit: next() % 2 == 0,
+                result_hit: next() % 2 == 0,
+                index_routed: next() % 2 == 0,
+                threads: (next() % 16) as usize,
+                latency_micros: next() % 1_000_000,
+            },
+        },
+    }
+}
+
+/// Stand up a TCP server over a service built from `scenario`.
+fn spawn_server(
+    scenario: &polygen::catalog::scenario::Scenario,
+    options: ServeOptions,
+) -> (Arc<QueryService>, NetServer) {
+    let service = Arc::new(QueryService::for_scenario(scenario, options));
+    let server = NetServer::spawn(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    (service, server)
+}
+
+/// The in-process baseline for one script query: frames of an uncached
+/// `execute`, in the deterministic (summary-less) byte view.
+fn baseline_bytes(service: &QueryService, q: &polygen::workload::ClientQuery) -> Vec<u8> {
+    deterministic_bytes(&response_frames(&service.execute(request_for(q))))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Codec round trip: decode∘encode is the identity on every frame
+    /// kind, and re-encoding the decoded frame is byte-identical.
+    #[test]
+    fn frames_round_trip_bit_exactly(seed in any::<u64>()) {
+        let frame = arbitrary_frame(seed);
+        let wire = frame.encode();
+        let back = Frame::decode(&wire[4..]).expect("well-formed frame decodes");
+        prop_assert_eq!(&back, &frame);
+        prop_assert_eq!(back.encode(), wire);
+    }
+
+    /// Robustness: every strict prefix of a valid payload fails cleanly
+    /// (no panic, no bogus success), as does appended garbage.
+    #[test]
+    fn truncated_and_padded_frames_error_cleanly(seed in any::<u64>()) {
+        let frame = arbitrary_frame(seed);
+        let payload = &frame.encode()[4..];
+        for cut in 0..payload.len() {
+            prop_assert!(
+                Frame::decode(&payload[..cut]).is_err(),
+                "prefix of {} bytes decoded", cut
+            );
+        }
+        let mut padded = payload.to_vec();
+        padded.push(0);
+        prop_assert!(matches!(Frame::decode(&padded), Err(CodecError::Corrupt(_))));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The tentpole differential: a concurrent TCP population against a
+    /// cached service receives byte-identical deterministic frames to a
+    /// sequential in-process replay against an uncached service.
+    #[test]
+    fn tcp_responses_are_byte_identical_to_in_process(
+        fed_seed in any::<u64>(),
+        mix_seed in any::<u64>(),
+        clients in 2usize..4,
+    ) {
+        let scenario = workload::generate(&small_config(fed_seed, 3, 72));
+        let (_service, server) = spawn_server(&scenario, ServeOptions::default());
+        let uncached =
+            QueryService::for_scenario(&scenario, ServeOptions::default().without_caches());
+        let mix = ClientMix::default()
+            .with_seed(mix_seed)
+            .with_clients(clients)
+            .with_queries_per_client(6)
+            .with_weights(MixWeights::with_index_lookups(2, 1));
+        let run = NetClientMix::new(mix).drive(server.addr()).expect("TCP run");
+        prop_assert_eq!(run.queries, mix.total_queries());
+        prop_assert_eq!(run.latency.count(), mix.total_queries());
+        for (client, frames_per_query) in run.per_client.iter().enumerate() {
+            let script = mix.script(client);
+            prop_assert_eq!(frames_per_query.len(), script.len());
+            for (i, (frames, q)) in frames_per_query.iter().zip(&script).enumerate() {
+                prop_assert_eq!(
+                    deterministic_bytes(frames),
+                    baseline_bytes(&uncached, q),
+                    "client {} query {} `{}`: wire bytes diverge from in-process",
+                    client, i, q.text
+                );
+            }
+        }
+        server.shutdown();
+    }
+
+    /// The same guarantee across a mid-run source update, mirroring the
+    /// serve suite's phase test: phase 1 over TCP, refresh one source on
+    /// both services, phase 2 over TCP — each phase byte-identical to
+    /// its in-process baseline.
+    #[test]
+    fn wire_stays_identical_across_source_update(
+        fed_seed in any::<u64>(),
+        mix_seed in any::<u64>(),
+        delta in 1i64..1_000,
+    ) {
+        let scenario = workload::generate(&small_config(fed_seed, 3, 72));
+        let (service, server) = spawn_server(&scenario, ServeOptions::default());
+        let uncached =
+            QueryService::for_scenario(&scenario, ServeOptions::default().without_caches());
+        let mix = ClientMix::default()
+            .with_seed(mix_seed)
+            .with_clients(3)
+            .with_queries_per_client(5);
+        let net = NetClientMix::new(mix);
+        let refreshed = refreshed_relations(&scenario, "S1", delta);
+
+        let check_phase = |label: &str| {
+            let run = net.drive(server.addr()).expect("TCP run");
+            for (client, frames_per_query) in run.per_client.iter().enumerate() {
+                for (i, (frames, q)) in
+                    frames_per_query.iter().zip(&mix.script(client)).enumerate()
+                {
+                    prop_assert_eq!(
+                        deterministic_bytes(frames),
+                        baseline_bytes(&uncached, q),
+                        "{}: client {} query {} diverged", label, client, i
+                    );
+                }
+            }
+        };
+
+        check_phase("pre-update");
+        service.update_source_relations("S1", refreshed.clone());
+        uncached.update_source_relations("S1", refreshed);
+        check_phase("post-update");
+        // The update actually changed what the wire carries: cached
+        // answers reading S1 were evicted, not replayed stale.
+        prop_assert!(
+            service.metrics().invalidated_results > 0,
+            "update invalidated nothing"
+        );
+        server.shutdown();
+    }
+}
+
+/// Error codes cross the wire unchanged: for a gallery of failing
+/// queries (every layer band) the TCP response carries exactly the code
+/// in-process `execute` reports — and the connection survives to serve
+/// the next query.
+#[test]
+fn error_codes_are_identical_over_the_wire() {
+    let scenario = workload::generate(&small_config(11, 3, 64));
+    let (service, server) = spawn_server(&scenario, ServeOptions::default());
+    let mut session = NetClient::connect(server.addr()).expect("connect");
+    let bad = [
+        Request::sql("SELECT"),                   // 100 sql-syntax
+        Request::sql("SELECT NOPE FROM NOWHERE"), // lowering band
+        Request::algebra("ZZZ [CAT = 0]"),        // 303 unknown relation
+        Request::algebra("PENTITY [NOPE = 1]"),   // 304 unresolved attribute
+        Request::app("SELECT X FROM Y"),          // 2xx app band
+        Request::algebra("PENTITY"),              // 302 bare relation
+    ];
+    for request in bad {
+        let in_process = service.execute(request.clone());
+        let code = in_process
+            .error_code()
+            .unwrap_or_else(|| panic!("`{}` should fail in-process", request.text));
+        let over_wire = session.execute(&request).expect("transport stays healthy");
+        assert_eq!(
+            over_wire.error_code(),
+            Some(code),
+            "`{}`: wire and in-process codes diverge",
+            request.text
+        );
+        assert!(over_wire.payload_eq(&in_process));
+    }
+    // The same connection still answers real queries afterwards.
+    let answer = session
+        .execute(&Request::algebra("PENTITY [CATEGORY = \"C0\"]"))
+        .expect("healthy connection");
+    assert!(matches!(answer, Response::Rows { .. }));
+    // Blank text and EXPLAIN cross the wire too.
+    assert_eq!(
+        session.execute(&Request::sql("   ")).expect("blank"),
+        Response::Empty
+    );
+    let explained = session
+        .execute(&Request::algebra("PENTITY [CATEGORY = \"C0\"]").with_explain(true))
+        .expect("explain");
+    let in_process =
+        service.execute(Request::algebra("PENTITY [CATEGORY = \"C0\"]").with_explain(true));
+    assert!(explained.payload_eq(&in_process), "plan text matches");
+    server.shutdown();
+}
+
+/// An overload-shedding episode: with admission capacity 1 and no
+/// queue, two connections race for the single slot until one of them
+/// observes a structured `Overloaded` (503) frame — a real frame on a
+/// live socket, never an io error or disconnect — and both connections
+/// still serve afterwards. Which side loses the race is scheduling
+/// luck, so either observation ends the episode.
+#[test]
+fn overload_sheds_structured_frames_not_connections() {
+    let scenario = workload::generate(&small_config(7, 3, 2_000));
+    let (service, server) = spawn_server(
+        &scenario,
+        ServeOptions::default()
+            .without_caches()
+            .with_admission(1, 0),
+    );
+    let heavy = workload::queries::paper_shaped_sql(0);
+    let cheap = Request::algebra("PENTITY [CATEGORY = \"C0\"]");
+    let shed_seen = AtomicBool::new(false);
+    let addr = server.addr();
+
+    // Observe one request/response exchange: assert a shed is exactly
+    // the structured single-frame form, flag it, and hand back the
+    // decoded response.
+    let exchange = |session: &mut NetClient, request: &Request, who: &str| -> Response {
+        let frames = session
+            .execute_frames(request)
+            .unwrap_or_else(|e| panic!("{who} transport stays healthy: {e}"));
+        let response = response_from_frames(&frames).expect("well-formed stream");
+        if response.is_overloaded() {
+            assert!(matches!(
+                frames.as_slice(),
+                [Frame::Error { code: 503, .. }]
+            ));
+            shed_seen.store(true, Ordering::SeqCst);
+        } else {
+            assert!(
+                matches!(response, Response::Rows { .. }),
+                "unexpected {who} response: {response:?}"
+            );
+        }
+        response
+    };
+
+    let mut victim = NetClient::connect(addr).expect("victim connects");
+    std::thread::scope(|scope| {
+        let exchange = &exchange;
+        let heavy = &heavy;
+        let shed_seen = &shed_seen;
+        // The occupant: heavy queries monopolizing the slot. It may
+        // itself lose the race and be the one shed — that observation
+        // counts too (and ends its loop via the flag).
+        scope.spawn(move || {
+            let mut session = NetClient::connect(addr).expect("occupant connects");
+            for _ in 0..300 {
+                if shed_seen.load(Ordering::SeqCst) {
+                    break;
+                }
+                exchange(&mut session, &Request::sql(heavy.clone()), "occupant");
+            }
+            // The occupant's own socket survived the episode.
+            exchange(
+                &mut session,
+                &Request::algebra("PENTITY [CATEGORY = \"C1\"]"),
+                "occupant",
+            );
+        });
+        // The victim: cheap queries on one long-lived connection until
+        // either side has observed a shed (bounded so it cannot hang).
+        for _ in 0..2_000 {
+            if shed_seen.load(Ordering::SeqCst) {
+                break;
+            }
+            exchange(&mut victim, &cheap, "victim");
+        }
+        assert!(
+            shed_seen.load(Ordering::SeqCst),
+            "no connection ever observed a shed frame"
+        );
+    });
+
+    // The episode over, the same victim socket still serves...
+    let served = victim.execute(&cheap).expect("post-episode transport");
+    assert!(matches!(served, Response::Rows { .. }));
+    // ...and so does a fresh connection.
+    let mut fresh = NetClient::connect(addr).expect("reconnect");
+    let served = fresh.execute(&cheap).expect("fresh transport");
+    assert!(matches!(served, Response::Rows { .. }));
+    let metrics = service.metrics();
+    assert!(metrics.shed() > 0, "metrics bucket the shed under 503");
+    assert_eq!(
+        metrics.shed(),
+        metrics.rejected,
+        "taxonomy agrees with counter"
+    );
+    server.shutdown();
+}
+
+/// A deterministic "upstream refresh" of one source: every value in its
+/// single-source `VAL_*` column shifts by `delta` (same helper as the
+/// serve suite, so both differential tests refresh identically).
+fn refreshed_relations(
+    scenario: &polygen::catalog::scenario::Scenario,
+    source: &str,
+    delta: i64,
+) -> Vec<Relation> {
+    let db = scenario
+        .databases
+        .iter()
+        .find(|db| db.name == source)
+        .unwrap_or_else(|| panic!("source {source} missing"));
+    db.relations
+        .iter()
+        .map(|rel| {
+            let attrs: Vec<&str> = rel.schema().attrs().iter().map(|a| a.as_ref()).collect();
+            let val_col = attrs.iter().position(|a| a.starts_with("VAL_"));
+            let mut b = Relation::build(rel.name(), &attrs);
+            for row in rel.rows() {
+                let mut row = row.clone();
+                if let (Some(i), Some(Value::Int(v))) = (val_col, val_col.map(|i| &row[i])) {
+                    row[i] = Value::int(v + delta);
+                }
+                b = b.vrow(row);
+            }
+            b.finish().expect("refreshed relation rebuilds")
+        })
+        .collect()
+}
+
+/// The reassembled wire answer is not just byte-identical — it is a
+/// full `PolygenRelation` equal to the in-process answer, tags and
+/// schema included (i.e. the wire carries enough to reconstruct the
+/// polygen model's objects, not just render them).
+#[test]
+fn wire_answers_reconstruct_the_full_tagged_relation() {
+    let scenario = polygen::catalog::scenario::build();
+    let (service, server) = spawn_server(&scenario, ServeOptions::default());
+    let mut session = NetClient::connect(server.addr()).expect("connect");
+    let sql = "SELECT ONAME, CEO FROM PORGANIZATION, PALUMNUS \
+               WHERE CEO = ANAME AND ONAME IN \
+               (SELECT ONAME FROM PCAREER WHERE AID# IN \
+               (SELECT AID# FROM PALUMNUS WHERE DEGREE = \"MBA\"))";
+    let over_wire = session.execute(&Request::sql(sql)).expect("wire answer");
+    let in_process = service.execute(Request::sql(sql));
+    let (a, b) = (over_wire.rows().unwrap(), in_process.rows().unwrap());
+    assert_eq!(a.schema(), b.schema(), "schema (name, attrs, key) survives");
+    assert_eq!(a.tuples(), b.tuples(), "tuples with all tags survive");
+    // Schema reconstruction is deep: key designations round-trip.
+    assert_eq!(a.schema().key(), b.schema().key());
+    // And a second wire query hits the result cache server-side while
+    // remaining byte-identical.
+    let again = session.execute(&Request::sql(sql)).expect("warm answer");
+    assert!(again.payload_eq(&over_wire));
+    assert!(again.info().unwrap().result_hit, "server-side cache hit");
+    server.shutdown();
+}
+
+/// Concurrent TCP sessions with think time exercise the summary frame's
+/// metrics fields sanely: positive latency, QPS, and a served count that
+/// matches the metrics the service reports.
+#[test]
+fn summaries_and_metrics_agree_with_the_run() {
+    let scenario = workload::generate(&small_config(3, 3, 72));
+    let (service, server) = spawn_server(&scenario, ServeOptions::default());
+    let mix = ClientMix::default()
+        .with_clients(3)
+        .with_queries_per_client(4)
+        .with_think(Duration::from_millis(1));
+    let run = NetClientMix::new(mix).drive(server.addr()).expect("run");
+    assert_eq!(run.queries, 12);
+    assert!(run.qps() > 0.0);
+    assert!(run.latency.p99_micros() >= run.latency.p50_micros());
+    for frames in run.per_client.iter().flatten() {
+        let response = response_from_frames(frames).expect("stream");
+        let info = response.info().expect("rows responses carry info");
+        assert!(!info.canonical.is_empty());
+        assert!(info.threads >= 1, "executed queries got worker threads");
+    }
+    assert_eq!(service.metrics().queries, 12);
+    let addr = server.addr();
+    server.shutdown();
+    // After shutdown the port is closed: connecting errors rather than
+    // producing a phantom session.
+    assert!(NetClient::connect(addr).is_err());
+}
