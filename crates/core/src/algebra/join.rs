@@ -222,20 +222,24 @@ pub fn hash_equi_join_coalesced_partitioned(
     let parter = Partitioner::new(par.partitions);
     // Reference-only split: partitioning pushes pointers, never clones a
     // cell. nil keys never join, so they are dropped here outright.
+    // Each side's key column is hashed in one contiguous pass
+    // (`bucket_indices`), then the scatter loop is plain array reads.
+    let probe_buckets = parter.bucket_indices(p1.tuples().iter().map(|t| &t[xi].datum));
     let mut probe: Vec<Vec<(usize, &PolyTuple)>> = (0..parter.partitions())
         .map(|_| Vec::with_capacity(p1.len() / parter.partitions() + 1))
         .collect();
-    for (i, t) in p1.tuples().iter().enumerate() {
+    for ((i, t), &bucket) in p1.tuples().iter().enumerate().zip(&probe_buckets) {
         if !t[xi].is_nil() {
-            probe[parter.index_of(&t[xi].datum)].push((i, t));
+            probe[bucket].push((i, t));
         }
     }
+    let build_buckets = parter.bucket_indices(p2.tuples().iter().map(|t| &t[yi].datum));
     let mut build: Vec<Vec<&PolyTuple>> = (0..parter.partitions())
         .map(|_| Vec::with_capacity(p2.len() / parter.partitions() + 1))
         .collect();
-    for t in p2.tuples() {
+    for (t, &bucket) in p2.tuples().iter().zip(&build_buckets) {
         if !t[yi].is_nil() {
-            build[parter.index_of(&t[yi].datum)].push(t);
+            build[bucket].push(t);
         }
     }
     let parts: Vec<_> = probe.into_iter().zip(build).collect();

@@ -300,8 +300,10 @@ pub fn hash_merge_partitioned(
     let mut scan_pos = 0usize;
     for (ri, rel) in relations.iter().enumerate() {
         let ki = key_ins[ri];
-        for t in rel.tuples() {
-            parts[parter.index_of(&t[ki].datum)][ri].push((scan_pos, t));
+        // One contiguous hashing pass over the key column, then scatter.
+        let buckets = parter.bucket_indices(rel.tuples().iter().map(|t| &t[ki].datum));
+        for (t, &bucket) in rel.tuples().iter().zip(&buckets) {
+            parts[bucket][ri].push((scan_pos, t));
             scan_pos += 1;
         }
     }

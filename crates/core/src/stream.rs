@@ -132,6 +132,21 @@ impl TupleStream {
     pub fn project(&mut self, attrs: &[&str]) -> Result<(), PolygenError> {
         let idx = self.schema.indices_of(attrs)?;
         let schema = Arc::new(self.schema.project(&idx, self.schema.name())?);
+        // Identity projection (every column kept, in order — the shape a
+        // rename-only output reduces to): when the data portion is
+        // already duplicate-free, the rebuild and the duplicate collapse
+        // are both no-ops, so the `Arc`-shared tuples are reused as-is.
+        if idx.len() == self.schema.degree() && idx.iter().enumerate().all(|(k, &i)| k == i) {
+            let mut seen = std::collections::HashSet::with_capacity(self.tuples.len());
+            if self
+                .tuples
+                .iter()
+                .all(|t| seen.insert(t.iter().map(|c| &c.datum).collect::<Vec<_>>()))
+            {
+                self.schema = schema;
+                return Ok(());
+            }
+        }
         let tuples: Vec<PolyTuple> = self
             .tuples
             .iter()
@@ -326,6 +341,18 @@ impl Partitioner {
         let mut h = PartitionHasher::new();
         key.hash(&mut h);
         (h.finish() % self.partitions as u64) as usize
+    }
+
+    /// Hash a whole key column in one contiguous pass, returning each
+    /// row's partition. The partitioned join/merge kernels precompute
+    /// this over the key column and then scatter rows with plain array
+    /// reads, instead of re-entering the hasher row by row in the middle
+    /// of the scatter loop.
+    pub fn bucket_indices<'a, I>(&self, keys: I) -> Vec<usize>
+    where
+        I: IntoIterator<Item = &'a Value>,
+    {
+        keys.into_iter().map(|k| self.index_of(k)).collect()
     }
 
     /// Split any item vector into `partitions` contiguous,
@@ -616,6 +643,40 @@ mod tests {
         assert_eq!(lifted.to_relation().tuples(), owned.as_slice());
         assert!(select_tuples(rel.schema(), &mut owned, "NOPE", Cmp::Eq, &Value::int(1)).is_err());
         assert!(restrict_tuples(rel.schema(), &mut owned, "DEG", Cmp::Eq, "NOPE").is_err());
+    }
+
+    #[test]
+    fn identity_projection_reuses_shared_tuples() {
+        let rel = base();
+        let mut s = TupleStream::from_relation(rel.clone());
+        let before: Vec<_> = s.tuples.iter().map(Arc::clone).collect();
+        s.project(&["ANAME", "DEG", "ORG"]).unwrap();
+        for (a, b) in s.tuples.iter().zip(&before) {
+            assert!(Arc::ptr_eq(a, b), "tuples reused, not rebuilt");
+        }
+        assert_eq!(s.to_relation().tuples(), rel.tuples());
+        // A duplicate-bearing stream still takes the rebuild + collapse
+        // path even when the projection is the identity.
+        let mut tuples = rel.clone().into_tuples();
+        tuples.push(tuples[0].clone());
+        let dup = PolygenRelation::from_tuples(Arc::clone(rel.schema()), tuples).unwrap();
+        let eager = algebra::project(&dup, &["ANAME", "DEG", "ORG"]).unwrap();
+        let mut d = TupleStream::from_relation(dup);
+        d.project(&["ANAME", "DEG", "ORG"]).unwrap();
+        assert_eq!(d.len(), 4, "duplicate collapsed");
+        assert!(d.into_relation().tagged_set_eq(&eager));
+    }
+
+    #[test]
+    fn bucket_indices_match_per_row_hashing() {
+        let rel = base();
+        let parter = Partitioner::new(4);
+        let keys: Vec<&Value> = rel.tuples().iter().map(|t| &t[1].datum).collect();
+        let buckets = parter.bucket_indices(keys.iter().copied());
+        assert_eq!(buckets.len(), rel.len());
+        for (bucket, key) in buckets.iter().zip(&keys) {
+            assert_eq!(*bucket, parter.index_of(key));
+        }
     }
 
     #[test]

@@ -77,33 +77,32 @@ impl NetClientMix {
     pub fn drive(&self, addr: SocketAddr) -> Result<NetRun, NetError> {
         let mix = &self.mix;
         let start = Instant::now();
-        let joined: Vec<Result<ClientExchanges, NetError>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..mix.clients)
-                    .map(|client| {
-                        let script = mix.script(client);
-                        let think = mix.think;
-                        scope.spawn(move || {
-                            let mut session = NetClient::connect(addr)?;
-                            let last = script.len().saturating_sub(1);
-                            let mut exchanges = Vec::with_capacity(script.len());
-                            for (i, q) in script.iter().enumerate() {
-                                let issued = Instant::now();
-                                let frames = session.execute_frames(&request_for(q))?;
-                                exchanges.push((frames, issued.elapsed()));
-                                if !think.is_zero() && i < last {
-                                    std::thread::sleep(think);
-                                }
+        let joined: Vec<Result<ClientExchanges, NetError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..mix.clients)
+                .map(|client| {
+                    let script = mix.script(client);
+                    let think = mix.think;
+                    scope.spawn(move || {
+                        let mut session = NetClient::connect(addr)?;
+                        let last = script.len().saturating_sub(1);
+                        let mut exchanges = Vec::with_capacity(script.len());
+                        for (i, q) in script.iter().enumerate() {
+                            let issued = Instant::now();
+                            let frames = session.execute_frames(&request_for(q))?;
+                            exchanges.push((frames, issued.elapsed()));
+                            if !think.is_zero() && i < last {
+                                std::thread::sleep(think);
                             }
-                            Ok(exchanges)
-                        })
+                        }
+                        Ok(exchanges)
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("net client thread panicked"))
-                    .collect()
-            });
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("net client thread panicked"))
+                .collect()
+        });
         let elapsed = start.elapsed();
         let mut per_client = Vec::with_capacity(joined.len());
         let mut latencies = Vec::new();

@@ -49,6 +49,11 @@ pub struct PqpOptions {
     /// Partition count for parallel operators (`0` = thread count; larger
     /// values over-partition to rebalance key-skewed loads).
     pub partitions: usize,
+    /// Columnar batch execution for eligible pipelines. `None` = auto
+    /// (the `POLYGEN_BATCH` environment variable, on unless set to
+    /// `0`/`false`/`off`/`no`); `Some(_)` forces the batch or row
+    /// engine. Answers are byte-identical on every setting.
+    pub batch: Option<bool>,
 }
 
 impl Default for PqpOptions {
@@ -60,6 +65,7 @@ impl Default for PqpOptions {
             retain_intermediates: false,
             threads: 0,
             partitions: 0,
+            batch: None,
         }
     }
 }
@@ -68,6 +74,13 @@ impl PqpOptions {
     /// Builder-style thread-count override.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Builder-style batch-engine override (`true` forces the columnar
+    /// path, `false` forces the row engine).
+    pub fn with_batch(mut self, batch: bool) -> Self {
+        self.batch = Some(batch);
         self
     }
 }
@@ -242,6 +255,7 @@ impl Pqp {
                 retain_intermediates: self.options.retain_intermediates,
                 threads: self.options.threads,
                 partitions: self.options.partitions,
+                batch: self.options.batch,
             },
         )
     }
