@@ -451,6 +451,62 @@ mod tests {
         assert_eq!(reader.poll(&mut partial), Err(CodecError::Truncated));
     }
 
+    /// `EINTR` is retryable, not a dropped connection: a stream that
+    /// interleaves `Interrupted` errors between every byte must still
+    /// deliver the frame (and a mid-frame interruption must not lose
+    /// the buffered prefix).
+    #[test]
+    fn interrupted_reads_are_retried_not_fatal() {
+        let payload = b"\x03interrupt me".to_vec();
+        let wire = prefix_frame(&payload);
+        let mut stuttering = Interruptible {
+            bytes: wire.clone().into(),
+            interrupt_next: true,
+        };
+        let mut reader = FrameReader::new();
+        assert_eq!(
+            reader.poll(&mut stuttering).unwrap(),
+            FramePoll::Payload(payload.clone())
+        );
+        // Same stream split across two polls with an interruption and a
+        // timeout in between: the prefix survives both.
+        let mut reader = FrameReader::new();
+        let mut first = Interruptible {
+            bytes: wire[..5].to_vec().into(),
+            interrupt_next: true,
+        };
+        assert_eq!(reader.poll(&mut first).unwrap(), FramePoll::Idle);
+        let mut rest = Interruptible {
+            bytes: wire[5..].to_vec().into(),
+            interrupt_next: true,
+        };
+        assert_eq!(reader.poll(&mut rest).unwrap(), FramePoll::Payload(payload));
+    }
+
+    /// Yields `ErrorKind::Interrupted` before every byte, then times
+    /// out once drained.
+    struct Interruptible {
+        bytes: std::collections::VecDeque<u8>,
+        interrupt_next: bool,
+    }
+
+    impl Read for Interruptible {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.interrupt_next {
+                self.interrupt_next = false;
+                return Err(std::io::Error::from(ErrorKind::Interrupted));
+            }
+            self.interrupt_next = true;
+            match self.bytes.pop_front() {
+                Some(b) => {
+                    buf[0] = b;
+                    Ok(1)
+                }
+                None => Err(std::io::Error::from(ErrorKind::WouldBlock)),
+            }
+        }
+    }
+
     #[test]
     fn two_frames_in_one_read_both_extract() {
         let a = prefix_frame(b"\x01aa");

@@ -12,6 +12,12 @@
 //!
 //! Both the accept loop and connection reads run under short timeouts
 //! so [`NetServer::shutdown`] can set one flag and join every thread.
+//!
+//! Accept errors are classified, not fatal by default: a peer that
+//! aborts mid-handshake (`ECONNABORTED`), a signal (`EINTR`), or a
+//! transient descriptor/buffer shortage (`EMFILE`/`ENFILE`/`ENOBUFS`)
+//! must never kill the listener — only errors that mean the listener
+//! itself is gone break the loop.
 
 use crate::codec::{CodecError, FramePoll, FrameReader};
 use crate::protocol::{
@@ -21,7 +27,7 @@ use crate::protocol::{
 use polygen_serve::service::QueryService;
 use std::io::{ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -36,6 +42,59 @@ const POLL_INTERVAL: Duration = Duration::from_millis(20);
 /// the current sleep), so it stays much tighter than [`POLL_INTERVAL`].
 const ACCEPT_INTERVAL: Duration = Duration::from_millis(1);
 
+/// Backoff after a resource-exhaustion accept failure (`EMFILE` and
+/// kin): retrying instantly would spin the CPU against a full table,
+/// while a short sleep gives connections a chance to close.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(5);
+
+/// What the accept loop should do about an `accept(2)` error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AcceptDisposition {
+    /// No connection pending (`EWOULDBLOCK`) — sleep the normal
+    /// interval and poll again.
+    Idle,
+    /// A transient, per-connection failure (the peer aborted, a signal
+    /// interrupted the call) — retry immediately; the listener is fine.
+    Retry,
+    /// Resource exhaustion (`EMFILE`/`ENFILE`/`ENOBUFS`/`ENOMEM`) —
+    /// retry after a short backoff instead of spinning.
+    Backoff,
+    /// The listener itself is broken; accepting again cannot succeed.
+    Fatal,
+}
+
+/// Classify an `accept(2)` error. Only errors that condemn the
+/// *listener* are fatal; everything that condemns one would-be
+/// *connection* (or nothing at all) is retryable.
+pub(crate) fn classify_accept_error(e: &std::io::Error) -> AcceptDisposition {
+    match e.kind() {
+        ErrorKind::WouldBlock => AcceptDisposition::Idle,
+        ErrorKind::Interrupted | ErrorKind::ConnectionAborted | ErrorKind::ConnectionReset => {
+            AcceptDisposition::Retry
+        }
+        _ => match e.raw_os_error() {
+            // EMFILE(24) / ENFILE(23): descriptor tables full;
+            // ENOBUFS(105) / ENOMEM(12): kernel memory pressure.
+            // All clear as connections close — back off, don't die.
+            Some(12 | 23 | 24 | 105) => AcceptDisposition::Backoff,
+            _ => AcceptDisposition::Fatal,
+        },
+    }
+}
+
+/// The accept loop's view of a listener — real [`TcpListener`] in
+/// production, an injected fake in lifecycle tests.
+pub(crate) trait Acceptor {
+    /// Accept one pending connection, nonblocking semantics.
+    fn poll_accept(&self) -> std::io::Result<TcpStream>;
+}
+
+impl Acceptor for TcpListener {
+    fn poll_accept(&self) -> std::io::Result<TcpStream> {
+        self.accept().map(|(stream, _peer)| stream)
+    }
+}
+
 /// A running TCP server; dropping it (or calling
 /// [`NetServer::shutdown`]) stops the accept loop and joins every
 /// connection thread.
@@ -43,6 +102,7 @@ const ACCEPT_INTERVAL: Duration = Duration::from_millis(1);
 pub struct NetServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    open: Arc<AtomicUsize>,
     accept: Option<JoinHandle<()>>,
 }
 
@@ -54,13 +114,16 @@ impl NetServer {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
+        let open = Arc::new(AtomicUsize::new(0));
         let accept = {
             let stop = Arc::clone(&stop);
-            std::thread::spawn(move || accept_loop(listener, service, stop))
+            let open = Arc::clone(&open);
+            std::thread::spawn(move || accept_loop(listener, service, stop, open))
         };
         Ok(NetServer {
             addr,
             stop,
+            open,
             accept: Some(accept),
         })
     }
@@ -68,6 +131,14 @@ impl NetServer {
     /// The bound address — connect clients here.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Connection handles the server currently tracks. Finished
+    /// sessions are reaped continuously, so under connect/disconnect
+    /// load this stays bounded by the number of *live* sessions — the
+    /// regression guard for the old grow-without-bound handle list.
+    pub fn open_connections(&self) -> usize {
+        self.open.load(Ordering::Relaxed)
     }
 
     /// Stop accepting, finish in-flight responses, join every thread.
@@ -89,11 +160,20 @@ impl Drop for NetServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, service: Arc<QueryService>, stop: Arc<AtomicBool>) {
+fn accept_loop<A: Acceptor>(
+    listener: A,
+    service: Arc<QueryService>,
+    stop: Arc<AtomicBool>,
+    open: Arc<AtomicUsize>,
+) {
     let mut connections: Vec<JoinHandle<()>> = Vec::new();
     while !stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
+        match listener.poll_accept() {
+            Ok(stream) => {
+                // Reap on the accept path too: sustained connect load
+                // used to grow this vec without bound because reaping
+                // only ran in the WouldBlock arm.
+                reap(&mut connections, &open);
                 let service = Arc::clone(&service);
                 let stop = Arc::clone(&stop);
                 connections.push(std::thread::spawn(move || {
@@ -101,19 +181,30 @@ fn accept_loop(listener: TcpListener, service: Arc<QueryService>, stop: Arc<Atom
                     // peer's problem; the server must keep accepting.
                     let _ = serve_connection(stream, &service, &stop);
                 }));
+                open.store(connections.len(), Ordering::Relaxed);
             }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                // Reap finished connection threads so a long-lived
-                // server does not accumulate handles.
-                connections.retain(|h| !h.is_finished());
-                std::thread::sleep(ACCEPT_INTERVAL);
-            }
-            Err(_) => break,
+            Err(e) => match classify_accept_error(&e) {
+                AcceptDisposition::Idle => {
+                    reap(&mut connections, &open);
+                    std::thread::sleep(ACCEPT_INTERVAL);
+                }
+                AcceptDisposition::Retry => continue,
+                AcceptDisposition::Backoff => std::thread::sleep(ACCEPT_BACKOFF),
+                AcceptDisposition::Fatal => break,
+            },
         }
     }
     for handle in connections {
         let _ = handle.join();
     }
+    open.store(0, Ordering::Relaxed);
+}
+
+/// Drop handles of finished connection threads and publish the count of
+/// the ones still tracked.
+fn reap(connections: &mut Vec<JoinHandle<()>>, open: &AtomicUsize) {
+    connections.retain(|h| !h.is_finished());
+    open.store(connections.len(), Ordering::Relaxed);
 }
 
 /// Drive one session: greet, then answer queries until the peer hangs
@@ -175,4 +266,161 @@ fn refuse(stream: &mut TcpStream, code: u16, message: &str) -> std::io::Result<(
 
 fn write_frame(stream: &mut TcpStream, frame: &Frame) -> std::io::Result<()> {
     stream.write_all(&frame.encode())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polygen_serve::service::{QueryService, ServeOptions};
+    use polygen_workload::{self as workload, WorkloadConfig};
+    use std::collections::VecDeque;
+    use std::io;
+    use std::sync::Mutex;
+    use std::time::Instant;
+
+    fn tiny_service() -> Arc<QueryService> {
+        let scenario =
+            workload::generate(&WorkloadConfig::default().with_sources(2).with_entities(8));
+        Arc::new(QueryService::for_scenario(
+            &scenario,
+            ServeOptions::default(),
+        ))
+    }
+
+    /// An injected listener: a scripted sequence of accept outcomes,
+    /// then `WouldBlock` forever.
+    struct FakeAcceptor {
+        script: Mutex<VecDeque<io::Result<TcpStream>>>,
+    }
+
+    impl FakeAcceptor {
+        fn new(script: Vec<io::Result<TcpStream>>) -> Self {
+            FakeAcceptor {
+                script: Mutex::new(script.into_iter().collect()),
+            }
+        }
+    }
+
+    impl Acceptor for FakeAcceptor {
+        fn poll_accept(&self) -> io::Result<TcpStream> {
+            self.script
+                .lock()
+                .unwrap()
+                .pop_front()
+                .unwrap_or_else(|| Err(io::Error::from(ErrorKind::WouldBlock)))
+        }
+    }
+
+    #[test]
+    fn accept_error_classification() {
+        use AcceptDisposition::*;
+        let cases = [
+            (io::Error::from(ErrorKind::WouldBlock), Idle),
+            (io::Error::from(ErrorKind::Interrupted), Retry),
+            (io::Error::from(ErrorKind::ConnectionAborted), Retry),
+            (io::Error::from(ErrorKind::ConnectionReset), Retry),
+            (io::Error::from_raw_os_error(24), Backoff), // EMFILE
+            (io::Error::from_raw_os_error(23), Backoff), // ENFILE
+            (io::Error::from_raw_os_error(105), Backoff), // ENOBUFS
+            (io::Error::from(ErrorKind::InvalidInput), Fatal),
+            (io::Error::from(ErrorKind::NotConnected), Fatal),
+        ];
+        for (error, expected) in cases {
+            assert_eq!(classify_accept_error(&error), expected, "{error:?}");
+        }
+    }
+
+    /// The satellite bug: any non-WouldBlock accept error used to kill
+    /// the listener for good. With an injected erroring listener, the
+    /// loop must survive `ECONNABORTED`, `EINTR` and `EMFILE` and still
+    /// serve the connection scripted after them.
+    #[test]
+    fn transient_accept_errors_do_not_kill_the_listener() {
+        // A real socket pair for the post-error accept to hand out.
+        let rendezvous = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = rendezvous.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (served, _peer) = rendezvous.accept().unwrap();
+
+        let acceptor = FakeAcceptor::new(vec![
+            Err(io::Error::from(ErrorKind::ConnectionAborted)),
+            Err(io::Error::from(ErrorKind::Interrupted)),
+            Err(io::Error::from_raw_os_error(24)), // EMFILE
+            Ok(served),
+        ]);
+        let stop = Arc::new(AtomicBool::new(false));
+        let open = Arc::new(AtomicUsize::new(0));
+        let loop_handle = {
+            let service = tiny_service();
+            let stop = Arc::clone(&stop);
+            let open = Arc::clone(&open);
+            std::thread::spawn(move || accept_loop(acceptor, service, stop, open))
+        };
+
+        // The connection accepted *after* the transient errors greets —
+        // proof the listener survived them.
+        let mut reader = FrameReader::new();
+        let mut blocking = client;
+        blocking
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let payload = loop {
+            match reader.poll(&mut blocking).expect("greeting decodes") {
+                FramePoll::Payload(p) => break p,
+                FramePoll::Idle => continue,
+                FramePoll::Closed => panic!("listener died on a transient accept error"),
+            }
+        };
+        assert_eq!(
+            Frame::decode(&payload).unwrap(),
+            Frame::Hello {
+                version: PROTOCOL_VERSION
+            }
+        );
+
+        stop.store(true, Ordering::SeqCst);
+        loop_handle.join().unwrap();
+    }
+
+    /// A fatal listener error still stops the loop (it must not spin on
+    /// an unusable listener).
+    #[test]
+    fn fatal_accept_errors_stop_the_loop() {
+        let acceptor = FakeAcceptor::new(vec![Err(io::Error::from(ErrorKind::InvalidInput))]);
+        let stop = Arc::new(AtomicBool::new(false));
+        let open = Arc::new(AtomicUsize::new(0));
+        let service = tiny_service();
+        let handle = std::thread::spawn(move || accept_loop(acceptor, service, stop, open));
+        let started = Instant::now();
+        handle.join().unwrap();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "fatal error should end the loop promptly"
+        );
+    }
+
+    /// The satellite bug: finished connection handles were only reaped
+    /// in the WouldBlock arm, so sustained connect load grew the handle
+    /// vec without bound. Now every accept reaps; after a burst of
+    /// short-lived sessions the tracked count must fall back to zero.
+    #[test]
+    fn finished_connections_are_reaped_under_connect_load() {
+        let server = NetServer::spawn(tiny_service(), "127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+        for _ in 0..32 {
+            // Connect, read the greeting, hang up immediately.
+            let stream = TcpStream::connect(addr).expect("connect");
+            drop(stream);
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while server.open_connections() > 0 {
+            assert!(
+                Instant::now() < deadline,
+                "{} finished connections never reaped",
+                server.open_connections()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        server.shutdown();
+    }
 }
