@@ -17,7 +17,7 @@
 //! CI runs this harness in sampling mode (see `.github/workflows/ci.yml`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use polygen_net::{NetClientMix, NetServer};
+use polygen_net::{NetClient, NetClientMix, NetServer};
 use polygen_serve::prelude::*;
 use polygen_workload::{self as workload, ClientMix, LatencySummary, WorkloadConfig};
 use std::hint::black_box;
@@ -101,5 +101,52 @@ fn net_client_sweep(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, net_client_sweep);
+/// The idle-connection axis: the same scripted population measured with
+/// 0 vs ~1k *parked* sessions registered on the server. The parked
+/// population connects once, outside the timed loop (connecting is not
+/// what's being measured); the timed figure answers "what does a big
+/// idle session table cost the active traffic" — which the evented
+/// server should keep near zero, since an idle session is one poller
+/// registration rather than a thread.
+fn net_idle_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net/idle");
+    g.sample_size(10);
+    let config = bench_config();
+    let scenario = workload::generate(&config);
+    for idle in [0usize, 1_000] {
+        let service = Arc::new(QueryService::for_scenario(
+            &scenario,
+            ServeOptions::default(),
+        ));
+        let server = NetServer::spawn(service, "127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+        let parked: Vec<NetClient> = (0..idle)
+            .map(|_| NetClient::connect(addr).expect("idle session connects"))
+            .collect();
+        let mix = ClientMix::default()
+            .with_clients(4)
+            .with_queries_per_client(8);
+        let net = NetClientMix::new(mix);
+        let bench = format!("idle/i{idle}");
+        g.throughput(Throughput::Elements(mix.total_queries() as u64));
+        g.bench_with_input(
+            BenchmarkId::new("idle", format!("i{idle}")),
+            &net,
+            |b, net| {
+                b.iter(|| {
+                    let run = net.drive(addr).expect("TCP run");
+                    assert_eq!(run.queries, net.mix.total_queries());
+                    black_box(run.queries)
+                })
+            },
+        );
+        let run = net.drive(addr).expect("TCP run");
+        emit_percentiles(&bench, &run.latency);
+        drop(parked);
+        server.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, net_client_sweep, net_idle_sweep);
 criterion_main!(benches);

@@ -5,6 +5,16 @@
 //! same [`Request`] in, same [`Response`] out — reassembled from the
 //! frame stream. [`NetClient::execute_frames`] exposes the raw frames
 //! for byte-level differential comparison.
+//!
+//! Connections are keep-alive by design: hold a `NetClient` open
+//! between queries instead of reconnecting. The evented server parks an
+//! idle session as one registration in its readiness poller — no
+//! thread, no stack — so thousands of long-lived clients cost it almost
+//! nothing, while a reconnect pays the TCP + greeting handshake every
+//! time. The only thing a client must stay honest about is *draining
+//! responses*: a client that issues queries and stops reading will hit
+//! the server's outbound backpressure cap and have its connection
+//! closed with a `WIRE_BACKPRESSURE` error.
 
 use crate::codec::{CodecError, FramePoll, FrameReader};
 use crate::protocol::{request_frame, response_from_frames, Frame, PROTOCOL_VERSION};

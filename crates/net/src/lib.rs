@@ -14,11 +14,16 @@
 //!   streamed response (`Schema`, `Rows` batches, `Explain`, `Empty`,
 //!   `Error`, `Summary`) with one terminal frame per response.
 //!   Everything deterministic precedes the timing-dependent `Summary`.
-//! * [`server`] — [`server::NetServer`]: a `TcpListener` accept loop
-//!   with one lightweight connection task per session; all execution is
-//!   multiplexed onto the service's admission-controlled thread budget.
-//!   Overload is answered with a structured `Error { code: 503 }` frame
-//!   on a live connection — graceful shedding, never a dropped socket.
+//! * [`server`] — [`server::NetServer`]: an evented front door. One
+//!   poller thread owns every connection socket (readiness via the
+//!   [`sys`] shim — epoll on Linux, a portable fallback elsewhere) and
+//!   a bounded worker pool runs queries, so a thousand idle sessions
+//!   cost registrations, not threads. Responses drain through
+//!   per-connection outbound buffers on write-readiness; a peer that
+//!   stops reading is closed with a backpressure error, never allowed
+//!   to block a server thread. Overload is still answered with a
+//!   structured `Error { code: 503 }` frame on a live connection —
+//!   graceful shedding, never a dropped socket.
 //! * [`client`] — [`client::NetClient`]: blocking connect/execute, the
 //!   network spelling of `QueryService::execute`.
 //! * [`load`] — [`load::NetClientMix`]: the closed-loop TCP load
@@ -36,6 +41,7 @@ pub mod codec;
 pub mod load;
 pub mod protocol;
 pub mod server;
+pub mod sys;
 
 /// Convenient glob import.
 pub mod prelude {
@@ -45,10 +51,10 @@ pub mod prelude {
     pub use crate::protocol::{
         deterministic_bytes, response_frames, response_from_frames, Frame, PROTOCOL_VERSION,
     };
-    pub use crate::server::NetServer;
+    pub use crate::server::{NetServer, NetServerOptions};
 }
 
 pub use client::{NetClient, NetError};
 pub use load::{request_for, NetClientMix, NetRun};
 pub use protocol::{Frame, PROTOCOL_VERSION};
-pub use server::NetServer;
+pub use server::{NetServer, NetServerOptions};

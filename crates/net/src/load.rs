@@ -38,6 +38,9 @@ pub struct NetRun {
     pub per_client: Vec<Vec<Vec<Frame>>>,
     /// Queries issued in total.
     pub queries: usize,
+    /// Idle connections held open (and verified serviceable) for the
+    /// whole run, alongside the scripted clients.
+    pub idle: usize,
     /// Wall-clock time for the whole population to finish.
     pub elapsed: Duration,
     /// Per-query round-trip latencies (think time excluded).
@@ -62,12 +65,24 @@ impl NetRun {
 pub struct NetClientMix {
     /// The script generator — shared verbatim with in-process runs.
     pub mix: ClientMix,
+    /// Extra connections that connect, read the greeting, and then sit
+    /// parked for the whole run — the "ten thousand idle sessions"
+    /// population the evented server exists to make cheap. Zero by
+    /// default so the differential suite's runs stay exactly the
+    /// in-process scripts.
+    pub idle: usize,
 }
 
 impl NetClientMix {
     /// Drive `mix`'s scripts over TCP.
     pub fn new(mix: ClientMix) -> Self {
-        NetClientMix { mix }
+        NetClientMix { mix, idle: 0 }
+    }
+
+    /// Park `idle` extra connections for the duration of the run.
+    pub fn with_idle_connections(mut self, idle: usize) -> Self {
+        self.idle = idle;
+        self
     }
 
     /// Run the population against a server at `addr`: one OS thread and
@@ -76,6 +91,13 @@ impl NetClientMix {
     /// repeat).
     pub fn drive(&self, addr: SocketAddr) -> Result<NetRun, NetError> {
         let mix = &self.mix;
+        // Park the idle population first: each one completes the
+        // greeting handshake (so it is a *serviced* session, not just a
+        // socket in an accept queue) and then holds its connection open
+        // across the scripted run.
+        let parked: Vec<NetClient> = (0..self.idle)
+            .map(|_| NetClient::connect(addr))
+            .collect::<Result<_, _>>()?;
         let start = Instant::now();
         let joined: Vec<Result<ClientExchanges, NetError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..mix.clients)
@@ -104,6 +126,7 @@ impl NetClientMix {
                 .collect()
         });
         let elapsed = start.elapsed();
+        drop(parked);
         let mut per_client = Vec::with_capacity(joined.len());
         let mut latencies = Vec::new();
         for outcome in joined {
@@ -113,6 +136,7 @@ impl NetClientMix {
         }
         Ok(NetRun {
             queries: per_client.iter().map(Vec::len).sum(),
+            idle: self.idle,
             per_client,
             elapsed,
             latency: LatencySummary::from_durations(latencies),

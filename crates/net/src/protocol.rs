@@ -49,6 +49,12 @@ pub const WIRE_VERSION_MISMATCH: u16 = 2;
 /// than `Query` where a query was expected.
 pub const WIRE_UNEXPECTED_FRAME: u16 = 3;
 
+/// Transport-reserved error code: the peer stopped draining its
+/// responses and the server's outbound buffer for the connection hit
+/// its cap. The server closes the connection after (best-effort)
+/// sending it — a slow reader costs one socket, never a server thread.
+pub const WIRE_BACKPRESSURE: u16 = 4;
+
 /// One protocol frame. Tags are part of the wire format and never
 /// change meaning.
 #[derive(Debug, Clone, PartialEq)]

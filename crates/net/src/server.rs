@@ -1,57 +1,89 @@
-//! The TCP front door: accept loop, per-connection tasks, graceful
-//! shutdown.
+//! The TCP front door: an evented poller over nonblocking sockets.
 //!
-//! Threading model: one lightweight connection task per session. The
-//! connection thread only parses frames and writes responses — all
-//! query work happens inside [`QueryService::execute`], which is where
-//! admission control bounds concurrency and the shared thread budget
-//! splits workers across active queries. A thousand idle connections
-//! therefore cost a thousand parked readers, not a thousand executing
-//! queries; and overload surfaces as a structured `Error { code: 503 }`
-//! frame on a healthy connection, never a dropped socket.
+//! Threading model: **one poller thread owns every connection socket**
+//! (readiness via the [`crate::sys`] shim — epoll on Linux, a portable
+//! scan fallback elsewhere) and a **bounded worker pool** runs queries.
+//! The poller drives each connection's [`FrameReader`] incrementally on
+//! read-readiness, hands decoded requests to the workers over a
+//! channel, and queues the workers' encoded responses into
+//! per-connection outbound buffers that drain on write-readiness. A
+//! thousand idle connections therefore cost a thousand *registrations*,
+//! not a thousand parked reader threads: the server runs O(workers)
+//! threads total, independent of session count.
 //!
-//! Both the accept loop and connection reads run under short timeouts
-//! so [`NetServer::shutdown`] can set one flag and join every thread.
+//! All query work still happens inside [`QueryService::execute`], which
+//! is where admission control bounds concurrency; overload surfaces as
+//! a structured `Error { code: 503 }` frame on a healthy connection,
+//! never a dropped socket. Each connection has at most one request in
+//! flight (responses stay in request order); while a request executes,
+//! the poller drops the connection's read interest, so a pipelining
+//! client is throttled by kernel socket buffers, not server memory.
+//!
+//! Writes never block a thread. Responses land in the connection's
+//! outbound buffer and flush as the socket accepts bytes. A peer that
+//! stops draining its responses hits [`OUTBOUND_CAP`]: the connection
+//! is closed with a best-effort [`WIRE_BACKPRESSURE`] error — a slow
+//! reader costs one socket, and [`NetServer::shutdown`] can no longer
+//! be hung by a stalled `write_all`.
 //!
 //! Accept errors are classified, not fatal by default: a peer that
 //! aborts mid-handshake (`ECONNABORTED`), a signal (`EINTR`), or a
 //! transient descriptor/buffer shortage (`EMFILE`/`ENFILE`/`ENOBUFS`)
 //! must never kill the listener — only errors that mean the listener
-//! itself is gone break the loop.
+//! itself is gone stop accepting.
 
 use crate::codec::{CodecError, FramePoll, FrameReader};
 use crate::protocol::{
-    request_from_frame, response_frames, Frame, PROTOCOL_VERSION, WIRE_MALFORMED,
-    WIRE_UNEXPECTED_FRAME,
+    request_from_frame, response_frames, Frame, PROTOCOL_VERSION, WIRE_BACKPRESSURE,
+    WIRE_MALFORMED, WIRE_UNEXPECTED_FRAME,
 };
+use crate::sys::{self, AsSockId, Event, Interest, Poller, WakeReceiver, Waker};
+use polygen_serve::request::Request;
 use polygen_serve::service::QueryService;
+use std::collections::HashMap;
 use std::io::{ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// How long a connection read blocks before re-checking the shutdown
-/// flag. A read returns the moment data arrives, so this bounds only
-/// shutdown latency — not query latency.
+/// How long one poller wait blocks before re-checking the shutdown flag
+/// and re-polling for accepts. Readiness returns the moment anything
+/// happens, so this bounds only shutdown/accept latency in the quiet
+/// case — not query latency.
 const POLL_INTERVAL: Duration = Duration::from_millis(20);
-
-/// How long the accept loop sleeps when no connection is pending. This
-/// one *is* connect latency (a fresh client waits out the remainder of
-/// the current sleep), so it stays much tighter than [`POLL_INTERVAL`].
-const ACCEPT_INTERVAL: Duration = Duration::from_millis(1);
 
 /// Backoff after a resource-exhaustion accept failure (`EMFILE` and
 /// kin): retrying instantly would spin the CPU against a full table,
 /// while a short sleep gives connections a chance to close.
 const ACCEPT_BACKOFF: Duration = Duration::from_millis(5);
 
+/// Per-connection cap on *buffered unsent* response bytes. The check
+/// runs before a new response is queued, so any single response can
+/// exceed the cap transiently — what trips it is a peer that has left a
+/// previous response undrained. Tripping it closes the connection with
+/// [`WIRE_BACKPRESSURE`].
+const OUTBOUND_CAP: usize = 4 * 1024 * 1024;
+
+/// How long shutdown keeps flushing in-flight responses before
+/// abandoning undrained connections. This is the bound that makes
+/// shutdown deadline-safe against stalled peers.
+const SHUTDOWN_GRACE: Duration = Duration::from_millis(750);
+
+/// Poller token of the listener registration.
+const TOKEN_LISTENER: u64 = 0;
+/// Poller token of the waker registration.
+const TOKEN_WAKER: u64 = 1;
+/// First token handed to a connection; tokens are never reused, so a
+/// late completion for a closed connection simply finds nobody.
+const TOKEN_FIRST_CONN: u64 = 2;
+
 /// What the accept loop should do about an `accept(2)` error.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum AcceptDisposition {
-    /// No connection pending (`EWOULDBLOCK`) — sleep the normal
-    /// interval and poll again.
+    /// No connection pending (`EWOULDBLOCK`) — wait for readiness.
     Idle,
     /// A transient, per-connection failure (the peer aborted, a signal
     /// interrupted the call) — retry immediately; the listener is fine.
@@ -82,49 +114,127 @@ pub(crate) fn classify_accept_error(e: &std::io::Error) -> AcceptDisposition {
     }
 }
 
-/// The accept loop's view of a listener — real [`TcpListener`] in
+/// The poller's view of a listener — real [`TcpListener`] in
 /// production, an injected fake in lifecycle tests.
 pub(crate) trait Acceptor {
     /// Accept one pending connection, nonblocking semantics.
     fn poll_accept(&self) -> std::io::Result<TcpStream>;
+
+    /// The socket to register for accept-readiness, if there is one.
+    /// Fakes return `None` and are simply polled every loop tick.
+    fn registration(&self) -> Option<sys::SockId> {
+        None
+    }
 }
 
 impl Acceptor for TcpListener {
     fn poll_accept(&self) -> std::io::Result<TcpStream> {
         self.accept().map(|(stream, _peer)| stream)
     }
+
+    fn registration(&self) -> Option<sys::SockId> {
+        Some(self.sock_id())
+    }
+}
+
+/// Tuning knobs for [`NetServer::spawn_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetServerOptions {
+    /// Worker threads executing queries. The floor of 2 in the default
+    /// keeps admission-control shedding observable even on one core:
+    /// two workers can race into `execute` and let the gate refuse one.
+    pub workers: usize,
+    /// Per-connection cap on buffered unsent response bytes before the
+    /// peer is declared stalled and closed with [`WIRE_BACKPRESSURE`].
+    pub outbound_cap: usize,
+}
+
+impl Default for NetServerOptions {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get);
+        NetServerOptions {
+            workers: cores.max(2),
+            outbound_cap: OUTBOUND_CAP,
+        }
+    }
 }
 
 /// A running TCP server; dropping it (or calling
-/// [`NetServer::shutdown`]) stops the accept loop and joins every
-/// connection thread.
+/// [`NetServer::shutdown`]) stops the poller, joins the worker pool,
+/// and closes every connection.
 #[derive(Debug)]
 pub struct NetServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     open: Arc<AtomicUsize>,
-    accept: Option<JoinHandle<()>>,
+    waker: Waker,
+    poller: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl NetServer {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// serve `service` until shutdown.
+    /// serve `service` until shutdown, with default options.
     pub fn spawn(service: Arc<QueryService>, addr: &str) -> std::io::Result<NetServer> {
+        Self::spawn_with(service, addr, NetServerOptions::default())
+    }
+
+    /// [`NetServer::spawn`] with explicit worker-pool / backpressure
+    /// tuning.
+    pub fn spawn_with(
+        service: Arc<QueryService>,
+        addr: &str,
+        options: NetServerOptions,
+    ) -> std::io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+
         let stop = Arc::new(AtomicBool::new(false));
         let open = Arc::new(AtomicUsize::new(0));
-        let accept = {
+        let (waker, wake_rx) = sys::wake_pair()?;
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let workers = (0..options.workers.max(1))
+            .map(|_| {
+                let service = Arc::clone(&service);
+                let stop = Arc::clone(&stop);
+                let job_rx = Arc::clone(&job_rx);
+                let completions = Arc::clone(&completions);
+                let waker = waker.try_clone()?;
+                Ok(std::thread::spawn(move || {
+                    worker_loop(service, stop, job_rx, completions, waker)
+                }))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+
+        let poller = {
             let stop = Arc::clone(&stop);
             let open = Arc::clone(&open);
-            std::thread::spawn(move || accept_loop(listener, service, stop, open))
+            std::thread::spawn(move || {
+                let mut loop_state = PollerLoop::new(
+                    listener,
+                    service,
+                    options,
+                    stop,
+                    open,
+                    wake_rx,
+                    job_tx,
+                    completions,
+                );
+                loop_state.run();
+            })
         };
+
         Ok(NetServer {
             addr,
             stop,
             open,
-            accept: Some(accept),
+            waker,
+            poller: Some(poller),
+            workers,
         })
     }
 
@@ -133,22 +243,31 @@ impl NetServer {
         self.addr
     }
 
-    /// Connection handles the server currently tracks. Finished
-    /// sessions are reaped continuously, so under connect/disconnect
-    /// load this stays bounded by the number of *live* sessions — the
-    /// regression guard for the old grow-without-bound handle list.
+    /// Connections the poller currently tracks. Finished sessions are
+    /// dropped the moment their hangup/EOF surfaces, so under
+    /// connect/disconnect load this stays bounded by the number of
+    /// *live* sessions — the regression guard for the old
+    /// grow-without-bound handle list.
     pub fn open_connections(&self) -> usize {
         self.open.load(Ordering::Relaxed)
     }
 
-    /// Stop accepting, finish in-flight responses, join every thread.
+    /// Stop accepting, flush in-flight responses (bounded by
+    /// [`SHUTDOWN_GRACE`] — a stalled peer cannot hang this), join the
+    /// poller and every worker.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
 
     fn stop_and_join(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        if let Some(handle) = self.accept.take() {
+        self.waker.wake();
+        if let Some(handle) = self.poller.take() {
+            let _ = handle.join();
+        }
+        // The poller drops the job sender on exit, so workers see a
+        // closed channel (or the stop flag) and unwind.
+        for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
     }
@@ -160,112 +279,493 @@ impl Drop for NetServer {
     }
 }
 
-fn accept_loop<A: Acceptor>(
-    listener: A,
+/// One decoded request on its way to the worker pool.
+struct Job {
+    token: u64,
+    request: Request,
+}
+
+/// One encoded response on its way back to the poller.
+struct Completion {
+    token: u64,
+    bytes: Vec<u8>,
+}
+
+/// Worker: pull a job, execute it (admission control happens inside
+/// `execute`), hand the encoded frames back, nudge the poller. The lock
+/// is held only around `recv` — never across query execution.
+fn worker_loop(
     service: Arc<QueryService>,
     stop: Arc<AtomicBool>,
-    open: Arc<AtomicUsize>,
+    jobs: Arc<Mutex<mpsc::Receiver<Job>>>,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    waker: Waker,
 ) {
-    let mut connections: Vec<JoinHandle<()>> = Vec::new();
-    while !stop.load(Ordering::SeqCst) {
-        match listener.poll_accept() {
-            Ok(stream) => {
-                // Reap on the accept path too: sustained connect load
-                // used to grow this vec without bound because reaping
-                // only ran in the WouldBlock arm.
-                reap(&mut connections, &open);
-                let service = Arc::clone(&service);
-                let stop = Arc::clone(&stop);
-                connections.push(std::thread::spawn(move || {
-                    // A connection that dies mid-handshake is the
-                    // peer's problem; the server must keep accepting.
-                    let _ = serve_connection(stream, &service, &stop);
-                }));
-                open.store(connections.len(), Ordering::Relaxed);
-            }
-            Err(e) => match classify_accept_error(&e) {
-                AcceptDisposition::Idle => {
-                    reap(&mut connections, &open);
-                    std::thread::sleep(ACCEPT_INTERVAL);
-                }
-                AcceptDisposition::Retry => continue,
-                AcceptDisposition::Backoff => std::thread::sleep(ACCEPT_BACKOFF),
-                AcceptDisposition::Fatal => break,
-            },
-        }
-    }
-    for handle in connections {
-        let _ = handle.join();
-    }
-    open.store(0, Ordering::Relaxed);
-}
-
-/// Drop handles of finished connection threads and publish the count of
-/// the ones still tracked.
-fn reap(connections: &mut Vec<JoinHandle<()>>, open: &AtomicUsize) {
-    connections.retain(|h| !h.is_finished());
-    open.store(connections.len(), Ordering::Relaxed);
-}
-
-/// Drive one session: greet, then answer queries until the peer hangs
-/// up, the protocol is violated, or the server shuts down.
-fn serve_connection(
-    mut stream: TcpStream,
-    service: &QueryService,
-    stop: &AtomicBool,
-) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(POLL_INTERVAL))?;
-    stream.set_nodelay(true)?;
-    write_frame(
-        &mut stream,
-        &Frame::Hello {
-            version: PROTOCOL_VERSION,
-        },
-    )?;
-    let mut reader = FrameReader::new();
     loop {
+        let job = {
+            let rx = jobs.lock().expect("job queue poisoned");
+            match rx.recv() {
+                Ok(job) => job,
+                Err(_) => return,
+            }
+        };
         if stop.load(Ordering::SeqCst) {
-            return Ok(());
+            return;
         }
-        let payload = match reader.poll(&mut stream) {
-            Ok(FramePoll::Payload(payload)) => payload,
-            Ok(FramePoll::Idle) => continue,
-            Ok(FramePoll::Closed) => return Ok(()),
-            Err(CodecError::Truncated) => return Ok(()),
-            Err(e) => return refuse(&mut stream, WIRE_MALFORMED, &e.to_string()),
-        };
-        let frame = match Frame::decode(&payload) {
-            Ok(frame) => frame,
-            Err(e) => return refuse(&mut stream, WIRE_MALFORMED, &e.to_string()),
-        };
-        let Some(request) = request_from_frame(&frame) else {
-            let why = format!("expected a Query frame, got tag {}", frame.tag());
-            return refuse(&mut stream, WIRE_UNEXPECTED_FRAME, &why);
-        };
-        // All admission control, shedding, caching and execution happen
-        // in here; a shed query comes back as a structured Error
-        // response and the connection lives on.
-        let response = service.execute(request);
+        let response = service.execute(job.request);
+        let mut bytes = Vec::new();
         for frame in response_frames(&response) {
-            write_frame(&mut stream, &frame)?;
+            bytes.extend_from_slice(&frame.encode());
+        }
+        completions
+            .lock()
+            .expect("completion queue poisoned")
+            .push(Completion {
+                token: job.token,
+                bytes,
+            });
+        waker.wake();
+    }
+}
+
+/// Per-connection poller state.
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+    /// Encoded-but-unsent response bytes; `sent` is the cursor of what
+    /// the socket has taken so far.
+    out: Vec<u8>,
+    sent: usize,
+    /// A request is executing on a worker; reads pause until its
+    /// response is queued (kernel buffers throttle a pipelining peer).
+    busy: bool,
+    /// Close once `out` drains (set after a protocol violation or a
+    /// backpressure refusal — the error frame is the last thing sent).
+    closing: bool,
+    /// Interest currently registered with the poller, to skip no-op
+    /// re-registrations.
+    registered: Interest,
+}
+
+impl Conn {
+    fn pending(&self) -> usize {
+        self.out.len() - self.sent
+    }
+
+    /// The readiness this connection wants right now.
+    fn desired_interest(&self) -> Interest {
+        Interest {
+            read: !self.busy && !self.closing,
+            write: self.pending() > 0,
         }
     }
 }
 
-/// Send a transport-coded error, then close (by returning): once
-/// framing is in doubt the stream cannot be resynchronized.
-fn refuse(stream: &mut TcpStream, code: u16, message: &str) -> std::io::Result<()> {
-    write_frame(
-        stream,
-        &Frame::Error {
+/// Why a connection is being torn down (drives metrics).
+enum CloseCause {
+    /// Peer hangup, protocol violation, IO error, shutdown.
+    Ordinary,
+    /// The outbound cap tripped.
+    Backpressure,
+}
+
+/// Everything the poller thread owns.
+struct PollerLoop<A: Acceptor> {
+    listener: A,
+    service: Arc<QueryService>,
+    options: NetServerOptions,
+    stop: Arc<AtomicBool>,
+    open: Arc<AtomicUsize>,
+    wake_rx: WakeReceiver,
+    job_tx: mpsc::Sender<Job>,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    poller: Poller,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    /// Set on a fatal listener error: stop accepting, drain what's
+    /// open, exit when nothing is left.
+    accept_dead: bool,
+}
+
+impl<A: Acceptor> PollerLoop<A> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        listener: A,
+        service: Arc<QueryService>,
+        options: NetServerOptions,
+        stop: Arc<AtomicBool>,
+        open: Arc<AtomicUsize>,
+        wake_rx: WakeReceiver,
+        job_tx: mpsc::Sender<Job>,
+        completions: Arc<Mutex<Vec<Completion>>>,
+    ) -> Self {
+        let mut poller = Poller::new().expect("readiness poller");
+        if let Some(id) = listener.registration() {
+            poller
+                .add(id, TOKEN_LISTENER, Interest::READ)
+                .expect("register listener");
+        }
+        #[cfg(unix)]
+        poller
+            .add(wake_rx.sock_id(), TOKEN_WAKER, Interest::READ)
+            .expect("register waker");
+        PollerLoop {
+            listener,
+            service,
+            options,
+            stop,
+            open,
+            wake_rx,
+            job_tx,
+            completions,
+            poller,
+            conns: HashMap::new(),
+            next_token: TOKEN_FIRST_CONN,
+            accept_dead: false,
+        }
+    }
+
+    fn run(&mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        while !self.stop.load(Ordering::SeqCst) {
+            events.clear();
+            if self.poller.wait(&mut events, POLL_INTERVAL).is_err() {
+                break;
+            }
+            self.wake_rx.drain();
+            // Accept every tick, not only on listener readiness: the
+            // scan backend and injected test acceptors have no
+            // registration, and a spurious extra accept is one cheap
+            // WouldBlock.
+            if !self.accept_dead {
+                self.drain_accepts();
+            }
+            self.drain_completions();
+            let round: Vec<Event> = std::mem::take(&mut events);
+            for event in round {
+                if event.token < TOKEN_FIRST_CONN {
+                    continue;
+                }
+                if !self.conns.contains_key(&event.token) {
+                    continue;
+                }
+                if event.hangup {
+                    self.close(event.token, CloseCause::Ordinary);
+                    continue;
+                }
+                if event.writable {
+                    self.flush(event.token);
+                }
+                if event.readable {
+                    self.advance_reads(event.token);
+                }
+            }
+            self.publish_open();
+            if self.accept_dead && self.conns.is_empty() {
+                break;
+            }
+        }
+        self.drain_on_shutdown();
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.close(token, CloseCause::Ordinary);
+        }
+        self.publish_open();
+        // Dropping self.job_tx (with the loop) closes the worker
+        // channel; NetServer joins the workers after this thread.
+    }
+
+    /// Best-effort bounded flush of in-flight work at shutdown: wait
+    /// for busy workers and drain outbound buffers, but never past
+    /// [`SHUTDOWN_GRACE`] — a peer that won't read loses its tail.
+    fn drain_on_shutdown(&mut self) {
+        let deadline = Instant::now() + SHUTDOWN_GRACE;
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            let unfinished = self.conns.values().any(|c| c.busy || c.pending() > 0);
+            if !unfinished || Instant::now() >= deadline {
+                return;
+            }
+            events.clear();
+            let _ = self.poller.wait(&mut events, Duration::from_millis(10));
+            self.wake_rx.drain();
+            self.drain_completions();
+            let tokens: Vec<u64> = self
+                .conns
+                .iter()
+                .filter(|(_, c)| c.pending() > 0)
+                .map(|(&t, _)| t)
+                .collect();
+            for token in tokens {
+                self.flush(token);
+            }
+        }
+    }
+
+    fn publish_open(&self) {
+        self.open.store(self.conns.len(), Ordering::Relaxed);
+    }
+
+    /// Accept until the listener runs dry (or errors out).
+    fn drain_accepts(&mut self) {
+        loop {
+            match self.listener.poll_accept() {
+                Ok(stream) => self.admit(stream),
+                Err(e) => match classify_accept_error(&e) {
+                    AcceptDisposition::Idle => return,
+                    AcceptDisposition::Retry => continue,
+                    AcceptDisposition::Backoff => {
+                        // Rare resource exhaustion: a short blocking
+                        // sleep beats a 100%-CPU retry spin, even at
+                        // the cost of pausing the poller briefly.
+                        std::thread::sleep(ACCEPT_BACKOFF);
+                        return;
+                    }
+                    AcceptDisposition::Fatal => {
+                        self.accept_dead = true;
+                        return;
+                    }
+                },
+            }
+        }
+    }
+
+    /// Register a fresh connection and greet it.
+    fn admit(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let token = self.next_token;
+        self.next_token += 1;
+        let mut conn = Conn {
+            stream,
+            reader: FrameReader::new(),
+            out: Frame::Hello {
+                version: PROTOCOL_VERSION,
+            }
+            .encode(),
+            sent: 0,
+            busy: false,
+            closing: false,
+            registered: Interest {
+                read: false,
+                write: false,
+            },
+        };
+        let id = conn.stream.sock_id();
+        let interest = conn.desired_interest();
+        if self.poller.add(id, token, interest).is_err() {
+            return;
+        }
+        conn.registered = interest;
+        self.service.live_metrics().record_conn_opened();
+        self.conns.insert(token, conn);
+        self.flush(token);
+        self.publish_open();
+    }
+
+    /// Re-register a connection's interest if it changed.
+    fn update_interest(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let desired = conn.desired_interest();
+        if desired != conn.registered {
+            let id = conn.stream.sock_id();
+            if self.poller.modify(id, token, desired).is_ok() {
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.registered = desired;
+                }
+            }
+        }
+    }
+
+    /// Move queued responses from workers into connection buffers.
+    fn drain_completions(&mut self) {
+        let ready: Vec<Completion> =
+            std::mem::take(&mut *self.completions.lock().expect("completion queue poisoned"));
+        for done in ready {
+            // A completion for a connection that hung up mid-query
+            // finds nobody — tokens are never reused, so it can't be
+            // misdelivered either.
+            if !self.conns.contains_key(&done.token) {
+                continue;
+            }
+            self.enqueue_response(done.token, done.bytes);
+        }
+    }
+
+    /// Queue response bytes for a connection, enforcing the
+    /// backpressure cap *before* appending: leftover unsent bytes mean
+    /// the peer is not draining, and it is cut off rather than buffered
+    /// without bound. (Checking before the append is what allows any
+    /// single response to exceed the cap.)
+    fn enqueue_response(&mut self, token: u64, bytes: Vec<u8>) {
+        let stalled = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            conn.busy = false;
+            conn.pending() > self.options.outbound_cap
+        };
+        if stalled {
+            self.close(token, CloseCause::Backpressure);
+            return;
+        }
+        if let Some(conn) = self.conns.get_mut(&token) {
+            // Drop the already-sent prefix so the buffer doesn't grow
+            // monotonically across a long session.
+            conn.out.drain(..conn.sent);
+            conn.sent = 0;
+            conn.out.extend_from_slice(&bytes);
+        }
+        self.flush(token);
+        // The reader may hold a complete pipelined frame that arrived
+        // while this request executed; readiness won't re-announce it.
+        self.advance_reads(token);
+    }
+
+    /// Write as much of the outbound buffer as the socket accepts.
+    fn flush(&mut self, token: u64) {
+        let mut closed = false;
+        {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            while conn.pending() > 0 {
+                match conn.stream.write(&conn.out[conn.sent..]) {
+                    Ok(0) => {
+                        closed = true;
+                        break;
+                    }
+                    Ok(n) => conn.sent += n,
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        closed = true;
+                        break;
+                    }
+                }
+            }
+            if conn.pending() == 0 {
+                conn.out.clear();
+                conn.sent = 0;
+                if conn.closing {
+                    closed = true;
+                }
+            }
+        }
+        if closed {
+            self.close(token, CloseCause::Ordinary);
+        } else {
+            self.update_interest(token);
+        }
+    }
+
+    /// Drive the frame reader while the connection is idle; dispatch at
+    /// most one request (per-connection response ordering), then pause
+    /// reads until its completion re-enters here.
+    fn advance_reads(&mut self, token: u64) {
+        let action = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.busy || conn.closing {
+                return;
+            }
+            // One poll either drains the socket to WouldBlock or yields
+            // one complete frame (any surplus stays buffered in the
+            // reader for the post-completion re-check).
+            match conn.reader.poll(&mut conn.stream) {
+                Ok(FramePoll::Payload(payload)) => ReadAction::Frame(payload),
+                Ok(FramePoll::Idle) => ReadAction::Idle,
+                Ok(FramePoll::Closed) => ReadAction::Close,
+                Err(CodecError::Truncated) => ReadAction::Close,
+                Err(e) => ReadAction::Refuse(WIRE_MALFORMED, e.to_string()),
+            }
+        };
+        match action {
+            ReadAction::Idle => self.update_interest(token),
+            ReadAction::Close => self.close(token, CloseCause::Ordinary),
+            ReadAction::Refuse(code, why) => self.refuse(token, code, &why),
+            ReadAction::Frame(payload) => {
+                let frame = match Frame::decode(&payload) {
+                    Ok(frame) => frame,
+                    Err(e) => {
+                        self.refuse(token, WIRE_MALFORMED, &e.to_string());
+                        return;
+                    }
+                };
+                let Some(request) = request_from_frame(&frame) else {
+                    let why = format!("expected a Query frame, got tag {}", frame.tag());
+                    self.refuse(token, WIRE_UNEXPECTED_FRAME, &why);
+                    return;
+                };
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.busy = true;
+                }
+                if self.job_tx.send(Job { token, request }).is_err() {
+                    // Workers are gone — the server is unwinding.
+                    self.close(token, CloseCause::Ordinary);
+                    return;
+                }
+                self.update_interest(token);
+            }
+        }
+    }
+
+    /// Send a transport-coded error, then close once it flushes: once
+    /// framing is in doubt the stream cannot be resynchronized.
+    fn refuse(&mut self, token: u64, code: u16, message: &str) {
+        let bytes = Frame::Error {
             code,
             message: message.to_string(),
-        },
-    )
+        }
+        .encode();
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.closing = true;
+            conn.out.drain(..conn.sent);
+            conn.sent = 0;
+            conn.out.extend_from_slice(&bytes);
+        }
+        self.flush(token);
+    }
+
+    /// Tear a connection down and record why.
+    fn close(&mut self, token: u64, cause: CloseCause) {
+        let Some(conn) = self.conns.remove(&token) else {
+            return;
+        };
+        let metrics = self.service.live_metrics();
+        if let CloseCause::Backpressure = cause {
+            // Best-effort parting shot: whatever fits in the socket
+            // buffer of an already-stalled peer.
+            metrics.record_conn_backpressure_close();
+            let mut stream = &conn.stream;
+            let _ = stream.write(
+                &Frame::Error {
+                    code: WIRE_BACKPRESSURE,
+                    message: "outbound buffer cap exceeded; peer not draining responses"
+                        .to_string(),
+                }
+                .encode(),
+            );
+        }
+        metrics.record_conn_closed();
+        let _ = self.poller.remove(conn.stream.sock_id());
+        // conn (and its socket) drops here.
+        self.publish_open();
+    }
 }
 
-fn write_frame(stream: &mut TcpStream, frame: &Frame) -> std::io::Result<()> {
-    stream.write_all(&frame.encode())
+/// Outcome of one reader poll, decided while the connection was
+/// mutably borrowed.
+enum ReadAction {
+    Idle,
+    Close,
+    Refuse(u16, String),
+    Frame(Vec<u8>),
 }
 
 #[cfg(test)]
@@ -275,7 +775,6 @@ mod tests {
     use polygen_workload::{self as workload, WorkloadConfig};
     use std::collections::VecDeque;
     use std::io;
-    use std::sync::Mutex;
     use std::time::Instant;
 
     fn tiny_service() -> Arc<QueryService> {
@@ -309,6 +808,45 @@ mod tests {
                 .pop_front()
                 .unwrap_or_else(|| Err(io::Error::from(ErrorKind::WouldBlock)))
         }
+    }
+
+    /// Run a poller loop over an injected acceptor, with a real worker
+    /// pool, and return the thread handle plus stop flag and waker.
+    fn spawn_test_loop(
+        acceptor: FakeAcceptor,
+        open: Arc<AtomicUsize>,
+    ) -> (JoinHandle<()>, Arc<AtomicBool>, Waker) {
+        let service = tiny_service();
+        let stop = Arc::new(AtomicBool::new(false));
+        let (waker, wake_rx) = sys::wake_pair().unwrap();
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
+        // One worker is enough for the lifecycle tests.
+        {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            let completions = Arc::clone(&completions);
+            let waker = waker.try_clone().unwrap();
+            std::thread::spawn(move || worker_loop(service, stop, job_rx, completions, waker));
+        }
+        let handle = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut loop_state = PollerLoop::new(
+                    acceptor,
+                    service,
+                    NetServerOptions::default(),
+                    stop,
+                    open,
+                    wake_rx,
+                    job_tx,
+                    completions,
+                );
+                loop_state.run();
+            })
+        };
+        (handle, stop, waker)
     }
 
     #[test]
@@ -348,14 +886,8 @@ mod tests {
             Err(io::Error::from_raw_os_error(24)), // EMFILE
             Ok(served),
         ]);
-        let stop = Arc::new(AtomicBool::new(false));
         let open = Arc::new(AtomicUsize::new(0));
-        let loop_handle = {
-            let service = tiny_service();
-            let stop = Arc::clone(&stop);
-            let open = Arc::clone(&open);
-            std::thread::spawn(move || accept_loop(acceptor, service, stop, open))
-        };
+        let (loop_handle, stop, waker) = spawn_test_loop(acceptor, Arc::clone(&open));
 
         // The connection accepted *after* the transient errors greets —
         // proof the listener survived them.
@@ -379,18 +911,17 @@ mod tests {
         );
 
         stop.store(true, Ordering::SeqCst);
+        waker.wake();
         loop_handle.join().unwrap();
     }
 
-    /// A fatal listener error still stops the loop (it must not spin on
-    /// an unusable listener).
+    /// A fatal listener error still stops the loop once nothing is left
+    /// to serve (it must not spin on an unusable listener).
     #[test]
     fn fatal_accept_errors_stop_the_loop() {
         let acceptor = FakeAcceptor::new(vec![Err(io::Error::from(ErrorKind::InvalidInput))]);
-        let stop = Arc::new(AtomicBool::new(false));
         let open = Arc::new(AtomicUsize::new(0));
-        let service = tiny_service();
-        let handle = std::thread::spawn(move || accept_loop(acceptor, service, stop, open));
+        let (handle, _stop, _waker) = spawn_test_loop(acceptor, open);
         let started = Instant::now();
         handle.join().unwrap();
         assert!(
@@ -399,16 +930,16 @@ mod tests {
         );
     }
 
-    /// The satellite bug: finished connection handles were only reaped
-    /// in the WouldBlock arm, so sustained connect load grew the handle
-    /// vec without bound. Now every accept reaps; after a burst of
+    /// The satellite bug: finished connections used to leak tracking
+    /// state (reaping only ran in the WouldBlock arm). The poller drops
+    /// a connection the moment its hangup surfaces; after a burst of
     /// short-lived sessions the tracked count must fall back to zero.
     #[test]
     fn finished_connections_are_reaped_under_connect_load() {
         let server = NetServer::spawn(tiny_service(), "127.0.0.1:0").expect("bind");
         let addr = server.addr();
         for _ in 0..32 {
-            // Connect, read the greeting, hang up immediately.
+            // Connect, then hang up immediately.
             let stream = TcpStream::connect(addr).expect("connect");
             drop(stream);
         }

@@ -41,6 +41,13 @@ pub struct ServiceMetrics {
     miss_latency_micros: AtomicU64,
     peak_queue_depth: AtomicU64,
     peak_concurrency: AtomicU64,
+    /// Connection-level telemetry, recorded by whatever transport front
+    /// door carries the service (the TCP server in `polygen-net`).
+    /// `conns_open` is a gauge; the rest are monotone counters.
+    conns_accepted: AtomicU64,
+    conns_open: AtomicU64,
+    conns_peak_open: AtomicU64,
+    conns_backpressure_closed: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -104,6 +111,31 @@ impl ServiceMetrics {
             .fetch_max(active as u64, Ordering::Relaxed);
     }
 
+    /// A transport accepted a connection. Public (unlike the query-path
+    /// recorders) because the front door lives in a different crate.
+    pub fn record_conn_opened(&self) {
+        self.conns_accepted.fetch_add(1, Ordering::Relaxed);
+        let open = self.conns_open.fetch_add(1, Ordering::Relaxed) + 1;
+        self.conns_peak_open.fetch_max(open, Ordering::Relaxed);
+    }
+
+    /// A connection ended (peer hangup, protocol violation, shutdown —
+    /// any cause, including backpressure closes, which are *also*
+    /// recorded separately).
+    pub fn record_conn_closed(&self) {
+        // Saturating: a stray extra close must not wrap the gauge.
+        let _ = self
+            .conns_open
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1));
+    }
+
+    /// A connection was closed because the peer stopped draining its
+    /// responses and the outbound buffer hit the cap.
+    pub fn record_conn_backpressure_close(&self) {
+        self.conns_backpressure_closed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Freeze the counters into a plain value.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -128,6 +160,10 @@ impl ServiceMetrics {
             miss_latency_micros: self.miss_latency_micros.load(Ordering::Relaxed),
             peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
             peak_concurrency: self.peak_concurrency.load(Ordering::Relaxed),
+            conns_accepted: self.conns_accepted.load(Ordering::Relaxed),
+            conns_open: self.conns_open.load(Ordering::Relaxed),
+            conns_peak_open: self.conns_peak_open.load(Ordering::Relaxed),
+            conns_backpressure_closed: self.conns_backpressure_closed.load(Ordering::Relaxed),
         }
     }
 }
@@ -170,6 +206,14 @@ pub struct MetricsSnapshot {
     pub peak_queue_depth: u64,
     /// Most queries observed executing at once.
     pub peak_concurrency: u64,
+    /// Transport connections accepted over the service's lifetime.
+    pub conns_accepted: u64,
+    /// Transport connections open at snapshot time (a gauge).
+    pub conns_open: u64,
+    /// Most transport connections open at once.
+    pub conns_peak_open: u64,
+    /// Connections closed for refusing to drain their responses.
+    pub conns_backpressure_closed: u64,
 }
 
 impl MetricsSnapshot {
@@ -262,6 +306,16 @@ impl fmt::Display for MetricsSnapshot {
                 .collect();
             writeln!(f, "errors by code: {}", buckets.join(", "))?;
         }
+        if self.conns_accepted > 0 {
+            writeln!(
+                f,
+                "connections: {} accepted, {} open (peak {}), {} backpressure-closed",
+                self.conns_accepted,
+                self.conns_open,
+                self.conns_peak_open,
+                self.conns_backpressure_closed
+            )?;
+        }
         write!(
             f,
             "peaks: {} concurrent, queue depth {}",
@@ -298,6 +352,26 @@ mod tests {
         assert_eq!(s.peak_concurrency, 3);
         assert_eq!(s.peak_queue_depth, 5);
         assert!(s.to_string().contains("plan cache"));
+    }
+
+    #[test]
+    fn connection_counters_track_gauge_and_peak() {
+        let m = ServiceMetrics::default();
+        m.record_conn_opened();
+        m.record_conn_opened();
+        m.record_conn_opened();
+        m.record_conn_closed();
+        m.record_conn_backpressure_close();
+        m.record_conn_closed();
+        // A stray extra close must saturate at zero, not wrap.
+        m.record_conn_closed();
+        m.record_conn_closed();
+        let s = m.snapshot();
+        assert_eq!(s.conns_accepted, 3);
+        assert_eq!(s.conns_open, 0);
+        assert_eq!(s.conns_peak_open, 3);
+        assert_eq!(s.conns_backpressure_closed, 1);
+        assert!(s.to_string().contains("connections: 3 accepted"));
     }
 
     #[test]

@@ -455,6 +455,14 @@ impl QueryService {
         self.metrics.snapshot()
     }
 
+    /// The live counters, for recorders outside this crate — the
+    /// transport front door feeds its connection-level telemetry
+    /// (accepted / open / backpressure-closed) into the same registry
+    /// the query path uses, so one snapshot tells the whole story.
+    pub fn live_metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
     /// `(plans, results)` currently cached.
     pub fn cache_sizes(&self) -> (usize, usize) {
         (

@@ -1,5 +1,6 @@
-//! The front door end to end: a TCP server over a synthetic federation,
-//! a closed-loop TCP client population, and a single hand-driven client
+//! The front door end to end: an evented TCP server over a synthetic
+//! federation, a closed-loop TCP client population threading between a
+//! thousand parked idle sessions, and a single hand-driven client
 //! showing the frame-level conversation — tagged rows, explain plans,
 //! stable error codes.
 //!
@@ -15,8 +16,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn main() {
-    // 1. Serve a 3-source federation on an ephemeral loopback port. The
-    //    connection threads only frame bytes; admission control and the
+    // 1. Serve a 3-source federation on an ephemeral loopback port. One
+    //    poller thread owns every connection socket and a small worker
+    //    pool frames bytes and executes; admission control and the
     //    shared thread budget inside QueryService still bound the work.
     let config = WorkloadConfig::default()
         .with_sources(3)
@@ -30,16 +32,23 @@ fn main() {
     let addr = server.addr();
     println!("serving on {addr}\n");
 
-    // 2. A closed-loop TCP population: same deterministic per-client
-    //    scripts as the in-process driver, but over real sockets.
+    // 2. A closed-loop TCP population — same deterministic per-client
+    //    scripts as the in-process driver, but over real sockets — plus
+    //    a thousand *idle* connections parked for the whole run. Each
+    //    idle session is one registration in the readiness poller, not
+    //    a thread: the server stays an O(workers)-thread process.
     let mix = ClientMix::default()
         .with_clients(4)
         .with_queries_per_client(16)
         .with_think(Duration::from_millis(1));
-    let run = NetClientMix::new(mix).drive(addr).expect("population runs");
+    let run = NetClientMix::new(mix)
+        .with_idle_connections(1_000)
+        .drive(addr)
+        .expect("population runs");
     println!(
-        "population: {} queries from 4 clients in {:?} ({:.0} q/s over TCP)",
+        "population: {} queries from 4 clients (+{} idle sessions parked) in {:?} ({:.0} q/s over TCP)",
         run.queries,
+        run.idle,
         run.elapsed,
         run.qps()
     );

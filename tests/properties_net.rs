@@ -25,12 +25,15 @@ use polygen::flat::relation::Relation;
 use polygen::flat::value::Value;
 use polygen::net::codec::CodecError;
 use polygen::net::prelude::*;
+use polygen::net::protocol::request_frame;
 use polygen::serve::prelude::*;
 use polygen::workload::{self, ClientMix, MixWeights};
 use proptest::prelude::*;
+use std::io::Write;
+use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A deterministic, seed-driven frame of any kind — the generator
 /// behind the codec round-trip property. A tiny splitmix keeps the
@@ -467,4 +470,247 @@ fn summaries_and_metrics_agree_with_the_run() {
     // After shutdown the port is closed: connecting errors rather than
     // producing a phantom session.
     assert!(NetClient::connect(addr).is_err());
+}
+
+/// Read one full response stream (frames up to and including the
+/// terminal frame) from a raw socket — the hand-rolled client used by
+/// the soak tests to control exactly when bytes are read.
+fn read_response(stream: &mut TcpStream, reader: &mut FrameReader) -> Vec<Frame> {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut frames = Vec::new();
+    loop {
+        assert!(Instant::now() < deadline, "response never completed");
+        match reader.poll(stream).expect("stream decodes") {
+            FramePoll::Payload(payload) => {
+                let frame = Frame::decode(&payload).expect("frame decodes");
+                let done = frame.is_terminal();
+                frames.push(frame);
+                if done {
+                    return frames;
+                }
+            }
+            FramePoll::Idle => continue,
+            FramePoll::Closed => panic!("server hung up mid-response"),
+        }
+    }
+}
+
+/// Connect a raw socket and consume the greeting (a single non-terminal
+/// `Hello` frame).
+fn raw_session(addr: std::net::SocketAddr) -> (TcpStream, FrameReader) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(20)))
+        .expect("read timeout");
+    let mut reader = FrameReader::new();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        assert!(Instant::now() < deadline, "greeting never arrived");
+        match reader.poll(&mut stream).expect("greeting decodes") {
+            FramePoll::Payload(payload) => {
+                let frame = Frame::decode(&payload).expect("frame decodes");
+                assert!(matches!(frame, Frame::Hello { .. }));
+                return (stream, reader);
+            }
+            FramePoll::Idle => continue,
+            FramePoll::Closed => panic!("server hung up before greeting"),
+        }
+    }
+}
+
+/// Soak: ~1k concurrent idle connections are parked sessions, not
+/// parked threads — the scripted traffic threading between them stays
+/// byte-identical to in-process execution, the service's connection
+/// gauge sees the whole population, and the server is still the same
+/// O(workers)-thread process afterwards.
+#[test]
+fn soak_thousand_idle_connections_stay_serviceable() {
+    let scenario = workload::generate(&small_config(21, 3, 72));
+    let (service, server) = spawn_server(&scenario, ServeOptions::default());
+    let uncached = QueryService::for_scenario(&scenario, ServeOptions::default().without_caches());
+    let mix = ClientMix::default()
+        .with_seed(21)
+        .with_clients(2)
+        .with_queries_per_client(4);
+    let idle = 1_000;
+    let run = NetClientMix::new(mix)
+        .with_idle_connections(idle)
+        .drive(server.addr())
+        .expect("run with parked population");
+    assert_eq!(run.queries, mix.total_queries());
+    assert_eq!(run.idle, idle);
+    // Every scripted answer, served while 1k sessions sat parked, is
+    // still byte-identical to the in-process baseline.
+    for (client, frames_per_query) in run.per_client.iter().enumerate() {
+        for (frames, q) in frames_per_query.iter().zip(&mix.script(client)) {
+            assert_eq!(
+                deterministic_bytes(frames),
+                baseline_bytes(&uncached, q),
+                "client {client} diverged under the idle population"
+            );
+        }
+    }
+    // The connection gauge saw the full population (idle + scripted).
+    let metrics = service.metrics();
+    assert!(
+        metrics.conns_peak_open >= (idle + mix.clients) as u64,
+        "peak open {} never covered the parked population",
+        metrics.conns_peak_open
+    );
+    assert_eq!(metrics.conns_backpressure_closed, 0);
+    // The parked population dropped with the run; the poller reaps the
+    // hangups promptly.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server.open_connections() > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "{} sessions never reaped after the run",
+            server.open_connections()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.shutdown();
+}
+
+/// Soak: a deliberately slow reader (sleeps before draining each
+/// response) interleaved with a fast client on the same server — both
+/// streams stay byte-identical to the in-process baseline. The poller's
+/// per-connection buffers must not let one session's pacing corrupt or
+/// reorder another's.
+#[test]
+fn soak_slow_and_fast_interleaved_clients_get_identical_streams() {
+    let scenario = workload::generate(&small_config(5, 3, 72));
+    let (_service, server) = spawn_server(&scenario, ServeOptions::default());
+    let uncached = QueryService::for_scenario(&scenario, ServeOptions::default().without_caches());
+    let queries: Vec<polygen::workload::ClientQuery> = (0..6)
+        .map(|c| polygen::workload::ClientQuery {
+            lang: polygen::workload::QueryLang::Algebra,
+            text: format!("PENTITY [CATEGORY = \"C{c}\"]"),
+        })
+        .collect();
+    let baselines: Vec<Vec<u8>> = queries
+        .iter()
+        .map(|q| baseline_bytes(&uncached, q))
+        .collect();
+    let addr = server.addr();
+    std::thread::scope(|scope| {
+        let fast = scope.spawn(|| {
+            let mut session = NetClient::connect(addr).expect("fast connects");
+            for _round in 0..3 {
+                for (q, want) in queries.iter().zip(&baselines) {
+                    let frames = session.execute_frames(&request_for(q)).expect("fast run");
+                    assert_eq!(
+                        &deterministic_bytes(&frames),
+                        want,
+                        "fast client diverged on `{}`",
+                        q.text
+                    );
+                }
+            }
+        });
+        let slow = scope.spawn(|| {
+            let (mut stream, mut reader) = raw_session(addr);
+            for _round in 0..2 {
+                for (q, want) in queries.iter().zip(&baselines) {
+                    stream
+                        .write_all(&request_frame(&request_for(q)).encode())
+                        .expect("slow sends");
+                    // The slow part: the response sits in the server's
+                    // outbound buffer (or kernel) while we look away.
+                    std::thread::sleep(Duration::from_millis(15));
+                    let frames = read_response(&mut stream, &mut reader);
+                    assert_eq!(
+                        &deterministic_bytes(&frames),
+                        want,
+                        "slow client diverged on `{}`",
+                        q.text
+                    );
+                }
+            }
+        });
+        fast.join().expect("fast client");
+        slow.join().expect("slow client");
+    });
+    server.shutdown();
+}
+
+/// Soak (regression for the write-timeout bug): a peer that queries and
+/// then stops reading entirely used to pin a connection thread in a
+/// blocking `write_all`, hanging `NetServer::shutdown` forever. With
+/// nonblocking buffered writes, shutdown must complete within its
+/// bounded grace period.
+#[test]
+fn soak_stalled_reader_cannot_hang_shutdown() {
+    let scenario = workload::generate(&small_config(7, 3, 2_000));
+    let (_service, server) = spawn_server(&scenario, ServeOptions::default());
+    let (mut stream, _reader) = raw_session(server.addr());
+    // Pipeline a batch of row-heavy queries and never read a byte of
+    // the responses.
+    let frame = request_frame(&Request::algebra("PENTITY [CATEGORY = \"C0\"]")).encode();
+    for _ in 0..8 {
+        stream.write_all(&frame).expect("queries sent");
+    }
+    // Give the workers a moment to start producing responses into the
+    // stalled connection's outbound path.
+    std::thread::sleep(Duration::from_millis(200));
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        server.shutdown();
+        let _ = done_tx.send(());
+    });
+    assert!(
+        done_rx.recv_timeout(Duration::from_secs(15)).is_ok(),
+        "shutdown hung on a stalled reader"
+    );
+    drop(stream);
+}
+
+/// Soak: a peer that keeps issuing queries but never drains responses
+/// trips the outbound backpressure cap and is closed — with the
+/// backpressure close recorded in the service metrics — instead of
+/// buffering server memory without bound or blocking anything.
+#[test]
+fn soak_backpressure_closes_a_peer_that_stops_reading() {
+    let scenario = workload::generate(&small_config(7, 3, 2_000));
+    let service = Arc::new(QueryService::for_scenario(
+        &scenario,
+        ServeOptions::default(),
+    ));
+    let server = polygen::net::NetServerOptions {
+        outbound_cap: 64 * 1024,
+        ..Default::default()
+    };
+    let server = polygen::net::NetServer::spawn_with(Arc::clone(&service), "127.0.0.1:0", server)
+        .expect("bind");
+    // Size one response, then pipeline enough of them to overflow both
+    // the kernel's socket buffering and the 64 KiB cap.
+    let request = Request::algebra("PENTITY [CATEGORY = \"C0\"]");
+    let one: usize = response_frames(&service.execute(request.clone()))
+        .iter()
+        .map(|f| f.encode().len())
+        .sum();
+    assert!(one > 0);
+    let needed = (4 * 1024 * 1024 / one).clamp(16, 4_000);
+    let (mut stream, _reader) = raw_session(server.addr());
+    let frame = request_frame(&request).encode();
+    for _ in 0..needed {
+        stream.write_all(&frame).expect("queries sent");
+    }
+    // Never read. The server must cut this connection off.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while service.metrics().conns_backpressure_closed == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "stalled peer was never backpressure-closed \
+             (one response = {one} bytes, {needed} pipelined)"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // And the rest of the server is unaffected: a fresh connection
+    // still gets served.
+    let mut fresh = NetClient::connect(server.addr()).expect("fresh connects");
+    let served = fresh.execute(&request).expect("healthy transport");
+    assert!(matches!(served, Response::Rows { .. }));
+    server.shutdown();
+    drop(stream);
 }
