@@ -134,8 +134,13 @@ fn e2e_sweep(c: &mut Criterion) {
                     &plan,
                     |b, plan| {
                         b.iter(|| {
-                            execute_plan(black_box(plan), &registry, &scenario.dictionary, opts)
-                                .unwrap()
+                            execute_plan(
+                                black_box(plan),
+                                &registry,
+                                &scenario.dictionary,
+                                opts.clone(),
+                            )
+                            .unwrap()
                         })
                     },
                 );

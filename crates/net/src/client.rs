@@ -140,6 +140,24 @@ impl NetClient {
         Ok(response_from_frames(&frames)?)
     }
 
+    /// Fetch the server's metrics scrape (Prometheus exposition text
+    /// plus the slow-query log) — the wire spelling of
+    /// `QueryService::scrape`. Answered by the server's poller thread,
+    /// so it works even while every query worker is busy.
+    pub fn scrape_stats(&mut self) -> Result<String, NetError> {
+        self.stream.write_all(&Frame::StatsRequest.encode())?;
+        match self.read_frame()? {
+            Frame::Stats { text } => Ok(text),
+            Frame::Error { code, message } if code < 100 => {
+                Err(NetError::Transport { code, message })
+            }
+            other => Err(NetError::Codec(CodecError::Corrupt(format!(
+                "expected Stats, got tag {}",
+                other.tag()
+            )))),
+        }
+    }
+
     /// Block until the next frame (the client sets no read timeout, so
     /// a clean server close is the only `Disconnected` source).
     fn read_frame(&mut self) -> Result<Frame, NetError> {

@@ -11,6 +11,12 @@
 //!   shedding, which arrives as code 503 on a connection that stays
 //!   open. Overload is an answer, not a hangup.
 //!
+//! Besides `Query`, a client may send [`Frame::StatsRequest`]: the
+//! server answers with a single [`Frame::Stats`] (terminal) carrying
+//! the Prometheus-format metrics scrape plus the slow-query log — the
+//! wire spelling of `QueryService::scrape`. Stats are answered by the
+//! poller itself, so the scrape works even when every worker is busy.
+//!
 //! The client reads until a terminal frame. Everything deterministic
 //! (schema, rows, tags, plan text, error codes) precedes the `Summary`
 //! frame, which carries the timing-dependent [`ResponseInfo`]; the
@@ -25,12 +31,15 @@ use crate::codec::{prefix_frame, ByteReader, ByteWriter, CodecError};
 use polygen_core::relation::PolygenRelation;
 use polygen_core::tuple::PolyTuple;
 use polygen_flat::schema::Schema;
-use polygen_serve::request::{ErrorCode, Lang, Request, Response, ResponseInfo};
+use polygen_serve::request::{
+    ErrorCode, ExplainOptions, Lang, Request, RequestOptions, Response, ResponseInfo,
+};
 use std::sync::Arc;
 
 /// Protocol revision; [`Frame::Hello`] announces it and clients refuse a
-/// mismatch.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// mismatch. v2 widened `Query` (EXPLAIN mode tag + trace flag) and
+/// added the `StatsRequest`/`Stats` pair.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Tuples per `Rows` batch frame — bounds per-frame allocation while
 /// keeping framing overhead negligible.
@@ -68,8 +77,10 @@ pub enum Frame {
     Query {
         /// Which parser the text is for.
         lang: Lang,
-        /// Compile-and-render instead of execute.
-        explain: bool,
+        /// EXPLAIN mode (off / plan-only / analyze).
+        explain: ExplainOptions,
+        /// Record a span waterfall server-side (slow-query log).
+        trace: bool,
         /// The query text.
         text: String,
     },
@@ -109,6 +120,14 @@ pub enum Frame {
         /// The info block the service reported.
         info: ResponseInfo,
     },
+    /// Tag 8 — client asks for the service's metrics scrape.
+    StatsRequest,
+    /// Tag 9 — the scrape text (Prometheus exposition + slow-query
+    /// log). Terminal: a `StatsRequest` gets exactly one `Stats` back.
+    Stats {
+        /// `QueryService::scrape` output.
+        text: String,
+    },
 }
 
 impl Frame {
@@ -123,6 +142,8 @@ impl Frame {
             Frame::Empty => 5,
             Frame::Error { .. } => 6,
             Frame::Summary { .. } => 7,
+            Frame::StatsRequest => 8,
+            Frame::Stats { .. } => 9,
         }
     }
 
@@ -130,7 +151,7 @@ impl Frame {
     pub fn is_terminal(&self) -> bool {
         matches!(
             self,
-            Frame::Empty | Frame::Error { .. } | Frame::Summary { .. }
+            Frame::Empty | Frame::Error { .. } | Frame::Summary { .. } | Frame::Stats { .. }
         )
     }
 
@@ -143,10 +164,12 @@ impl Frame {
             Frame::Query {
                 lang,
                 explain,
+                trace,
                 text,
             } => {
                 w.put_u8(lang.wire_tag());
-                w.put_bool(*explain);
+                w.put_u8(explain.wire_tag());
+                w.put_bool(*trace);
                 w.put_str(text);
             }
             Frame::Schema { name, attrs, key } => {
@@ -181,6 +204,8 @@ impl Frame {
                 w.put_u64(info.threads as u64);
                 w.put_u64(info.latency_micros);
             }
+            Frame::StatsRequest => {}
+            Frame::Stats { text } => w.put_str(text),
         }
         prefix_frame(&w.into_bytes())
     }
@@ -197,9 +222,13 @@ impl Frame {
                 let lang_tag = r.get_u8()?;
                 let lang = Lang::from_wire_tag(lang_tag)
                     .ok_or_else(|| CodecError::Corrupt(format!("lang tag {lang_tag}")))?;
+                let explain_tag = r.get_u8()?;
+                let explain = ExplainOptions::from_wire_tag(explain_tag)
+                    .ok_or_else(|| CodecError::Corrupt(format!("explain tag {explain_tag}")))?;
                 Frame::Query {
                     lang,
-                    explain: r.get_bool()?,
+                    explain,
+                    trace: r.get_bool()?,
                     text: r.get_str()?,
                 }
             }
@@ -242,6 +271,8 @@ impl Frame {
                     latency_micros: r.get_u64()?,
                 },
             },
+            8 => Frame::StatsRequest,
+            9 => Frame::Stats { text: r.get_str()? },
             tag => return Err(CodecError::Corrupt(format!("frame tag {tag}"))),
         };
         r.expect_end()?;
@@ -254,6 +285,7 @@ pub fn request_frame(request: &Request) -> Frame {
     Frame::Query {
         lang: request.lang,
         explain: request.options.explain,
+        trace: request.options.trace,
         text: request.text.clone(),
     }
 }
@@ -264,11 +296,15 @@ pub fn request_from_frame(frame: &Frame) -> Option<Request> {
         Frame::Query {
             lang,
             explain,
+            trace,
             text,
         } => Some(Request {
             text: text.clone(),
             lang: *lang,
-            options: polygen_serve::request::RequestOptions { explain: *explain },
+            options: RequestOptions {
+                explain: *explain,
+                trace: *trace,
+            },
         }),
         _ => None,
     }
@@ -421,7 +457,8 @@ mod tests {
             },
             Frame::Query {
                 lang: Lang::App,
-                explain: true,
+                explain: ExplainOptions::Analyze,
+                trace: true,
                 text: "SELECT * FROM V".into(),
             },
             Frame::Schema {
@@ -441,6 +478,10 @@ mod tests {
                 message: "overloaded".into(),
             },
             Frame::Summary { info: info() },
+            Frame::StatsRequest,
+            Frame::Stats {
+                text: "# HELP polygen_queries_total Queries served.\n".into(),
+            },
         ];
         for frame in frames {
             let wire = frame.encode();
@@ -552,10 +593,27 @@ mod tests {
 
     #[test]
     fn query_frames_carry_requests_both_ways() {
-        let req = Request::app("SELECT * FROM V").with_explain(true);
-        let frame = request_frame(&req);
-        let back = request_from_frame(&frame).unwrap();
-        assert_eq!(back, req);
+        let variants = [
+            Request::app("SELECT * FROM V").with_explain(true),
+            Request::sql("SELECT A FROM R").with_explain_mode(ExplainOptions::Analyze),
+            Request::algebra("R [A = 1]").with_trace(true),
+        ];
+        for req in variants {
+            let frame = request_frame(&req);
+            let back = request_from_frame(&frame).unwrap();
+            assert_eq!(back, req);
+        }
         assert_eq!(request_from_frame(&Frame::Empty), None);
+        // An out-of-range explain tag is corrupt, not silently Off.
+        let mut w = crate::codec::ByteWriter::new();
+        w.put_u8(1); // Query tag
+        w.put_u8(0); // Lang::Sql
+        w.put_u8(9); // bogus explain mode
+        w.put_bool(false);
+        w.put_str("SELECT A FROM R");
+        assert!(matches!(
+            Frame::decode(&w.into_bytes()),
+            Err(CodecError::Corrupt(_))
+        ));
     }
 }

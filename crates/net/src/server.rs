@@ -38,6 +38,7 @@ use crate::protocol::{
     WIRE_MALFORMED, WIRE_UNEXPECTED_FRAME,
 };
 use crate::sys::{self, AsSockId, Event, Interest, Poller, WakeReceiver, Waker};
+use polygen_obs::trace::Trace;
 use polygen_serve::request::Request;
 use polygen_serve::service::QueryService;
 use std::collections::HashMap;
@@ -279,21 +280,43 @@ impl Drop for NetServer {
     }
 }
 
-/// One decoded request on its way to the worker pool.
+/// One decoded request on its way to the worker pool. The two instants
+/// bracket the poller's frame decode, so a traced request's waterfall
+/// starts at the wire (`net/decode`, then `net/queue` until a worker
+/// picks the job up).
 struct Job {
     token: u64,
     request: Request,
+    decode_start: Instant,
+    decode_done: Instant,
+}
+
+/// A traced request's recorder, riding the completion back to the
+/// poller so the response-flush span and the slow-log observation can
+/// happen where flushing actually happens.
+struct InFlightTrace {
+    trace: Trace,
+    query: String,
+    started: Instant,
 }
 
 /// One encoded response on its way back to the poller.
 struct Completion {
     token: u64,
     bytes: Vec<u8>,
+    trace: Option<InFlightTrace>,
 }
 
 /// Worker: pull a job, execute it (admission control happens inside
 /// `execute`), hand the encoded frames back, nudge the poller. The lock
 /// is held only around `recv` — never across query execution.
+///
+/// A request with `options.trace` set runs under an enabled recorder:
+/// the worker stamps the wire-side `net/decode` and `net/queue` spans
+/// (root-level, from the job's instants), the service nests its
+/// parse/plan/execute waterfall under `execute_traced`, and the
+/// recorder rides the completion so the poller can close the loop with
+/// `net/flush` once the response drains.
 fn worker_loop(
     service: Arc<QueryService>,
     stop: Arc<AtomicBool>,
@@ -312,7 +335,22 @@ fn worker_loop(
         if stop.load(Ordering::SeqCst) {
             return;
         }
-        let response = service.execute(job.request);
+        let trace = if job.request.options.trace {
+            Trace::enabled()
+        } else {
+            Trace::disabled()
+        };
+        let in_flight = trace.is_enabled().then(|| {
+            let picked = Instant::now();
+            trace.record_closed("net/decode", job.decode_start, job.decode_done);
+            trace.record_closed("net/queue", job.decode_done, picked);
+            InFlightTrace {
+                trace: trace.clone(),
+                query: job.request.text.clone(),
+                started: job.decode_start,
+            }
+        });
+        let response = service.execute_traced(job.request, &trace);
         let mut bytes = Vec::new();
         for frame in response_frames(&response) {
             bytes.extend_from_slice(&frame.encode());
@@ -323,6 +361,7 @@ fn worker_loop(
             .push(Completion {
                 token: job.token,
                 bytes,
+                trace: in_flight,
             });
         waker.wake();
     }
@@ -345,6 +384,17 @@ struct Conn {
     /// Interest currently registered with the poller, to skip no-op
     /// re-registrations.
     registered: Interest,
+    /// A traced request whose response is draining: `flush_start` opens
+    /// the `net/flush` span, closed (and the waterfall fed to the
+    /// slow-query log) when the outbound buffer empties.
+    in_flight: Option<FlushState>,
+}
+
+/// The tail of a traced request's waterfall, owned by the poller while
+/// the response flushes.
+struct FlushState {
+    trace: InFlightTrace,
+    flush_start: Instant,
 }
 
 impl Conn {
@@ -552,6 +602,7 @@ impl<A: Acceptor> PollerLoop<A> {
                 read: false,
                 write: false,
             },
+            in_flight: None,
         };
         let id = conn.stream.sock_id();
         let interest = conn.desired_interest();
@@ -592,7 +643,7 @@ impl<A: Acceptor> PollerLoop<A> {
             if !self.conns.contains_key(&done.token) {
                 continue;
             }
-            self.enqueue_response(done.token, done.bytes);
+            self.enqueue_response(done.token, done.bytes, done.trace);
         }
     }
 
@@ -601,7 +652,7 @@ impl<A: Acceptor> PollerLoop<A> {
     /// the peer is not draining, and it is cut off rather than buffered
     /// without bound. (Checking before the append is what allows any
     /// single response to exceed the cap.)
-    fn enqueue_response(&mut self, token: u64, bytes: Vec<u8>) {
+    fn enqueue_response(&mut self, token: u64, bytes: Vec<u8>, trace: Option<InFlightTrace>) {
         let stalled = {
             let Some(conn) = self.conns.get_mut(&token) else {
                 return;
@@ -619,6 +670,10 @@ impl<A: Acceptor> PollerLoop<A> {
             conn.out.drain(..conn.sent);
             conn.sent = 0;
             conn.out.extend_from_slice(&bytes);
+            conn.in_flight = trace.map(|trace| FlushState {
+                trace,
+                flush_start: Instant::now(),
+            });
         }
         self.flush(token);
         // The reader may hold a complete pipelined frame that arrived
@@ -629,6 +684,7 @@ impl<A: Acceptor> PollerLoop<A> {
     /// Write as much of the outbound buffer as the socket accepts.
     fn flush(&mut self, token: u64) {
         let mut closed = false;
+        let mut drained = None;
         {
             let Some(conn) = self.conns.get_mut(&token) else {
                 return;
@@ -651,10 +707,22 @@ impl<A: Acceptor> PollerLoop<A> {
             if conn.pending() == 0 {
                 conn.out.clear();
                 conn.sent = 0;
+                drained = conn.in_flight.take();
                 if conn.closing {
                     closed = true;
                 }
             }
+        }
+        if let Some(state) = drained {
+            // The response fully left the socket: close the waterfall
+            // with the flush span and feed it to the slow-query log
+            // (the worker skipped the in-service observation because
+            // it passed its own enabled recorder).
+            let t = state.trace;
+            t.trace
+                .record_closed("net/flush", state.flush_start, Instant::now());
+            self.service
+                .observe_slow(&t.query, t.started.elapsed(), &t.trace);
         }
         if closed {
             self.close(token, CloseCause::Ordinary);
@@ -690,6 +758,7 @@ impl<A: Acceptor> PollerLoop<A> {
             ReadAction::Close => self.close(token, CloseCause::Ordinary),
             ReadAction::Refuse(code, why) => self.refuse(token, code, &why),
             ReadAction::Frame(payload) => {
+                let decode_start = Instant::now();
                 let frame = match Frame::decode(&payload) {
                     Ok(frame) => frame,
                     Err(e) => {
@@ -697,6 +766,17 @@ impl<A: Acceptor> PollerLoop<A> {
                         return;
                     }
                 };
+                if matches!(frame, Frame::StatsRequest) {
+                    // Stats are served by the poller itself — no worker
+                    // dispatch, no admission — so a scrape succeeds even
+                    // when the query path is saturated.
+                    let bytes = Frame::Stats {
+                        text: self.service.scrape(),
+                    }
+                    .encode();
+                    self.enqueue_response(token, bytes, None);
+                    return;
+                }
                 let Some(request) = request_from_frame(&frame) else {
                     let why = format!("expected a Query frame, got tag {}", frame.tag());
                     self.refuse(token, WIRE_UNEXPECTED_FRAME, &why);
@@ -705,7 +785,13 @@ impl<A: Acceptor> PollerLoop<A> {
                 if let Some(conn) = self.conns.get_mut(&token) {
                     conn.busy = true;
                 }
-                if self.job_tx.send(Job { token, request }).is_err() {
+                let job = Job {
+                    token,
+                    request,
+                    decode_start,
+                    decode_done: Instant::now(),
+                };
+                if self.job_tx.send(job).is_err() {
                     // Workers are gone — the server is unwinding.
                     self.close(token, CloseCause::Ordinary);
                     return;

@@ -1,0 +1,354 @@
+//! Lock-free log-bucketed latency histograms.
+//!
+//! The bucket math: bucket `0` holds exactly `0 µs`; bucket `i ≥ 1`
+//! holds every value whose highest set bit is bit `i - 1`, i.e. the
+//! half-open power-of-two range `[2^(i-1), 2^i)` µs. Classifying a
+//! sample is therefore one `leading_zeros` and one relaxed
+//! `fetch_add` — no locks, no allocation, safe to hammer from every
+//! worker thread. With [`BUCKETS`] = 48 the top bucket starts at
+//! 2^46 µs (≈ 2.2 years), so the clamp is theoretical.
+//!
+//! Percentiles are nearest-rank over the bucket counts and answer with
+//! the bucket's inclusive upper bound (capped at the observed maximum),
+//! so a reported p99 is never below the true p99 and never above it by
+//! more than the 2× bucket width — "exact within bucket resolution".
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two buckets (see module docs for the layout).
+pub const BUCKETS: usize = 48;
+
+/// The bucket a microsecond value lands in.
+fn bucket_index(micros: u64) -> usize {
+    if micros == 0 {
+        0
+    } else {
+        ((64 - micros.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `index` in microseconds
+/// (`u64::MAX` for the clamped top bucket).
+pub fn bucket_upper_micros(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+/// A lock-free log-bucketed histogram of microsecond latencies.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one microsecond sample.
+    pub fn record_micros(&self, micros: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(micros, Ordering::Relaxed);
+        self.max.fetch_max(micros, Ordering::Relaxed);
+        self.buckets[bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one [`Duration`] sample.
+    pub fn record(&self, d: Duration) {
+        self.record_micros(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// A point-in-time copy of the counters. Buckets are read with
+    /// relaxed ordering; a snapshot taken mid-record may be one sample
+    /// behind on `sum`/`max` relative to `count`, never torn within a
+    /// counter.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = [0u64; BUCKETS];
+        for (c, b) in counts.iter_mut().zip(&self.buckets) {
+            *c = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            counts,
+        }
+    }
+}
+
+/// An owned, mergeable copy of a [`Histogram`]'s counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    count: u64,
+    sum: u64,
+    max: u64,
+    counts: [u64; BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            max: 0,
+            counts: [0; BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples, microseconds.
+    pub fn sum_micros(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample recorded, microseconds.
+    pub fn max_micros(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, microseconds (`0.0` when empty).
+    pub fn mean_micros(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Fold another snapshot into this one (the mergeable half of a
+    /// scatter/gather metrics pipeline).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Nearest-rank percentile in microseconds; `0` with no samples.
+    /// `p` is a fraction (`0.99` = p99), clamped to `[0, 1]`. Answers
+    /// with the containing bucket's upper bound, capped at the observed
+    /// maximum — within a factor of two of the exact order statistic.
+    pub fn percentile_micros(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_micros(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median, microseconds.
+    pub fn p50_micros(&self) -> u64 {
+        self.percentile_micros(0.50)
+    }
+
+    /// 95th percentile, microseconds.
+    pub fn p95_micros(&self) -> u64 {
+        self.percentile_micros(0.95)
+    }
+
+    /// 99th percentile, microseconds.
+    pub fn p99_micros(&self) -> u64 {
+        self.percentile_micros(0.99)
+    }
+
+    /// Append this histogram in Prometheus text exposition format:
+    /// cumulative `_bucket{le="…"}` series, `_sum`, and `_count`.
+    pub fn render_prometheus(&self, name: &str, help: &str, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            // Only emit boundaries that carry information: every
+            // non-empty bucket plus the first empty one after it keeps
+            // the series compact without losing the distribution.
+            if *c == 0 && i + 1 != BUCKETS {
+                continue;
+            }
+            if i + 1 == BUCKETS {
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+            } else {
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                    bucket_upper_micros(i)
+                );
+            }
+        }
+        let _ = writeln!(out, "{name}_sum {}", self.sum);
+        let _ = writeln!(out, "{name}_count {}", self.count);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::LatencySummary;
+
+    #[test]
+    fn bucket_layout_is_power_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper_micros(0), 0);
+        assert_eq!(bucket_upper_micros(1), 1);
+        assert_eq!(bucket_upper_micros(2), 3);
+        assert_eq!(bucket_upper_micros(10), 1023);
+        assert_eq!(bucket_upper_micros(BUCKETS - 1), u64::MAX);
+        // Every value falls in the bucket whose range covers it.
+        for v in [0u64, 1, 2, 3, 7, 8, 100, 4096, 1 << 40] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_micros(i), "{v} above bucket {i}");
+            if i > 1 {
+                assert!(v > bucket_upper_micros(i - 1), "{v} below bucket {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn counts_sum_max_and_mean() {
+        let h = Histogram::new();
+        for v in [1u64, 10, 100, 1000] {
+            h.record_micros(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.sum_micros(), 1111);
+        assert_eq!(s.max_micros(), 1000);
+        assert!((s.mean_micros() - 277.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_track_exact_summary_within_bucket_resolution() {
+        let samples: Vec<u64> = (1..=1000u64).map(|i| i * 3 + 17).collect();
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record_micros(v);
+        }
+        let snap = h.snapshot();
+        let exact = LatencySummary::from_micros(samples);
+        for p in [0.5, 0.95, 0.99, 1.0] {
+            let approx = snap.percentile_micros(p);
+            let truth = exact.percentile_micros(p);
+            assert!(
+                approx >= truth && approx < truth.max(1) * 2,
+                "p{p}: histogram {approx} vs exact {truth}"
+            );
+        }
+        assert_eq!(snap.percentile_micros(1.0), exact.max_micros());
+    }
+
+    #[test]
+    fn merge_is_sum_of_parts() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [5u64, 50, 500] {
+            a.record_micros(v);
+        }
+        for v in [7u64, 70] {
+            b.record_micros(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count(), 5);
+        assert_eq!(merged.sum_micros(), 632);
+        assert_eq!(merged.max_micros(), 500);
+        let all = Histogram::new();
+        for v in [5u64, 50, 500, 7, 70] {
+            all.record_micros(v);
+        }
+        assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record_micros(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        let s = h.snapshot();
+        assert_eq!(s.count(), 4000);
+        assert_eq!(s.max_micros(), 3999);
+        assert_eq!(s.sum_micros(), (0..4000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn prometheus_exposition_is_cumulative() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 1000] {
+            h.record_micros(v);
+        }
+        let mut out = String::new();
+        h.snapshot()
+            .render_prometheus("t_micros", "test histogram", &mut out);
+        assert!(out.contains("# TYPE t_micros histogram"));
+        assert!(out.contains("t_micros_bucket{le=\"1\"} 1"));
+        assert!(out.contains("t_micros_bucket{le=\"3\"} 3"));
+        assert!(out.contains("t_micros_bucket{le=\"1023\"} 4"));
+        assert!(out.contains("t_micros_bucket{le=\"+Inf\"} 4"));
+        assert!(out.contains("t_micros_sum 1006"));
+        assert!(out.contains("t_micros_count 4"));
+    }
+
+    #[test]
+    fn empty_histogram_is_quiet() {
+        let s = Histogram::new().snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.percentile_micros(0.99), 0);
+        assert_eq!(s.mean_micros(), 0.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! The slow-query log: a bounded buffer of the worst queries over a
+//! threshold, each keeping its [`Trace`] *handle* rather than a
+//! rendered report. Rendering happens lazily at scrape time, so spans
+//! recorded after the query's response was handed off — the net
+//! layer's flush span ends only when the peer has drained the bytes —
+//! still appear in the scraped waterfall.
+
+use crate::trace::Trace;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::Duration;
+
+#[derive(Debug)]
+struct Entry {
+    query: String,
+    micros: u64,
+    trace: Trace,
+}
+
+/// Ring of the `capacity` worst queries at or over `threshold`.
+#[derive(Debug)]
+pub struct SlowQueryLog {
+    capacity: usize,
+    threshold_micros: u64,
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl SlowQueryLog {
+    /// A log keeping the `capacity` worst queries taking at least
+    /// `threshold`. A zero threshold records every query (still
+    /// bounded: only the worst `capacity` survive).
+    pub fn new(capacity: usize, threshold: Duration) -> Self {
+        SlowQueryLog {
+            capacity,
+            threshold_micros: u64::try_from(threshold.as_micros()).unwrap_or(u64::MAX),
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The admission threshold, microseconds.
+    pub fn threshold_micros(&self) -> u64 {
+        self.threshold_micros
+    }
+
+    /// Offer one finished query. Kept if it clears the threshold and
+    /// (once full) beats the current best-of-the-worst.
+    pub fn observe(&self, query: &str, elapsed: Duration, trace: &Trace) {
+        if self.capacity == 0 {
+            return;
+        }
+        let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        if micros < self.threshold_micros {
+            return;
+        }
+        let mut entries = self.entries.lock().expect("slowlog lock");
+        if entries.len() < self.capacity {
+            entries.push(Entry {
+                query: query.to_string(),
+                micros,
+                trace: trace.clone(),
+            });
+            return;
+        }
+        // Full: replace the least-slow entry if this one is worse.
+        if let Some((i, floor)) = entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.micros)
+            .map(|(i, e)| (i, e.micros))
+        {
+            if micros > floor {
+                entries[i] = Entry {
+                    query: query.to_string(),
+                    micros,
+                    trace: trace.clone(),
+                };
+            }
+        }
+    }
+
+    /// The current contents, worst first, waterfalls rendered from the
+    /// live trace handles (so post-response spans are included).
+    pub fn snapshot(&self) -> Vec<SlowQueryReport> {
+        let entries = self.entries.lock().expect("slowlog lock");
+        let mut reports: Vec<SlowQueryReport> = entries
+            .iter()
+            .map(|e| SlowQueryReport {
+                query: e.query.clone(),
+                micros: e.micros,
+                waterfall: e.trace.report().map(|r| r.render_waterfall()),
+            })
+            .collect();
+        drop(entries);
+        reports.sort_by(|a, b| b.micros.cmp(&a.micros).then(a.query.cmp(&b.query)));
+        reports
+    }
+
+    /// Append the log to a scrape body as `#`-prefixed comment lines
+    /// (inert to Prometheus parsers, readable to humans).
+    pub fn render(&self, out: &mut String) {
+        let reports = self.snapshot();
+        if reports.is_empty() {
+            return;
+        }
+        let _ = writeln!(
+            out,
+            "# slowlog: {} worst querie(s) over {} µs",
+            reports.len(),
+            self.threshold_micros
+        );
+        for r in &reports {
+            let _ = writeln!(out, "# slowlog {} µs  {}", r.micros, r.query);
+            if let Some(w) = &r.waterfall {
+                for line in w.lines() {
+                    let _ = writeln!(out, "#   {line}");
+                }
+            }
+        }
+    }
+
+    /// Drop every entry (tests, or a scrape-and-reset collector).
+    pub fn clear(&self) {
+        self.entries.lock().expect("slowlog lock").clear();
+    }
+}
+
+/// One slow-log entry as reported at scrape time.
+#[derive(Debug, Clone)]
+pub struct SlowQueryReport {
+    /// The canonical query text.
+    pub query: String,
+    /// End-to-end service latency, microseconds.
+    pub micros: u64,
+    /// The rendered waterfall, when the query carried an enabled trace.
+    pub waterfall: Option<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_worst_n_over_threshold() {
+        let log = SlowQueryLog::new(2, Duration::from_micros(10));
+        let t = Trace::disabled();
+        log.observe("fast", Duration::from_micros(5), &t); // under threshold
+        log.observe("a", Duration::from_micros(20), &t);
+        log.observe("b", Duration::from_micros(50), &t);
+        log.observe("c", Duration::from_micros(30), &t); // evicts a
+        log.observe("d", Duration::from_micros(15), &t); // not worse than floor
+        let snap = log.snapshot();
+        let names: Vec<&str> = snap.iter().map(|r| r.query.as_str()).collect();
+        assert_eq!(names, vec!["b", "c"]);
+        assert_eq!(snap[0].micros, 50);
+        assert!(snap[0].waterfall.is_none(), "disabled trace, no waterfall");
+    }
+
+    #[test]
+    fn waterfalls_render_spans_recorded_after_observe() {
+        let log = SlowQueryLog::new(4, Duration::ZERO);
+        let t = Trace::enabled();
+        let s = t.begin("serve/execute");
+        t.end(s);
+        log.observe("q", Duration::from_micros(100), &t);
+        // The flush span lands after the entry was recorded — a lazy
+        // render must still show it.
+        let f = t.begin("net/flush");
+        t.end(f);
+        let snap = log.snapshot();
+        let w = snap[0].waterfall.as_deref().unwrap();
+        assert!(w.contains("serve/execute"));
+        assert!(w.contains("net/flush"));
+        let mut scrape = String::new();
+        log.render(&mut scrape);
+        assert!(scrape.contains("# slowlog 100 µs  q"));
+        assert!(scrape.lines().all(|l| l.starts_with('#')));
+        log.clear();
+        assert!(log.snapshot().is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_is_inert() {
+        let log = SlowQueryLog::new(0, Duration::ZERO);
+        log.observe("q", Duration::from_micros(1), &Trace::disabled());
+        assert!(log.snapshot().is_empty());
+        let mut out = String::new();
+        log.render(&mut out);
+        assert!(out.is_empty());
+    }
+}

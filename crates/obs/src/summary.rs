@@ -1,0 +1,115 @@
+//! Exact order statistics over a bounded latency sample set.
+//!
+//! This is the measured-client view the closed-loop drivers report
+//! (p50/p95/p99 rather than just a mean, which tail-heavy serving
+//! workloads make misleading). It was born in `polygen-workload` and
+//! grew a second consumer in `polygen-net`'s TCP load generator; it
+//! lives here now so every layer — drivers, benches, and the serving
+//! metrics' streaming [`crate::hist::Histogram`] twin — shares one
+//! nearest-rank definition of "percentile".
+
+use std::time::Duration;
+
+/// Order statistics over a population's per-query latencies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Sorted ascending, microseconds.
+    samples: Vec<u64>,
+}
+
+impl LatencySummary {
+    /// Summarize raw microsecond samples (any order).
+    pub fn from_micros(mut samples: Vec<u64>) -> Self {
+        samples.sort_unstable();
+        LatencySummary { samples }
+    }
+
+    /// Summarize [`Duration`] samples.
+    pub fn from_durations(samples: impl IntoIterator<Item = Duration>) -> Self {
+        Self::from_micros(
+            samples
+                .into_iter()
+                .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+                .collect(),
+        )
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Nearest-rank percentile in microseconds; `0` with no samples.
+    /// `p` is a fraction (`0.99` = p99), clamped to `[0, 1]`.
+    pub fn percentile_micros(&self, p: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let rank = (p.clamp(0.0, 1.0) * self.samples.len() as f64).ceil() as usize;
+        self.samples[rank.saturating_sub(1).min(self.samples.len() - 1)]
+    }
+
+    /// Median latency, microseconds.
+    pub fn p50_micros(&self) -> u64 {
+        self.percentile_micros(0.50)
+    }
+
+    /// 95th-percentile latency, microseconds.
+    pub fn p95_micros(&self) -> u64 {
+        self.percentile_micros(0.95)
+    }
+
+    /// 99th-percentile latency, microseconds.
+    pub fn p99_micros(&self) -> u64 {
+        self.percentile_micros(0.99)
+    }
+
+    /// Slowest sample, microseconds.
+    pub fn max_micros(&self) -> u64 {
+        self.samples.last().copied().unwrap_or(0)
+    }
+
+    /// Mean latency, microseconds.
+    pub fn mean_micros(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_on_a_known_population() {
+        // 1..=100 µs: nearest-rank percentiles are exact.
+        let s = LatencySummary::from_micros((1..=100).rev().collect());
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.p50_micros(), 50);
+        assert_eq!(s.p95_micros(), 95);
+        assert_eq!(s.p99_micros(), 99);
+        assert_eq!(s.max_micros(), 100);
+        assert_eq!(s.percentile_micros(1.0), 100);
+        assert_eq!(s.percentile_micros(0.0), 1);
+        assert!((s.mean_micros() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_quiet() {
+        let s = LatencySummary::from_micros(Vec::new());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.p99_micros(), 0);
+        assert_eq!(s.max_micros(), 0);
+        assert_eq!(s.mean_micros(), 0.0);
+    }
+
+    #[test]
+    fn durations_saturate_not_wrap() {
+        let s = LatencySummary::from_durations([Duration::from_micros(7), Duration::MAX]);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.max_micros(), u64::MAX);
+        assert_eq!(s.p50_micros(), 7);
+    }
+}

@@ -42,6 +42,7 @@ use polygen_flat::value::{Cmp, Value};
 use polygen_index::IndexCatalog;
 use polygen_lqp::engine::LocalOp;
 use polygen_lqp::registry::LqpRegistry;
+use polygen_obs::trace::{Note, Trace};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -53,7 +54,7 @@ use std::sync::Arc;
 const PARALLEL_MIN_TUPLES: usize = 32;
 
 /// Execution knobs.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ExecOptions {
     /// What Merge does when two sources disagree on a non-key attribute.
     pub conflict_policy: ConflictPolicy,
@@ -81,6 +82,12 @@ pub struct ExecOptions {
     /// unless set to `0`/`false`/`off`/`no`. `Some(_)` forces the batch
     /// or row engine. Results are byte-identical on every setting.
     pub batch: Option<bool>,
+    /// Span recorder. Disabled (the default) every span site is one
+    /// branch; enabled, the executor records one span per physical
+    /// node — operator kind, output rows, partition count, and which
+    /// kernel (batch vs row) a pipeline took. Spans observe, never
+    /// steer: results are byte-identical with tracing on or off.
+    pub trace: Trace,
 }
 
 impl ExecOptions {
@@ -205,6 +212,15 @@ impl Slot {
             Slot::Stream(s) => s.schema(),
             Slot::Rel(r) => r.schema(),
             Slot::Batch(b) => b.schema(),
+        }
+    }
+
+    /// Surviving tuples in the slot (what the node emitted).
+    fn len(&self) -> usize {
+        match self {
+            Slot::Stream(s) => s.len(),
+            Slot::Rel(r) => r.len(),
+            Slot::Batch(b) => b.len(),
         }
     }
 
@@ -346,6 +362,24 @@ fn lift_filtered(
     ))
 }
 
+/// The span-site name of one physical operator (static: a disabled
+/// trace must not pay for name formatting).
+fn op_span_name(op: &PhysOp) -> &'static str {
+    match op {
+        PhysOp::Scan { .. } => "exec/Scan",
+        PhysOp::IndexScan { .. } => "exec/IndexScan",
+        PhysOp::Pipeline { .. } => "exec/Pipeline",
+        PhysOp::HashJoin { .. } => "exec/HashJoin",
+        PhysOp::ThetaJoin { .. } => "exec/ThetaJoin",
+        PhysOp::HashMerge { .. } => "exec/HashMerge",
+        PhysOp::AntiJoin { .. } => "exec/AntiJoin",
+        PhysOp::Union { .. } => "exec/Union",
+        PhysOp::Difference { .. } => "exec/Difference",
+        PhysOp::Intersect { .. } => "exec/Intersect",
+        PhysOp::Product { .. } => "exec/Product",
+    }
+}
+
 /// Walk a lowered physical plan with no index catalog (plans containing
 /// `IndexScan` nodes need [`execute_plan_indexed`]).
 pub fn execute_plan(
@@ -406,6 +440,7 @@ pub fn execute_plan_indexed(
         }
     };
     for (i, node) in plan.nodes.iter().enumerate() {
+        let span = options.trace.begin(op_span_name(&node.op));
         let slot = match &node.op {
             PhysOp::Scan { db, op } => {
                 lazy_leaf(registry.execute_tagged(db, op, dictionary)?, remaining[i])
@@ -458,12 +493,23 @@ pub fn execute_plan_indexed(
                     && !options.retain_intermediates
                     && plan::batch_eligible_stages(stages);
                 match take(&mut slots, &mut remaining, *input) {
-                    Slot::Rel(rel) if batch_ok => Slot::Stream(batch_pipeline(rel, stages, &par)?),
+                    Slot::Rel(rel) if batch_ok => {
+                        if !span.is_none() {
+                            options.trace.annotate(span, "kernel", Note::str("batch"));
+                        }
+                        Slot::Stream(batch_pipeline(rel, stages, &par)?)
+                    }
                     Slot::Batch(mut batch) if batch_ok => {
+                        if !span.is_none() {
+                            options.trace.annotate(span, "kernel", Note::str("batch"));
+                        }
                         let projected = run_batch_stages(&mut batch, stages)?;
                         Slot::Stream(emit_batch(batch, projected))
                     }
                     input_slot => {
+                        if !span.is_none() {
+                            options.trace.annotate(span, "kernel", Note::str("row"));
+                        }
                         // Tuple-local prefix (cut at the first Project, whose
                         // duplicate collapse is a whole-stream operation), then
                         // the rest on the much smaller stream. Retention mode
@@ -614,6 +660,25 @@ pub fn execute_plan_indexed(
                 Slot::Stream(TupleStream::from_relation(algebra::product(&l, &r)?))
             }
         };
+        if !span.is_none() {
+            options.trace.annotate(span, "node", Note::Uint(i as u64));
+            options
+                .trace
+                .annotate(span, "row", Note::Uint(node.row as u64));
+            options
+                .trace
+                .annotate(span, "rows", Note::Uint(slot.len() as u64));
+            match node.partitioning {
+                plan::Partitioning::Serial => {}
+                plan::Partitioning::Chunked { partitions }
+                | plan::Partitioning::Hash { partitions, .. } => {
+                    options
+                        .trace
+                        .annotate(span, "partitions", Note::Uint(partitions as u64));
+                }
+            }
+            options.trace.end(span);
+        }
         // Planned and runtime schemas are identical by construction, but
         // the LQP registry has interior mutability: re-registering an LQP
         // between compile and run would make the baked plan stale. Fail

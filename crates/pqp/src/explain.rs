@@ -4,13 +4,14 @@
 
 use crate::costing;
 use crate::iom::render_iom;
-use crate::plan::render_plan;
+use crate::plan::{render_plan, PhysicalPlan};
 use crate::pom::render_pom;
 use crate::pqp::QueryOutcome;
 use polygen_catalog::dictionary::DataDictionary;
 use polygen_core::lineage;
 use polygen_core::render::render_relation;
 use polygen_lqp::registry::LqpRegistry;
+use polygen_obs::trace::TraceReport;
 use std::fmt::Write as _;
 
 /// Render a full explain report for an executed query.
@@ -79,6 +80,54 @@ pub fn explain_with_cost(
     let mut out = explain(outcome, dictionary);
     let _ = writeln!(out, "\n== Plan cost estimate (physical) ==");
     out.push_str(&costing::estimate_physical(&outcome.compiled.physical, registry).to_string());
+    out
+}
+
+/// EXPLAIN ANALYZE rendering: the physical plan in `render_plan` form,
+/// each node line extended with the cost model's estimate
+/// (`est=(µs, ~rows)`) and the measured actuals from a traced run
+/// (`act=(µs, rows)`). `report` must come from a traced execution of
+/// this same `plan` — the executor records one span per node, annotated
+/// with its node index and output row count, and those spans are what
+/// the `act=` side reads. Nodes with no matching span (a plan that
+/// failed mid-walk) render `act=(not executed)`.
+pub fn render_analyzed_plan(
+    plan: &PhysicalPlan,
+    registry: &LqpRegistry,
+    report: &TraceReport,
+) -> String {
+    let cost = costing::estimate_physical(plan, registry);
+    // One executor span per node, keyed by its `node` annotation.
+    let mut act: Vec<Option<(u64, u64)>> = vec![None; plan.nodes.len()];
+    for s in &report.spans {
+        if let (Some(node), Some(rows)) = (s.note_uint("node"), s.note_uint("rows")) {
+            if let Some(slot) = act.get_mut(usize::try_from(node).unwrap_or(usize::MAX)) {
+                *slot = Some((s.duration_micros(), rows));
+            }
+        }
+    }
+    let mut out = String::new();
+    let mut total_act = 0u64;
+    for (i, line) in render_plan(plan).lines().enumerate() {
+        // `estimate_physical` pushes exactly one entry per node, in node
+        // order, so entry `i` is this line's node.
+        let est = cost.rows.get(i).map_or_else(String::new, |(_, us, rows)| {
+            format!("  est=({us:.0} µs, ~{rows:.0} rows)")
+        });
+        let shown_act = act.get(i).copied().flatten().map_or_else(
+            || "  act=(not executed)".to_string(),
+            |(us, rows)| {
+                total_act += us;
+                format!("  act=({us} µs, {rows} rows)")
+            },
+        );
+        let _ = writeln!(out, "{line}{est}{shown_act}");
+    }
+    let _ = writeln!(
+        out,
+        "(estimated {:.0} µs total, executed in {} µs)",
+        cost.total_us, total_act
+    );
     out
 }
 

@@ -49,7 +49,7 @@ pub mod prelude {
         execute, execute_eager, execute_plan, execute_plan_indexed, resolve_attr, ExecOptions,
         ExecutionTrace,
     };
-    pub use crate::explain::explain;
+    pub use crate::explain::{explain, render_analyzed_plan};
     pub use crate::interpreter::{interpret, pass_one, pass_two};
     pub use crate::iom::{render_iom, ExecLoc, Iom, IomRow};
     pub use crate::optimizer::{optimize, OptimizerReport};

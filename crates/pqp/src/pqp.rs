@@ -19,6 +19,7 @@ use polygen_core::relation::PolygenRelation;
 use polygen_index::IndexCatalog;
 use polygen_lqp::registry::LqpRegistry;
 use polygen_lqp::scenario_registry;
+use polygen_obs::trace::Trace;
 use polygen_sql::algebra_expr::{parse_algebra, AlgebraExpr};
 use polygen_sql::lower::{lower, LoweringOptions};
 use polygen_sql::parser::parse_query;
@@ -245,6 +246,18 @@ impl Pqp {
         &self,
         compiled: &CompiledQuery,
     ) -> Result<(PolygenRelation, ExecutionTrace), PqpError> {
+        self.run_compiled_traced(compiled, &Trace::disabled())
+    }
+
+    /// [`Pqp::run_compiled`] with a span recorder attached: an enabled
+    /// `trace` collects one span per physical node (rows out, kernel
+    /// taken, partitions). Execution is byte-identical either way —
+    /// spans observe, never steer.
+    pub fn run_compiled_traced(
+        &self,
+        compiled: &CompiledQuery,
+        trace: &Trace,
+    ) -> Result<(PolygenRelation, ExecutionTrace), PqpError> {
         execute_plan_indexed(
             &compiled.physical,
             &self.registry,
@@ -256,6 +269,7 @@ impl Pqp {
                 threads: self.options.threads,
                 partitions: self.options.partitions,
                 batch: self.options.batch,
+                trace: trace.clone(),
             },
         )
     }
@@ -268,6 +282,27 @@ impl Pqp {
             answer,
             trace,
         })
+    }
+
+    /// EXPLAIN ANALYZE a compiled query: execute it under an enabled
+    /// trace and render the physical tree with the cost model's
+    /// estimates beside the measured per-node actuals
+    /// (`est=(µs, ~rows)  act=(µs, rows)` on every line).
+    pub fn explain_analyze_compiled(&self, compiled: &CompiledQuery) -> Result<String, PqpError> {
+        let trace = Trace::enabled();
+        self.run_compiled_traced(compiled, &trace)?;
+        let report = trace.report().unwrap_or_default();
+        Ok(crate::explain::render_analyzed_plan(
+            &compiled.physical,
+            &self.registry,
+            &report,
+        ))
+    }
+
+    /// EXPLAIN ANALYZE for SQL text (compile, execute traced, render).
+    pub fn explain_analyze(&self, sql: &str) -> Result<String, PqpError> {
+        let compiled = self.compile(self.translate_sql(sql)?)?;
+        self.explain_analyze_compiled(&compiled)
     }
 
     /// SQL in, tagged composite answer out.

@@ -46,12 +46,15 @@ pub mod snapshot;
 pub mod prelude {
     pub use crate::cache::{PlanCache, PlanEntry, ResultCache, ResultKey};
     pub use crate::metrics::{MetricsSnapshot, ServiceMetrics};
-    pub use crate::request::{ErrorCode, Lang, Request, RequestOptions, Response, ResponseInfo};
+    pub use crate::request::{
+        ErrorCode, ExplainOptions, Lang, Request, RequestOptions, Response, ResponseInfo,
+    };
     pub use crate::service::{QueryService, ServeError, ServeOptions, ServeOutcome, Session};
     pub use crate::snapshot::{Federation, FederationSnapshot, VersionVector};
     pub use polygen_index::{IndexCatalog, IndexKind, IndexSpec};
+    pub use polygen_obs::prelude::*;
 }
 
-pub use request::{ErrorCode, Lang, Request, Response};
+pub use request::{ErrorCode, ExplainOptions, Lang, Request, Response};
 pub use service::{QueryService, ServeOptions};
 pub use snapshot::{Federation, FederationSnapshot};

@@ -1,12 +1,18 @@
 //! Service-wide counters, cheap enough for the per-query hot path.
 //!
-//! Everything is a relaxed atomic: the numbers are operator telemetry
-//! (hit rates, latency sums, queue/concurrency peaks), not
-//! synchronization. [`ServiceMetrics::snapshot`] freezes a consistent
-//! *enough* view for dashboards and the bench harness; exact cross-field
-//! consistency is deliberately not promised.
+//! Counters are relaxed atomics and latencies are lock-free log-bucketed
+//! [`Histogram`]s (hit path, executed path, admission queue wait,
+//! execution proper) — percentiles within bucket resolution, not just
+//! sums. [`ServiceMetrics::snapshot`] freezes one coherent
+//! [`MetricsSnapshot`]: the query-path recorders bump a write epoch
+//! around their multi-counter updates and the snapshot re-reads (bounded
+//! retries) until it lands between updates, so a snapshot's `queries`,
+//! `executed`, and histogram counts tell one consistent story instead of
+//! a mid-update tear. [`MetricsSnapshot::render_prometheus`] is the
+//! wire-scrapable text form.
 
 use crate::request::ErrorCode;
+use polygen_obs::hist::{Histogram, HistogramSnapshot};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -34,11 +40,19 @@ pub struct ServiceMetrics {
     executed: AtomicU64,
     invalidated_plans: AtomicU64,
     invalidated_results: AtomicU64,
-    /// Latency split by path: a result-cache hit skips execution
-    /// entirely, so the two sums make the hit-path speedup visible
-    /// without a profiler.
-    hit_latency_micros: AtomicU64,
-    miss_latency_micros: AtomicU64,
+    /// Latency distributions split by path: a result-cache hit skips
+    /// execution entirely, so the two histograms make the hit-path
+    /// speedup visible — p50/p95/p99, not just means.
+    hit_latency: Histogram,
+    miss_latency: Histogram,
+    /// Time spent waiting for admission (queue wait), per admitted query.
+    queue_wait: Histogram,
+    /// Plan execution proper (excludes admission, parsing, caching).
+    execute_latency: Histogram,
+    /// Write epoch for snapshot coherence: incremented before and after
+    /// every multi-counter query-path update (seqlock-style — odd means
+    /// an update is in flight).
+    epoch: AtomicU64,
     peak_queue_depth: AtomicU64,
     peak_concurrency: AtomicU64,
     /// Connection-level telemetry, recorded by whatever transport front
@@ -52,15 +66,26 @@ pub struct ServiceMetrics {
 
 impl ServiceMetrics {
     pub(crate) fn record_query(&self, latency: Duration, result_hit: bool) {
+        self.epoch.fetch_add(1, Ordering::Acquire);
         self.queries.fetch_add(1, Ordering::Relaxed);
-        let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
-        let sum = if result_hit {
-            &self.hit_latency_micros
+        let hist = if result_hit {
+            &self.hit_latency
         } else {
             self.executed.fetch_add(1, Ordering::Relaxed);
-            &self.miss_latency_micros
+            &self.miss_latency
         };
-        sum.fetch_add(micros, Ordering::Relaxed);
+        hist.record(latency);
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Time an admitted query spent waiting for its slot.
+    pub(crate) fn record_queue_wait(&self, wait: Duration) {
+        self.queue_wait.record(wait);
+    }
+
+    /// Plan execution proper (the `run_compiled` call alone).
+    pub(crate) fn record_execute(&self, elapsed: Duration) {
+        self.execute_latency.record(elapsed);
     }
 
     pub(crate) fn record_error(&self) {
@@ -136,8 +161,29 @@ impl ServiceMetrics {
             .fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Freeze the counters into a plain value.
+    /// Freeze the counters into one coherent [`MetricsSnapshot`]. The
+    /// query-path recorders bump the write epoch around their
+    /// multi-counter updates; this read re-runs (a few bounded retries)
+    /// until a stable even epoch brackets it, so the returned snapshot's
+    /// `queries`, `executed`, and latency-histogram counts never expose
+    /// a half-applied `record_query`. Under pathological write pressure
+    /// the last attempt is returned as-is — availability over exactness.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        for _ in 0..8 {
+            let before = self.epoch.load(Ordering::Acquire);
+            if before % 2 != 0 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let snap = self.read_snapshot();
+            if self.epoch.load(Ordering::Acquire) == before {
+                return snap;
+            }
+        }
+        self.read_snapshot()
+    }
+
+    fn read_snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             errors_by_code: self
                 .errors_by_code
@@ -156,8 +202,10 @@ impl ServiceMetrics {
             executed: self.executed.load(Ordering::Relaxed),
             invalidated_plans: self.invalidated_plans.load(Ordering::Relaxed),
             invalidated_results: self.invalidated_results.load(Ordering::Relaxed),
-            hit_latency_micros: self.hit_latency_micros.load(Ordering::Relaxed),
-            miss_latency_micros: self.miss_latency_micros.load(Ordering::Relaxed),
+            hit_latency: self.hit_latency.snapshot(),
+            miss_latency: self.miss_latency.snapshot(),
+            queue_wait: self.queue_wait.snapshot(),
+            execute_latency: self.execute_latency.snapshot(),
             peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
             peak_concurrency: self.peak_concurrency.load(Ordering::Relaxed),
             conns_accepted: self.conns_accepted.load(Ordering::Relaxed),
@@ -198,10 +246,15 @@ pub struct MetricsSnapshot {
     pub invalidated_plans: u64,
     /// Cached answers evicted by source-update invalidation.
     pub invalidated_results: u64,
-    /// Summed latency of result-cache-hit queries, in microseconds.
-    pub hit_latency_micros: u64,
-    /// Summed latency of executed (miss-path) queries, in microseconds.
-    pub miss_latency_micros: u64,
+    /// Latency distribution of result-cache-hit queries.
+    pub hit_latency: HistogramSnapshot,
+    /// Latency distribution of executed (miss-path) queries.
+    pub miss_latency: HistogramSnapshot,
+    /// Admission queue-wait distribution (admitted queries only).
+    pub queue_wait: HistogramSnapshot,
+    /// Plan-execution-proper distribution (the engine run alone,
+    /// excluding admission, parsing, and cache probes).
+    pub execute_latency: HistogramSnapshot,
     /// Deepest admission queue observed.
     pub peak_queue_depth: u64,
     /// Most queries observed executing at once.
@@ -255,7 +308,7 @@ impl MetricsSnapshot {
         if self.result_hits == 0 {
             0.0
         } else {
-            self.hit_latency_micros as f64 / self.result_hits as f64
+            self.hit_latency.sum_micros() as f64 / self.result_hits as f64
         }
     }
 
@@ -264,8 +317,133 @@ impl MetricsSnapshot {
         if self.executed == 0 {
             0.0
         } else {
-            self.miss_latency_micros as f64 / self.executed as f64
+            self.miss_latency.sum_micros() as f64 / self.executed as f64
         }
+    }
+
+    /// The whole snapshot in Prometheus text exposition format:
+    /// monotone counters, the `conns_open` gauge, per-code error
+    /// counters (labelled with the stable code and mnemonic), and the
+    /// four latency histograms with cumulative buckets. This is what
+    /// [`QueryService::scrape`](crate::service::QueryService::scrape)
+    /// serves and the wire `Stats` frame carries.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut counter = |name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        counter(
+            "polygen_queries_total",
+            "Queries answered (hits and misses; excludes rejections/errors)",
+            self.queries,
+        );
+        counter("polygen_errors_total", "Queries that failed", self.errors);
+        counter(
+            "polygen_rejected_total",
+            "Queries shed by admission control",
+            self.rejected,
+        );
+        counter(
+            "polygen_executed_total",
+            "Queries that executed a plan",
+            self.executed,
+        );
+        counter("polygen_plan_hits_total", "Plan-cache hits", self.plan_hits);
+        counter(
+            "polygen_plan_misses_total",
+            "Plan-cache misses (compilations)",
+            self.plan_misses,
+        );
+        counter(
+            "polygen_result_hits_total",
+            "Result-cache hits (no execution)",
+            self.result_hits,
+        );
+        counter(
+            "polygen_result_misses_total",
+            "Result-cache misses (plan executed)",
+            self.result_misses,
+        );
+        counter(
+            "polygen_invalidated_plans_total",
+            "Plans evicted by source-update invalidation",
+            self.invalidated_plans,
+        );
+        counter(
+            "polygen_invalidated_results_total",
+            "Cached answers evicted by source-update invalidation",
+            self.invalidated_results,
+        );
+        counter(
+            "polygen_conns_accepted_total",
+            "Transport connections accepted",
+            self.conns_accepted,
+        );
+        counter(
+            "polygen_conns_backpressure_closed_total",
+            "Connections closed for refusing to drain responses",
+            self.conns_backpressure_closed,
+        );
+        counter(
+            "polygen_peak_queue_depth",
+            "Deepest admission queue observed",
+            self.peak_queue_depth,
+        );
+        counter(
+            "polygen_peak_concurrency",
+            "Most queries observed executing at once",
+            self.peak_concurrency,
+        );
+        counter(
+            "polygen_conns_peak_open",
+            "Most transport connections open at once",
+            self.conns_peak_open,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP polygen_conns_open Transport connections currently open"
+        );
+        let _ = writeln!(out, "# TYPE polygen_conns_open gauge");
+        let _ = writeln!(out, "polygen_conns_open {}", self.conns_open);
+        if !self.errors_by_code.is_empty() {
+            let _ = writeln!(
+                out,
+                "# HELP polygen_errors_by_code_total Failures by stable error code"
+            );
+            let _ = writeln!(out, "# TYPE polygen_errors_by_code_total counter");
+            for (code, count) in &self.errors_by_code {
+                let _ = writeln!(
+                    out,
+                    "polygen_errors_by_code_total{{code=\"{}\",mnemonic=\"{}\"}} {count}",
+                    code.code(),
+                    code.mnemonic()
+                );
+            }
+        }
+        self.hit_latency.render_prometheus(
+            "polygen_hit_latency_micros",
+            "Result-cache-hit query latency (µs)",
+            &mut out,
+        );
+        self.miss_latency.render_prometheus(
+            "polygen_miss_latency_micros",
+            "Executed (miss-path) query latency (µs)",
+            &mut out,
+        );
+        self.queue_wait.render_prometheus(
+            "polygen_queue_wait_micros",
+            "Admission queue wait (µs)",
+            &mut out,
+        );
+        self.execute_latency.render_prometheus(
+            "polygen_execute_micros",
+            "Plan execution proper (µs)",
+            &mut out,
+        );
+        out
     }
 }
 
@@ -294,10 +472,23 @@ impl fmt::Display for MetricsSnapshot {
         )?;
         writeln!(
             f,
-            "latency: hit path {:.0} µs mean, executed path {:.0} µs mean",
+            "latency: hit path {:.0} µs mean, executed path {:.0} µs mean \
+             (p50/p95/p99 {}/{}/{} µs)",
             self.mean_hit_latency_micros(),
-            self.mean_miss_latency_micros()
+            self.mean_miss_latency_micros(),
+            self.miss_latency.p50_micros(),
+            self.miss_latency.p95_micros(),
+            self.miss_latency.p99_micros()
         )?;
+        if self.queue_wait.count() > 0 || self.execute_latency.count() > 0 {
+            writeln!(
+                f,
+                "queue wait p95 {} µs, execute p50/p95 {}/{} µs",
+                self.queue_wait.p95_micros(),
+                self.execute_latency.p50_micros(),
+                self.execute_latency.p95_micros()
+            )?;
+        }
         if !self.errors_by_code.is_empty() {
             let buckets: Vec<String> = self
                 .errors_by_code

@@ -65,12 +65,57 @@ impl Lang {
     }
 }
 
+/// Which EXPLAIN mode a request asked for. SQL text can also select a
+/// mode with a leading `EXPLAIN` / `EXPLAIN ANALYZE` keyword — the
+/// service peels the prefix into this option so the cache key is the
+/// inner query either way.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ExplainOptions {
+    /// Execute normally.
+    #[default]
+    Off,
+    /// Compile (or fetch the cached plan) and return the rendered
+    /// physical plan as [`Response::Explain`]; run nothing.
+    Plan,
+    /// Execute the plan under a span trace and return the physical tree
+    /// with cost estimates *and* measured actuals (`est=… act=…`) as
+    /// [`Response::Explain`].
+    Analyze,
+}
+
+impl ExplainOptions {
+    /// Stable wire discriminant.
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            ExplainOptions::Off => 0,
+            ExplainOptions::Plan => 1,
+            ExplainOptions::Analyze => 2,
+        }
+    }
+
+    /// Inverse of [`ExplainOptions::wire_tag`].
+    pub fn from_wire_tag(tag: u8) -> Option<ExplainOptions> {
+        match tag {
+            0 => Some(ExplainOptions::Off),
+            1 => Some(ExplainOptions::Plan),
+            2 => Some(ExplainOptions::Analyze),
+            _ => None,
+        }
+    }
+}
+
 /// Per-request execution options.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RequestOptions {
-    /// Compile (or fetch the cached plan) and return the rendered
-    /// physical plan as [`Response::Explain`] instead of executing.
-    pub explain: bool,
+    /// EXPLAIN mode (off / plan-only / analyze).
+    pub explain: ExplainOptions,
+    /// Record a span waterfall for this request. The service opens
+    /// serve-layer spans (queue wait, parse, plan, caches, execute) and
+    /// the executor one span per physical node; the trace feeds the
+    /// slow-query log and, over the wire, the transport's decode/flush
+    /// spans complete the waterfall. Results are byte-identical with
+    /// tracing on or off.
+    pub trace: bool,
 }
 
 /// One query request: text, language, options. The single entry shape
@@ -113,9 +158,25 @@ impl Request {
         }
     }
 
-    /// Builder-style EXPLAIN toggle.
+    /// Builder-style EXPLAIN toggle (`true` = plan-only EXPLAIN).
     pub fn with_explain(mut self, explain: bool) -> Self {
-        self.options.explain = explain;
+        self.options.explain = if explain {
+            ExplainOptions::Plan
+        } else {
+            ExplainOptions::Off
+        };
+        self
+    }
+
+    /// Builder-style EXPLAIN mode selector.
+    pub fn with_explain_mode(mut self, mode: ExplainOptions) -> Self {
+        self.options.explain = mode;
+        self
+    }
+
+    /// Builder-style trace toggle.
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.options.trace = trace;
         self
     }
 }
@@ -471,6 +532,29 @@ mod tests {
         assert_eq!(Request::sql("S").lang, Lang::Sql);
         assert_eq!(Request::algebra("A").lang, Lang::Algebra);
         assert_eq!(Request::app("P").lang, Lang::App);
-        assert!(Request::sql("S").with_explain(true).options.explain);
+        assert_eq!(
+            Request::sql("S").with_explain(true).options.explain,
+            ExplainOptions::Plan
+        );
+        assert_eq!(
+            Request::sql("S")
+                .with_explain_mode(ExplainOptions::Analyze)
+                .options
+                .explain,
+            ExplainOptions::Analyze
+        );
+        assert!(Request::sql("S").with_trace(true).options.trace);
+    }
+
+    #[test]
+    fn explain_wire_tags_round_trip() {
+        for mode in [
+            ExplainOptions::Off,
+            ExplainOptions::Plan,
+            ExplainOptions::Analyze,
+        ] {
+            assert_eq!(ExplainOptions::from_wire_tag(mode.wire_tag()), Some(mode));
+        }
+        assert_eq!(ExplainOptions::from_wire_tag(3), None);
     }
 }

@@ -30,7 +30,7 @@
 
 use crate::cache::{PlanCache, PlanEntry, ResultCache, ResultKey};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
-use crate::request::{Lang, Request, Response, ResponseInfo};
+use crate::request::{ExplainOptions, Lang, Request, Response, ResponseInfo};
 use crate::snapshot::{Federation, FederationSnapshot};
 use polygen_catalog::scenario::Scenario;
 use polygen_core::relation::PolygenRelation;
@@ -41,6 +41,8 @@ use polygen_flat::relation::Relation;
 use polygen_flat::value::Cmp;
 use polygen_index::{IndexError, IndexKind, IndexSpec};
 use polygen_lqp::engine::Lqp;
+use polygen_obs::slowlog::{SlowQueryLog, SlowQueryReport};
+use polygen_obs::trace::{Note, Trace};
 use polygen_pqp::error::PqpError;
 use polygen_pqp::plan::PhysOp;
 use polygen_pqp::pqp::{Pqp, PqpOptions};
@@ -135,6 +137,12 @@ pub struct ServeOptions {
     /// returns them on completion; reservations are not re-divided
     /// mid-flight, so a long-running early query keeps its allotment.
     pub thread_budget: usize,
+    /// Slow-query log capacity: the N worst traced requests are kept
+    /// (ring of worst, not most recent). `0` disables the log.
+    pub slow_log_capacity: usize,
+    /// Only requests at least this slow enter the slow-query log.
+    /// `0` admits everything (the log still keeps only the worst N).
+    pub slow_log_threshold_micros: u64,
 }
 
 impl Default for ServeOptions {
@@ -146,6 +154,8 @@ impl Default for ServeOptions {
             max_concurrent: 16,
             max_queue: 64,
             thread_budget: 0,
+            slow_log_capacity: 8,
+            slow_log_threshold_micros: 0,
         }
     }
 }
@@ -175,6 +185,13 @@ impl ServeOptions {
     /// Override the shared thread budget.
     pub fn with_thread_budget(mut self, budget: usize) -> Self {
         self.thread_budget = budget;
+        self
+    }
+
+    /// Override the slow-query log knobs (capacity, admission threshold).
+    pub fn with_slow_log(mut self, capacity: usize, threshold: Duration) -> Self {
+        self.slow_log_capacity = capacity;
+        self.slow_log_threshold_micros = u64::try_from(threshold.as_micros()).unwrap_or(u64::MAX);
         self
     }
 
@@ -313,6 +330,7 @@ pub struct QueryService {
     result_cache: Option<ResultCache>,
     admission: Admission,
     metrics: ServiceMetrics,
+    slow_log: SlowQueryLog,
     next_session: AtomicU64,
 }
 
@@ -329,6 +347,10 @@ impl QueryService {
                 options.thread_budget,
             ),
             metrics: ServiceMetrics::default(),
+            slow_log: SlowQueryLog::new(
+                options.slow_log_capacity,
+                Duration::from_micros(options.slow_log_threshold_micros),
+            ),
             next_session: AtomicU64::new(1),
             app_schema: None,
             federation,
@@ -514,26 +536,167 @@ impl QueryService {
     /// come back as [`Response::Error`] with a stable numeric
     /// [`ErrorCode`](crate::request::ErrorCode) (overload included —
     /// shedding is a structured response, never a refusal to answer),
-    /// blank text comes back as [`Response::Empty`], and
-    /// `options.explain` returns the rendered physical plan without
-    /// executing it.
+    /// blank text comes back as [`Response::Empty`], and the EXPLAIN
+    /// modes return the rendered plan ([`ExplainOptions::Plan`] runs
+    /// nothing; [`ExplainOptions::Analyze`] executes under a trace and
+    /// renders `est=… act=…` per node). SQL text may also spell the mode
+    /// as a leading `EXPLAIN [ANALYZE]` keyword.
     pub fn execute(&self, request: Request) -> Response {
+        self.execute_traced(request, &Trace::disabled())
+    }
+
+    /// [`QueryService::execute`] with a caller-supplied span recorder —
+    /// what the wire front door uses so its decode/queue/flush spans and
+    /// the service's parse/plan/execute spans land on one waterfall. A
+    /// request with `options.trace` set but a disabled handle gets a
+    /// service-owned recorder so the slow-query log still captures a
+    /// waterfall. A caller that passes an *enabled* recorder owns
+    /// slow-log observation (it keeps recording spans — e.g. the wire
+    /// flush — after this returns; see
+    /// [`QueryService::observe_slow`]). Tracing never changes results.
+    pub fn execute_traced(&self, mut request: Request, trace: &Trace) -> Response {
+        let start = Instant::now();
+        let caller_traced = trace.is_enabled();
+        if request.lang == Lang::Sql {
+            peel_explain_prefix(&mut request);
+        }
         if request.text.trim().is_empty() {
             return Response::Empty;
         }
-        if request.options.explain {
-            return match self.explain_request(&request) {
+        let owned;
+        let trace = if request.options.trace && !trace.is_enabled() {
+            owned = Trace::enabled();
+            &owned
+        } else {
+            trace
+        };
+        let response = match request.options.explain {
+            ExplainOptions::Plan => match self.explain_request(&request) {
                 Ok(response) => response,
                 Err(e) => {
                     self.metrics.record_error_code(e.code());
                     e.into()
                 }
-            };
+            },
+            ExplainOptions::Analyze => match self.analyze_request(&request, trace) {
+                Ok(response) => response,
+                Err(e) => {
+                    if !matches!(e, ServeError::Overloaded { .. }) {
+                        self.metrics.record_error();
+                    }
+                    self.metrics.record_error_code(e.code());
+                    e.into()
+                }
+            },
+            ExplainOptions::Off => match self.serve_traced(&request.text, request.lang, trace) {
+                Ok(outcome) => outcome.into(),
+                Err(e) => e.into(),
+            },
+        };
+        if !caller_traced {
+            self.slow_log.observe(&request.text, start.elapsed(), trace);
         }
-        match self.serve(&request.text, request.lang) {
-            Ok(outcome) => outcome.into(),
-            Err(e) => e.into(),
+        response
+    }
+
+    /// Feed a completed request into the slow-query log. Transports
+    /// that call [`QueryService::execute_traced`] with their own
+    /// recorder use this *after* their post-execution spans (response
+    /// flush) close, so the logged waterfall is complete.
+    pub fn observe_slow(&self, query: &str, elapsed: Duration, trace: &Trace) {
+        self.slow_log.observe(query, elapsed, trace);
+    }
+
+    /// The EXPLAIN ANALYZE path: admitted like a real query (it executes
+    /// one), compiled through the plan cache, run under an enabled span
+    /// recorder, and rendered as the physical tree with the cost model's
+    /// estimates beside the measured actuals. The result cache is
+    /// bypassed in both directions — the point is fresh measurements,
+    /// and an analyze answer is never materialized for reuse.
+    fn analyze_request(&self, request: &Request, trace: &Trace) -> Result<Response, ServeError> {
+        let start = Instant::now();
+        let queue_span = trace.begin("serve/queue");
+        let permit = match self.admission.admit(&self.metrics) {
+            Ok(p) => p,
+            Err(e) => {
+                self.metrics.record_rejected();
+                return Err(e);
+            }
+        };
+        trace.end(queue_span);
+        self.metrics.record_queue_wait(start.elapsed());
+        let snapshot = self.federation.snapshot();
+        let parse_span = trace.begin("serve/parse");
+        let canonical = self.canonicalize(&snapshot, &request.text, request.lang)?;
+        trace.end(parse_span);
+        let plan_span = trace.begin("serve/plan");
+        let (entry, plan_hit) = self.plan_for(&snapshot, canonical)?;
+        if !plan_span.is_none() {
+            trace.annotate(
+                plan_span,
+                "cache",
+                Note::str(if plan_hit { "hit" } else { "miss" }),
+            );
         }
+        trace.end(plan_span);
+        // The act= column needs executor spans even when the caller did
+        // not ask for a full trace — run under our own recorder then.
+        let exec_trace = if trace.is_enabled() {
+            trace.clone()
+        } else {
+            Trace::enabled()
+        };
+        let engine = Pqp::new(
+            Arc::clone(snapshot.dictionary()),
+            Arc::clone(snapshot.registry()),
+        )
+        .with_options(PqpOptions {
+            threads: permit.threads,
+            retain_intermediates: false,
+            ..self.options.pqp
+        })
+        .with_indexes(Arc::clone(snapshot.indexes()));
+        let exec_span = trace.begin("serve/execute");
+        let exec_start = Instant::now();
+        let run = engine.run_compiled_traced(&entry.compiled, &exec_trace);
+        self.metrics.record_execute(exec_start.elapsed());
+        trace.end(exec_span);
+        run?;
+        let report = exec_trace.report().unwrap_or_default();
+        let plan_text = polygen_pqp::explain::render_analyzed_plan(
+            &entry.compiled.physical,
+            snapshot.registry(),
+            &report,
+        );
+        let latency = start.elapsed();
+        self.metrics.record_query(latency, false);
+        Ok(Response::Explain {
+            plan: plan_text,
+            info: ResponseInfo {
+                canonical: entry.canonical.to_string(),
+                fingerprint: entry.fingerprint,
+                plan_hit,
+                result_hit: false,
+                index_routed: entry.compiled.physical.index_scans() > 0,
+                threads: permit.threads,
+                latency_micros: u64::try_from(latency.as_micros()).unwrap_or(u64::MAX),
+            },
+        })
+    }
+
+    /// The full metrics surface in Prometheus text exposition format,
+    /// slow-query log appended as `#` comment lines (worst first, each
+    /// with its span waterfall when the request was traced). This is
+    /// what the wire `Stats` frame carries.
+    pub fn scrape(&self) -> String {
+        let mut out = self.metrics().render_prometheus();
+        self.slow_log.render(&mut out);
+        out
+    }
+
+    /// The slow-query log's current contents, worst first.
+    pub fn slow_queries(&self) -> Vec<SlowQueryReport> {
+        self.slow_log.snapshot()
     }
 
     /// The EXPLAIN path: canonicalize and compile (or fetch the cached
@@ -591,7 +754,20 @@ impl QueryService {
     ///
     /// [`execute`]: QueryService::execute
     fn serve(&self, text: &str, lang: Lang) -> Result<ServeOutcome, ServeError> {
+        self.serve_traced(text, lang, &Trace::disabled())
+    }
+
+    /// [`serve`](QueryService::serve) with a span recorder: queue wait,
+    /// parse, plan lookup, result-cache probe, and execution each get a
+    /// span (one branch apiece when the trace is disabled).
+    fn serve_traced(
+        &self,
+        text: &str,
+        lang: Lang,
+        trace: &Trace,
+    ) -> Result<ServeOutcome, ServeError> {
         let start = Instant::now();
+        let queue_span = trace.begin("serve/queue");
         let permit = match self.admission.admit(&self.metrics) {
             Ok(p) => p,
             Err(e) => {
@@ -600,8 +776,10 @@ impl QueryService {
                 return Err(e);
             }
         };
+        trace.end(queue_span);
+        self.metrics.record_queue_wait(start.elapsed());
         let snapshot = self.federation.snapshot();
-        let served = self.serve_pinned(&snapshot, text, lang, permit.threads, start);
+        let served = self.serve_pinned(&snapshot, text, lang, permit.threads, start, trace);
         if let Err(e) = &served {
             self.metrics.record_error();
             self.metrics.record_error_code(e.code());
@@ -617,9 +795,21 @@ impl QueryService {
         lang: Lang,
         threads: usize,
         start: Instant,
+        trace: &Trace,
     ) -> Result<ServeOutcome, ServeError> {
+        let parse_span = trace.begin("serve/parse");
         let canonical = self.canonicalize(snapshot, text, lang)?;
+        trace.end(parse_span);
+        let plan_span = trace.begin("serve/plan");
         let (entry, plan_hit) = self.plan_for(snapshot, canonical)?;
+        if !plan_span.is_none() {
+            trace.annotate(
+                plan_span,
+                "cache",
+                Note::str(if plan_hit { "hit" } else { "miss" }),
+            );
+        }
+        trace.end(plan_span);
         // `plan_for` guarantees the entry's compile-time versions match
         // this snapshot, so they *are* the result key's version vector.
         let key = ResultKey {
@@ -628,7 +818,17 @@ impl QueryService {
             versions: entry.compiled_versions.clone(),
         };
         if let Some(cache) = &self.result_cache {
-            if let Some(answer) = cache.get(&key) {
+            let probe_span = trace.begin("serve/result-cache");
+            let cached = cache.get(&key);
+            if !probe_span.is_none() {
+                trace.annotate(
+                    probe_span,
+                    "cache",
+                    Note::str(if cached.is_some() { "hit" } else { "miss" }),
+                );
+            }
+            trace.end(probe_span);
+            if let Some(answer) = cached {
                 self.metrics.record_result_lookup(true);
                 let latency = start.elapsed();
                 self.metrics.record_query(latency, true);
@@ -658,7 +858,12 @@ impl QueryService {
         // because a plan-cache hit is only served when the entry's
         // compile-time source versions match this snapshot's.
         .with_indexes(Arc::clone(snapshot.indexes()));
-        let (answer, _trace) = engine.run_compiled(&entry.compiled)?;
+        let exec_span = trace.begin("serve/execute");
+        let exec_start = Instant::now();
+        let run = engine.run_compiled_traced(&entry.compiled, trace);
+        self.metrics.record_execute(exec_start.elapsed());
+        trace.end(exec_span);
+        let (answer, _trace) = run?;
         let answer = Arc::new(answer);
         if let Some(cache) = &self.result_cache {
             cache.insert(key, Arc::clone(&answer));
@@ -773,6 +978,40 @@ impl QueryService {
             reads,
             compiled,
         })
+    }
+}
+
+/// Peel a leading `EXPLAIN` / `EXPLAIN ANALYZE` keyword off SQL text
+/// into the request's [`ExplainOptions`], leaving the inner query as the
+/// text — so the canonical cache key is the same whether the mode came
+/// from the keyword or the options. Case-insensitive, whitespace-robust;
+/// text that merely *contains* the word (e.g. a string literal) is left
+/// alone because the keyword must lead.
+fn peel_explain_prefix(request: &mut Request) {
+    let Some(rest) = strip_leading_keyword(&request.text, "EXPLAIN") else {
+        return;
+    };
+    if let Some(inner) = strip_leading_keyword(rest, "ANALYZE") {
+        request.options.explain = ExplainOptions::Analyze;
+        request.text = inner.to_string();
+    } else {
+        request.options.explain = ExplainOptions::Plan;
+        request.text = rest.to_string();
+    }
+}
+
+/// `Some(remainder)` when `text` starts (after whitespace) with the
+/// keyword as a whole word, case-insensitively.
+fn strip_leading_keyword<'a>(text: &'a str, keyword: &str) -> Option<&'a str> {
+    let t = text.trim_start();
+    if t.len() < keyword.len() || !t[..keyword.len()].eq_ignore_ascii_case(keyword) {
+        return None;
+    }
+    let rest = &t[keyword.len()..];
+    if rest.is_empty() || rest.starts_with(char::is_whitespace) {
+        Some(rest)
+    } else {
+        None
     }
 }
 
@@ -1159,6 +1398,123 @@ mod tests {
         assert!(info.result_hit, "sessions share the service caches");
         assert!(first.payload_eq(&again), "hit is byte-identical to cold");
         assert_eq!(session.queries(), 2);
+    }
+
+    #[test]
+    fn explain_keyword_peels_into_plan_mode() {
+        use crate::request::{Request, Response};
+        let svc = service();
+        let explained = svc.execute(Request::sql(format!("explain {PAPER_SQL}")));
+        let Response::Explain { plan, info } = &explained else {
+            panic!("expected explain, got {explained:?}");
+        };
+        assert!(plan.contains("Scan"), "{plan}");
+        assert!(!plan.contains("act=("), "plan mode never executes");
+        assert_eq!(info.threads, 0);
+        // The canonical key is the inner query: a plain run shares it.
+        let Response::Rows { info, .. } = svc.execute(Request::sql(PAPER_SQL)) else {
+            panic!("expected rows");
+        };
+        assert!(info.plan_hit, "EXPLAIN warmed the plan cache");
+        // A string literal merely containing the word is left alone.
+        let lit = svc.execute(Request::sql(
+            "SELECT ONAME FROM PORGANIZATION WHERE CEO = \"EXPLAIN\"",
+        ));
+        assert!(matches!(lit, Response::Rows { .. }));
+    }
+
+    #[test]
+    fn explain_analyze_executes_and_renders_actuals() {
+        use crate::request::{ExplainOptions, Request, Response};
+        let svc = service();
+        let resp = svc.execute(Request::sql(format!("EXPLAIN ANALYZE {PAPER_SQL}")));
+        let Response::Explain { plan, info } = &resp else {
+            panic!("expected explain, got {resp:?}");
+        };
+        assert!(plan.contains("est=("), "{plan}");
+        assert!(plan.contains("act=("), "{plan}");
+        assert!(plan.contains("◀ answer"), "{plan}");
+        assert!(info.threads > 0, "analyze executes under admission");
+        assert!(!info.result_hit);
+        // The options spelling renders identically (same canonical key,
+        // actual row counts are deterministic even though times vary).
+        let again = svc.execute(Request::sql(PAPER_SQL).with_explain_mode(ExplainOptions::Analyze));
+        let Response::Explain {
+            info: again_info, ..
+        } = &again
+        else {
+            panic!("expected explain");
+        };
+        assert!(again_info.plan_hit, "analyze shares the plan cache");
+        // Analyze executed but never touched the result cache.
+        let m = svc.metrics();
+        assert_eq!(m.result_hits + m.result_misses, 0);
+        assert!(m.execute_latency.count() >= 2, "{m}");
+        assert_eq!(m.queries, 2);
+    }
+
+    #[test]
+    fn traced_requests_feed_the_slow_query_log() {
+        use crate::request::{Request, Response};
+        let svc = service();
+        let traced = svc.execute(Request::sql(PAPER_SQL).with_trace(true));
+        assert!(matches!(traced, Response::Rows { .. }));
+        let slow = svc.slow_queries();
+        assert_eq!(slow.len(), 1);
+        let waterfall = slow[0].waterfall.as_deref().expect("traced request");
+        for site in ["serve/queue", "serve/parse", "serve/plan", "serve/execute"] {
+            assert!(waterfall.contains(site), "{waterfall}");
+        }
+        assert!(waterfall.contains("exec/"), "executor spans: {waterfall}");
+        // An untraced request still lands (worst-N ring), sans waterfall.
+        svc.execute(Request::sql("SELECT ONAME FROM PORGANIZATION"));
+        assert_eq!(svc.slow_queries().len(), 2);
+        // The scrape carries both the exposition and the slowlog.
+        let scrape = svc.scrape();
+        assert!(scrape.contains("polygen_queries_total 2"), "{scrape}");
+        assert!(scrape.contains("polygen_miss_latency_micros_count"));
+        assert!(scrape.contains("# slowlog"), "{scrape}");
+    }
+
+    #[test]
+    fn tracing_does_not_change_results() {
+        use crate::request::{Request, Response};
+        let svc = service();
+        let plain = svc.execute(Request::sql(PAPER_SQL));
+        let svc2 = service();
+        let traced = svc2.execute(Request::sql(PAPER_SQL).with_trace(true));
+        assert!(plain.payload_eq(&traced), "trace on ≡ trace off");
+        let Response::Rows { answer: a, .. } = &plain else {
+            panic!()
+        };
+        let Response::Rows { answer: b, .. } = &traced else {
+            panic!()
+        };
+        assert_eq!(**a, **b, "byte-identical, tags included");
+    }
+
+    #[test]
+    fn execute_traced_records_a_well_formed_waterfall() {
+        use crate::request::Request;
+        use polygen_obs::trace::Trace;
+        let svc = service();
+        let trace = Trace::enabled();
+        svc.execute_traced(Request::sql(PAPER_SQL), &trace);
+        let report = trace.report().unwrap();
+        report.well_formed().unwrap();
+        assert!(report.span("serve/queue").is_some());
+        assert!(report.span("serve/execute").is_some());
+        let exec_parent = report
+            .spans
+            .iter()
+            .position(|s| s.name == "serve/execute")
+            .unwrap();
+        // Executor node spans nest under the service's execute span.
+        assert!(report
+            .spans
+            .iter()
+            .filter(|s| s.name.starts_with("exec/"))
+            .all(|s| s.parent == Some(exec_parent)));
     }
 
     #[test]

@@ -236,76 +236,11 @@ impl ClientMix {
 }
 
 /// Order statistics over a population's per-query latencies — the
-/// closed-loop driver's measured-client view (p50/p95/p99 rather than
-/// just a mean, which tail-heavy serving workloads make misleading).
-/// Shared by the in-process driver and the TCP load generator in
-/// `polygen-net`, so both report percentiles the same way.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LatencySummary {
-    /// Sorted ascending, microseconds.
-    samples: Vec<u64>,
-}
-
-impl LatencySummary {
-    /// Summarize raw microsecond samples (any order).
-    pub fn from_micros(mut samples: Vec<u64>) -> Self {
-        samples.sort_unstable();
-        LatencySummary { samples }
-    }
-
-    /// Summarize [`Duration`] samples.
-    pub fn from_durations(samples: impl IntoIterator<Item = Duration>) -> Self {
-        Self::from_micros(
-            samples
-                .into_iter()
-                .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
-                .collect(),
-        )
-    }
-
-    /// Number of samples.
-    pub fn count(&self) -> usize {
-        self.samples.len()
-    }
-
-    /// Nearest-rank percentile in microseconds; `0` with no samples.
-    /// `p` is a fraction (`0.99` = p99), clamped to `[0, 1]`.
-    pub fn percentile_micros(&self, p: f64) -> u64 {
-        if self.samples.is_empty() {
-            return 0;
-        }
-        let rank = (p.clamp(0.0, 1.0) * self.samples.len() as f64).ceil() as usize;
-        self.samples[rank.saturating_sub(1).min(self.samples.len() - 1)]
-    }
-
-    /// Median latency, microseconds.
-    pub fn p50_micros(&self) -> u64 {
-        self.percentile_micros(0.50)
-    }
-
-    /// 95th-percentile latency, microseconds.
-    pub fn p95_micros(&self) -> u64 {
-        self.percentile_micros(0.95)
-    }
-
-    /// 99th-percentile latency, microseconds.
-    pub fn p99_micros(&self) -> u64 {
-        self.percentile_micros(0.99)
-    }
-
-    /// Slowest sample, microseconds.
-    pub fn max_micros(&self) -> u64 {
-        self.samples.last().copied().unwrap_or(0)
-    }
-
-    /// Mean latency, microseconds.
-    pub fn mean_micros(&self) -> f64 {
-        if self.samples.is_empty() {
-            return 0.0;
-        }
-        self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
-    }
-}
+/// closed-loop driver's measured-client view. The one nearest-rank
+/// implementation now lives in `polygen-obs` (shared with the TCP load
+/// generator, the benches, and the serving histograms' property tests);
+/// this re-export keeps the historical `workload::LatencySummary` path.
+pub use polygen_obs::summary::LatencySummary;
 
 /// What one driver run produced: every client's per-query results in
 /// script order, plus wall-clock figures.

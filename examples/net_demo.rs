@@ -10,7 +10,7 @@
 
 use polygen::net::{NetClient, NetClientMix, NetServer};
 use polygen::serve::prelude::*;
-use polygen::serve::request::{ErrorCode, Request, Response};
+use polygen::serve::request::{ErrorCode, ExplainOptions, Request, Response};
 use polygen::workload::{self, ClientMix, WorkloadConfig};
 use std::sync::Arc;
 use std::time::Duration;
@@ -24,9 +24,11 @@ fn main() {
         .with_sources(3)
         .with_entities(1_000);
     let scenario = workload::generate(&config);
+    // A slow-query log wide enough that the hand-driven traced query
+    // below survives the population's multi-millisecond entries.
     let service = Arc::new(QueryService::for_scenario(
         &scenario,
-        ServeOptions::default(),
+        ServeOptions::default().with_slow_log(256, Duration::ZERO),
     ));
     let server = NetServer::spawn(Arc::clone(&service), "127.0.0.1:0").expect("bind loopback");
     let addr = server.addr();
@@ -114,6 +116,71 @@ fn main() {
         Response::Empty => println!("blank query: Response::Empty (still connected)"),
         other => panic!("blank must be Empty, got {other:?}"),
     }
+
+    // 6. EXPLAIN ANALYZE executes and annotates every plan line with the
+    //    cost model's estimate next to the measured actuals.
+    match client
+        .execute(
+            &Request::sql(workload::queries::paper_shaped_sql(2))
+                .with_explain_mode(ExplainOptions::Analyze),
+        )
+        .expect("analyze serves")
+    {
+        Response::Explain { plan, .. } => {
+            println!("\nexplain analyze (est= beside act= on every node):");
+            for line in plan.lines() {
+                println!("  {line}");
+            }
+        }
+        other => panic!("analyze must answer a plan, got {other:?}"),
+    }
+
+    // 7. A traced query leaves its full decode→queue→parse→plan→execute
+    //    →flush waterfall in the slow-query log, and the whole stats
+    //    surface — Prometheus exposition plus that log — is one
+    //    `StatsRequest` frame away. The scrape is answered by the
+    //    poller thread itself, so it works even with every worker busy.
+    client
+        .execute(&Request::algebra(&query).with_trace(true))
+        .expect("traced query serves");
+    let scrape = client.scrape_stats().expect("stats scrape serves");
+    println!("\n== Live scrape (StatsRequest over the wire) ==");
+    for line in scrape.lines().filter(|l| {
+        l.starts_with("polygen_queries_total")
+            || l.starts_with("polygen_result_hits_total")
+            || l.starts_with("polygen_execute_micros_count")
+            || l.starts_with("polygen_execute_micros_sum")
+    }) {
+        println!("{line}");
+    }
+    // The traced query's slowlog entry renders its span waterfall into
+    // the scrape; find the chunk whose waterfall reaches net/flush.
+    let lines: Vec<&str> = scrape.lines().collect();
+    let mut printed = false;
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].starts_with("# slowlog ") {
+            let mut j = i + 1;
+            while j < lines.len() && lines[j].starts_with("#   ") {
+                j += 1;
+            }
+            if lines[i..j].iter().any(|l| l.contains("net/flush")) {
+                println!("\ntraced waterfall from the scrape:");
+                for l in &lines[i..j] {
+                    println!("{l}");
+                }
+                printed = true;
+                break;
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    assert!(
+        printed,
+        "traced wire query must leave its waterfall in the scrape"
+    );
 
     println!("\n== Server-side metrics ==");
     println!("{}", service.metrics());

@@ -31,6 +31,10 @@
 //! * [`net`] — the TCP front door: a length-prefixed binary protocol
 //!   over the serve layer's request/response envelope, with a blocking
 //!   client and a closed-loop TCP load generator.
+//! * [`obs`] — zero-dependency observability primitives: the
+//!   `Trace`/`Span` recorder behind query tracing and EXPLAIN ANALYZE,
+//!   lock-free latency histograms with Prometheus exposition, exact
+//!   percentile summaries, and the ranked slow-query log.
 //! * [`workload`] — seeded synthetic-federation generator and
 //!   closed-loop multi-client driver for benchmarks.
 
@@ -41,6 +45,7 @@ pub use polygen_flat as flat;
 pub use polygen_index as index;
 pub use polygen_lqp as lqp;
 pub use polygen_net as net;
+pub use polygen_obs as obs;
 pub use polygen_pqp as pqp;
 pub use polygen_serve as serve;
 pub use polygen_sql as sql;

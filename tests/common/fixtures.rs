@@ -83,6 +83,7 @@ pub fn assert_parallel_matches(
         threads,
         partitions: threads,
         batch: None,
+        ..ExecOptions::default()
     };
     let eager = execute_eager(&iom, &registry, &scenario.dictionary, opts(1, false));
     let sequential = execute(&iom, &registry, &scenario.dictionary, opts(1, false));
@@ -173,6 +174,7 @@ pub fn assert_batch_matches(
         threads,
         partitions: threads,
         batch,
+        ..ExecOptions::default()
     };
     let eager = execute_eager(&iom, &registry, &scenario.dictionary, opts(None));
     let row = execute(&iom, &registry, &scenario.dictionary, opts(Some(false)));

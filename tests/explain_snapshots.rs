@@ -16,6 +16,7 @@ use polygen::index::{IndexCatalog, IndexSpec};
 use polygen::lqp::scenario_registry;
 use polygen::pqp::prelude::*;
 use polygen::sql::prelude::{parse_algebra, PAPER_EXPRESSION};
+use std::sync::Arc;
 
 /// Lower `expr` over the MIT scenario and render the physical plan.
 fn plan_text(expr: &str, fuse: bool, partitions: usize) -> String {
@@ -46,6 +47,52 @@ fn indexed_plan_and_cost(expr: &str, specs: &[IndexSpec]) -> (String, String) {
     let routed = route_index_scans(&plan, &catalog);
     let cost = estimate_physical(&routed, &registry).to_string();
     (render_plan(&routed), cost)
+}
+
+/// EXPLAIN ANALYZE over the MIT scenario, serial, with the measured
+/// microsecond readings masked to `_`. Row counts, node order and the
+/// cost model's `est=` column are deterministic and stay verbatim; only
+/// the wall-clock side of `act=` varies run to run.
+fn analyzed_text(expr: &str, specs: &[IndexSpec]) -> String {
+    let s = scenario::build();
+    let mut pqp = Pqp::for_scenario(&s).with_options(PqpOptions {
+        threads: 1,
+        ..PqpOptions::default()
+    });
+    if !specs.is_empty() {
+        let registry = scenario_registry(&s);
+        let catalog = IndexCatalog::build(specs, &registry, &s.dictionary).unwrap();
+        pqp = pqp.with_indexes(Arc::new(catalog));
+    }
+    let compiled = pqp.compile(parse_algebra(expr).unwrap()).unwrap();
+    mask_act_micros(&pqp.explain_analyze_compiled(&compiled).unwrap())
+}
+
+/// Replace the digit run right after `marker` with `_`, if any.
+fn mask_after(line: &str, marker: &str) -> String {
+    let Some(pos) = line.find(marker) else {
+        return line.to_string();
+    };
+    let tail = pos + marker.len();
+    let end = line[tail..]
+        .find(|c: char| !c.is_ascii_digit())
+        .map_or(line.len(), |d| tail + d);
+    if end == tail {
+        return line.to_string();
+    }
+    format!("{}_{}", &line[..tail], &line[end..])
+}
+
+/// Mask the measured (nondeterministic) microsecond numbers in an
+/// EXPLAIN ANALYZE rendering: `act=(NN µs` → `act=(_ µs` and
+/// `executed in NN µs` → `executed in _ µs`. Estimates stay put.
+fn mask_act_micros(text: &str) -> String {
+    let mut out = String::new();
+    for line in text.lines() {
+        out.push_str(&mask_after(&mask_after(line, "act=("), "executed in "));
+        out.push('\n');
+    }
+    out
 }
 
 #[track_caller]
@@ -287,6 +334,110 @@ estimated cost: 2 µs, 0 tuples shipped from LQPs
     assert!(
         total(&routed_cost) < total(&scan_cost),
         "the probe must cost below the scan: {routed_cost} vs {scan_cost}"
+    );
+}
+
+/// EXPLAIN ANALYZE, the paper plan: every line carries the cost model's
+/// `est=` next to the measured `act=`, and the actual row counts are the
+/// materialized `R(n)` sizes from the golden tables (5 MBA alumni, 13
+/// career rows, 9 merged organizations, the 1-row answer).
+#[test]
+fn analyzed_paper_plan_reports_est_and_act() {
+    assert_snapshot(
+        &analyzed_text(PAPER_EXPRESSION, &[]),
+        "\
+#0  Scan[AD] ALUMNUS[DEG = MBA]  → R(1)  est=(505 µs, ~1 rows)  act=(_ µs, 5 rows)
+#1  Scan[AD] CAREER  → R(2)  est=(545 µs, ~9 rows)  act=(_ µs, 9 rows)
+#2  HashJoin[R(1).AID# = R(2).AID#, coalesce → AID#] (build R(2), probe R(1))  → R(3)  est=(10 µs, ~9 rows)  act=(_ µs, 6 rows)
+#3  Scan[AD] BUSINESS  → R(4)  est=(545 µs, ~9 rows)  act=(_ µs, 9 rows)
+#4  Scan[PD] CORPORATION  → R(5)  est=(535 µs, ~7 rows)  act=(_ µs, 7 rows)
+#5  Scan[CD] FIRM  → R(6)  est=(550 µs, ~10 rows)  act=(_ µs, 10 rows)
+#6  HashMerge[PORGANIZATION on ONAME, 3-way single pass] over R(4), R(5), R(6)  → R(7)  est=(26 µs, ~26 rows)  act=(_ µs, 12 rows)
+#7  HashJoin[R(3).BNAME = R(7).ONAME, coalesce → ONAME] (build R(7), probe R(3))  → R(8)  est=(35 µs, ~26 rows)  act=(_ µs, 6 rows)
+#8  Pipeline over R(8) → Restrict[CEO = ANAME]@R(9) → Project[ONAME, CEO]@R(10) (fused ×2)  → R(10) ◀ answer  est=(26 µs, ~8 rows)  act=(_ µs, 3 rows)
+(estimated 2777 µs total, executed in _ µs)",
+    );
+}
+
+/// EXPLAIN ANALYZE over the nested-loop θ-join.
+#[test]
+fn analyzed_theta_join() {
+    assert_snapshot(
+        &analyzed_text("PCAREER [AID# < AID#] PCAREER", &[]),
+        "\
+#0  Scan[AD] CAREER  → R(1)  est=(545 µs, ~9 rows)  act=(_ µs, 9 rows)
+#1  Scan[AD] CAREER  → R(2)  est=(545 µs, ~9 rows)  act=(_ µs, 9 rows)
+#2  NestedLoopJoin[R(2).AID# < R(1).AID#]  → R(3) ◀ answer  est=(81 µs, ~9 rows)  act=(_ µs, 35 rows)
+(estimated 1171 µs total, executed in _ µs)",
+    );
+}
+
+/// EXPLAIN ANALYZE over AntiJoin + merge + lone-Project pipeline.
+#[test]
+fn analyzed_antijoin() {
+    assert_snapshot(
+        &analyzed_text(
+            "(PORGANIZATION ANTIJOIN [ONAME = ONAME] PFINANCE) [ONAME]",
+            &[],
+        ),
+        "\
+#0  Scan[AD] BUSINESS  → R(1)  est=(545 µs, ~9 rows)  act=(_ µs, 9 rows)
+#1  Scan[PD] CORPORATION  → R(2)  est=(535 µs, ~7 rows)  act=(_ µs, 7 rows)
+#2  Scan[CD] FIRM  → R(3)  est=(550 µs, ~10 rows)  act=(_ µs, 10 rows)
+#3  HashMerge[PORGANIZATION on ONAME, 3-way single pass] over R(1), R(2), R(3)  → R(4)  est=(26 µs, ~26 rows)  act=(_ µs, 12 rows)
+#4  Scan[CD] FINANCE  → R(5)  est=(550 µs, ~10 rows)  act=(_ µs, 10 rows)
+#5  AntiJoin[R(4).ONAME = R(5).FNAME]  → R(6)  est=(36 µs, ~13 rows)  act=(_ µs, 2 rows)
+#6  Pipeline over R(6) → Project[ONAME]@R(7)  → R(7) ◀ answer  est=(13 µs, ~13 rows)  act=(_ µs, 2 rows)
+(estimated 2255 µs total, executed in _ µs)",
+    );
+}
+
+/// EXPLAIN ANALYZE over Union and Difference.
+#[test]
+fn analyzed_set_ops() {
+    assert_snapshot(
+        &analyzed_text(
+            "((PALUMNUS [DEGREE = \"MBA\"]) UNION (PALUMNUS [DEGREE = \"MS\"])) \
+             MINUS (PALUMNUS [DEGREE = \"MBA\"])",
+            &[],
+        ),
+        "\
+#0  Scan[AD] ALUMNUS[DEG = MBA]  → R(1)  est=(505 µs, ~1 rows)  act=(_ µs, 5 rows)
+#1  Scan[AD] ALUMNUS[DEG = MS]  → R(2)  est=(505 µs, ~1 rows)  act=(_ µs, 1 rows)
+#2  Union[R(1), R(2)]  → R(3)  est=(2 µs, ~2 rows)  act=(_ µs, 6 rows)
+#3  Scan[AD] ALUMNUS[DEG = MBA]  → R(4)  est=(505 µs, ~1 rows)  act=(_ µs, 5 rows)
+#4  Difference[R(3), R(4)]  → R(5) ◀ answer  est=(2 µs, ~1 rows)  act=(_ µs, 1 rows)
+(estimated 1519 µs total, executed in _ µs)",
+    );
+}
+
+/// EXPLAIN ANALYZE over Intersect and Product.
+#[test]
+fn analyzed_intersect_and_product() {
+    assert_snapshot(
+        &analyzed_text("(PALUMNUS INTERSECT PALUMNUS) TIMES PFINANCE", &[]),
+        "\
+#0  Scan[AD] ALUMNUS  → R(1)  est=(540 µs, ~8 rows)  act=(_ µs, 8 rows)
+#1  Scan[AD] ALUMNUS  → R(2)  est=(540 µs, ~8 rows)  act=(_ µs, 8 rows)
+#2  Intersect[R(2), R(1)]  → R(3)  est=(16 µs, ~8 rows)  act=(_ µs, 8 rows)
+#3  Scan[CD] FINANCE  → R(4)  est=(550 µs, ~10 rows)  act=(_ µs, 10 rows)
+#4  Product[R(3), R(4)]  → R(5) ◀ answer  est=(80 µs, ~80 rows)  act=(_ µs, 80 rows)
+(estimated 1726 µs total, executed in _ µs)",
+    );
+}
+
+/// EXPLAIN ANALYZE over an IndexScan probe: the routed plan executes and
+/// the probe reports its actual posting-list hit count.
+#[test]
+fn analyzed_index_scan() {
+    assert_snapshot(
+        &analyzed_text(
+            "PALUMNUS [DEGREE = \"MBA\"]",
+            &[IndexSpec::hash("AD", "ALUMNUS", "DEG")],
+        ),
+        "\
+#0  IndexScan[AD] ALUMNUS [ixscan AD.DEG = MBA] (hash)  → R(1) ◀ answer  est=(2 µs, ~0 rows)  act=(_ µs, 5 rows)
+(estimated 2 µs total, executed in _ µs)",
     );
 }
 

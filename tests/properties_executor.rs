@@ -68,7 +68,7 @@ proptest! {
         let iom = compile(&expr.to_string(), sc.dictionary.schema());
         let (opt, _) = optimize(&iom, &registry, &sc.dictionary).unwrap();
         let options = ExecOptions::default();
-        let (eager, _) = execute_eager(&opt, &registry, &sc.dictionary, options).unwrap();
+        let (eager, _) = execute_eager(&opt, &registry, &sc.dictionary, options.clone()).unwrap();
         let (fast, _) = execute(&opt, &registry, &sc.dictionary, options).unwrap();
         prop_assert!(fast.tagged_set_eq(&eager), "optimized plan diverges for {expr}");
     }

@@ -61,13 +61,18 @@ fn arbitrary_frame(seed: u64) -> Frame {
             .map(|i| Cell::new(value(v ^ i), source_set(v >> 8), source_set(v >> 16)))
             .collect()
     };
-    match next() % 8 {
+    match next() % 10 {
         0 => Frame::Hello {
             version: (next() % 256) as u8,
         },
         1 => Frame::Query {
             lang: [Lang::Sql, Lang::Algebra, Lang::App][(next() % 3) as usize],
-            explain: next() % 2 == 0,
+            explain: [
+                ExplainOptions::Off,
+                ExplainOptions::Plan,
+                ExplainOptions::Analyze,
+            ][(next() % 3) as usize],
+            trace: next() % 2 == 0,
             text: format!("PENTITY [CAT = {}]", next() % 100),
         },
         2 => Frame::Schema {
@@ -86,7 +91,7 @@ fn arbitrary_frame(seed: u64) -> Frame {
             code: (next() % 600) as u16,
             message: format!("err {}", next()),
         },
-        _ => Frame::Summary {
+        7 => Frame::Summary {
             info: ResponseInfo {
                 canonical: format!("canon {}", next()),
                 fingerprint: next(),
@@ -96,6 +101,13 @@ fn arbitrary_frame(seed: u64) -> Frame {
                 threads: (next() % 16) as usize,
                 latency_micros: next() % 1_000_000,
             },
+        },
+        8 => Frame::StatsRequest,
+        _ => Frame::Stats {
+            text: format!(
+                "# HELP polygen_queries_total Queries served.\npolygen_queries_total {}\n",
+                next() % 1_000
+            ),
         },
     }
 }
@@ -440,6 +452,60 @@ fn wire_answers_reconstruct_the_full_tagged_relation() {
     let again = session.execute(&Request::sql(sql)).expect("warm answer");
     assert!(again.payload_eq(&over_wire));
     assert!(again.info().unwrap().result_hit, "server-side cache hit");
+    server.shutdown();
+}
+
+/// The stats surface: `scrape_stats` fetches the live Prometheus
+/// scrape over its own frame pair, and a traced wire query leaves a
+/// complete decode → queue → parse/plan/execute → flush waterfall in
+/// the slow-query log the scrape carries.
+#[test]
+fn stats_scrape_and_traced_waterfall_cross_the_wire() {
+    let scenario = polygen::catalog::scenario::build();
+    let (service, server) = spawn_server(&scenario, ServeOptions::default());
+    let mut session = NetClient::connect(server.addr()).expect("connect");
+    let sql = "SELECT ANAME FROM PALUMNUS WHERE DEGREE = \"MBA\"";
+    let traced = session
+        .execute(&Request::sql(sql).with_trace(true))
+        .expect("traced query");
+    let plain = service.execute(Request::sql(sql));
+    assert!(traced.payload_eq(&plain), "tracing never changes answers");
+    // The scrape crosses the wire: counters, histograms, slowlog. It is
+    // answered by the poller thread, strictly after the traced
+    // response's flush — so the waterfall below is already observed.
+    let scrape = session.scrape_stats().expect("stats frame");
+    assert!(scrape.contains("polygen_queries_total"), "{scrape}");
+    assert!(
+        scrape.contains("polygen_miss_latency_micros_bucket"),
+        "{scrape}"
+    );
+    let slow = service.slow_queries();
+    let waterfall = slow
+        .iter()
+        .find_map(|e| e.waterfall.as_deref())
+        .expect("traced request was observed");
+    for site in [
+        "net/decode",
+        "net/queue",
+        "serve/parse",
+        "serve/plan",
+        "serve/execute",
+        "net/flush",
+    ] {
+        assert!(waterfall.contains(site), "missing {site} in:\n{waterfall}");
+    }
+    // The same waterfall is visible to remote eyes via the scrape.
+    assert!(scrape.contains("net/flush"), "{scrape}");
+    // EXPLAIN ANALYZE crosses the wire as an Explain response with
+    // per-node actuals beside the estimates.
+    let analyzed = session
+        .execute(&Request::sql(format!("EXPLAIN ANALYZE {sql}")))
+        .expect("analyze");
+    let Response::Explain { plan, .. } = &analyzed else {
+        panic!("expected explain, got {analyzed:?}");
+    };
+    assert!(plan.contains("est=("), "{plan}");
+    assert!(plan.contains("act=("), "{plan}");
     server.shutdown();
 }
 
