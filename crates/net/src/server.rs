@@ -38,6 +38,7 @@ use crate::protocol::{
     WIRE_MALFORMED, WIRE_UNEXPECTED_FRAME,
 };
 use crate::sys::{self, AsSockId, Event, Interest, Poller, WakeReceiver, Waker};
+use polygen_obs::session::SessionStats;
 use polygen_obs::trace::Trace;
 use polygen_serve::request::Request;
 use polygen_serve::service::QueryService;
@@ -287,6 +288,10 @@ impl Drop for NetServer {
 struct Job {
     token: u64,
     request: Request,
+    /// The connection's live-session entry: the worker brackets
+    /// execution with `begin_query`/`finish_query` so `sys.sessions`
+    /// shows what each wire connection is running *right now*.
+    stats: Arc<SessionStats>,
     decode_start: Instant,
     decode_done: Instant,
 }
@@ -350,7 +355,12 @@ fn worker_loop(
                 started: job.decode_start,
             }
         });
+        job.stats
+            .begin_query(&job.request.text, job.request.lang.label());
         let response = service.execute_traced(job.request, &trace);
+        let rows = response.rows().map_or(0, |r| r.len() as u64);
+        job.stats
+            .finish_query(rows, response.error_code().is_some());
         let mut bytes = Vec::new();
         for frame in response_frames(&response) {
             bytes.extend_from_slice(&frame.encode());
@@ -388,6 +398,10 @@ struct Conn {
     /// the `net/flush` span, closed (and the waterfall fed to the
     /// slow-query log) when the outbound buffer empties.
     in_flight: Option<FlushState>,
+    /// This connection's entry in the service's live-session registry
+    /// (one wire connection = one `sys.sessions` row, deregistered on
+    /// close).
+    stats: Arc<SessionStats>,
 }
 
 /// The tail of a traced request's waterfall, owned by the poller while
@@ -588,6 +602,10 @@ impl<A: Acceptor> PollerLoop<A> {
         let _ = stream.set_nodelay(true);
         let token = self.next_token;
         self.next_token += 1;
+        let peer = stream
+            .peer_addr()
+            .map_or_else(|_| "unknown".to_string(), |a| a.to_string());
+        let stats = self.service.sessions().register(&peer);
         let mut conn = Conn {
             stream,
             reader: FrameReader::new(),
@@ -603,10 +621,12 @@ impl<A: Acceptor> PollerLoop<A> {
                 write: false,
             },
             in_flight: None,
+            stats,
         };
         let id = conn.stream.sock_id();
         let interest = conn.desired_interest();
         if self.poller.add(id, token, interest).is_err() {
+            self.service.sessions().deregister(conn.stats.id());
             return;
         }
         conn.registered = interest;
@@ -782,12 +802,14 @@ impl<A: Acceptor> PollerLoop<A> {
                     self.refuse(token, WIRE_UNEXPECTED_FRAME, &why);
                     return;
                 };
-                if let Some(conn) = self.conns.get_mut(&token) {
-                    conn.busy = true;
-                }
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    return;
+                };
+                conn.busy = true;
                 let job = Job {
                     token,
                     request,
+                    stats: Arc::clone(&conn.stats),
                     decode_start,
                     decode_done: Instant::now(),
                 };
@@ -839,6 +861,7 @@ impl<A: Acceptor> PollerLoop<A> {
             );
         }
         metrics.record_conn_closed();
+        self.service.sessions().deregister(conn.stats.id());
         let _ = self.poller.remove(conn.stream.sock_id());
         // conn (and its socket) drops here.
         self.publish_open();
@@ -1014,6 +1037,53 @@ mod tests {
             started.elapsed() < Duration::from_secs(5),
             "fatal error should end the loop promptly"
         );
+    }
+
+    /// The acceptance path for the system catalog: plain Query frames
+    /// over TCP answer `sys.*` selects, the connection itself shows up
+    /// in `sys.sessions` under its real peer address, and closing the
+    /// socket drains its registry entry.
+    #[test]
+    fn sys_catalog_serves_over_the_wire() {
+        use crate::client::NetClient;
+        use polygen_flat::value::Value;
+        use polygen_serve::request::{Request, Response};
+        let service = tiny_service();
+        let server = NetServer::spawn(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+        let mut client = NetClient::connect(server.addr()).expect("connect");
+        let resp = client
+            .execute(&Request::sql("SELECT SOURCE, VERSION FROM sys.sources"))
+            .unwrap();
+        let Response::Rows { answer, info } = &resp else {
+            panic!("expected rows, got {resp:?}");
+        };
+        assert!(!answer.is_empty());
+        assert!(!info.result_hit, "sys answers are never cached");
+        let resp = client
+            .execute(&Request::sql(
+                "SELECT SESSION_ID, PEER, QUERY FROM sys.sessions",
+            ))
+            .unwrap();
+        let Response::Rows { answer, .. } = &resp else {
+            panic!("expected rows, got {resp:?}");
+        };
+        assert_eq!(answer.len(), 1, "one wire connection, one session row");
+        let peer_seen = answer
+            .tuples()
+            .iter()
+            .flat_map(|t| t.iter())
+            .any(|c| matches!(&c.datum, Value::Str(s) if s.starts_with("127.0.0.1")));
+        assert!(peer_seen, "the session row carries the peer address");
+        drop(client);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !service.sessions().is_empty() {
+            assert!(
+                Instant::now() < deadline,
+                "closed connection never left the session registry"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        server.shutdown();
     }
 
     /// The satellite bug: finished connections used to leak tracking

@@ -158,6 +158,28 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Counter-wise difference `self − earlier`: the samples recorded
+    /// between the two snapshots. Both must come from the *same*
+    /// cumulative histogram, `earlier` taken first; mismatched pairs
+    /// saturate at zero instead of underflowing. `max` stays the later
+    /// snapshot's cumulative maximum (an upper bound for the window —
+    /// a windowed exact max is unrecoverable from monotone counters).
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut counts = [0u64; BUCKETS];
+        for (d, (now, then)) in counts
+            .iter_mut()
+            .zip(self.counts.iter().zip(&earlier.counts))
+        {
+            *d = now.saturating_sub(*then);
+        }
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max,
+            counts,
+        }
+    }
+
     /// Nearest-rank percentile in microseconds; `0` with no samples.
     /// `p` is a fraction (`0.99` = p99), clamped to `[0, 1]`. Answers
     /// with the containing bucket's upper bound, capped at the observed
@@ -305,6 +327,29 @@ mod tests {
             all.record_micros(v);
         }
         assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn delta_since_recovers_the_window() {
+        let h = Histogram::new();
+        for v in [5u64, 50] {
+            h.record_micros(v);
+        }
+        let earlier = h.snapshot();
+        for v in [500u64, 5000] {
+            h.record_micros(v);
+        }
+        let window = h.snapshot().delta_since(&earlier);
+        assert_eq!(window.count(), 2);
+        assert_eq!(window.sum_micros(), 5500);
+        // Only the window's buckets carry counts.
+        let only = Histogram::new();
+        only.record_micros(500);
+        only.record_micros(5000);
+        assert_eq!(window.counts, only.snapshot().counts);
+        // Degenerate pair saturates instead of underflowing.
+        let none = earlier.delta_since(&h.snapshot());
+        assert_eq!(none.count(), 0);
     }
 
     #[test]

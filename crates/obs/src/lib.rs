@@ -24,21 +24,34 @@
 //!   threshold, each holding its (possibly still-live) trace handle so
 //!   a scrape renders the waterfall *including* spans recorded after
 //!   the response was handed off (e.g. the net layer's flush).
+//! * [`session`] — [`session::SessionRegistry`], the live-session map:
+//!   who is connected, what each session is running *right now*, and
+//!   relaxed-atomic per-session cumulative counters.
+//! * [`ring`] — [`ring::MetricsRing`], a fixed ring of windowed metric
+//!   rollups (counter deltas + a windowed latency histogram per
+//!   window), so rate-over-the-last-minute questions are answerable
+//!   from flat relational windows rather than caller-side deltas.
 
 pub mod hist;
+pub mod ring;
+pub mod session;
 pub mod slowlog;
 pub mod summary;
 pub mod trace;
 
 pub use hist::{Histogram, HistogramSnapshot};
-pub use slowlog::{SlowQueryLog, SlowQueryReport};
+pub use ring::{CumulativeMark, MetricsRing, MetricsWindow};
+pub use session::{SessionRegistry, SessionSnapshot, SessionStats};
+pub use slowlog::{QueryDetail, SlowQueryLog, SlowQueryReport};
 pub use summary::LatencySummary;
 pub use trace::{Note, SpanId, SpanReport, Trace, TraceReport};
 
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::hist::{Histogram, HistogramSnapshot};
-    pub use crate::slowlog::{SlowQueryLog, SlowQueryReport};
+    pub use crate::ring::{CumulativeMark, MetricsRing, MetricsWindow};
+    pub use crate::session::{SessionRegistry, SessionSnapshot, SessionStats};
+    pub use crate::slowlog::{QueryDetail, SlowQueryLog, SlowQueryReport};
     pub use crate::summary::LatencySummary;
     pub use crate::trace::{Note, SpanId, SpanReport, Trace, TraceReport};
 }

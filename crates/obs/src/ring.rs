@@ -1,0 +1,209 @@
+//! A fixed ring of windowed metric rollups.
+//!
+//! Cumulative counters answer "how much, ever"; operators ask "how
+//! much, *lately*". The [`MetricsRing`] closes that gap without making
+//! every scraper keep its own deltas: the owner periodically feeds it
+//! the current cumulative [`CumulativeMark`] (on scrape, or on a coarse
+//! clock tick) and the ring stores the *difference* since the previous
+//! mark as one [`MetricsWindow`], evicting the oldest window once the
+//! ring is full. Windows are flat relational facts — a monotone
+//! time-bucket column plus counter and percentile columns — so
+//! rate-over-the-last-N-windows questions are ordinary aggregations
+//! over rows, not a bespoke dashboard API (the OLAP-organization
+//! argument: multidimensional questions over relational storage).
+
+use crate::hist::HistogramSnapshot;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A cumulative observation of the service counters, as of one instant.
+/// Field meanings follow the service metrics they are sampled from.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CumulativeMark {
+    /// Queries answered (hit or computed).
+    pub queries: u64,
+    /// Queries that failed.
+    pub errors: u64,
+    /// Queries rejected by admission control.
+    pub rejected: u64,
+    /// Plan-cache hits.
+    pub plan_hits: u64,
+    /// Result-cache hits.
+    pub result_hits: u64,
+    /// Plans executed (result-cache misses).
+    pub executed: u64,
+    /// End-to-end query latency, cumulative histogram.
+    pub latency: HistogramSnapshot,
+}
+
+/// One window: the counter deltas between two consecutive marks.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricsWindow {
+    /// Monotone window index — the flat time-bucket column. Window 0
+    /// spans from ring construction to the first advance.
+    pub bucket: u64,
+    /// Queries answered in the window.
+    pub queries: u64,
+    /// Queries failed in the window.
+    pub errors: u64,
+    /// Queries rejected in the window.
+    pub rejected: u64,
+    /// Plan-cache hits in the window.
+    pub plan_hits: u64,
+    /// Result-cache hits in the window.
+    pub result_hits: u64,
+    /// Plans executed in the window.
+    pub executed: u64,
+    /// Latency distribution of the window's queries.
+    pub latency: HistogramSnapshot,
+}
+
+#[derive(Debug)]
+struct RingInner {
+    last: CumulativeMark,
+    windows: VecDeque<MetricsWindow>,
+    next_bucket: u64,
+}
+
+/// A bounded ring of [`MetricsWindow`]s.
+#[derive(Debug)]
+pub struct MetricsRing {
+    capacity: usize,
+    inner: Mutex<RingInner>,
+}
+
+impl MetricsRing {
+    /// A ring keeping the most recent `capacity` windows (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        MetricsRing {
+            capacity: capacity.max(1),
+            inner: Mutex::new(RingInner {
+                last: CumulativeMark::default(),
+                windows: VecDeque::new(),
+                next_bucket: 0,
+            }),
+        }
+    }
+
+    /// Maximum number of windows retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Close the current window: store `now − last mark` as a new
+    /// window, remember `now` as the next baseline, and evict the
+    /// oldest window if the ring is full. Returns the closed window.
+    pub fn advance(&self, now: CumulativeMark) -> MetricsWindow {
+        let mut inner = self.inner.lock().unwrap();
+        let last = inner.last;
+        let window = MetricsWindow {
+            bucket: inner.next_bucket,
+            queries: now.queries.saturating_sub(last.queries),
+            errors: now.errors.saturating_sub(last.errors),
+            rejected: now.rejected.saturating_sub(last.rejected),
+            plan_hits: now.plan_hits.saturating_sub(last.plan_hits),
+            result_hits: now.result_hits.saturating_sub(last.result_hits),
+            executed: now.executed.saturating_sub(last.executed),
+            latency: now.latency.delta_since(&last.latency),
+        };
+        inner.last = now;
+        inner.next_bucket += 1;
+        if inner.windows.len() == self.capacity {
+            inner.windows.pop_front();
+        }
+        inner.windows.push_back(window);
+        window
+    }
+
+    /// The retained windows, oldest first.
+    pub fn windows(&self) -> Vec<MetricsWindow> {
+        self.inner.lock().unwrap().windows.iter().copied().collect()
+    }
+
+    /// Number of windows currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().windows.len()
+    }
+
+    /// True before the first advance.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    fn mark(queries: u64, hist: &Histogram) -> CumulativeMark {
+        CumulativeMark {
+            queries,
+            latency: hist.snapshot(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn windows_hold_deltas_not_cumulatives() {
+        let ring = MetricsRing::new(4);
+        let h = Histogram::new();
+        h.record_micros(10);
+        ring.advance(mark(5, &h));
+        h.record_micros(20);
+        h.record_micros(30);
+        let w = ring.advance(mark(12, &h));
+        assert_eq!(w.bucket, 1);
+        assert_eq!(w.queries, 7);
+        assert_eq!(w.latency.count(), 2);
+        assert_eq!(w.latency.sum_micros(), 50);
+        let all = ring.windows();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].bucket, 0);
+        assert_eq!(all[0].queries, 5);
+        assert_eq!(all[0].latency.count(), 1);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_but_buckets_stay_monotone() {
+        let ring = MetricsRing::new(3);
+        let h = Histogram::new();
+        for i in 1..=5u64 {
+            ring.advance(mark(i * 10, &h));
+        }
+        let windows = ring.windows();
+        assert_eq!(windows.len(), 3);
+        let buckets: Vec<u64> = windows.iter().map(|w| w.bucket).collect();
+        assert_eq!(buckets, vec![2, 3, 4]);
+        // Every retained window is the 10-query delta, not a cumulative.
+        assert!(windows.iter().all(|w| w.queries == 10));
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let ring = MetricsRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        assert!(ring.is_empty());
+        ring.advance(CumulativeMark::default());
+        ring.advance(CumulativeMark::default());
+        assert_eq!(ring.len(), 1);
+    }
+
+    #[test]
+    fn window_percentiles_reflect_only_the_window() {
+        let ring = MetricsRing::new(8);
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record_micros(10);
+        }
+        ring.advance(mark(100, &h));
+        for _ in 0..100 {
+            h.record_micros(1000);
+        }
+        let w = ring.advance(mark(200, &h));
+        // The second window saw only the slow queries.
+        assert!(w.latency.p50_micros() >= 1000);
+        let first = ring.windows()[0];
+        assert!(first.latency.p50_micros() <= 15);
+    }
+}

@@ -10,10 +10,31 @@ use std::fmt::Write as _;
 use std::sync::Mutex;
 use std::time::Duration;
 
+/// Structured facts about one finished query, beyond its total
+/// latency: where the time went and how the caches treated it. All
+/// fields are optional extras — [`SlowQueryLog::observe`] records an
+/// entry with the zero detail; callers that know more use
+/// [`SlowQueryLog::observe_detailed`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryDetail {
+    /// Time spent waiting for admission, microseconds.
+    pub queue_micros: u64,
+    /// Time spent executing the physical plan, microseconds (0 for
+    /// cache hits).
+    pub exec_micros: u64,
+    /// Cache outcome label: `"result"` (result-cache hit), `"plan"`
+    /// (plan-cache hit, executed), `"miss"` (compiled and executed),
+    /// or `""` when unknown.
+    pub cache: &'static str,
+    /// `(code, mnemonic)` when the query failed.
+    pub error: Option<(u16, &'static str)>,
+}
+
 #[derive(Debug)]
 struct Entry {
     query: String,
     micros: u64,
+    detail: QueryDetail,
     trace: Trace,
 }
 
@@ -45,6 +66,17 @@ impl SlowQueryLog {
     /// Offer one finished query. Kept if it clears the threshold and
     /// (once full) beats the current best-of-the-worst.
     pub fn observe(&self, query: &str, elapsed: Duration, trace: &Trace) {
+        self.observe_detailed(query, elapsed, trace, QueryDetail::default());
+    }
+
+    /// [`SlowQueryLog::observe`], with structured facts attached.
+    pub fn observe_detailed(
+        &self,
+        query: &str,
+        elapsed: Duration,
+        trace: &Trace,
+        detail: QueryDetail,
+    ) {
         if self.capacity == 0 {
             return;
         }
@@ -57,6 +89,7 @@ impl SlowQueryLog {
             entries.push(Entry {
                 query: query.to_string(),
                 micros,
+                detail,
                 trace: trace.clone(),
             });
             return;
@@ -72,6 +105,7 @@ impl SlowQueryLog {
                 entries[i] = Entry {
                     query: query.to_string(),
                     micros,
+                    detail,
                     trace: trace.clone(),
                 };
             }
@@ -87,6 +121,7 @@ impl SlowQueryLog {
             .map(|e| SlowQueryReport {
                 query: e.query.clone(),
                 micros: e.micros,
+                detail: e.detail,
                 waterfall: e.trace.report().map(|r| r.render_waterfall()),
             })
             .collect();
@@ -131,6 +166,9 @@ pub struct SlowQueryReport {
     pub query: String,
     /// End-to-end service latency, microseconds.
     pub micros: u64,
+    /// Structured facts recorded with the entry (zero when the
+    /// observer only knew the total).
+    pub detail: QueryDetail,
     /// The rendered waterfall, when the query carried an enabled trace.
     pub waterfall: Option<String>,
 }
@@ -176,6 +214,32 @@ mod tests {
         assert!(scrape.lines().all(|l| l.starts_with('#')));
         log.clear();
         assert!(log.snapshot().is_empty());
+    }
+
+    #[test]
+    fn detailed_entries_carry_their_facts() {
+        let log = SlowQueryLog::new(2, Duration::ZERO);
+        let t = Trace::disabled();
+        log.observe_detailed(
+            "q",
+            Duration::from_micros(40),
+            &t,
+            QueryDetail {
+                queue_micros: 5,
+                exec_micros: 30,
+                cache: "miss",
+                error: Some((30, "SQL_SYNTAX")),
+            },
+        );
+        log.observe("plain", Duration::from_micros(10), &t);
+        let snap = log.snapshot();
+        assert_eq!(snap[0].query, "q");
+        assert_eq!(snap[0].detail.queue_micros, 5);
+        assert_eq!(snap[0].detail.exec_micros, 30);
+        assert_eq!(snap[0].detail.cache, "miss");
+        assert_eq!(snap[0].detail.error, Some((30, "SQL_SYNTAX")));
+        assert_eq!(snap[1].detail.cache, "");
+        assert!(snap[1].detail.error.is_none());
     }
 
     #[test]

@@ -230,6 +230,20 @@ impl Trace {
     }
 }
 
+/// A nanosecond quantity in the largest unit that keeps at most six
+/// significant characters: `500 ns`, `12.34 µs`, `2.50 ms`, `1.20 s`.
+fn fmt_duration_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
 /// One span, as reported.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpanReport {
@@ -319,28 +333,30 @@ impl TraceReport {
     }
 
     /// Render the spans as an indented waterfall with offsets,
-    /// durations, and annotations.
+    /// durations, and annotations. The offset and duration columns are
+    /// fixed-width and unit-normalized (ns / µs / ms / s), so a
+    /// waterfall mixing millisecond execute spans with sub-microsecond
+    /// cache probes still lines up.
     pub fn render_waterfall(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "trace waterfall (total {} µs)", self.total_micros());
         let mut depth = vec![0usize; self.spans.len()];
+        let mut labels = Vec::with_capacity(self.spans.len());
         for (i, s) in self.spans.iter().enumerate() {
             depth[i] = s.parent.map_or(0, |p| depth[p] + 1);
+            labels.push(format!("{:indent$}{}", "", s.name, indent = depth[i] * 2));
+        }
+        let name_w = labels.iter().map(|l| l.chars().count()).max().unwrap_or(0);
+        for (s, label) in self.spans.iter().zip(&labels) {
+            let start = format!("+{}", fmt_duration_ns(s.start_ns));
+            let dur = fmt_duration_ns(s.end_ns.saturating_sub(s.start_ns));
             let notes = if s.notes.is_empty() {
                 String::new()
             } else {
                 let shown: Vec<String> = s.notes.iter().map(|(k, n)| format!("{k}={n}")).collect();
                 format!("  {{{}}}", shown.join(", "))
             };
-            let _ = writeln!(
-                out,
-                "{:indent$}{name}  +{start} µs  {dur} µs{notes}",
-                "",
-                indent = depth[i] * 2,
-                name = s.name,
-                start = s.start_ns / 1_000,
-                dur = s.duration_micros(),
-            );
+            let _ = writeln!(out, "{label:<name_w$}  {start:>10}  {dur:>10}{notes}");
         }
         out
     }
@@ -384,6 +400,57 @@ mod tests {
         assert!(shown.contains("outer"));
         assert!(shown.contains("  inner"), "{shown}");
         assert!(shown.contains("rows=42"));
+    }
+
+    #[test]
+    fn waterfall_columns_stay_aligned_across_units() {
+        // A synthetic report mixing a 2.5 ms parent, a 500 ns child and
+        // a 1.4 ms child — the exact shape that used to shear the
+        // columns. Golden-rendered: offsets and durations sit in fixed
+        // 10-char right-aligned columns, unit-normalized.
+        let report = TraceReport {
+            spans: vec![
+                SpanReport {
+                    name: "outer".into(),
+                    parent: None,
+                    start_ns: 0,
+                    end_ns: 2_500_000,
+                    closed: true,
+                    notes: vec![],
+                },
+                SpanReport {
+                    name: "inner".into(),
+                    parent: Some(0),
+                    start_ns: 400,
+                    end_ns: 900,
+                    closed: true,
+                    notes: vec![("rows".into(), Note::Uint(42))],
+                },
+                SpanReport {
+                    name: "flush".into(),
+                    parent: Some(0),
+                    start_ns: 1_000_000,
+                    end_ns: 2_400_000,
+                    closed: true,
+                    notes: vec![],
+                },
+            ],
+        };
+        let golden = "trace waterfall (total 2500 µs)\n\
+                      outer         +0 ns     2.50 ms\n\
+                      \x20 inner     +400 ns      500 ns  {rows=42}\n\
+                      \x20 flush    +1.00 ms     1.40 ms\n";
+        assert_eq!(report.render_waterfall(), golden);
+    }
+
+    #[test]
+    fn duration_normalization_picks_the_unit() {
+        assert_eq!(fmt_duration_ns(0), "0 ns");
+        assert_eq!(fmt_duration_ns(999), "999 ns");
+        assert_eq!(fmt_duration_ns(1_000), "1.00 µs");
+        assert_eq!(fmt_duration_ns(12_340), "12.34 µs");
+        assert_eq!(fmt_duration_ns(2_500_000), "2.50 ms");
+        assert_eq!(fmt_duration_ns(1_200_000_000), "1.20 s");
     }
 
     #[test]

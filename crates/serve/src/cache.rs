@@ -41,11 +41,19 @@ use std::collections::{BTreeSet, HashMap};
 use std::hash::Hash;
 use std::sync::{Arc, Mutex};
 
+/// One LRU slot: the value, its recency stamp, and how many times it
+/// has been served (the `sys.cache` relation's per-entry hit column).
+struct Slot<V> {
+    value: V,
+    used: u64,
+    hits: u64,
+}
+
 /// A bounded least-recently-used map.
 struct Lru<K, V> {
     capacity: usize,
     tick: u64,
-    map: HashMap<K, (V, u64)>,
+    map: HashMap<K, Slot<V>>,
 }
 
 impl<K: Eq + Hash + Clone, V> Lru<K, V> {
@@ -65,9 +73,10 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
     {
         self.tick += 1;
         let tick = self.tick;
-        self.map.get_mut(key).map(|(v, used)| {
-            *used = tick;
-            &*v
+        self.map.get_mut(key).map(|slot| {
+            slot.used = tick;
+            slot.hits += 1;
+            &slot.value
         })
     }
 
@@ -77,19 +86,26 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
             if let Some(oldest) = self
                 .map
                 .iter()
-                .min_by_key(|(_, (_, used))| *used)
+                .min_by_key(|(_, slot)| slot.used)
                 .map(|(k, _)| k.clone())
             {
                 self.map.remove(&oldest);
             }
         }
-        self.map.insert(key, (value, self.tick));
+        self.map.insert(
+            key,
+            Slot {
+                value,
+                used: self.tick,
+                hits: 0,
+            },
+        );
     }
 
     /// Drop every entry matching `stale`; returns how many went.
     fn purge(&mut self, stale: impl Fn(&K, &V) -> bool) -> usize {
         let before = self.map.len();
-        self.map.retain(|k, (v, _)| !stale(k, v));
+        self.map.retain(|k, slot| !stale(k, &slot.value));
         before - self.map.len()
     }
 
@@ -187,7 +203,19 @@ impl PlanCache {
             .expect("plan cache poisoned")
             .map
             .values()
-            .map(|(v, _)| Arc::clone(v))
+            .map(|slot| Arc::clone(&slot.value))
+            .collect()
+    }
+
+    /// Snapshot the cached entries with their per-entry hit counts
+    /// (recency untouched) — the `sys.cache` relation's view.
+    pub fn entries_with_hits(&self) -> Vec<(Arc<PlanEntry>, u64)> {
+        self.inner
+            .lock()
+            .expect("plan cache poisoned")
+            .map
+            .values()
+            .map(|slot| (Arc::clone(&slot.value), slot.hits))
             .collect()
     }
 
@@ -255,6 +283,19 @@ impl ResultCache {
             .purge(|key, _| key.versions.iter().any(|(s, _)| s == source))
     }
 
+    /// Snapshot the cached answer *keys* with their per-entry hit
+    /// counts and row counts (recency untouched) — the `sys.cache`
+    /// relation's view. Answers themselves stay in the cache.
+    pub fn entries_with_hits(&self) -> Vec<(ResultKey, u64, usize)> {
+        self.inner
+            .lock()
+            .expect("result cache poisoned")
+            .map
+            .iter()
+            .map(|(k, slot)| (k.clone(), slot.hits, slot.value.len()))
+            .collect()
+    }
+
     /// Number of cached answers.
     pub fn len(&self) -> usize {
         self.inner.lock().expect("result cache poisoned").len()
@@ -306,6 +347,25 @@ mod tests {
         cache.insert(key(1, &[("CD", 0)]), answer("A"));
         assert!(cache.get(&key(1, &[("CD", 0)])).is_some());
         assert!(cache.get(&key(1, &[("CD", 1)])).is_none());
+    }
+
+    #[test]
+    fn hit_counts_track_gets_not_inserts() {
+        let cache = ResultCache::new(4);
+        let k = key(1, &[("CD", 0)]);
+        cache.insert(k.clone(), answer("A"));
+        let entries = cache.entries_with_hits();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].1, 0, "insertion is not a hit");
+        assert!(cache.get(&k).is_some());
+        assert!(cache.get(&k).is_some());
+        assert!(cache.get(&key(9, &[])).is_none(), "miss counts nothing");
+        let entries = cache.entries_with_hits();
+        assert_eq!(entries[0].1, 2);
+        assert_eq!(entries[0].2, 0, "empty answer has zero rows");
+        // Re-inserting under the same key resets the entry's count.
+        cache.insert(k.clone(), answer("A"));
+        assert_eq!(cache.entries_with_hits()[0].1, 0);
     }
 
     #[test]

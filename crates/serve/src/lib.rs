@@ -29,6 +29,11 @@
 //!   partition-parallel operators, so inter- and intra-query
 //!   parallelism spend one pool. [`metrics`] counts hits, latencies and
 //!   peaks.
+//! * [`sys`] — the mediator as its own tagged source: six `sys.*`
+//!   polygen schemes (slow queries, live sessions, windowed stats,
+//!   sources, caches, indexes) materialized from live service state at
+//!   query admission and answered through the ordinary front doors,
+//!   every row origin-tagged `sys`.
 //!
 //! The differential guarantee the property suite
 //! (`tests/properties_service.rs`) locks down: with caches on and N
@@ -41,6 +46,7 @@ pub mod metrics;
 pub mod request;
 pub mod service;
 pub mod snapshot;
+pub mod sys;
 
 /// Convenient glob import.
 pub mod prelude {
@@ -51,6 +57,7 @@ pub mod prelude {
     };
     pub use crate::service::{QueryService, ServeError, ServeOptions, ServeOutcome, Session};
     pub use crate::snapshot::{Federation, FederationSnapshot, VersionVector};
+    pub use crate::sys::{SysCatalog, SYS_DB};
     pub use polygen_index::{IndexCatalog, IndexKind, IndexSpec};
     pub use polygen_obs::prelude::*;
 }

@@ -216,6 +216,21 @@ impl ServiceMetrics {
     }
 }
 
+/// Escape a Prometheus label value: backslash, double quote, and
+/// newline must be escaped per the text exposition format.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 /// A frozen view of [`ServiceMetrics`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MetricsSnapshot {
@@ -329,11 +344,14 @@ impl MetricsSnapshot {
     /// serves and the wire `Stats` frame carries.
     pub fn render_prometheus(&self) -> String {
         use std::fmt::Write as _;
+        fn series(out: &mut String, name: &str, kind: &str, help: &str, value: u64) {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            let _ = writeln!(out, "{name} {value}");
+        }
         let mut out = String::new();
         let mut counter = |name: &str, help: &str, value: u64| {
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} counter");
-            let _ = writeln!(out, "{name} {value}");
+            series(&mut out, name, "counter", help, value);
         };
         counter(
             "polygen_queries_total",
@@ -387,41 +405,52 @@ impl MetricsSnapshot {
             "Connections closed for refusing to drain responses",
             self.conns_backpressure_closed,
         );
-        counter(
+        // High-water marks and the open-connection count can move in
+        // either direction across restarts or resets: gauges, not
+        // counters.
+        series(
+            &mut out,
             "polygen_peak_queue_depth",
+            "gauge",
             "Deepest admission queue observed",
             self.peak_queue_depth,
         );
-        counter(
+        series(
+            &mut out,
             "polygen_peak_concurrency",
+            "gauge",
             "Most queries observed executing at once",
             self.peak_concurrency,
         );
-        counter(
+        series(
+            &mut out,
             "polygen_conns_peak_open",
+            "gauge",
             "Most transport connections open at once",
             self.conns_peak_open,
         );
+        series(
+            &mut out,
+            "polygen_conns_open",
+            "gauge",
+            "Transport connections currently open",
+            self.conns_open,
+        );
+        // The per-code family's metadata is emitted even with no
+        // failures recorded yet, so scrapers learn the series exists
+        // before the first error does.
         let _ = writeln!(
             out,
-            "# HELP polygen_conns_open Transport connections currently open"
+            "# HELP polygen_errors_by_code_total Failures by stable error code"
         );
-        let _ = writeln!(out, "# TYPE polygen_conns_open gauge");
-        let _ = writeln!(out, "polygen_conns_open {}", self.conns_open);
-        if !self.errors_by_code.is_empty() {
+        let _ = writeln!(out, "# TYPE polygen_errors_by_code_total counter");
+        for (code, count) in &self.errors_by_code {
             let _ = writeln!(
                 out,
-                "# HELP polygen_errors_by_code_total Failures by stable error code"
+                "polygen_errors_by_code_total{{code=\"{}\",mnemonic=\"{}\"}} {count}",
+                escape_label(&code.code().to_string()),
+                escape_label(code.mnemonic())
             );
-            let _ = writeln!(out, "# TYPE polygen_errors_by_code_total counter");
-            for (code, count) in &self.errors_by_code {
-                let _ = writeln!(
-                    out,
-                    "polygen_errors_by_code_total{{code=\"{}\",mnemonic=\"{}\"}} {count}",
-                    code.code(),
-                    code.mnemonic()
-                );
-            }
         }
         self.hit_latency.render_prometheus(
             "polygen_hit_latency_micros",
@@ -571,5 +600,59 @@ mod tests {
         assert_eq!(s.plan_hit_rate(), 0.0);
         assert_eq!(s.result_hit_rate(), 0.0);
         assert_eq!(s.mean_hit_latency_micros(), 0.0);
+    }
+
+    #[test]
+    fn every_prometheus_series_declares_help_and_type() {
+        let m = ServiceMetrics::default();
+        m.record_query(Duration::from_micros(10), false);
+        m.record_error();
+        m.record_error_code(ErrorCode::SqlSyntax);
+        let shown = m.snapshot().render_prometheus();
+        // Every sample line's metric name must have HELP and TYPE
+        // metadata somewhere in the scrape.
+        for line in shown.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split(['{', ' ']).next().unwrap();
+            let base = name
+                .strip_suffix("_bucket")
+                .or_else(|| name.strip_suffix("_sum"))
+                .or_else(|| name.strip_suffix("_count"))
+                .unwrap_or(name);
+            assert!(
+                shown.contains(&format!("# HELP {base} ")),
+                "{name} lacks HELP"
+            );
+            assert!(
+                shown.contains(&format!("# TYPE {base} ")),
+                "{name} lacks TYPE"
+            );
+        }
+        // Peaks and open connections are gauges, not counters.
+        for gauge in [
+            "polygen_peak_queue_depth",
+            "polygen_peak_concurrency",
+            "polygen_conns_peak_open",
+            "polygen_conns_open",
+        ] {
+            assert!(shown.contains(&format!("# TYPE {gauge} gauge")), "{gauge}");
+        }
+        assert!(
+            shown.contains("polygen_errors_by_code_total{code=\"100\",mnemonic=\"sql-syntax\"} 1")
+        );
+    }
+
+    #[test]
+    fn error_code_family_present_even_when_empty() {
+        let shown = ServiceMetrics::default().snapshot().render_prometheus();
+        assert!(shown.contains("# TYPE polygen_errors_by_code_total counter"));
+        assert!(shown.contains("# HELP polygen_errors_by_code_total "));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label("plain"), "plain");
+        assert_eq!(escape_label("a\\b"), "a\\\\b");
+        assert_eq!(escape_label("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escape_label("two\nlines"), "two\\nlines");
     }
 }

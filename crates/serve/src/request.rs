@@ -63,6 +63,16 @@ impl Lang {
             _ => None,
         }
     }
+
+    /// Stable lowercase label, shown in the session registry and the
+    /// `sys.sessions` LANG column.
+    pub fn label(self) -> &'static str {
+        match self {
+            Lang::Sql => "sql",
+            Lang::Algebra => "algebra",
+            Lang::App => "app",
+        }
+    }
 }
 
 /// Which EXPLAIN mode a request asked for. SQL text can also select a

@@ -32,6 +32,7 @@ use crate::cache::{PlanCache, PlanEntry, ResultCache, ResultKey};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::request::{ExplainOptions, Lang, Request, Response, ResponseInfo};
 use crate::snapshot::{Federation, FederationSnapshot};
+use crate::sys::{self, SysCatalog, SYS_DB};
 use polygen_catalog::scenario::Scenario;
 use polygen_core::relation::PolygenRelation;
 use polygen_core::stream::default_thread_count;
@@ -41,7 +42,9 @@ use polygen_flat::relation::Relation;
 use polygen_flat::value::Cmp;
 use polygen_index::{IndexError, IndexKind, IndexSpec};
 use polygen_lqp::engine::Lqp;
-use polygen_obs::slowlog::{SlowQueryLog, SlowQueryReport};
+use polygen_obs::ring::CumulativeMark;
+use polygen_obs::session::{SessionRegistry, SessionStats};
+use polygen_obs::slowlog::{QueryDetail, SlowQueryLog, SlowQueryReport};
 use polygen_obs::trace::{Note, Trace};
 use polygen_pqp::error::PqpError;
 use polygen_pqp::plan::PhysOp;
@@ -49,7 +52,6 @@ use polygen_pqp::pqp::{Pqp, PqpOptions};
 use polygen_sql::normalize::{canonicalize_algebra, canonicalize_sql, NormalizeError};
 use polygen_sql::parse_algebra;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -223,6 +225,11 @@ pub struct ServeOutcome {
     pub threads: usize,
     /// Wall-clock service time, admission wait included.
     pub latency: Duration,
+    /// Time spent waiting for admission, microseconds.
+    pub queue_micros: u64,
+    /// Time spent executing the physical plan, microseconds (0 for
+    /// result-cache hits — nothing executed).
+    pub exec_micros: u64,
 }
 
 /// Admission state: executing and waiting query counts, plus how many
@@ -331,12 +338,28 @@ pub struct QueryService {
     admission: Admission,
     metrics: ServiceMetrics,
     slow_log: SlowQueryLog,
-    next_session: AtomicU64,
+    sys: SysCatalog,
 }
 
 impl QueryService {
-    /// Serve a federation.
+    /// Serve a federation. Construction registers the `sys` system
+    /// catalog at the federation head: the six `sys.*` schemes join the
+    /// dictionary and a schema-bearing empty placeholder joins the
+    /// registry at version 0, so plain SQL/algebra over `sys.*` plans
+    /// like any other scheme. Live rows are spliced in per query (see
+    /// [`QueryService::spliced_sys_snapshot`]); the head's `sys`
+    /// version never moves, which is what lets cached `sys` *plans*
+    /// stay valid while `sys` *answers* are never cached at all.
     pub fn new(federation: Federation, options: ServeOptions) -> Self {
+        let head = federation.snapshot();
+        let mut dictionary = head.dictionary().as_ref().clone();
+        dictionary.intern_source(SYS_DB);
+        if !dictionary.schema().contains("sys.queries") {
+            for scheme in sys::sys_schemes() {
+                dictionary.schema_mut().push(scheme);
+            }
+        }
+        federation.install_virtual_source(sys::placeholder_lqp(), Arc::new(dictionary), 0);
         QueryService {
             plan_cache: (options.plan_cache > 0).then(|| PlanCache::new(options.plan_cache)),
             result_cache: (options.result_cache > 0)
@@ -351,7 +374,7 @@ impl QueryService {
                 options.slow_log_capacity,
                 Duration::from_micros(options.slow_log_threshold_micros),
             ),
-            next_session: AtomicU64::new(1),
+            sys: SysCatalog::new(),
             app_schema: None,
             federation,
             options,
@@ -375,7 +398,7 @@ impl QueryService {
     /// every [`QueryService::update_source`] rebuilds exactly the
     /// updated source's indexes in the successor snapshot.
     pub fn with_index_specs(self, specs: &[IndexSpec]) -> Result<Self, ServeError> {
-        self.federation.declare_indexes(specs)?;
+        self.declare_indexes(specs)?;
         Ok(self)
     }
 
@@ -385,6 +408,15 @@ impl QueryService {
     /// never change answers, only routes). Queries already executing
     /// keep their pinned snapshot and its catalog.
     pub fn declare_indexes(&self, specs: &[IndexSpec]) -> Result<(), ServeError> {
+        // The sys placeholder is registered like a real source, so the
+        // index builder would happily (and uselessly) index its empty
+        // relations — refuse instead: sys relations are materialized
+        // fresh per query, an index over them could never be consulted.
+        if specs.iter().any(|s| s.source == SYS_DB) {
+            return Err(ServeError::Index(IndexError::UnknownSource(format!(
+                "{SYS_DB} (the system catalog is materialized per query and cannot be indexed)"
+            ))));
+        }
         self.federation.declare_indexes(specs)?;
         if let Some(cache) = &self.plan_cache {
             cache.clear();
@@ -415,6 +447,12 @@ impl QueryService {
                 let PhysOp::Scan { db, op } = &node.op else {
                     continue;
                 };
+                // Catalog scans are index-ineligible: sys relations are
+                // rebuilt per materialization, so never derive specs
+                // from them (declare_indexes would refuse them anyway).
+                if db == SYS_DB {
+                    continue;
+                }
                 let Some((attr, cmp, _)) = &op.filter else {
                     continue;
                 };
@@ -494,13 +532,29 @@ impl QueryService {
     }
 
     /// Open a session. Sessions are lightweight (an id plus counters);
-    /// every session shares the service's caches and snapshots.
+    /// every session shares the service's caches and snapshots. The
+    /// session registers in the live-session registry — it has a
+    /// `sys.sessions` row, peer `"local"`, until dropped.
     pub fn open_session(&self) -> Session<'_> {
         Session {
             service: self,
-            id: self.next_session.fetch_add(1, Ordering::Relaxed),
+            stats: self.sys.sessions().register("local"),
             queries: 0,
         }
+    }
+
+    /// The live-session registry backing `sys.sessions`. Transports
+    /// register each connection on accept (peer address as the label)
+    /// and deregister on close; the per-connection
+    /// [`SessionStats`] handle publishes in-flight query text around
+    /// each execute.
+    pub fn sessions(&self) -> &Arc<SessionRegistry> {
+        self.sys.sessions()
+    }
+
+    /// The system catalog's own state (ring, materialization counter).
+    pub fn sys_catalog(&self) -> &SysCatalog {
+        &self.sys
     }
 
     /// Replace a source's LQP: bump its version, then eagerly evict
@@ -570,11 +624,13 @@ impl QueryService {
         } else {
             trace
         };
+        let mut detail = QueryDetail::default();
         let response = match request.options.explain {
             ExplainOptions::Plan => match self.explain_request(&request) {
                 Ok(response) => response,
                 Err(e) => {
                     self.metrics.record_error_code(e.code());
+                    detail.error = Some((e.code().code(), e.code().mnemonic()));
                     e.into()
                 }
             },
@@ -585,16 +641,35 @@ impl QueryService {
                         self.metrics.record_error();
                     }
                     self.metrics.record_error_code(e.code());
+                    detail.error = Some((e.code().code(), e.code().mnemonic()));
                     e.into()
                 }
             },
             ExplainOptions::Off => match self.serve_traced(&request.text, request.lang, trace) {
-                Ok(outcome) => outcome.into(),
-                Err(e) => e.into(),
+                Ok(outcome) => {
+                    detail = QueryDetail {
+                        queue_micros: outcome.queue_micros,
+                        exec_micros: outcome.exec_micros,
+                        cache: if outcome.result_hit {
+                            "result"
+                        } else if outcome.plan_hit {
+                            "plan"
+                        } else {
+                            "miss"
+                        },
+                        error: None,
+                    };
+                    outcome.into()
+                }
+                Err(e) => {
+                    detail.error = Some((e.code().code(), e.code().mnemonic()));
+                    e.into()
+                }
             },
         };
         if !caller_traced {
-            self.slow_log.observe(&request.text, start.elapsed(), trace);
+            self.slow_log
+                .observe_detailed(&request.text, start.elapsed(), trace, detail);
         }
         response
     }
@@ -646,6 +721,17 @@ impl QueryService {
         } else {
             Trace::enabled()
         };
+        // EXPLAIN ANALYZE executes, so a sys-reading plan measures a
+        // real materialization + scan, exactly like a served query.
+        let spliced;
+        let snapshot = if entry.reads.contains(SYS_DB) {
+            let sys_span = trace.begin("serve/sys-materialize");
+            spliced = self.spliced_sys_snapshot(&snapshot);
+            trace.end(sys_span);
+            &spliced
+        } else {
+            snapshot.as_ref()
+        };
         let engine = Pqp::new(
             Arc::clone(snapshot.dictionary()),
             Arc::clone(snapshot.registry()),
@@ -689,6 +775,10 @@ impl QueryService {
     /// with its span waterfall when the request was traced). This is
     /// what the wire `Stats` frame carries.
     pub fn scrape(&self) -> String {
+        // A scrape boundary is a window boundary: close the current
+        // stats window so `sys.stats` and external collectors advance
+        // on the same cadence.
+        self.sys.advance(self.cumulative_mark());
         let mut out = self.metrics().render_prometheus();
         self.slow_log.render(&mut out);
         out
@@ -750,11 +840,37 @@ impl QueryService {
 
     /// The one serving path all entry points share — [`execute`] wraps
     /// its result into the [`Response`] envelope, the legacy shims
-    /// return it raw.
+    /// return it raw. Shim queries land on the slow-query log here so
+    /// `sys.queries` sees every entry point ([`execute_traced`] observes
+    /// its own requests with the same detail).
     ///
     /// [`execute`]: QueryService::execute
+    /// [`execute_traced`]: QueryService::execute_traced
     fn serve(&self, text: &str, lang: Lang) -> Result<ServeOutcome, ServeError> {
-        self.serve_traced(text, lang, &Trace::disabled())
+        let start = Instant::now();
+        let trace = Trace::disabled();
+        let out = self.serve_traced(text, lang, &trace);
+        let detail = match &out {
+            Ok(o) => QueryDetail {
+                queue_micros: o.queue_micros,
+                exec_micros: o.exec_micros,
+                cache: if o.result_hit {
+                    "result"
+                } else if o.plan_hit {
+                    "plan"
+                } else {
+                    "miss"
+                },
+                error: None,
+            },
+            Err(e) => QueryDetail {
+                error: Some((e.code().code(), e.code().mnemonic())),
+                ..QueryDetail::default()
+            },
+        };
+        self.slow_log
+            .observe_detailed(text, start.elapsed(), &trace, detail);
+        out
     }
 
     /// [`serve`](QueryService::serve) with a span recorder: queue wait,
@@ -777,9 +893,10 @@ impl QueryService {
             }
         };
         trace.end(queue_span);
-        self.metrics.record_queue_wait(start.elapsed());
+        let queue = start.elapsed();
+        self.metrics.record_queue_wait(queue);
         let snapshot = self.federation.snapshot();
-        let served = self.serve_pinned(&snapshot, text, lang, permit.threads, start, trace);
+        let served = self.serve_pinned(&snapshot, text, lang, permit.threads, start, queue, trace);
         if let Err(e) = &served {
             self.metrics.record_error();
             self.metrics.record_error_code(e.code());
@@ -788,6 +905,7 @@ impl QueryService {
     }
 
     /// The cache-through path, pinned to one snapshot.
+    #[allow(clippy::too_many_arguments)]
     fn serve_pinned(
         &self,
         snapshot: &FederationSnapshot,
@@ -795,6 +913,7 @@ impl QueryService {
         lang: Lang,
         threads: usize,
         start: Instant,
+        queue: Duration,
         trace: &Trace,
     ) -> Result<ServeOutcome, ServeError> {
         let parse_span = trace.begin("serve/parse");
@@ -810,6 +929,13 @@ impl QueryService {
             );
         }
         trace.end(plan_span);
+        let queue_micros = u64::try_from(queue.as_micros()).unwrap_or(u64::MAX);
+        // Plans that read the sys catalog bypass the result cache in
+        // *both* directions — no probe, no insert, no hit/miss counter
+        // movement. Telemetry must never be served stale, and the
+        // bypass keeps user-facing cache-hit rates untouched by
+        // catalog traffic.
+        let sys_read = entry.reads.contains(SYS_DB);
         // `plan_for` guarantees the entry's compile-time versions match
         // this snapshot, so they *are* the result key's version vector.
         let key = ResultKey {
@@ -817,7 +943,7 @@ impl QueryService {
             canonical: Arc::clone(&entry.canonical),
             versions: entry.compiled_versions.clone(),
         };
-        if let Some(cache) = &self.result_cache {
+        if let (Some(cache), false) = (&self.result_cache, sys_read) {
             let probe_span = trace.begin("serve/result-cache");
             let cached = cache.get(&key);
             if !probe_span.is_none() {
@@ -841,10 +967,24 @@ impl QueryService {
                     index_routed: entry.compiled.physical.index_scans() > 0,
                     threads,
                     latency,
+                    queue_micros,
+                    exec_micros: 0,
                 });
             }
             self.metrics.record_result_lookup(false);
         }
+        // A sys-reading plan executes against an ephemeral successor
+        // snapshot carrying the live catalog rows; everything else runs
+        // on the pinned snapshot unchanged.
+        let spliced;
+        let snapshot = if sys_read {
+            let sys_span = trace.begin("serve/sys-materialize");
+            spliced = self.spliced_sys_snapshot(snapshot);
+            trace.end(sys_span);
+            &spliced
+        } else {
+            snapshot
+        };
         let engine = Pqp::new(
             Arc::clone(snapshot.dictionary()),
             Arc::clone(snapshot.registry()),
@@ -861,12 +1001,15 @@ impl QueryService {
         let exec_span = trace.begin("serve/execute");
         let exec_start = Instant::now();
         let run = engine.run_compiled_traced(&entry.compiled, trace);
-        self.metrics.record_execute(exec_start.elapsed());
+        let exec_elapsed = exec_start.elapsed();
+        self.metrics.record_execute(exec_elapsed);
         trace.end(exec_span);
         let (answer, _trace) = run?;
         let answer = Arc::new(answer);
-        if let Some(cache) = &self.result_cache {
-            cache.insert(key, Arc::clone(&answer));
+        if !sys_read {
+            if let Some(cache) = &self.result_cache {
+                cache.insert(key, Arc::clone(&answer));
+            }
         }
         let latency = start.elapsed();
         self.metrics.record_query(latency, false);
@@ -879,6 +1022,8 @@ impl QueryService {
             index_routed: entry.compiled.physical.index_scans() > 0,
             threads,
             latency,
+            queue_micros,
+            exec_micros: u64::try_from(exec_elapsed.as_micros()).unwrap_or(u64::MAX),
         })
     }
 
@@ -979,6 +1124,56 @@ impl QueryService {
             compiled,
         })
     }
+
+    /// The service counters as one cumulative mark — what the stats
+    /// ring differences consecutive observations of. "Latency" is the
+    /// end-to-end distribution over every answered query, hit and miss
+    /// paths merged.
+    fn cumulative_mark(&self) -> CumulativeMark {
+        let m = self.metrics.snapshot();
+        let mut latency = m.hit_latency;
+        latency.merge(&m.miss_latency);
+        CumulativeMark {
+            queries: m.queries,
+            errors: m.errors,
+            rejected: m.rejected,
+            plan_hits: m.plan_hits,
+            result_hits: m.result_hits,
+            executed: m.executed,
+            latency,
+        }
+    }
+
+    /// Materialize the six `sys.*` relations from live service state —
+    /// one consistent snapshot read across every subsystem — and splice
+    /// them into `base` as an ephemeral successor snapshot under a
+    /// fresh monotone version. The successor is never published to the
+    /// head: it lives exactly as long as the one query executing
+    /// against it, so no two queries can ever observe the same
+    /// materialization and the result cache (bypassed anyway for sys
+    /// plans) could never alias one.
+    fn spliced_sys_snapshot(&self, base: &FederationSnapshot) -> FederationSnapshot {
+        self.sys.maybe_advance(self.cumulative_mark());
+        let relations = vec![
+            sys::queries_relation(&self.slow_log.snapshot()),
+            sys::sessions_relation(&self.sys.sessions().snapshot()),
+            sys::stats_relation(&self.sys.ring().windows()),
+            sys::sources_relation(base),
+            sys::cache_relation(
+                &self
+                    .plan_cache
+                    .as_ref()
+                    .map_or_else(Vec::new, PlanCache::entries_with_hits),
+                &self
+                    .result_cache
+                    .as_ref()
+                    .map_or_else(Vec::new, ResultCache::entries_with_hits),
+            ),
+            sys::indexes_relation(base),
+        ];
+        let lqp: Arc<dyn Lqp> = Arc::new(polygen_lqp::memory::InMemoryLqp::new(SYS_DB, relations));
+        base.with_virtual_source(lqp, Arc::clone(base.dictionary()), self.sys.next_version())
+    }
 }
 
 /// Peel a leading `EXPLAIN` / `EXPLAIN ANALYZE` keyword off SQL text
@@ -1017,17 +1212,19 @@ fn strip_leading_keyword<'a>(text: &'a str, keyword: &str) -> Option<&'a str> {
 
 /// A client session: an identity plus per-session counters over the
 /// shared service. Cheap to open (no catalog copies — the federation is
-/// snapshot-shared), cheap to drop.
+/// snapshot-shared), cheap to drop. Registered in the live-session
+/// registry for its lifetime, so `SELECT * FROM sys.sessions` shows it —
+/// including the query it is running *right now*.
 pub struct Session<'s> {
     service: &'s QueryService,
-    id: u64,
+    stats: Arc<SessionStats>,
     queries: u64,
 }
 
 impl Session<'_> {
-    /// The session id.
+    /// The session id (registry-assigned, never reused).
     pub fn id(&self) -> u64 {
-        self.id
+        self.stats.id()
     }
 
     /// Queries served on this session.
@@ -1039,26 +1236,53 @@ impl Session<'_> {
     /// a wire session speaks, counted against this session.
     pub fn execute(&mut self, request: Request) -> Response {
         self.queries += 1;
-        self.service.execute(request)
+        self.stats.begin_query(&request.text, request.lang.label());
+        let response = self.service.execute(request);
+        let rows = response.rows().map_or(0, |r| r.len() as u64);
+        self.stats
+            .finish_query(rows, response.error_code().is_some());
+        response
+    }
+
+    fn finish(&self, outcome: &Result<ServeOutcome, ServeError>) {
+        match outcome {
+            Ok(o) => self.stats.finish_query(o.answer.len() as u64, false),
+            Err(_) => self.stats.finish_query(0, true),
+        }
     }
 
     /// Serve a polygen-level SQL query (deprecated shim: prefer
     /// [`Session::execute`]).
     pub fn query(&mut self, sql: &str) -> Result<ServeOutcome, ServeError> {
         self.queries += 1;
-        self.service.query(sql)
+        self.stats.begin_query(sql, Lang::Sql.label());
+        let out = self.service.query(sql);
+        self.finish(&out);
+        out
     }
 
     /// Serve an algebra-notation query.
     pub fn query_algebra(&mut self, text: &str) -> Result<ServeOutcome, ServeError> {
         self.queries += 1;
-        self.service.query_algebra(text)
+        self.stats.begin_query(text, Lang::Algebra.label());
+        let out = self.service.query_algebra(text);
+        self.finish(&out);
+        out
     }
 
     /// Serve an application-level query.
     pub fn query_app(&mut self, sql: &str) -> Result<ServeOutcome, ServeError> {
         self.queries += 1;
-        self.service.query_app(sql)
+        self.stats.begin_query(sql, Lang::App.label());
+        let out = self.service.query_app(sql);
+        self.finish(&out);
+        out
+    }
+}
+
+impl Drop for Session<'_> {
+    fn drop(&mut self) {
+        self.service.sys.sessions().deregister(self.stats.id());
     }
 }
 
@@ -1542,5 +1766,172 @@ mod tests {
             svc.execute(Request::sql(PAPER_SQL)),
             Response::Rows { .. }
         ));
+    }
+
+    #[test]
+    fn sys_sources_answer_sql_with_sys_provenance() {
+        use polygen_core::tuple::origins_of;
+        let svc = service();
+        svc.query(PAPER_SQL).unwrap();
+        let out = svc
+            .query("SELECT SOURCE, VERSION FROM sys.sources")
+            .unwrap();
+        assert!(!out.result_hit && !out.index_routed);
+        for src in ["AD", "CD", "PD", SYS_DB] {
+            assert!(
+                out.answer
+                    .cell("SOURCE", &Value::str(src), "VERSION")
+                    .is_some(),
+                "missing {src} row in sys.sources"
+            );
+        }
+        let head = svc.federation().snapshot();
+        let sys_id = head.dictionary().registry().lookup(SYS_DB).unwrap();
+        for tuple in out.answer.tuples() {
+            assert!(
+                origins_of(tuple).contains(sys_id),
+                "every catalog cell is origin-tagged {SYS_DB}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_six_sys_relations_serve_over_sql() {
+        let svc = service();
+        svc.query(PAPER_SQL).unwrap();
+        let mut session = svc.open_session();
+        for (sql, nonempty) in [
+            (
+                "SELECT ORDINAL, QUERY, TOTAL_US, CACHE FROM sys.queries",
+                true,
+            ),
+            (
+                "SELECT SESSION_ID, PEER, QUERIES, LANG FROM sys.sessions",
+                true,
+            ),
+            (
+                "SELECT BUCKET, QUERIES, EXECUTED, P95_US FROM sys.stats",
+                true,
+            ),
+            (
+                "SELECT SOURCE, VERSION, RELATIONS, TUPLES FROM sys.sources",
+                true,
+            ),
+            ("SELECT CACHE, ENTRY, HITS FROM sys.cache", true),
+            (
+                "SELECT SOURCE, RELATION, COLUMN, KIND FROM sys.indexes",
+                false,
+            ),
+        ] {
+            let out = session.query(sql).unwrap();
+            assert!(!out.result_hit, "{sql}: sys answers never come from cache");
+            assert_eq!(
+                !out.answer.is_empty(),
+                nonempty,
+                "{sql}: got {} rows",
+                out.answer.len()
+            );
+        }
+        // With an index declared, sys.indexes gains its row too.
+        svc.declare_indexes(&[IndexSpec::hash("AD", "ALUMNUS", "DEG")])
+            .unwrap();
+        let ix = session
+            .query("SELECT SOURCE, RELATION, COLUMN, ENTRIES FROM sys.indexes")
+            .unwrap();
+        assert!(ix
+            .answer
+            .cell("RELATION", &Value::str("ALUMNUS"), "COLUMN")
+            .is_some());
+    }
+
+    #[test]
+    fn sys_answers_bypass_the_result_cache_and_stay_fresh() {
+        let svc = service();
+        let sql = "SELECT ORDINAL, QUERY FROM sys.queries";
+        let a = svc.query(sql).unwrap();
+        assert!(!a.plan_hit && !a.result_hit);
+        assert!(a.answer.is_empty(), "the slow log was empty at admission");
+        let b = svc.query(sql).unwrap();
+        assert!(b.plan_hit, "sys plans cache like any other");
+        assert!(!b.result_hit, "sys results are never cached");
+        assert!(
+            !b.answer.is_empty(),
+            "the first catalog query itself is now on the slow log"
+        );
+        let (_plans, results) = svc.cache_sizes();
+        assert_eq!(results, 0, "no sys answer was inserted");
+        // A state change between reads is always visible.
+        svc.query(PAPER_SQL).unwrap();
+        let c = svc.query(sql).unwrap();
+        assert!(
+            c.answer
+                .cell("QUERY", &Value::str(PAPER_SQL), "ORDINAL")
+                .is_some(),
+            "the user query appears on the next catalog read"
+        );
+        // User-facing caching is untouched by interleaved sys reads.
+        assert!(svc.query(PAPER_SQL).unwrap().result_hit);
+        assert_eq!(svc.metrics().result_hits, 1);
+    }
+
+    #[test]
+    fn sys_sessions_show_the_in_flight_query_and_drain() {
+        let svc = service();
+        let probe = "SELECT SESSION_ID, QUERY, LANG FROM sys.sessions";
+        let mut session = svc.open_session();
+        // Materialization happens while this very query is in flight, so
+        // the session's own row must carry it as current work.
+        let out = session.query(probe).unwrap();
+        assert_eq!(out.answer.len(), 1);
+        let id = Value::int(i64::try_from(session.id()).unwrap());
+        let q = out.answer.cell("SESSION_ID", &id, "QUERY").unwrap();
+        assert_eq!(q.datum, Value::str(probe));
+        let lang = out.answer.cell("SESSION_ID", &id, "LANG").unwrap();
+        assert_eq!(lang.datum, Value::str("sql"));
+        drop(session);
+        assert!(
+            svc.sessions().is_empty(),
+            "dropped sessions leave the registry"
+        );
+        let after = svc.query(probe).unwrap();
+        assert!(
+            after.answer.cell("SESSION_ID", &id, "QUERY").is_none(),
+            "a drained session no longer appears"
+        );
+    }
+
+    #[test]
+    fn sys_cannot_be_indexed_or_auto_indexed() {
+        let svc = service();
+        let err = svc.declare_indexes(&[IndexSpec::hash(SYS_DB, "stats", "BUCKET")]);
+        assert!(matches!(err, Err(ServeError::Index(_))), "{err:?}");
+        // Hot selective sys scans never mine an index either.
+        for _ in 0..3 {
+            svc.query("SELECT SOURCE, VERSION FROM sys.sources WHERE SOURCE = \"AD\"")
+                .unwrap();
+        }
+        assert!(svc.auto_index(1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn explain_renders_sys_scan_leaves() {
+        use crate::request::{Request, Response};
+        let svc = service();
+        let resp = svc.execute(Request::sql(
+            "EXPLAIN SELECT BUCKET, QUERIES FROM sys.stats",
+        ));
+        let Response::Explain { plan, .. } = &resp else {
+            panic!("expected explain, got {resp:?}");
+        };
+        assert!(plan.contains("Scan[sys]"), "{plan}");
+        // ANALYZE executes against a live materialization.
+        let resp = svc.execute(Request::sql(
+            "EXPLAIN ANALYZE SELECT BUCKET, QUERIES FROM sys.stats",
+        ));
+        let Response::Explain { plan, .. } = &resp else {
+            panic!("expected explain, got {resp:?}");
+        };
+        assert!(plan.contains("Scan[sys]"), "{plan}");
+        assert!(plan.contains("act=("), "{plan}");
     }
 }

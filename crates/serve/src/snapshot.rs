@@ -170,6 +170,47 @@ impl FederationSnapshot {
             epoch: self.epoch + 1,
         }
     }
+
+    /// Derive a successor with `lqp` joining (or replacing) the registry
+    /// under its own name at exactly `version`, and the dictionary
+    /// swapped for `dictionary`. Unlike a source *update* this is not a
+    /// data refresh: secondary indexes are re-pointed untouched, the
+    /// global epoch does not move, and the caller picks the version.
+    /// These are the hooks a *virtual* source needs — one whose
+    /// relations the mediator itself materializes rather than an
+    /// upstream owning. The serving layer uses this twice for its `sys`
+    /// catalog: once at construction (schema-bearing empty placeholder,
+    /// version 0, dictionary extended with the `sys` schemas, published
+    /// to the head) and then ephemerally per query that reads `sys.*`
+    /// (live rows under a monotone version, never published — the
+    /// spliced snapshot lives exactly as long as the query executes).
+    pub fn with_virtual_source(
+        &self,
+        lqp: Arc<dyn Lqp>,
+        dictionary: Arc<DataDictionary>,
+        version: u64,
+    ) -> FederationSnapshot {
+        let name = lqp.name().to_string();
+        let registry = LqpRegistry::new();
+        for existing in self.registry.names() {
+            if existing != name {
+                if let Some(l) = self.registry.get(&existing) {
+                    registry.register(l);
+                }
+            }
+        }
+        registry.register(lqp);
+        let mut versions = self.versions.clone();
+        versions.insert(name, version);
+        FederationSnapshot {
+            dictionary,
+            registry: Arc::new(registry),
+            indexes: Arc::clone(&self.indexes),
+            index_epoch: self.index_epoch,
+            versions,
+            epoch: self.epoch,
+        }
+    }
 }
 
 /// The mutable head: an atomically swappable [`FederationSnapshot`].
@@ -245,6 +286,29 @@ impl Federation {
             if Arc::ptr_eq(&*head, &base) {
                 *head = Arc::new(next);
                 return Ok(());
+            }
+        }
+    }
+
+    /// Publish a virtual source at the head (see
+    /// [`FederationSnapshot::with_virtual_source`]): same build-outside,
+    /// pointer-identity-retry swap as [`Federation::update_source`], but
+    /// no version bump, no epoch move, no index rebuild. The serving
+    /// layer calls this once at construction to register the `sys`
+    /// catalog's schemas and schema-bearing empty placeholder.
+    pub fn install_virtual_source(
+        &self,
+        lqp: Arc<dyn Lqp>,
+        dictionary: Arc<DataDictionary>,
+        version: u64,
+    ) {
+        loop {
+            let base = self.snapshot();
+            let next = base.with_virtual_source(Arc::clone(&lqp), Arc::clone(&dictionary), version);
+            let mut head = self.head.write().expect("federation head poisoned");
+            if Arc::ptr_eq(&*head, &base) {
+                *head = Arc::new(next);
+                return;
             }
         }
     }
@@ -345,6 +409,39 @@ mod tests {
         fed.declare_indexes(&[IndexSpec::hash("AD", "ALUMNUS", "DEG")])
             .unwrap();
         assert_eq!(fed.snapshot().index_epoch(), 2);
+    }
+
+    #[test]
+    fn virtual_source_splice_moves_nothing_else() {
+        let s = scenario::build();
+        let fed = Federation::from_scenario(&s);
+        fed.declare_indexes(&[IndexSpec::hash("AD", "ALUMNUS", "DEG")])
+            .unwrap();
+        let base = fed.snapshot();
+        let lqp: Arc<dyn Lqp> = Arc::new(InMemoryLqp::new("virt", Vec::new()));
+        // Ephemeral splice: base is untouched, successor differs only
+        // in registry membership and the virtual source's version.
+        let spliced = base.with_virtual_source(Arc::clone(&lqp), Arc::clone(base.dictionary()), 7);
+        assert_eq!(spliced.version_of("virt"), 7);
+        assert_eq!(spliced.epoch(), base.epoch());
+        assert_eq!(spliced.index_epoch(), base.index_epoch());
+        assert!(Arc::ptr_eq(spliced.indexes(), base.indexes()));
+        assert!(Arc::ptr_eq(spliced.dictionary(), base.dictionary()));
+        let ad_base = base.registry().get("AD").unwrap();
+        let ad_spliced = spliced.registry().get("AD").unwrap();
+        assert!(Arc::ptr_eq(&ad_base, &ad_spliced), "real LQPs re-pointed");
+        assert!(base.registry().get("virt").is_none(), "head untouched");
+        // Published splice: the head now carries the virtual source at
+        // the pinned version, and a later real-source update preserves
+        // it (with_updated_source re-points every registered LQP).
+        fed.install_virtual_source(lqp, Arc::clone(base.dictionary()), 0);
+        assert_eq!(fed.snapshot().version_of("virt"), 0);
+        assert!(fed.snapshot().registry().get("virt").is_some());
+        let ad = s.database("AD").unwrap();
+        fed.update_source_relations("AD", ad.relations.clone());
+        let after = fed.snapshot();
+        assert!(after.registry().get("virt").is_some());
+        assert_eq!(after.version_of("virt"), 0, "updates leave virt at 0");
     }
 
     #[test]

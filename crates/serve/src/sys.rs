@@ -1,0 +1,529 @@
+//! The mediator as its own tagged source: the `sys` system catalog.
+//!
+//! Polygen's thesis is that heterogeneous sources become queryable by
+//! mapping them into tagged polygen schemes — so the mediator's *own*
+//! telemetry gets no bespoke API. The serving layer registers a virtual
+//! local database `sys` whose relations are materialized from live
+//! service state at query admission, then queried through the ordinary
+//! front doors (SQL, algebra, the TCP Query frame): every answer row
+//! carries the origin tag `sys`, EXPLAIN renders `Scan[sys]` leaves,
+//! and the workload driver can mix `sys.stats` probes into ordinary
+//! traffic.
+//!
+//! Six relations, each a flat view of one subsystem (the `SUBSYSTEM`
+//! column records the producer):
+//!
+//! | relation       | contents                                        |
+//! |----------------|-------------------------------------------------|
+//! | `sys.queries`  | the slow-query log: worst queries + time split  |
+//! | `sys.sessions` | live sessions, incl. what each runs *right now* |
+//! | `sys.stats`    | windowed counter/percentile rollups (the ring)  |
+//! | `sys.sources`  | per-source version, relation/tuple/index counts |
+//! | `sys.cache`    | plan- and result-cache entries with hit counts  |
+//! | `sys.indexes`  | declared secondary indexes + posting shape      |
+//!
+//! Materialization is a *consistent snapshot read*: the service gathers
+//! every subsystem's state, builds the six relations, and splices them
+//! into an ephemeral [`crate::snapshot::FederationSnapshot`] under a
+//! monotone version (see [`SysCatalog::next_version`]) that exists only
+//! for the duration of the one query. The head snapshot keeps a
+//! schema-bearing empty placeholder at version 0, which is what lets
+//! cached `sys` plans validate against the head while cached `sys`
+//! *answers* are never created at all (the service bypasses the result
+//! cache for any plan reading `sys` — telemetry must never be stale).
+
+use crate::cache::{PlanEntry, ResultKey};
+use crate::snapshot::FederationSnapshot;
+use polygen_catalog::mapping::AttributeMapping;
+use polygen_catalog::scheme::PolygenScheme;
+use polygen_flat::relation::Relation;
+use polygen_flat::value::Value;
+use polygen_lqp::engine::Lqp;
+use polygen_lqp::memory::InMemoryLqp;
+use polygen_obs::ring::{CumulativeMark, MetricsRing, MetricsWindow};
+use polygen_obs::session::{SessionRegistry, SessionSnapshot};
+use polygen_obs::slowlog::SlowQueryReport;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The virtual local database name the catalog is registered under.
+pub const SYS_DB: &str = "sys";
+
+/// Windows the `sys.stats` ring retains.
+pub const SYS_STATS_WINDOWS: usize = 32;
+
+/// Minimum spacing between materialization-driven ring advances. A
+/// scrape always closes a window; a `sys.stats` query only closes one
+/// when the newest window is at least this old (or the ring is empty),
+/// so a tight query loop reads stable windows instead of thousands of
+/// near-empty ones.
+pub const SYS_STATS_TICK: Duration = Duration::from_secs(1);
+
+/// `(local relation, attributes)` for each sys relation. Local
+/// attribute names equal polygen attribute names, so lowering never
+/// relabels a sys column; the first flat-key attribute set below keeps
+/// every row distinct under the flat layer's set semantics.
+const SYS_RELATIONS: &[(&str, &[&str])] = &[
+    (
+        "queries",
+        &[
+            "ORDINAL",
+            "QUERY",
+            "TOTAL_US",
+            "QUEUE_US",
+            "EXEC_US",
+            "CACHE",
+            "ERROR_CODE",
+            "ERROR",
+            "SUBSYSTEM",
+        ],
+    ),
+    (
+        "sessions",
+        &[
+            "SESSION_ID",
+            "PEER",
+            "AGE_US",
+            "QUERIES",
+            "ROWS",
+            "ERRORS",
+            "QUERY",
+            "LANG",
+            "ELAPSED_US",
+            "SUBSYSTEM",
+        ],
+    ),
+    (
+        "stats",
+        &[
+            "BUCKET",
+            "QUERIES",
+            "ERRORS",
+            "REJECTED",
+            "PLAN_HITS",
+            "RESULT_HITS",
+            "EXECUTED",
+            "P50_US",
+            "P95_US",
+            "P99_US",
+            "SUBSYSTEM",
+        ],
+    ),
+    (
+        "sources",
+        &[
+            "SOURCE",
+            "VERSION",
+            "RELATIONS",
+            "TUPLES",
+            "INDEXES",
+            "INDEX_EPOCH",
+            "SUBSYSTEM",
+        ],
+    ),
+    (
+        "cache",
+        &[
+            "ORDINAL",
+            "CACHE",
+            "ENTRY",
+            "FINGERPRINT",
+            "HITS",
+            "ROWS",
+            "SUBSYSTEM",
+        ],
+    ),
+    (
+        "indexes",
+        &[
+            "SOURCE",
+            "RELATION",
+            "COLUMN",
+            "KIND",
+            "ENTRIES",
+            "DISTINCT_KEYS",
+            "EPOCH",
+            "SUBSYSTEM",
+        ],
+    ),
+];
+
+/// Flat key attributes per sys relation (same order as [`SYS_RELATIONS`]).
+const SYS_KEYS: &[&[&str]] = &[
+    &["ORDINAL"],
+    &["SESSION_ID"],
+    &["BUCKET"],
+    &["SOURCE"],
+    &["ORDINAL"],
+    &["SOURCE", "RELATION", "COLUMN"],
+];
+
+/// Saturating `u64 → Value::Int` (counters never realistically exceed
+/// `i64::MAX`, but telemetry must not panic if one does).
+fn uint(v: u64) -> Value {
+    Value::int(i64::try_from(v).unwrap_or(i64::MAX))
+}
+
+fn usize_val(v: usize) -> Value {
+    uint(v as u64)
+}
+
+/// The six `sys.*` polygen schemes, each mapping onto exactly one local
+/// relation of the virtual `sys` database.
+pub fn sys_schemes() -> Vec<PolygenScheme> {
+    SYS_RELATIONS
+        .iter()
+        .map(|(rel, attrs)| {
+            PolygenScheme::new(
+                &format!("{SYS_DB}.{rel}"),
+                attrs
+                    .iter()
+                    .map(|attr| (*attr, AttributeMapping::of(&[(SYS_DB, rel, attr)])))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn empty_relation(i: usize) -> Relation {
+    let (rel, attrs) = SYS_RELATIONS[i];
+    Relation::build(rel, attrs)
+        .key(SYS_KEYS[i])
+        .finish()
+        .expect("sys relation schema")
+}
+
+/// The schema-bearing empty placeholder registered at the head: plans
+/// compile against these schemas; rows come from a per-query
+/// materialization spliced in at admission.
+pub fn placeholder_lqp() -> Arc<dyn Lqp> {
+    Arc::new(InMemoryLqp::new(
+        SYS_DB,
+        (0..SYS_RELATIONS.len()).map(empty_relation).collect(),
+    ))
+}
+
+/// `sys.queries` — the slow-query log, worst first.
+pub fn queries_relation(reports: &[SlowQueryReport]) -> Relation {
+    let mut b = Relation::build("queries", SYS_RELATIONS[0].1).key(SYS_KEYS[0]);
+    for (i, r) in reports.iter().enumerate() {
+        let (code, mnemonic) = r.detail.error.unwrap_or((0, ""));
+        b = b.vrow(vec![
+            usize_val(i),
+            Value::str(&r.query),
+            uint(r.micros),
+            uint(r.detail.queue_micros),
+            uint(r.detail.exec_micros),
+            Value::str(r.detail.cache),
+            Value::int(i64::from(code)),
+            Value::str(mnemonic),
+            Value::str("slowlog"),
+        ]);
+    }
+    b.finish().expect("sys.queries rows")
+}
+
+/// `sys.sessions` — the live-session registry, including the query each
+/// session is running right now (blank columns when idle).
+pub fn sessions_relation(sessions: &[SessionSnapshot]) -> Relation {
+    let mut b = Relation::build("sessions", SYS_RELATIONS[1].1).key(SYS_KEYS[1]);
+    for s in sessions {
+        let (query, lang, elapsed) = match &s.in_flight {
+            Some((q, l, e)) => (q.as_str(), *l, *e),
+            None => ("", "", 0),
+        };
+        b = b.vrow(vec![
+            uint(s.id),
+            Value::str(&s.peer),
+            uint(s.age_micros),
+            uint(s.queries),
+            uint(s.rows),
+            uint(s.errors),
+            Value::str(query),
+            Value::str(lang),
+            uint(elapsed),
+            Value::str("sessions"),
+        ]);
+    }
+    b.finish().expect("sys.sessions rows")
+}
+
+/// `sys.stats` — windowed rollups, oldest window first; `BUCKET` is the
+/// monotone time-bucket column.
+pub fn stats_relation(windows: &[MetricsWindow]) -> Relation {
+    let mut b = Relation::build("stats", SYS_RELATIONS[2].1).key(SYS_KEYS[2]);
+    for w in windows {
+        b = b.vrow(vec![
+            uint(w.bucket),
+            uint(w.queries),
+            uint(w.errors),
+            uint(w.rejected),
+            uint(w.plan_hits),
+            uint(w.result_hits),
+            uint(w.executed),
+            uint(w.latency.p50_micros()),
+            uint(w.latency.p95_micros()),
+            uint(w.latency.p99_micros()),
+            Value::str("ring"),
+        ]);
+    }
+    b.finish().expect("sys.stats rows")
+}
+
+/// `sys.sources` — one row per registered local database (including
+/// `sys` itself), from the serving snapshot the query pinned.
+pub fn sources_relation(snapshot: &FederationSnapshot) -> Relation {
+    let mut names = snapshot.registry().names();
+    names.sort();
+    let specs = snapshot.indexes().specs();
+    let mut b = Relation::build("sources", SYS_RELATIONS[3].1).key(SYS_KEYS[3]);
+    for name in names {
+        let (relations, tuples) = match snapshot.registry().get(&name) {
+            Some(lqp) => {
+                let rels = lqp.relation_names();
+                let tuples: usize = rels
+                    .iter()
+                    .filter_map(|r| lqp.stats(r))
+                    .map(|s| s.rows)
+                    .sum();
+                (rels.len(), tuples)
+            }
+            None => (0, 0),
+        };
+        let indexes = specs.iter().filter(|s| s.source == name).count();
+        b = b.vrow(vec![
+            Value::str(&name),
+            uint(snapshot.version_of(&name)),
+            usize_val(relations),
+            usize_val(tuples),
+            usize_val(indexes),
+            uint(snapshot.index_epoch()),
+            Value::str("federation"),
+        ]);
+    }
+    b.finish().expect("sys.sources rows")
+}
+
+/// `sys.cache` — every plan- and result-cache entry with its per-entry
+/// hit count; `ROWS` is 0 for plans (no materialized answer).
+pub fn cache_relation(
+    plans: &[(Arc<PlanEntry>, u64)],
+    results: &[(ResultKey, u64, usize)],
+) -> Relation {
+    let mut b = Relation::build("cache", SYS_RELATIONS[4].1).key(SYS_KEYS[4]);
+    let mut ordinal = 0usize;
+    for (entry, hits) in plans {
+        b = b.vrow(vec![
+            usize_val(ordinal),
+            Value::str("plan"),
+            Value::str(entry.canonical.as_ref()),
+            Value::str(format!("{:016x}", entry.fingerprint)),
+            uint(*hits),
+            Value::int(0),
+            Value::str("cache"),
+        ]);
+        ordinal += 1;
+    }
+    for (key, hits, rows) in results {
+        b = b.vrow(vec![
+            usize_val(ordinal),
+            Value::str("result"),
+            Value::str(key.canonical.as_ref()),
+            Value::str(format!("{:016x}", key.fingerprint)),
+            uint(*hits),
+            usize_val(*rows),
+            Value::str("cache"),
+        ]);
+        ordinal += 1;
+    }
+    b.finish().expect("sys.cache rows")
+}
+
+/// `sys.indexes` — declared secondary indexes with posting statistics.
+pub fn indexes_relation(snapshot: &FederationSnapshot) -> Relation {
+    let mut b = Relation::build("indexes", SYS_RELATIONS[5].1).key(SYS_KEYS[5]);
+    for spec in snapshot.indexes().specs() {
+        let (entries, distinct) = snapshot
+            .indexes()
+            .lookup(&spec.source, &spec.relation, &spec.column)
+            .map(|i| (i.len(), i.distinct_keys()))
+            .unwrap_or((0, 0));
+        b = b.vrow(vec![
+            Value::str(&spec.source),
+            Value::str(&spec.relation),
+            Value::str(&spec.column),
+            Value::str(spec.kind.to_string()),
+            usize_val(entries),
+            usize_val(distinct),
+            uint(snapshot.index_epoch()),
+            Value::str("index"),
+        ]);
+    }
+    b.finish().expect("sys.indexes rows")
+}
+
+/// The serving layer's handle on the catalog's own state: who is
+/// connected ([`SessionRegistry`]), the windowed rollup ring, and the
+/// monotone materialization counter that versions each splice.
+pub struct SysCatalog {
+    sessions: Arc<SessionRegistry>,
+    ring: MetricsRing,
+    materializations: AtomicU64,
+    last_tick: Mutex<Option<Instant>>,
+}
+
+impl Default for SysCatalog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SysCatalog {
+    /// A fresh catalog: no sessions, an empty ring, version counter 0.
+    pub fn new() -> Self {
+        SysCatalog {
+            sessions: Arc::new(SessionRegistry::new()),
+            ring: MetricsRing::new(SYS_STATS_WINDOWS),
+            materializations: AtomicU64::new(0),
+            last_tick: Mutex::new(None),
+        }
+    }
+
+    /// The live-session registry (shared with the transport layer).
+    pub fn sessions(&self) -> &Arc<SessionRegistry> {
+        &self.sessions
+    }
+
+    /// The windowed-rollup ring backing `sys.stats`.
+    pub fn ring(&self) -> &MetricsRing {
+        &self.ring
+    }
+
+    /// The next splice version — each materialization gets a fresh one,
+    /// so no two `sys` snapshots ever share a version (defense in depth
+    /// on top of the service's result-cache bypass).
+    pub fn next_version(&self) -> u64 {
+        self.materializations.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// How many materializations have happened.
+    pub fn materializations(&self) -> u64 {
+        self.materializations.load(Ordering::Relaxed)
+    }
+
+    /// Unconditionally close the current window (a scrape boundary is
+    /// always a window boundary).
+    pub fn advance(&self, mark: CumulativeMark) {
+        self.ring.advance(mark);
+        *self.last_tick.lock().expect("sys tick lock") = Some(Instant::now());
+    }
+
+    /// Close the current window only if the ring is empty or the newest
+    /// window is at least [`SYS_STATS_TICK`] old — the materialization
+    /// path's coarse clock, so `SELECT` against `sys.stats` returns
+    /// rows even on a service nobody ever scrapes.
+    pub fn maybe_advance(&self, mark: CumulativeMark) {
+        let mut last = self.last_tick.lock().expect("sys tick lock");
+        let due = match *last {
+            None => true,
+            Some(at) => at.elapsed() >= SYS_STATS_TICK,
+        };
+        if due || self.ring.is_empty() {
+            self.ring.advance(mark);
+            *last = Some(Instant::now());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polygen_obs::hist::HistogramSnapshot;
+    use polygen_obs::slowlog::QueryDetail;
+
+    #[test]
+    fn schemes_and_placeholder_agree_attribute_for_attribute() {
+        let schemes = sys_schemes();
+        assert_eq!(schemes.len(), 6);
+        let lqp = placeholder_lqp();
+        assert_eq!(lqp.name(), SYS_DB);
+        for ((rel, attrs), scheme) in SYS_RELATIONS.iter().zip(&schemes) {
+            assert_eq!(scheme.name(), format!("sys.{rel}"));
+            let schema = lqp.schema_of(rel).expect("placeholder relation");
+            let local: Vec<&str> = schema.attrs().iter().map(|a| a.as_ref()).collect();
+            assert_eq!(&local, attrs, "local attrs mirror polygen attrs");
+            for attr in *attrs {
+                assert!(scheme.contains(attr), "{rel}.{attr} mapped");
+            }
+            assert_eq!(lqp.stats(rel).unwrap().rows, 0, "placeholder is empty");
+        }
+    }
+
+    #[test]
+    fn relation_builders_produce_distinct_rows() {
+        let reports = vec![
+            SlowQueryReport {
+                query: "Q".into(),
+                micros: 10,
+                detail: QueryDetail::default(),
+                waterfall: None,
+            },
+            // Same text and latency — only the ordinal distinguishes
+            // them, which is exactly why the ordinal column exists.
+            SlowQueryReport {
+                query: "Q".into(),
+                micros: 10,
+                detail: QueryDetail {
+                    error: Some((100, "sql-syntax")),
+                    ..QueryDetail::default()
+                },
+                waterfall: None,
+            },
+        ];
+        let rel = queries_relation(&reports);
+        assert_eq!(rel.len(), 2);
+
+        let windows = vec![
+            MetricsWindow {
+                bucket: 0,
+                queries: 0,
+                errors: 0,
+                rejected: 0,
+                plan_hits: 0,
+                result_hits: 0,
+                executed: 0,
+                latency: HistogramSnapshot::default(),
+            },
+            MetricsWindow {
+                bucket: 1,
+                queries: 0,
+                errors: 0,
+                rejected: 0,
+                plan_hits: 0,
+                result_hits: 0,
+                executed: 0,
+                latency: HistogramSnapshot::default(),
+            },
+        ];
+        assert_eq!(stats_relation(&windows).len(), 2, "buckets keep rows apart");
+    }
+
+    #[test]
+    fn catalog_versions_are_monotone_and_tick_is_coarse() {
+        let sys = SysCatalog::new();
+        assert_eq!(sys.materializations(), 0);
+        assert_eq!(sys.next_version(), 1);
+        assert_eq!(sys.next_version(), 2);
+        assert_eq!(sys.materializations(), 2);
+        // First maybe_advance fills the empty ring; an immediate second
+        // one is within the tick and does nothing.
+        sys.maybe_advance(CumulativeMark::default());
+        assert_eq!(sys.ring().len(), 1);
+        sys.maybe_advance(CumulativeMark::default());
+        assert_eq!(sys.ring().len(), 1);
+        // A scrape always closes a window.
+        sys.advance(CumulativeMark::default());
+        assert_eq!(sys.ring().len(), 2);
+    }
+}

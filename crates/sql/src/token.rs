@@ -121,7 +121,9 @@ fn is_ident_start(c: char) -> bool {
 }
 
 fn is_ident_continue(c: char) -> bool {
-    c.is_ascii_alphanumeric() || c == '_' || c == '#'
+    // `.` admits qualified relation names (`sys.stats`); numeric literals
+    // are lexed digit-first, so floats never reach this predicate.
+    c.is_ascii_alphanumeric() || c == '_' || c == '#' || c == '.'
 }
 
 fn keyword(word: &str) -> Option<Tok> {
@@ -306,6 +308,15 @@ mod tests {
         assert!(toks.contains(&Tok::Ident("PORGANIZATION".into())));
         assert!(toks.contains(&Tok::StrLit("MBA".into())));
         assert!(toks.contains(&Tok::And));
+    }
+
+    #[test]
+    fn lexes_dotted_relation_names() {
+        let toks = lex("SELECT WINDOW FROM sys.stats WHERE WINDOW = \"0\"").unwrap();
+        assert!(toks.contains(&Tok::Ident("sys.stats".into())));
+        // Numeric literals still lex as numbers, not dotted identifiers.
+        let toks = lex("PFINANCE [PROFIT = 3.5]").unwrap();
+        assert!(toks.iter().any(|t| matches!(t, Tok::FloatLit(_))));
     }
 
     #[test]

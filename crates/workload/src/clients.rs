@@ -16,7 +16,10 @@
 //!   tagged answers to a sequential, cache-off baseline.
 
 use crate::config::{derive_rng, RngStream};
-use crate::queries::{join_query, paper_shaped_sql, point_lookup, range_scan, select_query};
+use crate::queries::{
+    join_query, paper_shaped_sql, point_lookup, range_scan, select_query, sys_sessions_query,
+    sys_stats_query,
+};
 use crate::zipf::Zipf;
 use rand::RngExt;
 use std::time::{Duration, Instant};
@@ -58,6 +61,11 @@ pub struct MixWeights {
     /// Detail score range scans (`PDETAIL [SCORE >= a] [SCORE <= b]`) —
     /// the class a sorted index serves. Default 0.
     pub range: u32,
+    /// System-catalog reads (`SELECT … FROM sys.stats` /
+    /// `sys.sessions`) — the mediator inspecting itself through the
+    /// same front door as user queries. Default 0: existing mixes (and
+    /// their deterministic scripts) are unchanged.
+    pub sys: u32,
 }
 
 impl Default for MixWeights {
@@ -68,6 +76,7 @@ impl Default for MixWeights {
             paper: 1,
             point: 0,
             range: 0,
+            sys: 0,
         }
     }
 }
@@ -83,8 +92,17 @@ impl MixWeights {
         }
     }
 
+    /// The default mix plus system-catalog reads at the given weight —
+    /// observability traffic interleaved with user queries.
+    pub fn with_catalog_reads(sys: u32) -> Self {
+        MixWeights {
+            sys,
+            ..MixWeights::default()
+        }
+    }
+
     fn total(&self) -> u32 {
-        self.select + self.join + self.paper + self.point + self.range
+        self.select + self.join + self.paper + self.point + self.range + self.sys
     }
 }
 
@@ -184,7 +202,7 @@ impl ClientMix {
     /// Client `i`'s deterministic script. Depends only on
     /// `(seed, i, weights, queries_per_client, categories, entities,
     /// key_skew)` — and the draw sequence for the original three shapes
-    /// is unchanged when the point/range weights are 0, so existing
+    /// is unchanged when the point/range/sys weights are 0, so existing
     /// mixes replay bit-identical scripts.
     pub fn script(&self, client: usize) -> Vec<ClientQuery> {
         assert!(self.weights.total() > 0, "mix weights must not all be 0");
@@ -223,11 +241,23 @@ impl ClientMix {
                         text: point_lookup(entity),
                         lang: QueryLang::Algebra,
                     }
-                } else {
+                } else if draw < w.select + w.join + w.paper + w.point + w.range {
                     let lo = rng.random_range(0..90);
                     ClientQuery {
                         text: range_scan(lo, lo + 9),
                         lang: QueryLang::Algebra,
+                    }
+                } else {
+                    // Catalog reads alternate between the windowed
+                    // rollups and the live-session registry.
+                    let text = if rng.random_range(0..2u32) == 0 {
+                        sys_stats_query()
+                    } else {
+                        sys_sessions_query()
+                    };
+                    ClientQuery {
+                        text,
+                        lang: QueryLang::Sql,
                     }
                 }
             })
@@ -476,6 +506,33 @@ mod tests {
     }
 
     #[test]
+    fn catalog_reads_appear_with_weight_and_stay_out_of_legacy_mixes() {
+        let mix = ClientMix::default()
+            .with_queries_per_client(200)
+            .with_weights(MixWeights::with_catalog_reads(3));
+        let script = mix.script(0);
+        let sys: Vec<&ClientQuery> = script
+            .iter()
+            .filter(|q| q.text.contains("FROM sys."))
+            .collect();
+        assert!(!sys.is_empty(), "weight 3 of 13 must surface catalog reads");
+        assert!(sys.len() < script.len(), "user shapes still dominate");
+        let mut saw = (false, false);
+        for q in &sys {
+            assert_eq!(q.lang, QueryLang::Sql);
+            saw.0 |= q.text.contains("sys.stats");
+            saw.1 |= q.text.contains("sys.sessions");
+        }
+        assert!(saw.0 && saw.1, "both catalog shapes drawn");
+        // Weight 0 keeps legacy scripts bit-identical — the sys branch
+        // is appended strictly after every existing draw.
+        let legacy = ClientMix::default();
+        let zeroed = ClientMix::default().with_weights(MixWeights::with_catalog_reads(0));
+        assert_eq!(legacy.script(0), zeroed.script(0));
+        assert!(legacy.script(0).iter().all(|q| !q.text.contains("sys.")));
+    }
+
+    #[test]
     #[should_panic(expected = "weights")]
     fn zero_weights_panic() {
         let mix = ClientMix {
@@ -485,6 +542,7 @@ mod tests {
                 paper: 0,
                 point: 0,
                 range: 0,
+                sys: 0,
             },
             ..ClientMix::default()
         };

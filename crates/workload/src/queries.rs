@@ -40,6 +40,19 @@ pub fn range_scan(lo: i64, hi: i64) -> String {
     format!("PDETAIL [SCORE >= {lo}] [SCORE <= {hi}]")
 }
 
+/// A catalog read over the mediator's own windowed metric rollups:
+/// ordinary SQL against the `sys` source, materialized from live
+/// service state at admission (never served from the result cache).
+pub fn sys_stats_query() -> String {
+    "SELECT BUCKET, QUERIES, ERRORS, RESULT_HITS, P95_US FROM sys.stats".to_string()
+}
+
+/// A catalog read over the live-session registry — what every peer is
+/// running *right now*, the issuing session included.
+pub fn sys_sessions_query() -> String {
+    "SELECT SESSION_ID, PEER, QUERIES, ROWS, LANG FROM sys.sessions".to_string()
+}
+
 /// The paper-query shape in SQL over the synthetic schema (an IN-subquery
 /// feeding a join feeding a restrict feeding a project).
 pub fn paper_shaped_sql(category: usize) -> String {

@@ -182,6 +182,48 @@ fn main() {
         "traced wire query must leave its waterfall in the scrape"
     );
 
+    // 8. The mediator is its own tagged source: `sys.*` relations
+    //    answer through the same Query frames as user data — no new
+    //    wire surface. Park a thousand idle sessions again and ask the
+    //    server who is connected: every connection is one row in
+    //    `sys.sessions`, materialized at admission (catalog reads
+    //    bypass the result cache, so the answer is never stale).
+    let parked: Vec<NetClient> = (0..1_000)
+        .map(|_| NetClient::connect(addr).expect("park idle session"))
+        .collect();
+    match client
+        .execute(&Request::sql(workload::queries::sys_sessions_query()))
+        .expect("sys.sessions serves")
+    {
+        Response::Rows { answer, info } => {
+            println!(
+                "\nsys.sessions over the wire: {} live sessions (result_hit = {})",
+                answer.len(),
+                info.result_hit
+            );
+            assert!(
+                answer.len() > parked.len(),
+                "the parked population and this client are all visible"
+            );
+            assert!(!info.result_hit, "catalog answers are never cached");
+        }
+        other => panic!("sys.sessions must answer rows, got {other:?}"),
+    }
+    drop(parked);
+    match client
+        .execute(&Request::sql(workload::queries::sys_stats_query()))
+        .expect("sys.stats serves")
+    {
+        Response::Rows { answer, .. } => {
+            println!(
+                "sys.stats over the wire: {} windowed rollup rows",
+                answer.len()
+            );
+            assert!(!answer.is_empty(), "the ring has at least one window");
+        }
+        other => panic!("sys.stats must answer rows, got {other:?}"),
+    }
+
     println!("\n== Server-side metrics ==");
     println!("{}", service.metrics());
     server.shutdown();
